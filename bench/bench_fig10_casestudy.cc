@@ -1,0 +1,80 @@
+// Regenerates the paper's Fig. 10 case study: co-citation network analysis.
+// A synthetic temporal citation corpus (the ArnetMiner stand-in) is cut at
+// two years; the k_max-core of each author interaction network is computed
+// and the word-cloud sets are printed: S1 ∩ S2 (active in both periods),
+// S2 − S1 (newly most-active), S1 − S2 (dropped out of the densest core).
+#include <cstdio>
+
+#include "analysis/snapshots.h"
+#include "common/strings.h"
+#include "generators/citation.h"
+
+namespace {
+
+void PrintAuthorSet(const char* title, const std::vector<uint64_t>& authors) {
+  std::printf("%s (%zu authors):\n  ", title, authors.size());
+  size_t printed = 0;
+  for (uint64_t a : authors) {
+    std::printf("Author%04llu ", static_cast<unsigned long long>(a));
+    if (++printed % 8 == 0) std::printf("\n  ");
+    if (printed >= 48) {
+      std::printf("... (+%zu more)", authors.size() - printed);
+      break;
+    }
+  }
+  std::printf("\n\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace kcore;
+
+  CitationOptions options;
+  options.num_papers = 2500;
+  options.num_authors = 3000;
+  options.num_topics = 10;  // as in the ArnetMiner subset the paper uses
+  options.first_year = 1980;
+  options.last_year = 2000;
+  options.max_authors_per_paper = 3;
+  options.citations_per_paper = 3;
+  options.active_fraction = 0.25;
+  options.seed = 2023;
+  const CitationCorpus corpus = GenerateCitationCorpus(options);
+
+  std::printf("=== Fig. 10: Co-citation network case study ===\n");
+  std::printf(
+      "Corpus: %zu papers, %u authors, %u topics, years %u-%u (synthetic"
+      " ArnetMiner stand-in)\n\n",
+      corpus.papers.size(), options.num_authors, options.num_topics,
+      options.first_year, options.last_year);
+
+  const SnapshotCore s1 = AnalyzeSnapshot(corpus, 1995);
+  const SnapshotCore s2 = AnalyzeSnapshot(corpus, 2000);
+
+  std::printf("G1 (papers <= 1995): %llu authors, %llu edges, k_max = %u, "
+              "|S1| = %zu\n",
+              static_cast<unsigned long long>(s1.num_authors),
+              static_cast<unsigned long long>(s1.num_edges), s1.k_max,
+              s1.kmax_core_authors.size());
+  std::printf("G2 (papers <= 2000): %llu authors, %llu edges, k_max = %u, "
+              "|S2| = %zu\n\n",
+              static_cast<unsigned long long>(s2.num_authors),
+              static_cast<unsigned long long>(s2.num_edges), s2.k_max,
+              s2.kmax_core_authors.size());
+
+  const SnapshotComparison cmp = CompareSnapshots(s1, s2);
+  PrintAuthorSet("S1 ∩ S2  — most active in both periods (cloud center)",
+                 cmp.in_both);
+  PrintAuthorSet("S2 − S1  — became most active by 2000 (middle ring)",
+                 cmp.only_second);
+  PrintAuthorSet("S1 − S2  — fell out of the densest core (bottom)",
+                 cmp.only_first);
+
+  std::printf(
+      "Expected shape (paper §VI): G2's k_max and core exceed G1's (paper:"
+      "\n12->18, 81->107 authors); the center set is non-empty (persistently"
+      "\nactive authors) and both difference sets are non-empty (rising and"
+      "\nfading authors), driven by the corpus's sliding activity windows.\n");
+  return 0;
+}

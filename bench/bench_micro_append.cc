@@ -1,0 +1,72 @@
+// Micro-benchmark for the ablation's central design question (paper §IV-C):
+// appending frontier vertices via one shared-memory atomicAdd per element
+// vs batching through a warp-level ballot compaction. Reports the simulated
+// cost-model nanoseconds per appended element, which is what decides
+// Table II's "Occam's razor" outcome.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "cusim/atomics.h"
+#include "cusim/warp_scan.h"
+#include "perf/cost_model.h"
+
+namespace kcore::sim {
+namespace {
+
+void BM_AtomicAppend(benchmark::State& state) {
+  const double fill = static_cast<double>(state.range(0)) / 100.0;
+  Rng rng(3);
+  PerfCounters counters;
+  std::vector<uint32_t> buffer(1 << 16);
+  uint64_t e = 0;
+  for (auto _ : state) {
+    for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+      if (rng.UniformReal() < fill) {
+        const uint64_t pos =
+            AtomicAdd(&e, uint64_t{1}, counters, MemSpace::kShared);
+        buffer[pos % buffer.size()] = lane;
+        ++counters.global_writes;
+      }
+    }
+  }
+  benchmark::DoNotOptimize(e);
+  const CostModel cost = GpuNativeCostModel();
+  state.counters["modeled_ns_per_warp"] =
+      cost.UnitTimeNs(counters) / state.iterations();
+}
+BENCHMARK(BM_AtomicAppend)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_BallotCompactAppend(benchmark::State& state) {
+  const double fill = static_cast<double>(state.range(0)) / 100.0;
+  Rng rng(3);
+  PerfCounters counters;
+  WarpCtx warp(0, 1, &counters);
+  std::vector<uint32_t> buffer(1 << 16);
+  uint64_t e = 0;
+  for (auto _ : state) {
+    uint32_t flags[kWarpSize];
+    for (auto& f : flags) f = rng.UniformReal() < fill ? 1 : 0;
+    uint32_t exclusive[kWarpSize];
+    const uint32_t total = BallotExclusiveScan(warp, flags, exclusive);
+    if (total != 0) {
+      const uint64_t e_old =
+          AtomicAdd(&e, uint64_t{total}, counters, MemSpace::kShared);
+      for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+        if (flags[lane] != 0) {
+          buffer[(e_old + exclusive[lane]) % buffer.size()] = lane;
+          ++counters.global_writes;
+        }
+      }
+    }
+  }
+  benchmark::DoNotOptimize(e);
+  const CostModel cost = GpuNativeCostModel();
+  state.counters["modeled_ns_per_warp"] =
+      cost.UnitTimeNs(counters) / state.iterations();
+}
+BENCHMARK(BM_BallotCompactAppend)->Arg(10)->Arg(50)->Arg(100);
+
+}  // namespace
+}  // namespace kcore::sim
+
+BENCHMARK_MAIN();

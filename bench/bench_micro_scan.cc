@@ -1,0 +1,83 @@
+// Micro-benchmark: the three warp-scan algorithms of paper Fig. 8 plus the
+// two-stage block scan of Fig. 9, on host execution of the simulated
+// primitives. Wall time here tracks simulated instruction counts, so the
+// relative ordering mirrors the paper's discussion (HS beats Blelloch at
+// warp width; ballot scan beats both for 0/1 flags; block scan pays
+// multi-stage overhead).
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "cusim/block.h"
+#include "cusim/warp_scan.h"
+
+namespace kcore::sim {
+namespace {
+
+void FillRandom(uint32_t* values, size_t count, uint64_t seed,
+                uint32_t bound) {
+  Rng rng(seed);
+  for (size_t i = 0; i < count; ++i) {
+    values[i] = static_cast<uint32_t>(rng.UniformInt(bound));
+  }
+}
+
+void BM_HillisSteeleWarpScan(benchmark::State& state) {
+  uint32_t values[kWarpSize];
+  PerfCounters counters;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    FillRandom(values, kWarpSize, seed++, 64);
+    HillisSteeleInclusiveScan(values, counters);
+    benchmark::DoNotOptimize(values[kWarpSize - 1]);
+  }
+  state.counters["sim_steps_per_scan"] =
+      static_cast<double>(counters.scan_steps) / state.iterations();
+}
+BENCHMARK(BM_HillisSteeleWarpScan);
+
+void BM_BlellochWarpScan(benchmark::State& state) {
+  uint32_t values[kWarpSize];
+  PerfCounters counters;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    FillRandom(values, kWarpSize, seed++, 64);
+    benchmark::DoNotOptimize(BlellochExclusiveScan(values, counters));
+  }
+  state.counters["sim_steps_per_scan"] =
+      static_cast<double>(counters.scan_steps) / state.iterations();
+}
+BENCHMARK(BM_BlellochWarpScan);
+
+void BM_BallotWarpScan(benchmark::State& state) {
+  uint32_t flags[kWarpSize];
+  uint32_t exclusive[kWarpSize];
+  PerfCounters counters;
+  WarpCtx warp(0, 1, &counters);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    FillRandom(flags, kWarpSize, seed++, 2);
+    benchmark::DoNotOptimize(BallotExclusiveScan(warp, flags, exclusive));
+  }
+  state.counters["sim_steps_per_scan"] =
+      static_cast<double>(counters.scan_steps) / state.iterations();
+}
+BENCHMARK(BM_BallotWarpScan);
+
+void BM_BlockScan(benchmark::State& state) {
+  const auto warps = static_cast<uint32_t>(state.range(0));
+  std::vector<uint32_t> flags(warps * kWarpSize);
+  std::vector<uint32_t> exclusive(flags.size());
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    BlockCtx block(0, 1, warps * kWarpSize, 48 << 10);
+    FillRandom(flags.data(), flags.size(), seed++, 2);
+    benchmark::DoNotOptimize(
+        BlockExclusiveScan(block, flags.data(), exclusive.data()));
+  }
+}
+BENCHMARK(BM_BlockScan)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace kcore::sim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+#ifndef KCORE_BENCH_BENCH_SUPPORT_H_
+#define KCORE_BENCH_BENCH_SUPPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "cusim/device.h"
+#include "graph/csr_graph.h"
+
+namespace kcore::bench {
+
+/// How one roster dataset is synthesized (the offline stand-ins for the
+/// paper's 20 public graphs; see DESIGN.md "Substitutions").
+struct GeneratorSpec {
+  enum class Kind {
+    kBarabasiAlbert,  ///< Collaboration / co-purchase networks.
+    kChungLu,         ///< Power-law web/social graphs.
+    kHub,             ///< Extreme-skew graphs (wiki-Talk, trackers).
+    kErdosRenyi,      ///< Low-variance graphs (patentcite, hollywood).
+  };
+  Kind kind = Kind::kChungLu;
+  uint32_t num_vertices = 0;
+  uint64_t num_edges = 0;   ///< Background edges (ChungLu / ER / hub extra).
+  uint32_t ba_edges_per_vertex = 0;
+  double chung_lu_exponent = 2.3;
+  uint32_t hub_count = 0;
+  /// Planted dense community lifting k_max to web-crawl levels (0 = none).
+  uint32_t planted_core_size = 0;
+  double planted_density = 0.0;
+  uint64_t seed = 1;
+};
+
+/// One row of the Table I roster.
+struct DatasetSpec {
+  std::string name;      ///< Paper dataset name (amazon0601, it-2004, ...).
+  std::string category;  ///< Paper's category column.
+  uint32_t paper_kmax;   ///< The paper's measured k_max (for reference).
+  GeneratorSpec generator;
+};
+
+/// The 20-dataset roster in the paper's Table I order (ascending |E|).
+const std::vector<DatasetSpec>& PaperRoster();
+
+/// Generates `spec` (or loads it from the binary cache in `cache_dir`,
+/// writing the cache on first generation). Deterministic per spec.
+StatusOr<CsrGraph> LoadOrGenerateDataset(const DatasetSpec& spec,
+                                         const std::string& cache_dir);
+
+/// Default cache directory (`<repo>/data`, overridable via KCORE_DATA_DIR).
+std::string DefaultCacheDir();
+
+/// Benchmark-wide environment knobs.
+///  KCORE_BENCH_MAX_EDGES: skip roster datasets above this |E| (0 = all).
+///  KCORE_BENCH_REPS: repetitions for avg/std columns (default 3).
+uint64_t MaxEdgesFromEnv();
+uint32_t RepsFromEnv(uint32_t default_reps);
+
+/// The miniature P100: the paper's 16 GB device scaled by the ~1/400
+/// dataset scale (40 MB), which reproduces Table III/V's OOM pattern.
+sim::DeviceOptions ScaledP100Options();
+
+/// Per-block buffer capacity for the peeling kernels, scaled with the graph
+/// (the paper fixes 1M IDs/block on full-size graphs; the miniature roster
+/// scales it so Table V's footprint comparisons stay meaningful).
+uint64_t ScaledBufferCapacity(const CsrGraph& graph);
+
+/// Modeled-time budget standing in for the paper's 1-hour cutoff, scaled
+/// like the datasets (3600 s / 400).
+inline constexpr double kScaledHourMs = 9000.0;
+
+/// Table III/IV cell formatting: a time in ms, or the paper's special
+/// markers.
+std::string FormatCellMs(double ms);
+inline const char* kCellOom = "OOM";
+inline const char* kCellTimeout = "> 1hr*";
+inline const char* kCellLoadTimeout = "LD > 1hr*";
+
+/// Fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  /// Renders the table to stdout with a separator under the header.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kcore::bench
+
+#endif  // KCORE_BENCH_BENCH_SUPPORT_H_

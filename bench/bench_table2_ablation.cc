@@ -1,0 +1,78 @@
+// Regenerates the paper's Table II: the ablation study of the GPU peeling
+// algorithm — Ours vs SM / VP (memory-latency optimizations) and BC / EC
+// (compaction-based buffer appending), each also combined with SM / VP.
+// Reports avg +/- std of modeled milliseconds over repeated runs; the best
+// variant per dataset is starred.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.h"
+#include "common/strings.h"
+#include "core/gpu_peel.h"
+
+int main() {
+  using namespace kcore;
+  using namespace kcore::bench;
+
+  const uint32_t reps = RepsFromEnv(3);
+  const uint64_t max_edges = MaxEdgesFromEnv();
+  const std::vector<GpuPeelOptions> variants =
+      GpuPeelOptions::AblationVariants();
+
+  std::printf("=== Table II: Ablation study (modeled ms, avg +/- std, %u runs) ===\n",
+              reps);
+  std::vector<std::string> headers = {"Dataset"};
+  for (const auto& v : variants) headers.push_back(v.VariantName());
+  TablePrinter table(headers);
+
+  for (const DatasetSpec& spec : PaperRoster()) {
+    auto graph = LoadOrGenerateDataset(spec, DefaultCacheDir());
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+    if (max_edges != 0 && graph->NumUndirectedEdges() > max_edges) continue;
+
+    std::vector<std::string> row = {spec.name};
+    std::vector<double> means(variants.size());
+    std::vector<double> stds(variants.size());
+    size_t best = 0;
+    for (size_t i = 0; i < variants.size(); ++i) {
+      GpuPeelOptions options = variants[i];
+      options.buffer_capacity = ScaledBufferCapacity(*graph);
+      double sum = 0;
+      double sum_sq = 0;
+      for (uint32_t r = 0; r < reps; ++r) {
+        auto result = RunGpuPeel(*graph, options, ScaledP100Options());
+        if (!result.ok()) {
+          std::fprintf(stderr, "%s/%s: %s\n", spec.name.c_str(),
+                       options.VariantName().c_str(),
+                       result.status().ToString().c_str());
+          return 1;
+        }
+        sum += result->metrics.modeled_ms;
+        sum_sq += result->metrics.modeled_ms * result->metrics.modeled_ms;
+      }
+      means[i] = sum / reps;
+      const double variance =
+          std::max(0.0, sum_sq / reps - means[i] * means[i]);
+      stds[i] = std::sqrt(variance);
+      if (means[i] < means[best]) best = i;
+    }
+    for (size_t i = 0; i < variants.size(); ++i) {
+      row.push_back(StrFormat("%s%s±%s", i == best ? "*" : "",
+                              FormatCellMs(means[i]).c_str(),
+                              FormatCellMs(stds[i]).c_str()));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper §VI): the basic algorithm (Ours) wins nearly"
+      "\neverywhere; SM/VP add instructions that rarely pay off (VP can win on"
+      "\nextreme-skew graphs like trackers); BC is ~2x slower and EC ~4x"
+      "\nslower because optimized atomics beat compaction ('Occam's razor').\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Regenerates the paper's Table III: computation time of the GPU programs —
+// Ours vs VETGA (vector primitives), Medusa-MPM, Medusa-Peel (vertex-centric
+// BSP), Gunrock and GSWITCH (frontier engines). "OOM", "> 1hr*" and
+// "LD > 1hr*" cells reproduce the paper's failure markers at the scaled
+// device-memory (40 MB) and time (9 s modeled ~ 1 hr / 400) budgets.
+#include <cstdio>
+
+#include "bench_support.h"
+#include "core/gpu_peel.h"
+#include "cpu/bz.h"
+#include "systems/gswitch.h"
+#include "systems/gunrock.h"
+#include "systems/medusa.h"
+#include "vetga/vetga.h"
+
+int main() {
+  using namespace kcore;
+  using namespace kcore::bench;
+
+  std::printf(
+      "=== Table III: GPU programs (modeled ms; scaled budgets) ===\n");
+  TablePrinter table({"Dataset", "Ours", "VETGA", "Medusa-MPM", "Medusa-Peel",
+                      "Gunrock", "GSwitch"});
+
+  const uint64_t max_edges = MaxEdgesFromEnv();
+
+  auto cell = [](const StatusOr<DecomposeResult>& result) -> std::string {
+    if (result.ok()) return FormatCellMs(result->metrics.modeled_ms);
+    if (result.status().IsOutOfMemory()) return kCellOom;
+    if (result.status().IsTimeout()) return kCellTimeout;
+    return result.status().ToString();
+  };
+
+  for (const DatasetSpec& spec : PaperRoster()) {
+    auto graph = LoadOrGenerateDataset(spec, DefaultCacheDir());
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+    if (max_edges != 0 && graph->NumUndirectedEdges() > max_edges) continue;
+
+    SystemConfig system;
+    system.device = ScaledP100Options();
+    system.modeled_timeout_ms = kScaledHourMs;
+
+    GpuPeelOptions ours_options;
+    ours_options.buffer_capacity = ScaledBufferCapacity(*graph);
+    const auto ours = RunGpuPeel(*graph, ours_options, ScaledP100Options());
+
+    // VETGA: its Python loader is modeled first; past the budget the paper
+    // marks the row "LD > 1hr" without running the computation.
+    VetgaConfig vetga_config;
+    vetga_config.device = ScaledP100Options();
+    vetga_config.modeled_timeout_ms = kScaledHourMs;
+    const double vetga_load_ms =
+        static_cast<double>(graph->NumUndirectedEdges()) *
+        vetga_config.load_ns_per_edge / 1e6;
+    std::string vetga_cell;
+    if (vetga_load_ms > kScaledHourMs) {
+      vetga_cell = kCellLoadTimeout;
+    } else {
+      vetga_cell = cell(RunVetga(*graph, vetga_config));
+    }
+
+    const auto medusa_mpm = RunMedusaMpm(*graph, system);
+    const auto medusa_peel = RunMedusaPeel(*graph, system);
+    const auto gunrock = RunGunrockKCore(*graph, system);
+    // GSWITCH needs the round count hardcoded per input (paper §V); the
+    // paper's authors used each graph's known core number.
+    const uint32_t k_max = RunBz(*graph).MaxCore();
+    const auto gswitch = RunGSwitchKCore(*graph, k_max, system);
+
+    table.AddRow({spec.name, cell(ours), vetga_cell, cell(medusa_mpm),
+                  cell(medusa_peel), cell(gunrock), cell(gswitch)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper §VI): Ours wins every row; GSwitch < Gunrock"
+      "\n< Medusa-Peel; VETGA 1-2 orders slower than Ours and cannot load the"
+      "\nlargest graphs; Medusa/Gunrock OOM from arabic-2005 on, GSwitch on"
+      "\nthe last two. Miniaturization compresses the absolute ratios and"
+      "\nshrinks Medusa-MPM's superstep count (see EXPERIMENTS.md).\n");
+  return 0;
+}

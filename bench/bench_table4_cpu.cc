@@ -1,0 +1,91 @@
+// Regenerates the paper's Table IV: computation time of the CPU programs —
+// Ours (GPU, for reference) vs NetworkX-style interpreted peeling, serial
+// BZ, ParK / PKC-o / PKC (serial and 48-thread parallel) and parallel MPM.
+#include <cstdio>
+
+#include "bench_support.h"
+#include "core/gpu_peel.h"
+#include "cpu/bz.h"
+#include "cpu/mpm.h"
+#include "cpu/naive_ref.h"
+#include "cpu/park.h"
+#include "cpu/pkc.h"
+
+namespace {
+
+// An interpreted library executes the same peeling operations through
+// Python bytecode; ~60x per operation is the conventional interpreter
+// penalty, and its edge-list reader costs ~30 us/edge (both modeled; the
+// paper's NetworkX column shows >1hr loading from wikipedia-link-de on).
+constexpr double kInterpreterFactor = 60.0;
+constexpr double kNetworkxLoadNsPerEdge = 30000.0;
+
+}  // namespace
+
+int main() {
+  using namespace kcore;
+  using namespace kcore::bench;
+
+  std::printf("=== Table IV: CPU programs (modeled ms) ===\n");
+  TablePrinter table({"Dataset", "Ours", "NetworkX", "BZ", "SerialParK",
+                      "ParK", "SerialPKC-o", "PKC-o", "MPM", "SerialPKC",
+                      "PKC"});
+
+  const uint64_t max_edges = MaxEdgesFromEnv();
+
+  for (const DatasetSpec& spec : PaperRoster()) {
+    auto graph = LoadOrGenerateDataset(spec, DefaultCacheDir());
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+    if (max_edges != 0 && graph->NumUndirectedEdges() > max_edges) continue;
+
+    GpuPeelOptions ours_options;
+    ours_options.buffer_capacity = ScaledBufferCapacity(*graph);
+    const auto ours = RunGpuPeel(*graph, ours_options, ScaledP100Options());
+
+    std::string networkx_cell;
+    const double networkx_load_ms =
+        static_cast<double>(graph->NumUndirectedEdges()) *
+        kNetworkxLoadNsPerEdge / 1e6;
+    if (networkx_load_ms > kScaledHourMs) {
+      networkx_cell = kCellLoadTimeout;
+    } else {
+      const auto naive = RunNaiveReference(*graph);
+      networkx_cell =
+          FormatCellMs(naive.metrics.modeled_ms * kInterpreterFactor);
+    }
+
+    const auto bz = RunBz(*graph);
+    const auto park_serial = RunParKSerial(*graph);
+    const auto park = RunParK(*graph);
+    const auto pkc_o_serial = RunPkcSerial(*graph, PkcVariant::kOriginal);
+    PkcOptions pkc_o_options;
+    pkc_o_options.variant = PkcVariant::kOriginal;
+    const auto pkc_o = RunPkc(*graph, pkc_o_options);
+    const auto mpm = RunMpm(*graph);
+    const auto pkc_serial = RunPkcSerial(*graph, PkcVariant::kCompacted);
+    const auto pkc = RunPkc(*graph);
+
+    table.AddRow({spec.name,
+                  ours.ok() ? FormatCellMs(ours->metrics.modeled_ms) : "ERR",
+                  networkx_cell, FormatCellMs(bz.metrics.modeled_ms),
+                  FormatCellMs(park_serial.metrics.modeled_ms),
+                  FormatCellMs(park.metrics.modeled_ms),
+                  FormatCellMs(pkc_o_serial.metrics.modeled_ms),
+                  FormatCellMs(pkc_o.metrics.modeled_ms),
+                  FormatCellMs(mpm.metrics.modeled_ms),
+                  FormatCellMs(pkc_serial.metrics.modeled_ms),
+                  FormatCellMs(pkc.metrics.modeled_ms)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape (paper §VI): Ours beats every CPU engine; NetworkX is"
+      "\norders of magnitude off (and cannot load large graphs); parallel"
+      "\nParK/MPM often lose to serial BZ; PKC is the best CPU code, with the"
+      "\ncompacted scan far ahead of PKC-o on high-k_max graphs"
+      "\n(indochina-2004, it-2004).\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Temporal co-citation analysis (the paper's §VI case study as a library
+// walkthrough): track how the most-active author core of a citation network
+// evolves across yearly snapshots — the "lightning fast decomposition lets
+// you re-run k-core per snapshot" use case motivating the paper.
+#include <cstdio>
+
+#include "analysis/snapshots.h"
+#include "generators/citation.h"
+
+int main() {
+  using namespace kcore;
+
+  CitationOptions options;
+  options.num_papers = 12000;
+  options.num_authors = 2000;
+  options.num_topics = 8;
+  options.first_year = 1985;
+  options.last_year = 2000;
+  options.seed = 77;
+  const CitationCorpus corpus = GenerateCitationCorpus(options);
+  std::printf("corpus: %zu papers by %u authors (%u-%u)\n\n",
+              corpus.papers.size(), options.num_authors, options.first_year,
+              options.last_year);
+
+  // Decompose every 3-year snapshot and watch the densest core grow.
+  std::printf("%-8s %10s %10s %6s %12s\n", "cutoff", "authors", "edges",
+              "k_max", "|k_max-core|");
+  SnapshotCore previous;
+  bool have_previous = false;
+  for (uint32_t year = 1988; year <= 2000; year += 3) {
+    const SnapshotCore snapshot = AnalyzeSnapshot(corpus, year);
+    std::printf("%-8u %10llu %10llu %6u %12zu\n", year,
+                static_cast<unsigned long long>(snapshot.num_authors),
+                static_cast<unsigned long long>(snapshot.num_edges),
+                snapshot.k_max, snapshot.kmax_core_authors.size());
+    if (have_previous) {
+      const SnapshotComparison cmp = CompareSnapshots(previous, snapshot);
+      std::printf("         vs %u: stayed %zu, entered %zu, dropped %zu\n",
+                  previous.cutoff_year, cmp.in_both.size(),
+                  cmp.only_second.size(), cmp.only_first.size());
+    }
+    previous = snapshot;
+    have_previous = true;
+  }
+
+  std::printf(
+      "\nEach row is one full k-core decomposition of the snapshot's author"
+      "\ninteraction network; 'entered'/'dropped' are the Fig. 10 ring and"
+      "\nbottom sets between consecutive snapshots.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// k-core decomposition as a pruning preprocessor (paper §I: "an effective
+// lightweight preprocessing to prune unpromising vertices when computing
+// denser structures"). This example hunts for a large clique: the k-core
+// bound says a c-clique can only live inside the (c-1)-core, so peeling
+// first shrinks the search space by orders of magnitude.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/core_analysis.h"
+#include "common/timer.h"
+#include "core/gpu_peel.h"
+#include "generators/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/subgraph.h"
+
+namespace {
+
+using namespace kcore;
+
+/// Greedy clique growth inside `graph` along a degeneracy ordering; returns
+/// the best clique found (a lower bound, good enough to showcase pruning).
+std::vector<VertexId> GreedyClique(const CsrGraph& graph) {
+  std::vector<VertexId> best;
+  const std::vector<VertexId> order = DegeneracyOrdering(graph);
+  std::vector<uint32_t> position(order.size());
+  for (uint32_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (VertexId seed : order) {
+    std::vector<VertexId> clique = {seed};
+    for (VertexId u : graph.Neighbors(seed)) {
+      if (position[u] < position[seed]) continue;  // forward neighbors only
+      const auto nu = graph.Neighbors(u);
+      const bool adjacent_to_all =
+          std::all_of(clique.begin(), clique.end(), [&](VertexId w) {
+            return std::binary_search(nu.begin(), nu.end(), w);
+          });
+      if (adjacent_to_all) clique.push_back(u);
+    }
+    if (clique.size() > best.size()) best = clique;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  // Sparse background with a hidden 24-clique.
+  EdgeList edges = GenerateChungLuPowerLaw(50000, 150000, 2.5, 3);
+  PlantedCoreOptions planted;
+  planted.core_size = 24;
+  planted.core_density = 1.0;  // a true clique
+  edges = OverlayPlantedCore(std::move(edges), 50000, planted, 5);
+  const CsrGraph graph = BuildUndirectedGraph(edges);
+  std::printf("graph: %u vertices, %llu edges\n", graph.NumVertices(),
+              static_cast<unsigned long long>(graph.NumUndirectedEdges()));
+
+  // Step 1: decompose (the cheap O(m) preprocessing).
+  auto cores = RunGpuPeel(graph);
+  if (!cores.ok()) {
+    std::fprintf(stderr, "%s\n", cores.status().ToString().c_str());
+    return 1;
+  }
+  const uint32_t k_max = cores->MaxCore();
+  std::printf("k_max = %u  =>  no clique larger than %u can exist\n", k_max,
+              k_max + 1);
+
+  // Step 2: search only inside the k-core that can still hold a clique of
+  // the current best size.
+  WallTimer unpruned_timer;
+  const std::vector<VertexId> baseline = GreedyClique(graph);
+  const double unpruned_ms = unpruned_timer.ElapsedMillis();
+
+  WallTimer pruned_timer;
+  const InducedSubgraph pruned = KCoreSubgraph(graph, cores->core, k_max);
+  const std::vector<VertexId> in_core = GreedyClique(pruned.graph);
+  const double pruned_ms = pruned_timer.ElapsedMillis();
+
+  std::printf("search space after pruning: %u vertices (was %u)\n",
+              pruned.graph.NumVertices(), graph.NumVertices());
+  std::printf("clique found: unpruned %zu-clique in %.1f ms; "
+              "pruned %zu-clique in %.2f ms\n",
+              baseline.size(), unpruned_ms, in_core.size(), pruned_ms);
+  std::printf("the planted 24-clique lives in the %u-core; peeling shrank "
+              "the search %.0fx\n",
+              k_max,
+              static_cast<double>(graph.NumVertices()) /
+                  std::max<uint32_t>(1, pruned.graph.NumVertices()));
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Influential-spreader detection (paper application [55], Kitsak et al.):
+// the k-core ranking beats plain degree at identifying vertices embedded in
+// densely connected regions. This example builds a social network with a
+// planted tight community plus a few high-degree-but-peripheral hubs, then
+// contrasts the top vertices by degree vs by core number.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/core_analysis.h"
+#include "common/random.h"
+#include "core/gpu_peel.h"
+#include "generators/generators.h"
+#include "graph/graph_builder.h"
+
+int main() {
+  using namespace kcore;
+
+  // A sparse social background...
+  EdgeList edges = GenerateChungLuPowerLaw(30000, 90000, 2.4, 7);
+  // ...with a planted 60-member tight community (the true influencers)...
+  PlantedCoreOptions planted;
+  planted.core_size = 60;
+  planted.core_density = 0.7;
+  edges = OverlayPlantedCore(std::move(edges), 30000, planted, 11);
+  // ...and three "celebrity" hubs: huge degree, but only weakly embedded.
+  Rng rng(13);
+  for (uint32_t hub = 30000; hub < 30003; ++hub) {
+    for (int i = 0; i < 3000; ++i) {
+      edges.push_back({hub, rng.UniformInt(30000)});
+    }
+  }
+  const CsrGraph graph = BuildUndirectedGraph(edges);
+
+  auto result = RunGpuPeel(graph);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<uint32_t>& core = result->core;
+
+  // Degree ranking: the celebrity hubs dominate.
+  std::vector<VertexId> by_degree(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) by_degree[v] = v;
+  std::sort(by_degree.begin(), by_degree.end(), [&](VertexId a, VertexId b) {
+    return graph.Degree(a) > graph.Degree(b);
+  });
+
+  // Core ranking: the embedded community dominates.
+  const std::vector<VertexId> by_core = TopSpreaders(graph, core, 10);
+
+  std::printf("%-28s %-28s\n", "top by degree", "top by core number");
+  for (int i = 0; i < 10; ++i) {
+    const VertexId d = by_degree[i];
+    const VertexId c = by_core[i];
+    std::printf("v%-6u deg=%-5u core=%-4u  v%-6u deg=%-5u core=%-4u\n", d,
+                graph.Degree(d), core[d], c, graph.Degree(c), core[c]);
+  }
+
+  int hubs_in_degree_top = 0;
+  int community_in_core_top = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (by_degree[i] >= 30000) ++hubs_in_degree_top;
+    if (core[by_core[i]] == result->MaxCore()) ++community_in_core_top;
+  }
+  std::printf(
+      "\ncelebrity hubs in degree top-10: %d; k_max-core members in core "
+      "top-10: %d\n",
+      hubs_in_degree_top, community_in_core_top);
+  std::printf(
+      "The core ranking surfaces the embedded community (core=%u) instead of"
+      " the\nweakly-embedded celebrity hubs — the spreaders k-core analysis"
+      " is built for.\n",
+      result->MaxCore());
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "analysis/core_analysis.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace kcore {
+
+std::vector<VertexId> KShellMembers(const std::vector<uint32_t>& core,
+                                    uint32_t k) {
+  std::vector<VertexId> members;
+  for (VertexId v = 0; v < core.size(); ++v) {
+    if (core[v] == k) members.push_back(v);
+  }
+  return members;
+}
+
+InducedSubgraph KCoreSubgraph(const CsrGraph& graph,
+                              const std::vector<uint32_t>& core, uint32_t k) {
+  KCORE_CHECK_EQ(core.size(), static_cast<size_t>(graph.NumVertices()));
+  std::vector<bool> keep(core.size());
+  for (VertexId v = 0; v < core.size(); ++v) keep[v] = core[v] >= k;
+  return ExtractInducedSubgraph(graph, keep);
+}
+
+std::vector<uint64_t> CoreHistogram(const std::vector<uint32_t>& core) {
+  uint32_t k_max = 0;
+  for (uint32_t c : core) k_max = std::max(k_max, c);
+  std::vector<uint64_t> histogram(core.empty() ? 0 : k_max + 1, 0);
+  for (uint32_t c : core) ++histogram[c];
+  return histogram;
+}
+
+std::vector<VertexId> DegeneracyOrdering(const CsrGraph& graph) {
+  // BZ's bucketed min-degree removal, recording the removal order.
+  const VertexId n = graph.NumVertices();
+  std::vector<uint32_t> deg = graph.DegreeArray();
+  const uint32_t max_degree =
+      n == 0 ? 0 : *std::max_element(deg.begin(), deg.end());
+
+  std::vector<VertexId> bin(static_cast<size_t>(max_degree) + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bin[deg[v] + 1];
+  for (size_t d = 1; d < bin.size(); ++d) bin[d] += bin[d - 1];
+
+  std::vector<VertexId> vert(n);
+  std::vector<VertexId> pos(n);
+  {
+    std::vector<VertexId> cursor(bin.begin(), bin.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      pos[v] = cursor[deg[v]];
+      vert[pos[v]] = v;
+      ++cursor[deg[v]];
+    }
+  }
+
+  for (VertexId i = 0; i < n; ++i) {
+    const VertexId v = vert[i];
+    for (VertexId u : graph.Neighbors(v)) {
+      if (deg[u] > deg[v]) {
+        const uint32_t du = deg[u];
+        const VertexId pu = pos[u];
+        const VertexId pw = bin[du];
+        const VertexId w = vert[pw];
+        if (u != w) {
+          std::swap(vert[pu], vert[pw]);
+          pos[u] = pw;
+          pos[w] = pu;
+        }
+        ++bin[du];
+        --deg[u];
+      }
+    }
+  }
+  return vert;
+}
+
+std::vector<VertexId> TopSpreaders(const CsrGraph& graph,
+                                   const std::vector<uint32_t>& core,
+                                   size_t count) {
+  KCORE_CHECK_EQ(core.size(), static_cast<size_t>(graph.NumVertices()));
+  std::vector<VertexId> order(graph.NumVertices());
+  for (VertexId v = 0; v < order.size(); ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    if (core[a] != core[b]) return core[a] > core[b];
+    if (graph.Degree(a) != graph.Degree(b)) {
+      return graph.Degree(a) > graph.Degree(b);
+    }
+    return a < b;
+  });
+  order.resize(std::min(count, order.size()));
+  return order;
+}
+
+}  // namespace kcore

@@ -1,0 +1,39 @@
+#ifndef KCORE_ANALYSIS_CORE_ANALYSIS_H_
+#define KCORE_ANALYSIS_CORE_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/subgraph.h"
+
+namespace kcore {
+
+/// Vertices whose core number equals exactly k (the k-shell V^(k)).
+std::vector<VertexId> KShellMembers(const std::vector<uint32_t>& core,
+                                    uint32_t k);
+
+/// The k-core as an induced subgraph: all vertices with core >= k. Returns
+/// the subgraph plus the parent-ID mapping.
+InducedSubgraph KCoreSubgraph(const CsrGraph& graph,
+                              const std::vector<uint32_t>& core, uint32_t k);
+
+/// histogram[k] = number of vertices with core number k (size k_max+1).
+std::vector<uint64_t> CoreHistogram(const std::vector<uint32_t>& core);
+
+/// A degeneracy ordering: vertices in the order a min-degree peeling removes
+/// them. For every vertex, at most core(v) neighbors appear *later* in the
+/// order — the property that makes this ordering the standard preprocessing
+/// for clique-style enumeration (paper §I's pruning applications).
+std::vector<VertexId> DegeneracyOrdering(const CsrGraph& graph);
+
+/// Top influential spreaders (Kitsak et al., paper application [55]):
+/// vertices ranked by core number descending, ties broken by degree then ID.
+/// Returns up to `count` vertex IDs.
+std::vector<VertexId> TopSpreaders(const CsrGraph& graph,
+                                   const std::vector<uint32_t>& core,
+                                   size_t count);
+
+}  // namespace kcore
+
+#endif  // KCORE_ANALYSIS_CORE_ANALYSIS_H_

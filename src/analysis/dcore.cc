@@ -1,0 +1,92 @@
+#include "analysis/dcore.h"
+
+#include <vector>
+
+namespace kcore {
+
+namespace {
+
+/// Cascading removal of vertices violating indeg >= k or outdeg >= l.
+/// `alive`, `in_deg` and `out_deg` are updated in place; removed vertices
+/// are appended to `removed` (if non-null).
+void PeelViolators(const DirectedGraph& graph, uint32_t k, uint32_t l,
+                   std::vector<bool>& alive, std::vector<uint32_t>& in_deg,
+                   std::vector<uint32_t>& out_deg,
+                   std::vector<VertexId>* removed) {
+  std::vector<VertexId> stack;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (alive[v] && (in_deg[v] < k || out_deg[v] < l)) stack.push_back(v);
+  }
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    if (!alive[v]) continue;
+    if (in_deg[v] >= k && out_deg[v] >= l) continue;  // re-queued but fine now
+    alive[v] = false;
+    if (removed != nullptr) removed->push_back(v);
+    // v's out-arcs supplied in-degree to heads; in-arcs supplied out-degree
+    // to tails.
+    for (VertexId u : graph.OutNeighbors(v)) {
+      if (alive[u] && in_deg[u]-- == k) stack.push_back(u);
+    }
+    for (VertexId u : graph.InNeighbors(v)) {
+      if (alive[u] && out_deg[u]-- == l) stack.push_back(u);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<bool> ComputeDCoreMembers(const DirectedGraph& graph, uint32_t k,
+                                      uint32_t l) {
+  const VertexId n = graph.NumVertices();
+  std::vector<bool> alive(n, true);
+  std::vector<uint32_t> in_deg(n);
+  std::vector<uint32_t> out_deg(n);
+  for (VertexId v = 0; v < n; ++v) {
+    in_deg[v] = graph.InDegree(v);
+    out_deg[v] = graph.OutDegree(v);
+  }
+  PeelViolators(graph, k, l, alive, in_deg, out_deg, nullptr);
+  return alive;
+}
+
+DCoreDecomposition ComputeDCoreDecomposition(const DirectedGraph& graph,
+                                             uint32_t l) {
+  const VertexId n = graph.NumVertices();
+  DCoreDecomposition result;
+  result.k_number.assign(n, 0);
+  result.in_any_core.assign(n, true);
+
+  std::vector<bool> alive(n, true);
+  std::vector<uint32_t> in_deg(n);
+  std::vector<uint32_t> out_deg(n);
+  for (VertexId v = 0; v < n; ++v) {
+    in_deg[v] = graph.InDegree(v);
+    out_deg[v] = graph.OutDegree(v);
+  }
+
+  // (0,l)-core first: vertices peeled here belong to no (k,l)-core.
+  {
+    std::vector<VertexId> removed;
+    PeelViolators(graph, 0, l, alive, in_deg, out_deg, &removed);
+    for (VertexId v : removed) result.in_any_core[v] = false;
+  }
+
+  // Raise k until everything is gone; the k at which a vertex is peeled
+  // (minus one) is its D-core k-number.
+  uint64_t alive_count = 0;
+  for (VertexId v = 0; v < n; ++v) alive_count += alive[v];
+  uint32_t k = 1;
+  while (alive_count > 0) {
+    std::vector<VertexId> removed;
+    PeelViolators(graph, k, l, alive, in_deg, out_deg, &removed);
+    for (VertexId v : removed) result.k_number[v] = k - 1;
+    alive_count -= removed.size();
+    ++k;
+    KCORE_CHECK_LE(k, graph.NumVertices() + 2);
+  }
+  return result;
+}
+
+}  // namespace kcore

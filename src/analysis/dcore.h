@@ -1,0 +1,34 @@
+#ifndef KCORE_ANALYSIS_DCORE_H_
+#define KCORE_ANALYSIS_DCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace kcore {
+
+/// D-core variant for directed graphs (paper §II-C, Giatsidis et al.
+/// [46][47]): the (k,l)-core is the largest subgraph in which every vertex
+/// has in-degree >= k and out-degree >= l.
+
+/// Membership of the (k,l)-core: returns a bitmap over vertices.
+std::vector<bool> ComputeDCoreMembers(const DirectedGraph& graph, uint32_t k,
+                                      uint32_t l);
+
+/// For a fixed out-degree bound l, the directed analogue of core numbers:
+/// result[v] = the largest k such that v belongs to the (k,l)-core
+/// (vertices in no (0,l)-core — i.e. peeled purely for out-degree — get
+/// k-number 0 and are reported in the companion bitmap).
+struct DCoreDecomposition {
+  std::vector<uint32_t> k_number;
+  /// in_any_core[v] = v survives the (0,l)-core (meets the out-bound).
+  std::vector<bool> in_any_core;
+};
+
+DCoreDecomposition ComputeDCoreDecomposition(const DirectedGraph& graph,
+                                             uint32_t l);
+
+}  // namespace kcore
+
+#endif  // KCORE_ANALYSIS_DCORE_H_

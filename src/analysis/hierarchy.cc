@@ -1,0 +1,150 @@
+#include "analysis/hierarchy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace kcore {
+
+namespace {
+
+/// Union-find over vertices with path halving; carries the list of current
+/// top-level hierarchy nodes per component (merged small-to-large).
+class Dsu {
+ public:
+  explicit Dsu(VertexId n) : parent_(n), top_nodes_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  VertexId Find(VertexId v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  /// Unions the components of a and b; returns the surviving root.
+  VertexId Union(VertexId a, VertexId b) {
+    VertexId ra = Find(a);
+    VertexId rb = Find(b);
+    if (ra == rb) return ra;
+    if (top_nodes_[ra].size() < top_nodes_[rb].size()) std::swap(ra, rb);
+    parent_[rb] = ra;
+    top_nodes_[ra].insert(top_nodes_[ra].end(), top_nodes_[rb].begin(),
+                          top_nodes_[rb].end());
+    top_nodes_[rb].clear();
+    top_nodes_[rb].shrink_to_fit();
+    return ra;
+  }
+
+  std::vector<int32_t>& top_nodes(VertexId root) { return top_nodes_[root]; }
+
+ private:
+  std::vector<VertexId> parent_;
+  /// Current top-level node indices under each root (valid at roots only).
+  std::vector<std::vector<int32_t>> top_nodes_;
+};
+
+}  // namespace
+
+std::vector<VertexId> CoreHierarchy::ComponentVertices(int32_t node) const {
+  KCORE_CHECK_GE(node, 0);
+  KCORE_CHECK_LT(static_cast<size_t>(node), nodes.size());
+  // Children appear after parents is NOT guaranteed; collect by scanning.
+  std::vector<std::vector<int32_t>> children(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].parent >= 0) {
+      children[nodes[i].parent].push_back(static_cast<int32_t>(i));
+    }
+  }
+  std::vector<VertexId> out;
+  std::vector<int32_t> stack = {node};
+  while (!stack.empty()) {
+    const int32_t cur = stack.back();
+    stack.pop_back();
+    out.insert(out.end(), nodes[cur].vertices.begin(),
+               nodes[cur].vertices.end());
+    for (int32_t child : children[cur]) stack.push_back(child);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+CoreHierarchy BuildCoreHierarchy(const CsrGraph& graph,
+                                 const std::vector<uint32_t>& core) {
+  const VertexId n = graph.NumVertices();
+  KCORE_CHECK_EQ(core.size(), static_cast<size_t>(n));
+  CoreHierarchy hierarchy;
+  hierarchy.node_of.assign(n, -1);
+  if (n == 0) return hierarchy;
+
+  // Bucket vertices by core number.
+  const uint32_t k_max = *std::max_element(core.begin(), core.end());
+  std::vector<std::vector<VertexId>> shell(k_max + 1);
+  for (VertexId v = 0; v < n; ++v) shell[core[v]].push_back(v);
+
+  Dsu dsu(n);
+  std::vector<bool> present(n, false);
+
+  for (uint32_t k = k_max + 1; k-- > 0;) {
+    // Add the k-shell and connect within the current (>=k)-core.
+    for (VertexId v : shell[k]) present[v] = true;
+    for (VertexId v : shell[k]) {
+      for (VertexId u : graph.Neighbors(v)) {
+        if (present[u]) dsu.Union(v, u);
+      }
+    }
+    // Every component containing a shell-k vertex changed at this level:
+    // emit one node per such root, absorbing the previous top nodes.
+    // Group the shell vertices by root.
+    std::vector<std::pair<VertexId, VertexId>> by_root;  // (root, vertex)
+    by_root.reserve(shell[k].size());
+    for (VertexId v : shell[k]) by_root.emplace_back(dsu.Find(v), v);
+    std::sort(by_root.begin(), by_root.end());
+    size_t i = 0;
+    while (i < by_root.size()) {
+      const VertexId root = by_root[i].first;
+      const auto node_index = static_cast<int32_t>(hierarchy.nodes.size());
+      CoreHierarchyNode node;
+      node.k = k;
+      while (i < by_root.size() && by_root[i].first == root) {
+        node.vertices.push_back(by_root[i].second);
+        hierarchy.node_of[by_root[i].second] = node_index;
+        ++i;
+      }
+      for (int32_t child : dsu.top_nodes(root)) {
+        hierarchy.nodes[child].parent = node_index;
+      }
+      dsu.top_nodes(root) = {node_index};
+      hierarchy.nodes.push_back(std::move(node));
+    }
+  }
+  return hierarchy;
+}
+
+int32_t DensestComponentContaining(const CoreHierarchy& hierarchy, VertexId v,
+                                   size_t min_size) {
+  KCORE_CHECK_LT(static_cast<size_t>(v), hierarchy.node_of.size());
+  // Subtree sizes: children always precede parents in creation order is not
+  // guaranteed, so accumulate bottom-up via parent pointers.
+  std::vector<size_t> size(hierarchy.nodes.size(), 0);
+  for (size_t i = 0; i < hierarchy.nodes.size(); ++i) {
+    size[i] += hierarchy.nodes[i].vertices.size();
+  }
+  // Nodes are created from k_max downward, so a child (higher k) always has
+  // a smaller index than its parent; a single forward pass pushes sizes up.
+  for (size_t i = 0; i < hierarchy.nodes.size(); ++i) {
+    const int32_t parent = hierarchy.nodes[i].parent;
+    if (parent >= 0) size[parent] += size[i];
+  }
+  int32_t node = hierarchy.node_of[v];
+  while (node >= 0) {
+    if (size[node] >= min_size) return node;
+    node = hierarchy.nodes[node].parent;
+  }
+  return -1;
+}
+
+}  // namespace kcore

@@ -1,0 +1,55 @@
+#ifndef KCORE_ANALYSIS_HIERARCHY_H_
+#define KCORE_ANALYSIS_HIERARCHY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace kcore {
+
+/// One node of the hierarchical core decomposition (HCD, paper §II-C): a
+/// connected component of the k-core, for the largest k at which this
+/// component exists with this exact extent. Children are the denser
+/// components it contains (k' > k).
+struct CoreHierarchyNode {
+  uint32_t k = 0;
+  /// Index of the parent node (the enclosing lower-k component); -1 for
+  /// roots (components of the 0-core, i.e. connected components plus
+  /// isolated vertices).
+  int32_t parent = -1;
+  /// Vertices whose highest-k component is this node (i.e. vertices with
+  /// core number k lying in this component). Each vertex appears in exactly
+  /// one node; a node's full component is itself plus its descendants.
+  std::vector<VertexId> vertices;
+};
+
+/// The HCD forest.
+struct CoreHierarchy {
+  std::vector<CoreHierarchyNode> nodes;
+  /// node_of[v] = index of the node whose `vertices` contains v.
+  std::vector<int32_t> node_of;
+
+  /// All vertices of the component represented by `node` (the node's own
+  /// vertices plus every descendant's).
+  std::vector<VertexId> ComponentVertices(int32_t node) const;
+};
+
+/// Builds the core-decomposition hierarchy in O(m α(n)): processes levels
+/// from k_max down to 0, adding each k-shell and union-finding components;
+/// a node is emitted whenever a component's membership changes at a level
+/// (new shell vertices joined or sub-components merged).
+CoreHierarchy BuildCoreHierarchy(const CsrGraph& graph,
+                                 const std::vector<uint32_t>& core);
+
+/// Finds the "best" k-core component containing `v` with at least
+/// `min_size` vertices: the densest (largest-k) ancestor-or-self component
+/// of v meeting the size bound. Returns the node index, or -1 if even v's
+/// root component is smaller than min_size. (The query HCD exists to answer
+/// efficiently — paper §II-C [37].)
+int32_t DensestComponentContaining(const CoreHierarchy& hierarchy, VertexId v,
+                                   size_t min_size);
+
+}  // namespace kcore
+
+#endif  // KCORE_ANALYSIS_HIERARCHY_H_

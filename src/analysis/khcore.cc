@@ -1,0 +1,86 @@
+#include "analysis/khcore.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace kcore {
+
+uint32_t HHopDegree(const CsrGraph& graph, VertexId v, uint32_t h,
+                    const std::vector<bool>& alive) {
+  KCORE_CHECK(alive[v]);
+  // Bounded BFS over alive vertices.
+  std::vector<uint32_t> depth(graph.NumVertices(),
+                              std::numeric_limits<uint32_t>::max());
+  std::queue<VertexId> queue;
+  depth[v] = 0;
+  queue.push(v);
+  uint32_t count = 0;
+  while (!queue.empty()) {
+    const VertexId x = queue.front();
+    queue.pop();
+    if (depth[x] == h) continue;
+    for (VertexId u : graph.Neighbors(x)) {
+      if (alive[u] && depth[u] == std::numeric_limits<uint32_t>::max()) {
+        depth[u] = depth[x] + 1;
+        ++count;
+        queue.push(u);
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<uint32_t> ComputeKhCores(const CsrGraph& graph, uint32_t h) {
+  KCORE_CHECK_GE(h, 1u);
+  const VertexId n = graph.NumVertices();
+  std::vector<uint32_t> core(n, 0);
+  std::vector<bool> alive(n, true);
+  std::vector<uint32_t> hdeg(n, 0);
+  for (VertexId v = 0; v < n; ++v) hdeg[v] = HHopDegree(graph, v, h, alive);
+
+  uint64_t remaining = n;
+  uint32_t k = 0;
+  while (remaining > 0) {
+    // Remove every alive vertex with h-hop degree <= k, cascading.
+    std::vector<VertexId> stack;
+    for (VertexId v = 0; v < n; ++v) {
+      if (alive[v] && hdeg[v] <= k) stack.push_back(v);
+    }
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      if (!alive[v] || hdeg[v] > k) continue;
+      alive[v] = false;
+      core[v] = k;
+      --remaining;
+      // Removing v can shrink the h-neighborhood of any vertex within h
+      // hops of v (v was counted, or was an intermediate). Recompute them.
+      std::vector<uint32_t> depth(n, std::numeric_limits<uint32_t>::max());
+      std::queue<VertexId> queue;
+      depth[v] = 0;
+      queue.push(v);
+      while (!queue.empty()) {
+        const VertexId x = queue.front();
+        queue.pop();
+        if (depth[x] == h) continue;
+        for (VertexId u : graph.Neighbors(x)) {
+          if (alive[u] &&
+              depth[u] == std::numeric_limits<uint32_t>::max()) {
+            depth[u] = depth[x] + 1;
+            queue.push(u);
+            const uint32_t fresh = HHopDegree(graph, u, h, alive);
+            hdeg[u] = fresh;
+            if (fresh <= k) stack.push_back(u);
+          }
+        }
+      }
+    }
+    ++k;
+  }
+  return core;
+}
+
+}  // namespace kcore

@@ -1,0 +1,30 @@
+#ifndef KCORE_ANALYSIS_KHCORE_H_
+#define KCORE_ANALYSIS_KHCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace kcore {
+
+/// Distance-generalized (k,h)-core decomposition (paper §II-C, Bonchi et
+/// al. [33]): the (k,h)-core is the largest subgraph where every vertex has
+/// at least k distinct vertices within h hops (inside the subgraph).
+/// h = 1 degenerates to the classic k-core.
+///
+/// Returns per-vertex (k,h)-core numbers via direct peeling with h-hop
+/// degree recomputation — the baseline algorithm [33] improves on, suitable
+/// for the moderate graphs this library's analyses target (h is typically
+/// 2 or 3).
+std::vector<uint32_t> ComputeKhCores(const CsrGraph& graph, uint32_t h);
+
+/// The h-hop degree of `v` among vertices where alive[u] is true: the
+/// number of distinct alive vertices (excluding v) reachable from v within
+/// h hops using only alive intermediate vertices.
+uint32_t HHopDegree(const CsrGraph& graph, VertexId v, uint32_t h,
+                    const std::vector<bool>& alive);
+
+}  // namespace kcore
+
+#endif  // KCORE_ANALYSIS_KHCORE_H_

@@ -1,0 +1,57 @@
+#include "analysis/snapshots.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "cpu/bz.h"
+#include "graph/graph_builder.h"
+
+namespace kcore {
+
+SnapshotCore AnalyzeSnapshot(const CitationCorpus& corpus,
+                             uint32_t cutoff_year) {
+  SnapshotCore snapshot;
+  snapshot.cutoff_year = cutoff_year;
+
+  const EdgeList edges = BuildAuthorInteractionEdges(corpus, cutoff_year);
+  auto built = BuildGraph(edges);  // recodes author IDs densely
+  KCORE_CHECK(built.ok());
+  const CsrGraph& graph = built->graph;
+  snapshot.num_authors = graph.NumVertices();
+  snapshot.num_edges = graph.NumUndirectedEdges();
+  if (graph.NumVertices() == 0) return snapshot;
+
+  const DecomposeResult result = RunBz(graph);
+  snapshot.k_max = result.MaxCore();
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (result.core[v] == snapshot.k_max) {
+      snapshot.kmax_core_authors.push_back(built->original_ids[v]);
+    }
+  }
+  std::sort(snapshot.kmax_core_authors.begin(),
+            snapshot.kmax_core_authors.end());
+  return snapshot;
+}
+
+SnapshotComparison CompareSnapshots(const SnapshotCore& first,
+                                    const SnapshotCore& second) {
+  SnapshotComparison cmp;
+  std::set_intersection(first.kmax_core_authors.begin(),
+                        first.kmax_core_authors.end(),
+                        second.kmax_core_authors.begin(),
+                        second.kmax_core_authors.end(),
+                        std::back_inserter(cmp.in_both));
+  std::set_difference(second.kmax_core_authors.begin(),
+                      second.kmax_core_authors.end(),
+                      first.kmax_core_authors.begin(),
+                      first.kmax_core_authors.end(),
+                      std::back_inserter(cmp.only_second));
+  std::set_difference(first.kmax_core_authors.begin(),
+                      first.kmax_core_authors.end(),
+                      second.kmax_core_authors.begin(),
+                      second.kmax_core_authors.end(),
+                      std::back_inserter(cmp.only_first));
+  return cmp;
+}
+
+}  // namespace kcore

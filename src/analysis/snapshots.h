@@ -1,0 +1,41 @@
+#ifndef KCORE_ANALYSIS_SNAPSHOTS_H_
+#define KCORE_ANALYSIS_SNAPSHOTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "generators/citation.h"
+#include "graph/csr_graph.h"
+
+namespace kcore {
+
+/// One temporal snapshot of the co-citation case study (paper §VI Fig. 10):
+/// the author interaction network of papers published up to `cutoff_year`,
+/// its k_max, and the authors in the k_max-core.
+struct SnapshotCore {
+  uint32_t cutoff_year = 0;
+  uint32_t k_max = 0;
+  uint64_t num_authors = 0;  ///< Vertices of the snapshot network.
+  uint64_t num_edges = 0;
+  std::vector<uint64_t> kmax_core_authors;  ///< Original author IDs, sorted.
+};
+
+/// Builds the author interaction network up to `cutoff_year` and extracts
+/// its k_max-core membership.
+SnapshotCore AnalyzeSnapshot(const CitationCorpus& corpus,
+                             uint32_t cutoff_year);
+
+/// The Fig. 10 set algebra between two snapshots S1 (earlier) and S2:
+/// authors most-active in both periods, newly most-active, and dropped out.
+struct SnapshotComparison {
+  std::vector<uint64_t> in_both;      ///< S1 ∩ S2 (word-cloud center).
+  std::vector<uint64_t> only_second;  ///< S2 − S1 (middle ring).
+  std::vector<uint64_t> only_first;   ///< S1 − S2 (bottom).
+};
+
+SnapshotComparison CompareSnapshots(const SnapshotCore& first,
+                                    const SnapshotCore& second);
+
+}  // namespace kcore
+
+#endif  // KCORE_ANALYSIS_SNAPSHOTS_H_

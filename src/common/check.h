@@ -1,0 +1,40 @@
+#ifndef KCORE_COMMON_CHECK_H_
+#define KCORE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kcore::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "KCORE_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace kcore::internal
+
+/// Aborts the process when `cond` is false. Used for invariants whose
+/// violation indicates a bug, never for recoverable conditions (use Status).
+#define KCORE_CHECK(cond)                                          \
+  do {                                                             \
+    if (!(cond)) ::kcore::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (false)
+
+#define KCORE_CHECK_EQ(a, b) KCORE_CHECK((a) == (b))
+#define KCORE_CHECK_NE(a, b) KCORE_CHECK((a) != (b))
+#define KCORE_CHECK_LT(a, b) KCORE_CHECK((a) < (b))
+#define KCORE_CHECK_LE(a, b) KCORE_CHECK((a) <= (b))
+#define KCORE_CHECK_GT(a, b) KCORE_CHECK((a) > (b))
+#define KCORE_CHECK_GE(a, b) KCORE_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define KCORE_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#else
+#define KCORE_DCHECK(cond) KCORE_CHECK(cond)
+#endif
+
+#endif  // KCORE_COMMON_CHECK_H_

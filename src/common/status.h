@@ -1,0 +1,112 @@
+#ifndef KCORE_COMMON_STATUS_H_
+#define KCORE_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace kcore {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// Status idiom: recoverable failures are reported as values, never thrown.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kIOError = 2,
+  kOutOfMemory = 3,
+  kCapacityExceeded = 4,  ///< A fixed-size device buffer overflowed.
+  kNotFound = 5,
+  kFailedPrecondition = 6,
+  kCorruption = 7,  ///< A persisted graph file failed validation.
+  kInternal = 8,
+  kTimeout = 9,  ///< Modeled time exceeded the benchmark budget (">1hr").
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap value-semantics error carrier. `Status::OK()` is the success
+/// value; failures carry a code and a message. Callers must not ignore a
+/// returned Status (enforced with [[nodiscard]]).
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// The success value.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
+  bool IsCapacityExceeded() const {
+    return code_ == StatusCode::kCapacityExceeded;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define KCORE_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::kcore::Status _kcore_status = (expr);         \
+    if (!_kcore_status.ok()) return _kcore_status;  \
+  } while (false)
+
+}  // namespace kcore
+
+#endif  // KCORE_COMMON_STATUS_H_

@@ -1,0 +1,65 @@
+#ifndef KCORE_COMMON_STATUSOR_H_
+#define KCORE_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace kcore {
+
+/// A union of a Status and a value of type T; either holds an OK status and
+/// a value, or a non-OK status and no value. Modeled on absl::StatusOr.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  /// Constructs from a failure status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    KCORE_CHECK(!status_.ok());
+  }
+
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accessors require ok(); violating this is a programming error.
+  const T& value() const& {
+    KCORE_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    KCORE_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    KCORE_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a StatusOr expression to `lhs`, or propagates the
+/// failure status to the caller.
+#define KCORE_ASSIGN_OR_RETURN(lhs, expr)               \
+  auto KCORE_CONCAT_(_statusor_, __LINE__) = (expr);    \
+  if (!KCORE_CONCAT_(_statusor_, __LINE__).ok())        \
+    return KCORE_CONCAT_(_statusor_, __LINE__).status(); \
+  lhs = std::move(KCORE_CONCAT_(_statusor_, __LINE__)).value()
+
+#define KCORE_CONCAT_INNER_(a, b) a##b
+#define KCORE_CONCAT_(a, b) KCORE_CONCAT_INNER_(a, b)
+
+}  // namespace kcore
+
+#endif  // KCORE_COMMON_STATUSOR_H_

@@ -1,0 +1,67 @@
+#include "common/strings.h"
+
+#include <cstdio>
+
+namespace kcore {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string WithCommas(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && i >= first_group && (i - first_group) % 3 == 0) {
+      out.push_back(',');
+    }
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  return unit == 0 ? StrFormat("%llu B", static_cast<unsigned long long>(bytes))
+                   : StrFormat("%.1f %s", value, kUnits[unit]);
+}
+
+std::vector<std::string> SplitNonEmpty(const std::string& text,
+                                       const std::string& delims) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (start < text.size()) {
+    const size_t end = text.find_first_of(delims, start);
+    const size_t stop = end == std::string::npos ? text.size() : end;
+    if (stop > start) fields.push_back(text.substr(start, stop - start));
+    start = stop + 1;
+  }
+  return fields;
+}
+
+bool StartsWith(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace kcore

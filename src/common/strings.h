@@ -1,0 +1,30 @@
+#ifndef KCORE_COMMON_STRINGS_H_
+#define KCORE_COMMON_STRINGS_H_
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kcore {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats an integer with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string WithCommas(uint64_t value);
+
+/// Formats a byte count as a human-readable string ("1.5 GB").
+std::string HumanBytes(uint64_t bytes);
+
+/// Splits `text` on any of the characters in `delims`, skipping empty fields.
+std::vector<std::string> SplitNonEmpty(const std::string& text,
+                                       const std::string& delims);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(const std::string& text, const std::string& prefix);
+
+}  // namespace kcore
+
+#endif  // KCORE_COMMON_STRINGS_H_

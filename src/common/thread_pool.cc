@@ -1,0 +1,92 @@
+#include "common/thread_pool.h"
+
+#include "common/check.h"
+
+namespace kcore {
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  if (num_threads == 0) {
+    const uint32_t hw = std::thread::hardware_concurrency();
+    num_threads = hw < 2 ? 2 : hw;
+  }
+  workers_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (current_ != nullptr && epoch_ != seen_epoch);
+      });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      batch = current_;
+    }
+    HelpRun(*batch);
+  }
+}
+
+void ThreadPool::HelpRun(Batch& batch) {
+  while (true) {
+    const uint64_t index = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (index >= batch.count) break;
+    (*batch.fn)(index);
+    if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        batch.count) {
+      // Notify while holding the lock so a waiter that has checked the
+      // predicate but not yet blocked cannot miss the wakeup.
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(uint64_t count,
+                             const std::function<void(uint64_t)>& fn) {
+  if (count == 0) return;
+  auto batch = std::make_shared<Batch>();
+  batch->count = count;
+  batch->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    KCORE_CHECK(current_ == nullptr);
+    current_ = batch;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  HelpRun(*batch);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return batch->done.load(std::memory_order_acquire) == batch->count;
+    });
+    current_.reset();
+  }
+}
+
+void ThreadPool::RunLanes(uint32_t lanes,
+                          const std::function<void(uint32_t)>& fn) {
+  ParallelFor(lanes, [&fn](uint64_t i) { fn(static_cast<uint32_t>(i)); });
+}
+
+ThreadPool& DefaultThreadPool() {
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+}  // namespace kcore

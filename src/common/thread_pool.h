@@ -1,0 +1,73 @@
+#ifndef KCORE_COMMON_THREAD_POOL_H_
+#define KCORE_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kcore {
+
+/// A persistent pool of worker threads executing indexed task batches.
+///
+/// The pool exists so that simulated GPU thread blocks and CPU-parallel
+/// baselines run on real OS threads (true concurrency and real data races on
+/// atomics) without paying thread spawn cost per kernel launch.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 picks max(2, hardware_concurrency) so
+  /// that even single-core hosts exercise preemptive interleaving.
+  explicit ThreadPool(uint32_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_threads() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+  /// Runs fn(i) for i in [0, count), distributing indices dynamically over
+  /// the workers plus the calling thread. Blocks until all complete.
+  /// `fn` must be safe to invoke concurrently from multiple threads.
+  void ParallelFor(uint64_t count, const std::function<void(uint64_t)>& fn);
+
+  /// Runs fn(lane) once for each lane in [0, lanes). Lanes may exceed the
+  /// physical worker count; extras are multiplexed. Used by algorithms with
+  /// a fixed logical thread count (e.g. PKC with T logical threads).
+  void RunLanes(uint32_t lanes, const std::function<void(uint32_t)>& fn);
+
+ private:
+  /// One ParallelFor invocation. Kept in a shared_ptr so a straggling worker
+  /// that wakes after completion still touches valid memory; it can only
+  /// observe `next >= count` and exits without calling `fn`.
+  struct Batch {
+    uint64_t count = 0;
+    const std::function<void(uint64_t)>* fn = nullptr;
+    std::atomic<uint64_t> next{0};
+    std::atomic<uint64_t> done{0};
+  };
+
+  void WorkerLoop();
+  void HelpRun(Batch& batch);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Batch> current_;  // guarded by mu_
+  uint64_t epoch_ = 0;              // guarded by mu_
+  bool shutdown_ = false;           // guarded by mu_
+};
+
+/// Process-wide default pool (lazily created, intentionally leaked so worker
+/// threads never outlive the pool object).
+ThreadPool& DefaultThreadPool();
+
+}  // namespace kcore
+
+#endif  // KCORE_COMMON_THREAD_POOL_H_

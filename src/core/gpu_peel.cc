@@ -1,0 +1,492 @@
+#include "core/gpu_peel.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/strings.h"
+#include "common/timer.h"
+#include "cusim/atomics.h"
+#include "cusim/warp_scan.h"
+
+namespace kcore {
+
+namespace {
+
+using sim::AtomicAdd;
+using sim::AtomicSub;
+using sim::BlockCtx;
+using sim::GlobalLoad;
+using sim::GlobalStore;
+using sim::kWarpSize;
+using sim::MemSpace;
+using sim::WarpCtx;
+
+/// Device pointers and launch-invariant configuration shared by the kernels
+/// of one decomposition run.
+struct KernelCtx {
+  const EdgeIndex* offsets = nullptr;
+  const VertexId* neighbors = nullptr;
+  uint32_t* deg = nullptr;
+  VertexId* buf = nullptr;       ///< num_blocks * capacity slots.
+  uint64_t* buf_e = nullptr;     ///< Per-block buf[i].e handoff (scan->loop).
+  uint64_t* gpu_count = nullptr;
+  uint32_t* overflow = nullptr;  ///< Sticky overflow flag.
+  uint64_t capacity = 0;         ///< Per-block buffer capacity (IDs).
+  VertexId num_vertices = 0;
+  bool ring = false;
+  bool sm = false;               ///< Shared-memory buffering enabled.
+  uint32_t shared_capacity = 0;  ///< n_B (only when sm).
+  AppendStrategy append = AppendStrategy::kAtomic;
+};
+
+/// Per-block view of buf[i] implementing the position translation of the
+/// paper's Fig. 7 (shared-memory buffer B spliced between the initial scan
+/// segment and the rest of the global buffer) plus ring-buffer wrapping.
+class BlockBuffer {
+ public:
+  BlockBuffer(const KernelCtx& ctx, BlockCtx& block, VertexId* shared_b,
+              uint64_t e_init)
+      : ctx_(ctx),
+        block_(block),
+        base_(static_cast<uint64_t>(block.block_id()) * ctx.capacity),
+        shared_b_(shared_b),
+        e_init_(e_init) {}
+
+  VertexId Fetch(uint64_t logical, PerfCounters& c) const {
+    if (ctx_.sm && logical >= e_init_) {
+      const uint64_t rel = logical - e_init_;
+      if (rel < ctx_.shared_capacity) {
+        ++c.shared_ops;
+        return shared_b_[rel];
+      }
+      logical -= ctx_.shared_capacity;
+    }
+    return GlobalLoad(&ctx_.buf[base_ + Physical(logical)], c);
+  }
+
+  /// Appends `v` at logical position `loc`. `observed_s` is the current
+  /// consumption point, used for the ring-backlog overflow check.
+  void Store(uint64_t loc, VertexId v, uint64_t observed_s,
+             PerfCounters& c) const {
+    if (ctx_.sm && loc >= e_init_) {
+      const uint64_t rel = loc - e_init_;
+      if (rel < ctx_.shared_capacity) {
+        ++c.shared_ops;
+        shared_b_[rel] = v;
+        return;
+      }
+      loc -= ctx_.shared_capacity;
+    }
+    const uint64_t extra = ctx_.sm ? ctx_.shared_capacity : 0;
+    if (ctx_.ring) {
+      if (loc + 1 > observed_s + ctx_.capacity + extra) {
+        sim::AtomicMax(ctx_.overflow, 1u, c);
+        return;
+      }
+    } else if (loc >= ctx_.capacity) {
+      sim::AtomicMax(ctx_.overflow, 1u, c);
+      return;
+    }
+    GlobalStore(&ctx_.buf[base_ + Physical(loc)], v, c);
+  }
+
+ private:
+  uint64_t Physical(uint64_t pos) const {
+    return ctx_.ring ? pos % ctx_.capacity : std::min(pos, ctx_.capacity - 1);
+  }
+
+  const KernelCtx& ctx_;
+  BlockCtx& block_;
+  uint64_t base_;
+  VertexId* shared_b_;
+  uint64_t e_init_;
+};
+
+// ---------------------------------------------------------------------------
+// Scan kernel (Algorithm 2): collect degree-k vertices into buf[block].
+// ---------------------------------------------------------------------------
+
+void ScanKernel(const KernelCtx& ctx, uint32_t k, BlockCtx& block) {
+  PerfCounters& c = block.counters();
+  auto* e = block.SharedAlloc<uint64_t>(1);  // Line 1: thread 0 zeroes e.
+  block.Sync();                              // Line 2.
+
+  const uint64_t base = static_cast<uint64_t>(block.block_id()) * ctx.capacity;
+  const uint64_t grid_threads = block.grid_threads();
+  const uint64_t block_first =
+      static_cast<uint64_t>(block.block_id()) * block.block_dim();
+
+  auto raw_store = [&](uint64_t pos, VertexId v) {
+    // Scan starts at logical 0 each round, so the ring cannot recycle yet:
+    // more than `capacity` collected vertices is an overflow either way.
+    if (pos >= ctx.capacity) {
+      sim::AtomicMax(ctx.overflow, 1u, c);
+      return;
+    }
+    GlobalStore(&ctx.buf[base + pos], v, c);
+  };
+
+  // Grid-stride sweeps (Lines 3-5): in sweep `s`, this block's threads
+  // examine vertices [s + block_first, s + block_first + block_dim).
+  for (uint64_t s = 0; s < ctx.num_vertices; s += grid_threads) {
+    const uint64_t sweep_base = s + block_first;
+    if (sweep_base >= ctx.num_vertices) continue;
+
+    switch (ctx.append) {
+      case AppendStrategy::kAtomic: {
+        block.ForEachThread([&](uint32_t t) {
+          const uint64_t v = sweep_base + t;
+          if (v >= ctx.num_vertices) return;  // Line 5.
+          ++c.vertices_scanned;
+          const uint32_t dv = GlobalLoad(&ctx.deg[v], c);
+          if (dv == k) {  // Line 6.
+            const uint64_t pos =
+                AtomicAdd(e, uint64_t{1}, c, MemSpace::kShared);  // Line 7.
+            raw_store(pos, static_cast<VertexId>(v));             // Line 9.
+            ++c.buffer_appends;
+          }
+        });
+        break;
+      }
+      case AppendStrategy::kBallotCompact: {
+        // Warp-level compaction (Fig. 8): one shared atomicAdd per warp.
+        block.ForEachWarp([&](WarpCtx& warp) {
+          uint32_t flags[kWarpSize] = {0};
+          VertexId cand[kWarpSize] = {0};
+          warp.ForEachLane([&](uint32_t lane) {
+            const uint64_t v =
+                sweep_base + warp.warp_id() * kWarpSize + lane;
+            if (v >= ctx.num_vertices) return;
+            ++c.vertices_scanned;
+            if (GlobalLoad(&ctx.deg[v], c) == k) {
+              flags[lane] = 1;
+              cand[lane] = static_cast<VertexId>(v);
+            }
+          });
+          uint32_t exclusive[kWarpSize];
+          const uint32_t total = BallotExclusiveScan(warp, flags, exclusive);
+          if (total == 0) return;
+          const uint64_t e_old =
+              AtomicAdd(e, uint64_t{total}, c, MemSpace::kShared);
+          ++c.shared_ops;  // __shfl_sync broadcast of e_old (Fig. 8 line 5).
+          warp.ForEachLane([&](uint32_t lane) {
+            if (flags[lane] != 0) {
+              raw_store(e_old + exclusive[lane], cand[lane]);
+              ++c.buffer_appends;
+            }
+          });
+        });
+        break;
+      }
+      case AppendStrategy::kEfficientCompact: {
+        // Block-level two-stage compaction (Fig. 9): one shared atomicAdd
+        // per block per sweep.
+        const uint32_t dim = block.block_dim();
+        std::vector<uint32_t> flags(dim, 0);
+        std::vector<VertexId> cand(dim, 0);
+        block.ForEachThread([&](uint32_t t) {
+          const uint64_t v = sweep_base + t;
+          if (v >= ctx.num_vertices) return;
+          ++c.vertices_scanned;
+          if (GlobalLoad(&ctx.deg[v], c) == k) {
+            flags[t] = 1;
+            cand[t] = static_cast<VertexId>(v);
+          }
+        });
+        c.shared_ops += dim;  // vid/p staging arrays live in shared memory.
+        std::vector<uint32_t> exclusive(dim);
+        const uint32_t total =
+            BlockExclusiveScan(block, flags.data(), exclusive.data());
+        if (total == 0) break;
+        const uint64_t e_old =
+            AtomicAdd(e, uint64_t{total}, c, MemSpace::kShared);
+        block.ForEachThread([&](uint32_t t) {
+          if (flags[t] != 0) {
+            raw_store(e_old + exclusive[t], cand[t]);
+            ++c.buffer_appends;
+          }
+        });
+        break;
+      }
+    }
+  }
+
+  block.Sync();
+  // Thread 0 backs e up to global memory for the loop kernel (§IV-B).
+  GlobalStore(&ctx.buf_e[block.block_id()], *e, c);
+}
+
+// ---------------------------------------------------------------------------
+// Loop kernel (Algorithm 3): BFS k-shell propagation from the scanned seeds.
+// ---------------------------------------------------------------------------
+
+/// Lines 13-24: one warp processes vertex v's adjacency list in 32-neighbor
+/// chunks, decrementing degrees and appending new k-shell vertices.
+void ProcessVertex(const KernelCtx& ctx, uint32_t k, const BlockBuffer& buf,
+                   uint64_t* e, const uint64_t* s, WarpCtx& warp,
+                   VertexId v, PerfCounters& c) {
+  uint64_t pos_s = GlobalLoad(&ctx.offsets[v], c);  // Line 13.
+  const uint64_t pos_e = GlobalLoad(&ctx.offsets[v + 1], c);
+
+  while (pos_s < pos_e) {  // Lines 14-16.
+    warp.SyncWarp();       // Line 15.
+
+    // Per-lane neighbor examination; with compaction enabled the appends of
+    // this chunk are batched through a ballot scan instead of per-element
+    // shared atomics.
+    uint32_t flags[kWarpSize] = {0};
+    VertexId appended[kWarpSize] = {0};
+    const bool compact = ctx.append != AppendStrategy::kAtomic;
+
+    warp.ForEachLane([&](uint32_t lane) {
+      const uint64_t pos = pos_s + lane;  // Line 17.
+      if (pos >= pos_e) return;           // Line 18.
+      const VertexId u = GlobalLoad(&ctx.neighbors[pos], c);  // Line 19.
+      ++c.edges_traversed;
+      const uint32_t du = GlobalLoad(&ctx.deg[u], c);
+      if (du <= k) return;  // Line 20.
+      const uint32_t old = AtomicSub(&ctx.deg[u], 1u, c);  // Line 21.
+      if (old == k + 1) {  // Line 22: u just entered the k-shell.
+        if (compact) {
+          flags[lane] = 1;
+          appended[lane] = u;
+        } else {
+          const uint64_t loc =
+              AtomicAdd(e, uint64_t{1}, c, MemSpace::kShared);  // Line 23.
+          ++c.shared_ops;  // read of s for the ring-backlog check
+          buf.Store(loc, u, *s, c);
+          ++c.buffer_appends;
+        }
+      } else if (old <= k) {
+        // Line 24: concurrent decrements overshot; restore so deg[u]
+        // converges to core(u) (§IV-B Case 1).
+        AtomicAdd(&ctx.deg[u], 1u, c);
+      }
+    });
+
+    if (compact) {
+      uint32_t exclusive[kWarpSize];
+      const uint32_t total = BallotExclusiveScan(warp, flags, exclusive);
+      if (total != 0) {
+        const uint64_t e_old =
+            AtomicAdd(e, uint64_t{total}, c, MemSpace::kShared);
+        ++c.shared_ops;  // broadcast of e_old.
+        ++c.shared_ops;  // read of s for the ring-backlog check
+        const uint64_t observed_s = *s;
+        warp.ForEachLane([&](uint32_t lane) {
+          if (flags[lane] != 0) {
+            buf.Store(e_old + exclusive[lane], appended[lane], observed_s, c);
+            ++c.buffer_appends;
+          }
+        });
+      }
+    }
+    pos_s += kWarpSize;  // Line 17 (pos_s advance).
+  }
+}
+
+void LoopKernel(const KernelCtx& ctx, uint32_t k, bool vertex_prefetching,
+                BlockCtx& block) {
+  PerfCounters& c = block.counters();
+  const uint32_t num_warps = block.num_warps();
+
+  // Shared state: buffer head/tail (Lines 1-2) + optional SM buffer B and
+  // the VP prefetch array.
+  auto* s = block.SharedAlloc<uint64_t>(1);
+  auto* e = block.SharedAlloc<uint64_t>(1);
+  VertexId* shared_b =
+      ctx.sm ? block.SharedAlloc<VertexId>(ctx.shared_capacity) : nullptr;
+  VertexId* pref =
+      vertex_prefetching ? block.SharedAlloc<VertexId>(num_warps) : nullptr;
+  VertexId* pref_next =
+      vertex_prefetching ? block.SharedAlloc<VertexId>(num_warps) : nullptr;
+
+  *s = 0;
+  *e = GlobalLoad(&ctx.buf_e[block.block_id()], c);  // Line 2.
+  const uint64_t e_init = *e;
+  BlockBuffer buf(ctx, block, shared_b, e_init);
+
+  uint64_t pref_count = 0;
+
+  while (true) {
+    block.Sync();  // Line 4.
+    const uint64_t cur_s = *s;
+    const uint64_t cur_e = *e;
+    c.shared_ops += 2 * block.block_dim();  // every thread reads s and e.
+
+    if (!vertex_prefetching) {
+      if (cur_s == cur_e) break;  // Line 5.
+      // Line 6 computed per warp below; Line 7 barrier:
+      block.Sync();
+      // Lines 9-10: thread 0 advances s for the next iteration.
+      *s = std::min(cur_s + num_warps, cur_e);
+      ++c.shared_ops;
+      block.ForEachWarp([&](WarpCtx& warp) {
+        const uint64_t sp = cur_s + warp.warp_id();  // Line 6.
+        if (sp >= cur_e) return;                     // Line 8: continue.
+        const VertexId v = buf.Fetch(sp, c);         // Line 12.
+        // Defensive: a suppressed overflow store leaves garbage behind; the
+        // host aborts on the flag, but this kernel must not read OOB first.
+        if (v >= ctx.num_vertices) return;
+        ProcessVertex(ctx, k, buf, e, s, warp, v, c);
+      });
+    } else {
+      // VP variant: warps 1..31 process the batch prefetched in the
+      // previous iteration while Warp 0 fetches the next one (§IV-C).
+      if (pref_count == 0 && cur_s == cur_e) break;
+      block.Sync();  // Line 7 analogue.
+      const uint64_t nfetch =
+          std::min<uint64_t>(num_warps - 1, cur_e - cur_s);
+      block.ForEachWarp([&](WarpCtx& warp) {
+        if (warp.warp_id() == 0) {
+          // Lane 0 advances s; __syncwarp; lanes 1.. fetch into pref_next.
+          warp.SyncWarp();
+          warp.ForEachLane([&](uint32_t lane) {
+            if (lane >= 1 && lane <= nfetch) {
+              pref_next[lane - 1] = buf.Fetch(cur_s + lane - 1, c);
+              ++c.shared_ops;
+            }
+          });
+          return;
+        }
+        const uint32_t slot = warp.warp_id() - 1;
+        if (slot >= pref_count) return;
+        const VertexId v = pref[slot];
+        ++c.shared_ops;
+        if (v >= ctx.num_vertices) return;  // see non-VP path comment
+        ProcessVertex(ctx, k, buf, e, s, warp, v, c);
+      });
+      *s = cur_s + nfetch;
+      ++c.shared_ops;
+      std::swap_ranges(pref, pref + num_warps, pref_next);
+      pref_count = nfetch;
+    }
+  }
+
+  block.Sync();  // Line 25.
+  // Line 26: thread 0 adds this block's removed-vertex count to gpu_count.
+  AtomicAdd(ctx.gpu_count, *e, c);
+}
+
+}  // namespace
+
+StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
+  const GpuPeelOptions& opt = options_;
+  if (opt.num_blocks == 0 || opt.block_dim == 0 || opt.block_dim % 32 != 0) {
+    return Status::InvalidArgument("block_dim must be a positive multiple of 32");
+  }
+  if (opt.block_dim / 32 > 32 &&
+      opt.append == AppendStrategy::kEfficientCompact) {
+    return Status::InvalidArgument(
+        "EC block scan requires at most 32 warps per block");
+  }
+  if (opt.vertex_prefetching &&
+      (opt.block_dim / 32 < 2 || opt.block_dim / 32 > 32)) {
+    return Status::InvalidArgument(
+        "vertex prefetching needs 2..32 warps per block (Warp 0's 32 lanes "
+        "must cover the other warps)");
+  }
+  if (opt.shared_memory_buffering &&
+      static_cast<uint64_t>(opt.shared_buffer_capacity) * sizeof(VertexId) +
+              4096 >
+          device_->options().shared_mem_per_block) {
+    return Status::InvalidArgument("shared buffer B exceeds shared memory");
+  }
+
+  WallTimer timer;
+  const VertexId n = graph.NumVertices();
+  device_->ResetClock();
+
+  const uint64_t capacity =
+      opt.buffer_capacity != 0
+          ? opt.buffer_capacity
+          : std::max<uint64_t>(4096, static_cast<uint64_t>(n) / 4);
+
+  // Algorithm 1 Line 1: move the graph (offset/neighbors/deg) to the device.
+  KCORE_ASSIGN_OR_RETURN(auto d_offsets,
+                         device_->Alloc<EdgeIndex>(graph.offsets().size()));
+  KCORE_ASSIGN_OR_RETURN(
+      auto d_neighbors,
+      device_->Alloc<VertexId>(std::max<size_t>(1, graph.neighbors().size())));
+  KCORE_ASSIGN_OR_RETURN(auto d_deg,
+                         device_->Alloc<uint32_t>(std::max<VertexId>(1, n)));
+  KCORE_ASSIGN_OR_RETURN(
+      auto d_buf, device_->Alloc<VertexId>(
+                      static_cast<uint64_t>(opt.num_blocks) * capacity));
+  KCORE_ASSIGN_OR_RETURN(auto d_buf_e,
+                         device_->Alloc<uint64_t>(opt.num_blocks));
+  KCORE_ASSIGN_OR_RETURN(auto d_count, device_->Alloc<uint64_t>(1));
+  KCORE_ASSIGN_OR_RETURN(auto d_overflow, device_->Alloc<uint32_t>(1));
+
+  d_offsets.CopyFromHost(graph.offsets());
+  d_neighbors.CopyFromHost(graph.neighbors());
+  {
+    const std::vector<uint32_t> deg = graph.DegreeArray();
+    d_deg.CopyFromHost(deg);
+  }
+
+  KernelCtx ctx;
+  ctx.offsets = d_offsets.data();
+  ctx.neighbors = d_neighbors.data();
+  ctx.deg = d_deg.data();
+  ctx.buf = d_buf.data();
+  ctx.buf_e = d_buf_e.data();
+  ctx.gpu_count = d_count.data();
+  ctx.overflow = d_overflow.data();
+  ctx.capacity = capacity;
+  ctx.num_vertices = n;
+  ctx.ring = opt.ring_buffer;
+  ctx.sm = opt.shared_memory_buffering;
+  ctx.shared_capacity = opt.shared_buffer_capacity;
+  ctx.append = opt.append;
+
+  DecomposeResult result;
+  uint64_t count = 0;  // Algorithm 1 Line 2.
+  uint32_t k = 0;
+  const uint32_t k_limit = graph.MaxDegree() + 2;
+
+  while (count < n) {  // Line 5.
+    device_->Launch(opt.num_blocks, opt.block_dim, [&](BlockCtx& block) {
+      ScanKernel(ctx, k, block);  // Line 6.
+    });
+    const bool vp = opt.vertex_prefetching;
+    device_->Launch(opt.num_blocks, opt.block_dim, [&](BlockCtx& block) {
+      LoopKernel(ctx, k, vp, block);  // Line 7.
+    });
+
+    uint32_t overflow = 0;
+    d_overflow.CopyToHost({&overflow, 1});
+    if (overflow != 0) {
+      return Status::CapacityExceeded(StrFormat(
+          "block buffer overflow in round k=%u (capacity %llu IDs%s)", k,
+          static_cast<unsigned long long>(capacity),
+          opt.ring_buffer ? ", ring" : ""));
+    }
+    d_count.CopyToHost({&count, 1});  // Line 8.
+    ++k;                              // Line 9.
+    ++result.metrics.rounds;
+    if (k > k_limit) {
+      return Status::Internal("peeling failed to converge");
+    }
+  }
+
+  // Line 10: deg[] now holds the core numbers.
+  result.core.assign(n, 0);
+  d_deg.CopyToHost(result.core);
+
+  result.metrics.wall_ms = timer.ElapsedMillis();
+  result.metrics.modeled_ms = device_->modeled_ms();
+  result.metrics.peak_device_bytes = device_->peak_bytes();
+  result.metrics.counters = device_->totals();
+  return result;
+}
+
+StatusOr<DecomposeResult> RunGpuPeel(const CsrGraph& graph,
+                                     const GpuPeelOptions& options,
+                                     const sim::DeviceOptions& device_options) {
+  sim::Device device(device_options);
+  GpuPeelDecomposer decomposer(&device, options);
+  return decomposer.Decompose(graph);
+}
+
+}  // namespace kcore

@@ -1,0 +1,49 @@
+#ifndef KCORE_CORE_GPU_PEEL_H_
+#define KCORE_CORE_GPU_PEEL_H_
+
+#include "common/statusor.h"
+#include "core/gpu_peel_options.h"
+#include "cusim/device.h"
+#include "graph/csr_graph.h"
+#include "perf/decompose_result.h"
+
+namespace kcore {
+
+/// The paper's primary contribution: PKC-style two-phase peeling executed as
+/// CUDA-style kernels (Algorithms 1-3) on the simulated GPU.
+///
+/// Per round k the host launches a *scan* kernel (each block collects its
+/// degree-k vertices into its global-memory buffer buf[i]) and a *loop*
+/// kernel (each warp pops a frontier vertex, decrements its neighbors'
+/// degrees with atomicSub, rolls back decrements that undershoot k, and
+/// appends neighbors whose degree reaches k). deg[] converges to the core
+/// numbers (§IV-B Cases 1-3).
+class GpuPeelDecomposer {
+ public:
+  /// `device` must outlive the decomposer. Options are validated at
+  /// Decompose time.
+  GpuPeelDecomposer(sim::Device* device, GpuPeelOptions options)
+      : device_(device), options_(options) {}
+
+  /// Runs the full decomposition. Fails with:
+  ///  - InvalidArgument for inconsistent kernel geometry,
+  ///  - OutOfMemory if the graph + buffers exceed device global memory,
+  ///  - CapacityExceeded if a block buffer overflows (non-ring, or ring
+  ///    backlog beyond capacity) — the failure the paper's §VII notes as the
+  ///    current limitation.
+  StatusOr<DecomposeResult> Decompose(const CsrGraph& graph);
+
+ private:
+  sim::Device* device_;
+  GpuPeelOptions options_;
+};
+
+/// One-shot convenience: creates a device with `device_options` and runs the
+/// decomposition with `options`.
+StatusOr<DecomposeResult> RunGpuPeel(const CsrGraph& graph,
+                                     const GpuPeelOptions& options = {},
+                                     const sim::DeviceOptions& device_options = {});
+
+}  // namespace kcore
+
+#endif  // KCORE_CORE_GPU_PEEL_H_

@@ -1,0 +1,33 @@
+#include "core/gpu_peel_options.h"
+
+namespace kcore {
+
+std::string GpuPeelOptions::VariantName() const {
+  std::string base;
+  switch (append) {
+    case AppendStrategy::kAtomic:
+      base = "";
+      break;
+    case AppendStrategy::kBallotCompact:
+      base = "BC";
+      break;
+    case AppendStrategy::kEfficientCompact:
+      base = "EC";
+      break;
+  }
+  std::string extra;
+  if (shared_memory_buffering) extra = "SM";
+  if (vertex_prefetching) extra = extra.empty() ? "VP" : extra + "+VP";
+  if (base.empty() && extra.empty()) return "Ours";
+  if (base.empty()) return extra;
+  if (extra.empty()) return base;
+  return base + "+" + extra;
+}
+
+std::vector<GpuPeelOptions> GpuPeelOptions::AblationVariants() {
+  return {Ours(),         Sm(),          Vp(),
+          Bc(),           Bc().WithSm(), Bc().WithVp(),
+          Ec(),           Ec().WithSm(), Ec().WithVp()};
+}
+
+}  // namespace kcore

@@ -1,0 +1,93 @@
+#ifndef KCORE_CORE_GPU_PEEL_OPTIONS_H_
+#define KCORE_CORE_GPU_PEEL_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kcore {
+
+/// How newly found k-shell vertices are appended to a block's buffer
+/// (paper §IV-C "Reducing Contention for Buffer Appending").
+enum class AppendStrategy {
+  /// One shared-memory atomicAdd per element (the basic algorithm, "Ours").
+  kAtomic,
+  /// BC: warp-level ballot compaction (Fig. 8(c)), one atomicAdd per warp.
+  kBallotCompact,
+  /// EC: block-level two-stage compaction in the scan kernel (Fig. 9) and
+  /// warp-level compaction in the loop kernel.
+  kEfficientCompact,
+};
+
+/// Configuration of the GPU peeling decomposer and its ablation variants.
+struct GpuPeelOptions {
+  /// Kernel grid geometry (paper §VI: BLK_NUM=108, BLK_DIM=1024).
+  uint32_t num_blocks = 108;
+  uint32_t block_dim = 1024;
+
+  /// Per-block global-memory buffer capacity in vertex IDs (paper: 1M).
+  /// 0 = auto-size from the graph (max(4096, V/4)).
+  uint64_t buffer_capacity = 0;
+
+  /// Organize buf[i] as a ring buffer so consumed slots are recycled
+  /// (paper §IV-C "Ring Buffers"). When false, a buffer that fills up makes
+  /// the run fail with CapacityExceeded instead of invoking UB.
+  bool ring_buffer = true;
+
+  /// SM: stage loop-phase appends through a shared-memory buffer B with
+  /// position translation (paper Fig. 7).
+  bool shared_memory_buffering = false;
+  /// Capacity of B in vertex IDs (paper: 10,000, near the SM limit).
+  uint32_t shared_buffer_capacity = 10000;
+
+  /// VP: Warp 0 prefetches the next frontier batch into shared memory while
+  /// the other 31 warps process the current batch.
+  bool vertex_prefetching = false;
+
+  AppendStrategy append = AppendStrategy::kAtomic;
+
+  /// Named ablation presets matching the columns of Table II.
+  static GpuPeelOptions Ours() { return {}; }
+  static GpuPeelOptions Sm() {
+    GpuPeelOptions o;
+    o.shared_memory_buffering = true;
+    return o;
+  }
+  static GpuPeelOptions Vp() {
+    GpuPeelOptions o;
+    o.vertex_prefetching = true;
+    return o;
+  }
+  static GpuPeelOptions Bc() {
+    GpuPeelOptions o;
+    o.append = AppendStrategy::kBallotCompact;
+    return o;
+  }
+  static GpuPeelOptions Ec() {
+    GpuPeelOptions o;
+    o.append = AppendStrategy::kEfficientCompact;
+    return o;
+  }
+
+  /// Applies SM/VP on top of an append-strategy preset (BC+SM, EC+VP, ...).
+  GpuPeelOptions WithSm() const {
+    GpuPeelOptions o = *this;
+    o.shared_memory_buffering = true;
+    return o;
+  }
+  GpuPeelOptions WithVp() const {
+    GpuPeelOptions o = *this;
+    o.vertex_prefetching = true;
+    return o;
+  }
+
+  /// Table II column label for this configuration ("Ours", "BC+SM", ...).
+  std::string VariantName() const;
+
+  /// All nine Table II variants in column order.
+  static std::vector<GpuPeelOptions> AblationVariants();
+};
+
+}  // namespace kcore
+
+#endif  // KCORE_CORE_GPU_PEEL_OPTIONS_H_

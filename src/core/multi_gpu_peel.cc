@@ -1,0 +1,232 @@
+#include "core/multi_gpu_peel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "cusim/atomics.h"
+#include "perf/cost_model.h"
+#include "perf/modeled_clock.h"
+
+namespace kcore {
+
+namespace {
+
+/// One worker GPU: owns a contiguous vertex range, its CSR slice resident
+/// in its own device memory, and a buffer of outgoing border updates.
+struct Worker {
+  VertexId begin = 0;
+  VertexId end = 0;  // exclusive
+  std::unique_ptr<sim::Device> device;
+  sim::DeviceArray<EdgeIndex> d_offsets;  // slice offsets, rebased
+  sim::DeviceArray<VertexId> d_neighbors;
+  sim::DeviceArray<uint32_t> d_deg;       // owned vertices only
+  sim::DeviceArray<VertexId> d_buffer;    // local frontier buffer
+  /// Outgoing decrement counts for foreign vertices, drained per sub-round.
+  std::unordered_map<VertexId, uint32_t> border_updates;
+  PerfCounters counters;                  // per-sub-round, merged by master
+};
+
+}  // namespace
+
+StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
+                                          const MultiGpuOptions& options) {
+  if (options.num_workers == 0) {
+    return Status::InvalidArgument("num_workers must be positive");
+  }
+  WallTimer timer;
+  const VertexId n = graph.NumVertices();
+  const uint32_t num_workers = options.num_workers;
+  const VertexId chunk = (n + num_workers - 1) / num_workers;
+  DecomposeResult result;
+  ModeledClock clock(GpuNativeCostModel());
+
+  auto owner_of = [&](VertexId v) -> uint32_t {
+    return chunk == 0 ? 0 : std::min<uint32_t>(v / chunk, num_workers - 1);
+  };
+
+  // --- Partition the graph: each worker loads its CSR slice. ---
+  std::vector<Worker> workers(num_workers);
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    Worker& worker = workers[w];
+    worker.begin = std::min<VertexId>(w * chunk, n);
+    worker.end = std::min<VertexId>(worker.begin + chunk, n);
+    worker.device = std::make_unique<sim::Device>(options.worker_device);
+    const VertexId local_n = worker.end - worker.begin;
+
+    std::vector<EdgeIndex> offsets(static_cast<size_t>(local_n) + 1, 0);
+    for (VertexId v = 0; v < local_n; ++v) {
+      offsets[v + 1] = offsets[v] + graph.Degree(worker.begin + v);
+    }
+    std::vector<VertexId> neighbors;
+    neighbors.reserve(offsets[local_n]);
+    for (VertexId v = 0; v < local_n; ++v) {
+      const auto nbrs = graph.Neighbors(worker.begin + v);
+      neighbors.insert(neighbors.end(), nbrs.begin(), nbrs.end());
+    }
+    std::vector<uint32_t> deg(std::max<VertexId>(1, local_n), 0);
+    for (VertexId v = 0; v < local_n; ++v) {
+      deg[v] = graph.Degree(worker.begin + v);
+    }
+
+    KCORE_ASSIGN_OR_RETURN(worker.d_offsets,
+                           worker.device->Alloc<EdgeIndex>(offsets.size()));
+    KCORE_ASSIGN_OR_RETURN(
+        worker.d_neighbors,
+        worker.device->Alloc<VertexId>(std::max<size_t>(1, neighbors.size())));
+    KCORE_ASSIGN_OR_RETURN(worker.d_deg,
+                           worker.device->Alloc<uint32_t>(deg.size()));
+    KCORE_ASSIGN_OR_RETURN(
+        worker.d_buffer,
+        worker.device->Alloc<VertexId>(std::max<VertexId>(1024, local_n)));
+    worker.d_offsets.CopyFromHost(offsets);
+    worker.d_neighbors.CopyFromHost(neighbors);
+    worker.d_deg.CopyFromHost(deg);
+  }
+
+  std::vector<uint8_t> claimed(n, 0);
+  std::atomic<uint64_t> removed{0};
+  ThreadPool& pool = DefaultThreadPool();
+
+  auto deg_of = [&](VertexId v) -> uint32_t& {
+    Worker& worker = workers[owner_of(v)];
+    return worker.d_deg.data()[v - worker.begin];
+  };
+
+  uint32_t k = 0;
+  const uint32_t k_limit = graph.MaxDegree() + 2;
+  while (removed.load(std::memory_order_relaxed) < n) {
+    // Sub-rounds to a fixpoint: local peeling, then border aggregation.
+    while (true) {
+      ++result.metrics.iterations;
+      std::atomic<uint64_t> removed_this_subround{0};
+
+      // --- Each worker peels its own range (parallel; workers only touch
+      // their owned deg entries and private border buffers). ---
+      pool.RunLanes(num_workers, [&](uint32_t w) {
+        Worker& worker = workers[w];
+        PerfCounters& c = worker.counters;
+        const EdgeIndex* offsets = worker.d_offsets.data();
+        const VertexId* neighbors = worker.d_neighbors.data();
+        uint32_t* deg = worker.d_deg.data();
+        VertexId* buffer = worker.d_buffer.data();
+
+        // Scan the owned range for unclaimed degree-k vertices.
+        uint64_t head = 0;
+        uint64_t tail = 0;
+        for (VertexId v = worker.begin; v < worker.end; ++v) {
+          ++c.vertices_scanned;
+          ++c.global_reads;
+          if (claimed[v] == 0 && deg[v - worker.begin] == k) {
+            claimed[v] = 1;
+            buffer[tail++] = v;
+            ++c.buffer_appends;
+          }
+        }
+        // Local cascade (the worker's loop phase).
+        uint64_t processed = 0;
+        while (head < tail) {
+          const VertexId v = buffer[head++];
+          ++processed;
+          const VertexId local = v - worker.begin;
+          for (EdgeIndex e = offsets[local]; e < offsets[local + 1]; ++e) {
+            const VertexId u = neighbors[e];
+            ++c.edges_traversed;
+            ++c.global_reads;
+            if (owner_of(u) == w) {
+              uint32_t& du = deg[u - worker.begin];
+              if (du > k) {
+                --du;
+                ++c.global_atomics;
+                if (du == k && claimed[u] == 0) {
+                  claimed[u] = 1;
+                  buffer[tail++] = u;
+                  ++c.buffer_appends;
+                }
+              }
+            } else {
+              // Border edge: buffer the decrement for the master.
+              ++worker.border_updates[u];
+              ++c.messages;
+            }
+          }
+        }
+        if (processed != 0) {
+          removed_this_subround.fetch_add(processed,
+                                          std::memory_order_relaxed);
+        }
+      });
+
+      // Modeled time: slowest worker gates the sub-round.
+      {
+        std::vector<PerfCounters> lane_counters;
+        lane_counters.reserve(num_workers);
+        for (Worker& worker : workers) {
+          lane_counters.push_back(worker.counters);
+          result.metrics.counters += worker.counters;
+          worker.counters = PerfCounters();
+        }
+        clock.AddParallelPhase(lane_counters);
+        // Two kernels per worker sub-round (scan + loop), plus the border
+        // exchange (PCIe transfer of the update lists to the master).
+        clock.AddOverheadNs(2 * clock.cost().kernel_launch_ns);
+        result.metrics.counters.kernel_launches += 2 * num_workers;
+      }
+
+      // --- Master: aggregate border updates and apply to owners. ---
+      uint64_t border_applied = 0;
+      uint64_t border_entries = 0;
+      for (Worker& worker : workers) {
+        border_entries += worker.border_updates.size();
+        for (const auto& [u, count] : worker.border_updates) {
+          uint32_t& du = deg_of(u);
+          if (du > k) {
+            // Clamp at k: decrements past the k-shell boundary are exactly
+            // the ones the single-GPU kernel rolls back (Alg. 3 line 24).
+            const uint32_t applied = std::min(count, du - k);
+            du -= applied;
+            border_applied += applied;
+          }
+        }
+        worker.border_updates.clear();
+      }
+      // Transfer + apply cost at the master.
+      clock.AddOverheadNs(clock.cost().kernel_launch_ns +
+                          static_cast<double>(border_entries) * 8.0);
+
+      removed.fetch_add(removed_this_subround.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+      if (removed_this_subround.load(std::memory_order_relaxed) == 0 &&
+          border_applied == 0) {
+        break;  // fixpoint for this k
+      }
+    }
+    ++k;
+    ++result.metrics.rounds;
+    if (k > k_limit) {
+      return Status::Internal("multi-GPU peeling failed to converge");
+    }
+  }
+
+  // Gather core numbers (deg has converged per owner).
+  result.core.assign(n, 0);
+  for (const Worker& worker : workers) {
+    for (VertexId v = worker.begin; v < worker.end; ++v) {
+      result.core[v] = worker.d_deg.data()[v - worker.begin];
+    }
+  }
+  uint64_t max_peak = 0;
+  for (const Worker& worker : workers) {
+    max_peak = std::max(max_peak, worker.device->peak_bytes());
+  }
+  result.metrics.peak_device_bytes = max_peak;
+  result.metrics.wall_ms = timer.ElapsedMillis();
+  result.metrics.modeled_ms = clock.ms();
+  return result;
+}
+
+}  // namespace kcore

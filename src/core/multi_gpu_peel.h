@@ -1,0 +1,36 @@
+#ifndef KCORE_CORE_MULTI_GPU_PEEL_H_
+#define KCORE_CORE_MULTI_GPU_PEEL_H_
+
+#include <cstdint>
+
+#include "common/statusor.h"
+#include "cusim/device.h"
+#include "graph/csr_graph.h"
+#include "perf/decompose_result.h"
+
+namespace kcore {
+
+/// Options for the multi-GPU extension sketched in the paper's §VII: the
+/// graph is partitioned among worker GPUs, each peeling its own vertices;
+/// degree decrements that cross a partition border are buffered and
+/// aggregated by a master between sub-rounds, and because aggregated
+/// updates can push new border vertices into the k-shell, each round k
+/// iterates sub-rounds to a fixpoint.
+struct MultiGpuOptions {
+  /// Number of worker GPUs (vertex ranges are split evenly among them).
+  uint32_t num_workers = 4;
+  /// Per-worker device configuration (global memory budget applies to each
+  /// worker individually — the point of going multi-GPU).
+  sim::DeviceOptions worker_device;
+};
+
+/// Multi-GPU peeling. Returns the usual DecomposeResult where
+///  - metrics.rounds     = peeling rounds (k_max + 1),
+///  - metrics.iterations = total sub-rounds (border-synchronization steps),
+///  - metrics.peak_device_bytes = max over workers (per-GPU footprint).
+StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
+                                          const MultiGpuOptions& options = {});
+
+}  // namespace kcore
+
+#endif  // KCORE_CORE_MULTI_GPU_PEEL_H_

@@ -1,0 +1,83 @@
+#include "cpu/bz.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "perf/cost_model.h"
+#include "perf/modeled_clock.h"
+
+namespace kcore {
+
+DecomposeResult RunBz(const CsrGraph& graph) {
+  WallTimer timer;
+  const VertexId n = graph.NumVertices();
+  DecomposeResult result;
+  PerfCounters& c = result.metrics.counters;
+
+  std::vector<uint32_t> deg = graph.DegreeArray();
+  c.vertices_scanned += n;
+  c.global_reads += n;
+
+  const uint32_t max_degree = n == 0 ? 0 : *std::max_element(deg.begin(), deg.end());
+
+  // bin[d] = start index in `vert` of the vertices with current degree d.
+  std::vector<VertexId> bin(static_cast<size_t>(max_degree) + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bin[deg[v] + 1];
+  for (size_t d = 1; d < bin.size(); ++d) bin[d] += bin[d - 1];
+
+  // vert: vertices sorted by degree; pos[v]: index of v in vert.
+  std::vector<VertexId> vert(n);
+  std::vector<VertexId> pos(n);
+  {
+    std::vector<VertexId> cursor(bin.begin(), bin.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      pos[v] = cursor[deg[v]];
+      vert[pos[v]] = v;
+      ++cursor[deg[v]];
+    }
+  }
+  c.global_writes += 3ull * n;
+  c.lane_ops += 4ull * n;
+
+  // Peel in degree order; deg[v] freezes at core(v) when v is removed.
+  for (VertexId i = 0; i < n; ++i) {
+    const VertexId v = vert[i];
+    c.global_reads += 1;
+    for (VertexId u : graph.Neighbors(v)) {
+      ++c.edges_traversed;
+      ++c.global_reads;
+      if (deg[u] > deg[v]) {
+        // Move u to the front of its bucket and shift the bucket boundary,
+        // decreasing deg[u] by one in O(1).
+        const uint32_t du = deg[u];
+        const VertexId pu = pos[u];
+        const VertexId pw = bin[du];
+        const VertexId w = vert[pw];
+        if (u != w) {
+          std::swap(vert[pu], vert[pw]);
+          pos[u] = pw;
+          pos[w] = pu;
+        }
+        ++bin[du];
+        --deg[u];
+        c.global_writes += 4;
+        c.lane_ops += 4;
+      }
+    }
+  }
+
+  result.core = std::move(deg);
+  result.metrics.rounds = result.MaxCore() + 1;
+  result.metrics.wall_ms = timer.ElapsedMillis();
+
+  ModeledClock clock(CpuCostModel());
+  clock.AddSerial(c);
+  result.metrics.modeled_ms = clock.ms();
+  // Host-resident algorithm: "device" footprint = its working arrays.
+  result.metrics.peak_device_bytes =
+      graph.MemoryBytes() + (vert.size() + pos.size()) * sizeof(VertexId) +
+      bin.size() * sizeof(VertexId) + result.core.size() * sizeof(uint32_t);
+  return result;
+}
+
+}  // namespace kcore

@@ -1,0 +1,17 @@
+#ifndef KCORE_CPU_BZ_H_
+#define KCORE_CPU_BZ_H_
+
+#include "graph/csr_graph.h"
+#include "perf/decompose_result.h"
+
+namespace kcore {
+
+/// The Batagelj–Zaversnik serial peeling algorithm (paper §II-A "BZ"):
+/// O(m) k-core decomposition using the classic four-array bucket structure
+/// (vert/pos/bin/deg). Removes a minimum-degree vertex at each step and
+/// keeps the degree-ordered vertex array consistent with O(1) swaps.
+DecomposeResult RunBz(const CsrGraph& graph);
+
+}  // namespace kcore
+
+#endif  // KCORE_CPU_BZ_H_

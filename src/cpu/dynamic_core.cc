@@ -1,0 +1,145 @@
+#include "cpu/dynamic_core.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "cpu/hindex.h"
+
+namespace kcore {
+
+DynamicKCore::DynamicKCore(const CsrGraph& initial) {
+  const VertexId n = initial.NumVertices();
+  adjacency_.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nbrs = initial.Neighbors(v);
+    adjacency_[v].assign(nbrs.begin(), nbrs.end());
+    KCORE_CHECK(std::is_sorted(adjacency_[v].begin(), adjacency_[v].end()));
+  }
+  num_edges_ = initial.NumUndirectedEdges();
+
+  // Initial decomposition: degrees as upper bounds, refine everywhere.
+  core_.resize(n);
+  std::vector<VertexId> all(n);
+  for (VertexId v = 0; v < n; ++v) {
+    core_[v] = Degree(v);
+    all[v] = v;
+  }
+  Refine(std::move(all));
+}
+
+bool DynamicKCore::HasEdge(VertexId u, VertexId v) const {
+  const auto& list = adjacency_[u];
+  return std::binary_search(list.begin(), list.end(), v);
+}
+
+Status DynamicKCore::InsertEdge(VertexId u, VertexId v) {
+  if (u >= NumVertices() || v >= NumVertices()) {
+    return Status::InvalidArgument("endpoint out of range");
+  }
+  if (u == v) return Status::InvalidArgument("self-loop");
+  if (HasEdge(u, v)) {
+    return Status::FailedPrecondition(
+        StrFormat("edge (%u,%u) already present", u, v));
+  }
+  auto insert_sorted = [](std::vector<VertexId>& list, VertexId x) {
+    list.insert(std::upper_bound(list.begin(), list.end(), x), x);
+  };
+  insert_sorted(adjacency_[u], v);
+  insert_sorted(adjacency_[v], u);
+  ++num_edges_;
+
+  // Only the core==K component around the endpoints can rise, by one.
+  const uint32_t k = std::min(core_[u], core_[v]);
+  std::vector<VertexId> seeds;
+  if (core_[u] == k) seeds.push_back(u);
+  if (core_[v] == k) seeds.push_back(v);
+  std::vector<VertexId> candidates = CollectCandidates(std::move(seeds), k);
+  for (VertexId c : candidates) core_[c] = k + 1;  // valid upper bound
+  Refine(std::move(candidates));
+  return Status::OK();
+}
+
+Status DynamicKCore::RemoveEdge(VertexId u, VertexId v) {
+  if (u >= NumVertices() || v >= NumVertices()) {
+    return Status::InvalidArgument("endpoint out of range");
+  }
+  if (!HasEdge(u, v)) {
+    return Status::NotFound(StrFormat("edge (%u,%u) not present", u, v));
+  }
+  auto erase_sorted = [](std::vector<VertexId>& list, VertexId x) {
+    list.erase(std::lower_bound(list.begin(), list.end(), x));
+  };
+  erase_sorted(adjacency_[u], v);
+  erase_sorted(adjacency_[v], u);
+  --num_edges_;
+
+  // Deletion only lowers coreness, so current values stay upper bounds.
+  Refine({u, v});
+  return Status::OK();
+}
+
+std::vector<VertexId> DynamicKCore::CollectCandidates(
+    std::vector<VertexId> seeds, uint32_t k) const {
+  std::vector<VertexId> out;
+  std::vector<VertexId> stack = std::move(seeds);
+  std::vector<bool> visited(NumVertices(), false);
+  for (VertexId s : stack) visited[s] = true;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    out.push_back(v);
+    for (VertexId u : adjacency_[v]) {
+      if (!visited[u] && core_[u] == k) {
+        visited[u] = true;
+        stack.push_back(u);
+      }
+    }
+  }
+  return out;
+}
+
+void DynamicKCore::Refine(std::vector<VertexId> worklist) {
+  last_update_evaluations_ = 0;
+  std::vector<bool> queued(NumVertices(), false);
+  for (VertexId v : worklist) queued[v] = true;
+  HIndexEvaluator evaluator;
+  std::vector<uint32_t> neighbor_estimates;
+  while (!worklist.empty()) {
+    const VertexId v = worklist.back();
+    worklist.pop_back();
+    queued[v] = false;
+    ++last_update_evaluations_;
+
+    neighbor_estimates.clear();
+    for (VertexId u : adjacency_[v]) neighbor_estimates.push_back(core_[u]);
+    const uint32_t refined = evaluator.Evaluate(neighbor_estimates, core_[v]);
+    if (refined >= core_[v]) continue;
+    core_[v] = refined;
+    // Only neighbors whose estimate exceeds the new value can be affected:
+    // v still supports any neighbor at level <= refined.
+    for (VertexId u : adjacency_[v]) {
+      if (core_[u] > refined && !queued[u]) {
+        queued[u] = true;
+        worklist.push_back(u);
+      }
+    }
+  }
+}
+
+CsrGraph DynamicKCore::ToCsrGraph() const {
+  const VertexId n = NumVertices();
+  std::vector<EdgeIndex> offsets(static_cast<size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    offsets[v + 1] = offsets[v] + adjacency_[v].size();
+  }
+  std::vector<VertexId> neighbors;
+  neighbors.reserve(offsets[n]);
+  for (VertexId v = 0; v < n; ++v) {
+    neighbors.insert(neighbors.end(), adjacency_[v].begin(),
+                     adjacency_[v].end());
+  }
+  return CsrGraph(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace kcore

@@ -1,0 +1,78 @@
+#ifndef KCORE_CPU_DYNAMIC_CORE_H_
+#define KCORE_CPU_DYNAMIC_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/csr_graph.h"
+
+namespace kcore {
+
+/// Incremental k-core maintenance on a dynamic graph (the streaming setting
+/// of paper §II-C [68][69], and the use case motivating the §VI case study:
+/// decomposition that can be kept current as the network evolves).
+///
+/// Algorithm: the classic traversal/locality insight — a single edge update
+/// changes core numbers by at most 1, and only within the connected region
+/// of vertices with core number K = min(core(u), core(v)) reachable from
+/// the updated endpoints. Updates seed an h-index worklist refinement
+/// restricted to that region:
+///  - insertion: candidate vertices' estimates are lifted to K+1 (a valid
+///    upper bound), then refined downward to the exact new cores;
+///  - deletion: old cores remain upper bounds, so refinement starting from
+///    the endpoints converges to the exact new cores.
+/// Both converge to the coreness function because coreness is the unique
+/// greatest fixpoint of the neighborhood h-index operator below any valid
+/// upper bound (Montresor et al., paper §II-A).
+class DynamicKCore {
+ public:
+  /// Takes the initial graph; computes its decomposition eagerly.
+  explicit DynamicKCore(const CsrGraph& initial);
+
+  /// Inserts undirected edge {u,v}. Fails with InvalidArgument for
+  /// self-loops or out-of-range vertices, AlreadyExists-style
+  /// FailedPrecondition if the edge is present.
+  Status InsertEdge(VertexId u, VertexId v);
+
+  /// Removes undirected edge {u,v}; NotFound if absent.
+  Status RemoveEdge(VertexId u, VertexId v);
+
+  /// Current core numbers (exact at all times).
+  const std::vector<uint32_t>& core() const { return core_; }
+
+  VertexId NumVertices() const {
+    return static_cast<VertexId>(adjacency_.size());
+  }
+  uint64_t NumEdges() const { return num_edges_; }
+  uint32_t Degree(VertexId v) const {
+    return static_cast<uint32_t>(adjacency_[v].size());
+  }
+
+  /// Vertices whose estimate was re-evaluated by the last update — the
+  /// locality win over full recomputation.
+  uint64_t last_update_evaluations() const {
+    return last_update_evaluations_;
+  }
+
+  /// Materializes the current graph as CSR (for verification / export).
+  CsrGraph ToCsrGraph() const;
+
+ private:
+  bool HasEdge(VertexId u, VertexId v) const;
+  /// Collects the core==K component containing the seeds, walking only
+  /// through core==K vertices (the candidate set of the traversal insight).
+  std::vector<VertexId> CollectCandidates(std::vector<VertexId> seeds,
+                                          uint32_t k) const;
+  /// Worklist h-index refinement; assumes core_ holds valid upper bounds.
+  void Refine(std::vector<VertexId> worklist);
+
+  std::vector<std::vector<VertexId>> adjacency_;  // sorted neighbor lists
+  std::vector<uint32_t> core_;
+  uint64_t num_edges_ = 0;
+  uint64_t last_update_evaluations_ = 0;
+};
+
+}  // namespace kcore
+
+#endif  // KCORE_CPU_DYNAMIC_CORE_H_

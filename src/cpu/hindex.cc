@@ -1,0 +1,32 @@
+#include "cpu/hindex.h"
+
+#include <algorithm>
+
+namespace kcore {
+
+uint32_t HIndex(std::span<const uint32_t> values, uint32_t cap) {
+  HIndexEvaluator evaluator;
+  return evaluator.Evaluate(values, cap);
+}
+
+uint32_t HIndexEvaluator::Evaluate(std::span<const uint32_t> values,
+                                   uint32_t cap) {
+  cap = std::min<uint64_t>(cap, values.size());
+  if (cap == 0) return 0;
+  if (histogram_.size() < static_cast<size_t>(cap) + 1) {
+    histogram_.resize(cap + 1);
+  }
+  std::fill(histogram_.begin(), histogram_.begin() + cap + 1, 0u);
+  for (uint32_t v : values) {
+    ++histogram_[std::min(v, cap)];
+  }
+  // Scan from the top: h is the largest value where the suffix count >= h.
+  uint32_t at_least_h = 0;
+  for (uint32_t h = cap; h >= 1; --h) {
+    at_least_h += histogram_[h];
+    if (at_least_h >= h) return h;
+  }
+  return 0;
+}
+
+}  // namespace kcore

@@ -1,0 +1,35 @@
+#ifndef KCORE_CPU_HINDEX_H_
+#define KCORE_CPU_HINDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace kcore {
+
+/// The h-index operator of MPM (paper §II-A, Fig. 2): the largest h such
+/// that at least h elements of `values` are >= h.
+///
+/// Implemented with a counting pass bounded by `cap` (a vertex's h-index
+/// never exceeds its degree), which is the standard O(d) evaluation — no
+/// sort needed. `cap` = values.size() gives the unconstrained h-index.
+uint32_t HIndex(std::span<const uint32_t> values, uint32_t cap);
+
+/// Convenience overload with cap = values.size().
+inline uint32_t HIndex(std::span<const uint32_t> values) {
+  return HIndex(values, static_cast<uint32_t>(values.size()));
+}
+
+/// Scratch-reusing h-index evaluator for hot loops: counts into an internal
+/// histogram sized to the largest cap seen.
+class HIndexEvaluator {
+ public:
+  uint32_t Evaluate(std::span<const uint32_t> values, uint32_t cap);
+
+ private:
+  std::vector<uint32_t> histogram_;
+};
+
+}  // namespace kcore
+
+#endif  // KCORE_CPU_HINDEX_H_

@@ -1,0 +1,35 @@
+#ifndef KCORE_CPU_MPM_H_
+#define KCORE_CPU_MPM_H_
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+#include "perf/decompose_result.h"
+
+namespace kcore {
+
+struct MpmOptions {
+  /// Logical worker threads; 1 = serial execution of the same schedule.
+  uint32_t num_threads = 48;
+};
+
+/// MPM (Montresor, De Pellegrini, Miorandi — paper §II-A): every vertex
+/// keeps a core-number estimate a(v), initialized to deg(v), and repeatedly
+/// replaces it with the h-index of its neighbors' estimates until a global
+/// fixpoint. Estimates are monotonically non-increasing and always upper
+/// bounds on core(v), so concurrent (even stale) neighbor reads are safe —
+/// the property that makes MPM the algorithm of choice for distributed
+/// settings despite its higher total workload than peeling.
+///
+/// This implementation runs bulk-synchronous supersteps with an active set:
+/// a vertex re-evaluates when a neighbor's estimate changed in the previous
+/// superstep. Metrics count h-index evaluations and edge traffic, which is
+/// where MPM's extra workload shows up in Table IV.
+DecomposeResult RunMpm(const CsrGraph& graph, const MpmOptions& options = {});
+
+/// Serial MPM convenience wrapper.
+DecomposeResult RunMpmSerial(const CsrGraph& graph);
+
+}  // namespace kcore
+
+#endif  // KCORE_CPU_MPM_H_

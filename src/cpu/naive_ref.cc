@@ -1,0 +1,62 @@
+#include "cpu/naive_ref.h"
+
+#include <vector>
+
+#include "common/timer.h"
+#include "perf/cost_model.h"
+#include "perf/modeled_clock.h"
+
+namespace kcore {
+
+DecomposeResult RunNaiveReference(const CsrGraph& graph) {
+  WallTimer timer;
+  const VertexId n = graph.NumVertices();
+  DecomposeResult result;
+  PerfCounters& c = result.metrics.counters;
+
+  std::vector<uint32_t> deg = graph.DegreeArray();
+  std::vector<bool> removed(n, false);
+  result.core.assign(n, 0);
+
+  VertexId removed_count = 0;
+  uint32_t k = 0;
+  std::vector<VertexId> stack;
+  while (removed_count < n) {
+    // Collect every still-present vertex with degree <= k.
+    for (VertexId v = 0; v < n; ++v) {
+      ++c.vertices_scanned;
+      if (!removed[v] && deg[v] <= k) stack.push_back(v);
+    }
+    // Cascade removals at this k.
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      if (removed[v]) continue;
+      removed[v] = true;
+      result.core[v] = k;
+      ++removed_count;
+      for (VertexId u : graph.Neighbors(v)) {
+        ++c.edges_traversed;
+        if (!removed[u] && deg[u] > 0) {
+          if (--deg[u] <= k) stack.push_back(u);
+        }
+      }
+    }
+    ++result.metrics.rounds;
+    ++k;
+  }
+
+  c.lane_ops = c.vertices_scanned + c.edges_traversed;
+  c.global_reads = c.vertices_scanned + 2 * c.edges_traversed;
+  c.global_writes = n + c.edges_traversed;
+
+  result.metrics.wall_ms = timer.ElapsedMillis();
+  ModeledClock clock(CpuCostModel());
+  clock.AddSerial(c);
+  result.metrics.modeled_ms = clock.ms();
+  result.metrics.peak_device_bytes =
+      graph.MemoryBytes() + n * (sizeof(uint32_t) * 2 + 1);
+  return result;
+}
+
+}  // namespace kcore

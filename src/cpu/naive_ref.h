@@ -1,0 +1,22 @@
+#ifndef KCORE_CPU_NAIVE_REF_H_
+#define KCORE_CPU_NAIVE_REF_H_
+
+#include "graph/csr_graph.h"
+#include "perf/decompose_result.h"
+
+namespace kcore {
+
+/// A deliberately simple reference decomposition used two ways:
+///  (1) as the correctness oracle every other engine is tested against, and
+///  (2) as the stand-in for the paper's NetworkX row in Table IV (same
+///      peeling structure an interpreted library runs, charged interpreter
+///      overhead by the benchmark).
+///
+/// Algorithm: repeated peeling with an explicit worklist — for k = 0,1,...,
+/// remove every vertex whose residual degree is <= k until none remain,
+/// recording core numbers. O(m + n*k_max) worst case; no clever arrays.
+DecomposeResult RunNaiveReference(const CsrGraph& graph);
+
+}  // namespace kcore
+
+#endif  // KCORE_CPU_NAIVE_REF_H_

@@ -1,0 +1,141 @@
+#include "cpu/park.h"
+
+#include <atomic>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "perf/cost_model.h"
+#include "perf/modeled_clock.h"
+
+namespace kcore {
+
+namespace {
+
+/// Shared implementation: `num_threads` logical lanes run each phase as one
+/// bulk-synchronous step (scan, then loop sub-levels). With num_threads == 1
+/// this is the serial variant with identical instruction mix.
+DecomposeResult RunParKImpl(const CsrGraph& graph, uint32_t num_threads) {
+  WallTimer timer;
+  const VertexId n = graph.NumVertices();
+  DecomposeResult result;
+  ModeledClock clock(CpuCostModel());
+
+  std::vector<uint32_t> deg = graph.DegreeArray();
+  // Global frontier buffers (ParK's shared B and B_new).
+  std::vector<VertexId> buffer(n);
+  std::vector<VertexId> buffer_new(n);
+  std::atomic<uint64_t> buffer_size{0};
+  std::atomic<uint64_t> buffer_new_size{0};
+  std::atomic<uint64_t> removed{0};
+
+  std::vector<PerfCounters> lanes(num_threads);
+  ThreadPool& pool = DefaultThreadPool();
+
+  auto run_phase = [&](const std::function<void(uint32_t)>& fn) {
+    for (auto& lane : lanes) lane = PerfCounters();
+    if (num_threads == 1) {
+      fn(0);
+      clock.AddParallelPhase({lanes.data(), 1}, /*ends_with_barrier=*/false);
+    } else {
+      pool.RunLanes(num_threads, fn);
+      clock.AddParallelPhase({lanes.data(), lanes.size()});
+    }
+    for (const auto& lane : lanes) result.metrics.counters += lane;
+  };
+
+  uint32_t k = 0;
+  while (removed.load(std::memory_order_relaxed) < n) {
+    // --- Scan phase: partition the degree array over the lanes. ---
+    buffer_size.store(0, std::memory_order_relaxed);
+    run_phase([&](uint32_t lane) {
+      PerfCounters& c = lanes[lane];
+      const uint64_t chunk = (n + num_threads - 1) / num_threads;
+      const uint64_t begin = static_cast<uint64_t>(lane) * chunk;
+      const uint64_t end = std::min<uint64_t>(begin + chunk, n);
+      for (uint64_t v = begin; v < end; ++v) {
+        ++c.vertices_scanned;
+        ++c.global_reads;
+        ++c.lane_ops;
+        if (std::atomic_ref<uint32_t>(deg[v]).load(
+                std::memory_order_relaxed) == k) {
+          const uint64_t pos =
+              buffer_size.fetch_add(1, std::memory_order_relaxed);
+          ++c.global_atomics;
+          buffer[pos] = static_cast<VertexId>(v);
+          ++c.global_writes;
+          ++c.buffer_appends;
+        }
+      }
+    });
+
+    // --- Loop phase: sub-levels with a barrier after each (ParK's B_new). --
+    while (buffer_size.load(std::memory_order_relaxed) > 0) {
+      ++result.metrics.iterations;
+      buffer_new_size.store(0, std::memory_order_relaxed);
+      const uint64_t frontier = buffer_size.load(std::memory_order_relaxed);
+      std::atomic<uint64_t> next{0};
+      run_phase([&](uint32_t lane) {
+        PerfCounters& c = lanes[lane];
+        while (true) {
+          const uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= frontier) break;
+          const VertexId v = buffer[i];
+          ++c.global_reads;
+          for (VertexId u : graph.Neighbors(v)) {
+            ++c.edges_traversed;
+            ++c.global_reads;
+            ++c.lane_ops;
+            const uint32_t du = std::atomic_ref<uint32_t>(deg[u]).load(
+                std::memory_order_relaxed);
+            if (du > k) {
+              const uint32_t old =
+                  std::atomic_ref<uint32_t>(deg[u]).fetch_sub(
+                      1, std::memory_order_relaxed);
+              ++c.global_atomics;
+              if (old == k + 1) {
+                const uint64_t pos =
+                    buffer_new_size.fetch_add(1, std::memory_order_relaxed);
+                ++c.global_atomics;
+                buffer_new[pos] = u;
+                ++c.global_writes;
+                ++c.buffer_appends;
+              } else if (old <= k) {
+                // Concurrent decrements overshot; restore (add-back trick).
+                std::atomic_ref<uint32_t>(deg[u]).fetch_add(
+                    1, std::memory_order_relaxed);
+                ++c.global_atomics;
+              }
+            }
+          }
+        }
+      });
+      removed.fetch_add(frontier, std::memory_order_relaxed);
+      std::swap(buffer, buffer_new);
+      buffer_size.store(buffer_new_size.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    }
+    ++result.metrics.rounds;
+    ++k;
+  }
+
+  result.core = std::move(deg);
+  result.metrics.wall_ms = timer.ElapsedMillis();
+  result.metrics.modeled_ms = clock.ms();
+  result.metrics.peak_device_bytes =
+      graph.MemoryBytes() + 3ull * n * sizeof(uint32_t);
+  return result;
+}
+
+}  // namespace
+
+DecomposeResult RunParK(const CsrGraph& graph, const ParKOptions& options) {
+  KCORE_CHECK_GE(options.num_threads, 1u);
+  return RunParKImpl(graph, options.num_threads);
+}
+
+DecomposeResult RunParKSerial(const CsrGraph& graph) {
+  return RunParKImpl(graph, 1);
+}
+
+}  // namespace kcore

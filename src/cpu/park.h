@@ -1,0 +1,31 @@
+#ifndef KCORE_CPU_PARK_H_
+#define KCORE_CPU_PARK_H_
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+#include "perf/decompose_result.h"
+
+namespace kcore {
+
+/// Options for ParK (Dasari, Ranjan, Zubair — paper §II-A).
+struct ParKOptions {
+  /// Logical worker threads (the paper's server exposes 48). They are
+  /// multiplexed over the host pool; modeled time uses this logical width.
+  uint32_t num_threads = 48;
+};
+
+/// ParK's two-phase peeling: per round k, a parallel *scan* collects
+/// degree-k vertices into a shared global buffer B, then *loop* sub-levels
+/// repeatedly expand B into B_new (BFS within the k-shell) with a barrier
+/// between sub-levels. The global buffer + sub-level synchronization are
+/// exactly the overheads PKC later removed.
+DecomposeResult RunParK(const CsrGraph& graph, const ParKOptions& options = {});
+
+/// Serial ParK: the same two-phase structure executed by one thread
+/// (the paper's Table IV "Serial ParK" column).
+DecomposeResult RunParKSerial(const CsrGraph& graph);
+
+}  // namespace kcore
+
+#endif  // KCORE_CPU_PARK_H_

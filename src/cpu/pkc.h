@@ -1,0 +1,43 @@
+#ifndef KCORE_CPU_PKC_H_
+#define KCORE_CPU_PKC_H_
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+#include "perf/decompose_result.h"
+
+namespace kcore {
+
+/// Which PKC variant to run (Kabir & Madduri; paper §II-A).
+enum class PkcVariant {
+  /// PKC-o: thread-local buffers remove ParK's sub-level barriers, but every
+  /// round still scans the full degree array.
+  kOriginal,
+  /// PKC: additionally compacts the set of still-alive vertices once most
+  /// of the graph has been peeled, so late rounds scan only survivors —
+  /// the difference that makes PKC several times faster on high-k_max
+  /// graphs (Table IV: indochina-2004, Serial PKC-o 64s vs Serial PKC 3s).
+  kCompacted,
+};
+
+struct PkcOptions {
+  PkcVariant variant = PkcVariant::kCompacted;
+  /// Logical worker threads (48 on the paper's server; 1 = serial).
+  uint32_t num_threads = 48;
+  /// Alive-fraction threshold that triggers compaction (kCompacted only).
+  double compact_threshold = 0.02;
+};
+
+/// PKC peeling: per round k each thread scans its partition of the degree
+/// array into a private local buffer, then drains that buffer as a stack
+/// (removing vertices and appending newly-degree-k neighbors) with no
+/// intra-round synchronization. One barrier per round.
+DecomposeResult RunPkc(const CsrGraph& graph, const PkcOptions& options = {});
+
+/// Serial convenience wrappers (Table IV columns).
+DecomposeResult RunPkcSerial(const CsrGraph& graph,
+                             PkcVariant variant = PkcVariant::kCompacted);
+
+}  // namespace kcore
+
+#endif  // KCORE_CPU_PKC_H_

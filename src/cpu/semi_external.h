@@ -1,0 +1,32 @@
+#ifndef KCORE_CPU_SEMI_EXTERNAL_H_
+#define KCORE_CPU_SEMI_EXTERNAL_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "perf/decompose_result.h"
+
+namespace kcore {
+
+/// Disk-based k-core decomposition (the setting of paper §II-C [35][53]
+/// [78]): the adjacency array stays on disk and is *streamed* sequentially;
+/// only O(|V|) state (offsets + core estimates) is held in memory.
+///
+/// Algorithm (semi-external h-index refinement, à la Wen et al. [78]):
+/// estimates start at the degrees; each pass streams the neighbor array of
+/// the on-disk CSR file in order, re-evaluating every vertex's h-index
+/// against the in-memory estimates; passes repeat until a fixpoint, which
+/// equals the core numbers (same convergence argument as MPM, §II-A).
+///
+/// `csr_path` must be a file written by SaveCsrBinary. The header and
+/// offsets are read up front (O(|V|) memory); the neighbor payload is
+/// re-streamed per pass in `io_buffer_bytes` chunks. Metrics report:
+///   iterations          = passes over the on-disk adjacency,
+///   counters.global_reads = bytes streamed from disk,
+///   peak_device_bytes   = resident memory (offsets + estimates + buffer).
+StatusOr<DecomposeResult> RunSemiExternal(const std::string& csr_path,
+                                          size_t io_buffer_bytes = 1 << 20);
+
+}  // namespace kcore
+
+#endif  // KCORE_CPU_SEMI_EXTERNAL_H_

@@ -1,0 +1,94 @@
+#ifndef KCORE_CUSIM_ATOMICS_H_
+#define KCORE_CUSIM_ATOMICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "perf/perf_counters.h"
+
+namespace kcore::sim {
+
+/// Which memory space an atomic targets; determines both the charged cost
+/// and the counter it increments.
+enum class MemSpace { kGlobal, kShared };
+
+/// CUDA atomicAdd: returns the old value. Real std::atomic_ref RMW, so
+/// concurrently-running simulated blocks exercise genuine data races.
+template <typename T>
+inline T AtomicAdd(T* address, T value, PerfCounters& counters,
+                   MemSpace space = MemSpace::kGlobal) {
+  if (space == MemSpace::kGlobal) {
+    ++counters.global_atomics;
+  } else {
+    ++counters.shared_atomics;
+  }
+  return std::atomic_ref<T>(*address).fetch_add(value,
+                                                std::memory_order_relaxed);
+}
+
+/// CUDA atomicSub: returns the old value.
+template <typename T>
+inline T AtomicSub(T* address, T value, PerfCounters& counters,
+                   MemSpace space = MemSpace::kGlobal) {
+  if (space == MemSpace::kGlobal) {
+    ++counters.global_atomics;
+  } else {
+    ++counters.shared_atomics;
+  }
+  return std::atomic_ref<T>(*address).fetch_sub(value,
+                                                std::memory_order_relaxed);
+}
+
+/// CUDA atomicMax: returns the old value. (CAS loop: std::atomic_ref has no
+/// fetch_max until C++26.)
+template <typename T>
+inline T AtomicMax(T* address, T value, PerfCounters& counters,
+                   MemSpace space = MemSpace::kGlobal) {
+  if (space == MemSpace::kGlobal) {
+    ++counters.global_atomics;
+  } else {
+    ++counters.shared_atomics;
+  }
+  std::atomic_ref<T> ref(*address);
+  T old = ref.load(std::memory_order_relaxed);
+  while (old < value && !ref.compare_exchange_weak(
+                            old, value, std::memory_order_relaxed)) {
+  }
+  return old;
+}
+
+/// CUDA atomicCAS: returns the old value.
+template <typename T>
+inline T AtomicCas(T* address, T expected, T desired, PerfCounters& counters,
+                   MemSpace space = MemSpace::kGlobal) {
+  if (space == MemSpace::kGlobal) {
+    ++counters.global_atomics;
+  } else {
+    ++counters.shared_atomics;
+  }
+  std::atomic_ref<T>(*address).compare_exchange_strong(
+      expected, desired, std::memory_order_relaxed);
+  return expected;  // compare_exchange loads the old value into `expected`
+}
+
+/// Plain (non-atomic in CUDA terms) load/store with access counting. Used
+/// where the simulated kernel would issue an ordinary global access, but a
+/// relaxed atomic load keeps the host program free of C++ data-race UB when
+/// another simulated block writes the same address concurrently.
+template <typename T>
+inline T GlobalLoad(const T* address, PerfCounters& counters) {
+  ++counters.global_reads;
+  // atomic_ref requires a mutable lvalue; the load itself never writes.
+  return std::atomic_ref<T>(*const_cast<T*>(address))
+      .load(std::memory_order_relaxed);
+}
+
+template <typename T>
+inline void GlobalStore(T* address, T value, PerfCounters& counters) {
+  ++counters.global_writes;
+  std::atomic_ref<T>(*address).store(value, std::memory_order_relaxed);
+}
+
+}  // namespace kcore::sim
+
+#endif  // KCORE_CUSIM_ATOMICS_H_

@@ -1,0 +1,100 @@
+#ifndef KCORE_CUSIM_BLOCK_H_
+#define KCORE_CUSIM_BLOCK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/check.h"
+#include "cusim/warp.h"
+#include "perf/perf_counters.h"
+
+namespace kcore::sim {
+
+/// One thread block of a simulated kernel launch.
+///
+/// Execution semantics: a block runs on one host OS thread. Its warps
+/// execute sequentially inside each barrier interval (a legal SIMT
+/// schedule); `Sync()` marks `__syncthreads()` boundaries, which under warp
+/// serialization are ordering no-ops but are counted for the cost model.
+/// Distinct blocks of one launch run on *different* host threads
+/// concurrently, so all cross-block interactions through device memory
+/// (atomics on deg[], gpu_count, ...) are real races, exactly the ones the
+/// paper's redundancy-avoidance logic (Alg. 3 lines 20-24) must survive.
+class BlockCtx {
+ public:
+  BlockCtx(uint32_t block_id, uint32_t num_blocks, uint32_t block_dim,
+           uint32_t shared_mem_bytes)
+      : block_id_(block_id),
+        num_blocks_(num_blocks),
+        block_dim_(block_dim),
+        shared_(shared_mem_bytes) {
+    KCORE_CHECK_EQ(block_dim % kWarpSize, 0u);
+  }
+
+  BlockCtx(const BlockCtx&) = delete;
+  BlockCtx& operator=(const BlockCtx&) = delete;
+
+  uint32_t block_id() const { return block_id_; }
+  uint32_t num_blocks() const { return num_blocks_; }
+  uint32_t block_dim() const { return block_dim_; }
+  uint32_t num_warps() const { return block_dim_ / kWarpSize; }
+  /// Total threads across the launch (NUM_THREADS in the paper's §III).
+  uint64_t grid_threads() const {
+    return static_cast<uint64_t>(num_blocks_) * block_dim_;
+  }
+
+  PerfCounters& counters() { return counters_; }
+
+  /// Allocates `count` zero-initialized Ts from this block's shared memory.
+  /// Exceeding the per-block shared-memory budget is a configuration bug
+  /// (CUDA would fail the launch), hence fatal.
+  template <typename T>
+  T* SharedAlloc(size_t count) {
+    const size_t align = alignof(T) < 8 ? 8 : alignof(T);
+    size_t offset = (shared_used_ + align - 1) / align * align;
+    const size_t bytes = count * sizeof(T);
+    KCORE_CHECK(offset + bytes <= shared_.size());
+    shared_used_ = offset + bytes;
+    std::memset(shared_.data() + offset, 0, bytes);
+    counters_.shared_ops += count;
+    return reinterpret_cast<T*>(shared_.data() + offset);
+  }
+
+  /// Bytes of shared memory currently allocated in this block.
+  size_t shared_used() const { return shared_used_; }
+
+  /// Runs fn(warp) for every warp of the block, in warp-ID order.
+  template <typename Fn>
+  void ForEachWarp(Fn&& fn) {
+    const uint32_t warps = num_warps();
+    for (uint32_t w = 0; w < warps; ++w) {
+      WarpCtx warp(w, warps, &counters_);
+      fn(warp);
+    }
+  }
+
+  /// Runs fn(thread_in_block) for every thread of the block, in order.
+  /// Mirrors per-thread kernel code like the scan kernel (Alg. 2).
+  template <typename Fn>
+  void ForEachThread(Fn&& fn) {
+    for (uint32_t t = 0; t < block_dim_; ++t) fn(t);
+    counters_.lane_ops += block_dim_;
+  }
+
+  /// __syncthreads(): counted block barrier.
+  void Sync() { ++counters_.barriers; }
+
+ private:
+  uint32_t block_id_;
+  uint32_t num_blocks_;
+  uint32_t block_dim_;
+  std::vector<std::byte> shared_;
+  size_t shared_used_ = 0;
+  PerfCounters counters_;
+};
+
+}  // namespace kcore::sim
+
+#endif  // KCORE_CUSIM_BLOCK_H_

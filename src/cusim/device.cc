@@ -1,0 +1,12 @@
+#include "cusim/device.h"
+
+#include "common/strings.h"
+
+namespace kcore::sim {
+
+std::string Device::StrFormatBytes(uint64_t bytes) {
+  return StrFormat("device allocation of %s failed",
+                   HumanBytes(bytes).c_str());
+}
+
+}  // namespace kcore::sim

@@ -1,0 +1,219 @@
+#ifndef KCORE_CUSIM_DEVICE_H_
+#define KCORE_CUSIM_DEVICE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/statusor.h"
+#include "common/thread_pool.h"
+#include "cusim/block.h"
+#include "perf/cost_model.h"
+#include "perf/perf_counters.h"
+
+namespace kcore::sim {
+
+class Device;
+
+/// An owning handle to a device-memory allocation (cudaMalloc analogue).
+/// Freeing returns the bytes to the device's accounting. Move-only.
+template <typename T>
+class DeviceArray {
+ public:
+  DeviceArray() = default;
+  ~DeviceArray() { Reset(); }
+
+  DeviceArray(const DeviceArray&) = delete;
+  DeviceArray& operator=(const DeviceArray&) = delete;
+
+  DeviceArray(DeviceArray&& other) noexcept { *this = std::move(other); }
+  DeviceArray& operator=(DeviceArray&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      device_ = other.device_;
+      data_ = std::move(other.data_);
+      size_ = other.size_;
+      other.device_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  T* data() { return data_.get(); }
+  const T* data() const { return data_.get(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  std::span<T> span() { return {data_.get(), size_}; }
+  std::span<const T> span() const { return {data_.get(), size_}; }
+
+  /// cudaMemcpy host->device. `host.size()` must not exceed size().
+  void CopyFromHost(std::span<const T> host);
+  /// cudaMemcpy device->host. `host.size()` must not exceed size().
+  void CopyToHost(std::span<T> host) const;
+
+  /// Frees the allocation (cudaFree analogue).
+  void Reset();
+
+ private:
+  friend class Device;
+  DeviceArray(Device* device, std::unique_ptr<T[]> data, size_t size)
+      : device_(device), data_(std::move(data)), size_(size) {}
+
+  Device* device_ = nullptr;
+  std::unique_ptr<T[]> data_;
+  size_t size_ = 0;
+};
+
+/// Configuration of the simulated GPU.
+struct DeviceOptions {
+  /// Capacity of global memory; allocations beyond it fail with OutOfMemory
+  /// (how the paper's Table III/V "OOM" rows arise). The benchmark default
+  /// scales the P100's 16 GB by the dataset scale factor.
+  uint64_t global_mem_bytes = 512ull << 20;
+  /// Streaming multiprocessors; blocks beyond this count run in waves.
+  uint32_t num_sms = 108;
+  /// Per-block shared-memory budget (P100-class: 48-64 KB usable).
+  uint32_t shared_mem_per_block = 56u << 10;
+  /// Modeled PCIe host<->device bandwidth, bytes/second.
+  double pcie_bytes_per_sec = 12.0e9;
+  /// Cost model converting counted kernel work into modeled time.
+  CostModel cost = GpuNativeCostModel();
+  /// Host threads executing simulated blocks; nullptr = process default.
+  ThreadPool* pool = nullptr;
+};
+
+/// The simulated GPU: device-memory accounting with a peak watermark
+/// (Table V), a kernel launcher that executes blocks concurrently on host
+/// threads, and a modeled clock fed by the cost model.
+///
+/// Thread compatibility: Alloc/Launch/clock methods must be called from the
+/// host (driving) thread only, mirroring a single CUDA stream.
+class Device {
+ public:
+  explicit Device(DeviceOptions options = {}) : options_(options) {}
+
+  const DeviceOptions& options() const { return options_; }
+
+  /// Allocates `count` zero-initialized elements of device memory.
+  template <typename U>
+  StatusOr<DeviceArray<U>> Alloc(size_t count) {
+    const uint64_t bytes = count * sizeof(U);
+    if (current_bytes_ + bytes > options_.global_mem_bytes) {
+      return Status::OutOfMemory(StrFormatBytes(bytes));
+    }
+    current_bytes_ += bytes;
+    peak_bytes_ = std::max(peak_bytes_, current_bytes_);
+    return DeviceArray<U>(this, std::make_unique<U[]>(count), count);
+  }
+
+  /// Launches `kernel` over `num_blocks` blocks of `block_dim` threads.
+  /// `kernel` is invoked once per block as kernel(BlockCtx&); distinct
+  /// blocks run concurrently on host threads.
+  template <typename Kernel>
+  void Launch(uint32_t num_blocks, uint32_t block_dim, Kernel&& kernel) {
+    KCORE_CHECK_GT(num_blocks, 0u);
+    std::vector<PerfCounters> per_block(num_blocks);
+    ThreadPool& workers = pool();
+    workers.ParallelFor(num_blocks, [&](uint64_t b) {
+      BlockCtx block(static_cast<uint32_t>(b), num_blocks, block_dim,
+                     options_.shared_mem_per_block);
+      kernel(block);
+      per_block[b] = block.counters();
+    });
+
+    double max_block_ns = 0.0;
+    double sum_block_ns = 0.0;
+    PerfCounters launch_total;
+    for (const PerfCounters& c : per_block) {
+      const double ns = options_.cost.UnitTimeNs(c);
+      max_block_ns = std::max(max_block_ns, ns);
+      sum_block_ns += ns;
+      launch_total += c;
+    }
+    // Blocks beyond the SM count execute in waves; the kernel cannot finish
+    // before its slowest block nor faster than the work spread over all SMs.
+    const double body_ns =
+        std::max(max_block_ns, sum_block_ns / options_.num_sms);
+    modeled_ns_ += options_.cost.kernel_launch_ns + body_ns;
+    launch_total.kernel_launches = 1;
+    totals_ += launch_total;
+  }
+
+  /// Current and peak global-memory usage (Table V's metric).
+  uint64_t current_bytes() const { return current_bytes_; }
+  uint64_t peak_bytes() const { return peak_bytes_; }
+
+  /// Modeled kernel-execution time accumulated so far.
+  double modeled_ms() const { return modeled_ns_ / 1e6; }
+  /// Modeled host<->device transfer time (reported separately, as the paper
+  /// separates loading from computation).
+  double transfer_ms() const { return transfer_ns_ / 1e6; }
+  /// Aggregated operation counters over all launches.
+  const PerfCounters& totals() const { return totals_; }
+
+  /// Resets the clock and counters (not the memory watermark).
+  void ResetClock() {
+    modeled_ns_ = 0.0;
+    transfer_ns_ = 0.0;
+    totals_ = PerfCounters();
+  }
+
+ private:
+  template <typename U>
+  friend class DeviceArray;
+
+  static std::string StrFormatBytes(uint64_t bytes);
+
+  ThreadPool& pool() {
+    return options_.pool != nullptr ? *options_.pool : DefaultThreadPool();
+  }
+
+  void Release(uint64_t bytes) {
+    KCORE_CHECK_GE(current_bytes_, bytes);
+    current_bytes_ -= bytes;
+  }
+
+  void ChargeTransfer(uint64_t bytes) {
+    transfer_ns_ += static_cast<double>(bytes) /
+                    options_.pcie_bytes_per_sec * 1e9;
+  }
+
+  DeviceOptions options_;
+  uint64_t current_bytes_ = 0;
+  uint64_t peak_bytes_ = 0;
+  double modeled_ns_ = 0.0;
+  double transfer_ns_ = 0.0;
+  PerfCounters totals_;
+};
+
+template <typename T>
+void DeviceArray<T>::CopyFromHost(std::span<const T> host) {
+  KCORE_CHECK_LE(host.size(), size_);
+  std::copy(host.begin(), host.end(), data_.get());
+  device_->ChargeTransfer(host.size() * sizeof(T));
+}
+
+template <typename T>
+void DeviceArray<T>::CopyToHost(std::span<T> host) const {
+  KCORE_CHECK_LE(host.size(), size_);
+  std::copy(data_.get(), data_.get() + host.size(), host.begin());
+  device_->ChargeTransfer(host.size() * sizeof(T));
+}
+
+template <typename T>
+void DeviceArray<T>::Reset() {
+  if (device_ != nullptr) {
+    device_->Release(size_ * sizeof(T));
+    device_ = nullptr;
+  }
+  data_.reset();
+  size_ = 0;
+}
+
+}  // namespace kcore::sim
+
+#endif  // KCORE_CUSIM_DEVICE_H_

@@ -1,0 +1,71 @@
+#ifndef KCORE_CUSIM_WARP_H_
+#define KCORE_CUSIM_WARP_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "perf/perf_counters.h"
+
+namespace kcore::sim {
+
+/// Number of lanes per warp, as on all NVIDIA architectures.
+inline constexpr uint32_t kWarpSize = 32;
+
+/// One warp of the simulated SIMT machine.
+///
+/// Execution semantics: lane bodies run sequentially in lane order on the
+/// host thread that owns the enclosing block. This is one legal SIMT
+/// schedule — CUDA guarantees no intra-warp ordering beyond explicit sync
+/// primitives, so any kernel that is correct under CUDA's model is correct
+/// under this serialization; warp-wide collectives (BallotSync) evaluate all
+/// lanes before producing the collective result, matching lockstep hardware.
+class WarpCtx {
+ public:
+  WarpCtx(uint32_t warp_id, uint32_t num_warps, PerfCounters* counters)
+      : warp_id_(warp_id), num_warps_(num_warps), counters_(counters) {}
+
+  uint32_t warp_id() const { return warp_id_; }
+  uint32_t num_warps() const { return num_warps_; }
+  PerfCounters& counters() { return *counters_; }
+
+  /// Runs fn(lane) for lane = 0..31. Equivalent to one SIMD instruction
+  /// sequence over the full mask.
+  template <typename Fn>
+  void ForEachLane(Fn&& fn) {
+    for (uint32_t lane = 0; lane < kWarpSize; ++lane) fn(lane);
+    counters_->lane_ops += kWarpSize;
+  }
+
+  /// __ballot_sync(FULL_MASK, pred): evaluates the predicate on every lane
+  /// and returns the 32-bit vote bitmap (bit `lane` = pred(lane)).
+  template <typename Pred>
+  uint32_t BallotSync(Pred&& pred) {
+    uint32_t bits = 0;
+    for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+      if (pred(lane)) bits |= 1u << lane;
+    }
+    counters_->lane_ops += kWarpSize;
+    return bits;
+  }
+
+  /// __syncwarp(): a warp barrier. Free under lane serialization but counted
+  /// so instruction mixes match the real kernels.
+  void SyncWarp() { ++counters_->lane_ops; }
+
+  /// __popc(x).
+  static uint32_t Popc(uint32_t x) { return std::popcount(x); }
+
+  /// The mask of lanes strictly below `lane` (for exclusive ballot scans).
+  static uint32_t LaneMaskLt(uint32_t lane) {
+    return lane == 0 ? 0u : (0xffffffffu >> (kWarpSize - lane));
+  }
+
+ private:
+  uint32_t warp_id_;
+  uint32_t num_warps_;
+  PerfCounters* counters_;
+};
+
+}  // namespace kcore::sim
+
+#endif  // KCORE_CUSIM_WARP_H_

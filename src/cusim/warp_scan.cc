@@ -1,0 +1,99 @@
+#include "cusim/warp_scan.h"
+
+#include "common/check.h"
+
+namespace kcore::sim {
+
+void HillisSteeleInclusiveScan(uint32_t values[kWarpSize],
+                               PerfCounters& counters) {
+  // In iteration i, lane j adds the value from lane j - 2^(i-1). On hardware
+  // each iteration is one __shfl_up + add over all lanes; here lanes are
+  // evaluated into a temp to preserve the lockstep read-before-write order.
+  uint32_t temp[kWarpSize];
+  for (uint32_t stride = 1; stride < kWarpSize; stride <<= 1) {
+    for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+      temp[lane] =
+          lane >= stride ? values[lane] + values[lane - stride] : values[lane];
+    }
+    for (uint32_t lane = 0; lane < kWarpSize; ++lane) values[lane] = temp[lane];
+    counters.scan_steps += kWarpSize;
+  }
+}
+
+uint32_t BlellochExclusiveScan(uint32_t values[kWarpSize],
+                               PerfCounters& counters) {
+  // Up-sweep (reduce).
+  for (uint32_t stride = 1; stride < kWarpSize; stride <<= 1) {
+    for (uint32_t i = 2 * stride - 1; i < kWarpSize; i += 2 * stride) {
+      values[i] += values[i - stride];
+    }
+    counters.scan_steps += kWarpSize;
+  }
+  const uint32_t total = values[kWarpSize - 1];
+  values[kWarpSize - 1] = 0;
+  // Down-sweep.
+  for (uint32_t stride = kWarpSize / 2; stride >= 1; stride >>= 1) {
+    for (uint32_t i = 2 * stride - 1; i < kWarpSize; i += 2 * stride) {
+      const uint32_t left = values[i - stride];
+      values[i - stride] = values[i];
+      values[i] += left;
+    }
+    counters.scan_steps += kWarpSize;
+  }
+  return total;
+}
+
+uint32_t BallotExclusiveScan(WarpCtx& warp, const uint32_t flags[kWarpSize],
+                             uint32_t exclusive[kWarpSize]) {
+  const uint32_t bits =
+      warp.BallotSync([&](uint32_t lane) { return flags[lane] != 0; });
+  warp.ForEachLane([&](uint32_t lane) {
+    exclusive[lane] = WarpCtx::Popc(bits & WarpCtx::LaneMaskLt(lane));
+  });
+  warp.counters().scan_steps += kWarpSize;
+  return WarpCtx::Popc(bits);
+}
+
+uint32_t BlockExclusiveScan(BlockCtx& block, const uint32_t* flags,
+                            uint32_t* exclusive) {
+  const uint32_t num_warps = block.num_warps();
+  KCORE_CHECK_LE(num_warps, kWarpSize);
+  PerfCounters& counters = block.counters();
+
+  // Stage 1: per-warp inclusive HS scan into `exclusive` (temporarily
+  // holding inclusive values).
+  uint32_t warp_sums[kWarpSize] = {0};
+  block.ForEachWarp([&](WarpCtx& warp) {
+    uint32_t local[kWarpSize];
+    const uint32_t base = warp.warp_id() * kWarpSize;
+    for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+      local[lane] = flags[base + lane];
+    }
+    HillisSteeleInclusiveScan(local, counters);
+    for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+      exclusive[base + lane] = local[lane];
+    }
+    warp_sums[warp.warp_id()] = local[kWarpSize - 1];
+  });
+  block.Sync();  // Stage 2 barrier: warp sums visible to Warp 0.
+
+  // Stage 3: Warp 0 HS-scans the warp sums (not 0/1, so ballot scan cannot
+  // be used here — paper Fig. 9 note).
+  HillisSteeleInclusiveScan(warp_sums, counters);
+  block.Sync();  // Stage 4 barrier: per-warp global offsets visible.
+
+  // Stage 4: add each warp's global offset; convert inclusive -> exclusive.
+  block.ForEachWarp([&](WarpCtx& warp) {
+    const uint32_t w = warp.warp_id();
+    const uint32_t base = w * kWarpSize;
+    const uint32_t warp_offset = w == 0 ? 0 : warp_sums[w - 1];
+    warp.ForEachLane([&](uint32_t lane) {
+      const uint32_t inclusive = exclusive[base + lane] + warp_offset;
+      exclusive[base + lane] = inclusive - flags[base + lane];
+    });
+  });
+  block.Sync();
+  return warp_sums[num_warps - 1];
+}
+
+}  // namespace kcore::sim

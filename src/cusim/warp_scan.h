@@ -1,0 +1,43 @@
+#ifndef KCORE_CUSIM_WARP_SCAN_H_
+#define KCORE_CUSIM_WARP_SCAN_H_
+
+#include <cstdint>
+
+#include "cusim/block.h"
+#include "cusim/warp.h"
+#include "perf/perf_counters.h"
+
+namespace kcore::sim {
+
+/// Warp-level prefix-sum algorithms used by the compaction variants
+/// (paper Fig. 8). All operate on one warp's 32 values.
+
+/// Hillis–Steele inclusive scan, in place: log2(32)=5 SIMD iterations.
+/// values[i] becomes sum(values[0..i]).
+void HillisSteeleInclusiveScan(uint32_t values[kWarpSize],
+                               PerfCounters& counters);
+
+/// Blelloch work-efficient exclusive scan, in place; returns the total.
+/// Runs 2*log2(32) sweeps (the paper notes it needs twice the iterations of
+/// Hillis–Steele, which is why HS is preferred at warp width).
+uint32_t BlellochExclusiveScan(uint32_t values[kWarpSize],
+                               PerfCounters& counters);
+
+/// Ballot scan (Fig. 8(c)): for 0/1 flags, compacts the lane votes into one
+/// 32-bit bitmap with __ballot_sync, then each lane pops the bits below it.
+/// Writes exclusive prefix counts into `exclusive` and returns the total
+/// number of set flags.
+uint32_t BallotExclusiveScan(WarpCtx& warp, const uint32_t flags[kWarpSize],
+                             uint32_t exclusive[kWarpSize]);
+
+/// Two-stage intra-block exclusive scan (paper Fig. 9) over
+/// `block.block_dim()` 0/1 flags: (1) per-warp HS scans, (2) warp sums are
+/// collected, (3) Warp 0 HS-scans the 32 sums, (4) warp offsets are added.
+/// Writes exclusive offsets into `exclusive` and returns the block total.
+/// Requires num_warps() <= 32 (one warp must cover the warp sums).
+uint32_t BlockExclusiveScan(BlockCtx& block, const uint32_t* flags,
+                            uint32_t* exclusive);
+
+}  // namespace kcore::sim
+
+#endif  // KCORE_CUSIM_WARP_SCAN_H_

@@ -1,0 +1,126 @@
+#include "generators/citation.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace kcore {
+
+CitationCorpus GenerateCitationCorpus(const CitationOptions& options) {
+  KCORE_CHECK_GE(options.num_topics, 1u);
+  KCORE_CHECK_GE(options.num_authors, options.num_topics);
+  KCORE_CHECK_LE(options.first_year, options.last_year);
+  KCORE_CHECK_GE(options.min_authors_per_paper, 1u);
+  KCORE_CHECK_GE(options.max_authors_per_paper,
+                 options.min_authors_per_paper);
+  Rng rng(options.seed);
+
+  CitationCorpus corpus;
+  corpus.num_authors = options.num_authors;
+  corpus.papers.reserve(options.num_papers);
+
+  const uint32_t authors_per_topic = options.num_authors / options.num_topics;
+  const uint32_t num_years = options.last_year - options.first_year + 1;
+
+  // citation_count[p] + 1 drives preferential citing.
+  std::vector<uint32_t> citation_count;
+  citation_count.reserve(options.num_papers);
+  // Per-topic list of paper indices, for within-topic citations.
+  std::vector<std::vector<uint32_t>> topic_papers(options.num_topics);
+  std::vector<uint32_t> paper_topic;
+  paper_topic.reserve(options.num_papers);
+
+  for (uint32_t p = 0; p < options.num_papers; ++p) {
+    Paper paper;
+    // Years increase with paper index so references always point backward.
+    const uint32_t year_index =
+        static_cast<uint32_t>((static_cast<uint64_t>(p) * num_years) /
+                              options.num_papers);
+    paper.year = options.first_year + year_index;
+
+    const auto topic = static_cast<uint32_t>(
+        rng.UniformInt(options.num_topics));
+
+    // Active author window for this topic slides with time: authors are
+    // ordered within the topic, and the window start advances with the year.
+    const auto window_size = std::max<uint32_t>(
+        2, static_cast<uint32_t>(authors_per_topic * options.active_fraction));
+    const uint32_t slide_range =
+        authors_per_topic > window_size ? authors_per_topic - window_size : 0;
+    const uint32_t window_start =
+        num_years <= 1
+            ? 0
+            : static_cast<uint32_t>(
+                  (static_cast<uint64_t>(year_index) * slide_range) /
+                  (num_years - 1));
+
+    const auto num_paper_authors = static_cast<uint32_t>(rng.UniformRange(
+        options.min_authors_per_paper, options.max_authors_per_paper));
+    for (uint32_t a = 0; a < num_paper_authors; ++a) {
+      const uint32_t local =
+          window_start + static_cast<uint32_t>(rng.UniformInt(window_size));
+      const uint32_t author =
+          topic * authors_per_topic + std::min(local, authors_per_topic - 1);
+      if (std::find(paper.authors.begin(), paper.authors.end(), author) ==
+          paper.authors.end()) {
+        paper.authors.push_back(author);
+      }
+    }
+
+    // Citations: preferential within topic, occasionally across topics.
+    for (uint32_t c = 0; c < options.citations_per_paper; ++c) {
+      const uint32_t cite_topic =
+          rng.Bernoulli(options.cross_topic_citation_prob)
+              ? static_cast<uint32_t>(rng.UniformInt(options.num_topics))
+              : topic;
+      const auto& pool = topic_papers[cite_topic];
+      if (pool.empty()) continue;
+      // Two-candidate preferential choice: pick two uniform candidates, keep
+      // the more-cited one. Cheap approximation of degree-proportional.
+      const uint32_t cand1 = pool[rng.UniformInt(pool.size())];
+      const uint32_t cand2 = pool[rng.UniformInt(pool.size())];
+      const uint32_t cited =
+          citation_count[cand1] >= citation_count[cand2] ? cand1 : cand2;
+      if (std::find(paper.references.begin(), paper.references.end(),
+                    cited) == paper.references.end()) {
+        paper.references.push_back(cited);
+        ++citation_count[cited];
+      }
+    }
+
+    topic_papers[topic].push_back(p);
+    paper_topic.push_back(topic);
+    citation_count.push_back(0);
+    corpus.papers.push_back(std::move(paper));
+  }
+  return corpus;
+}
+
+EdgeList BuildAuthorInteractionEdges(const CitationCorpus& corpus,
+                                     uint32_t cutoff_year) {
+  EdgeList edges;
+  for (const Paper& paper : corpus.papers) {
+    if (paper.year > cutoff_year) continue;
+    // Co-authorship also links authors (they interacted on the paper).
+    for (size_t i = 0; i < paper.authors.size(); ++i) {
+      for (size_t j = i + 1; j < paper.authors.size(); ++j) {
+        edges.push_back({paper.authors[i], paper.authors[j]});
+      }
+    }
+    for (uint32_t ref : paper.references) {
+      const Paper& cited = corpus.papers[ref];
+      if (cited.year > cutoff_year) continue;
+      for (uint32_t citing_author : paper.authors) {
+        for (uint32_t cited_author : cited.authors) {
+          if (citing_author != cited_author) {
+            edges.push_back({citing_author, cited_author});
+          }
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace kcore

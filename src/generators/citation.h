@@ -1,0 +1,57 @@
+#ifndef KCORE_GENERATORS_CITATION_H_
+#define KCORE_GENERATORS_CITATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.h"
+
+namespace kcore {
+
+/// A paper in the synthetic temporal citation corpus (stands in for the
+/// ArnetMiner dataset of the paper's Fig. 10 case study).
+struct Paper {
+  uint32_t year = 0;
+  std::vector<uint32_t> authors;     ///< Author IDs.
+  std::vector<uint32_t> references;  ///< Indices of cited (earlier) papers.
+};
+
+struct CitationCorpus {
+  std::vector<Paper> papers;
+  uint32_t num_authors = 0;
+};
+
+/// Controls corpus growth. Authors belong to topic communities; papers cite
+/// mostly within their community and preferentially cite highly-cited work,
+/// and each community's author pool drifts over time so early-active authors
+/// fall out of later cores (the Fig. 10 phenomenon).
+struct CitationOptions {
+  uint32_t num_papers = 20000;
+  uint32_t num_authors = 3000;
+  uint32_t num_topics = 10;           ///< As in the ArnetMiner subset used.
+  uint32_t first_year = 1980;
+  uint32_t last_year = 2000;
+  uint32_t min_authors_per_paper = 1;
+  uint32_t max_authors_per_paper = 4;
+  uint32_t citations_per_paper = 8;
+  double cross_topic_citation_prob = 0.1;
+  /// Fraction of each community's author pool active at any one time; the
+  /// active window slides with the years.
+  double active_fraction = 0.35;
+  uint64_t seed = 42;
+};
+
+/// Generates a reproducible synthetic citation corpus.
+CitationCorpus GenerateCitationCorpus(const CitationOptions& options);
+
+/// Builds the author interaction network of papers published in or before
+/// `cutoff_year`: an (undirected) edge (u,v) exists iff some paper
+/// (co-)authored by u within the cutoff cites a paper (co-)authored by v
+/// (paper §VI Case Study preprocessing).
+EdgeList BuildAuthorInteractionEdges(const CitationCorpus& corpus,
+                                     uint32_t cutoff_year);
+
+}  // namespace kcore
+
+#endif  // KCORE_GENERATORS_CITATION_H_

@@ -1,0 +1,203 @@
+#include "generators/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace kcore {
+
+namespace {
+
+/// Packs an unordered pair into one key for dedup during sampling.
+uint64_t PairKey(uint32_t u, uint32_t v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+EdgeList GenerateErdosRenyi(uint32_t num_vertices, uint64_t num_edges,
+                            uint64_t seed) {
+  KCORE_CHECK_GE(num_vertices, 2u);
+  const uint64_t max_edges =
+      static_cast<uint64_t>(num_vertices) * (num_vertices - 1) / 2;
+  KCORE_CHECK_LE(num_edges, max_edges);
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  EdgeList edges;
+  edges.reserve(num_edges);
+  while (edges.size() < num_edges) {
+    const auto u = static_cast<uint32_t>(rng.UniformInt(num_vertices));
+    const auto v = static_cast<uint32_t>(rng.UniformInt(num_vertices));
+    if (u == v) continue;
+    if (seen.insert(PairKey(u, v)).second) edges.push_back({u, v});
+  }
+  return edges;
+}
+
+EdgeList GenerateBarabasiAlbert(uint32_t num_vertices,
+                                uint32_t edges_per_vertex, uint64_t seed) {
+  KCORE_CHECK_GE(edges_per_vertex, 1u);
+  KCORE_CHECK_GT(num_vertices, edges_per_vertex);
+  Rng rng(seed);
+  EdgeList edges;
+  // `targets` holds one entry per edge endpoint; sampling uniformly from it
+  // realizes degree-proportional (preferential) attachment.
+  std::vector<uint32_t> targets;
+  targets.reserve(static_cast<size_t>(num_vertices) * edges_per_vertex * 2);
+
+  // Seed clique over the first edges_per_vertex+1 vertices.
+  const uint32_t seed_n = edges_per_vertex + 1;
+  for (uint32_t u = 0; u < seed_n; ++u) {
+    for (uint32_t v = u + 1; v < seed_n; ++v) {
+      edges.push_back({u, v});
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+
+  std::unordered_set<uint32_t> chosen;
+  for (uint32_t v = seed_n; v < num_vertices; ++v) {
+    chosen.clear();
+    while (chosen.size() < edges_per_vertex) {
+      const uint32_t u = targets[rng.UniformInt(targets.size())];
+      chosen.insert(u);
+    }
+    for (uint32_t u : chosen) {
+      edges.push_back({u, v});
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  return edges;
+}
+
+EdgeList GenerateRmat(const RmatOptions& options) {
+  const double total = options.a + options.b + options.c + options.d;
+  KCORE_CHECK(std::abs(total - 1.0) < 1e-9);
+  const uint32_t n = 1u << options.scale;
+  Rng rng(options.seed);
+  EdgeList edges;
+  edges.reserve(options.num_edges);
+  for (uint64_t i = 0; i < options.num_edges; ++i) {
+    uint32_t u = 0;
+    uint32_t v = 0;
+    for (uint32_t bit = options.scale; bit-- > 0;) {
+      const double r = rng.UniformReal();
+      if (r < options.a) {
+        // top-left: no bits set
+      } else if (r < options.a + options.b) {
+        v |= 1u << bit;
+      } else if (r < options.a + options.b + options.c) {
+        u |= 1u << bit;
+      } else {
+        u |= 1u << bit;
+        v |= 1u << bit;
+      }
+    }
+    if (u == v) {
+      --i;  // resample self-loops to keep the edge budget
+      continue;
+    }
+    edges.push_back({u, v});
+    (void)n;
+  }
+  return edges;
+}
+
+EdgeList GenerateChungLuPowerLaw(uint32_t num_vertices, uint64_t num_edges,
+                                 double exponent, uint64_t seed) {
+  KCORE_CHECK_GT(exponent, 2.0);
+  KCORE_CHECK_GE(num_vertices, 2u);
+  Rng rng(seed);
+
+  // Expected-degree weights w_i ~ (i+1)^(-1/(exponent-1)).
+  std::vector<double> prefix(num_vertices + 1, 0.0);
+  const double gamma = 1.0 / (exponent - 1.0);
+  for (uint32_t i = 0; i < num_vertices; ++i) {
+    prefix[i + 1] = prefix[i] + std::pow(static_cast<double>(i + 1), -gamma);
+  }
+  const double total_weight = prefix[num_vertices];
+
+  auto sample_vertex = [&]() -> uint32_t {
+    const double target = rng.UniformReal() * total_weight;
+    const auto it = std::upper_bound(prefix.begin(), prefix.end(), target);
+    const auto idx = static_cast<uint32_t>(it - prefix.begin());
+    return idx == 0 ? 0 : std::min(idx - 1, num_vertices - 1);
+  };
+
+  EdgeList edges;
+  edges.reserve(num_edges);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = num_edges * 50 + 1000;
+  while (edges.size() < num_edges && attempts < max_attempts) {
+    ++attempts;
+    const uint32_t u = sample_vertex();
+    const uint32_t v = sample_vertex();
+    if (u == v) continue;
+    if (seen.insert(PairKey(u, v)).second) edges.push_back({u, v});
+  }
+  return edges;
+}
+
+EdgeList OverlayPlantedCore(EdgeList background, uint32_t num_vertices,
+                            const PlantedCoreOptions& options, uint64_t seed) {
+  KCORE_CHECK_LE(options.core_size, num_vertices);
+  Rng rng(seed);
+
+  // Choose the planted community by reservoir-free partial Fisher–Yates.
+  std::vector<uint32_t> pool(num_vertices);
+  for (uint32_t i = 0; i < num_vertices; ++i) pool[i] = i;
+  for (uint32_t i = 0; i < options.core_size; ++i) {
+    const auto j =
+        static_cast<uint32_t>(i + rng.UniformInt(num_vertices - i));
+    std::swap(pool[i], pool[j]);
+  }
+
+  for (uint32_t i = 0; i < options.core_size; ++i) {
+    for (uint32_t j = i + 1; j < options.core_size; ++j) {
+      if (rng.Bernoulli(options.core_density)) {
+        background.push_back({pool[i], pool[j]});
+      }
+    }
+  }
+  return background;
+}
+
+EdgeList GenerateHubGraph(const HubGraphOptions& options, uint64_t seed) {
+  KCORE_CHECK_GT(options.num_vertices, options.num_hubs);
+  Rng rng(seed);
+  EdgeList edges;
+  edges.reserve(static_cast<size_t>(options.num_vertices) *
+                    options.spokes_per_vertex +
+                options.background_edges);
+
+  // Hubs are vertices [0, num_hubs); they form a clique among themselves.
+  for (uint32_t h1 = 0; h1 < options.num_hubs; ++h1) {
+    for (uint32_t h2 = h1 + 1; h2 < options.num_hubs; ++h2) {
+      edges.push_back({h1, h2});
+    }
+  }
+  for (uint32_t v = options.num_hubs; v < options.num_vertices; ++v) {
+    for (uint32_t s = 0; s < options.spokes_per_vertex; ++s) {
+      const auto hub = static_cast<uint32_t>(rng.UniformInt(options.num_hubs));
+      edges.push_back({hub, v});
+    }
+  }
+  // Sparse uniform background so the graph is not a pure star forest.
+  for (uint64_t i = 0; i < options.background_edges; ++i) {
+    const auto u = static_cast<uint32_t>(rng.UniformInt(options.num_vertices));
+    const auto v = static_cast<uint32_t>(rng.UniformInt(options.num_vertices));
+    if (u != v) edges.push_back({u, v});
+  }
+  return edges;
+}
+
+}  // namespace kcore

@@ -1,0 +1,68 @@
+#ifndef KCORE_GENERATORS_GENERATORS_H_
+#define KCORE_GENERATORS_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+
+namespace kcore {
+
+/// Erdős–Rényi G(n, m): m edges sampled uniformly without replacement from
+/// all unordered pairs (no self-loops). Endpoints are dense in [0, n).
+EdgeList GenerateErdosRenyi(uint32_t num_vertices, uint64_t num_edges,
+                            uint64_t seed);
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new vertex to `edges_per_vertex` existing vertices chosen
+/// proportionally to degree. Produces heavy-tailed collaboration-network-like
+/// degree distributions with k_max ~= edges_per_vertex.
+EdgeList GenerateBarabasiAlbert(uint32_t num_vertices,
+                                uint32_t edges_per_vertex, uint64_t seed);
+
+/// Parameters for the RMAT recursive-matrix generator (web-graph-like).
+struct RmatOptions {
+  uint32_t scale = 16;       ///< Vertices = 2^scale.
+  uint64_t num_edges = 1 << 20;
+  double a = 0.57;           ///< Quadrant probabilities; must sum to 1.
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  uint64_t seed = 1;
+};
+
+/// RMAT generator (Chakrabarti et al.); skewed degrees, community structure.
+EdgeList GenerateRmat(const RmatOptions& options);
+
+/// Chung–Lu graph with power-law expected degrees: weight of vertex i is
+/// proportional to (i+1)^(-1/(exponent-1)), scaled so the expected edge count
+/// is `num_edges`. Produces power-law degree sequences with tunable skew.
+EdgeList GenerateChungLuPowerLaw(uint32_t num_vertices, uint64_t num_edges,
+                                 double exponent, uint64_t seed);
+
+/// Overlay configuration for graphs with a planted dense core, used to reach
+/// the high k_max values of web crawls (Table I: in-2004, indochina-2004...).
+struct PlantedCoreOptions {
+  uint32_t core_size = 256;     ///< Vertices in the planted community.
+  double core_density = 0.5;    ///< Edge probability inside the community.
+};
+
+/// Adds a G(core_size, core_density) community over randomly chosen vertices
+/// of `background`; the result has k_max >= roughly core_size*core_density.
+/// Endpoint IDs follow the background's vertex universe `num_vertices`.
+EdgeList OverlayPlantedCore(EdgeList background, uint32_t num_vertices,
+                            const PlantedCoreOptions& options, uint64_t seed);
+
+/// Hub-dominated graph mimicking the `trackers` dataset: a few hubs of huge
+/// degree, most vertices of degree 1-4, degree stddev >> mean.
+struct HubGraphOptions {
+  uint32_t num_vertices = 100000;
+  uint32_t num_hubs = 12;
+  uint32_t spokes_per_vertex = 2;   ///< Hub attachments per ordinary vertex.
+  uint64_t background_edges = 50000;
+};
+
+EdgeList GenerateHubGraph(const HubGraphOptions& options, uint64_t seed);
+
+}  // namespace kcore
+
+#endif  // KCORE_GENERATORS_GENERATORS_H_

@@ -1,0 +1,68 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace kcore {
+
+std::vector<uint32_t> CsrGraph::DegreeArray() const {
+  const VertexId n = NumVertices();
+  std::vector<uint32_t> deg(n);
+  for (VertexId v = 0; v < n; ++v) deg[v] = Degree(v);
+  return deg;
+}
+
+uint32_t CsrGraph::MaxDegree() const {
+  uint32_t max_deg = 0;
+  const VertexId n = NumVertices();
+  for (VertexId v = 0; v < n; ++v) max_deg = std::max(max_deg, Degree(v));
+  return max_deg;
+}
+
+Status CsrGraph::Validate() const {
+  const VertexId n = NumVertices();
+  for (VertexId v = 0; v < n; ++v) {
+    if (offsets_[v] > offsets_[v + 1]) {
+      return Status::Corruption(
+          StrFormat("offsets not monotone at vertex %u", v));
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    VertexId prev = 0;
+    bool first = true;
+    for (VertexId u : Neighbors(v)) {
+      if (u >= n) {
+        return Status::Corruption(
+            StrFormat("neighbor %u of vertex %u out of range", u, v));
+      }
+      if (u == v) {
+        return Status::Corruption(StrFormat("self-loop at vertex %u", v));
+      }
+      if (!first && u == prev) {
+        return Status::Corruption(
+            StrFormat("duplicate neighbor %u at vertex %u", u, v));
+      }
+      // Sorted adjacency lists make symmetry checkable with binary search.
+      if (!first && u < prev) {
+        return Status::Corruption(
+            StrFormat("adjacency of vertex %u not sorted", v));
+      }
+      prev = u;
+      first = false;
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : Neighbors(v)) {
+      const auto nu = Neighbors(u);
+      if (!std::binary_search(nu.begin(), nu.end(), v)) {
+        return Status::Corruption(
+            StrFormat("edge (%u,%u) present but (%u,%u) missing", v, u, u, v));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace kcore

@@ -1,0 +1,107 @@
+#ifndef KCORE_GRAPH_CSR_GRAPH_H_
+#define KCORE_GRAPH_CSR_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace kcore {
+
+/// Densely-indexed vertex identifier. The paper assumes dense IDs and
+/// recodes sparse ones as preprocessing (§IV "Graph Organization in GPU").
+using VertexId = uint32_t;
+
+/// Index into the concatenated adjacency array; 64-bit so graphs with more
+/// than 4B directed edge slots are representable.
+using EdgeIndex = uint64_t;
+
+/// An undirected graph in compressed-sparse-row form, stored exactly as the
+/// paper lays it out in device memory (§IV):
+///   - `neighbors`: concatenation of all adjacency lists,
+///   - `offsets`:   offsets[i] = start of vertex i's list (size V+1),
+///   - degree(i) =  offsets[i+1] - offsets[i].
+/// Both directions of every undirected edge are stored, so
+/// `NumDirectedEdges() == 2 * NumUndirectedEdges()` for simple graphs.
+class CsrGraph {
+ public:
+  /// Constructs an empty graph (0 vertices).
+  CsrGraph() : offsets_(1, 0) {}
+
+  /// Constructs from prebuilt arrays. `offsets` must have size V+1, start at
+  /// 0, be non-decreasing, and end at `neighbors.size()`; all neighbor IDs
+  /// must be < V. Checked (fatal on violation — use Validate() for untrusted
+  /// input).
+  CsrGraph(std::vector<EdgeIndex> offsets, std::vector<VertexId> neighbors)
+      : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+    KCORE_CHECK_GE(offsets_.size(), 1u);
+    KCORE_CHECK_EQ(offsets_.front(), 0u);
+    KCORE_CHECK_EQ(offsets_.back(), neighbors_.size());
+  }
+
+  CsrGraph(const CsrGraph&) = default;
+  CsrGraph& operator=(const CsrGraph&) = default;
+  CsrGraph(CsrGraph&&) = default;
+  CsrGraph& operator=(CsrGraph&&) = default;
+
+  /// Number of vertices V.
+  VertexId NumVertices() const {
+    return static_cast<VertexId>(offsets_.size() - 1);
+  }
+
+  /// Number of directed adjacency slots (2x undirected edge count).
+  EdgeIndex NumDirectedEdges() const { return neighbors_.size(); }
+
+  /// Number of undirected edges, assuming both directions are stored.
+  EdgeIndex NumUndirectedEdges() const { return neighbors_.size() / 2; }
+
+  /// Degree of vertex `v`.
+  uint32_t Degree(VertexId v) const {
+    KCORE_DCHECK(v < NumVertices());
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Adjacency list of `v` as a contiguous view (coalesced-access layout).
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    KCORE_DCHECK(v < NumVertices());
+    return {neighbors_.data() + offsets_[v],
+            static_cast<size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  /// Raw arrays, used by device-side code to mirror the graph.
+  const std::vector<EdgeIndex>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& neighbors() const { return neighbors_; }
+
+  /// Degrees of all vertices as a fresh array (the mutable `deg[.]` copy the
+  /// algorithms work on).
+  std::vector<uint32_t> DegreeArray() const;
+
+  /// Largest vertex degree (0 for an empty graph).
+  uint32_t MaxDegree() const;
+
+  /// Deep structural validation for graphs from untrusted sources: offsets
+  /// monotone, neighbor IDs in range, no self-loops, adjacency symmetric
+  /// (u in N(v) iff v in N(u)), and lists free of duplicates.
+  Status Validate() const;
+
+  /// Bytes used by the two arrays (what a device copy would occupy).
+  uint64_t MemoryBytes() const {
+    return offsets_.size() * sizeof(EdgeIndex) +
+           neighbors_.size() * sizeof(VertexId);
+  }
+
+  bool operator==(const CsrGraph& other) const {
+    return offsets_ == other.offsets_ && neighbors_ == other.neighbors_;
+  }
+
+ private:
+  std::vector<EdgeIndex> offsets_;
+  std::vector<VertexId> neighbors_;
+};
+
+}  // namespace kcore
+
+#endif  // KCORE_GRAPH_CSR_GRAPH_H_

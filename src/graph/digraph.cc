@@ -1,0 +1,47 @@
+#include "graph/digraph.h"
+
+#include "graph/graph_builder.h"
+
+namespace kcore {
+
+DirectedGraph BuildDirectedGraph(const EdgeList& edges,
+                                 VertexId num_vertices) {
+  EdgeList forward;
+  EdgeList reverse;
+  forward.reserve(edges.size());
+  reverse.reserve(edges.size());
+  for (const RawEdge& e : edges) {
+    if (e.u == e.v) continue;
+    KCORE_CHECK(e.u < num_vertices && e.v < num_vertices);
+    forward.push_back(e);
+    reverse.push_back({e.v, e.u});
+  }
+  BuildOptions options;
+  options.make_undirected = false;
+  options.recode_ids = false;
+  options.remove_self_loops = true;
+  options.dedup = true;
+
+  auto build_one = [&](const EdgeList& arcs) {
+    // Pad the vertex range with a sentinel self-loop (dropped by the
+    // builder) so isolated trailing vertices survive.
+    EdgeList padded = arcs;
+    if (num_vertices > 0) {
+      padded.push_back({num_vertices - 1, num_vertices - 1});
+    }
+    auto built = BuildGraph(padded, options);
+    KCORE_CHECK(built.ok());
+    CsrGraph graph = std::move(built->graph);
+    if (graph.NumVertices() < num_vertices) {
+      std::vector<EdgeIndex> offsets(graph.offsets());
+      offsets.resize(static_cast<size_t>(num_vertices) + 1, offsets.back());
+      graph = CsrGraph(std::move(offsets),
+                       std::vector<VertexId>(graph.neighbors()));
+    }
+    return graph;
+  };
+
+  return DirectedGraph(build_one(forward), build_one(reverse));
+}
+
+}  // namespace kcore

@@ -1,0 +1,48 @@
+#ifndef KCORE_GRAPH_DIGRAPH_H_
+#define KCORE_GRAPH_DIGRAPH_H_
+
+#include "graph/csr_graph.h"
+#include "graph/edge_list.h"
+
+namespace kcore {
+
+/// A directed graph as a pair of CSR structures (out- and in-adjacency),
+/// the representation needed by the directed-core variants (paper §II-C,
+/// D-cores [46][47]).
+class DirectedGraph {
+ public:
+  DirectedGraph() = default;
+  DirectedGraph(CsrGraph out, CsrGraph in)
+      : out_(std::move(out)), in_(std::move(in)) {
+    KCORE_CHECK_EQ(out_.NumVertices(), in_.NumVertices());
+    KCORE_CHECK_EQ(out_.NumDirectedEdges(), in_.NumDirectedEdges());
+  }
+
+  VertexId NumVertices() const { return out_.NumVertices(); }
+  EdgeIndex NumEdges() const { return out_.NumDirectedEdges(); }
+
+  uint32_t OutDegree(VertexId v) const { return out_.Degree(v); }
+  uint32_t InDegree(VertexId v) const { return in_.Degree(v); }
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    return out_.Neighbors(v);
+  }
+  std::span<const VertexId> InNeighbors(VertexId v) const {
+    return in_.Neighbors(v);
+  }
+
+  const CsrGraph& out() const { return out_; }
+  const CsrGraph& in() const { return in_; }
+
+ private:
+  CsrGraph out_;
+  CsrGraph in_;
+};
+
+/// Builds a directed graph over `num_vertices` dense vertex IDs, dropping
+/// self-loops and duplicate arcs. Each RawEdge is the arc u -> v.
+DirectedGraph BuildDirectedGraph(const EdgeList& edges,
+                                 VertexId num_vertices);
+
+}  // namespace kcore
+
+#endif  // KCORE_GRAPH_DIGRAPH_H_

@@ -1,0 +1,24 @@
+#ifndef KCORE_GRAPH_EDGE_LIST_H_
+#define KCORE_GRAPH_EDGE_LIST_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace kcore {
+
+/// One endpoint pair. Raw 64-bit IDs, since external datasets (SNAP, KONECT)
+/// use sparse identifiers that are recoded before CSR construction.
+struct RawEdge {
+  uint64_t u = 0;
+  uint64_t v = 0;
+
+  bool operator==(const RawEdge&) const = default;
+};
+
+/// An unordered multiset of edges as read from disk or a generator, before
+/// cleaning (direction, duplicates, self-loops) happens in GraphBuilder.
+using EdgeList = std::vector<RawEdge>;
+
+}  // namespace kcore
+
+#endif  // KCORE_GRAPH_EDGE_LIST_H_

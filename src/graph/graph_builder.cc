@@ -1,0 +1,148 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace kcore {
+
+namespace {
+
+/// Sorts + uniquifies each adjacency list in place, compacting the CSR
+/// arrays. Returns the rebuilt (offsets, neighbors).
+void SortAndDedupAdjacency(VertexId num_vertices, bool dedup,
+                           std::vector<EdgeIndex>& offsets,
+                           std::vector<VertexId>& neighbors) {
+  std::vector<EdgeIndex> new_offsets(num_vertices + 1, 0);
+  EdgeIndex write = 0;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    const EdgeIndex begin = offsets[v];
+    const EdgeIndex end = offsets[v + 1];
+    std::sort(neighbors.begin() + static_cast<ptrdiff_t>(begin),
+              neighbors.begin() + static_cast<ptrdiff_t>(end));
+    new_offsets[v] = write;
+    VertexId prev = std::numeric_limits<VertexId>::max();
+    for (EdgeIndex i = begin; i < end; ++i) {
+      if (dedup && neighbors[i] == prev) continue;
+      prev = neighbors[i];
+      neighbors[write++] = neighbors[i];
+    }
+  }
+  new_offsets[num_vertices] = write;
+  neighbors.resize(write);
+  neighbors.shrink_to_fit();
+  offsets = std::move(new_offsets);
+}
+
+}  // namespace
+
+StatusOr<BuiltGraph> BuildGraph(const EdgeList& edges,
+                                const BuildOptions& options) {
+  BuiltGraph out;
+
+  // Pass 1: assign dense IDs (or validate density).
+  std::unordered_map<uint64_t, VertexId> id_map;
+  uint64_t max_raw_id = 0;
+  if (options.recode_ids) {
+    id_map.reserve(edges.size());
+    for (const RawEdge& e : edges) {
+      for (uint64_t raw : {e.u, e.v}) {
+        if (options.remove_self_loops && e.u == e.v) continue;
+        auto [it, inserted] =
+            id_map.emplace(raw, static_cast<VertexId>(id_map.size()));
+        (void)it;
+        if (inserted &&
+            id_map.size() > std::numeric_limits<VertexId>::max()) {
+          return Status::InvalidArgument("too many distinct vertex IDs");
+        }
+      }
+    }
+  } else {
+    for (const RawEdge& e : edges) {
+      max_raw_id = std::max({max_raw_id, e.u, e.v});
+    }
+    if (!edges.empty() &&
+        max_raw_id >= std::numeric_limits<VertexId>::max()) {
+      return Status::InvalidArgument(
+          StrFormat("vertex ID %llu exceeds dense range; enable recode_ids",
+                    static_cast<unsigned long long>(max_raw_id)));
+    }
+  }
+
+  const VertexId num_vertices =
+      options.recode_ids
+          ? static_cast<VertexId>(id_map.size())
+          : (edges.empty() ? 0 : static_cast<VertexId>(max_raw_id + 1));
+
+  auto dense = [&](uint64_t raw) -> VertexId {
+    return options.recode_ids ? id_map.find(raw)->second
+                              : static_cast<VertexId>(raw);
+  };
+
+  // Pass 2: counting sort into CSR slots.
+  std::vector<EdgeIndex> offsets(static_cast<size_t>(num_vertices) + 1, 0);
+  for (const RawEdge& e : edges) {
+    if (options.remove_self_loops && e.u == e.v) continue;
+    const VertexId u = dense(e.u);
+    const VertexId v = dense(e.v);
+    ++offsets[u + 1];
+    if (options.make_undirected) ++offsets[v + 1];
+  }
+  for (VertexId v = 0; v < num_vertices; ++v) offsets[v + 1] += offsets[v];
+
+  std::vector<VertexId> neighbors(offsets[num_vertices]);
+  std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
+  for (const RawEdge& e : edges) {
+    if (options.remove_self_loops && e.u == e.v) continue;
+    const VertexId u = dense(e.u);
+    const VertexId v = dense(e.v);
+    neighbors[cursor[u]++] = v;
+    if (options.make_undirected) neighbors[cursor[v]++] = u;
+  }
+
+  SortAndDedupAdjacency(num_vertices, options.dedup, offsets, neighbors);
+
+  out.graph = CsrGraph(std::move(offsets), std::move(neighbors));
+  if (options.recode_ids) {
+    out.original_ids.resize(num_vertices);
+    for (const auto& [raw, id] : id_map) out.original_ids[id] = raw;
+  }
+  return out;
+}
+
+CsrGraph BuildUndirectedGraph(const EdgeList& edges) {
+  BuildOptions options;
+  options.recode_ids = false;
+  auto built = BuildGraph(edges, options);
+  KCORE_CHECK(built.ok());
+  return std::move(built->graph);
+}
+
+CsrGraph BuildUndirectedGraphWithVertexCount(const EdgeList& edges,
+                                             VertexId num_vertices) {
+  // Append a sentinel self-loop on the last vertex so the builder sees the
+  // full vertex range, then rely on self-loop removal to drop it.
+  EdgeList padded = edges;
+  if (num_vertices > 0) {
+    padded.push_back({num_vertices - 1, num_vertices - 1});
+  }
+  BuildOptions options;
+  options.recode_ids = false;
+  auto built = BuildGraph(padded, options);
+  KCORE_CHECK(built.ok());
+  KCORE_CHECK(built->graph.NumVertices() <= num_vertices);
+  if (built->graph.NumVertices() == num_vertices) {
+    return std::move(built->graph);
+  }
+  // Input had trailing isolated vertices beyond any edge endpoint: rebuild
+  // the offsets with the requested vertex count.
+  const CsrGraph& g = built->graph;
+  std::vector<EdgeIndex> offsets(g.offsets());
+  offsets.resize(static_cast<size_t>(num_vertices) + 1, offsets.back());
+  return CsrGraph(std::move(offsets),
+                  std::vector<VertexId>(g.neighbors()));
+}
+
+}  // namespace kcore

@@ -1,0 +1,56 @@
+#ifndef KCORE_GRAPH_GRAPH_BUILDER_H_
+#define KCORE_GRAPH_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/csr_graph.h"
+#include "graph/edge_list.h"
+
+namespace kcore {
+
+/// Options controlling EdgeList -> CsrGraph conversion. Defaults implement
+/// the paper's preprocessing: directed inputs become undirected, self-loops
+/// and parallel edges are dropped, and sparse IDs are densely recoded (§IV,
+/// §VI "Some graphs are directed and we make them undirected").
+struct BuildOptions {
+  /// Store both (u,v) and (v,u) for every input edge.
+  bool make_undirected = true;
+  /// Drop u==v edges.
+  bool remove_self_loops = true;
+  /// Collapse parallel edges.
+  bool dedup = true;
+  /// Remap arbitrary 64-bit IDs onto [0, V). When false, IDs must already be
+  /// dense (max ID defines V) or building fails.
+  bool recode_ids = true;
+};
+
+/// Result of a build: the CSR graph plus (when recoding) the original ID of
+/// each dense vertex, so analyses can report external identifiers.
+struct BuiltGraph {
+  CsrGraph graph;
+  /// original_id[dense_id] = input ID; empty when recode_ids was false.
+  std::vector<uint64_t> original_ids;
+};
+
+/// Converts a raw edge list into a clean CSR graph.
+///
+/// Fails with InvalidArgument if recoding is disabled and an endpoint exceeds
+/// the dense VertexId range. Deterministic: dense IDs are assigned in order
+/// of first appearance in `edges`.
+StatusOr<BuiltGraph> BuildGraph(const EdgeList& edges,
+                                const BuildOptions& options = {});
+
+/// Convenience wrapper for tests and generators whose edges are already
+/// dense and in-range: builds with default options and asserts success.
+CsrGraph BuildUndirectedGraph(const EdgeList& edges);
+
+/// Builds a CSR graph over exactly `num_vertices` vertices (isolated
+/// vertices preserved) from dense, in-range endpoints.
+CsrGraph BuildUndirectedGraphWithVertexCount(const EdgeList& edges,
+                                             VertexId num_vertices);
+
+}  // namespace kcore
+
+#endif  // KCORE_GRAPH_GRAPH_BUILDER_H_

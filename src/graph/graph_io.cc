@@ -1,0 +1,169 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/strings.h"
+
+namespace kcore {
+
+namespace {
+
+constexpr uint64_t kCsrMagic = 0x4b43524547524148ULL;  // "KCREGRAH"
+constexpr uint32_t kCsrVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+uint64_t Fnv1a(const void* data, size_t bytes, uint64_t hash) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+Status WriteAll(std::FILE* f, const void* data, size_t bytes,
+                const std::string& path) {
+  if (bytes != 0 && std::fwrite(data, 1, bytes, f) != bytes) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Status ReadAll(std::FILE* f, void* data, size_t bytes,
+               const std::string& path) {
+  if (bytes != 0 && std::fread(data, 1, bytes, f) != bytes) {
+    return Status::IOError("short read from " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<EdgeList> LoadEdgeListText(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "r"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path);
+  }
+  EdgeList edges;
+  char line[512];
+  size_t line_no = 0;
+  while (std::fgets(line, sizeof(line), file.get()) != nullptr) {
+    ++line_no;
+    const char* p = line;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '\0' || *p == '\n' || *p == '#' || *p == '%') continue;
+    unsigned long long u = 0;
+    unsigned long long v = 0;
+    if (std::sscanf(p, "%llu %llu", &u, &v) != 2) {
+      return Status::Corruption(
+          StrFormat("%s:%zu: malformed edge line", path.c_str(), line_no));
+    }
+    edges.push_back({u, v});
+  }
+  return edges;
+}
+
+Status SaveEdgeListText(const EdgeList& edges, const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "w"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  std::fprintf(file.get(), "# kcoregpu edge list: %zu edges\n", edges.size());
+  for (const RawEdge& e : edges) {
+    std::fprintf(file.get(), "%llu\t%llu\n",
+                 static_cast<unsigned long long>(e.u),
+                 static_cast<unsigned long long>(e.v));
+  }
+  if (std::ferror(file.get()) != 0) {
+    return Status::IOError("write error on " + path);
+  }
+  return Status::OK();
+}
+
+Status SaveCsrBinary(const CsrGraph& graph, const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  const auto& offsets = graph.offsets();
+  const auto& neighbors = graph.neighbors();
+  const uint64_t header[4] = {kCsrMagic, kCsrVersion, offsets.size(),
+                              neighbors.size()};
+  KCORE_RETURN_IF_ERROR(WriteAll(file.get(), header, sizeof(header), path));
+  KCORE_RETURN_IF_ERROR(WriteAll(file.get(), offsets.data(),
+                                 offsets.size() * sizeof(EdgeIndex), path));
+  KCORE_RETURN_IF_ERROR(WriteAll(file.get(), neighbors.data(),
+                                 neighbors.size() * sizeof(VertexId), path));
+  uint64_t checksum = 0xcbf29ce484222325ULL;
+  checksum =
+      Fnv1a(offsets.data(), offsets.size() * sizeof(EdgeIndex), checksum);
+  checksum =
+      Fnv1a(neighbors.data(), neighbors.size() * sizeof(VertexId), checksum);
+  KCORE_RETURN_IF_ERROR(
+      WriteAll(file.get(), &checksum, sizeof(checksum), path));
+  if (std::fflush(file.get()) != 0) {
+    return Status::IOError("flush failed on " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<CsrGraph> LoadCsrBinary(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path);
+  }
+  uint64_t header[4] = {0, 0, 0, 0};
+  KCORE_RETURN_IF_ERROR(ReadAll(file.get(), header, sizeof(header), path));
+  if (header[0] != kCsrMagic) {
+    return Status::Corruption(path + ": bad magic");
+  }
+  if (header[1] != kCsrVersion) {
+    return Status::Corruption(StrFormat(
+        "%s: unsupported version %llu", path.c_str(),
+        static_cast<unsigned long long>(header[1])));
+  }
+  if (header[2] == 0) {
+    return Status::Corruption(path + ": empty offsets array");
+  }
+  std::vector<EdgeIndex> offsets(header[2]);
+  std::vector<VertexId> neighbors(header[3]);
+  KCORE_RETURN_IF_ERROR(ReadAll(file.get(), offsets.data(),
+                                offsets.size() * sizeof(EdgeIndex), path));
+  KCORE_RETURN_IF_ERROR(ReadAll(file.get(), neighbors.data(),
+                                neighbors.size() * sizeof(VertexId), path));
+  uint64_t stored = 0;
+  KCORE_RETURN_IF_ERROR(ReadAll(file.get(), &stored, sizeof(stored), path));
+  uint64_t checksum = 0xcbf29ce484222325ULL;
+  checksum =
+      Fnv1a(offsets.data(), offsets.size() * sizeof(EdgeIndex), checksum);
+  checksum =
+      Fnv1a(neighbors.data(), neighbors.size() * sizeof(VertexId), checksum);
+  if (stored != checksum) {
+    return Status::Corruption(path + ": checksum mismatch");
+  }
+  if (offsets.front() != 0 || offsets.back() != neighbors.size()) {
+    return Status::Corruption(path + ": inconsistent offsets");
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i - 1] > offsets[i]) {
+      return Status::Corruption(path + ": offsets not monotone");
+    }
+  }
+  const auto num_vertices = static_cast<VertexId>(offsets.size() - 1);
+  for (VertexId u : neighbors) {
+    if (u >= num_vertices) {
+      return Status::Corruption(path + ": neighbor ID out of range");
+    }
+  }
+  return CsrGraph(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace kcore

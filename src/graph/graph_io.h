@@ -1,0 +1,29 @@
+#ifndef KCORE_GRAPH_GRAPH_IO_H_
+#define KCORE_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "graph/csr_graph.h"
+#include "graph/edge_list.h"
+
+namespace kcore {
+
+/// Reads a SNAP-style whitespace-separated edge list. Lines starting with
+/// '#' or '%' are comments; each data line is "u v" (extra columns ignored).
+StatusOr<EdgeList> LoadEdgeListText(const std::string& path);
+
+/// Writes "u v" lines with a one-line '#' header.
+Status SaveEdgeListText(const EdgeList& edges, const std::string& path);
+
+/// Serializes a CSR graph to a binary file: fixed header (magic, version,
+/// vertex/edge counts), offsets array, neighbors array, FNV-1a checksum of
+/// the payload. Used to cache generated benchmark datasets.
+Status SaveCsrBinary(const CsrGraph& graph, const std::string& path);
+
+/// Loads a binary CSR file, verifying magic, version, sizes and checksum.
+StatusOr<CsrGraph> LoadCsrBinary(const std::string& path);
+
+}  // namespace kcore
+
+#endif  // KCORE_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,31 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kcore {
+
+GraphStats ComputeGraphStats(const CsrGraph& graph) {
+  GraphStats stats;
+  stats.num_vertices = graph.NumVertices();
+  stats.num_edges = graph.NumUndirectedEdges();
+  if (stats.num_vertices == 0) return stats;
+
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const VertexId n = graph.NumVertices();
+  for (VertexId v = 0; v < n; ++v) {
+    const double d = graph.Degree(v);
+    sum += d;
+    sum_sq += d * d;
+    stats.max_degree = std::max(stats.max_degree, graph.Degree(v));
+  }
+  const double count = static_cast<double>(n);
+  stats.avg_degree = sum / count;
+  const double variance =
+      std::max(0.0, sum_sq / count - stats.avg_degree * stats.avg_degree);
+  stats.degree_stddev = std::sqrt(variance);
+  return stats;
+}
+
+}  // namespace kcore

@@ -1,0 +1,24 @@
+#ifndef KCORE_GRAPH_GRAPH_STATS_H_
+#define KCORE_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+
+namespace kcore {
+
+/// The per-dataset columns of the paper's Table I.
+struct GraphStats {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;   ///< Undirected edge count (|E| in Table I).
+  double avg_degree = 0.0;  ///< d_avg.
+  double degree_stddev = 0.0;
+  uint32_t max_degree = 0;  ///< d_max.
+};
+
+/// Computes the Table I statistics for `graph` (one linear pass).
+GraphStats ComputeGraphStats(const CsrGraph& graph);
+
+}  // namespace kcore
+
+#endif  // KCORE_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,44 @@
+#include "graph/subgraph.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace kcore {
+
+InducedSubgraph ExtractInducedSubgraph(const CsrGraph& graph,
+                                       const std::vector<bool>& keep) {
+  const VertexId n = graph.NumVertices();
+  KCORE_CHECK_EQ(keep.size(), static_cast<size_t>(n));
+
+  constexpr VertexId kAbsent = std::numeric_limits<VertexId>::max();
+  std::vector<VertexId> dense(n, kAbsent);
+  InducedSubgraph out;
+  for (VertexId v = 0; v < n; ++v) {
+    if (keep[v]) {
+      dense[v] = static_cast<VertexId>(out.parent_ids.size());
+      out.parent_ids.push_back(v);
+    }
+  }
+
+  const auto sub_n = static_cast<VertexId>(out.parent_ids.size());
+  std::vector<EdgeIndex> offsets(static_cast<size_t>(sub_n) + 1, 0);
+  for (VertexId sub_v = 0; sub_v < sub_n; ++sub_v) {
+    for (VertexId u : graph.Neighbors(out.parent_ids[sub_v])) {
+      if (dense[u] != kAbsent) ++offsets[sub_v + 1];
+    }
+  }
+  for (VertexId v = 0; v < sub_n; ++v) offsets[v + 1] += offsets[v];
+
+  std::vector<VertexId> neighbors(offsets[sub_n]);
+  std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
+  for (VertexId sub_v = 0; sub_v < sub_n; ++sub_v) {
+    for (VertexId u : graph.Neighbors(out.parent_ids[sub_v])) {
+      if (dense[u] != kAbsent) neighbors[cursor[sub_v]++] = dense[u];
+    }
+  }
+  out.graph = CsrGraph(std::move(offsets), std::move(neighbors));
+  return out;
+}
+
+}  // namespace kcore

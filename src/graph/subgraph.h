@@ -1,0 +1,25 @@
+#ifndef KCORE_GRAPH_SUBGRAPH_H_
+#define KCORE_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace kcore {
+
+/// A vertex-induced subgraph plus the mapping from its dense IDs back to the
+/// parent graph's IDs.
+struct InducedSubgraph {
+  CsrGraph graph;
+  /// parent_id[sub_id] = vertex ID in the parent graph.
+  std::vector<VertexId> parent_ids;
+};
+
+/// Extracts the subgraph induced by the vertices with keep[v] == true.
+/// Dense sub-IDs follow parent ID order. keep.size() must equal V.
+InducedSubgraph ExtractInducedSubgraph(const CsrGraph& graph,
+                                       const std::vector<bool>& keep);
+
+}  // namespace kcore
+
+#endif  // KCORE_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,29 @@
+#ifndef KCORE_PERF_DECOMPOSE_RESULT_H_
+#define KCORE_PERF_DECOMPOSE_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "perf/metrics.h"
+
+namespace kcore {
+
+/// The output of every k-core decomposition engine in this repository:
+/// core[v] is the core number of vertex v, plus the execution report.
+struct DecomposeResult {
+  std::vector<uint32_t> core;
+  Metrics metrics;
+
+  /// k_max: the graph's degeneracy (largest k with a non-empty k-core).
+  uint32_t MaxCore() const {
+    uint32_t max_core = 0;
+    for (uint32_t c : core) {
+      if (c > max_core) max_core = c;
+    }
+    return max_core;
+  }
+};
+
+}  // namespace kcore
+
+#endif  // KCORE_PERF_DECOMPOSE_RESULT_H_

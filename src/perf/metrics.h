@@ -1,0 +1,32 @@
+#ifndef KCORE_PERF_METRICS_H_
+#define KCORE_PERF_METRICS_H_
+
+#include <cstdint>
+
+#include "perf/perf_counters.h"
+
+namespace kcore {
+
+/// Execution report common to every decomposition engine in this repo.
+struct Metrics {
+  /// Modeled computation time from the engine's cost model (the number the
+  /// benchmark tables report, mirroring the paper's milliseconds columns).
+  double modeled_ms = 0.0;
+  /// Host wall-clock time actually spent (simulation overhead included).
+  double wall_ms = 0.0;
+  /// High-watermark of device-memory allocation (Table V).
+  uint64_t peak_device_bytes = 0;
+  /// Modeled data-loading time, reported separately from computation (the
+  /// paper's "LD > 1hr" rows for VETGA are about loading, not compute).
+  double load_ms = 0.0;
+  /// Peeling rounds / BSP supersteps executed.
+  uint32_t rounds = 0;
+  /// Inner iterations (sub-levels, h-index sweeps, frontier steps).
+  uint32_t iterations = 0;
+  /// Aggregated operation counts.
+  PerfCounters counters;
+};
+
+}  // namespace kcore
+
+#endif  // KCORE_PERF_METRICS_H_

@@ -1,0 +1,48 @@
+#ifndef KCORE_PERF_MODELED_CLOCK_H_
+#define KCORE_PERF_MODELED_CLOCK_H_
+
+#include <span>
+
+#include "perf/cost_model.h"
+#include "perf/perf_counters.h"
+
+namespace kcore {
+
+/// Accumulates modeled time for phase-structured parallel algorithms: each
+/// phase's duration is the maximum of its lanes' modeled unit times (the
+/// slowest thread gates the barrier), plus an optional barrier charge.
+class ModeledClock {
+ public:
+  explicit ModeledClock(const CostModel& cost) : cost_(cost) {}
+
+  /// One parallel phase executed by `lanes` logical threads.
+  void AddParallelPhase(std::span<const PerfCounters> lanes,
+                        bool ends_with_barrier = true) {
+    double max_ns = 0.0;
+    for (const PerfCounters& c : lanes) {
+      const double ns = cost_.UnitTimeNs(c);
+      if (ns > max_ns) max_ns = ns;
+    }
+    ns_ += max_ns;
+    if (ends_with_barrier) ns_ += cost_.barrier_ns;
+  }
+
+  /// Serial work on the driving thread.
+  void AddSerial(const PerfCounters& counters) {
+    ns_ += cost_.UnitTimeNs(counters);
+  }
+
+  /// Fixed overhead (launch, fork/join, bookkeeping).
+  void AddOverheadNs(double ns) { ns_ += ns; }
+
+  double ms() const { return ns_ / 1e6; }
+  const CostModel& cost() const { return cost_; }
+
+ private:
+  CostModel cost_;
+  double ns_ = 0.0;
+};
+
+}  // namespace kcore
+
+#endif  // KCORE_PERF_MODELED_CLOCK_H_

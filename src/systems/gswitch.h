@@ -1,0 +1,33 @@
+#ifndef KCORE_SYSTEMS_GSWITCH_H_
+#define KCORE_SYSTEMS_GSWITCH_H_
+
+#include "common/statusor.h"
+#include "graph/csr_graph.h"
+#include "perf/decompose_result.h"
+#include "systems/medusa.h"  // SystemConfig
+
+namespace kcore {
+
+/// k-core decomposition on a GSWITCH-style autotuned frontier engine
+/// (paper §II-B, §V "Peeling Algorithm on Gunrock and GSWITCH").
+///
+/// UDF decomposition per the paper: "filter" identifies new degree-k
+/// vertices, "comp" decrements a degree per received message, "emit"
+/// aggregates whether the round's inner loop needs another iteration.
+/// The engine's defining feature is per-iteration autotuning: it picks a
+/// *sparse* strategy (queue-based advance touching only frontier adjacency)
+/// when the frontier is small and a *dense* strategy (full bitmap sweep)
+/// when it is large — which is why GSWITCH beats Gunrock's always-dense
+/// filter in Table III while staying well behind the tailor-made kernels.
+///
+/// GSWITCH has no easy outer-loop-of-rounds support, so the caller passes
+/// the number of rounds to run (`k_max`), mirroring the paper's hardcoding
+/// of the core number per input graph. Passing a too-small k_max leaves
+/// high-core vertices unpeeled, exactly as the real system would.
+StatusOr<DecomposeResult> RunGSwitchKCore(const CsrGraph& graph,
+                                          uint32_t k_max,
+                                          const SystemConfig& config = {});
+
+}  // namespace kcore
+
+#endif  // KCORE_SYSTEMS_GSWITCH_H_

@@ -1,0 +1,28 @@
+#ifndef KCORE_SYSTEMS_GUNROCK_H_
+#define KCORE_SYSTEMS_GUNROCK_H_
+
+#include "common/statusor.h"
+#include "graph/csr_graph.h"
+#include "perf/decompose_result.h"
+#include "systems/medusa.h"  // SystemConfig
+
+namespace kcore {
+
+/// k-core decomposition on a Gunrock-style data-centric frontier engine
+/// (paper §II-B, §V "Peeling Algorithm on Gunrock").
+///
+/// Execution profile reproduced from Gunrock's k-core application: each
+/// round k runs inner iterations of
+///   filter  — a full pass over the vertex set producing the frontier of
+///             alive degree-<=k vertices (Gunrock's filter operator works on
+///             dense input frontiers, so every sub-iteration re-sweeps V),
+///   advance — expanding the frontier's adjacency, atomically decrementing
+///             neighbor degrees,
+/// with ~3 kernel launches per iteration and |E|-sized frontier/candidate
+/// buffers (why Gunrock OOMs before GSWITCH in Table III/V).
+StatusOr<DecomposeResult> RunGunrockKCore(const CsrGraph& graph,
+                                          const SystemConfig& config = {});
+
+}  // namespace kcore
+
+#endif  // KCORE_SYSTEMS_GUNROCK_H_

@@ -1,0 +1,142 @@
+#include "systems/medusa.h"
+
+#include "common/timer.h"
+#include "cpu/hindex.h"
+
+namespace kcore {
+
+namespace {
+
+/// The MPM UDFs of paper §V: broadcast the current estimate; combine with
+/// the h-index operator; adopt the refined value when it shrinks.
+class MpmProgram {
+ public:
+  uint32_t SendMessage(VertexId /*v*/, uint32_t value) { return value; }
+
+  uint32_t CombineMessages(VertexId /*v*/, uint32_t value,
+                           std::span<const uint32_t> messages) {
+    // One program object is shared by all lanes; the evaluator's scratch
+    // histogram must therefore be per-thread.
+    thread_local HIndexEvaluator evaluator;
+    return evaluator.Evaluate(messages, value);
+  }
+
+  bool UpdateVertex(VertexId /*v*/, uint32_t& value, uint32_t combined) {
+    if (combined < value) {
+      value = combined;
+      return true;  // estimate changed: another superstep is needed
+    }
+    return false;
+  }
+};
+
+/// The peeling UDFs of paper §V: a vertex at degree <= k deletes itself and
+/// messages 1 to its neighbors; the combiner sums deleted-neighbor counts;
+/// the updater subtracts them from the degree and votes for more iterations
+/// while un-deleted vertices remain at degree <= k.
+class PeelProgram {
+ public:
+  explicit PeelProgram(VertexId n) : deleted_(n, 0), core_(n, 0) {}
+
+  void set_k(uint32_t k) { k_ = k; }
+  uint64_t deleted_total() const {
+    return deleted_total_.load(std::memory_order_relaxed);
+  }
+  std::vector<uint32_t>& core() { return core_; }
+
+  uint32_t SendMessage(VertexId v, uint32_t value) {
+    if (deleted_[v] != 0 || value > k_) return 0;
+    deleted_[v] = 1;
+    core_[v] = k_;
+    deleted_total_.fetch_add(1, std::memory_order_relaxed);
+    return 1;
+  }
+
+  uint32_t CombineMessages(VertexId /*v*/, uint32_t /*value*/,
+                           std::span<const uint32_t> messages) {
+    uint32_t sum = 0;
+    for (uint32_t m : messages) sum += m;
+    return sum;
+  }
+
+  bool UpdateVertex(VertexId v, uint32_t& value, uint32_t combined) {
+    if (deleted_[v] != 0) return false;
+    value -= std::min(value, combined);
+    return value <= k_;  // this vertex still needs deleting at this k
+  }
+
+ private:
+  uint32_t k_ = 0;
+  std::vector<uint8_t> deleted_;
+  std::vector<uint32_t> core_;
+  std::atomic<uint64_t> deleted_total_{0};
+};
+
+}  // namespace
+
+StatusOr<DecomposeResult> RunMedusaMpm(const CsrGraph& graph,
+                                       const SystemConfig& config) {
+  WallTimer timer;
+  MedusaEngine<MpmProgram> engine(graph, config);
+  KCORE_RETURN_IF_ERROR(engine.Init());
+
+  // InitValue: estimates start at the degrees.
+  {
+    const auto deg = graph.DegreeArray();
+    std::copy(deg.begin(), deg.end(), engine.values().begin());
+  }
+
+  MpmProgram program;
+  while (true) {
+    KCORE_ASSIGN_OR_RETURN(const uint64_t votes,
+                           engine.RunSuperstep(program));
+    if (votes == 0) break;
+  }
+
+  DecomposeResult result;
+  result.core.assign(engine.values().begin(), engine.values().end());
+  engine.FillMetrics(result.metrics);
+  result.metrics.rounds = engine.supersteps();
+  result.metrics.wall_ms = timer.ElapsedMillis();
+  return result;
+}
+
+StatusOr<DecomposeResult> RunMedusaPeel(const CsrGraph& graph,
+                                        const SystemConfig& config) {
+  WallTimer timer;
+  MedusaEngine<PeelProgram> engine(graph, config);
+  KCORE_RETURN_IF_ERROR(engine.Init());
+
+  {
+    const auto deg = graph.DegreeArray();
+    std::copy(deg.begin(), deg.end(), engine.values().begin());
+  }
+
+  PeelProgram program(graph.NumVertices());
+  const VertexId n = graph.NumVertices();
+  uint32_t k = 0;
+  uint32_t rounds = 0;
+  const uint32_t k_limit = graph.MaxDegree() + 2;
+  // Outer loop of rounds added on top of Medusa's single iteration level
+  // (paper §V: "We further add an outer loop of rounds").
+  while (program.deleted_total() < n) {
+    program.set_k(k);
+    while (true) {
+      KCORE_ASSIGN_OR_RETURN(const uint64_t votes,
+                             engine.RunSuperstep(program));
+      if (votes == 0) break;
+    }
+    ++k;
+    ++rounds;
+    if (k > k_limit) return Status::Internal("Medusa-Peel failed to converge");
+  }
+
+  DecomposeResult result;
+  result.core = std::move(program.core());
+  engine.FillMetrics(result.metrics);
+  result.metrics.rounds = rounds;
+  result.metrics.wall_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace kcore

@@ -1,0 +1,236 @@
+#ifndef KCORE_SYSTEMS_MEDUSA_H_
+#define KCORE_SYSTEMS_MEDUSA_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/statusor.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "cusim/atomics.h"
+#include "cusim/device.h"
+#include "graph/csr_graph.h"
+#include "perf/cost_model.h"
+#include "perf/decompose_result.h"
+#include "perf/modeled_clock.h"
+
+namespace kcore {
+
+/// Shared configuration of the re-implemented GPU graph-parallel systems.
+struct SystemConfig {
+  /// Logical execution units (thread blocks); modeled width per unit comes
+  /// from the cost model (1024 threads).
+  uint32_t logical_blocks = 108;
+  /// Abort with Status::Timeout once modeled time exceeds this budget — how
+  /// the benchmark reproduces the paper's "> 1hr" rows.
+  double modeled_timeout_ms = std::numeric_limits<double>::infinity();
+  /// Simulated device used for memory accounting (OOM rows + Table V).
+  sim::DeviceOptions device;
+};
+
+/// A Medusa-style (Pregel-like) vertex-centric BSP engine (paper §II-B/§V).
+///
+/// Programming model: per superstep every vertex runs SendMessage (one value
+/// broadcast over all incident edges, written into per-edge message slots),
+/// then CombineMessages over the full batch of incoming messages, then
+/// UpdateVertex. Messages are materialized per directed edge — the defining
+/// memory/work profile of Medusa: every superstep touches all |E| slots,
+/// which is why Medusa rows dominate Table III and OOM first in Table V.
+///
+/// `Program` must provide:
+///   uint32_t InitValue(VertexId v, uint32_t degree);
+///   uint32_t SendMessage(VertexId v, uint32_t value);
+///   uint32_t CombineMessages(VertexId v, uint32_t value,
+///                            std::span<const uint32_t> messages);
+///   bool UpdateVertex(VertexId v, uint32_t& value, uint32_t combined);
+///     (returns true if the vertex votes for another superstep)
+template <typename Program>
+class MedusaEngine {
+ public:
+  MedusaEngine(const CsrGraph& graph, const SystemConfig& config)
+      : graph_(graph),
+        config_(config),
+        device_(config.device),
+        clock_(GpuSystemCostModel()) {}
+
+  /// Allocates device state (values, per-edge messages, reverse-edge index).
+  Status Init();
+
+  /// Runs one BSP superstep; returns the number of vertices voting to
+  /// continue, or Timeout once the modeled budget is exhausted.
+  StatusOr<uint64_t> RunSuperstep(Program& program);
+
+  /// Current vertex values (device-resident; host-visible in simulation).
+  std::span<uint32_t> values() { return values_.span(); }
+  sim::Device& device() { return device_; }
+  ModeledClock& clock() { return clock_; }
+  PerfCounters& counters() { return counters_; }
+  uint32_t supersteps() const { return supersteps_; }
+
+  /// Fills the common Metrics fields from the engine's state.
+  void FillMetrics(Metrics& metrics) const {
+    metrics.modeled_ms = clock_.ms();
+    metrics.peak_device_bytes = device_.peak_bytes();
+    metrics.counters = counters_;
+    metrics.iterations = supersteps_;
+  }
+
+ private:
+  const CsrGraph& graph_;
+  SystemConfig config_;
+  sim::Device device_;
+  ModeledClock clock_;
+  PerfCounters counters_;
+  uint32_t supersteps_ = 0;
+
+  sim::DeviceArray<uint8_t> d_runtime_;
+  sim::DeviceArray<EdgeIndex> d_offsets_;
+  sim::DeviceArray<VertexId> d_neighbors_;
+  sim::DeviceArray<uint32_t> values_;
+  sim::DeviceArray<uint32_t> messages_;      ///< One slot per directed edge.
+  sim::DeviceArray<uint64_t> reverse_edge_;  ///< Slot of (v,u) for slot (u,v).
+};
+
+// ---------------------------------------------------------------------------
+// Implementation (template definitions).
+// ---------------------------------------------------------------------------
+
+template <typename Program>
+Status MedusaEngine<Program>::Init() {
+  const VertexId n = graph_.NumVertices();
+  const EdgeIndex m = graph_.NumDirectedEdges();
+
+  // Framework runtime context (EMV tables, kernel configurations),
+  // independent of graph size; ~300 MB on the real system (scaled).
+  KCORE_ASSIGN_OR_RETURN(d_runtime_, device_.Alloc<uint8_t>(2000u << 10));
+  KCORE_ASSIGN_OR_RETURN(d_offsets_,
+                         device_.Alloc<EdgeIndex>(graph_.offsets().size()));
+  KCORE_ASSIGN_OR_RETURN(d_neighbors_,
+                         device_.Alloc<VertexId>(std::max<EdgeIndex>(1, m)));
+  KCORE_ASSIGN_OR_RETURN(values_,
+                         device_.Alloc<uint32_t>(std::max<VertexId>(1, n)));
+  KCORE_ASSIGN_OR_RETURN(messages_,
+                         device_.Alloc<uint32_t>(std::max<EdgeIndex>(1, m)));
+  KCORE_ASSIGN_OR_RETURN(reverse_edge_,
+                         device_.Alloc<uint64_t>(std::max<EdgeIndex>(1, m)));
+  d_offsets_.CopyFromHost(graph_.offsets());
+  d_neighbors_.CopyFromHost(graph_.neighbors());
+
+  // Reverse-edge index: slot i carrying (u,v) maps to the slot of (v,u).
+  // Built once on the host (part of Medusa's graph construction).
+  std::vector<uint64_t> reverse(std::max<EdgeIndex>(1, m));
+  for (VertexId u = 0; u < n; ++u) {
+    const auto begin = graph_.offsets()[u];
+    const auto nbrs = graph_.Neighbors(u);
+    for (size_t j = 0; j < nbrs.size(); ++j) {
+      const VertexId v = nbrs[j];
+      const auto vn = graph_.Neighbors(v);
+      const auto it = std::lower_bound(vn.begin(), vn.end(), u);
+      KCORE_CHECK(it != vn.end() && *it == u);
+      reverse[begin + j] = graph_.offsets()[v] + (it - vn.begin());
+    }
+  }
+  reverse_edge_.CopyFromHost(reverse);
+  return Status::OK();
+}
+
+template <typename Program>
+StatusOr<uint64_t> MedusaEngine<Program>::RunSuperstep(Program& program) {
+  const VertexId n = graph_.NumVertices();
+  const uint32_t lanes = config_.logical_blocks;
+  const EdgeIndex* offsets = d_offsets_.data();
+  uint32_t* values = values_.data();
+  uint32_t* messages = messages_.data();
+  const uint64_t* reverse = reverse_edge_.data();
+
+  std::vector<PerfCounters> lane_counters(lanes);
+  ThreadPool& pool = DefaultThreadPool();
+  const uint64_t chunk = (static_cast<uint64_t>(n) + lanes - 1) / lanes;
+
+  // Phase 1: SendMessage — every vertex broadcasts one value into the
+  // message slot of each incident edge (scattered writes).
+  pool.RunLanes(lanes, [&](uint32_t lane) {
+    PerfCounters& c = lane_counters[lane];
+    const uint64_t begin = static_cast<uint64_t>(lane) * chunk;
+    const uint64_t end = std::min<uint64_t>(begin + chunk, n);
+    for (uint64_t v = begin; v < end; ++v) {
+      ++c.vertices_scanned;
+      const uint32_t msg =
+          program.SendMessage(static_cast<VertexId>(v), values[v]);
+      for (EdgeIndex i = offsets[v]; i < offsets[v + 1]; ++i) {
+        sim::GlobalStore(&messages[reverse[i]], msg, c);
+        // The reverse-indexed scatter is uncoalesced: each lane's store is
+        // its own memory transaction, ~8x the cost of a coalesced write.
+        c.global_writes += 7;
+        ++c.messages;
+        ++c.edges_traversed;
+        ++c.lane_ops;
+      }
+    }
+  });
+  clock_.AddParallelPhase(lane_counters);
+  for (const auto& c : lane_counters) counters_ += c;
+  for (auto& c : lane_counters) c = PerfCounters();
+
+  // Phase 2: CombineMessages + UpdateVertex — each vertex folds the batch
+  // of messages sitting in its own (contiguous) slots.
+  std::atomic<uint64_t> votes{0};
+  pool.RunLanes(lanes, [&](uint32_t lane) {
+    PerfCounters& c = lane_counters[lane];
+    const uint64_t begin = static_cast<uint64_t>(lane) * chunk;
+    const uint64_t end = std::min<uint64_t>(begin + chunk, n);
+    uint64_t local_votes = 0;
+    for (uint64_t v = begin; v < end; ++v) {
+      ++c.vertices_scanned;
+      const EdgeIndex lo = offsets[v];
+      const EdgeIndex hi = offsets[v + 1];
+      c.global_reads += hi - lo;
+      c.lane_ops += hi - lo;
+      const std::span<const uint32_t> incoming(&messages[lo], hi - lo);
+      const uint32_t combined = program.CombineMessages(
+          static_cast<VertexId>(v), values[v], incoming);
+      if (program.UpdateVertex(static_cast<VertexId>(v), values[v],
+                               combined)) {
+        ++local_votes;
+      }
+      ++c.global_writes;
+    }
+    if (local_votes != 0) {
+      votes.fetch_add(local_votes, std::memory_order_relaxed);
+    }
+  });
+  clock_.AddParallelPhase(lane_counters);
+  for (const auto& c : lane_counters) counters_ += c;
+
+  // Medusa issues separate kernels for send / combine / update plus the
+  // aggregate-flag readback.
+  clock_.AddOverheadNs(3 * clock_.cost().kernel_launch_ns);
+  counters_.kernel_launches += 3;
+  ++supersteps_;
+
+  if (clock_.ms() > config_.modeled_timeout_ms) {
+    return Status::Timeout(
+        StrFormat("Medusa exceeded modeled budget after %u supersteps",
+                  supersteps_));
+  }
+  return votes.load(std::memory_order_relaxed);
+}
+
+/// Medusa running the MPM h-index algorithm (paper §V "MPM-Style Algorithm
+/// on Medusa"): full-graph supersteps until no estimate changes.
+StatusOr<DecomposeResult> RunMedusaMpm(const CsrGraph& graph,
+                                       const SystemConfig& config = {});
+
+/// Medusa running the peeling algorithm (paper §V "Peeling Algorithm on
+/// Medusa"): an outer loop over k, inner supersteps deleting k-shell
+/// vertices and message-counting deleted neighbors.
+StatusOr<DecomposeResult> RunMedusaPeel(const CsrGraph& graph,
+                                        const SystemConfig& config = {});
+
+}  // namespace kcore
+
+#endif  // KCORE_SYSTEMS_MEDUSA_H_

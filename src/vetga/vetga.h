@@ -1,0 +1,42 @@
+#ifndef KCORE_VETGA_VETGA_H_
+#define KCORE_VETGA_VETGA_H_
+
+#include <limits>
+
+#include "common/statusor.h"
+#include "cusim/device.h"
+#include "graph/csr_graph.h"
+#include "perf/decompose_result.h"
+
+namespace kcore {
+
+struct VetgaConfig {
+  /// Modeled budget; exceeded => Status::Timeout (Table III "> 1hr").
+  double modeled_timeout_ms = std::numeric_limits<double>::infinity();
+  /// PyTorch-style dispatch overhead charged per vector-primitive call
+  /// (kernel launch + allocator + autograd bookkeeping), scaled to the
+  /// miniature machine like the other launch constants.
+  double op_dispatch_ns = 25000.0;
+  /// Modeled per-edge loading cost of the interpreted (Python) edge-list
+  /// loader the paper describes revising; drives the "LD > 1hr" rows.
+  double load_ns_per_edge = 6000.0;
+  sim::DeviceOptions device;
+};
+
+/// VETGA (Mehrafsa, Chester, Thomo — paper §II-A): k-core peeling reframed
+/// entirely in whole-array vector primitives so a tensor library (PyTorch)
+/// can execute it on the GPU.
+///
+/// Per inner iteration the algorithm issues a fixed sequence of primitives
+/// (compare-to-scalar, masked non-zero compaction, adjacency gather,
+/// masked bincount, vector subtract), each a separate dispatched kernel over
+/// full arrays — the execution profile that makes VETGA 1-2 orders slower
+/// than a tailor-made kernel despite using the same hardware. Tensors use
+/// int64 indices (PyTorch convention), doubling the graph's device footprint
+/// relative to the 32-bit CSR of the native kernels (Table V).
+StatusOr<DecomposeResult> RunVetga(const CsrGraph& graph,
+                                   const VetgaConfig& config = {});
+
+}  // namespace kcore
+
+#endif  // KCORE_VETGA_VETGA_H_

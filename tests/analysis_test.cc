@@ -1,0 +1,174 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/core_analysis.h"
+#include "analysis/snapshots.h"
+#include "cpu/bz.h"
+#include "cpu/naive_ref.h"
+#include "test_graphs.h"
+
+namespace kcore {
+namespace {
+
+using testing::NamedGraph;
+
+// --------------------------------------------------------- Core analysis ---
+
+TEST(KShellTest, ShellsPartitionVertices) {
+  const auto g = testing::PaperFigureGraph();
+  const auto core = RunBz(g.graph).core;
+  std::set<VertexId> seen;
+  for (uint32_t k = 0; k <= 3; ++k) {
+    for (VertexId v : KShellMembers(core, k)) {
+      EXPECT_TRUE(seen.insert(v).second);
+      EXPECT_EQ(core[v], k);
+    }
+  }
+  EXPECT_EQ(seen.size(), g.graph.NumVertices());
+}
+
+TEST(KCoreSubgraphTest, MinDegreeInvariantHolds) {
+  // Property: the k-core subgraph has minimum degree >= k, for every k.
+  for (const NamedGraph& g : testing::RandomSuite()) {
+    const auto core = RunBz(g.graph).core;
+    const uint32_t k_max = *std::max_element(core.begin(), core.end());
+    for (uint32_t k = 1; k <= k_max; ++k) {
+      const InducedSubgraph sub = KCoreSubgraph(g.graph, core, k);
+      for (VertexId v = 0; v < sub.graph.NumVertices(); ++v) {
+        EXPECT_GE(sub.graph.Degree(v), k)
+            << g.name << " k=" << k << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(KCoreSubgraphTest, MaximalityOnPaperGraph) {
+  // The 3-core of the paper graph is exactly the K4; adding any other
+  // vertex would break the min-degree property (checked by construction).
+  const auto g = testing::PaperFigureGraph();
+  const auto core = RunBz(g.graph).core;
+  const InducedSubgraph sub = KCoreSubgraph(g.graph, core, 3);
+  EXPECT_EQ(sub.parent_ids, (std::vector<VertexId>{0, 1, 2, 3}));
+}
+
+TEST(CoreHistogramTest, CountsMatch) {
+  const auto g = testing::PaperFigureGraph();
+  const auto core = RunBz(g.graph).core;
+  const auto histogram = CoreHistogram(core);
+  ASSERT_EQ(histogram.size(), 4u);
+  EXPECT_EQ(histogram[0], 0u);
+  EXPECT_EQ(histogram[1], 2u);
+  EXPECT_EQ(histogram[2], 3u);
+  EXPECT_EQ(histogram[3], 4u);
+}
+
+TEST(CoreHistogramTest, EmptyCore) {
+  EXPECT_TRUE(CoreHistogram({}).empty());
+}
+
+TEST(DegeneracyOrderingTest, IsPermutationWithBoundedForwardDegree) {
+  for (const NamedGraph& g : testing::RandomSuite()) {
+    const auto order = DegeneracyOrdering(g.graph);
+    ASSERT_EQ(order.size(), g.graph.NumVertices());
+    const auto core = RunBz(g.graph).core;
+    const uint32_t degeneracy =
+        core.empty() ? 0 : *std::max_element(core.begin(), core.end());
+    std::vector<uint32_t> position(order.size());
+    for (uint32_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+    // Degeneracy-order property: forward degree <= degeneracy.
+    for (VertexId v = 0; v < g.graph.NumVertices(); ++v) {
+      uint32_t forward = 0;
+      for (VertexId u : g.graph.Neighbors(v)) {
+        if (position[u] > position[v]) ++forward;
+      }
+      EXPECT_LE(forward, degeneracy) << g.name << " v=" << v;
+    }
+  }
+}
+
+TEST(TopSpreadersTest, RankedByCoreThenDegree) {
+  const auto g = testing::PaperFigureGraph();
+  const auto core = RunBz(g.graph).core;
+  const auto top = TopSpreaders(g.graph, core, 4);
+  ASSERT_EQ(top.size(), 4u);
+  // The K4 vertices (core 3) come first; vertex 0 has the highest degree.
+  EXPECT_EQ(top[0], 0u);
+  for (VertexId v : top) EXPECT_EQ(core[v], 3u);
+}
+
+TEST(TopSpreadersTest, CountClamped) {
+  const auto g = testing::CliqueGraph(3);
+  const auto core = RunBz(g.graph).core;
+  EXPECT_EQ(TopSpreaders(g.graph, core, 10).size(), 3u);
+}
+
+// ------------------------------------------------------------ Snapshots ----
+
+CitationOptions SmallCorpusOptions() {
+  CitationOptions options;
+  options.num_papers = 4000;
+  options.num_authors = 600;
+  options.num_topics = 6;
+  options.first_year = 1980;
+  options.last_year = 2000;
+  options.seed = 11;
+  return options;
+}
+
+TEST(SnapshotTest, CaseStudyShape) {
+  const CitationCorpus corpus = GenerateCitationCorpus(SmallCorpusOptions());
+  const SnapshotCore s1 = AnalyzeSnapshot(corpus, 1995);
+  const SnapshotCore s2 = AnalyzeSnapshot(corpus, 2000);
+
+  // The network grows with the cutoff, and so does (weakly) k_max — the
+  // paper's G1 (k_max 12) vs G2 (k_max 18) pattern.
+  EXPECT_LT(s1.num_edges, s2.num_edges);
+  EXPECT_LE(s1.k_max, s2.k_max);
+  EXPECT_GT(s1.k_max, 0u);
+  EXPECT_FALSE(s1.kmax_core_authors.empty());
+  EXPECT_FALSE(s2.kmax_core_authors.empty());
+
+  const SnapshotComparison cmp = CompareSnapshots(s1, s2);
+  // Set algebra is a partition of S1 ∪ S2.
+  EXPECT_EQ(cmp.in_both.size() + cmp.only_first.size(),
+            s1.kmax_core_authors.size());
+  EXPECT_EQ(cmp.in_both.size() + cmp.only_second.size(),
+            s2.kmax_core_authors.size());
+  // The sliding author-activity window makes early authors fall out.
+  EXPECT_FALSE(cmp.only_second.empty());
+}
+
+TEST(SnapshotTest, IdenticalSnapshotsFullyOverlap) {
+  const CitationCorpus corpus = GenerateCitationCorpus(SmallCorpusOptions());
+  const SnapshotCore s = AnalyzeSnapshot(corpus, 1995);
+  const SnapshotComparison cmp = CompareSnapshots(s, s);
+  EXPECT_EQ(cmp.in_both.size(), s.kmax_core_authors.size());
+  EXPECT_TRUE(cmp.only_first.empty());
+  EXPECT_TRUE(cmp.only_second.empty());
+}
+
+TEST(SnapshotTest, KmaxCoreIsActuallyACore) {
+  // The reported k_max-core authors induce a subgraph of min degree k_max.
+  const CitationCorpus corpus = GenerateCitationCorpus(SmallCorpusOptions());
+  const SnapshotCore s = AnalyzeSnapshot(corpus, 2000);
+  const EdgeList edges = BuildAuthorInteractionEdges(corpus, 2000);
+  auto built = BuildGraph(edges);
+  ASSERT_TRUE(built.ok());
+  const auto core = RunNaiveReference(built->graph).core;
+  std::set<uint64_t> members(s.kmax_core_authors.begin(),
+                             s.kmax_core_authors.end());
+  uint64_t matched = 0;
+  for (VertexId v = 0; v < built->graph.NumVertices(); ++v) {
+    if (core[v] == s.k_max) {
+      EXPECT_TRUE(members.count(built->original_ids[v]) == 1);
+      ++matched;
+    }
+  }
+  EXPECT_EQ(matched, s.kmax_core_authors.size());
+}
+
+}  // namespace
+}  // namespace kcore

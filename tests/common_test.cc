@@ -1,0 +1,214 @@
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+
+namespace kcore {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::CapacityExceeded("buffer full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCapacityExceeded());
+  EXPECT_EQ(s.message(), "buffer full");
+  EXPECT_EQ(s.ToString(), "CapacityExceeded: buffer full");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int code = 0; code <= 8; ++code) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(code)),
+                 "Unknown");
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = [] { return Status::NotFound("x"); };
+  auto outer = [&]() -> Status {
+    KCORE_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsNotFound());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::IOError("disk");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsIOError());
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  auto maybe = [](bool ok) -> StatusOr<int> {
+    if (!ok) return Status::InvalidArgument("no");
+    return 7;
+  };
+  auto wrapper = [&](bool ok) -> StatusOr<int> {
+    KCORE_ASSIGN_OR_RETURN(int x, maybe(ok));
+    return x + 1;
+  };
+  EXPECT_EQ(*wrapper(true), 8);
+  EXPECT_TRUE(wrapper(false).status().IsInvalidArgument());
+}
+
+// --------------------------------------------------------------- Strings --
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, WithCommas) {
+  EXPECT_EQ(WithCommas(0), "0");
+  EXPECT_EQ(WithCommas(999), "999");
+  EXPECT_EQ(WithCommas(1000), "1,000");
+  EXPECT_EQ(WithCommas(1234567), "1,234,567");
+  EXPECT_EQ(WithCommas(1000000000ull), "1,000,000,000");
+}
+
+TEST(StringsTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1536), "1.5 KB");
+  EXPECT_EQ(HumanBytes(3ull << 30), "3.0 GB");
+}
+
+TEST(StringsTest, SplitNonEmpty) {
+  const auto fields = SplitNonEmpty("a  b\tc ", " \t");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+  EXPECT_TRUE(SplitNonEmpty("", " ").empty());
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_TRUE(StartsWith("hello", ""));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+}
+
+// ---------------------------------------------------------------- Random --
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  Rng rng(77);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.UniformReal();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(31);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t x = rng.UniformRange(-2, 2);
+    ASSERT_GE(x, -2);
+    ASSERT_LE(x, 2);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+// ------------------------------------------------------------ ThreadPool --
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](uint64_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](uint64_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, RunLanesWithMoreLanesThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<uint64_t> sum{0};
+  pool.RunLanes(64, [&](uint32_t lane) {
+    sum.fetch_add(lane, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 64u * 63 / 2);
+}
+
+TEST(ThreadPoolTest, ManyConsecutiveBatches) {
+  ThreadPool pool(3);
+  std::atomic<uint64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(17, [&](uint64_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 200u * 17);
+}
+
+TEST(ThreadPoolTest, ConcurrentIncrementIsAtomic) {
+  ThreadPool pool(4);
+  uint32_t value = 0;
+  pool.ParallelFor(10000, [&](uint64_t) {
+    std::atomic_ref<uint32_t>(value).fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(value, 10000u);
+}
+
+TEST(ThreadPoolTest, DefaultPoolIsSingleton) {
+  EXPECT_EQ(&DefaultThreadPool(), &DefaultThreadPool());
+  EXPECT_GE(DefaultThreadPool().num_threads(), 2u);
+}
+
+}  // namespace
+}  // namespace kcore

@@ -1,0 +1,203 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cpu/bz.h"
+#include "cpu/hindex.h"
+#include "cpu/mpm.h"
+#include "cpu/naive_ref.h"
+#include "cpu/park.h"
+#include "cpu/pkc.h"
+#include "test_graphs.h"
+
+namespace kcore {
+namespace {
+
+using testing::FullSuite;
+using testing::NamedGraph;
+
+// ---------------------------------------------------------------- HIndex --
+
+TEST(HIndexTest, PaperFig2Example) {
+  // Sorted estimates [5,5,3,3,2,2] -> h-index 3 (the paper's worked example).
+  const std::vector<uint32_t> values = {5, 5, 3, 3, 2, 2};
+  EXPECT_EQ(HIndex(values), 3u);
+}
+
+TEST(HIndexTest, EdgeCases) {
+  EXPECT_EQ(HIndex(std::vector<uint32_t>{}), 0u);
+  EXPECT_EQ(HIndex(std::vector<uint32_t>{0, 0, 0}), 0u);
+  EXPECT_EQ(HIndex(std::vector<uint32_t>{100}), 1u);
+  EXPECT_EQ(HIndex(std::vector<uint32_t>{1, 1, 1, 1}), 1u);
+  EXPECT_EQ(HIndex(std::vector<uint32_t>{4, 4, 4, 4}), 4u);
+  EXPECT_EQ(HIndex(std::vector<uint32_t>{5, 4, 3, 2, 1}), 3u);
+}
+
+TEST(HIndexTest, CapLimitsResult) {
+  const std::vector<uint32_t> values = {9, 9, 9, 9, 9};
+  EXPECT_EQ(HIndex(values, 5), 5u);
+  EXPECT_EQ(HIndex(values, 3), 3u);
+  EXPECT_EQ(HIndex(values, 0), 0u);
+}
+
+TEST(HIndexTest, MatchesSortDefinition) {
+  // Property check against the sort-based definition on random multisets.
+  Rng rng(99);
+  HIndexEvaluator evaluator;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<uint32_t> values(rng.UniformInt(40));
+    for (auto& v : values) v = static_cast<uint32_t>(rng.UniformInt(30));
+    std::vector<uint32_t> sorted = values;
+    std::sort(sorted.rbegin(), sorted.rend());
+    uint32_t expected = 0;
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      if (sorted[i] >= i + 1) expected = static_cast<uint32_t>(i + 1);
+    }
+    EXPECT_EQ(evaluator.Evaluate(values, static_cast<uint32_t>(values.size())),
+              expected);
+  }
+}
+
+TEST(HIndexTest, EvaluatorReusableAcrossSizes) {
+  HIndexEvaluator evaluator;
+  EXPECT_EQ(evaluator.Evaluate(std::vector<uint32_t>{3, 3, 3}, 3), 3u);
+  EXPECT_EQ(evaluator.Evaluate(std::vector<uint32_t>{1}, 1), 1u);
+  EXPECT_EQ(evaluator.Evaluate(std::vector<uint32_t>{2, 2, 9, 9, 9, 9}, 6),
+            4u);
+}
+
+// ------------------------------------------------- Hand-labeled results --
+
+TEST(NaiveReferenceTest, HandLabeledGraphs) {
+  for (const NamedGraph& g : {testing::PaperFigureGraph(),
+                              testing::CliqueGraph(6), testing::CycleGraph(8),
+                              testing::StarGraph(5), testing::PathGraph(7),
+                              testing::TwoCliquesGraph(5, 8),
+                              testing::WithIsolatedVertices()}) {
+    const DecomposeResult result = RunNaiveReference(g.graph);
+    EXPECT_EQ(result.core, g.expected_core) << g.name;
+  }
+}
+
+TEST(BzTest, HandLabeledGraphs) {
+  for (const NamedGraph& g : {testing::PaperFigureGraph(),
+                              testing::CliqueGraph(6), testing::CycleGraph(8),
+                              testing::StarGraph(5),
+                              testing::WithIsolatedVertices()}) {
+    const DecomposeResult result = RunBz(g.graph);
+    EXPECT_EQ(result.core, g.expected_core) << g.name;
+  }
+}
+
+TEST(BzTest, EmptyGraph) {
+  const DecomposeResult result = RunBz(CsrGraph());
+  EXPECT_TRUE(result.core.empty());
+  EXPECT_EQ(result.MaxCore(), 0u);
+}
+
+TEST(BzTest, MetricsPopulated) {
+  const auto g = testing::CliqueGraph(8).graph;
+  const DecomposeResult result = RunBz(g);
+  EXPECT_EQ(result.MaxCore(), 7u);
+  EXPECT_EQ(result.metrics.rounds, 8u);
+  EXPECT_GT(result.metrics.modeled_ms, 0.0);
+  EXPECT_EQ(result.metrics.counters.edges_traversed, g.NumDirectedEdges());
+  EXPECT_GT(result.metrics.peak_device_bytes, g.MemoryBytes());
+}
+
+// ------------------------------------------- Cross-algorithm agreement ----
+
+class CpuSuiteTest : public ::testing::TestWithParam<int> {};
+
+TEST(CpuAgreementTest, AllEnginesMatchOracleOnFullSuite) {
+  for (const NamedGraph& g : FullSuite()) {
+    const std::vector<uint32_t> oracle = RunNaiveReference(g.graph).core;
+    if (!g.expected_core.empty()) {
+      EXPECT_EQ(oracle, g.expected_core) << g.name << " (oracle)";
+    }
+    EXPECT_EQ(RunBz(g.graph).core, oracle) << g.name << " (BZ)";
+    EXPECT_EQ(RunParKSerial(g.graph).core, oracle) << g.name << " (ParK-s)";
+    ParKOptions park;
+    park.num_threads = 8;
+    EXPECT_EQ(RunParK(g.graph, park).core, oracle) << g.name << " (ParK)";
+    EXPECT_EQ(RunPkcSerial(g.graph, PkcVariant::kOriginal).core, oracle)
+        << g.name << " (PKC-o serial)";
+    EXPECT_EQ(RunPkcSerial(g.graph, PkcVariant::kCompacted).core, oracle)
+        << g.name << " (PKC serial)";
+    PkcOptions pkc;
+    pkc.num_threads = 8;
+    pkc.variant = PkcVariant::kOriginal;
+    EXPECT_EQ(RunPkc(g.graph, pkc).core, oracle) << g.name << " (PKC-o)";
+    pkc.variant = PkcVariant::kCompacted;
+    EXPECT_EQ(RunPkc(g.graph, pkc).core, oracle) << g.name << " (PKC)";
+    EXPECT_EQ(RunMpmSerial(g.graph).core, oracle) << g.name << " (MPM-s)";
+    MpmOptions mpm;
+    mpm.num_threads = 8;
+    EXPECT_EQ(RunMpm(g.graph, mpm).core, oracle) << g.name << " (MPM)";
+  }
+}
+
+TEST(CpuAgreementTest, RepeatedParallelRunsAreStable) {
+  // Parallel engines must be deterministic in their *result* despite racy
+  // schedules; run several times to shake out interleavings.
+  const auto g = testing::RandomSuite()[0].graph;
+  const std::vector<uint32_t> oracle = RunNaiveReference(g).core;
+  for (int i = 0; i < 5; ++i) {
+    PkcOptions pkc;
+    pkc.num_threads = 16;
+    EXPECT_EQ(RunPkc(g, pkc).core, oracle);
+    ParKOptions park;
+    park.num_threads = 16;
+    EXPECT_EQ(RunParK(g, park).core, oracle);
+  }
+}
+
+// ------------------------------------------------------- Metrics shapes ---
+
+TEST(MetricsShapeTest, MpmDoesMoreEdgeWorkThanPeeling) {
+  // The paper's core observation about MPM: h-index refinement re-touches
+  // edges across iterations, so its edge traffic exceeds one-pass peeling.
+  const auto g = testing::RandomSuite()[1].graph;  // dense ER
+  const auto mpm = RunMpmSerial(g);
+  const auto pkc = RunPkcSerial(g);
+  EXPECT_GT(mpm.metrics.counters.edges_traversed,
+            pkc.metrics.counters.edges_traversed);
+  EXPECT_GT(mpm.metrics.counters.hindex_evals, g.NumVertices());
+}
+
+TEST(MetricsShapeTest, PkcCompactionScansLessOnHighKmax) {
+  // Planted-core graph: thousands of low-degree vertices peel early, then
+  // many rounds touch only the dense core. Compaction should cut scans.
+  PlantedCoreOptions planted;
+  planted.core_size = 40;
+  planted.core_density = 0.9;
+  const CsrGraph g = BuildUndirectedGraph(OverlayPlantedCore(
+      GenerateErdosRenyi(3000, 4500, 31), 3000, planted, 37));
+  const auto original = RunPkcSerial(g, PkcVariant::kOriginal);
+  const auto compacted = RunPkcSerial(g, PkcVariant::kCompacted);
+  EXPECT_EQ(original.core, compacted.core);
+  EXPECT_LT(compacted.metrics.counters.vertices_scanned,
+            original.metrics.counters.vertices_scanned / 2);
+  EXPECT_LT(compacted.metrics.modeled_ms, original.metrics.modeled_ms);
+}
+
+TEST(MetricsShapeTest, ParKSubLevelsCounted) {
+  const auto g = testing::PathGraph(50).graph;
+  const auto result = RunParKSerial(g);
+  // A path peels in one round (k=1) via many BFS sub-levels.
+  EXPECT_GE(result.metrics.iterations, 10u);
+}
+
+TEST(MetricsShapeTest, RoundsEqualKmaxPlusOne) {
+  for (const NamedGraph& g :
+       {testing::CliqueGraph(5), testing::CycleGraph(6)}) {
+    const auto park = RunParKSerial(g.graph);
+    EXPECT_EQ(park.metrics.rounds, park.MaxCore() + 1) << g.name;
+    const auto pkc = RunPkcSerial(g.graph);
+    EXPECT_EQ(pkc.metrics.rounds, pkc.MaxCore() + 1) << g.name;
+  }
+}
+
+}  // namespace
+}  // namespace kcore

@@ -1,0 +1,291 @@
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "cusim/atomics.h"
+#include "cusim/block.h"
+#include "cusim/device.h"
+#include "cusim/warp.h"
+#include "cusim/warp_scan.h"
+
+namespace kcore::sim {
+namespace {
+
+// ----------------------------------------------------------- Device memory -
+
+TEST(DeviceTest, AllocTracksCurrentAndPeak) {
+  DeviceOptions options;
+  options.global_mem_bytes = 1 << 20;
+  Device device(options);
+  {
+    auto a = device.Alloc<uint32_t>(1000);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(device.current_bytes(), 4000u);
+    auto b = device.Alloc<uint64_t>(500);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(device.current_bytes(), 8000u);
+    EXPECT_EQ(device.peak_bytes(), 8000u);
+  }
+  // RAII frees both; peak persists.
+  EXPECT_EQ(device.current_bytes(), 0u);
+  EXPECT_EQ(device.peak_bytes(), 8000u);
+}
+
+TEST(DeviceTest, AllocFailsOverCapacity) {
+  DeviceOptions options;
+  options.global_mem_bytes = 1024;
+  Device device(options);
+  auto ok = device.Alloc<uint8_t>(1024);
+  ASSERT_TRUE(ok.ok());
+  auto fail = device.Alloc<uint8_t>(1);
+  EXPECT_TRUE(fail.status().IsOutOfMemory());
+}
+
+TEST(DeviceTest, ZeroInitializedAllocations) {
+  Device device;
+  auto arr = device.Alloc<uint32_t>(64);
+  ASSERT_TRUE(arr.ok());
+  for (uint32_t v : arr->span()) EXPECT_EQ(v, 0u);
+}
+
+TEST(DeviceTest, CopyRoundTripChargesTransfer) {
+  Device device;
+  auto arr = device.Alloc<uint32_t>(8);
+  ASSERT_TRUE(arr.ok());
+  std::vector<uint32_t> host = {1, 2, 3, 4, 5, 6, 7, 8};
+  arr->CopyFromHost(host);
+  std::vector<uint32_t> back(8);
+  arr->CopyToHost(back);
+  EXPECT_EQ(back, host);
+  EXPECT_GT(device.transfer_ms(), 0.0);
+}
+
+TEST(DeviceTest, MoveTransfersOwnership) {
+  Device device;
+  auto arr = device.Alloc<uint64_t>(10);
+  ASSERT_TRUE(arr.ok());
+  DeviceArray<uint64_t> moved = std::move(arr).value();
+  EXPECT_EQ(moved.size(), 10u);
+  EXPECT_EQ(device.current_bytes(), 80u);
+  moved.Reset();
+  EXPECT_EQ(device.current_bytes(), 0u);
+}
+
+// ----------------------------------------------------------------- Launch --
+
+TEST(LaunchTest, AllBlocksRunWithCorrectGeometry) {
+  Device device;
+  std::vector<std::atomic<int>> block_runs(6);
+  device.Launch(6, 64, [&](BlockCtx& block) {
+    EXPECT_EQ(block.num_blocks(), 6u);
+    EXPECT_EQ(block.block_dim(), 64u);
+    EXPECT_EQ(block.num_warps(), 2u);
+    EXPECT_EQ(block.grid_threads(), 384u);
+    block_runs[block.block_id()].fetch_add(1);
+  });
+  for (auto& r : block_runs) EXPECT_EQ(r.load(), 1);
+  EXPECT_GT(device.modeled_ms(), 0.0);
+  EXPECT_EQ(device.totals().kernel_launches, 1u);
+}
+
+TEST(LaunchTest, CrossBlockAtomicsAreReal) {
+  Device device;
+  auto counter = device.Alloc<uint64_t>(1);
+  ASSERT_TRUE(counter.ok());
+  device.Launch(16, 32, [&](BlockCtx& block) {
+    block.ForEachThread([&](uint32_t) {
+      AtomicAdd(counter->data(), uint64_t{1}, block.counters());
+    });
+  });
+  EXPECT_EQ(counter->data()[0], 16u * 32);
+}
+
+TEST(LaunchTest, ModeledTimeGrowsWithWork) {
+  Device device;
+  device.Launch(4, 32, [&](BlockCtx& block) {
+    block.ForEachThread([](uint32_t) {});
+  });
+  const double small = device.modeled_ms();
+  device.ResetClock();
+  device.Launch(4, 32, [&](BlockCtx& block) {
+    for (int i = 0; i < 2000; ++i) {
+      block.ForEachThread([](uint32_t) {});
+    }
+  });
+  EXPECT_GT(device.modeled_ms(), small);
+}
+
+// ------------------------------------------------------------ Block/Warp ---
+
+TEST(BlockTest, SharedAllocZeroedAndBudgeted) {
+  BlockCtx block(0, 1, 64, 1024);
+  auto* a = block.SharedAlloc<uint32_t>(100);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a[i], 0u);
+  a[0] = 7;
+  auto* b = block.SharedAlloc<uint64_t>(50);
+  EXPECT_EQ(a[0], 7u);  // distinct regions
+  EXPECT_NE(static_cast<void*>(a), static_cast<void*>(b));
+  EXPECT_GE(block.shared_used(), 800u);
+}
+
+TEST(BlockTest, ForEachWarpCoversAllWarps) {
+  BlockCtx block(0, 1, 256, 1024);
+  std::vector<int> seen;
+  block.ForEachWarp([&](WarpCtx& warp) {
+    seen.push_back(static_cast<int>(warp.warp_id()));
+    EXPECT_EQ(warp.num_warps(), 8u);
+  });
+  EXPECT_EQ(seen.size(), 8u);
+  for (int w = 0; w < 8; ++w) EXPECT_EQ(seen[w], w);
+}
+
+TEST(WarpTest, BallotSyncBuildsBitmap) {
+  PerfCounters counters;
+  WarpCtx warp(0, 1, &counters);
+  const uint32_t bits = warp.BallotSync([](uint32_t lane) {
+    return lane % 3 == 0;
+  });
+  for (uint32_t lane = 0; lane < 32; ++lane) {
+    EXPECT_EQ((bits >> lane) & 1u, lane % 3 == 0 ? 1u : 0u);
+  }
+}
+
+TEST(WarpTest, PopcAndLaneMask) {
+  EXPECT_EQ(WarpCtx::Popc(0u), 0u);
+  EXPECT_EQ(WarpCtx::Popc(0xffffffffu), 32u);
+  EXPECT_EQ(WarpCtx::LaneMaskLt(0), 0u);
+  EXPECT_EQ(WarpCtx::LaneMaskLt(1), 1u);
+  EXPECT_EQ(WarpCtx::LaneMaskLt(5), 0x1fu);
+  EXPECT_EQ(WarpCtx::LaneMaskLt(31), 0x7fffffffu);
+}
+
+// ---------------------------------------------------------------- Atomics --
+
+TEST(AtomicsTest, AddSubReturnOldValue) {
+  PerfCounters c;
+  uint32_t value = 10;
+  EXPECT_EQ(AtomicAdd(&value, 5u, c), 10u);
+  EXPECT_EQ(value, 15u);
+  EXPECT_EQ(AtomicSub(&value, 3u, c), 15u);
+  EXPECT_EQ(value, 12u);
+  EXPECT_EQ(c.global_atomics, 2u);
+}
+
+TEST(AtomicsTest, SharedSpaceCountsSeparately) {
+  PerfCounters c;
+  uint64_t value = 0;
+  AtomicAdd(&value, uint64_t{1}, c, MemSpace::kShared);
+  EXPECT_EQ(c.shared_atomics, 1u);
+  EXPECT_EQ(c.global_atomics, 0u);
+}
+
+TEST(AtomicsTest, AtomicMaxMonotone) {
+  PerfCounters c;
+  uint32_t value = 5;
+  EXPECT_EQ(AtomicMax(&value, 3u, c), 5u);
+  EXPECT_EQ(value, 5u);
+  EXPECT_EQ(AtomicMax(&value, 9u, c), 5u);
+  EXPECT_EQ(value, 9u);
+}
+
+TEST(AtomicsTest, CasReturnsOld) {
+  PerfCounters c;
+  uint32_t value = 4;
+  EXPECT_EQ(AtomicCas(&value, 4u, 7u, c), 4u);
+  EXPECT_EQ(value, 7u);
+  EXPECT_EQ(AtomicCas(&value, 4u, 9u, c), 7u);  // mismatch: no change
+  EXPECT_EQ(value, 7u);
+}
+
+// ------------------------------------------------------------------ Scans --
+
+std::vector<uint32_t> ReferenceInclusive(const std::vector<uint32_t>& in) {
+  std::vector<uint32_t> out(in.size());
+  std::partial_sum(in.begin(), in.end(), out.begin());
+  return out;
+}
+
+TEST(WarpScanTest, HillisSteeleMatchesReference) {
+  PerfCounters c;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    std::vector<uint32_t> values(kWarpSize);
+    for (auto& v : values) v = static_cast<uint32_t>(rng.UniformInt(100));
+    const auto expected = ReferenceInclusive(values);
+    HillisSteeleInclusiveScan(values.data(), c);
+    EXPECT_EQ(values, expected) << "seed " << seed;
+  }
+  EXPECT_GT(c.scan_steps, 0u);
+}
+
+TEST(WarpScanTest, BlellochMatchesReference) {
+  PerfCounters c;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed * 31);
+    std::vector<uint32_t> values(kWarpSize);
+    for (auto& v : values) v = static_cast<uint32_t>(rng.UniformInt(50));
+    const uint32_t expected_total =
+        std::accumulate(values.begin(), values.end(), 0u);
+    // Exclusive scan expectation.
+    std::vector<uint32_t> expected(kWarpSize, 0);
+    for (size_t i = 1; i < kWarpSize; ++i) {
+      expected[i] = expected[i - 1] + values[i - 1];
+    }
+    const uint32_t total = BlellochExclusiveScan(values.data(), c);
+    EXPECT_EQ(total, expected_total);
+    EXPECT_EQ(values, expected);
+  }
+}
+
+TEST(WarpScanTest, BallotScanMatchesFlags) {
+  PerfCounters c;
+  WarpCtx warp(0, 1, &c);
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed * 7);
+    uint32_t flags[kWarpSize];
+    for (auto& f : flags) f = rng.Bernoulli(0.4) ? 1 : 0;
+    uint32_t exclusive[kWarpSize];
+    const uint32_t total = BallotExclusiveScan(warp, flags, exclusive);
+    uint32_t running = 0;
+    for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+      EXPECT_EQ(exclusive[lane], running);
+      running += flags[lane];
+    }
+    EXPECT_EQ(total, running);
+  }
+}
+
+TEST(WarpScanTest, BlockScanTwoStage) {
+  for (uint32_t warps : {1u, 2u, 8u, 32u}) {
+    BlockCtx block(0, 1, warps * kWarpSize, 1024);
+    Rng rng(warps);
+    std::vector<uint32_t> flags(warps * kWarpSize);
+    for (auto& f : flags) f = rng.Bernoulli(0.5) ? 1 : 0;
+    std::vector<uint32_t> exclusive(flags.size());
+    const uint32_t total =
+        BlockExclusiveScan(block, flags.data(), exclusive.data());
+    uint32_t running = 0;
+    for (size_t i = 0; i < flags.size(); ++i) {
+      EXPECT_EQ(exclusive[i], running) << "warps=" << warps << " i=" << i;
+      running += flags[i];
+    }
+    EXPECT_EQ(total, running);
+  }
+}
+
+TEST(WarpScanTest, BlellochCostsMoreStepsThanHs) {
+  // The paper's stated reason for preferring HS at warp width.
+  PerfCounters hs;
+  PerfCounters bl;
+  std::vector<uint32_t> a(kWarpSize, 1);
+  std::vector<uint32_t> b(kWarpSize, 1);
+  HillisSteeleInclusiveScan(a.data(), hs);
+  BlellochExclusiveScan(b.data(), bl);
+  EXPECT_GT(bl.scan_steps, hs.scan_steps);
+}
+
+}  // namespace
+}  // namespace kcore::sim

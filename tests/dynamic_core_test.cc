@@ -1,0 +1,144 @@
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "cpu/dynamic_core.h"
+#include "cpu/naive_ref.h"
+#include "test_graphs.h"
+
+namespace kcore {
+namespace {
+
+std::vector<uint32_t> Recompute(const DynamicKCore& dynamic) {
+  return RunNaiveReference(dynamic.ToCsrGraph()).core;
+}
+
+TEST(DynamicKCoreTest, InitialDecompositionMatchesOracle) {
+  for (const auto& g : testing::FullSuite()) {
+    DynamicKCore dynamic(g.graph);
+    EXPECT_EQ(dynamic.core(), RunNaiveReference(g.graph).core) << g.name;
+  }
+}
+
+TEST(DynamicKCoreTest, InsertRaisesCore) {
+  // A 4-cycle has core 2 everywhere; adding one chord keeps it 2, but
+  // completing K4 raises everything to 3.
+  DynamicKCore dynamic(testing::CycleGraph(4).graph);
+  EXPECT_EQ(dynamic.core(), (std::vector<uint32_t>{2, 2, 2, 2}));
+  ASSERT_TRUE(dynamic.InsertEdge(0, 2).ok());
+  EXPECT_EQ(dynamic.core(), (std::vector<uint32_t>{2, 2, 2, 2}));
+  ASSERT_TRUE(dynamic.InsertEdge(1, 3).ok());
+  EXPECT_EQ(dynamic.core(), (std::vector<uint32_t>{3, 3, 3, 3}));
+}
+
+TEST(DynamicKCoreTest, RemoveLowersCore) {
+  DynamicKCore dynamic(testing::CliqueGraph(5).graph);
+  EXPECT_EQ(dynamic.core(), std::vector<uint32_t>(5, 4));
+  ASSERT_TRUE(dynamic.RemoveEdge(0, 1).ok());
+  // K5 minus one edge: the untouched triangle vertices keep core 3; the
+  // endpoints drop to 3 as well (still adjacent to the 3 others).
+  EXPECT_EQ(dynamic.core(), std::vector<uint32_t>(5, 3));
+}
+
+TEST(DynamicKCoreTest, ErrorCases) {
+  DynamicKCore dynamic(testing::PathGraph(4).graph);
+  EXPECT_TRUE(dynamic.InsertEdge(1, 1).IsInvalidArgument());
+  EXPECT_TRUE(dynamic.InsertEdge(0, 99).IsInvalidArgument());
+  EXPECT_TRUE(dynamic.InsertEdge(0, 1).IsFailedPrecondition());
+  EXPECT_TRUE(dynamic.RemoveEdge(0, 2).IsNotFound());
+  EXPECT_TRUE(dynamic.RemoveEdge(0, 99).IsInvalidArgument());
+}
+
+TEST(DynamicKCoreTest, InsertThenRemoveRoundTrips) {
+  const auto g = testing::RandomSuite()[0].graph;
+  DynamicKCore dynamic(g);
+  const std::vector<uint32_t> before = dynamic.core();
+  // Find a non-edge.
+  VertexId a = 0;
+  VertexId b = 0;
+  Rng rng(3);
+  for (;;) {
+    a = static_cast<VertexId>(rng.UniformInt(g.NumVertices()));
+    b = static_cast<VertexId>(rng.UniformInt(g.NumVertices()));
+    if (a == b) continue;
+    const auto nbrs = g.Neighbors(a);
+    if (!std::binary_search(nbrs.begin(), nbrs.end(), b)) break;
+  }
+  ASSERT_TRUE(dynamic.InsertEdge(a, b).ok());
+  ASSERT_TRUE(dynamic.RemoveEdge(a, b).ok());
+  EXPECT_EQ(dynamic.core(), before);
+}
+
+TEST(DynamicKCoreTest, RandomEditSequenceMatchesRecompute) {
+  // The heavyweight property test: after every single edit, the maintained
+  // cores equal a from-scratch decomposition of the current graph.
+  const CsrGraph initial =
+      BuildUndirectedGraph(GenerateErdosRenyi(120, 300, 17));
+  DynamicKCore dynamic(initial);
+  Rng rng(99);
+  std::set<std::pair<VertexId, VertexId>> present;
+  for (VertexId v = 0; v < initial.NumVertices(); ++v) {
+    for (VertexId u : initial.Neighbors(v)) {
+      if (v < u) present.insert({v, u});
+    }
+  }
+  uint32_t inserts = 0;
+  uint32_t removes = 0;
+  for (int step = 0; step < 300; ++step) {
+    const auto a = static_cast<VertexId>(rng.UniformInt(120));
+    const auto b = static_cast<VertexId>(rng.UniformInt(120));
+    if (a == b) continue;
+    const auto key = std::minmax(a, b);
+    if (present.count({key.first, key.second}) == 0) {
+      ASSERT_TRUE(dynamic.InsertEdge(a, b).ok()) << "step " << step;
+      present.insert({key.first, key.second});
+      ++inserts;
+    } else {
+      ASSERT_TRUE(dynamic.RemoveEdge(a, b).ok()) << "step " << step;
+      present.erase({key.first, key.second});
+      ++removes;
+    }
+    ASSERT_EQ(dynamic.core(), Recompute(dynamic)) << "step " << step;
+  }
+  EXPECT_GT(inserts, 50u);
+  EXPECT_GT(removes, 20u);
+  EXPECT_EQ(dynamic.NumEdges(), present.size());
+}
+
+TEST(DynamicKCoreTest, UpdatesAreLocal) {
+  // A pendant-edge insert far from the dense region should evaluate a small
+  // number of vertices, not the whole graph.
+  const auto g = testing::RandomSuite()[4].graph;  // planted core, 400 v
+  DynamicKCore dynamic(g);
+  // Attach a brand-new edge between two low-core vertices.
+  VertexId a = 0;
+  VertexId b = 0;
+  const auto& core = dynamic.core();
+  for (VertexId v = 0; v < g.NumVertices() && (a == 0 || b == 0); ++v) {
+    if (core[v] <= 2 && v != a) {
+      if (a == 0) {
+        a = v;
+      } else if (!std::binary_search(g.Neighbors(a).begin(),
+                                     g.Neighbors(a).end(), v)) {
+        b = v;
+      }
+    }
+  }
+  if (a != 0 && b != 0) {
+    ASSERT_TRUE(dynamic.InsertEdge(a, b).ok());
+    EXPECT_LT(dynamic.last_update_evaluations(), g.NumVertices() / 2);
+  }
+}
+
+TEST(DynamicKCoreTest, EmptyGraphIsFine) {
+  DynamicKCore dynamic((CsrGraph()));
+  EXPECT_EQ(dynamic.NumVertices(), 0u);
+  EXPECT_TRUE(dynamic.core().empty());
+}
+
+}  // namespace
+}  // namespace kcore

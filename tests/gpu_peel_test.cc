@@ -1,0 +1,192 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/gpu_peel.h"
+#include "cpu/naive_ref.h"
+#include "test_graphs.h"
+
+namespace kcore {
+namespace {
+
+using testing::FullSuite;
+using testing::NamedGraph;
+
+/// Small kernel geometry so tests exercise multi-sweep scans and multi-batch
+/// loops without simulating 108x1024 threads per launch.
+GpuPeelOptions SmallGeometry(GpuPeelOptions base = {}) {
+  base.num_blocks = 4;
+  base.block_dim = 64;  // 2 warps
+  return base;
+}
+
+sim::DeviceOptions SmallDevice() {
+  sim::DeviceOptions device;
+  device.num_sms = 4;
+  return device;
+}
+
+// -------------------------------------------------- Correctness (all 9) ---
+
+struct VariantCase {
+  GpuPeelOptions options;
+  std::string name;
+};
+
+class GpuPeelVariantTest : public ::testing::TestWithParam<GpuPeelOptions> {};
+
+TEST_P(GpuPeelVariantTest, MatchesOracleOnFullSuite) {
+  for (const NamedGraph& g : FullSuite()) {
+    const std::vector<uint32_t> oracle = RunNaiveReference(g.graph).core;
+    auto result =
+        RunGpuPeel(g.graph, SmallGeometry(GetParam()), SmallDevice());
+    ASSERT_TRUE(result.ok()) << g.name << ": " << result.status().ToString();
+    EXPECT_EQ(result->core, oracle)
+        << g.name << " variant=" << GetParam().VariantName();
+  }
+}
+
+TEST_P(GpuPeelVariantTest, PaperGeometryOnOneGraph) {
+  // Full 108x1024 geometry once per variant (slower, so just one graph).
+  const auto g = testing::RandomSuite()[0].graph;
+  const std::vector<uint32_t> oracle = RunNaiveReference(g).core;
+  auto result = RunGpuPeel(g, GetParam());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->core, oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, GpuPeelVariantTest,
+    ::testing::ValuesIn(GpuPeelOptions::AblationVariants()),
+    [](const ::testing::TestParamInfo<GpuPeelOptions>& info) {
+      std::string name = info.param.VariantName();
+      for (char& ch : name) {
+        if (ch == '+') ch = '_';
+      }
+      return name;
+    });
+
+// --------------------------------------------------------- Determinism ----
+
+TEST(GpuPeelTest, RepeatedRunsStableUnderRaces) {
+  const auto g = testing::RandomSuite()[4].graph;  // planted core
+  const std::vector<uint32_t> oracle = RunNaiveReference(g).core;
+  for (int i = 0; i < 5; ++i) {
+    auto result = RunGpuPeel(g, SmallGeometry(), SmallDevice());
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->core, oracle) << "run " << i;
+  }
+}
+
+TEST(GpuPeelTest, EmptyAndTinyGraphs) {
+  auto empty = RunGpuPeel(CsrGraph(), SmallGeometry(), SmallDevice());
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->core.empty());
+
+  const CsrGraph one = BuildUndirectedGraphWithVertexCount({}, 1);
+  auto single = RunGpuPeel(one, SmallGeometry(), SmallDevice());
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->core, std::vector<uint32_t>{0});
+}
+
+// ------------------------------------------------------------- Metrics ----
+
+TEST(GpuPeelTest, MetricsShape) {
+  const auto g = testing::CliqueGraph(10).graph;
+  auto result = RunGpuPeel(g, SmallGeometry(), SmallDevice());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->MaxCore(), 9u);
+  // One round per k in 0..k_max.
+  EXPECT_EQ(result->metrics.rounds, 10u);
+  // Two kernels per round.
+  EXPECT_EQ(result->metrics.counters.kernel_launches, 20u);
+  EXPECT_GT(result->metrics.modeled_ms, 0.0);
+  EXPECT_GT(result->metrics.counters.edges_traversed, 0u);
+  EXPECT_GT(result->metrics.peak_device_bytes, g.MemoryBytes());
+}
+
+TEST(GpuPeelTest, EveryVertexCollectedExactlyOnce) {
+  const auto g = testing::RandomSuite()[2].graph;  // BA graph
+  auto result = RunGpuPeel(g, SmallGeometry(), SmallDevice());
+  ASSERT_TRUE(result.ok());
+  // buffer_appends counts enqueued k-shell vertices; the redundancy-
+  // avoidance argument (§IV-B) says each vertex is captured exactly once.
+  EXPECT_EQ(result->metrics.counters.buffer_appends, g.NumVertices());
+}
+
+// ------------------------------------------------------ Failure modes -----
+
+TEST(GpuPeelTest, BufferOverflowWithoutRingFails) {
+  GpuPeelOptions options = SmallGeometry();
+  options.ring_buffer = false;
+  options.buffer_capacity = 8;  // far too small for a 200-vertex shell
+  const auto g = testing::RandomSuite()[0].graph;
+  auto result = RunGpuPeel(g, options, SmallDevice());
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCapacityExceeded())
+      << result.status().ToString();
+}
+
+TEST(GpuPeelTest, RingBufferSurvivesSmallCapacity) {
+  // Ring recycling lets a small buffer hold a long-lived frontier as long
+  // as the unread backlog fits. A path graph peels 1 vertex at a time from
+  // each end, so backlog stays tiny.
+  GpuPeelOptions options = SmallGeometry();
+  options.buffer_capacity = 64;
+  const auto g = testing::PathGraph(500);
+  auto result = RunGpuPeel(g.graph, options, SmallDevice());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->core, g.expected_core);
+}
+
+TEST(GpuPeelTest, DeviceOutOfMemory) {
+  sim::DeviceOptions device = SmallDevice();
+  device.global_mem_bytes = 1 << 10;  // 1 KB device
+  auto result = RunGpuPeel(testing::CliqueGraph(50).graph, SmallGeometry(),
+                           device);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsOutOfMemory());
+}
+
+TEST(GpuPeelTest, InvalidGeometryRejected) {
+  GpuPeelOptions options;
+  options.block_dim = 48;  // not a multiple of 32
+  auto result = RunGpuPeel(testing::CliqueGraph(4).graph, options);
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+
+  GpuPeelOptions vp = GpuPeelOptions::Vp();
+  vp.block_dim = 32;  // one warp: nothing left to prefetch for
+  EXPECT_TRUE(RunGpuPeel(testing::CliqueGraph(4).graph, vp)
+                  .status()
+                  .IsInvalidArgument());
+
+  GpuPeelOptions ec = GpuPeelOptions::Ec();
+  ec.block_dim = 32 * 64;  // 64 warps: block scan needs <= 32
+  EXPECT_TRUE(RunGpuPeel(testing::CliqueGraph(4).graph, ec)
+                  .status()
+                  .IsInvalidArgument());
+
+  GpuPeelOptions sm = GpuPeelOptions::Sm();
+  sm.shared_buffer_capacity = 1u << 20;  // B larger than shared memory
+  EXPECT_TRUE(RunGpuPeel(testing::CliqueGraph(4).graph, sm)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// ------------------------------------------------------ Variant naming ----
+
+TEST(GpuPeelOptionsTest, VariantNames) {
+  EXPECT_EQ(GpuPeelOptions::Ours().VariantName(), "Ours");
+  EXPECT_EQ(GpuPeelOptions::Sm().VariantName(), "SM");
+  EXPECT_EQ(GpuPeelOptions::Vp().VariantName(), "VP");
+  EXPECT_EQ(GpuPeelOptions::Bc().VariantName(), "BC");
+  EXPECT_EQ(GpuPeelOptions::Bc().WithSm().VariantName(), "BC+SM");
+  EXPECT_EQ(GpuPeelOptions::Bc().WithVp().VariantName(), "BC+VP");
+  EXPECT_EQ(GpuPeelOptions::Ec().VariantName(), "EC");
+  EXPECT_EQ(GpuPeelOptions::Ec().WithSm().VariantName(), "EC+SM");
+  EXPECT_EQ(GpuPeelOptions::Ec().WithVp().VariantName(), "EC+VP");
+  EXPECT_EQ(GpuPeelOptions::AblationVariants().size(), 9u);
+}
+
+}  // namespace
+}  // namespace kcore

@@ -1,0 +1,380 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "generators/citation.h"
+#include "generators/generators.h"
+#include "graph/csr_graph.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+#include "graph/subgraph.h"
+#include "test_graphs.h"
+
+namespace kcore {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// -------------------------------------------------------------- CsrGraph --
+
+TEST(CsrGraphTest, EmptyGraph) {
+  CsrGraph g;
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumDirectedEdges(), 0u);
+  EXPECT_EQ(g.MaxDegree(), 0u);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(CsrGraphTest, AccessorsOnTriangle) {
+  const CsrGraph g = BuildUndirectedGraph({{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumUndirectedEdges(), 3u);
+  EXPECT_EQ(g.NumDirectedEdges(), 6u);
+  for (VertexId v = 0; v < 3; ++v) {
+    EXPECT_EQ(g.Degree(v), 2u);
+    EXPECT_EQ(g.Neighbors(v).size(), 2u);
+  }
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(CsrGraphTest, DegreeArrayMatchesDegrees) {
+  const auto g = testing::PaperFigureGraph().graph;
+  const auto deg = g.DegreeArray();
+  ASSERT_EQ(deg.size(), g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(deg[v], g.Degree(v));
+  }
+}
+
+TEST(CsrGraphTest, ValidateRejectsAsymmetry) {
+  // Hand-build a broken graph: edge 0->1 without 1->0.
+  CsrGraph g({0, 1, 1}, {1});
+  const Status s = g.Validate();
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(CsrGraphTest, ValidateRejectsSelfLoop) {
+  CsrGraph g({0, 1}, {0});
+  EXPECT_TRUE(g.Validate().IsCorruption());
+}
+
+TEST(CsrGraphTest, MemoryBytesPositive) {
+  const auto g = testing::CliqueGraph(5).graph;
+  EXPECT_GT(g.MemoryBytes(), 0u);
+}
+
+// ---------------------------------------------------------- GraphBuilder --
+
+TEST(GraphBuilderTest, UndirectedizesAndDedups) {
+  // Duplicate edges and both directions collapse to one undirected edge.
+  const CsrGraph g =
+      BuildUndirectedGraph({{0, 1}, {1, 0}, {0, 1}, {1, 2}});
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumUndirectedEdges(), 2u);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GraphBuilderTest, RemovesSelfLoops) {
+  const CsrGraph g = BuildUndirectedGraph({{0, 0}, {0, 1}, {1, 1}});
+  EXPECT_EQ(g.NumUndirectedEdges(), 1u);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GraphBuilderTest, RecodesSparseIds) {
+  EdgeList edges = {{1000000007ull, 42ull}, {42ull, 99999ull}};
+  auto built = BuildGraph(edges);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->graph.NumVertices(), 3u);
+  EXPECT_EQ(built->graph.NumUndirectedEdges(), 2u);
+  ASSERT_EQ(built->original_ids.size(), 3u);
+  // Dense IDs assigned in first-appearance order.
+  EXPECT_EQ(built->original_ids[0], 1000000007ull);
+  EXPECT_EQ(built->original_ids[1], 42ull);
+  EXPECT_EQ(built->original_ids[2], 99999ull);
+}
+
+TEST(GraphBuilderTest, NoRecodeRejectsHugeIds) {
+  BuildOptions options;
+  options.recode_ids = false;
+  EdgeList edges = {{0, 1ull << 40}};
+  auto built = BuildGraph(edges, options);
+  EXPECT_FALSE(built.ok());
+  EXPECT_TRUE(built.status().IsInvalidArgument());
+}
+
+TEST(GraphBuilderTest, AdjacencySorted) {
+  const CsrGraph g = BuildUndirectedGraph({{3, 1}, {3, 0}, {3, 2}});
+  const auto nbrs = g.Neighbors(3);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(GraphBuilderTest, VertexCountPreservesIsolated) {
+  const CsrGraph g = BuildUndirectedGraphWithVertexCount({{0, 1}}, 5);
+  EXPECT_EQ(g.NumVertices(), 5u);
+  EXPECT_EQ(g.Degree(4), 0u);
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GraphBuilderTest, DirectedKeepsOneDirection) {
+  BuildOptions options;
+  options.make_undirected = false;
+  options.recode_ids = false;
+  auto built = BuildGraph({{0, 1}, {2, 1}}, options);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->graph.Degree(0), 1u);
+  EXPECT_EQ(built->graph.Degree(1), 0u);
+  EXPECT_EQ(built->graph.Degree(2), 1u);
+}
+
+// ---------------------------------------------------------------- IO -----
+
+TEST(GraphIoTest, EdgeListTextRoundTrip) {
+  EdgeList edges = {{0, 1}, {2, 3}, {1, 2}};
+  const std::string path = TempPath("edges.txt");
+  ASSERT_TRUE(SaveEdgeListText(edges, path).ok());
+  auto loaded = LoadEdgeListText(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, edges);
+}
+
+TEST(GraphIoTest, EdgeListSkipsCommentsAndBlank) {
+  const std::string path = TempPath("commented.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# header\n% konect style\n\n 0\t1\n2 3 extra\n", f);
+  std::fclose(f);
+  auto loaded = LoadEdgeListText(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[1].v, 3u);
+}
+
+TEST(GraphIoTest, EdgeListRejectsGarbage) {
+  const std::string path = TempPath("bad.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("0 1\nnot numbers\n", f);
+  std::fclose(f);
+  EXPECT_TRUE(LoadEdgeListText(path).status().IsCorruption());
+}
+
+TEST(GraphIoTest, MissingFileIsIOError) {
+  EXPECT_TRUE(LoadEdgeListText("/nonexistent/x.txt").status().IsIOError());
+  EXPECT_TRUE(LoadCsrBinary("/nonexistent/x.bin").status().IsIOError());
+}
+
+TEST(GraphIoTest, CsrBinaryRoundTrip) {
+  const auto g = testing::PaperFigureGraph().graph;
+  const std::string path = TempPath("graph.bin");
+  ASSERT_TRUE(SaveCsrBinary(g, path).ok());
+  auto loaded = LoadCsrBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(*loaded == g);
+}
+
+TEST(GraphIoTest, CsrBinaryDetectsCorruption) {
+  const auto g = testing::CliqueGraph(6).graph;
+  const std::string path = TempPath("corrupt.bin");
+  ASSERT_TRUE(SaveCsrBinary(g, path).ok());
+  // Flip one payload byte (XOR so the value is guaranteed to change).
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 48, SEEK_SET);
+  const int original = std::fgetc(f);
+  ASSERT_NE(original, EOF);
+  std::fseek(f, 48, SEEK_SET);
+  std::fputc(original ^ 0xff, f);
+  std::fclose(f);
+  EXPECT_TRUE(LoadCsrBinary(path).status().IsCorruption());
+}
+
+TEST(GraphIoTest, CsrBinaryRejectsBadMagic) {
+  const std::string path = TempPath("notagraph.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  for (int i = 0; i < 64; ++i) std::fputc(i, f);
+  std::fclose(f);
+  EXPECT_TRUE(LoadCsrBinary(path).status().IsCorruption());
+}
+
+// --------------------------------------------------------------- Stats ---
+
+TEST(GraphStatsTest, CliqueStats) {
+  const auto g = testing::CliqueGraph(5).graph;
+  const GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_vertices, 5u);
+  EXPECT_EQ(stats.num_edges, 10u);
+  EXPECT_DOUBLE_EQ(stats.avg_degree, 4.0);
+  EXPECT_DOUBLE_EQ(stats.degree_stddev, 0.0);
+  EXPECT_EQ(stats.max_degree, 4u);
+}
+
+TEST(GraphStatsTest, StarStatsSkewed) {
+  const auto g = testing::StarGraph(10).graph;
+  const GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.max_degree, 10u);
+  EXPECT_GT(stats.degree_stddev, 2.0);
+  EXPECT_NEAR(stats.avg_degree, 20.0 / 11, 1e-9);
+}
+
+TEST(GraphStatsTest, EmptyGraphStats) {
+  const GraphStats stats = ComputeGraphStats(CsrGraph());
+  EXPECT_EQ(stats.num_vertices, 0u);
+  EXPECT_EQ(stats.max_degree, 0u);
+}
+
+// ------------------------------------------------------------- Subgraph --
+
+TEST(SubgraphTest, InducedTriangle) {
+  const auto g = testing::PaperFigureGraph().graph;
+  std::vector<bool> keep(g.NumVertices(), false);
+  keep[0] = keep[1] = keep[2] = keep[3] = true;  // the K4
+  const InducedSubgraph sub = ExtractInducedSubgraph(g, keep);
+  EXPECT_EQ(sub.graph.NumVertices(), 4u);
+  EXPECT_EQ(sub.graph.NumUndirectedEdges(), 6u);
+  EXPECT_TRUE(sub.graph.Validate().ok());
+  EXPECT_EQ(sub.parent_ids, (std::vector<VertexId>{0, 1, 2, 3}));
+}
+
+TEST(SubgraphTest, EmptySelection) {
+  const auto g = testing::CliqueGraph(4).graph;
+  const InducedSubgraph sub =
+      ExtractInducedSubgraph(g, std::vector<bool>(4, false));
+  EXPECT_EQ(sub.graph.NumVertices(), 0u);
+}
+
+TEST(SubgraphTest, CrossEdgesDropped) {
+  const auto g = testing::TwoCliquesGraph(4, 4).graph;
+  std::vector<bool> keep(g.NumVertices(), false);
+  keep[0] = keep[4] = true;  // endpoints of the bridge edge
+  const InducedSubgraph sub = ExtractInducedSubgraph(g, keep);
+  EXPECT_EQ(sub.graph.NumVertices(), 2u);
+  EXPECT_EQ(sub.graph.NumUndirectedEdges(), 1u);
+}
+
+// ------------------------------------------------------------ Generators --
+
+TEST(GeneratorsTest, ErdosRenyiExactEdgeCount) {
+  const EdgeList edges = GenerateErdosRenyi(100, 500, 3);
+  EXPECT_EQ(edges.size(), 500u);
+  const CsrGraph g = BuildUndirectedGraph(edges);
+  EXPECT_EQ(g.NumUndirectedEdges(), 500u);  // sampling was without repeats
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(GeneratorsTest, ErdosRenyiDeterministic) {
+  EXPECT_EQ(GenerateErdosRenyi(50, 100, 9), GenerateErdosRenyi(50, 100, 9));
+  EXPECT_NE(GenerateErdosRenyi(50, 100, 9), GenerateErdosRenyi(50, 100, 10));
+}
+
+TEST(GeneratorsTest, BarabasiAlbertDegrees) {
+  const CsrGraph g = BuildUndirectedGraph(GenerateBarabasiAlbert(300, 3, 5));
+  EXPECT_EQ(g.NumVertices(), 300u);
+  // Every non-seed vertex attached with >= 3 edges.
+  for (VertexId v = 4; v < 300; ++v) EXPECT_GE(g.Degree(v), 3u);
+  // Preferential attachment produces a hub noticeably above the minimum.
+  EXPECT_GT(g.MaxDegree(), 12u);
+}
+
+TEST(GeneratorsTest, RmatShapeAndDeterminism) {
+  RmatOptions options;
+  options.scale = 8;
+  options.num_edges = 2000;
+  options.seed = 21;
+  const EdgeList a = GenerateRmat(options);
+  const EdgeList b = GenerateRmat(options);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 2000u);
+  for (const RawEdge& e : a) {
+    EXPECT_LT(e.u, 256u);
+    EXPECT_LT(e.v, 256u);
+    EXPECT_NE(e.u, e.v);
+  }
+}
+
+TEST(GeneratorsTest, ChungLuSkewedDegrees) {
+  const CsrGraph g =
+      BuildUndirectedGraph(GenerateChungLuPowerLaw(2000, 8000, 2.3, 7));
+  const GraphStats stats = ComputeGraphStats(g);
+  // Power-law: stddev well above the mean.
+  EXPECT_GT(stats.degree_stddev, stats.avg_degree);
+}
+
+TEST(GeneratorsTest, PlantedCoreRaisesKmax) {
+  PlantedCoreOptions planted;
+  planted.core_size = 30;
+  planted.core_density = 0.9;
+  const EdgeList base = GenerateErdosRenyi(500, 700, 3);
+  const CsrGraph with_core =
+      BuildUndirectedGraph(OverlayPlantedCore(base, 500, planted, 4));
+  // The planted community has min internal degree ~0.9*29 ~ 26.
+  uint32_t high_degree = 0;
+  for (VertexId v = 0; v < with_core.NumVertices(); ++v) {
+    if (with_core.Degree(v) >= 20) ++high_degree;
+  }
+  EXPECT_GE(high_degree, 25u);
+}
+
+TEST(GeneratorsTest, HubGraphExtremeSkew) {
+  HubGraphOptions options;
+  options.num_vertices = 2000;
+  options.num_hubs = 4;
+  options.spokes_per_vertex = 2;
+  options.background_edges = 500;
+  const CsrGraph g = BuildUndirectedGraph(GenerateHubGraph(options, 8));
+  const GraphStats stats = ComputeGraphStats(g);
+  EXPECT_GT(stats.max_degree, 500u);
+  EXPECT_GT(stats.degree_stddev, 5 * stats.avg_degree);
+}
+
+// ------------------------------------------------------------- Citation --
+
+TEST(CitationTest, CorpusRespectsConfig) {
+  CitationOptions options;
+  options.num_papers = 500;
+  options.num_authors = 200;
+  options.seed = 3;
+  const CitationCorpus corpus = GenerateCitationCorpus(options);
+  ASSERT_EQ(corpus.papers.size(), 500u);
+  uint32_t prev_year = 0;
+  for (const Paper& p : corpus.papers) {
+    EXPECT_GE(p.year, options.first_year);
+    EXPECT_LE(p.year, options.last_year);
+    EXPECT_GE(p.year, prev_year);  // years non-decreasing
+    prev_year = p.year;
+    EXPECT_GE(p.authors.size(), 1u);
+    for (uint32_t a : p.authors) EXPECT_LT(a, options.num_authors);
+  }
+}
+
+TEST(CitationTest, ReferencesPointBackward) {
+  CitationOptions options;
+  options.num_papers = 400;
+  options.seed = 5;
+  const CitationCorpus corpus = GenerateCitationCorpus(options);
+  for (size_t p = 0; p < corpus.papers.size(); ++p) {
+    for (uint32_t ref : corpus.papers[p].references) {
+      ASSERT_LT(ref, p);
+      EXPECT_LE(corpus.papers[ref].year, corpus.papers[p].year);
+    }
+  }
+}
+
+TEST(CitationTest, InteractionNetworkGrowsWithCutoff) {
+  CitationOptions options;
+  options.num_papers = 1000;
+  options.seed = 7;
+  const CitationCorpus corpus = GenerateCitationCorpus(options);
+  const EdgeList early = BuildAuthorInteractionEdges(corpus, 1990);
+  const EdgeList late = BuildAuthorInteractionEdges(corpus, 2000);
+  EXPECT_LT(early.size(), late.size());
+  EXPECT_GT(early.size(), 0u);
+}
+
+}  // namespace
+}  // namespace kcore

@@ -1,0 +1,140 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/hierarchy.h"
+#include "cpu/bz.h"
+#include "cpu/naive_ref.h"
+#include "test_graphs.h"
+
+namespace kcore {
+namespace {
+
+using testing::NamedGraph;
+
+CoreHierarchy Build(const CsrGraph& graph) {
+  return BuildCoreHierarchy(graph, RunBz(graph).core);
+}
+
+TEST(HierarchyTest, EmptyGraph) {
+  const CoreHierarchy h = BuildCoreHierarchy(CsrGraph(), {});
+  EXPECT_TRUE(h.nodes.empty());
+  EXPECT_TRUE(h.node_of.empty());
+}
+
+TEST(HierarchyTest, SingleCliqueIsOneNode) {
+  const auto g = testing::CliqueGraph(6);
+  const CoreHierarchy h = Build(g.graph);
+  ASSERT_EQ(h.nodes.size(), 1u);
+  EXPECT_EQ(h.nodes[0].k, 5u);
+  EXPECT_EQ(h.nodes[0].parent, -1);
+  EXPECT_EQ(h.nodes[0].vertices.size(), 6u);
+}
+
+TEST(HierarchyTest, TwoCliquesNesting) {
+  // Cliques of size 5 (core 4) and 8 (core 7) joined by one edge: the
+  // 7-core component nests inside the 4-level component of everything.
+  const auto g = testing::TwoCliquesGraph(5, 8);
+  const CoreHierarchy h = Build(g.graph);
+  ASSERT_EQ(h.nodes.size(), 2u);
+  // Node 0 created first (k_max level): the 8-clique.
+  EXPECT_EQ(h.nodes[0].k, 7u);
+  EXPECT_EQ(h.nodes[0].vertices.size(), 8u);
+  // Node 1: level 4, the 5-clique vertices; both cliques connect via the
+  // bridge when the level-4 shell arrives, so node 0's parent is node 1.
+  EXPECT_EQ(h.nodes[1].k, 4u);
+  EXPECT_EQ(h.nodes[1].vertices.size(), 5u);
+  EXPECT_EQ(h.nodes[0].parent, 1);
+  EXPECT_EQ(h.nodes[1].parent, -1);
+  // Full component of the root covers the graph.
+  EXPECT_EQ(h.ComponentVertices(1).size(), 13u);
+  EXPECT_EQ(h.ComponentVertices(0).size(), 8u);
+}
+
+TEST(HierarchyTest, EveryVertexInExactlyOneNode) {
+  for (const NamedGraph& g : testing::FullSuite()) {
+    const auto core = RunNaiveReference(g.graph).core;
+    const CoreHierarchy h = BuildCoreHierarchy(g.graph, core);
+    std::vector<uint64_t> seen(g.graph.NumVertices(), 0);
+    for (const CoreHierarchyNode& node : h.nodes) {
+      for (VertexId v : node.vertices) {
+        ++seen[v];
+        EXPECT_EQ(core[v], node.k) << g.name;
+      }
+    }
+    for (VertexId v = 0; v < g.graph.NumVertices(); ++v) {
+      EXPECT_EQ(seen[v], 1u) << g.name << " v=" << v;
+      ASSERT_GE(h.node_of[v], 0);
+      const auto& vertices =
+          h.nodes[static_cast<size_t>(h.node_of[v])].vertices;
+      EXPECT_NE(std::find(vertices.begin(), vertices.end(), v),
+                vertices.end())
+          << g.name;
+    }
+  }
+}
+
+TEST(HierarchyTest, ParentsHaveStrictlySmallerK) {
+  for (const NamedGraph& g : testing::RandomSuite()) {
+    const CoreHierarchy h = Build(g.graph);
+    for (const CoreHierarchyNode& node : h.nodes) {
+      if (node.parent >= 0) {
+        EXPECT_LT(h.nodes[static_cast<size_t>(node.parent)].k, node.k)
+            << g.name;
+      }
+    }
+  }
+}
+
+TEST(HierarchyTest, ComponentsAreConnectedKCores) {
+  // Property: each node's full component induces a subgraph with minimum
+  // degree >= k (it is a k-core component).
+  for (const NamedGraph& g : testing::RandomSuite()) {
+    const CoreHierarchy h = Build(g.graph);
+    for (size_t i = 0; i < h.nodes.size(); ++i) {
+      const auto members = h.ComponentVertices(static_cast<int32_t>(i));
+      const std::set<VertexId> member_set(members.begin(), members.end());
+      for (VertexId v : members) {
+        uint32_t internal_degree = 0;
+        for (VertexId u : g.graph.Neighbors(v)) {
+          if (member_set.count(u) != 0) ++internal_degree;
+        }
+        EXPECT_GE(internal_degree, h.nodes[i].k)
+            << g.name << " node " << i << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(HierarchyTest, DensestComponentQuery) {
+  const auto g = testing::TwoCliquesGraph(5, 8);
+  const CoreHierarchy h = Build(g.graph);
+  // Vertex 7 lives in the 8-clique (node 0).
+  EXPECT_EQ(DensestComponentContaining(h, 7, 1), 0);
+  EXPECT_EQ(DensestComponentContaining(h, 7, 8), 0);
+  // Needing >= 9 vertices forces the query up to the root component.
+  EXPECT_EQ(DensestComponentContaining(h, 7, 9), 1);
+  // Nothing has 14 vertices.
+  EXPECT_EQ(DensestComponentContaining(h, 7, 14), -1);
+  // Vertex 0 (5-clique) starts at node 1 directly.
+  EXPECT_EQ(DensestComponentContaining(h, 0, 1), 1);
+}
+
+TEST(HierarchyTest, IsolatedVerticesAreLevelZeroRoots) {
+  const auto g = testing::WithIsolatedVertices();
+  const CoreHierarchy h = Build(g.graph);
+  uint32_t zero_nodes = 0;
+  for (const auto& node : h.nodes) {
+    if (node.k == 0) {
+      ++zero_nodes;
+      EXPECT_EQ(node.parent, -1);
+    }
+  }
+  // Vertices 0, 2, 4, 6 are isolated; each forms its own level-0 root.
+  EXPECT_EQ(zero_nodes, 4u);
+}
+
+}  // namespace
+}  // namespace kcore

@@ -1,0 +1,104 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/gpu_peel.h"
+#include "core/multi_gpu_peel.h"
+#include "cpu/naive_ref.h"
+#include "test_graphs.h"
+
+namespace kcore {
+namespace {
+
+using testing::FullSuite;
+using testing::NamedGraph;
+
+class MultiGpuWorkerCountTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(MultiGpuWorkerCountTest, MatchesOracleOnFullSuite) {
+  MultiGpuOptions options;
+  options.num_workers = GetParam();
+  for (const NamedGraph& g : FullSuite()) {
+    const std::vector<uint32_t> oracle = RunNaiveReference(g.graph).core;
+    auto result = RunMultiGpuPeel(g.graph, options);
+    ASSERT_TRUE(result.ok()) << g.name << ": " << result.status().ToString();
+    EXPECT_EQ(result->core, oracle)
+        << g.name << " workers=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, MultiGpuWorkerCountTest,
+                         ::testing::Values(1u, 2u, 3u, 7u));
+
+TEST(MultiGpuTest, ZeroWorkersRejected) {
+  MultiGpuOptions options;
+  options.num_workers = 0;
+  EXPECT_TRUE(RunMultiGpuPeel(testing::CliqueGraph(4).graph, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(MultiGpuTest, PartitioningShrinksPerGpuFootprint) {
+  // The §VII motivation: each GPU holds only its slice, so the per-device
+  // peak drops as workers are added.
+  const auto g = testing::RandomSuite()[3].graph;  // rmat
+  MultiGpuOptions one;
+  one.num_workers = 1;
+  MultiGpuOptions four;
+  four.num_workers = 4;
+  auto single = RunMultiGpuPeel(g, one);
+  auto multi = RunMultiGpuPeel(g, four);
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(multi.ok());
+  EXPECT_LT(multi->metrics.peak_device_bytes,
+            single->metrics.peak_device_bytes);
+}
+
+TEST(MultiGpuTest, GraphTooBigForOneDeviceFitsOnFour) {
+  const auto g = testing::RandomSuite()[2].graph;  // BA, 500 vertices
+  MultiGpuOptions options;
+  options.num_workers = 1;
+  options.worker_device.global_mem_bytes = 16 << 10;  // 16 KB per GPU
+  EXPECT_TRUE(RunMultiGpuPeel(g, options).status().IsOutOfMemory());
+  options.num_workers = 8;
+  auto result = RunMultiGpuPeel(g, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->core, RunNaiveReference(g).core);
+}
+
+TEST(MultiGpuTest, BorderPropagationNeedsExtraSubRounds) {
+  // A path spanning all partitions: the k=1 shell peels strictly through
+  // partition borders, so sub-rounds must exceed rounds (§VII's observation
+  // that one round may need several border synchronizations).
+  const auto g = testing::PathGraph(64);
+  MultiGpuOptions options;
+  options.num_workers = 4;
+  auto result = RunMultiGpuPeel(g.graph, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->core, g.expected_core);
+  EXPECT_GT(result->metrics.iterations, result->metrics.rounds);
+}
+
+TEST(MultiGpuTest, AgreesWithSingleGpuKernels) {
+  const auto g = testing::RandomSuite()[4].graph;  // planted core
+  auto single = RunGpuPeel(g);
+  MultiGpuOptions options;
+  options.num_workers = 5;
+  auto multi = RunMultiGpuPeel(g, options);
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ(single->core, multi->core);
+  EXPECT_EQ(single->metrics.rounds, multi->metrics.rounds);
+}
+
+TEST(MultiGpuTest, MoreWorkersThanVertices) {
+  const auto g = testing::CliqueGraph(3);
+  MultiGpuOptions options;
+  options.num_workers = 16;
+  auto result = RunMultiGpuPeel(g.graph, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->core, g.expected_core);
+}
+
+}  // namespace
+}  // namespace kcore

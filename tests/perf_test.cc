@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "perf/cost_model.h"
+#include "perf/decompose_result.h"
+#include "perf/modeled_clock.h"
+#include "perf/perf_counters.h"
+
+namespace kcore {
+namespace {
+
+TEST(PerfCountersTest, AdditionAccumulatesEveryField) {
+  PerfCounters a;
+  a.lane_ops = 1;
+  a.global_reads = 2;
+  a.global_writes = 3;
+  a.global_atomics = 4;
+  a.shared_ops = 5;
+  a.shared_atomics = 6;
+  a.barriers = 7;
+  a.scan_steps = 8;
+  a.kernel_launches = 9;
+  a.edges_traversed = 10;
+  a.vertices_scanned = 11;
+  a.buffer_appends = 12;
+  a.hindex_evals = 13;
+  a.messages = 14;
+  a.vector_op_calls = 15;
+  PerfCounters b = a;
+  b += a;
+  EXPECT_EQ(b.lane_ops, 2u);
+  EXPECT_EQ(b.global_atomics, 8u);
+  EXPECT_EQ(b.barriers, 14u);
+  EXPECT_EQ(b.kernel_launches, 18u);
+  EXPECT_EQ(b.vector_op_calls, 30u);
+  EXPECT_EQ(b.messages, 28u);
+}
+
+TEST(CostModelTest, UnitTimeScalesWithWork) {
+  const CostModel model = GpuNativeCostModel();
+  PerfCounters small;
+  small.lane_ops = 1000;
+  PerfCounters big;
+  big.lane_ops = 1000000;
+  EXPECT_GT(model.UnitTimeNs(big), 100 * model.UnitTimeNs(small));
+}
+
+TEST(CostModelTest, ParallelWidthDividesParallelWork) {
+  CostModel narrow = GpuNativeCostModel();
+  narrow.unit_parallel_width = 1;
+  CostModel wide = GpuNativeCostModel();
+  wide.unit_parallel_width = 1024;
+  PerfCounters work;
+  work.lane_ops = 1 << 20;
+  EXPECT_NEAR(narrow.UnitTimeNs(work) / wide.UnitTimeNs(work), 1024.0, 1.0);
+}
+
+TEST(CostModelTest, BarriersNotDividedByWidth) {
+  CostModel model = GpuNativeCostModel();
+  PerfCounters work;
+  work.barriers = 10;
+  EXPECT_DOUBLE_EQ(model.UnitTimeNs(work), 10 * model.barrier_ns);
+}
+
+TEST(CostModelTest, SystemModelCostsMoreThanNative) {
+  const CostModel native = GpuNativeCostModel();
+  const CostModel system = GpuSystemCostModel();
+  PerfCounters work;
+  work.lane_ops = 100000;
+  work.global_reads = 100000;
+  work.global_writes = 50000;
+  EXPECT_GT(system.UnitTimeNs(work), 10 * native.UnitTimeNs(work));
+}
+
+TEST(CostModelTest, CpuModelIsScalar) {
+  const CostModel cpu = CpuCostModel();
+  EXPECT_DOUBLE_EQ(cpu.unit_parallel_width, 1.0);
+  EXPECT_DOUBLE_EQ(cpu.kernel_launch_ns, 0.0);
+}
+
+TEST(ModeledClockTest, ParallelPhaseTakesMaxOverLanes) {
+  ModeledClock clock(CpuCostModel());
+  PerfCounters fast;
+  fast.lane_ops = 10;
+  PerfCounters slow;
+  slow.lane_ops = 1000000;
+  std::vector<PerfCounters> lanes = {fast, slow, fast};
+  clock.AddParallelPhase(lanes, /*ends_with_barrier=*/false);
+  const CostModel cpu = CpuCostModel();
+  EXPECT_DOUBLE_EQ(clock.ms(), cpu.UnitTimeNs(slow) / 1e6);
+}
+
+TEST(ModeledClockTest, BarrierAndOverheadAccumulate) {
+  ModeledClock clock(CpuCostModel());
+  std::vector<PerfCounters> lanes(2);
+  clock.AddParallelPhase(lanes, /*ends_with_barrier=*/true);
+  clock.AddOverheadNs(1e6);
+  EXPECT_NEAR(clock.ms(), (CpuCostModel().barrier_ns + 1e6) / 1e6, 1e-12);
+}
+
+TEST(ModeledClockTest, SerialAddsUnitTime) {
+  ModeledClock clock(GpuNativeCostModel());
+  PerfCounters work;
+  work.global_atomics = 1280;
+  clock.AddSerial(work);
+  const CostModel model = GpuNativeCostModel();
+  EXPECT_DOUBLE_EQ(clock.ms() * 1e6, model.UnitTimeNs(work));
+}
+
+TEST(DecomposeResultTest, MaxCore) {
+  DecomposeResult result;
+  EXPECT_EQ(result.MaxCore(), 0u);
+  result.core = {0, 3, 1, 3, 2};
+  EXPECT_EQ(result.MaxCore(), 3u);
+}
+
+}  // namespace
+}  // namespace kcore

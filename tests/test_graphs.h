@@ -1,0 +1,185 @@
+#ifndef KCORE_TESTS_TEST_GRAPHS_H_
+#define KCORE_TESTS_TEST_GRAPHS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "generators/generators.h"
+#include "graph/csr_graph.h"
+#include "graph/graph_builder.h"
+
+namespace kcore::testing {
+
+/// A named graph with its expected core numbers (empty when the expectation
+/// is "agree with the oracle" rather than a hand-computed vector).
+struct NamedGraph {
+  std::string name;
+  CsrGraph graph;
+  std::vector<uint32_t> expected_core;  // may be empty
+};
+
+/// The example graph of the paper's Fig. 1 / Fig. 2: a 3-core (red K4-ish
+/// cluster), a 2-shell ring around it, and 1-shell pendants. Hand-labeled
+/// core numbers.
+inline NamedGraph PaperFigureGraph() {
+  // Vertices 0-3: dense 3-core (K4). Vertices 4-6: 2-shell triangle hanging
+  // off vertex 0 (A-like: degree 3 but core 2). Vertices 7-8: 1-shell tail.
+  EdgeList edges = {
+      {0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},  // K4
+      {0, 4}, {4, 5}, {5, 6}, {6, 4},                  // triangle + bridge
+      {5, 7}, {7, 8},                                  // pendant path
+  };
+  NamedGraph g;
+  g.name = "paper_figure";
+  g.graph = BuildUndirectedGraph(edges);
+  g.expected_core = {3, 3, 3, 3, 2, 2, 2, 1, 1};
+  return g;
+}
+
+inline NamedGraph CliqueGraph(uint32_t n) {
+  EdgeList edges;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) edges.push_back({i, j});
+  }
+  NamedGraph g;
+  g.name = "clique" + std::to_string(n);
+  g.graph = BuildUndirectedGraph(edges);
+  g.expected_core.assign(n, n - 1);
+  return g;
+}
+
+inline NamedGraph CycleGraph(uint32_t n) {
+  EdgeList edges;
+  for (uint32_t i = 0; i < n; ++i) edges.push_back({i, (i + 1) % n});
+  NamedGraph g;
+  g.name = "cycle" + std::to_string(n);
+  g.graph = BuildUndirectedGraph(edges);
+  g.expected_core.assign(n, 2);
+  return g;
+}
+
+inline NamedGraph StarGraph(uint32_t leaves) {
+  EdgeList edges;
+  for (uint32_t i = 1; i <= leaves; ++i) edges.push_back({0, i});
+  NamedGraph g;
+  g.name = "star" + std::to_string(leaves);
+  g.graph = BuildUndirectedGraph(edges);
+  g.expected_core.assign(leaves + 1, 1);
+  return g;
+}
+
+inline NamedGraph PathGraph(uint32_t n) {
+  EdgeList edges;
+  for (uint32_t i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  NamedGraph g;
+  g.name = "path" + std::to_string(n);
+  g.graph = BuildUndirectedGraph(edges);
+  g.expected_core.assign(n, 1);
+  return g;
+}
+
+/// Two cliques joined by a single edge: distinct shells per component.
+inline NamedGraph TwoCliquesGraph(uint32_t a, uint32_t b) {
+  EdgeList edges;
+  for (uint32_t i = 0; i < a; ++i) {
+    for (uint32_t j = i + 1; j < a; ++j) edges.push_back({i, j});
+  }
+  for (uint32_t i = 0; i < b; ++i) {
+    for (uint32_t j = i + 1; j < b; ++j) edges.push_back({a + i, a + j});
+  }
+  edges.push_back({0, a});
+  NamedGraph g;
+  g.name = "cliques" + std::to_string(a) + "_" + std::to_string(b);
+  g.graph = BuildUndirectedGraph(edges);
+  g.expected_core.reserve(a + b);
+  for (uint32_t i = 0; i < a; ++i) g.expected_core.push_back(a - 1);
+  for (uint32_t i = 0; i < b; ++i) g.expected_core.push_back(b - 1);
+  return g;
+}
+
+/// Graph with isolated vertices (core 0) mixed in.
+inline NamedGraph WithIsolatedVertices() {
+  EdgeList edges = {{1, 3}, {3, 5}, {5, 1}};  // triangle on odd vertices
+  NamedGraph g;
+  g.name = "isolated";
+  g.graph = BuildUndirectedGraphWithVertexCount(edges, 7);
+  g.expected_core = {0, 2, 0, 2, 0, 2, 0};
+  return g;
+}
+
+/// Deterministic random graphs of assorted shapes (no expected vector; test
+/// against the oracle).
+inline std::vector<NamedGraph> RandomSuite() {
+  std::vector<NamedGraph> suite;
+  {
+    NamedGraph g;
+    g.name = "er_small";
+    g.graph = BuildUndirectedGraph(GenerateErdosRenyi(200, 600, 7));
+    suite.push_back(std::move(g));
+  }
+  {
+    NamedGraph g;
+    g.name = "er_dense";
+    g.graph = BuildUndirectedGraph(GenerateErdosRenyi(120, 2500, 11));
+    suite.push_back(std::move(g));
+  }
+  {
+    NamedGraph g;
+    g.name = "ba";
+    g.graph = BuildUndirectedGraph(GenerateBarabasiAlbert(500, 4, 13));
+    suite.push_back(std::move(g));
+  }
+  {
+    RmatOptions rmat;
+    rmat.scale = 10;
+    rmat.num_edges = 6000;
+    rmat.seed = 17;
+    NamedGraph g;
+    g.name = "rmat";
+    g.graph = BuildUndirectedGraph(GenerateRmat(rmat));
+    suite.push_back(std::move(g));
+  }
+  {
+    PlantedCoreOptions planted;
+    planted.core_size = 24;
+    planted.core_density = 0.8;
+    NamedGraph g;
+    g.name = "planted";
+    g.graph = BuildUndirectedGraph(OverlayPlantedCore(
+        GenerateErdosRenyi(400, 800, 19), 400, planted, 23));
+    suite.push_back(std::move(g));
+  }
+  {
+    HubGraphOptions hub;
+    hub.num_vertices = 600;
+    hub.num_hubs = 5;
+    hub.spokes_per_vertex = 2;
+    hub.background_edges = 300;
+    NamedGraph g;
+    g.name = "hub";
+    g.graph = BuildUndirectedGraph(GenerateHubGraph(hub, 29));
+    suite.push_back(std::move(g));
+  }
+  return suite;
+}
+
+/// Everything: hand-labeled structures + the random suite.
+inline std::vector<NamedGraph> FullSuite() {
+  std::vector<NamedGraph> suite;
+  suite.push_back(PaperFigureGraph());
+  suite.push_back(CliqueGraph(6));
+  suite.push_back(CycleGraph(10));
+  suite.push_back(StarGraph(12));
+  suite.push_back(PathGraph(9));
+  suite.push_back(TwoCliquesGraph(5, 8));
+  suite.push_back(WithIsolatedVertices());
+  for (auto& g : RandomSuite()) suite.push_back(std::move(g));
+  return suite;
+}
+
+}  // namespace kcore::testing
+
+#endif  // KCORE_TESTS_TEST_GRAPHS_H_

@@ -1,0 +1,180 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/dcore.h"
+#include "analysis/khcore.h"
+#include "cpu/naive_ref.h"
+#include "graph/digraph.h"
+#include "test_graphs.h"
+
+namespace kcore {
+namespace {
+
+// ------------------------------------------------------------- Digraph ----
+
+TEST(DirectedGraphTest, BuildSeparatesDirections) {
+  // 0 -> 1, 0 -> 2, 1 -> 2.
+  const DirectedGraph g = BuildDirectedGraph({{0, 1}, {0, 2}, {1, 2}}, 3);
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(0), 0u);
+  EXPECT_EQ(g.OutDegree(2), 0u);
+  EXPECT_EQ(g.InDegree(2), 2u);
+}
+
+TEST(DirectedGraphTest, DropsSelfLoopsAndDuplicates) {
+  const DirectedGraph g =
+      BuildDirectedGraph({{0, 1}, {0, 1}, {1, 1}, {1, 0}}, 2);
+  EXPECT_EQ(g.NumEdges(), 2u);  // 0->1 and 1->0 survive
+  EXPECT_EQ(g.OutDegree(0), 1u);
+  EXPECT_EQ(g.OutDegree(1), 1u);
+}
+
+TEST(DirectedGraphTest, IsolatedTrailingVertices) {
+  const DirectedGraph g = BuildDirectedGraph({{0, 1}}, 5);
+  EXPECT_EQ(g.NumVertices(), 5u);
+  EXPECT_EQ(g.InDegree(4), 0u);
+}
+
+// --------------------------------------------------------------- D-core ---
+
+/// A directed 4-cycle plus a bidirected clique on {4,5,6}.
+DirectedGraph DCoreFixture() {
+  EdgeList arcs = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  for (uint32_t a : {4, 5, 6}) {
+    for (uint32_t b : {4, 5, 6}) {
+      if (a != b) arcs.push_back({a, b});
+    }
+  }
+  arcs.push_back({0, 4});  // weak link into the clique
+  return BuildDirectedGraph(arcs, 7);
+}
+
+TEST(DCoreTest, MembershipMatchesDefinition) {
+  const DirectedGraph g = DCoreFixture();
+  // (1,1)-core: both the cycle and the clique qualify.
+  const auto core11 = ComputeDCoreMembers(g, 1, 1);
+  EXPECT_EQ(std::count(core11.begin(), core11.end(), true), 7);
+  // (2,2)-core: only the bidirected triangle.
+  const auto core22 = ComputeDCoreMembers(g, 2, 2);
+  for (VertexId v = 0; v < 7; ++v) {
+    EXPECT_EQ(core22[v], v >= 4) << "v=" << v;
+  }
+  // (3,3)-core: empty.
+  const auto core33 = ComputeDCoreMembers(g, 3, 3);
+  EXPECT_EQ(std::count(core33.begin(), core33.end(), true), 0);
+}
+
+TEST(DCoreTest, MembershipIsMaximalAndValid) {
+  // Property: every member of the (k,l)-core has indeg>=k and outdeg>=l
+  // inside the membership set.
+  Rng rng(5);
+  EdgeList arcs;
+  for (int i = 0; i < 1500; ++i) {
+    const auto u = static_cast<VertexId>(rng.UniformInt(150));
+    const auto v = static_cast<VertexId>(rng.UniformInt(150));
+    if (u != v) arcs.push_back({u, v});
+  }
+  const DirectedGraph g = BuildDirectedGraph(arcs, 150);
+  for (uint32_t k : {1u, 2u, 4u}) {
+    for (uint32_t l : {1u, 3u}) {
+      const auto members = ComputeDCoreMembers(g, k, l);
+      for (VertexId v = 0; v < g.NumVertices(); ++v) {
+        if (!members[v]) continue;
+        uint32_t in = 0;
+        uint32_t out = 0;
+        for (VertexId u : g.InNeighbors(v)) in += members[u];
+        for (VertexId u : g.OutNeighbors(v)) out += members[u];
+        EXPECT_GE(in, k) << "k=" << k << " l=" << l << " v=" << v;
+        EXPECT_GE(out, l) << "k=" << k << " l=" << l << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(DCoreTest, DecompositionConsistentWithMembership) {
+  const DirectedGraph g = DCoreFixture();
+  const DCoreDecomposition decomposition = ComputeDCoreDecomposition(g, 1);
+  for (uint32_t k : {1u, 2u}) {
+    const auto members = ComputeDCoreMembers(g, k, 1);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      const bool by_number =
+          decomposition.in_any_core[v] && decomposition.k_number[v] >= k;
+      EXPECT_EQ(by_number, members[v]) << "k=" << k << " v=" << v;
+    }
+  }
+}
+
+TEST(DCoreTest, OutBoundPeeling) {
+  // Vertex 2 is a pure sink (outdeg 0): excluded from every (k,1)-core.
+  const DirectedGraph g = BuildDirectedGraph({{0, 1}, {1, 0}, {0, 2}}, 3);
+  const DCoreDecomposition d = ComputeDCoreDecomposition(g, 1);
+  EXPECT_FALSE(d.in_any_core[2]);
+  EXPECT_TRUE(d.in_any_core[0]);
+  EXPECT_TRUE(d.in_any_core[1]);
+  EXPECT_EQ(d.k_number[0], 1u);
+  EXPECT_EQ(d.k_number[1], 1u);
+}
+
+// ------------------------------------------------------------ (k,h)-core --
+
+TEST(KhCoreTest, HEqualsOneIsClassicCore) {
+  for (const auto& g : {testing::PaperFigureGraph(), testing::CliqueGraph(5),
+                        testing::CycleGraph(8), testing::StarGraph(6),
+                        testing::TwoCliquesGraph(4, 6)}) {
+    EXPECT_EQ(ComputeKhCores(g.graph, 1), RunNaiveReference(g.graph).core)
+        << g.name;
+  }
+}
+
+TEST(KhCoreTest, HEqualsOneOnRandomGraphs) {
+  const auto g = BuildUndirectedGraph(GenerateErdosRenyi(80, 200, 9));
+  EXPECT_EQ(ComputeKhCores(g, 1), RunNaiveReference(g).core);
+}
+
+TEST(KhCoreTest, StarGainsFromTwoHops) {
+  // In a star, leaves see every other leaf within 2 hops: the whole star
+  // becomes an n-vertex (k,2)-core with k = leaves.
+  const auto g = testing::StarGraph(6).graph;
+  const auto core2 = ComputeKhCores(g, 2);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(core2[v], 6u) << "v=" << v;
+  }
+}
+
+TEST(KhCoreTest, MonotoneInH) {
+  // Property: the (k,h)-core number never decreases with h (larger reach).
+  const auto g = BuildUndirectedGraph(GenerateBarabasiAlbert(60, 2, 13));
+  const auto h1 = ComputeKhCores(g, 1);
+  const auto h2 = ComputeKhCores(g, 2);
+  const auto h3 = ComputeKhCores(g, 3);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_LE(h1[v], h2[v]) << "v=" << v;
+    EXPECT_LE(h2[v], h3[v]) << "v=" << v;
+  }
+}
+
+TEST(KhCoreTest, HHopDegreeBasics) {
+  const auto g = testing::PathGraph(5).graph;
+  const std::vector<bool> all(5, true);
+  EXPECT_EQ(HHopDegree(g, 0, 1, all), 1u);
+  EXPECT_EQ(HHopDegree(g, 0, 2, all), 2u);
+  EXPECT_EQ(HHopDegree(g, 2, 2, all), 4u);
+  EXPECT_EQ(HHopDegree(g, 0, 10, all), 4u);
+}
+
+TEST(KhCoreTest, PathUnderTwoHops) {
+  // Interior path vertices have 3-4 vertices within 2 hops; the (k,2)
+  // peeling removes ends first. Verify against the definition.
+  const auto g = testing::PathGraph(7).graph;
+  const auto core = ComputeKhCores(g, 2);
+  // All vertices end up with the same (k,2)-core number 2: once the ends
+  // peel at k=2, the cascade consumes the whole path.
+  for (VertexId v = 0; v < 7; ++v) EXPECT_EQ(core[v], 2u) << "v=" << v;
+}
+
+}  // namespace
+}  // namespace kcore

@@ -1,0 +1,94 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/gpu_peel.h"
+#include "cpu/naive_ref.h"
+#include "test_graphs.h"
+#include "vetga/vetga.h"
+
+namespace kcore {
+namespace {
+
+using testing::FullSuite;
+using testing::NamedGraph;
+
+TEST(VetgaTest, MatchesOracleOnFullSuite) {
+  for (const NamedGraph& g : FullSuite()) {
+    const std::vector<uint32_t> oracle = RunNaiveReference(g.graph).core;
+    auto result = RunVetga(g.graph);
+    ASSERT_TRUE(result.ok()) << g.name << ": " << result.status().ToString();
+    EXPECT_EQ(result->core, oracle) << g.name;
+  }
+}
+
+TEST(VetgaTest, EmptyGraph) {
+  auto result = RunVetga(CsrGraph());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->core.empty());
+}
+
+TEST(VetgaTest, VectorOpCallsCounted) {
+  const auto g = testing::CliqueGraph(8).graph;
+  auto result = RunVetga(g);
+  ASSERT_TRUE(result.ok());
+  // At least two primitives per round plus per-iteration sequences.
+  EXPECT_GE(result->metrics.counters.vector_op_calls,
+            2ull * result->metrics.rounds);
+  EXPECT_GT(result->metrics.iterations, 0u);
+}
+
+TEST(VetgaTest, DispatchOverheadDominatesSmallGraphs) {
+  // Same graph, 10x dispatch cost => clearly slower modeled time: the
+  // defining VETGA characteristic (per-primitive kernel dispatch).
+  const auto g = testing::CycleGraph(64).graph;
+  VetgaConfig cheap;
+  cheap.op_dispatch_ns = 1000;
+  VetgaConfig pricey;
+  pricey.op_dispatch_ns = 100000;
+  auto a = RunVetga(g, cheap);
+  auto b = RunVetga(g, pricey);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(b->metrics.modeled_ms, 5 * a->metrics.modeled_ms);
+}
+
+TEST(VetgaTest, SlowerThanNativeKernelsAndBiggerFootprint) {
+  // Table III/V shape on one graph: Ours beats VETGA in modeled time, and
+  // VETGA's int64 tensors cost more device memory.
+  const auto g = testing::RandomSuite()[2].graph;  // BA graph
+  auto vetga = RunVetga(g);
+  auto ours = RunGpuPeel(g);
+  ASSERT_TRUE(vetga.ok());
+  ASSERT_TRUE(ours.ok());
+  EXPECT_EQ(vetga->core, ours->core);
+  EXPECT_GT(vetga->metrics.modeled_ms, ours->metrics.modeled_ms);
+  EXPECT_GT(vetga->metrics.peak_device_bytes, g.MemoryBytes());
+}
+
+TEST(VetgaTest, LoadTimeModeled) {
+  const auto g = testing::RandomSuite()[0].graph;
+  VetgaConfig config;
+  config.load_ns_per_edge = 5000;
+  auto result = RunVetga(g, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->metrics.load_ms,
+              g.NumUndirectedEdges() * 5000.0 / 1e6, 1e-9);
+}
+
+TEST(VetgaTest, TimeoutReported) {
+  VetgaConfig config;
+  config.modeled_timeout_ms = 1e-6;
+  auto result = RunVetga(testing::RandomSuite()[0].graph, config);
+  EXPECT_TRUE(result.status().IsTimeout());
+}
+
+TEST(VetgaTest, OomOnTinyDevice) {
+  VetgaConfig config;
+  config.device.global_mem_bytes = 4 << 10;
+  auto result = RunVetga(testing::RandomSuite()[0].graph, config);
+  EXPECT_TRUE(result.status().IsOutOfMemory());
+}
+
+}  // namespace
+}  // namespace kcore

@@ -1,0 +1,171 @@
+// kcore_cli — command-line front end for the library.
+//
+//   kcore_cli stats      <edge_list>            graph statistics (Table I row)
+//   kcore_cli decompose  <edge_list> [engine]   core numbers + metrics
+//   kcore_cli shells     <edge_list>            shell-size histogram
+//   kcore_cli hierarchy  <edge_list>            HCD forest summary
+//   kcore_cli extract    <edge_list> <k> <out>  write the k-core's edge list
+//
+// Engines: gpu (default), bz, pkc, pkc-o, park, mpm, vetga, multigpu.
+// Edge lists are SNAP-style text; IDs are recoded densely.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/core_analysis.h"
+#include "analysis/hierarchy.h"
+#include "common/strings.h"
+#include "core/gpu_peel.h"
+#include "core/multi_gpu_peel.h"
+#include "cpu/bz.h"
+#include "cpu/mpm.h"
+#include "cpu/park.h"
+#include "cpu/pkc.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+#include "vetga/vetga.h"
+
+namespace {
+
+using namespace kcore;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: kcore_cli <stats|decompose|shells|hierarchy|extract> "
+               "<edge_list> [args]\n"
+               "  decompose <edge_list> [gpu|bz|pkc|pkc-o|park|mpm|vetga|"
+               "multigpu]\n"
+               "  extract   <edge_list> <k> <output_edge_list>\n");
+  return 2;
+}
+
+StatusOr<BuiltGraph> Load(const char* path) {
+  KCORE_ASSIGN_OR_RETURN(EdgeList edges, LoadEdgeListText(path));
+  return BuildGraph(edges);
+}
+
+StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
+                                    const std::string& engine) {
+  if (engine == "gpu") return RunGpuPeel(graph);
+  if (engine == "bz") return RunBz(graph);
+  if (engine == "pkc") return RunPkc(graph);
+  if (engine == "pkc-o") {
+    PkcOptions options;
+    options.variant = PkcVariant::kOriginal;
+    return RunPkc(graph, options);
+  }
+  if (engine == "park") return RunParK(graph);
+  if (engine == "mpm") return RunMpm(graph);
+  if (engine == "vetga") return RunVetga(graph);
+  if (engine == "multigpu") return RunMultiGpuPeel(graph);
+  return Status::InvalidArgument("unknown engine: " + engine);
+}
+
+int CmdStats(const CsrGraph& graph) {
+  const GraphStats stats = ComputeGraphStats(graph);
+  const DecomposeResult result = RunBz(graph);
+  std::printf("|V|      %s\n|E|      %s\nd_avg    %.2f\nd_std    %.2f\n"
+              "d_max    %u\nk_max    %u\n",
+              WithCommas(stats.num_vertices).c_str(),
+              WithCommas(stats.num_edges).c_str(), stats.avg_degree,
+              stats.degree_stddev, stats.max_degree, result.MaxCore());
+  return 0;
+}
+
+int CmdDecompose(const CsrGraph& graph, const std::string& engine) {
+  auto result = Decompose(graph, engine);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("engine       %s\nk_max        %u\nrounds       %u\n"
+              "modeled_ms   %.3f\nwall_ms      %.3f\npeak_device  %s\n",
+              engine.c_str(), result->MaxCore(), result->metrics.rounds,
+              result->metrics.modeled_ms, result->metrics.wall_ms,
+              HumanBytes(result->metrics.peak_device_bytes).c_str());
+  return 0;
+}
+
+int CmdShells(const CsrGraph& graph) {
+  const DecomposeResult result = RunBz(graph);
+  const auto histogram = CoreHistogram(result.core);
+  std::printf("k-shell sizes (k: count)\n");
+  for (size_t k = 0; k < histogram.size(); ++k) {
+    if (histogram[k] != 0) {
+      std::printf("%4zu: %s\n", k, WithCommas(histogram[k]).c_str());
+    }
+  }
+  return 0;
+}
+
+int CmdHierarchy(const CsrGraph& graph) {
+  const DecomposeResult result = RunBz(graph);
+  const CoreHierarchy hierarchy = BuildCoreHierarchy(graph, result.core);
+  std::printf("HCD forest: %zu nodes\n", hierarchy.nodes.size());
+  uint32_t roots = 0;
+  for (const auto& node : hierarchy.nodes) roots += node.parent < 0;
+  std::printf("roots (connected components incl. isolated): %u\n", roots);
+  // Print the densest few components.
+  size_t printed = 0;
+  for (size_t i = 0; i < hierarchy.nodes.size() && printed < 10; ++i) {
+    const auto& node = hierarchy.nodes[i];
+    std::printf("  node %zu: k=%u, own vertices %zu, parent %d\n", i, node.k,
+                node.vertices.size(), node.parent);
+    ++printed;
+  }
+  return 0;
+}
+
+int CmdExtract(const BuiltGraph& built, uint32_t k, const char* out_path) {
+  const DecomposeResult result = RunBz(built.graph);
+  const InducedSubgraph sub = KCoreSubgraph(built.graph, result.core, k);
+  EdgeList edges;
+  for (VertexId v = 0; v < sub.graph.NumVertices(); ++v) {
+    for (VertexId u : sub.graph.Neighbors(v)) {
+      if (v < u) {
+        const uint64_t ov =
+            built.original_ids.empty() ? sub.parent_ids[v]
+                                       : built.original_ids[sub.parent_ids[v]];
+        const uint64_t ou =
+            built.original_ids.empty() ? sub.parent_ids[u]
+                                       : built.original_ids[sub.parent_ids[u]];
+        edges.push_back({ov, ou});
+      }
+    }
+  }
+  const Status status = SaveEdgeListText(edges, out_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu edges of the %u-core (%u vertices) to %s\n",
+              edges.size(), k, sub.graph.NumVertices(), out_path);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+
+  auto built = Load(argv[2]);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    return 1;
+  }
+
+  if (command == "stats") return CmdStats(built->graph);
+  if (command == "decompose") {
+    return CmdDecompose(built->graph, argc > 3 ? argv[3] : "gpu");
+  }
+  if (command == "shells") return CmdShells(built->graph);
+  if (command == "hierarchy") return CmdHierarchy(built->graph);
+  if (command == "extract") {
+    if (argc < 5) return Usage();
+    return CmdExtract(*built, static_cast<uint32_t>(std::atoi(argv[3])),
+                      argv[4]);
+  }
+  return Usage();
+}
