@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_append.cc" "bench/CMakeFiles/bench_micro_append.dir/bench_micro_append.cc.o" "gcc" "bench/CMakeFiles/bench_micro_append.dir/bench_micro_append.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/kcore_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cusim/CMakeFiles/kcore_cusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/kcore_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kcore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kcore_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

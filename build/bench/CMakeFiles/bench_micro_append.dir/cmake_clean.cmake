@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_append.dir/bench_micro_append.cc.o"
+  "CMakeFiles/bench_micro_append.dir/bench_micro_append.cc.o.d"
+  "bench_micro_append"
+  "bench_micro_append.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_append.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

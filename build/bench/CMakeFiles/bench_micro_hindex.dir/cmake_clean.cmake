@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_hindex.dir/bench_micro_hindex.cc.o"
+  "CMakeFiles/bench_micro_hindex.dir/bench_micro_hindex.cc.o.d"
+  "bench_micro_hindex"
+  "bench_micro_hindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_hindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_scan.dir/bench_micro_scan.cc.o"
+  "CMakeFiles/bench_micro_scan.dir/bench_micro_scan.cc.o.d"
+  "bench_micro_scan"
+  "bench_micro_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcore_bench_support.dir/bench_support.cc.o"
+  "CMakeFiles/kcore_bench_support.dir/bench_support.cc.o.d"
+  "libkcore_bench_support.a"
+  "libkcore_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcore_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cocitation_snapshots.dir/cocitation_snapshots.cpp.o"
+  "CMakeFiles/cocitation_snapshots.dir/cocitation_snapshots.cpp.o.d"
+  "cocitation_snapshots"
+  "cocitation_snapshots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cocitation_snapshots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pruning_pipeline.dir/pruning_pipeline.cpp.o"
+  "CMakeFiles/pruning_pipeline.dir/pruning_pipeline.cpp.o.d"
+  "pruning_pipeline"
+  "pruning_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pruning_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_influencers.dir/social_influencers.cpp.o"
+  "CMakeFiles/social_influencers.dir/social_influencers.cpp.o.d"
+  "social_influencers"
+  "social_influencers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_influencers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/core_analysis.cc" "src/analysis/CMakeFiles/kcore_analysis.dir/core_analysis.cc.o" "gcc" "src/analysis/CMakeFiles/kcore_analysis.dir/core_analysis.cc.o.d"
+  "/root/repo/src/analysis/dcore.cc" "src/analysis/CMakeFiles/kcore_analysis.dir/dcore.cc.o" "gcc" "src/analysis/CMakeFiles/kcore_analysis.dir/dcore.cc.o.d"
+  "/root/repo/src/analysis/hierarchy.cc" "src/analysis/CMakeFiles/kcore_analysis.dir/hierarchy.cc.o" "gcc" "src/analysis/CMakeFiles/kcore_analysis.dir/hierarchy.cc.o.d"
+  "/root/repo/src/analysis/khcore.cc" "src/analysis/CMakeFiles/kcore_analysis.dir/khcore.cc.o" "gcc" "src/analysis/CMakeFiles/kcore_analysis.dir/khcore.cc.o.d"
+  "/root/repo/src/analysis/snapshots.cc" "src/analysis/CMakeFiles/kcore_analysis.dir/snapshots.cc.o" "gcc" "src/analysis/CMakeFiles/kcore_analysis.dir/snapshots.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kcore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/kcore_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/generators/CMakeFiles/kcore_generators.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kcore_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/kcore_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcore_analysis.dir/core_analysis.cc.o"
+  "CMakeFiles/kcore_analysis.dir/core_analysis.cc.o.d"
+  "CMakeFiles/kcore_analysis.dir/dcore.cc.o"
+  "CMakeFiles/kcore_analysis.dir/dcore.cc.o.d"
+  "CMakeFiles/kcore_analysis.dir/hierarchy.cc.o"
+  "CMakeFiles/kcore_analysis.dir/hierarchy.cc.o.d"
+  "CMakeFiles/kcore_analysis.dir/khcore.cc.o"
+  "CMakeFiles/kcore_analysis.dir/khcore.cc.o.d"
+  "CMakeFiles/kcore_analysis.dir/snapshots.cc.o"
+  "CMakeFiles/kcore_analysis.dir/snapshots.cc.o.d"
+  "libkcore_analysis.a"
+  "libkcore_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcore_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcore_common.dir/status.cc.o"
+  "CMakeFiles/kcore_common.dir/status.cc.o.d"
+  "CMakeFiles/kcore_common.dir/strings.cc.o"
+  "CMakeFiles/kcore_common.dir/strings.cc.o.d"
+  "CMakeFiles/kcore_common.dir/thread_pool.cc.o"
+  "CMakeFiles/kcore_common.dir/thread_pool.cc.o.d"
+  "libkcore_common.a"
+  "libkcore_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcore_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcore_core.dir/gpu_peel.cc.o"
+  "CMakeFiles/kcore_core.dir/gpu_peel.cc.o.d"
+  "CMakeFiles/kcore_core.dir/gpu_peel_options.cc.o"
+  "CMakeFiles/kcore_core.dir/gpu_peel_options.cc.o.d"
+  "CMakeFiles/kcore_core.dir/multi_gpu_peel.cc.o"
+  "CMakeFiles/kcore_core.dir/multi_gpu_peel.cc.o.d"
+  "libkcore_core.a"
+  "libkcore_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcore_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/bz.cc" "src/cpu/CMakeFiles/kcore_cpu.dir/bz.cc.o" "gcc" "src/cpu/CMakeFiles/kcore_cpu.dir/bz.cc.o.d"
+  "/root/repo/src/cpu/dynamic_core.cc" "src/cpu/CMakeFiles/kcore_cpu.dir/dynamic_core.cc.o" "gcc" "src/cpu/CMakeFiles/kcore_cpu.dir/dynamic_core.cc.o.d"
+  "/root/repo/src/cpu/hindex.cc" "src/cpu/CMakeFiles/kcore_cpu.dir/hindex.cc.o" "gcc" "src/cpu/CMakeFiles/kcore_cpu.dir/hindex.cc.o.d"
+  "/root/repo/src/cpu/mpm.cc" "src/cpu/CMakeFiles/kcore_cpu.dir/mpm.cc.o" "gcc" "src/cpu/CMakeFiles/kcore_cpu.dir/mpm.cc.o.d"
+  "/root/repo/src/cpu/naive_ref.cc" "src/cpu/CMakeFiles/kcore_cpu.dir/naive_ref.cc.o" "gcc" "src/cpu/CMakeFiles/kcore_cpu.dir/naive_ref.cc.o.d"
+  "/root/repo/src/cpu/park.cc" "src/cpu/CMakeFiles/kcore_cpu.dir/park.cc.o" "gcc" "src/cpu/CMakeFiles/kcore_cpu.dir/park.cc.o.d"
+  "/root/repo/src/cpu/pkc.cc" "src/cpu/CMakeFiles/kcore_cpu.dir/pkc.cc.o" "gcc" "src/cpu/CMakeFiles/kcore_cpu.dir/pkc.cc.o.d"
+  "/root/repo/src/cpu/semi_external.cc" "src/cpu/CMakeFiles/kcore_cpu.dir/semi_external.cc.o" "gcc" "src/cpu/CMakeFiles/kcore_cpu.dir/semi_external.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kcore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kcore_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/kcore_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

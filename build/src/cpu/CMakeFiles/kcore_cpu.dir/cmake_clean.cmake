@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcore_cpu.dir/bz.cc.o"
+  "CMakeFiles/kcore_cpu.dir/bz.cc.o.d"
+  "CMakeFiles/kcore_cpu.dir/dynamic_core.cc.o"
+  "CMakeFiles/kcore_cpu.dir/dynamic_core.cc.o.d"
+  "CMakeFiles/kcore_cpu.dir/hindex.cc.o"
+  "CMakeFiles/kcore_cpu.dir/hindex.cc.o.d"
+  "CMakeFiles/kcore_cpu.dir/mpm.cc.o"
+  "CMakeFiles/kcore_cpu.dir/mpm.cc.o.d"
+  "CMakeFiles/kcore_cpu.dir/naive_ref.cc.o"
+  "CMakeFiles/kcore_cpu.dir/naive_ref.cc.o.d"
+  "CMakeFiles/kcore_cpu.dir/park.cc.o"
+  "CMakeFiles/kcore_cpu.dir/park.cc.o.d"
+  "CMakeFiles/kcore_cpu.dir/pkc.cc.o"
+  "CMakeFiles/kcore_cpu.dir/pkc.cc.o.d"
+  "CMakeFiles/kcore_cpu.dir/semi_external.cc.o"
+  "CMakeFiles/kcore_cpu.dir/semi_external.cc.o.d"
+  "libkcore_cpu.a"
+  "libkcore_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcore_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cusim/device.cc" "src/cusim/CMakeFiles/kcore_cusim.dir/device.cc.o" "gcc" "src/cusim/CMakeFiles/kcore_cusim.dir/device.cc.o.d"
+  "/root/repo/src/cusim/warp_scan.cc" "src/cusim/CMakeFiles/kcore_cusim.dir/warp_scan.cc.o" "gcc" "src/cusim/CMakeFiles/kcore_cusim.dir/warp_scan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kcore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/kcore_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

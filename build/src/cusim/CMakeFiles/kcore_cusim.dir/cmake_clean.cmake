@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcore_cusim.dir/device.cc.o"
+  "CMakeFiles/kcore_cusim.dir/device.cc.o.d"
+  "CMakeFiles/kcore_cusim.dir/warp_scan.cc.o"
+  "CMakeFiles/kcore_cusim.dir/warp_scan.cc.o.d"
+  "libkcore_cusim.a"
+  "libkcore_cusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcore_cusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/generators/citation.cc" "src/generators/CMakeFiles/kcore_generators.dir/citation.cc.o" "gcc" "src/generators/CMakeFiles/kcore_generators.dir/citation.cc.o.d"
+  "/root/repo/src/generators/generators.cc" "src/generators/CMakeFiles/kcore_generators.dir/generators.cc.o" "gcc" "src/generators/CMakeFiles/kcore_generators.dir/generators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kcore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kcore_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcore_generators.dir/citation.cc.o"
+  "CMakeFiles/kcore_generators.dir/citation.cc.o.d"
+  "CMakeFiles/kcore_generators.dir/generators.cc.o"
+  "CMakeFiles/kcore_generators.dir/generators.cc.o.d"
+  "libkcore_generators.a"
+  "libkcore_generators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcore_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

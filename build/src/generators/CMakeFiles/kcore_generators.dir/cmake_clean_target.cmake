@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkcore_generators.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcore_graph.dir/csr_graph.cc.o"
+  "CMakeFiles/kcore_graph.dir/csr_graph.cc.o.d"
+  "CMakeFiles/kcore_graph.dir/digraph.cc.o"
+  "CMakeFiles/kcore_graph.dir/digraph.cc.o.d"
+  "CMakeFiles/kcore_graph.dir/graph_builder.cc.o"
+  "CMakeFiles/kcore_graph.dir/graph_builder.cc.o.d"
+  "CMakeFiles/kcore_graph.dir/graph_io.cc.o"
+  "CMakeFiles/kcore_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/kcore_graph.dir/graph_stats.cc.o"
+  "CMakeFiles/kcore_graph.dir/graph_stats.cc.o.d"
+  "CMakeFiles/kcore_graph.dir/subgraph.cc.o"
+  "CMakeFiles/kcore_graph.dir/subgraph.cc.o.d"
+  "libkcore_graph.a"
+  "libkcore_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcore_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkcore_graph.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcore_perf.dir/cost_model.cc.o"
+  "CMakeFiles/kcore_perf.dir/cost_model.cc.o.d"
+  "libkcore_perf.a"
+  "libkcore_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcore_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/systems/gswitch.cc" "src/systems/CMakeFiles/kcore_systems.dir/gswitch.cc.o" "gcc" "src/systems/CMakeFiles/kcore_systems.dir/gswitch.cc.o.d"
+  "/root/repo/src/systems/gunrock.cc" "src/systems/CMakeFiles/kcore_systems.dir/gunrock.cc.o" "gcc" "src/systems/CMakeFiles/kcore_systems.dir/gunrock.cc.o.d"
+  "/root/repo/src/systems/medusa.cc" "src/systems/CMakeFiles/kcore_systems.dir/medusa.cc.o" "gcc" "src/systems/CMakeFiles/kcore_systems.dir/medusa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kcore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/kcore_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cusim/CMakeFiles/kcore_cusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kcore_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/kcore_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcore_systems.dir/gswitch.cc.o"
+  "CMakeFiles/kcore_systems.dir/gswitch.cc.o.d"
+  "CMakeFiles/kcore_systems.dir/gunrock.cc.o"
+  "CMakeFiles/kcore_systems.dir/gunrock.cc.o.d"
+  "CMakeFiles/kcore_systems.dir/medusa.cc.o"
+  "CMakeFiles/kcore_systems.dir/medusa.cc.o.d"
+  "libkcore_systems.a"
+  "libkcore_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcore_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcore_vetga.dir/vetga.cc.o"
+  "CMakeFiles/kcore_vetga.dir/vetga.cc.o.d"
+  "libkcore_vetga.a"
+  "libkcore_vetga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcore_vetga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

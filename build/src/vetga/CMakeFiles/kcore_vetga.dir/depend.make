@@ -1,0 +1,2 @@
+# Empty dependencies file for kcore_vetga.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_algorithms_test.dir/cpu_algorithms_test.cc.o"
+  "CMakeFiles/cpu_algorithms_test.dir/cpu_algorithms_test.cc.o.d"
+  "cpu_algorithms_test"
+  "cpu_algorithms_test.pdb"
+  "cpu_algorithms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

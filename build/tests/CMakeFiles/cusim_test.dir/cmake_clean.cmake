@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cusim_test.dir/cusim_test.cc.o"
+  "CMakeFiles/cusim_test.dir/cusim_test.cc.o.d"
+  "cusim_test"
+  "cusim_test.pdb"
+  "cusim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cusim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

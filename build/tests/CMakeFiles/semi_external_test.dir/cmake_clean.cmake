@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semi_external_test.dir/semi_external_test.cc.o"
+  "CMakeFiles/semi_external_test.dir/semi_external_test.cc.o.d"
+  "semi_external_test"
+  "semi_external_test.pdb"
+  "semi_external_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semi_external_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/variants_test.cc" "tests/CMakeFiles/variants_test.dir/variants_test.cc.o" "gcc" "tests/CMakeFiles/variants_test.dir/variants_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/kcore_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/CMakeFiles/kcore_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/vetga/CMakeFiles/kcore_vetga.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kcore_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/kcore_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cusim/CMakeFiles/kcore_cusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/kcore_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/generators/CMakeFiles/kcore_generators.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/kcore_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kcore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

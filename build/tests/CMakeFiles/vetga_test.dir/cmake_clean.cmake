@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vetga_test.dir/vetga_test.cc.o"
+  "CMakeFiles/vetga_test.dir/vetga_test.cc.o.d"
+  "vetga_test"
+  "vetga_test.pdb"
+  "vetga_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vetga_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcore_cli.dir/kcore_cli.cpp.o"
+  "CMakeFiles/kcore_cli.dir/kcore_cli.cpp.o.d"
+  "kcore_cli"
+  "kcore_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcore_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
