@@ -1,0 +1,121 @@
+// Machine-readable perf harness: runs the GPU peeling engine over the paper
+// roster and writes BENCH_gpu_peel.json so the perf trajectory (modeled_ms /
+// wall_ms / operation counters) can be tracked across PRs by diffing the
+// committed file. Each dataset is run with active-vertex compaction off and
+// on; the harness fails if the two disagree on core numbers.
+//
+// Output path: argv[1] if given, else $KCORE_BENCH_JSON_PATH, else
+// ./BENCH_gpu_peel.json. Respects KCORE_BENCH_MAX_EDGES.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_support.h"
+#include "common/strings.h"
+#include "core/gpu_peel.h"
+
+namespace {
+
+using namespace kcore;
+using namespace kcore::bench;
+
+std::string U64(uint64_t v) {
+  return StrFormat("%llu", static_cast<unsigned long long>(v));
+}
+
+/// One run's metrics as a JSON object (modeled time first — the tracked
+/// number; wall_ms is the host's simulation time and is machine-noisy).
+std::string MetricsJson(const Metrics& m) {
+  const PerfCounters& c = m.counters;
+  std::string json = "{";
+  json += StrFormat("\"modeled_ms\": %.4f, ", m.modeled_ms);
+  json += StrFormat("\"scan_ms\": %.4f, ", m.scan_ms);
+  json += StrFormat("\"loop_ms\": %.4f, ", m.loop_ms);
+  json += StrFormat("\"compact_ms\": %.4f, ", m.compact_ms);
+  json += StrFormat("\"wall_ms\": %.2f, ", m.wall_ms);
+  json += "\"peak_device_bytes\": " + U64(m.peak_device_bytes) + ", ";
+  json += StrFormat("\"rounds\": %u, ", m.rounds);
+  json += "\"counters\": {";
+  json += "\"kernel_launches\": " + U64(c.kernel_launches) + ", ";
+  json += "\"vertices_scanned\": " + U64(c.vertices_scanned) + ", ";
+  json += "\"scan_vertices_skipped\": " + U64(c.scan_vertices_skipped) + ", ";
+  json += "\"compactions\": " + U64(c.compactions) + ", ";
+  json += "\"edges_traversed\": " + U64(c.edges_traversed) + ", ";
+  json += "\"buffer_appends\": " + U64(c.buffer_appends) + ", ";
+  json += "\"global_reads\": " + U64(c.global_reads) + ", ";
+  json += "\"global_writes\": " + U64(c.global_writes) + ", ";
+  json += "\"global_atomics\": " + U64(c.global_atomics) + ", ";
+  json += "\"shared_ops\": " + U64(c.shared_ops) + ", ";
+  json += "\"shared_atomics\": " + U64(c.shared_atomics) + ", ";
+  json += "\"barriers\": " + U64(c.barriers);
+  json += "}}";
+  return json;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path = "BENCH_gpu_peel.json";
+  if (argc > 1) {
+    path = argv[1];
+  } else if (const char* env = std::getenv("KCORE_BENCH_JSON_PATH")) {
+    path = env;
+  }
+  const uint64_t max_edges = MaxEdgesFromEnv();
+
+  std::string json = "{\n  \"bench\": \"gpu_peel\",\n";
+  json += "  \"device\": \"scaled_p100\",\n  \"variant\": \"Ours\",\n";
+  json += "  \"datasets\": [\n";
+
+  bool first = true;
+  for (const DatasetSpec& spec : PaperRoster()) {
+    auto graph = LoadOrGenerateDataset(spec, DefaultCacheDir());
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+    if (max_edges != 0 && graph->NumUndirectedEdges() > max_edges) continue;
+
+    GpuPeelOptions on = GpuPeelOptions::Ours();
+    on.buffer_capacity = ScaledBufferCapacity(*graph);
+    auto on_result = RunGpuPeel(*graph, on, ScaledP100Options());
+    auto off_result =
+        RunGpuPeel(*graph, on.WithoutCompaction(), ScaledP100Options());
+    if (!on_result.ok() || !off_result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
+                   (!on_result.ok() ? on_result : off_result)
+                       .status()
+                       .ToString()
+                       .c_str());
+      return 1;
+    }
+    if (on_result->core != off_result->core) {
+      std::fprintf(stderr, "%s: compaction on/off core numbers diverge\n",
+                   spec.name.c_str());
+      return 1;
+    }
+
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\"name\": \"" + spec.name + "\", ";
+    json += "\"vertices\": " + U64(graph->NumVertices()) + ", ";
+    json += "\"edges\": " + U64(graph->NumUndirectedEdges()) + ", ";
+    json += StrFormat("\"kmax\": %u,\n", on_result->MaxCore());
+    json += "     \"compaction_off\": " + MetricsJson(off_result->metrics) +
+            ",\n";
+    json += "     \"compaction_on\": " + MetricsJson(on_result->metrics);
+    json += "}";
+  }
+  json += "\n  ]\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

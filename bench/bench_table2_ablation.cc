@@ -74,5 +74,70 @@ int main() {
       "\neverywhere; SM/VP add instructions that rarely pay off (VP can win on"
       "\nextreme-skew graphs like trackers); BC is ~2x slower and EC ~4x"
       "\nslower because optimized atomics beat compaction ('Occam's razor').\n");
+
+  // --- Active-vertex compaction (AC) on/off row, per dataset. ---
+  // The Table II variants above all run with AC (the default). This section
+  // isolates AC itself on the baseline variant: scan work with the full
+  // [0, n) sweep vs. the compacted active array.
+  std::printf("\n=== Active-vertex compaction ablation (variant: Ours) ===\n");
+  TablePrinter ac_table({"Dataset", "AC off (ms)", "AC on (ms)",
+                         "scan off (ms)", "scan on (ms)", "scanned off",
+                         "scanned on", "scan reduction", "compactions",
+                         "skipped"});
+  for (const DatasetSpec& spec : PaperRoster()) {
+    auto graph = LoadOrGenerateDataset(spec, DefaultCacheDir());
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+    if (max_edges != 0 && graph->NumUndirectedEdges() > max_edges) continue;
+
+    GpuPeelOptions on = GpuPeelOptions::Ours();
+    on.buffer_capacity = ScaledBufferCapacity(*graph);
+    const GpuPeelOptions off = on.WithoutCompaction();
+    auto on_result = RunGpuPeel(*graph, on, ScaledP100Options());
+    auto off_result = RunGpuPeel(*graph, off, ScaledP100Options());
+    if (!on_result.ok() || !off_result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
+                   (!on_result.ok() ? on_result : off_result)
+                       .status()
+                       .ToString()
+                       .c_str());
+      return 1;
+    }
+    if (on_result->core != off_result->core) {
+      std::fprintf(stderr, "%s: AC on/off core numbers diverge!\n",
+                   spec.name.c_str());
+      return 1;
+    }
+    const uint64_t scanned_on = on_result->metrics.counters.vertices_scanned;
+    const uint64_t scanned_off = off_result->metrics.counters.vertices_scanned;
+    ac_table.AddRow(
+        {spec.name, FormatCellMs(off_result->metrics.modeled_ms),
+         FormatCellMs(on_result->metrics.modeled_ms),
+         FormatCellMs(off_result->metrics.scan_ms),
+         FormatCellMs(on_result->metrics.scan_ms),
+         StrFormat("%llu", static_cast<unsigned long long>(scanned_off)),
+         StrFormat("%llu", static_cast<unsigned long long>(scanned_on)),
+         StrFormat("%.1fx", scanned_on == 0
+                                ? 0.0
+                                : static_cast<double>(scanned_off) /
+                                      static_cast<double>(scanned_on)),
+         StrFormat("%llu", static_cast<unsigned long long>(
+                               on_result->metrics.counters.compactions)),
+         StrFormat("%llu",
+                   static_cast<unsigned long long>(
+                       on_result->metrics.counters.scan_vertices_skipped))});
+  }
+  ac_table.Print();
+  std::printf(
+      "\nAC rebuilds the dense survivor array at every halving (threshold"
+      "\n0.5) and sweeps it instead of [0, n): high-k_max graphs shed most"
+      "\nof their O(n * k_max) scan work (see the scan-phase ms columns);"
+      "\noutput is bit-identical (checked above per dataset). At this"
+      "\nminiature scale the fixed per-launch cost of the CompactKernel can"
+      "\noffset the scan savings in total modeled ms; the counted work and"
+      "\nhost wall-clock both drop.\n");
   return 0;
 }

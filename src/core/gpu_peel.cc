@@ -1,6 +1,7 @@
 #include "core/gpu_peel.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "common/strings.h"
@@ -33,6 +34,15 @@ struct KernelCtx {
   uint32_t* overflow = nullptr;  ///< Sticky overflow flag.
   uint64_t capacity = 0;         ///< Per-block buffer capacity (IDs).
   VertexId num_vertices = 0;
+  /// Active-vertex compaction state (mutated by the host between rounds):
+  /// when `use_active`, the scan sweeps active[0, active_size) instead of
+  /// [0, num_vertices). `active_out`/`active_count` are CompactKernel's
+  /// output array and its global append cursor.
+  const VertexId* active = nullptr;
+  VertexId* active_out = nullptr;
+  uint64_t* active_count = nullptr;
+  uint64_t active_size = 0;
+  bool use_active = false;
   bool ring = false;
   bool sm = false;               ///< Shared-memory buffering enabled.
   uint32_t shared_capacity = 0;  ///< n_B (only when sm).
@@ -111,6 +121,18 @@ void ScanKernel(const KernelCtx& ctx, uint32_t k, BlockCtx& block) {
   auto* e = block.SharedAlloc<uint64_t>(1);  // Line 1: thread 0 zeroes e.
   block.Sync();                              // Line 2.
 
+  // With an active list the sweep domain shrinks from [0, n) to the dense
+  // survivor array; idx -> vertex goes through one extra global read.
+  const uint64_t sweep_len =
+      ctx.use_active ? ctx.active_size : ctx.num_vertices;
+  auto vertex_at = [&](uint64_t idx) -> VertexId {
+    return ctx.use_active ? GlobalLoad(&ctx.active[idx], c)
+                          : static_cast<VertexId>(idx);
+  };
+  if (ctx.use_active && block.block_id() == 0) {
+    c.scan_vertices_skipped += ctx.num_vertices - ctx.active_size;
+  }
+
   const uint64_t base = static_cast<uint64_t>(block.block_id()) * ctx.capacity;
   const uint64_t grid_threads = block.grid_threads();
   const uint64_t block_first =
@@ -127,22 +149,24 @@ void ScanKernel(const KernelCtx& ctx, uint32_t k, BlockCtx& block) {
   };
 
   // Grid-stride sweeps (Lines 3-5): in sweep `s`, this block's threads
-  // examine vertices [s + block_first, s + block_first + block_dim).
-  for (uint64_t s = 0; s < ctx.num_vertices; s += grid_threads) {
+  // examine sweep-domain indices [s + block_first, s + block_first +
+  // block_dim).
+  for (uint64_t s = 0; s < sweep_len; s += grid_threads) {
     const uint64_t sweep_base = s + block_first;
-    if (sweep_base >= ctx.num_vertices) continue;
+    if (sweep_base >= sweep_len) continue;
 
     switch (ctx.append) {
       case AppendStrategy::kAtomic: {
         block.ForEachThread([&](uint32_t t) {
-          const uint64_t v = sweep_base + t;
-          if (v >= ctx.num_vertices) return;  // Line 5.
+          const uint64_t idx = sweep_base + t;
+          if (idx >= sweep_len) return;  // Line 5.
+          const VertexId v = vertex_at(idx);
           ++c.vertices_scanned;
           const uint32_t dv = GlobalLoad(&ctx.deg[v], c);
           if (dv == k) {  // Line 6.
             const uint64_t pos =
                 AtomicAdd(e, uint64_t{1}, c, MemSpace::kShared);  // Line 7.
-            raw_store(pos, static_cast<VertexId>(v));             // Line 9.
+            raw_store(pos, v);                                    // Line 9.
             ++c.buffer_appends;
           }
         });
@@ -154,13 +178,14 @@ void ScanKernel(const KernelCtx& ctx, uint32_t k, BlockCtx& block) {
           uint32_t flags[kWarpSize] = {0};
           VertexId cand[kWarpSize] = {0};
           warp.ForEachLane([&](uint32_t lane) {
-            const uint64_t v =
+            const uint64_t idx =
                 sweep_base + warp.warp_id() * kWarpSize + lane;
-            if (v >= ctx.num_vertices) return;
+            if (idx >= sweep_len) return;
+            const VertexId v = vertex_at(idx);
             ++c.vertices_scanned;
             if (GlobalLoad(&ctx.deg[v], c) == k) {
               flags[lane] = 1;
-              cand[lane] = static_cast<VertexId>(v);
+              cand[lane] = v;
             }
           });
           uint32_t exclusive[kWarpSize];
@@ -185,12 +210,13 @@ void ScanKernel(const KernelCtx& ctx, uint32_t k, BlockCtx& block) {
         std::vector<uint32_t> flags(dim, 0);
         std::vector<VertexId> cand(dim, 0);
         block.ForEachThread([&](uint32_t t) {
-          const uint64_t v = sweep_base + t;
-          if (v >= ctx.num_vertices) return;
+          const uint64_t idx = sweep_base + t;
+          if (idx >= sweep_len) return;
+          const VertexId v = vertex_at(idx);
           ++c.vertices_scanned;
           if (GlobalLoad(&ctx.deg[v], c) == k) {
             flags[t] = 1;
-            cand[t] = static_cast<VertexId>(v);
+            cand[t] = v;
           }
         });
         c.shared_ops += dim;  // vid/p staging arrays live in shared memory.
@@ -214,6 +240,62 @@ void ScanKernel(const KernelCtx& ctx, uint32_t k, BlockCtx& block) {
   block.Sync();
   // Thread 0 backs e up to global memory for the loop kernel (§IV-B).
   GlobalStore(&ctx.buf_e[block.block_id()], *e, c);
+}
+
+// ---------------------------------------------------------------------------
+// Compact kernel: rebuild the dense active-vertex array for round k.
+// ---------------------------------------------------------------------------
+
+/// Stream-compacts the surviving vertices (deg >= k) of the current sweep
+/// domain into ctx.active_out via warp-ballot compaction: each warp ballots
+/// its survivors, claims a contiguous range of the output with one global
+/// atomicAdd on ctx.active_count, and scatters. Correctness: a vertex
+/// peeled in some round j keeps deg == core == j < k forever, while every
+/// unpeeled vertex has deg >= k at the start of round k — so the filter
+/// keeps exactly the unpeeled vertices and the new array stays a superset
+/// of every later round's survivors until the next rebuild.
+void CompactKernel(const KernelCtx& ctx, uint32_t k, BlockCtx& block) {
+  PerfCounters& c = block.counters();
+  if (block.block_id() == 0) ++c.compactions;
+
+  const uint64_t src_len = ctx.use_active ? ctx.active_size : ctx.num_vertices;
+  const uint64_t grid_threads = block.grid_threads();
+  const uint64_t block_first =
+      static_cast<uint64_t>(block.block_id()) * block.block_dim();
+
+  for (uint64_t s = 0; s < src_len; s += grid_threads) {
+    const uint64_t sweep_base = s + block_first;
+    if (sweep_base >= src_len) continue;
+    block.ForEachWarp([&](WarpCtx& warp) {
+      uint32_t flags[kWarpSize] = {0};
+      VertexId cand[kWarpSize] = {0};
+      warp.ForEachLane([&](uint32_t lane) {
+        const uint64_t idx = sweep_base + warp.warp_id() * kWarpSize + lane;
+        if (idx >= src_len) return;
+        const VertexId v = ctx.use_active
+                               ? GlobalLoad(&ctx.active[idx], c)
+                               : static_cast<VertexId>(idx);
+        if (GlobalLoad(&ctx.deg[v], c) >= k) {
+          flags[lane] = 1;
+          cand[lane] = v;
+        }
+      });
+      uint32_t exclusive[kWarpSize];
+      const uint32_t total = BallotExclusiveScan(warp, flags, exclusive);
+      if (total == 0) return;
+      const uint64_t out_base =
+          AtomicAdd(ctx.active_count, uint64_t{total}, c);
+      ++c.shared_ops;  // __shfl_sync broadcast of out_base.
+      warp.ForEachLane([&](uint32_t lane) {
+        if (flags[lane] != 0) {
+          // out_base + exclusive < total survivors <= src_len <= n, so the
+          // ping-pong output array (n slots) cannot overflow.
+          GlobalStore(&ctx.active_out[out_base + exclusive[lane]],
+                      cand[lane], c);
+        }
+      });
+    });
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -392,6 +474,11 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
           device_->options().shared_mem_per_block) {
     return Status::InvalidArgument("shared buffer B exceeds shared memory");
   }
+  if (opt.active_compaction && (opt.compaction_threshold < 0.0 ||
+                                opt.compaction_threshold > 1.0)) {
+    return Status::InvalidArgument(
+        "compaction_threshold must be a fraction in [0, 1]");
+  }
 
   WallTimer timer;
   const VertexId n = graph.NumVertices();
@@ -403,20 +490,38 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
           : std::max<uint64_t>(4096, static_cast<uint64_t>(n) / 4);
 
   // Algorithm 1 Line 1: move the graph (offset/neighbors/deg) to the device.
-  KCORE_ASSIGN_OR_RETURN(auto d_offsets,
-                         device_->Alloc<EdgeIndex>(graph.offsets().size()));
+  // The CSR arrays and the block buffers are fully overwritten before any
+  // read (the host copies the graph in; buf slots are stored before being
+  // fetched; buf_e is written by every scan before the loop reads it), so
+  // they use the uninitialized-alloc path and skip the O(bytes) zeroing
+  // memset — only the accumulators (count, overflow) need zeroed memory.
   KCORE_ASSIGN_OR_RETURN(
-      auto d_neighbors,
-      device_->Alloc<VertexId>(std::max<size_t>(1, graph.neighbors().size())));
-  KCORE_ASSIGN_OR_RETURN(auto d_deg,
-                         device_->Alloc<uint32_t>(std::max<VertexId>(1, n)));
+      auto d_offsets, device_->AllocUninit<EdgeIndex>(graph.offsets().size()));
+  KCORE_ASSIGN_OR_RETURN(auto d_neighbors,
+                         device_->AllocUninit<VertexId>(
+                             std::max<size_t>(1, graph.neighbors().size())));
   KCORE_ASSIGN_OR_RETURN(
-      auto d_buf, device_->Alloc<VertexId>(
+      auto d_deg, device_->AllocUninit<uint32_t>(std::max<VertexId>(1, n)));
+  KCORE_ASSIGN_OR_RETURN(
+      auto d_buf, device_->AllocUninit<VertexId>(
                       static_cast<uint64_t>(opt.num_blocks) * capacity));
   KCORE_ASSIGN_OR_RETURN(auto d_buf_e,
-                         device_->Alloc<uint64_t>(opt.num_blocks));
+                         device_->AllocUninit<uint64_t>(opt.num_blocks));
   KCORE_ASSIGN_OR_RETURN(auto d_count, device_->Alloc<uint64_t>(1));
   KCORE_ASSIGN_OR_RETURN(auto d_overflow, device_->Alloc<uint32_t>(1));
+
+  // AC ping-pong arrays: compaction reads the previous active list (or the
+  // implicit [0, n) identity) and writes the other array.
+  sim::DeviceArray<VertexId> d_active_a;
+  sim::DeviceArray<VertexId> d_active_b;
+  sim::DeviceArray<uint64_t> d_active_count;
+  if (opt.active_compaction) {
+    KCORE_ASSIGN_OR_RETURN(
+        d_active_a, device_->AllocUninit<VertexId>(std::max<VertexId>(1, n)));
+    KCORE_ASSIGN_OR_RETURN(
+        d_active_b, device_->AllocUninit<VertexId>(std::max<VertexId>(1, n)));
+    KCORE_ASSIGN_OR_RETURN(d_active_count, device_->Alloc<uint64_t>(1));
+  }
 
   d_offsets.CopyFromHost(graph.offsets());
   d_neighbors.CopyFromHost(graph.neighbors());
@@ -445,14 +550,56 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
   uint32_t k = 0;
   const uint32_t k_limit = graph.MaxDegree() + 2;
 
+  // Next CompactKernel output; swapped with the live active array after
+  // each rebuild.
+  VertexId* active_next = d_active_a.data();
+  VertexId* active_live = d_active_b.data();
+
+  // Attribute the modeled clock to pipeline phases: `charge` banks the time
+  // elapsed since the previous mark into one phase accumulator.
+  double phase_mark = device_->modeled_ms();
+  const auto charge = [&](double& phase_ms) {
+    const double now = device_->modeled_ms();
+    phase_ms += now - phase_mark;
+    phase_mark = now;
+  };
+
   while (count < n) {  // Line 5.
+    if (opt.active_compaction) {
+      // Rebuild the active array once the survivors have shrunk below the
+      // threshold fraction of the current sweep domain (first time vs. n,
+      // then vs. the active array itself — i.e. at every further halving
+      // for the default 0.5).
+      const uint64_t remaining = n - count;
+      const uint64_t sweep_len = ctx.use_active ? ctx.active_size : n;
+      if (static_cast<double>(remaining) <
+          opt.compaction_threshold * static_cast<double>(sweep_len)) {
+        const uint64_t zero = 0;
+        d_active_count.CopyFromHost({&zero, 1});
+        ctx.active_out = active_next;
+        ctx.active_count = d_active_count.data();
+        device_->Launch(opt.num_blocks, opt.block_dim, [&](BlockCtx& block) {
+          CompactKernel(ctx, k, block);
+        });
+        charge(result.metrics.compact_ms);
+        uint64_t active_size = 0;
+        d_active_count.CopyToHost({&active_size, 1});
+        ctx.active = active_next;
+        ctx.active_size = active_size;
+        ctx.use_active = true;
+        std::swap(active_next, active_live);
+      }
+    }
+
     device_->Launch(opt.num_blocks, opt.block_dim, [&](BlockCtx& block) {
       ScanKernel(ctx, k, block);  // Line 6.
     });
+    charge(result.metrics.scan_ms);
     const bool vp = opt.vertex_prefetching;
     device_->Launch(opt.num_blocks, opt.block_dim, [&](BlockCtx& block) {
       LoopKernel(ctx, k, vp, block);  // Line 7.
     });
+    charge(result.metrics.loop_ms);
 
     uint32_t overflow = 0;
     d_overflow.CopyToHost({&overflow, 1});

@@ -46,6 +46,21 @@ struct GpuPeelOptions {
 
   AppendStrategy append = AppendStrategy::kAtomic;
 
+  /// AC: active-vertex compaction for the scan phase. The scan kernel
+  /// normally sweeps all n vertices every round k even when almost all of
+  /// them are already peeled (the inefficiency PKC's graph compaction
+  /// targets). With AC the host maintains a device-side dense array of
+  /// still-active vertices (deg >= k): once the surviving fraction drops
+  /// below `compaction_threshold`, a CompactKernel (warp-ballot compaction)
+  /// rebuilds the dense array and subsequent scans sweep it instead of
+  /// [0, n). Re-compacts each time the survivors halve again relative to
+  /// the current active array. Output is bit-identical with AC on or off;
+  /// only scan work changes.
+  bool active_compaction = true;
+  /// Surviving fraction (remaining / active-array length) below which the
+  /// active array is (re)built. 0.5 = compact at every halving.
+  double compaction_threshold = 0.5;
+
   /// Named ablation presets matching the columns of Table II.
   static GpuPeelOptions Ours() { return {}; }
   static GpuPeelOptions Sm() {
@@ -78,6 +93,13 @@ struct GpuPeelOptions {
   GpuPeelOptions WithVp() const {
     GpuPeelOptions o = *this;
     o.vertex_prefetching = true;
+    return o;
+  }
+  /// Disables active-vertex compaction (the paper's original full-sweep
+  /// scan) — the "off" arm of the compaction ablation.
+  GpuPeelOptions WithoutCompaction() const {
+    GpuPeelOptions o = *this;
+    o.active_compaction = false;
     return o;
   }
 

@@ -29,6 +29,12 @@ struct Worker {
   /// Outgoing decrement counts for foreign vertices, drained per sub-round.
   std::unordered_map<VertexId, uint32_t> border_updates;
   PerfCounters counters;                  // per-sub-round, merged by master
+  /// Per-partition active-vertex compaction state: once built, `active`
+  /// holds this worker's still-unpeeled vertices and the scan sweeps it
+  /// instead of [begin, end).
+  std::vector<VertexId> active;
+  bool use_active = false;
+  uint64_t local_removed = 0;
 };
 
 }  // namespace
@@ -37,6 +43,11 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
                                           const MultiGpuOptions& options) {
   if (options.num_workers == 0) {
     return Status::InvalidArgument("num_workers must be positive");
+  }
+  if (options.active_compaction && (options.compaction_threshold < 0.0 ||
+                                    options.compaction_threshold > 1.0)) {
+    return Status::InvalidArgument(
+        "compaction_threshold must be a fraction in [0, 1]");
   }
   WallTimer timer;
   const VertexId n = graph.NumVertices();
@@ -73,16 +84,18 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
       deg[v] = graph.Degree(worker.begin + v);
     }
 
-    KCORE_ASSIGN_OR_RETURN(worker.d_offsets,
-                           worker.device->Alloc<EdgeIndex>(offsets.size()));
+    // All four arrays are fully overwritten (host copies / buffer appends)
+    // before any read — the uninitialized-alloc path skips the zeroing.
     KCORE_ASSIGN_OR_RETURN(
-        worker.d_neighbors,
-        worker.device->Alloc<VertexId>(std::max<size_t>(1, neighbors.size())));
+        worker.d_offsets, worker.device->AllocUninit<EdgeIndex>(offsets.size()));
+    KCORE_ASSIGN_OR_RETURN(worker.d_neighbors,
+                           worker.device->AllocUninit<VertexId>(
+                               std::max<size_t>(1, neighbors.size())));
     KCORE_ASSIGN_OR_RETURN(worker.d_deg,
-                           worker.device->Alloc<uint32_t>(deg.size()));
-    KCORE_ASSIGN_OR_RETURN(
-        worker.d_buffer,
-        worker.device->Alloc<VertexId>(std::max<VertexId>(1024, local_n)));
+                           worker.device->AllocUninit<uint32_t>(deg.size()));
+    KCORE_ASSIGN_OR_RETURN(worker.d_buffer,
+                           worker.device->AllocUninit<VertexId>(
+                               std::max<VertexId>(1024, local_n)));
     worker.d_offsets.CopyFromHost(offsets);
     worker.d_neighbors.CopyFromHost(neighbors);
     worker.d_deg.CopyFromHost(deg);
@@ -115,10 +128,42 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
         uint32_t* deg = worker.d_deg.data();
         VertexId* buffer = worker.d_buffer.data();
 
-        // Scan the owned range for unclaimed degree-k vertices.
+        // Per-partition compaction: once this worker's survivors drop below
+        // the threshold fraction of its current sweep domain, rebuild the
+        // dense active list from the unclaimed vertices (claimed[] is
+        // owner-private, so this races with nobody).
+        const uint64_t local_n = worker.end - worker.begin;
+        if (options.active_compaction) {
+          const uint64_t remaining = local_n - worker.local_removed;
+          const uint64_t sweep_len =
+              worker.use_active ? worker.active.size() : local_n;
+          if (static_cast<double>(remaining) <
+              options.compaction_threshold * static_cast<double>(sweep_len)) {
+            std::vector<VertexId> next;
+            next.reserve(remaining);
+            if (worker.use_active) {
+              for (VertexId v : worker.active) {
+                ++c.global_reads;
+                if (claimed[v] == 0) next.push_back(v);
+              }
+            } else {
+              for (VertexId v = worker.begin; v < worker.end; ++v) {
+                ++c.global_reads;
+                if (claimed[v] == 0) next.push_back(v);
+              }
+            }
+            c.global_writes += next.size();
+            ++c.compactions;
+            worker.active = std::move(next);
+            worker.use_active = true;
+          }
+        }
+
+        // Scan the owned range (or the compacted active list) for unclaimed
+        // degree-k vertices.
         uint64_t head = 0;
         uint64_t tail = 0;
-        for (VertexId v = worker.begin; v < worker.end; ++v) {
+        auto scan_vertex = [&](VertexId v) {
           ++c.vertices_scanned;
           ++c.global_reads;
           if (claimed[v] == 0 && deg[v - worker.begin] == k) {
@@ -126,6 +171,12 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
             buffer[tail++] = v;
             ++c.buffer_appends;
           }
+        };
+        if (worker.use_active) {
+          c.scan_vertices_skipped += local_n - worker.active.size();
+          for (VertexId v : worker.active) scan_vertex(v);
+        } else {
+          for (VertexId v = worker.begin; v < worker.end; ++v) scan_vertex(v);
         }
         // Local cascade (the worker's loop phase).
         uint64_t processed = 0;
@@ -155,6 +206,7 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
             }
           }
         }
+        worker.local_removed += tail;
         if (processed != 0) {
           removed_this_subround.fetch_add(processed,
                                           std::memory_order_relaxed);

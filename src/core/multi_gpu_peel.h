@@ -22,6 +22,12 @@ struct MultiGpuOptions {
   /// Per-worker device configuration (global memory budget applies to each
   /// worker individually — the point of going multi-GPU).
   sim::DeviceOptions worker_device;
+  /// Per-partition active-vertex compaction: each worker keeps a dense list
+  /// of its still-unpeeled vertices and scans that instead of its full
+  /// range once survivors drop below `compaction_threshold` (same
+  /// halving-rebuild policy as GpuPeelOptions::active_compaction).
+  bool active_compaction = true;
+  double compaction_threshold = 0.5;
 };
 
 /// Multi-GPU peeling. Returns the usual DecomposeResult where

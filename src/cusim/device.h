@@ -3,8 +3,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "common/check.h"
@@ -101,13 +103,20 @@ class Device {
   /// Allocates `count` zero-initialized elements of device memory.
   template <typename U>
   StatusOr<DeviceArray<U>> Alloc(size_t count) {
-    const uint64_t bytes = count * sizeof(U);
-    if (current_bytes_ + bytes > options_.global_mem_bytes) {
-      return Status::OutOfMemory(StrFormatBytes(bytes));
-    }
-    current_bytes_ += bytes;
-    peak_bytes_ = std::max(peak_bytes_, current_bytes_);
+    KCORE_RETURN_IF_ERROR(Reserve<U>(count));
     return DeviceArray<U>(this, std::make_unique<U[]>(count), count);
+  }
+
+  /// Allocates `count` *uninitialized* elements (cudaMalloc semantics: the
+  /// contents are garbage). For buffers the kernels fully overwrite before
+  /// reading — skipping the O(bytes) zeroing memset of Alloc.
+  template <typename U>
+  StatusOr<DeviceArray<U>> AllocUninit(size_t count) {
+    static_assert(std::is_trivially_default_constructible_v<U>,
+                  "AllocUninit requires a trivially constructible type");
+    KCORE_RETURN_IF_ERROR(Reserve<U>(count));
+    return DeviceArray<U>(this, std::make_unique_for_overwrite<U[]>(count),
+                          count);
   }
 
   /// Launches `kernel` over `num_blocks` blocks of `block_dim` threads.
@@ -116,7 +125,11 @@ class Device {
   template <typename Kernel>
   void Launch(uint32_t num_blocks, uint32_t block_dim, Kernel&& kernel) {
     KCORE_CHECK_GT(num_blocks, 0u);
-    std::vector<PerfCounters> per_block(num_blocks);
+    // Per-block counter staging reuses one scratch vector across launches:
+    // the host loop issues two launches per peeling round, so a fresh
+    // allocation here is measurable wall-clock overhead on deep peels.
+    std::vector<PerfCounters>& per_block = launch_scratch_;
+    per_block.assign(num_blocks, PerfCounters());
     ThreadPool& workers = pool();
     workers.ParallelFor(num_blocks, [&](uint64_t b) {
       BlockCtx block(static_cast<uint32_t>(b), num_blocks, block_dim,
@@ -168,6 +181,23 @@ class Device {
 
   static std::string StrFormatBytes(uint64_t bytes);
 
+  /// Accounts `count * sizeof(U)` bytes against global memory, rejecting
+  /// requests whose byte size overflows uint64_t (which would otherwise wrap
+  /// past the global_mem_bytes check and "succeed").
+  template <typename U>
+  Status Reserve(size_t count) {
+    if (count > std::numeric_limits<uint64_t>::max() / sizeof(U)) {
+      return Status::OutOfMemory("allocation size overflows uint64_t");
+    }
+    const uint64_t bytes = static_cast<uint64_t>(count) * sizeof(U);
+    if (bytes > options_.global_mem_bytes - current_bytes_) {
+      return Status::OutOfMemory(StrFormatBytes(bytes));
+    }
+    current_bytes_ += bytes;
+    peak_bytes_ = std::max(peak_bytes_, current_bytes_);
+    return Status::OK();
+  }
+
   ThreadPool& pool() {
     return options_.pool != nullptr ? *options_.pool : DefaultThreadPool();
   }
@@ -188,6 +218,7 @@ class Device {
   double modeled_ns_ = 0.0;
   double transfer_ns_ = 0.0;
   PerfCounters totals_;
+  std::vector<PerfCounters> launch_scratch_;
 };
 
 template <typename T>

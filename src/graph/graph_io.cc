@@ -120,6 +120,14 @@ StatusOr<CsrGraph> LoadCsrBinary(const std::string& path) {
   if (file == nullptr) {
     return Status::IOError("cannot open " + path);
   }
+  if (std::fseek(file.get(), 0, SEEK_END) != 0) {
+    return Status::IOError("cannot seek " + path);
+  }
+  const long file_size = std::ftell(file.get());
+  if (file_size < 0) {
+    return Status::IOError("cannot measure " + path);
+  }
+  std::rewind(file.get());
   uint64_t header[4] = {0, 0, 0, 0};
   KCORE_RETURN_IF_ERROR(ReadAll(file.get(), header, sizeof(header), path));
   if (header[0] != kCsrMagic) {
@@ -132,6 +140,14 @@ StatusOr<CsrGraph> LoadCsrBinary(const std::string& path) {
   }
   if (header[2] == 0) {
     return Status::Corruption(path + ": empty offsets array");
+  }
+  // A corrupt size field must surface as Corruption, not as an uncaught
+  // std::length_error (or OOM) from resizing to a garbage element count:
+  // bound both counts by what the file could actually hold.
+  const auto payload = static_cast<uint64_t>(file_size);
+  if (header[2] > payload / sizeof(EdgeIndex) ||
+      header[3] > payload / sizeof(VertexId)) {
+    return Status::Corruption(path + ": size fields exceed file size");
   }
   std::vector<EdgeIndex> offsets(header[2]);
   std::vector<VertexId> neighbors(header[3]);

@@ -19,6 +19,12 @@ struct Metrics {
   /// Modeled data-loading time, reported separately from computation (the
   /// paper's "LD > 1hr" rows for VETGA are about loading, not compute).
   double load_ms = 0.0;
+  /// Modeled-time split of the GPU peel pipeline (all zero for engines that
+  /// do not distinguish phases). scan_ms + loop_ms + compact_ms ==
+  /// modeled_ms for the single-device GPU peeler.
+  double scan_ms = 0.0;     ///< ScanKernel launches (Algorithm 2).
+  double loop_ms = 0.0;     ///< LoopKernel launches (Algorithm 3).
+  double compact_ms = 0.0;  ///< CompactKernel launches (active-vertex lists).
   /// Peeling rounds / BSP supersteps executed.
   uint32_t rounds = 0;
   /// Inner iterations (sub-levels, h-index sweeps, frontier steps).

@@ -31,6 +31,10 @@ struct PerfCounters {
   uint64_t edges_traversed = 0;    ///< Adjacency entries examined.
   uint64_t vertices_scanned = 0;   ///< Degree-array entries scanned.
   uint64_t buffer_appends = 0;     ///< k-shell vertices enqueued.
+  uint64_t compactions = 0;        ///< Active-list rebuilds (CompactKernel).
+  /// Scan-phase work avoided by active-vertex compaction: per scan launch,
+  /// the number of already-peeled vertices the sweep no longer visits.
+  uint64_t scan_vertices_skipped = 0;
   uint64_t hindex_evals = 0;       ///< h-index operator applications (MPM).
   uint64_t messages = 0;           ///< Vertex-centric messages (systems).
   uint64_t vector_op_calls = 0;    ///< Vector-primitive launches (VETGA).
@@ -48,6 +52,8 @@ struct PerfCounters {
     edges_traversed += other.edges_traversed;
     vertices_scanned += other.vertices_scanned;
     buffer_appends += other.buffer_appends;
+    compactions += other.compactions;
+    scan_vertices_skipped += other.scan_vertices_skipped;
     hindex_evals += other.hindex_evals;
     messages += other.messages;
     vector_op_calls += other.vector_op_calls;

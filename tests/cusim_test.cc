@@ -1,4 +1,5 @@
 #include <atomic>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -49,6 +50,42 @@ TEST(DeviceTest, ZeroInitializedAllocations) {
   auto arr = device.Alloc<uint32_t>(64);
   ASSERT_TRUE(arr.ok());
   for (uint32_t v : arr->span()) EXPECT_EQ(v, 0u);
+}
+
+TEST(DeviceTest, AllocByteSizeOverflowIsOutOfMemory) {
+  // count * sizeof(U) wraps uint64_t: without the overflow guard this would
+  // slip under global_mem_bytes and "succeed" with a tiny allocation.
+  Device device;
+  const size_t wrap_count =
+      (std::numeric_limits<uint64_t>::max() / sizeof(uint64_t)) + 1;
+  auto fail = device.Alloc<uint64_t>(wrap_count);
+  EXPECT_TRUE(fail.status().IsOutOfMemory());
+  auto fail_uninit = device.AllocUninit<uint64_t>(wrap_count);
+  EXPECT_TRUE(fail_uninit.status().IsOutOfMemory());
+  EXPECT_EQ(device.current_bytes(), 0u);
+}
+
+TEST(DeviceTest, AllocUninitAccountsLikeAlloc) {
+  DeviceOptions options;
+  options.global_mem_bytes = 1 << 20;
+  Device device(options);
+  {
+    auto arr = device.AllocUninit<uint32_t>(1000);
+    ASSERT_TRUE(arr.ok());
+    EXPECT_EQ(arr->size(), 1000u);
+    EXPECT_EQ(device.current_bytes(), 4000u);
+    // Contents are unspecified until written; a full overwrite + readback
+    // must round-trip.
+    std::vector<uint32_t> host(1000);
+    std::iota(host.begin(), host.end(), 7u);
+    arr->CopyFromHost(host);
+    std::vector<uint32_t> back(1000);
+    arr->CopyToHost(back);
+    EXPECT_EQ(back, host);
+  }
+  EXPECT_EQ(device.current_bytes(), 0u);
+  auto fail = device.AllocUninit<uint8_t>((1 << 20) + 1);
+  EXPECT_TRUE(fail.status().IsOutOfMemory());
 }
 
 TEST(DeviceTest, CopyRoundTripChargesTransfer) {

@@ -1,8 +1,10 @@
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/gpu_peel.h"
+#include "core/multi_gpu_peel.h"
 #include "cpu/naive_ref.h"
 #include "test_graphs.h"
 
@@ -112,6 +114,128 @@ TEST(GpuPeelTest, EveryVertexCollectedExactlyOnce) {
   // buffer_appends counts enqueued k-shell vertices; the redundancy-
   // avoidance argument (§IV-B) says each vertex is captured exactly once.
   EXPECT_EQ(result->metrics.counters.buffer_appends, g.NumVertices());
+}
+
+// --------------------------------------- Active-vertex compaction (AC) ----
+
+/// One configuration axis combination for the AC-equivalence sweep.
+struct CompactionCase {
+  AppendStrategy append;
+  bool ring;
+  bool sm;
+
+  std::string Name() const {
+    std::string name;
+    switch (append) {
+      case AppendStrategy::kAtomic:
+        name = "Atomic";
+        break;
+      case AppendStrategy::kBallotCompact:
+        name = "Ballot";
+        break;
+      case AppendStrategy::kEfficientCompact:
+        name = "Efficient";
+        break;
+    }
+    name += ring ? "_Ring" : "_NoRing";
+    name += sm ? "_Sm" : "_NoSm";
+    return name;
+  }
+};
+
+std::vector<CompactionCase> AllCompactionCases() {
+  std::vector<CompactionCase> cases;
+  for (AppendStrategy append :
+       {AppendStrategy::kAtomic, AppendStrategy::kBallotCompact,
+        AppendStrategy::kEfficientCompact}) {
+    for (bool ring : {false, true}) {
+      for (bool sm : {false, true}) {
+        cases.push_back({append, ring, sm});
+      }
+    }
+  }
+  return cases;
+}
+
+class CompactionEquivalenceTest
+    : public ::testing::TestWithParam<CompactionCase> {};
+
+TEST_P(CompactionEquivalenceTest, CoreNumbersIdenticalOnAndOff) {
+  const CompactionCase& param = GetParam();
+  for (const NamedGraph& g : FullSuite()) {
+    GpuPeelOptions base = SmallGeometry();
+    base.append = param.append;
+    base.ring_buffer = param.ring;
+    base.shared_memory_buffering = param.sm;
+    if (param.sm) base.shared_buffer_capacity = 256;
+    base.active_compaction = true;
+    // Aggressive threshold so even the small suite graphs re-compact.
+    base.compaction_threshold = 0.9;
+
+    const std::vector<uint32_t> oracle = RunNaiveReference(g.graph).core;
+    auto with_ac = RunGpuPeel(g.graph, base, SmallDevice());
+    auto without_ac =
+        RunGpuPeel(g.graph, base.WithoutCompaction(), SmallDevice());
+    ASSERT_TRUE(with_ac.ok()) << g.name << ": " << with_ac.status().ToString();
+    ASSERT_TRUE(without_ac.ok())
+        << g.name << ": " << without_ac.status().ToString();
+    EXPECT_EQ(with_ac->core, oracle) << g.name;
+    EXPECT_EQ(with_ac->core, without_ac->core) << g.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAxes, CompactionEquivalenceTest,
+    ::testing::ValuesIn(AllCompactionCases()),
+    [](const ::testing::TestParamInfo<CompactionCase>& info) {
+      return info.param.Name();
+    });
+
+TEST(GpuPeelCompactionTest, CompactionEngagesAndShrinksScans) {
+  // The planted-core graph peels most of its 400 background vertices at low
+  // k, leaving a dense 24-vertex core — exactly the high-coreness shape
+  // whose scans AC is for.
+  const auto g = testing::RandomSuite()[4].graph;
+  auto on = RunGpuPeel(g, SmallGeometry(), SmallDevice());
+  auto off = RunGpuPeel(g, SmallGeometry(GpuPeelOptions().WithoutCompaction()),
+                        SmallDevice());
+  ASSERT_TRUE(on.ok());
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(on->core, off->core);
+  EXPECT_GT(on->metrics.counters.compactions, 0u);
+  EXPECT_GT(on->metrics.counters.scan_vertices_skipped, 0u);
+  EXPECT_LT(on->metrics.counters.vertices_scanned,
+            off->metrics.counters.vertices_scanned);
+  EXPECT_EQ(off->metrics.counters.compactions, 0u);
+  EXPECT_EQ(off->metrics.counters.scan_vertices_skipped, 0u);
+}
+
+TEST(GpuPeelCompactionTest, MultiGpuCompactionMatchesAndShrinksScans) {
+  const auto g = testing::RandomSuite()[4].graph;
+  MultiGpuOptions on_opts;
+  MultiGpuOptions off_opts;
+  off_opts.active_compaction = false;
+  auto on = RunMultiGpuPeel(g, on_opts);
+  auto off = RunMultiGpuPeel(g, off_opts);
+  ASSERT_TRUE(on.ok());
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(on->core, off->core);
+  EXPECT_EQ(on->core, RunNaiveReference(g).core);
+  EXPECT_GT(on->metrics.counters.compactions, 0u);
+  EXPECT_LT(on->metrics.counters.vertices_scanned,
+            off->metrics.counters.vertices_scanned);
+}
+
+TEST(GpuPeelCompactionTest, InvalidThresholdRejected) {
+  GpuPeelOptions options = SmallGeometry();
+  options.compaction_threshold = 1.5;
+  EXPECT_TRUE(RunGpuPeel(testing::CliqueGraph(4).graph, options, SmallDevice())
+                  .status()
+                  .IsInvalidArgument());
+  options.compaction_threshold = -0.1;
+  EXPECT_TRUE(RunGpuPeel(testing::CliqueGraph(4).graph, options, SmallDevice())
+                  .status()
+                  .IsInvalidArgument());
 }
 
 // ------------------------------------------------------ Failure modes -----
