@@ -15,7 +15,6 @@ namespace {
 
 using sim::AtomicAdd;
 using sim::AtomicSub;
-using sim::BlockCtx;
 using sim::GlobalLoad;
 using sim::GlobalStore;
 using sim::kWarpSize;
@@ -52,17 +51,21 @@ struct KernelCtx {
 /// Per-block view of buf[i] implementing the position translation of the
 /// paper's Fig. 7 (shared-memory buffer B spliced between the initial scan
 /// segment and the rest of the global buffer) plus ring-buffer wrapping.
+///
+/// The kernels run as both checked and unchecked instantiations, so every
+/// counters parameter here (and in the kernels below) is `auto&`: the
+/// concrete type — PerfCounters or CheckedPerfCounters — selects the
+/// matching accessor overloads in atomics.h.
 class BlockBuffer {
  public:
-  BlockBuffer(const KernelCtx& ctx, BlockCtx& block, VertexId* shared_b,
+  BlockBuffer(const KernelCtx& ctx, auto& block, VertexId* shared_b,
               uint64_t e_init)
       : ctx_(ctx),
-        block_(block),
         base_(static_cast<uint64_t>(block.block_id()) * ctx.capacity),
         shared_b_(shared_b),
         e_init_(e_init) {}
 
-  VertexId Fetch(uint64_t logical, PerfCounters& c) const {
+  VertexId Fetch(uint64_t logical, auto& c) const {
     if (ctx_.sm && logical >= e_init_) {
       const uint64_t rel = logical - e_init_;
       if (rel < ctx_.shared_capacity) {
@@ -76,8 +79,7 @@ class BlockBuffer {
 
   /// Appends `v` at logical position `loc`. `observed_s` is the current
   /// consumption point, used for the ring-backlog overflow check.
-  void Store(uint64_t loc, VertexId v, uint64_t observed_s,
-             PerfCounters& c) const {
+  void Store(uint64_t loc, VertexId v, uint64_t observed_s, auto& c) const {
     if (ctx_.sm && loc >= e_init_) {
       const uint64_t rel = loc - e_init_;
       if (rel < ctx_.shared_capacity) {
@@ -106,7 +108,6 @@ class BlockBuffer {
   }
 
   const KernelCtx& ctx_;
-  BlockCtx& block_;
   uint64_t base_;
   VertexId* shared_b_;
   uint64_t e_init_;
@@ -116,9 +117,11 @@ class BlockBuffer {
 // Scan kernel (Algorithm 2): collect degree-k vertices into buf[block].
 // ---------------------------------------------------------------------------
 
-void ScanKernel(const KernelCtx& ctx, uint32_t k, BlockCtx& block) {
-  PerfCounters& c = block.counters();
-  auto* e = block.SharedAlloc<uint64_t>(1);  // Line 1: thread 0 zeroes e.
+void ScanKernel(const KernelCtx& ctx, uint32_t k, auto& block) {
+  auto& c = block.counters();
+  // Line 1: thread 0 zeroes e. (`template` keyword: block's type is a
+  // template parameter, so the member template call needs the disambiguator.)
+  auto* e = block.template SharedAlloc<uint64_t>(1);
   block.Sync();                              // Line 2.
 
   // With an active list the sweep domain shrinks from [0, n) to the dense
@@ -254,8 +257,8 @@ void ScanKernel(const KernelCtx& ctx, uint32_t k, BlockCtx& block) {
 /// unpeeled vertex has deg >= k at the start of round k — so the filter
 /// keeps exactly the unpeeled vertices and the new array stays a superset
 /// of every later round's survivors until the next rebuild.
-void CompactKernel(const KernelCtx& ctx, uint32_t k, BlockCtx& block) {
-  PerfCounters& c = block.counters();
+void CompactKernel(const KernelCtx& ctx, uint32_t k, auto& block) {
+  auto& c = block.counters();
   if (block.block_id() == 0) ++c.compactions;
 
   const uint64_t src_len = ctx.use_active ? ctx.active_size : ctx.num_vertices;
@@ -306,7 +309,7 @@ void CompactKernel(const KernelCtx& ctx, uint32_t k, BlockCtx& block) {
 /// chunks, decrementing degrees and appending new k-shell vertices.
 void ProcessVertex(const KernelCtx& ctx, uint32_t k, const BlockBuffer& buf,
                    uint64_t* e, const uint64_t* s, WarpCtx& warp,
-                   VertexId v, PerfCounters& c) {
+                   VertexId v, auto& c) {
   uint64_t pos_s = GlobalLoad(&ctx.offsets[v], c);  // Line 13.
   const uint64_t pos_e = GlobalLoad(&ctx.offsets[v + 1], c);
 
@@ -368,20 +371,23 @@ void ProcessVertex(const KernelCtx& ctx, uint32_t k, const BlockBuffer& buf,
 }
 
 void LoopKernel(const KernelCtx& ctx, uint32_t k, bool vertex_prefetching,
-                BlockCtx& block) {
-  PerfCounters& c = block.counters();
+                auto& block) {
+  auto& c = block.counters();
   const uint32_t num_warps = block.num_warps();
 
   // Shared state: buffer head/tail (Lines 1-2) + optional SM buffer B and
   // the VP prefetch array.
-  auto* s = block.SharedAlloc<uint64_t>(1);
-  auto* e = block.SharedAlloc<uint64_t>(1);
+  auto* s = block.template SharedAlloc<uint64_t>(1);
+  auto* e = block.template SharedAlloc<uint64_t>(1);
   VertexId* shared_b =
-      ctx.sm ? block.SharedAlloc<VertexId>(ctx.shared_capacity) : nullptr;
-  VertexId* pref =
-      vertex_prefetching ? block.SharedAlloc<VertexId>(num_warps) : nullptr;
-  VertexId* pref_next =
-      vertex_prefetching ? block.SharedAlloc<VertexId>(num_warps) : nullptr;
+      ctx.sm ? block.template SharedAlloc<VertexId>(ctx.shared_capacity)
+             : nullptr;
+  VertexId* pref = vertex_prefetching
+                       ? block.template SharedAlloc<VertexId>(num_warps)
+                       : nullptr;
+  VertexId* pref_next = vertex_prefetching
+                            ? block.template SharedAlloc<VertexId>(num_warps)
+                            : nullptr;
 
   *s = 0;
   *e = GlobalLoad(&ctx.buf_e[block.block_id()], c);  // Line 2.
@@ -495,20 +501,25 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
   // fetched; buf_e is written by every scan before the loop reads it), so
   // they use the uninitialized-alloc path and skip the O(bytes) zeroing
   // memset — only the accumulators (count, overflow) need zeroed memory.
+  KCORE_ASSIGN_OR_RETURN(auto d_offsets,
+                         device_->AllocUninit<EdgeIndex>(
+                             graph.offsets().size(), "offsets"));
   KCORE_ASSIGN_OR_RETURN(
-      auto d_offsets, device_->AllocUninit<EdgeIndex>(graph.offsets().size()));
-  KCORE_ASSIGN_OR_RETURN(auto d_neighbors,
-                         device_->AllocUninit<VertexId>(
-                             std::max<size_t>(1, graph.neighbors().size())));
+      auto d_neighbors,
+      device_->AllocUninit<VertexId>(
+          std::max<size_t>(1, graph.neighbors().size()), "neighbors"));
   KCORE_ASSIGN_OR_RETURN(
-      auto d_deg, device_->AllocUninit<uint32_t>(std::max<VertexId>(1, n)));
+      auto d_deg,
+      device_->AllocUninit<uint32_t>(std::max<VertexId>(1, n), "deg"));
   KCORE_ASSIGN_OR_RETURN(
-      auto d_buf, device_->AllocUninit<VertexId>(
-                      static_cast<uint64_t>(opt.num_blocks) * capacity));
-  KCORE_ASSIGN_OR_RETURN(auto d_buf_e,
-                         device_->AllocUninit<uint64_t>(opt.num_blocks));
-  KCORE_ASSIGN_OR_RETURN(auto d_count, device_->Alloc<uint64_t>(1));
-  KCORE_ASSIGN_OR_RETURN(auto d_overflow, device_->Alloc<uint32_t>(1));
+      auto d_buf,
+      device_->AllocUninit<VertexId>(
+          static_cast<uint64_t>(opt.num_blocks) * capacity, "buf"));
+  KCORE_ASSIGN_OR_RETURN(
+      auto d_buf_e, device_->AllocUninit<uint64_t>(opt.num_blocks, "buf_e"));
+  KCORE_ASSIGN_OR_RETURN(auto d_count, device_->Alloc<uint64_t>(1, "count"));
+  KCORE_ASSIGN_OR_RETURN(auto d_overflow,
+                         device_->Alloc<uint32_t>(1, "overflow"));
 
   // AC ping-pong arrays: compaction reads the previous active list (or the
   // implicit [0, n) identity) and writes the other array.
@@ -517,10 +528,13 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
   sim::DeviceArray<uint64_t> d_active_count;
   if (opt.active_compaction) {
     KCORE_ASSIGN_OR_RETURN(
-        d_active_a, device_->AllocUninit<VertexId>(std::max<VertexId>(1, n)));
+        d_active_a, device_->AllocUninit<VertexId>(std::max<VertexId>(1, n),
+                                                   "active_a"));
     KCORE_ASSIGN_OR_RETURN(
-        d_active_b, device_->AllocUninit<VertexId>(std::max<VertexId>(1, n)));
-    KCORE_ASSIGN_OR_RETURN(d_active_count, device_->Alloc<uint64_t>(1));
+        d_active_b, device_->AllocUninit<VertexId>(std::max<VertexId>(1, n),
+                                                   "active_b"));
+    KCORE_ASSIGN_OR_RETURN(d_active_count,
+                           device_->Alloc<uint64_t>(1, "active_count"));
   }
 
   d_offsets.CopyFromHost(graph.offsets());
@@ -578,9 +592,8 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
         d_active_count.CopyFromHost({&zero, 1});
         ctx.active_out = active_next;
         ctx.active_count = d_active_count.data();
-        device_->Launch(opt.num_blocks, opt.block_dim, [&](BlockCtx& block) {
-          CompactKernel(ctx, k, block);
-        });
+        device_->Launch(opt.num_blocks, opt.block_dim, "compact",
+                        [&](auto& block) { CompactKernel(ctx, k, block); });
         charge(result.metrics.compact_ms);
         uint64_t active_size = 0;
         d_active_count.CopyToHost({&active_size, 1});
@@ -591,14 +604,16 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
       }
     }
 
-    device_->Launch(opt.num_blocks, opt.block_dim, [&](BlockCtx& block) {
-      ScanKernel(ctx, k, block);  // Line 6.
-    });
+    device_->Launch(opt.num_blocks, opt.block_dim, "scan",
+                    [&](auto& block) {
+                      ScanKernel(ctx, k, block);  // Line 6.
+                    });
     charge(result.metrics.scan_ms);
     const bool vp = opt.vertex_prefetching;
-    device_->Launch(opt.num_blocks, opt.block_dim, [&](BlockCtx& block) {
-      LoopKernel(ctx, k, vp, block);  // Line 7.
-    });
+    device_->Launch(opt.num_blocks, opt.block_dim, "loop",
+                    [&](auto& block) {
+                      LoopKernel(ctx, k, vp, block);  // Line 7.
+                    });
     charge(result.metrics.loop_ms);
 
     uint32_t overflow = 0;
@@ -625,6 +640,8 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
   result.metrics.modeled_ms = device_->modeled_ms();
   result.metrics.peak_device_bytes = device_->peak_bytes();
   result.metrics.counters = device_->totals();
+  // Under --simcheck / check_mode, a detected violation fails the run.
+  KCORE_RETURN_IF_ERROR(device_->CheckStatus());
   return result;
 }
 

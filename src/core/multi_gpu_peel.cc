@@ -86,16 +86,20 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
 
     // All four arrays are fully overwritten (host copies / buffer appends)
     // before any read — the uninitialized-alloc path skips the zeroing.
+    KCORE_ASSIGN_OR_RETURN(worker.d_offsets,
+                           worker.device->AllocUninit<EdgeIndex>(
+                               offsets.size(), "worker_offsets"));
     KCORE_ASSIGN_OR_RETURN(
-        worker.d_offsets, worker.device->AllocUninit<EdgeIndex>(offsets.size()));
-    KCORE_ASSIGN_OR_RETURN(worker.d_neighbors,
-                           worker.device->AllocUninit<VertexId>(
-                               std::max<size_t>(1, neighbors.size())));
+        worker.d_neighbors,
+        worker.device->AllocUninit<VertexId>(
+            std::max<size_t>(1, neighbors.size()), "worker_neighbors"));
     KCORE_ASSIGN_OR_RETURN(worker.d_deg,
-                           worker.device->AllocUninit<uint32_t>(deg.size()));
-    KCORE_ASSIGN_OR_RETURN(worker.d_buffer,
-                           worker.device->AllocUninit<VertexId>(
-                               std::max<VertexId>(1024, local_n)));
+                           worker.device->AllocUninit<uint32_t>(deg.size(),
+                                                                "worker_deg"));
+    KCORE_ASSIGN_OR_RETURN(
+        worker.d_buffer,
+        worker.device->AllocUninit<VertexId>(std::max<VertexId>(1024, local_n),
+                                             "worker_buffer"));
     worker.d_offsets.CopyFromHost(offsets);
     worker.d_neighbors.CopyFromHost(neighbors);
     worker.d_deg.CopyFromHost(deg);
@@ -274,6 +278,10 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
   uint64_t max_peak = 0;
   for (const Worker& worker : workers) {
     max_peak = std::max(max_peak, worker.device->peak_bytes());
+    // The workers peel through raw host pointers (no Launch), so simcheck
+    // observes only allocation lifetimes and host copies here — still worth
+    // surfacing: a leak or an uninitialized CopyToHost fails the run.
+    KCORE_RETURN_IF_ERROR(worker.device->CheckStatus());
   }
   result.metrics.peak_device_bytes = max_peak;
   result.metrics.wall_ms = timer.ElapsedMillis();

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "cusim/simcheck.h"
 #include "perf/perf_counters.h"
 
 namespace kcore::sim {
@@ -11,6 +12,15 @@ namespace kcore::sim {
 /// Which memory space an atomic targets; determines both the charged cost
 /// and the counter it increments.
 enum class MemSpace { kGlobal, kShared };
+
+/// Each accessor has two overloads. The PerfCounters& versions below are
+/// the plain simulation path — zero instructions of checking overhead. The
+/// CheckedPerfCounters& overloads further down are what kernel code
+/// resolves to inside a checked launch (see simcheck.h): they validate the
+/// access with the SimChecker and delegate here when it passes. A vetoed
+/// checked access is *contained*: the memory is never touched and the op
+/// returns T{} / old-value 0, so deliberately buggy test kernels stay safe
+/// to execute under host sanitizers.
 
 /// CUDA atomicAdd: returns the old value. Real std::atomic_ref RMW, so
 /// concurrently-running simulated blocks exercise genuine data races.
@@ -87,6 +97,129 @@ template <typename T>
 inline void GlobalStore(T* address, T value, PerfCounters& counters) {
   ++counters.global_writes;
   std::atomic_ref<T>(*address).store(value, std::memory_order_relaxed);
+}
+
+/// Plain shared-memory load/store. Shared memory is block-private, so no
+/// atomic_ref is needed for host-level soundness; the accessors exist so
+/// synccheck can observe cross-warp shared traffic and flag missing Sync()
+/// barriers. Counted as shared ops for the cost model.
+template <typename T>
+inline T SharedLoad(const T* address, PerfCounters& counters) {
+  ++counters.shared_ops;
+  return *address;
+}
+
+template <typename T>
+inline void SharedStore(T* address, T value, PerfCounters& counters) {
+  ++counters.shared_ops;
+  *address = value;
+}
+
+// ---------------------------------------------------------------------------
+// Checked overloads: selected by overload resolution whenever the counters
+// argument is the CheckedPerfCounters of a BlockCtxT<true>. Each validates
+// the access with the SimChecker, contains it on veto (still counting the
+// op so checked/unchecked counter totals agree), and otherwise delegates to
+// the unchecked implementation above.
+
+namespace internal {
+template <typename T>
+inline bool CheckOp(const CheckedPerfCounters& counters, const T* address,
+                    MemSpace space, CheckAccess access) {
+  if (space == MemSpace::kGlobal) {
+    return CheckGlobalOp(counters, address, sizeof(T), access);
+  }
+  return CheckSharedOp(counters, address, sizeof(T), access);
+}
+
+inline void CountAtomic(PerfCounters& counters, MemSpace space) {
+  if (space == MemSpace::kGlobal) {
+    ++counters.global_atomics;
+  } else {
+    ++counters.shared_atomics;
+  }
+}
+}  // namespace internal
+
+template <typename T>
+inline T AtomicAdd(T* address, T value, CheckedPerfCounters& counters,
+                   MemSpace space = MemSpace::kGlobal) {
+  if (!internal::CheckOp(counters, address, space, CheckAccess::kAtomic)) {
+    internal::CountAtomic(counters, space);
+    return T{};
+  }
+  return AtomicAdd(address, value, static_cast<PerfCounters&>(counters),
+                   space);
+}
+
+template <typename T>
+inline T AtomicSub(T* address, T value, CheckedPerfCounters& counters,
+                   MemSpace space = MemSpace::kGlobal) {
+  if (!internal::CheckOp(counters, address, space, CheckAccess::kAtomic)) {
+    internal::CountAtomic(counters, space);
+    return T{};
+  }
+  return AtomicSub(address, value, static_cast<PerfCounters&>(counters),
+                   space);
+}
+
+template <typename T>
+inline T AtomicMax(T* address, T value, CheckedPerfCounters& counters,
+                   MemSpace space = MemSpace::kGlobal) {
+  if (!internal::CheckOp(counters, address, space, CheckAccess::kAtomic)) {
+    internal::CountAtomic(counters, space);
+    return T{};
+  }
+  return AtomicMax(address, value, static_cast<PerfCounters&>(counters),
+                   space);
+}
+
+template <typename T>
+inline T AtomicCas(T* address, T expected, T desired,
+                   CheckedPerfCounters& counters,
+                   MemSpace space = MemSpace::kGlobal) {
+  if (!internal::CheckOp(counters, address, space, CheckAccess::kAtomic)) {
+    internal::CountAtomic(counters, space);
+    return T{};
+  }
+  return AtomicCas(address, expected, desired,
+                   static_cast<PerfCounters&>(counters), space);
+}
+
+template <typename T>
+inline T GlobalLoad(const T* address, CheckedPerfCounters& counters) {
+  if (!CheckGlobalOp(counters, address, sizeof(T), CheckAccess::kRead)) {
+    ++counters.global_reads;
+    return T{};
+  }
+  return GlobalLoad(address, static_cast<PerfCounters&>(counters));
+}
+
+template <typename T>
+inline void GlobalStore(T* address, T value, CheckedPerfCounters& counters) {
+  if (!CheckGlobalOp(counters, address, sizeof(T), CheckAccess::kWrite)) {
+    ++counters.global_writes;
+    return;
+  }
+  GlobalStore(address, value, static_cast<PerfCounters&>(counters));
+}
+
+template <typename T>
+inline T SharedLoad(const T* address, CheckedPerfCounters& counters) {
+  if (!CheckSharedOp(counters, address, sizeof(T), CheckAccess::kRead)) {
+    ++counters.shared_ops;
+    return T{};
+  }
+  return SharedLoad(address, static_cast<PerfCounters&>(counters));
+}
+
+template <typename T>
+inline void SharedStore(T* address, T value, CheckedPerfCounters& counters) {
+  if (!CheckSharedOp(counters, address, sizeof(T), CheckAccess::kWrite)) {
+    ++counters.shared_ops;
+    return;
+  }
+  SharedStore(address, value, static_cast<PerfCounters&>(counters));
 }
 
 }  // namespace kcore::sim

@@ -1,12 +1,15 @@
 #ifndef KCORE_CUSIM_BLOCK_H_
 #define KCORE_CUSIM_BLOCK_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <type_traits>
 #include <vector>
 
 #include "common/check.h"
+#include "cusim/simcheck.h"
 #include "cusim/warp.h"
 #include "perf/perf_counters.h"
 
@@ -22,10 +25,23 @@ namespace kcore::sim {
 /// concurrently, so all cross-block interactions through device memory
 /// (atomics on deg[], gpu_count, ...) are real races, exactly the ones the
 /// paper's redundancy-avoidance logic (Alg. 3 lines 20-24) must survive.
-class BlockCtx {
+///
+/// `Checked` selects the simcheck instrumentation at compile time:
+/// BlockCtxT<false> (alias BlockCtx) carries plain PerfCounters and runs the
+/// exact uninstrumented code path; BlockCtxT<true> (alias CheckedBlockCtx)
+/// carries CheckedPerfCounters, tracks the executing warp and barrier
+/// interval for synccheck, and routes every atomics.h accessor through the
+/// SimChecker. Device::Launch instantiates the kernel against both and
+/// dispatches at launch time, so kernels must accept the block generically
+/// (`[&](auto& block)`).
+template <bool Checked>
+class BlockCtxT {
  public:
-  BlockCtx(uint32_t block_id, uint32_t num_blocks, uint32_t block_dim,
-           uint32_t shared_mem_bytes)
+  using Counters =
+      std::conditional_t<Checked, CheckedPerfCounters, PerfCounters>;
+
+  BlockCtxT(uint32_t block_id, uint32_t num_blocks, uint32_t block_dim,
+            uint32_t shared_mem_bytes)
       : block_id_(block_id),
         num_blocks_(num_blocks),
         block_dim_(block_dim),
@@ -33,8 +49,8 @@ class BlockCtx {
     KCORE_CHECK_EQ(block_dim % kWarpSize, 0u);
   }
 
-  BlockCtx(const BlockCtx&) = delete;
-  BlockCtx& operator=(const BlockCtx&) = delete;
+  BlockCtxT(const BlockCtxT&) = delete;
+  BlockCtxT& operator=(const BlockCtxT&) = delete;
 
   uint32_t block_id() const { return block_id_; }
   uint32_t num_blocks() const { return num_blocks_; }
@@ -45,7 +61,19 @@ class BlockCtx {
     return static_cast<uint64_t>(num_blocks_) * block_dim_;
   }
 
-  PerfCounters& counters() { return counters_; }
+  /// The block's counters. For the checked instantiation this is a
+  /// CheckedPerfCounters — thread it through kernel helpers as `auto&` (an
+  /// explicit `PerfCounters&` binding would silently skip checking).
+  Counters& counters() { return counters_; }
+
+  /// Wires the checker into counters(); called by Device::Launch before the
+  /// kernel runs (checked instantiation only).
+  void InstallChecker(SimChecker* checker)
+    requires Checked
+  {
+    counters_.checker = checker;
+    counters_.block = this;
+  }
 
   /// Allocates `count` zero-initialized Ts from this block's shared memory.
   /// Exceeding the per-block shared-memory budget is a configuration bug
@@ -54,8 +82,11 @@ class BlockCtx {
   T* SharedAlloc(size_t count) {
     const size_t align = alignof(T) < 8 ? 8 : alignof(T);
     size_t offset = (shared_used_ + align - 1) / align * align;
+    // Guard count*sizeof(T) against wrap-around before using the product:
+    // an overflowing request must fail, not slip past the budget check.
+    KCORE_CHECK(offset <= shared_.size());
+    KCORE_CHECK(count <= (shared_.size() - offset) / sizeof(T));
     const size_t bytes = count * sizeof(T);
-    KCORE_CHECK(offset + bytes <= shared_.size());
     shared_used_ = offset + bytes;
     std::memset(shared_.data() + offset, 0, bytes);
     counters_.shared_ops += count;
@@ -65,26 +96,55 @@ class BlockCtx {
   /// Bytes of shared memory currently allocated in this block.
   size_t shared_used() const { return shared_used_; }
 
+  /// Base of the block's shared-memory arena (simcheck bounds checks).
+  const std::byte* shared_data() const { return shared_.data(); }
+
+  /// Per-block shared-memory shadow cells, lazily sized by simcheck. Unused
+  /// (and never allocated) when checking is off.
+  std::vector<uint64_t>& shared_shadow() { return shared_shadow_; }
+
   /// Runs fn(warp) for every warp of the block, in warp-ID order.
   template <typename Fn>
   void ForEachWarp(Fn&& fn) {
     const uint32_t warps = num_warps();
     for (uint32_t w = 0; w < warps; ++w) {
       WarpCtx warp(w, warps, &counters_);
+      if constexpr (Checked) current_warp_ = w;
       fn(warp);
     }
+    if constexpr (Checked) current_warp_ = 0;
   }
 
   /// Runs fn(thread_in_block) for every thread of the block, in order.
   /// Mirrors per-thread kernel code like the scan kernel (Alg. 2).
   template <typename Fn>
   void ForEachThread(Fn&& fn) {
-    for (uint32_t t = 0; t < block_dim_; ++t) fn(t);
+    if constexpr (Checked) {
+      // Warp-outer / thread-inner so the warp tracking synccheck relies on
+      // costs one store per 32 threads, not one per thread.
+      for (uint32_t base = 0; base < block_dim_; base += kWarpSize) {
+        current_warp_ = base / kWarpSize;
+        const uint32_t end = std::min(block_dim_, base + kWarpSize);
+        for (uint32_t t = base; t < end; ++t) fn(t);
+      }
+      current_warp_ = 0;
+    } else {
+      for (uint32_t t = 0; t < block_dim_; ++t) fn(t);
+    }
     counters_.lane_ops += block_dim_;
   }
 
-  /// __syncthreads(): counted block barrier.
-  void Sync() { ++counters_.barriers; }
+  /// __syncthreads(): counted block barrier. Also advances the barrier
+  /// interval that synccheck tags shared-memory accesses with.
+  void Sync() {
+    ++counters_.barriers;
+    if constexpr (Checked) ++sync_interval_;
+  }
+
+  /// Warp currently executing (tracked by the checked instantiation only).
+  uint32_t current_warp() const { return current_warp_; }
+  /// Barrier interval: incremented by every Sync() when checked.
+  uint32_t sync_interval() const { return sync_interval_; }
 
  private:
   uint32_t block_id_;
@@ -92,8 +152,15 @@ class BlockCtx {
   uint32_t block_dim_;
   std::vector<std::byte> shared_;
   size_t shared_used_ = 0;
-  PerfCounters counters_;
+  uint32_t current_warp_ = 0;
+  uint32_t sync_interval_ = 0;
+  std::vector<uint64_t> shared_shadow_;
+  Counters counters_;
 };
+
+/// The uninstrumented block type — what kernels see on every unchecked
+/// launch, and the type to construct directly in block-level unit tests.
+using BlockCtx = BlockCtxT<false>;
 
 }  // namespace kcore::sim
 

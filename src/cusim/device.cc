@@ -1,5 +1,7 @@
 #include "cusim/device.h"
 
+#include <cstdlib>
+
 #include "common/strings.h"
 
 namespace kcore::sim {
@@ -7,6 +9,11 @@ namespace kcore::sim {
 std::string Device::StrFormatBytes(uint64_t bytes) {
   return StrFormat("device allocation of %s failed",
                    HumanBytes(bytes).c_str());
+}
+
+bool Device::EnvCheckEnabled() {
+  const char* env = std::getenv("KCORE_SIMCHECK");
+  return env != nullptr && env[0] == '1';
 }
 
 }  // namespace kcore::sim

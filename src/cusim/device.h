@@ -13,6 +13,7 @@
 #include "common/statusor.h"
 #include "common/thread_pool.h"
 #include "cusim/block.h"
+#include "cusim/simcheck.h"
 #include "perf/cost_model.h"
 #include "perf/perf_counters.h"
 
@@ -36,9 +37,11 @@ class DeviceArray {
     if (this != &other) {
       Reset();
       device_ = other.device_;
+      device_alive_ = std::move(other.device_alive_);
       data_ = std::move(other.data_);
       size_ = other.size_;
       other.device_ = nullptr;
+      other.device_alive_.reset();
       other.size_ = 0;
     }
     return *this;
@@ -57,15 +60,22 @@ class DeviceArray {
   /// cudaMemcpy device->host. `host.size()` must not exceed size().
   void CopyToHost(std::span<T> host) const;
 
-  /// Frees the allocation (cudaFree analogue).
+  /// Frees the allocation (cudaFree analogue). Safe to call repeatedly, and
+  /// safe after the owning Device is gone (the accounting update is skipped;
+  /// the Device already reported the allocation as leaked).
   void Reset();
 
  private:
   friend class Device;
-  DeviceArray(Device* device, std::unique_ptr<T[]> data, size_t size)
-      : device_(device), data_(std::move(data)), size_(size) {}
+  DeviceArray(Device* device, std::weak_ptr<const void> device_alive,
+              std::unique_ptr<T[]> data, size_t size)
+      : device_(device),
+        device_alive_(std::move(device_alive)),
+        data_(std::move(data)),
+        size_(size) {}
 
   Device* device_ = nullptr;
+  std::weak_ptr<const void> device_alive_;
   std::unique_ptr<T[]> data_;
   size_t size_ = 0;
 };
@@ -86,6 +96,11 @@ struct DeviceOptions {
   CostModel cost = GpuNativeCostModel();
   /// Host threads executing simulated blocks; nullptr = process default.
   ThreadPool* pool = nullptr;
+  /// Enables simcheck (memcheck/initcheck/racecheck/synccheck); see
+  /// simcheck.h. Also switched on by the environment variable
+  /// KCORE_SIMCHECK=1. Zero-cost when off: kernels run the uninstrumented
+  /// BlockCtxT<false> instantiation and no shadow memory exists.
+  bool check_mode = false;
 };
 
 /// The simulated GPU: device-memory accounting with a peak watermark
@@ -96,35 +111,77 @@ struct DeviceOptions {
 /// host (driving) thread only, mirroring a single CUDA stream.
 class Device {
  public:
-  explicit Device(DeviceOptions options = {}) : options_(options) {}
+  explicit Device(DeviceOptions options = {}) : options_(options) {
+    if (options_.check_mode || EnvCheckEnabled()) {
+      checker_ = std::make_shared<SimChecker>();
+    }
+  }
+  ~Device() {
+    if (checker_ != nullptr) checker_->OnDeviceDestroyed();
+  }
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
 
   const DeviceOptions& options() const { return options_; }
 
-  /// Allocates `count` zero-initialized elements of device memory.
+  /// Allocates `count` zero-initialized elements of device memory. `label`
+  /// names the allocation in simcheck reports.
   template <typename U>
-  StatusOr<DeviceArray<U>> Alloc(size_t count) {
+  StatusOr<DeviceArray<U>> Alloc(size_t count, const char* label = "") {
     KCORE_RETURN_IF_ERROR(Reserve<U>(count));
-    return DeviceArray<U>(this, std::make_unique<U[]>(count), count);
+    auto data = std::make_unique<U[]>(count);
+    if (checker_ != nullptr) {
+      checker_->RegisterAlloc(data.get(), count * sizeof(U),
+                              /*zero_initialized=*/true, label);
+    }
+    return DeviceArray<U>(this, alive_, std::move(data), count);
   }
 
   /// Allocates `count` *uninitialized* elements (cudaMalloc semantics: the
   /// contents are garbage). For buffers the kernels fully overwrite before
   /// reading — skipping the O(bytes) zeroing memset of Alloc.
   template <typename U>
-  StatusOr<DeviceArray<U>> AllocUninit(size_t count) {
+  StatusOr<DeviceArray<U>> AllocUninit(size_t count, const char* label = "") {
     static_assert(std::is_trivially_default_constructible_v<U>,
                   "AllocUninit requires a trivially constructible type");
     KCORE_RETURN_IF_ERROR(Reserve<U>(count));
-    return DeviceArray<U>(this, std::make_unique_for_overwrite<U[]>(count),
-                          count);
+    auto data = std::make_unique_for_overwrite<U[]>(count);
+    if (checker_ != nullptr) {
+      checker_->RegisterAlloc(data.get(), count * sizeof(U),
+                              /*zero_initialized=*/false, label);
+    }
+    return DeviceArray<U>(this, alive_, std::move(data), count);
   }
 
   /// Launches `kernel` over `num_blocks` blocks of `block_dim` threads.
-  /// `kernel` is invoked once per block as kernel(BlockCtx&); distinct
-  /// blocks run concurrently on host threads.
+  /// `kernel` is invoked once per block as kernel(block); distinct blocks
+  /// run concurrently on host threads. The kernel must accept the block
+  /// generically (`[&](auto& block)`): it is instantiated against both
+  /// BlockCtxT<false> and BlockCtxT<true>, and the checked variant is
+  /// selected here only when simcheck is enabled — so an unchecked launch
+  /// executes code with zero instructions of instrumentation.
   template <typename Kernel>
   void Launch(uint32_t num_blocks, uint32_t block_dim, Kernel&& kernel) {
+    Launch(num_blocks, block_dim, "kernel", std::forward<Kernel>(kernel));
+  }
+
+  /// As above; `label` names the kernel in simcheck reports.
+  template <typename Kernel>
+  void Launch(uint32_t num_blocks, uint32_t block_dim, const char* label,
+              Kernel&& kernel) {
     KCORE_CHECK_GT(num_blocks, 0u);
+    if (checker_ != nullptr) {
+      checker_->BeginLaunch(label);
+      LaunchGrid<true>(num_blocks, block_dim, kernel);
+    } else {
+      LaunchGrid<false>(num_blocks, block_dim, kernel);
+    }
+  }
+
+ private:
+  template <bool Checked, typename Kernel>
+  void LaunchGrid(uint32_t num_blocks, uint32_t block_dim, Kernel& kernel) {
     // Per-block counter staging reuses one scratch vector across launches:
     // the host loop issues two launches per peeling round, so a fresh
     // allocation here is measurable wall-clock overhead on deep peels.
@@ -132,9 +189,13 @@ class Device {
     per_block.assign(num_blocks, PerfCounters());
     ThreadPool& workers = pool();
     workers.ParallelFor(num_blocks, [&](uint64_t b) {
-      BlockCtx block(static_cast<uint32_t>(b), num_blocks, block_dim,
-                     options_.shared_mem_per_block);
+      BlockCtxT<Checked> block(static_cast<uint32_t>(b), num_blocks,
+                               block_dim, options_.shared_mem_per_block);
+      if constexpr (Checked) block.InstallChecker(checker_.get());
       kernel(block);
+      // Checked blocks carry CheckedPerfCounters; assigning through the
+      // PerfCounters slot slices off the checker wiring, which must not
+      // outlive the block anyway.
       per_block[b] = block.counters();
     });
 
@@ -156,6 +217,7 @@ class Device {
     totals_ += launch_total;
   }
 
+ public:
   /// Current and peak global-memory usage (Table V's metric).
   uint64_t current_bytes() const { return current_bytes_; }
   uint64_t peak_bytes() const { return peak_bytes_; }
@@ -175,11 +237,23 @@ class Device {
     totals_ = PerfCounters();
   }
 
+  /// The simcheck verdict so far: OK when checking is off or no violation
+  /// was detected, FailedPrecondition with the report otherwise. Checked
+  /// runners call this before returning their result.
+  Status CheckStatus() const {
+    return checker_ != nullptr ? checker_->report().ToStatus() : Status::OK();
+  }
+
+  /// The checker (nullptr when checking is off). Shared so tests can keep
+  /// the report alive past the Device (leak checking).
+  std::shared_ptr<SimChecker> checker() const { return checker_; }
+
  private:
   template <typename U>
   friend class DeviceArray;
 
   static std::string StrFormatBytes(uint64_t bytes);
+  static bool EnvCheckEnabled();
 
   /// Accounts `count * sizeof(U)` bytes against global memory, rejecting
   /// requests whose byte size overflows uint64_t (which would otherwise wrap
@@ -207,6 +281,20 @@ class Device {
     current_bytes_ -= bytes;
   }
 
+  /// cudaFree analogue, called by DeviceArray::Reset.
+  void OnFree(const void* ptr, uint64_t bytes) {
+    Release(bytes);
+    if (checker_ != nullptr) checker_->UnregisterAlloc(ptr);
+  }
+
+  void NotifyHostWrite(const void* ptr, uint64_t bytes) {
+    if (checker_ != nullptr) checker_->OnHostWrite(ptr, bytes);
+  }
+
+  void NotifyHostRead(const void* ptr, uint64_t bytes) {
+    if (checker_ != nullptr) checker_->OnHostRead(ptr, bytes);
+  }
+
   void ChargeTransfer(uint64_t bytes) {
     transfer_ns_ += static_cast<double>(bytes) /
                     options_.pcie_bytes_per_sec * 1e9;
@@ -219,18 +307,24 @@ class Device {
   double transfer_ns_ = 0.0;
   PerfCounters totals_;
   std::vector<PerfCounters> launch_scratch_;
+  std::shared_ptr<SimChecker> checker_;
+  /// Expiry sentinel handed to DeviceArrays: lets an array outliving its
+  /// Device skip the accounting callback instead of dereferencing a corpse.
+  std::shared_ptr<const void> alive_ = std::make_shared<int>(0);
 };
 
 template <typename T>
 void DeviceArray<T>::CopyFromHost(std::span<const T> host) {
   KCORE_CHECK_LE(host.size(), size_);
   std::copy(host.begin(), host.end(), data_.get());
+  device_->NotifyHostWrite(data_.get(), host.size() * sizeof(T));
   device_->ChargeTransfer(host.size() * sizeof(T));
 }
 
 template <typename T>
 void DeviceArray<T>::CopyToHost(std::span<T> host) const {
   KCORE_CHECK_LE(host.size(), size_);
+  device_->NotifyHostRead(data_.get(), host.size() * sizeof(T));
   std::copy(data_.get(), data_.get() + host.size(), host.begin());
   device_->ChargeTransfer(host.size() * sizeof(T));
 }
@@ -238,9 +332,14 @@ void DeviceArray<T>::CopyToHost(std::span<T> host) const {
 template <typename T>
 void DeviceArray<T>::Reset() {
   if (device_ != nullptr) {
-    device_->Release(size_ * sizeof(T));
+    // The sentinel expires with the Device; an array outliving its Device
+    // (a leak the checker has already reported) must not call back into it.
+    if (!device_alive_.expired()) {
+      device_->OnFree(data_.get(), size_ * sizeof(T));
+    }
     device_ = nullptr;
   }
+  device_alive_.reset();
   data_.reset();
   size_ = 0;
 }

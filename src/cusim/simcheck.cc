@@ -1,0 +1,415 @@
+#include "cusim/simcheck.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "cusim/block.h"
+
+namespace kcore::sim {
+
+
+namespace {
+
+// Shadow-cell bit layout (one uint64_t per 4 bytes of tracked memory).
+// Writer and reader halves share one packing: a present bit, an atomic tag,
+// a 14-bit actor (block id for global cells, warp id for shared cells) and
+// a 14-bit era (launch epoch / Sync() interval). 14 bits wrap; a stale cell
+// colliding with the live era after exactly 16384 launches is the accepted
+// false-positive risk of the compression.
+constexpr uint64_t kValidBit = 1ull << 0;
+constexpr int kWriterShift = 1;
+constexpr int kReaderShift = 31;
+constexpr uint64_t kHalfFieldMask = 0x3fffffffull;  // 30 bits per half
+constexpr uint64_t kActorMask = (1ull << 14) - 1;
+constexpr uint64_t kEraMask = (1ull << 14) - 1;
+// One report per (cell, analysis): keeps a buggy loop from flooding the log
+// with one violation per iteration while still counting every cell.
+constexpr uint64_t kRaceReportedBit = 1ull << 61;
+constexpr uint64_t kInitReportedBit = 1ull << 62;
+
+struct Half {
+  bool present = false;
+  bool atomic_op = false;
+  uint32_t actor = 0;
+  uint32_t era = 0;
+};
+
+Half UnpackHalf(uint64_t cell, int shift) {
+  Half h;
+  h.present = ((cell >> shift) & 1) != 0;
+  h.atomic_op = ((cell >> (shift + 1)) & 1) != 0;
+  h.actor = static_cast<uint32_t>((cell >> (shift + 2)) & kActorMask);
+  h.era = static_cast<uint32_t>((cell >> (shift + 16)) & kEraMask);
+  return h;
+}
+
+uint64_t PackHalf(int shift, bool atomic_op, uint32_t actor, uint32_t era) {
+  return (1ull << shift) | (uint64_t{atomic_op} << (shift + 1)) |
+         ((uint64_t{actor} & kActorMask) << (shift + 2)) |
+         ((uint64_t{era} & kEraMask) << (shift + 16));
+}
+
+/// The conflict predicate shared by racecheck (actors = blocks, era =
+/// launch epoch) and synccheck (actors = warps, era = barrier interval):
+/// two same-era accesses by distinct actors conflict iff at least one of
+/// them is a non-atomic write. Atomic-vs-atomic and atomic-write-vs-plain-
+/// read pairs are the patterns the kernels legitimately rely on.
+bool Conflicts(const Half& prior, uint32_t era, uint32_t actor,
+               bool cur_write, bool cur_atomic, bool prior_is_write) {
+  if (!prior.present || prior.era != era || prior.actor == actor) {
+    return false;
+  }
+  const bool prior_nonatomic_write = prior_is_write && !prior.atomic_op;
+  const bool cur_nonatomic_write = cur_write && !cur_atomic;
+  if (prior_is_write && cur_write) {
+    return prior_nonatomic_write || cur_nonatomic_write;
+  }
+  if (cur_write) return cur_nonatomic_write;  // prior is a read
+  return prior_nonatomic_write;               // current is a read
+}
+
+std::string DescribeAccess(CheckAccess access) {
+  switch (access) {
+    case CheckAccess::kRead:
+      return "non-atomic read";
+    case CheckAccess::kWrite:
+      return "non-atomic write";
+    case CheckAccess::kAtomic:
+      return "atomic";
+  }
+  return "access";
+}
+
+}  // namespace
+
+const char* CheckKindToString(CheckKind kind) {
+  switch (kind) {
+    case CheckKind::kMemcheck:
+      return "memcheck";
+    case CheckKind::kInitcheck:
+      return "initcheck";
+    case CheckKind::kRacecheck:
+      return "racecheck";
+    case CheckKind::kSynccheck:
+      return "synccheck";
+    case CheckKind::kLeak:
+      return "leak";
+  }
+  return "unknown";
+}
+
+std::string CheckViolation::ToString() const {
+  std::string out = CheckKindToString(kind);
+  if (!kernel.empty()) {
+    out += StrFormat(" [kernel '%s']", kernel.c_str());
+  }
+  if (!allocation.empty()) {
+    out += StrFormat(" allocation '%s' offset %llu", allocation.c_str(),
+                     static_cast<unsigned long long>(offset));
+  }
+  out += ": " + detail;
+  return out;
+}
+
+std::string CheckReport::ToString() const {
+  if (clean()) return "simcheck: clean";
+  std::string out = StrFormat(
+      "simcheck: %llu violation(s) (memcheck=%llu initcheck=%llu "
+      "racecheck=%llu synccheck=%llu leak=%llu)",
+      static_cast<unsigned long long>(total_),
+      static_cast<unsigned long long>(count(CheckKind::kMemcheck)),
+      static_cast<unsigned long long>(count(CheckKind::kInitcheck)),
+      static_cast<unsigned long long>(count(CheckKind::kRacecheck)),
+      static_cast<unsigned long long>(count(CheckKind::kSynccheck)),
+      static_cast<unsigned long long>(count(CheckKind::kLeak)));
+  for (const CheckViolation& v : violations_) {
+    out += "\n  " + v.ToString();
+  }
+  if (total_ > violations_.size()) {
+    out += StrFormat("\n  ... %llu more not recorded",
+                     static_cast<unsigned long long>(
+                         total_ - violations_.size()));
+  }
+  return out;
+}
+
+Status CheckReport::ToStatus() const {
+  if (clean()) return Status::OK();
+  return Status::FailedPrecondition(ToString());
+}
+
+void SimChecker::RegisterAlloc(const void* ptr, uint64_t bytes,
+                               bool zero_initialized, const char* label) {
+  Allocation alloc;
+  alloc.start = reinterpret_cast<uintptr_t>(ptr);
+  alloc.bytes = bytes;
+  alloc.label = label == nullptr ? "" : label;
+  const uint64_t cells = (bytes + 3) / 4;
+  alloc.shadow = std::make_unique<std::atomic<uint64_t>[]>(cells);
+  const uint64_t init = zero_initialized ? kValidBit : 0;
+  for (uint64_t i = 0; i < cells; ++i) {
+    alloc.shadow[i].store(init, std::memory_order_relaxed);
+  }
+  allocations_[alloc.start] = std::move(alloc);
+}
+
+void SimChecker::UnregisterAlloc(const void* ptr) {
+  allocations_.erase(reinterpret_cast<uintptr_t>(ptr));
+}
+
+void SimChecker::OnHostWrite(const void* ptr, uint64_t bytes) {
+  if (bytes == 0) return;
+  Allocation* alloc = FindAllocation(reinterpret_cast<uintptr_t>(ptr));
+  if (alloc == nullptr) return;
+  const uint64_t offset = reinterpret_cast<uintptr_t>(ptr) - alloc->start;
+  const uint64_t end = std::min(offset + bytes, alloc->bytes);
+  for (uint64_t i = offset / 4; i * 4 < end; ++i) {
+    // Mark fully (or terminally) covered cells valid.
+    if (i * 4 >= offset && ((i + 1) * 4 <= end || end == alloc->bytes)) {
+      alloc->shadow[i].fetch_or(kValidBit, std::memory_order_relaxed);
+    }
+  }
+}
+
+void SimChecker::OnHostRead(const void* ptr, uint64_t bytes) {
+  if (bytes == 0) return;
+  Allocation* alloc = FindAllocation(reinterpret_cast<uintptr_t>(ptr));
+  if (alloc == nullptr) return;
+  const uint64_t offset = reinterpret_cast<uintptr_t>(ptr) - alloc->start;
+  const uint64_t end = std::min(offset + bytes, alloc->bytes);
+  for (uint64_t i = offset / 4; i * 4 < end; ++i) {
+    const uint64_t cell = alloc->shadow[i].load(std::memory_order_relaxed);
+    if ((cell & kValidBit) != 0 || (cell & kInitReportedBit) != 0) continue;
+    alloc->shadow[i].fetch_or(kInitReportedBit, std::memory_order_relaxed);
+    CheckViolation v;
+    v.kind = CheckKind::kInitcheck;
+    v.allocation = alloc->label;
+    v.offset = i * 4;
+    v.detail = "CopyToHost reads uninitialized device memory";
+    Record(std::move(v));
+  }
+}
+
+void SimChecker::BeginLaunch(const char* label) {
+  ++epoch_;
+  kernel_ = label == nullptr ? "" : label;
+}
+
+void SimChecker::OnDeviceDestroyed() {
+  for (const auto& [start, alloc] : allocations_) {
+    CheckViolation v;
+    v.kind = CheckKind::kLeak;
+    v.allocation = alloc.label;
+    v.detail = StrFormat(
+        "allocation of %llu bytes never freed before Device destruction",
+        static_cast<unsigned long long>(alloc.bytes));
+    Record(std::move(v));
+  }
+  allocations_.clear();
+}
+
+SimChecker::Allocation* SimChecker::FindAllocation(uintptr_t addr) {
+  auto it = allocations_.upper_bound(addr);
+  if (it == allocations_.begin()) return nullptr;
+  --it;
+  Allocation& alloc = it->second;
+  if (addr >= alloc.start + alloc.bytes) return nullptr;
+  return &alloc;
+}
+
+bool SimChecker::CheckGlobalAccess(const CheckedBlockCtx& block, const void* addr,
+                                   uint64_t bytes, CheckAccess access) {
+  const uintptr_t a = reinterpret_cast<uintptr_t>(addr);
+  Allocation* alloc = FindAllocation(a);
+  if (alloc == nullptr || a + bytes > alloc->start + alloc->bytes) {
+    CheckViolation v;
+    v.kind = CheckKind::kMemcheck;
+    v.kernel = kernel_;
+    v.actor_a = block.block_id();
+    if (alloc != nullptr) {
+      v.allocation = alloc->label;
+      v.offset = a - alloc->start;
+      v.detail = StrFormat("%s of %llu bytes by block %u runs past the "
+                           "allocation end",
+                           DescribeAccess(access).c_str(),
+                           static_cast<unsigned long long>(bytes),
+                           block.block_id());
+    } else {
+      v.offset = a;
+      v.detail = StrFormat("%s of %llu bytes by block %u targets no live "
+                           "device allocation",
+                           DescribeAccess(access).c_str(),
+                           static_cast<unsigned long long>(bytes),
+                           block.block_id());
+    }
+    Record(std::move(v));
+    return false;  // contain: do not touch the memory
+  }
+
+  const uint64_t offset = a - alloc->start;
+  const bool cur_write = access != CheckAccess::kRead;
+  const bool cur_read = access != CheckAccess::kWrite;
+  const bool cur_atomic = access == CheckAccess::kAtomic;
+  const uint32_t actor = block.block_id() & kActorMask;
+  const uint32_t era = epoch_ & kEraMask;
+  bool proceed = true;
+
+  for (uint64_t i = offset / 4; i * 4 < offset + bytes; ++i) {
+    std::atomic<uint64_t>& cell_ref = alloc->shadow[i];
+    uint64_t cell = cell_ref.load(std::memory_order_relaxed);
+
+    if (cur_read && (cell & kValidBit) == 0) {
+      proceed = false;  // contain: the word holds indeterminate garbage
+      if ((cell & kInitReportedBit) == 0) {
+        cell |= kInitReportedBit;
+        CheckViolation v;
+        v.kind = CheckKind::kInitcheck;
+        v.kernel = kernel_;
+        v.allocation = alloc->label;
+        v.offset = i * 4;
+        v.actor_a = block.block_id();
+        v.detail = StrFormat("%s by block %u of uninitialized (AllocUninit, "
+                             "never written) memory",
+                             DescribeAccess(access).c_str(),
+                             block.block_id());
+        Record(std::move(v));
+      }
+    }
+
+    const Half writer = UnpackHalf(cell, kWriterShift);
+    const Half reader = UnpackHalf(cell, kReaderShift);
+    if ((cell & kRaceReportedBit) == 0) {
+      uint32_t other = 0;
+      bool conflict = false;
+      if (Conflicts(writer, era, actor, cur_write, cur_atomic,
+                    /*prior_is_write=*/true)) {
+        conflict = true;
+        other = writer.actor;
+      } else if (Conflicts(reader, era, actor, cur_write, cur_atomic,
+                           /*prior_is_write=*/false)) {
+        conflict = true;
+        other = reader.actor;
+      }
+      if (conflict) {
+        cell |= kRaceReportedBit;
+        CheckViolation v;
+        v.kind = CheckKind::kRacecheck;
+        v.kernel = kernel_;
+        v.allocation = alloc->label;
+        v.offset = i * 4;
+        v.actor_a = other;
+        v.actor_b = block.block_id();
+        v.detail = StrFormat("%s by block %u conflicts with block %u in the "
+                             "same launch (a non-atomic write is involved)",
+                             DescribeAccess(access).c_str(), block.block_id(),
+                             other);
+        Record(std::move(v));
+      }
+    }
+
+    // Update the shadow. A write validates the word only when it covers the
+    // whole cell (or the allocation's trailing partial cell) — sub-word
+    // writes must not hide an uninitialized remainder.
+    if (cur_write) {
+      if (i * 4 >= offset && ((i + 1) * 4 <= offset + bytes ||
+                              offset + bytes == alloc->bytes)) {
+        cell |= kValidBit;
+      }
+      cell = (cell & ~(kHalfFieldMask << kWriterShift)) |
+             PackHalf(kWriterShift, cur_atomic, actor, era);
+    }
+    if (cur_read) {
+      cell = (cell & ~(kHalfFieldMask << kReaderShift)) |
+             PackHalf(kReaderShift, cur_atomic, actor, era);
+    }
+    cell_ref.store(cell, std::memory_order_relaxed);
+  }
+  return proceed;
+}
+
+bool SimChecker::CheckSharedAccess(CheckedBlockCtx& block, const void* addr,
+                                   uint64_t bytes, CheckAccess access) {
+  const uintptr_t a = reinterpret_cast<uintptr_t>(addr);
+  const uintptr_t base = reinterpret_cast<uintptr_t>(block.shared_data());
+  if (a < base || a + bytes > base + block.shared_used()) {
+    CheckViolation v;
+    v.kind = CheckKind::kMemcheck;
+    v.kernel = kernel_;
+    v.actor_a = block.block_id();
+    v.offset = a >= base ? a - base : a;
+    v.detail = StrFormat("shared-memory %s of %llu bytes by block %u falls "
+                         "outside the SharedAlloc'd region",
+                         DescribeAccess(access).c_str(),
+                         static_cast<unsigned long long>(bytes),
+                         block.block_id());
+    Record(std::move(v));
+    return false;
+  }
+
+  // The block runs on one host thread, so its shared shadow needs no
+  // atomics. SharedAlloc zeroes memory, so there is no initcheck here.
+  std::vector<uint64_t>& shadow = block.shared_shadow();
+  if (shadow.size() * 4 < block.shared_used()) {
+    shadow.resize((block.shared_used() + 3) / 4, 0);
+  }
+  const uint64_t offset = a - base;
+  const bool cur_write = access != CheckAccess::kRead;
+  const bool cur_read = access != CheckAccess::kWrite;
+  const bool cur_atomic = access == CheckAccess::kAtomic;
+  const uint32_t actor = block.current_warp() & kActorMask;
+  const uint32_t era = block.sync_interval() & kEraMask;
+
+  for (uint64_t i = offset / 4; i * 4 < offset + bytes; ++i) {
+    uint64_t& cell = shadow[i];
+    const Half writer = UnpackHalf(cell, kWriterShift);
+    const Half reader = UnpackHalf(cell, kReaderShift);
+    if ((cell & kRaceReportedBit) == 0) {
+      uint32_t other = 0;
+      bool conflict = false;
+      if (Conflicts(writer, era, actor, cur_write, cur_atomic,
+                    /*prior_is_write=*/true)) {
+        conflict = true;
+        other = writer.actor;
+      } else if (Conflicts(reader, era, actor, cur_write, cur_atomic,
+                           /*prior_is_write=*/false)) {
+        conflict = true;
+        other = reader.actor;
+      }
+      if (conflict) {
+        cell |= kRaceReportedBit;
+        CheckViolation v;
+        v.kind = CheckKind::kSynccheck;
+        v.kernel = kernel_;
+        v.offset = i * 4;
+        v.actor_a = other;
+        v.actor_b = block.current_warp();
+        v.detail = StrFormat(
+            "shared-memory %s by warp %u conflicts with warp %u in block %u "
+            "with no Sync() between them",
+            DescribeAccess(access).c_str(), block.current_warp(), other,
+            block.block_id());
+        Record(std::move(v));
+      }
+    }
+    if (cur_write) {
+      cell = (cell & ~(kHalfFieldMask << kWriterShift)) |
+             PackHalf(kWriterShift, cur_atomic, actor, era);
+    }
+    if (cur_read) {
+      cell = (cell & ~(kHalfFieldMask << kReaderShift)) |
+             PackHalf(kReaderShift, cur_atomic, actor, era);
+    }
+  }
+  return true;
+}
+
+void SimChecker::Record(CheckViolation violation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++report_.total_;
+  ++report_.by_kind_[static_cast<size_t>(violation.kind)];
+  if (report_.violations_.size() < CheckReport::kMaxRecorded) {
+    report_.violations_.push_back(std::move(violation));
+  }
+}
+
+}  // namespace kcore::sim

@@ -1,0 +1,219 @@
+#ifndef KCORE_CUSIM_SIMCHECK_H_
+#define KCORE_CUSIM_SIMCHECK_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "perf/perf_counters.h"
+
+namespace kcore::sim {
+
+template <bool Checked>
+class BlockCtxT;
+using CheckedBlockCtx = BlockCtxT<true>;
+
+/// simcheck — a compute-sanitizer analogue for the simulated device.
+///
+/// An opt-in checking layer (DeviceOptions::check_mode or KCORE_SIMCHECK=1)
+/// that validates every *instrumented* device-memory access issued from
+/// inside a Device::Launch. Four analyses, mirroring NVIDIA's
+/// compute-sanitizer tools:
+///
+///  - memcheck:  every global load/store/atomic must fall entirely inside a
+///               live device allocation; shared accesses must fall inside
+///               the block's SharedAlloc'd region. Unfreed allocations at
+///               Device destruction are reported as leaks.
+///  - initcheck: AllocUninit memory carries a shadow valid bitmap (4-byte
+///               granularity); reads of never-written words are reported.
+///               Alloc (zeroed) memory is born valid; CopyFromHost marks
+///               the copied range valid.
+///  - racecheck: each global word remembers its last reader/writer (block
+///               id + launch epoch + atomic/non-atomic tag). Two accesses
+///               to one word from distinct blocks within one launch
+///               conflict iff at least one of them is a NON-ATOMIC WRITE.
+///               Non-atomic reads racing device-wide atomics are *not*
+///               flagged: that is the stale-read pattern the paper's
+///               redundancy-avoidance logic (Alg. 3 lines 20-24) is built
+///               to survive, and CUDA kernels rely on it routinely.
+///  - synccheck: each shared-memory word remembers its last reader/writer
+///               (warp id + Sync() interval). Two accesses from distinct
+///               warps in the same barrier interval conflict iff at least
+///               one is a non-atomic write — a missing __syncthreads().
+///
+/// Violating accesses are *contained*: an out-of-bounds or uninitialized
+/// read returns T{} instead of dereferencing, an out-of-bounds write or
+/// atomic is dropped. This keeps deliberately-broken test kernels safe to
+/// execute under host sanitizers (ASan) while still reporting the bug.
+///
+/// Coverage: only accesses issued through the cusim accessors
+/// (GlobalLoad/GlobalStore/SharedLoad/SharedStore/Atomic*) are observed,
+/// and only from threads executing inside Device::Launch. Raw pointer
+/// dereferences — including the host-orchestrated systems baselines and the
+/// loop kernel's shared head/tail cells — are invisible. See DESIGN.md
+/// "simcheck" for the full observability model.
+
+/// How an instrumented access touches memory. Atomics count as both a read
+/// and a write with the atomic tag set.
+enum class CheckAccess : uint8_t { kRead, kWrite, kAtomic };
+
+/// Which analysis a violation belongs to.
+enum class CheckKind : uint8_t {
+  kMemcheck = 0,
+  kInitcheck = 1,
+  kRacecheck = 2,
+  kSynccheck = 3,
+  kLeak = 4,
+};
+
+/// Returns "memcheck", "initcheck", ... for `kind`.
+const char* CheckKindToString(CheckKind kind);
+
+/// One detected violation, with enough context to locate the bug.
+struct CheckViolation {
+  CheckKind kind = CheckKind::kMemcheck;
+  std::string kernel;      ///< Launch label; "" for host-side operations.
+  std::string allocation;  ///< Allocation label; "" when address is unmapped.
+  uint64_t offset = 0;     ///< Byte offset into the allocation (or address).
+  uint32_t actor_a = 0;    ///< Block id (warp id for synccheck) of party A.
+  uint32_t actor_b = 0;    ///< Second party for race/sync conflicts.
+  std::string detail;      ///< Human-readable description.
+
+  std::string ToString() const;
+};
+
+/// The structured result of a checked run: all recorded violations plus
+/// per-analysis totals (recording caps at kMaxRecorded to bound memory; the
+/// totals keep counting).
+class CheckReport {
+ public:
+  bool clean() const { return total_ == 0; }
+  uint64_t total_violations() const { return total_; }
+  uint64_t count(CheckKind kind) const {
+    return by_kind_[static_cast<size_t>(kind)];
+  }
+  const std::vector<CheckViolation>& violations() const { return violations_; }
+
+  /// Multi-line summary: a per-analysis count header plus one line per
+  /// recorded violation. "simcheck: clean" when empty.
+  std::string ToString() const;
+
+  /// OK when clean; FailedPrecondition carrying ToString() otherwise — the
+  /// StatusOr surface for checked decomposition runs.
+  Status ToStatus() const;
+
+ private:
+  friend class SimChecker;
+  static constexpr size_t kMaxRecorded = 64;
+
+  std::vector<CheckViolation> violations_;
+  uint64_t total_ = 0;
+  std::array<uint64_t, 5> by_kind_{};
+};
+
+/// The checker itself. One instance per checked Device, shared_ptr-owned so
+/// tests can hold the report past the Device's destruction (leak checking).
+///
+/// Threading: the registry methods (RegisterAlloc/UnregisterAlloc/
+/// OnHostWrite/OnHostRead/BeginLaunch/report) follow the Device contract —
+/// host (driving) thread only, never concurrent with a running launch. The
+/// access hooks (CheckGlobalAccess/CheckSharedAccess) are called from
+/// concurrently-running simulated blocks; shadow cells are atomic and the
+/// violation log is mutex-guarded.
+class SimChecker {
+ public:
+  // --- Host side (driving thread only). ---
+
+  /// Registers a device allocation. `zero_initialized` allocations are born
+  /// fully valid for initcheck; AllocUninit ones are born invalid.
+  void RegisterAlloc(const void* ptr, uint64_t bytes, bool zero_initialized,
+                     const char* label);
+  /// Removes an allocation (cudaFree analogue). Unknown pointers ignore.
+  void UnregisterAlloc(const void* ptr);
+  /// CopyFromHost: marks [ptr, ptr+bytes) valid.
+  void OnHostWrite(const void* ptr, uint64_t bytes);
+  /// CopyToHost: initcheck on the source range (reads of uninit words).
+  void OnHostRead(const void* ptr, uint64_t bytes);
+  /// Starts a new launch epoch; `label` names the kernel in reports.
+  void BeginLaunch(const char* label);
+  /// Called from ~Device: reports still-registered allocations as leaks.
+  void OnDeviceDestroyed();
+
+  // --- Device side (any worker thread, during a launch). ---
+
+  /// Validates one global-memory access by `block`. Returns false when the
+  /// access must be contained (OOB, or an uninitialized read).
+  bool CheckGlobalAccess(const CheckedBlockCtx& block, const void* addr,
+                         uint64_t bytes, CheckAccess access);
+  /// Validates one shared-memory access by the current warp of `block`.
+  bool CheckSharedAccess(CheckedBlockCtx& block, const void* addr,
+                         uint64_t bytes, CheckAccess access);
+
+  /// The report so far. Host thread, between launches.
+  const CheckReport& report() const { return report_; }
+
+ private:
+  struct Allocation {
+    uintptr_t start = 0;
+    uint64_t bytes = 0;
+    std::string label;
+    /// One shadow cell per 4 bytes (see simcheck.cc for the bit layout).
+    std::unique_ptr<std::atomic<uint64_t>[]> shadow;
+  };
+
+  /// The live allocation containing `addr`, or nullptr.
+  Allocation* FindAllocation(uintptr_t addr);
+  void Record(CheckViolation violation);
+
+  std::map<uintptr_t, Allocation> allocations_;
+  uint32_t epoch_ = 0;
+  std::string kernel_;  ///< Label of the launch in flight.
+
+  std::mutex mu_;  ///< Guards report_ mutation from worker threads.
+  CheckReport report_;
+};
+
+/// The counters handle of a *checked* block. Device::Launch compiles every
+/// kernel twice — against BlockCtxT<false>, whose counters() is a plain
+/// PerfCounters (the accessors compile to exactly the unchecked code: zero
+/// instructions of checking overhead), and against BlockCtxT<true>, whose
+/// counters() is this type, which routes every accessor through the
+/// SimChecker — and picks the instantiation when the launch starts. That is
+/// compute-sanitizer's own model: instrumented code exists only under the
+/// tool, native code pays nothing.
+///
+/// Caveat: a helper that takes an explicit `PerfCounters&` parameter binds
+/// the base class and silently opts its accesses out of checking. Kernel
+/// code should thread counters as `auto&` so the checked type survives the
+/// call chain.
+struct CheckedPerfCounters : PerfCounters {
+  SimChecker* checker = nullptr;
+  CheckedBlockCtx* block = nullptr;
+};
+
+/// Access hooks called by the checked accessor overloads in atomics.h.
+/// Return false when the access must be contained (skip the load/store and
+/// return T{}).
+inline bool CheckGlobalOp(const CheckedPerfCounters& counters,
+                          const void* addr, uint64_t bytes,
+                          CheckAccess access) {
+  return counters.checker->CheckGlobalAccess(*counters.block, addr, bytes,
+                                             access);
+}
+
+inline bool CheckSharedOp(const CheckedPerfCounters& counters,
+                          const void* addr, uint64_t bytes,
+                          CheckAccess access) {
+  return counters.checker->CheckSharedAccess(*counters.block, addr, bytes,
+                                             access);
+}
+
+}  // namespace kcore::sim
+
+#endif  // KCORE_CUSIM_SIMCHECK_H_

@@ -54,46 +54,4 @@ uint32_t BallotExclusiveScan(WarpCtx& warp, const uint32_t flags[kWarpSize],
   return WarpCtx::Popc(bits);
 }
 
-uint32_t BlockExclusiveScan(BlockCtx& block, const uint32_t* flags,
-                            uint32_t* exclusive) {
-  const uint32_t num_warps = block.num_warps();
-  KCORE_CHECK_LE(num_warps, kWarpSize);
-  PerfCounters& counters = block.counters();
-
-  // Stage 1: per-warp inclusive HS scan into `exclusive` (temporarily
-  // holding inclusive values).
-  uint32_t warp_sums[kWarpSize] = {0};
-  block.ForEachWarp([&](WarpCtx& warp) {
-    uint32_t local[kWarpSize];
-    const uint32_t base = warp.warp_id() * kWarpSize;
-    for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
-      local[lane] = flags[base + lane];
-    }
-    HillisSteeleInclusiveScan(local, counters);
-    for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
-      exclusive[base + lane] = local[lane];
-    }
-    warp_sums[warp.warp_id()] = local[kWarpSize - 1];
-  });
-  block.Sync();  // Stage 2 barrier: warp sums visible to Warp 0.
-
-  // Stage 3: Warp 0 HS-scans the warp sums (not 0/1, so ballot scan cannot
-  // be used here — paper Fig. 9 note).
-  HillisSteeleInclusiveScan(warp_sums, counters);
-  block.Sync();  // Stage 4 barrier: per-warp global offsets visible.
-
-  // Stage 4: add each warp's global offset; convert inclusive -> exclusive.
-  block.ForEachWarp([&](WarpCtx& warp) {
-    const uint32_t w = warp.warp_id();
-    const uint32_t base = w * kWarpSize;
-    const uint32_t warp_offset = w == 0 ? 0 : warp_sums[w - 1];
-    warp.ForEachLane([&](uint32_t lane) {
-      const uint32_t inclusive = exclusive[base + lane] + warp_offset;
-      exclusive[base + lane] = inclusive - flags[base + lane];
-    });
-  });
-  block.Sync();
-  return warp_sums[num_warps - 1];
-}
-
 }  // namespace kcore::sim

@@ -25,24 +25,31 @@ StatusOr<DecomposeResult> RunGSwitchKCore(const CsrGraph& graph,
 
   // Framework runtime context (autotuner state, pattern tables); ~100 MB on
   // the real system, scaled 1/400.
-  KCORE_ASSIGN_OR_RETURN(auto d_runtime, device.Alloc<uint8_t>(1200u << 10));
+  KCORE_ASSIGN_OR_RETURN(auto d_runtime,
+                         device.Alloc<uint8_t>(1200u << 10, "gs_runtime"));
   (void)d_runtime;
-  KCORE_ASSIGN_OR_RETURN(auto d_offsets,
-                         device.Alloc<EdgeIndex>(graph.offsets().size()));
-  KCORE_ASSIGN_OR_RETURN(auto d_neighbors,
-                         device.Alloc<VertexId>(std::max<EdgeIndex>(1, m)));
-  KCORE_ASSIGN_OR_RETURN(auto d_deg,
-                         device.Alloc<uint32_t>(std::max<VertexId>(1, n)));
-  KCORE_ASSIGN_OR_RETURN(auto d_alive,
-                         device.Alloc<uint8_t>(std::max<VertexId>(1, n)));
-  KCORE_ASSIGN_OR_RETURN(auto d_front_a,
-                         device.Alloc<VertexId>(std::max<VertexId>(1, n)));
-  KCORE_ASSIGN_OR_RETURN(auto d_front_b,
-                         device.Alloc<VertexId>(std::max<VertexId>(1, n)));
+  KCORE_ASSIGN_OR_RETURN(
+      auto d_offsets,
+      device.Alloc<EdgeIndex>(graph.offsets().size(), "gs_offsets"));
+  KCORE_ASSIGN_OR_RETURN(
+      auto d_neighbors,
+      device.Alloc<VertexId>(std::max<EdgeIndex>(1, m), "gs_neighbors"));
+  KCORE_ASSIGN_OR_RETURN(
+      auto d_deg, device.Alloc<uint32_t>(std::max<VertexId>(1, n), "gs_deg"));
+  KCORE_ASSIGN_OR_RETURN(
+      auto d_alive,
+      device.Alloc<uint8_t>(std::max<VertexId>(1, n), "gs_alive"));
+  KCORE_ASSIGN_OR_RETURN(
+      auto d_front_a,
+      device.Alloc<VertexId>(std::max<VertexId>(1, n), "gs_front_a"));
+  KCORE_ASSIGN_OR_RETURN(
+      auto d_front_b,
+      device.Alloc<VertexId>(std::max<VertexId>(1, n), "gs_front_b"));
   // One |E|-scale auxiliary (per-edge message staging), the allocation that
   // eventually OOMs GSWITCH on the two largest Table III graphs.
-  KCORE_ASSIGN_OR_RETURN(auto d_edge_aux,
-                         device.Alloc<uint32_t>(std::max<EdgeIndex>(1, m)));
+  KCORE_ASSIGN_OR_RETURN(
+      auto d_edge_aux,
+      device.Alloc<uint32_t>(std::max<EdgeIndex>(1, m), "gs_edge_aux"));
   (void)d_edge_aux;
 
   d_offsets.CopyFromHost(graph.offsets());
@@ -178,6 +185,7 @@ StatusOr<DecomposeResult> RunGSwitchKCore(const CsrGraph& graph,
   result.metrics.wall_ms = timer.ElapsedMillis();
   result.metrics.modeled_ms = clock.ms();
   result.metrics.peak_device_bytes = device.peak_bytes();
+  KCORE_RETURN_IF_ERROR(device.CheckStatus());
   return result;
 }
 

@@ -24,25 +24,32 @@ StatusOr<DecomposeResult> RunGunrockKCore(const CsrGraph& graph,
 
   // Framework runtime context (operator configs, frontier manager), graph
   // size independent; ~250 MB on the real system (scaled).
-  KCORE_ASSIGN_OR_RETURN(auto d_runtime, device.Alloc<uint8_t>(1600u << 10));
+  KCORE_ASSIGN_OR_RETURN(auto d_runtime,
+                         device.Alloc<uint8_t>(1600u << 10, "gr_runtime"));
   (void)d_runtime;
   // Device state: graph + degrees + alive flags + double-buffered frontiers.
   // Gunrock sizes its frontier/candidate queues for the worst case (|E|):
   // three |E|-scale buffers, the memory profile behind its Table V column.
-  KCORE_ASSIGN_OR_RETURN(auto d_offsets,
-                         device.Alloc<EdgeIndex>(graph.offsets().size()));
-  KCORE_ASSIGN_OR_RETURN(auto d_neighbors,
-                         device.Alloc<VertexId>(std::max<EdgeIndex>(1, m)));
-  KCORE_ASSIGN_OR_RETURN(auto d_deg,
-                         device.Alloc<uint32_t>(std::max<VertexId>(1, n)));
-  KCORE_ASSIGN_OR_RETURN(auto d_alive,
-                         device.Alloc<uint8_t>(std::max<VertexId>(1, n)));
-  KCORE_ASSIGN_OR_RETURN(auto d_frontier,
-                         device.Alloc<VertexId>(std::max<EdgeIndex>(1, m)));
-  KCORE_ASSIGN_OR_RETURN(auto d_candidates,
-                         device.Alloc<VertexId>(std::max<EdgeIndex>(1, m)));
-  KCORE_ASSIGN_OR_RETURN(auto d_scratch,
-                         device.Alloc<VertexId>(std::max<EdgeIndex>(1, m)));
+  KCORE_ASSIGN_OR_RETURN(
+      auto d_offsets,
+      device.Alloc<EdgeIndex>(graph.offsets().size(), "gr_offsets"));
+  KCORE_ASSIGN_OR_RETURN(
+      auto d_neighbors,
+      device.Alloc<VertexId>(std::max<EdgeIndex>(1, m), "gr_neighbors"));
+  KCORE_ASSIGN_OR_RETURN(
+      auto d_deg, device.Alloc<uint32_t>(std::max<VertexId>(1, n), "gr_deg"));
+  KCORE_ASSIGN_OR_RETURN(
+      auto d_alive,
+      device.Alloc<uint8_t>(std::max<VertexId>(1, n), "gr_alive"));
+  KCORE_ASSIGN_OR_RETURN(
+      auto d_frontier,
+      device.Alloc<VertexId>(std::max<EdgeIndex>(1, m), "gr_frontier"));
+  KCORE_ASSIGN_OR_RETURN(
+      auto d_candidates,
+      device.Alloc<VertexId>(std::max<EdgeIndex>(1, m), "gr_candidates"));
+  KCORE_ASSIGN_OR_RETURN(
+      auto d_scratch,
+      device.Alloc<VertexId>(std::max<EdgeIndex>(1, m), "gr_scratch"));
   (void)d_candidates;
   (void)d_scratch;
 
@@ -162,6 +169,7 @@ StatusOr<DecomposeResult> RunGunrockKCore(const CsrGraph& graph,
   result.metrics.wall_ms = timer.ElapsedMillis();
   result.metrics.modeled_ms = clock.ms();
   result.metrics.peak_device_bytes = device.peak_bytes();
+  KCORE_RETURN_IF_ERROR(device.CheckStatus());
   return result;
 }
 

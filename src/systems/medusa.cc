@@ -98,6 +98,7 @@ StatusOr<DecomposeResult> RunMedusaMpm(const CsrGraph& graph,
   engine.FillMetrics(result.metrics);
   result.metrics.rounds = engine.supersteps();
   result.metrics.wall_ms = timer.ElapsedMillis();
+  KCORE_RETURN_IF_ERROR(engine.device().CheckStatus());
   return result;
 }
 
@@ -136,6 +137,7 @@ StatusOr<DecomposeResult> RunMedusaPeel(const CsrGraph& graph,
   engine.FillMetrics(result.metrics);
   result.metrics.rounds = rounds;
   result.metrics.wall_ms = timer.ElapsedMillis();
+  KCORE_RETURN_IF_ERROR(engine.device().CheckStatus());
   return result;
 }
 

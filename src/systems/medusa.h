@@ -106,17 +106,23 @@ Status MedusaEngine<Program>::Init() {
 
   // Framework runtime context (EMV tables, kernel configurations),
   // independent of graph size; ~300 MB on the real system (scaled).
-  KCORE_ASSIGN_OR_RETURN(d_runtime_, device_.Alloc<uint8_t>(2000u << 10));
-  KCORE_ASSIGN_OR_RETURN(d_offsets_,
-                         device_.Alloc<EdgeIndex>(graph_.offsets().size()));
-  KCORE_ASSIGN_OR_RETURN(d_neighbors_,
-                         device_.Alloc<VertexId>(std::max<EdgeIndex>(1, m)));
-  KCORE_ASSIGN_OR_RETURN(values_,
-                         device_.Alloc<uint32_t>(std::max<VertexId>(1, n)));
-  KCORE_ASSIGN_OR_RETURN(messages_,
-                         device_.Alloc<uint32_t>(std::max<EdgeIndex>(1, m)));
-  KCORE_ASSIGN_OR_RETURN(reverse_edge_,
-                         device_.Alloc<uint64_t>(std::max<EdgeIndex>(1, m)));
+  KCORE_ASSIGN_OR_RETURN(d_runtime_,
+                         device_.Alloc<uint8_t>(2000u << 10, "md_runtime"));
+  KCORE_ASSIGN_OR_RETURN(
+      d_offsets_,
+      device_.Alloc<EdgeIndex>(graph_.offsets().size(), "md_offsets"));
+  KCORE_ASSIGN_OR_RETURN(
+      d_neighbors_,
+      device_.Alloc<VertexId>(std::max<EdgeIndex>(1, m), "md_neighbors"));
+  KCORE_ASSIGN_OR_RETURN(
+      values_,
+      device_.Alloc<uint32_t>(std::max<VertexId>(1, n), "md_values"));
+  KCORE_ASSIGN_OR_RETURN(
+      messages_,
+      device_.Alloc<uint32_t>(std::max<EdgeIndex>(1, m), "md_messages"));
+  KCORE_ASSIGN_OR_RETURN(
+      reverse_edge_,
+      device_.Alloc<uint64_t>(std::max<EdgeIndex>(1, m), "md_reverse_edge"));
   d_offsets_.CopyFromHost(graph_.offsets());
   d_neighbors_.CopyFromHost(graph_.neighbors());
 

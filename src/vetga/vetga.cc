@@ -60,28 +60,36 @@ StatusOr<DecomposeResult> RunVetga(const CsrGraph& graph,
 
   // PyTorch + CUDA context (allocator pools, cuBLAS handles), graph size
   // independent; ~500 MB on the real system, scaled 1/400.
-  KCORE_ASSIGN_OR_RETURN(auto t_runtime, device.Alloc<uint8_t>(4000u << 10));
+  KCORE_ASSIGN_OR_RETURN(auto t_runtime,
+                         device.Alloc<uint8_t>(4000u << 10, "vt_runtime"));
   (void)t_runtime;
   // Tensors. PyTorch stores indices as int64; the CSR doubles in size.
-  KCORE_ASSIGN_OR_RETURN(auto t_offsets,
-                         device.Alloc<int64_t>(graph.offsets().size()));
-  KCORE_ASSIGN_OR_RETURN(auto t_neighbors,
-                         device.Alloc<int64_t>(std::max<EdgeIndex>(1, m)));
-  KCORE_ASSIGN_OR_RETURN(auto t_deg,
-                         device.Alloc<uint32_t>(std::max<VertexId>(1, n)));
-  KCORE_ASSIGN_OR_RETURN(auto t_alive,
-                         device.Alloc<uint8_t>(std::max<VertexId>(1, n)));
-  KCORE_ASSIGN_OR_RETURN(auto t_core,
-                         device.Alloc<uint32_t>(std::max<VertexId>(1, n)));
-  KCORE_ASSIGN_OR_RETURN(auto t_mask,
-                         device.Alloc<uint8_t>(std::max<VertexId>(1, n)));
-  KCORE_ASSIGN_OR_RETURN(auto t_frontier,
-                         device.Alloc<int64_t>(std::max<VertexId>(1, n)));
-  KCORE_ASSIGN_OR_RETURN(auto t_counts,
-                         device.Alloc<uint32_t>(std::max<VertexId>(1, n)));
+  KCORE_ASSIGN_OR_RETURN(
+      auto t_offsets,
+      device.Alloc<int64_t>(graph.offsets().size(), "vt_offsets"));
+  KCORE_ASSIGN_OR_RETURN(
+      auto t_neighbors,
+      device.Alloc<int64_t>(std::max<EdgeIndex>(1, m), "vt_neighbors"));
+  KCORE_ASSIGN_OR_RETURN(
+      auto t_deg, device.Alloc<uint32_t>(std::max<VertexId>(1, n), "vt_deg"));
+  KCORE_ASSIGN_OR_RETURN(
+      auto t_alive,
+      device.Alloc<uint8_t>(std::max<VertexId>(1, n), "vt_alive"));
+  KCORE_ASSIGN_OR_RETURN(
+      auto t_core,
+      device.Alloc<uint32_t>(std::max<VertexId>(1, n), "vt_core"));
+  KCORE_ASSIGN_OR_RETURN(
+      auto t_mask, device.Alloc<uint8_t>(std::max<VertexId>(1, n), "vt_mask"));
+  KCORE_ASSIGN_OR_RETURN(
+      auto t_frontier,
+      device.Alloc<int64_t>(std::max<VertexId>(1, n), "vt_frontier"));
+  KCORE_ASSIGN_OR_RETURN(
+      auto t_counts,
+      device.Alloc<uint32_t>(std::max<VertexId>(1, n), "vt_counts"));
   // Flattened gather output sized for the worst case (all edges at once).
-  KCORE_ASSIGN_OR_RETURN(auto t_flat,
-                         device.Alloc<int64_t>(std::max<EdgeIndex>(1, m)));
+  KCORE_ASSIGN_OR_RETURN(
+      auto t_flat,
+      device.Alloc<int64_t>(std::max<EdgeIndex>(1, m), "vt_flat"));
 
   for (size_t i = 0; i < graph.offsets().size(); ++i) {
     t_offsets.data()[i] = static_cast<int64_t>(graph.offsets()[i]);
@@ -187,6 +195,7 @@ StatusOr<DecomposeResult> RunVetga(const CsrGraph& graph,
   result.metrics.wall_ms = timer.ElapsedMillis();
   result.metrics.modeled_ms = clock.ms();
   result.metrics.peak_device_bytes = device.peak_bytes();
+  KCORE_RETURN_IF_ERROR(device.CheckStatus());
   return result;
 }
 

@@ -48,6 +48,23 @@ TEST_P(GpuPeelVariantTest, MatchesOracleOnFullSuite) {
   }
 }
 
+TEST_P(GpuPeelVariantTest, SimcheckCleanOnFullSuite) {
+  // With the sanitizer watching every instrumented access, all nine kernel
+  // variants must produce a clean report on the whole roster: the stale-read
+  // pattern of Alg. 3 is legal under the race model, and everything else
+  // (bounds, initialization, barriers) is simply correct.
+  sim::DeviceOptions device = SmallDevice();
+  device.check_mode = true;
+  for (const NamedGraph& g : FullSuite()) {
+    const std::vector<uint32_t> oracle = RunNaiveReference(g.graph).core;
+    auto result = RunGpuPeel(g.graph, SmallGeometry(GetParam()), device);
+    ASSERT_TRUE(result.ok()) << g.name << " variant="
+                             << GetParam().VariantName() << ": "
+                             << result.status().ToString();
+    EXPECT_EQ(result->core, oracle) << g.name;
+  }
+}
+
 TEST_P(GpuPeelVariantTest, PaperGeometryOnOneGraph) {
   // Full 108x1024 geometry once per variant (slower, so just one graph).
   const auto g = testing::RandomSuite()[0].graph;

@@ -30,6 +30,20 @@ TEST_P(MultiGpuWorkerCountTest, MatchesOracleOnFullSuite) {
 INSTANTIATE_TEST_SUITE_P(WorkerCounts, MultiGpuWorkerCountTest,
                          ::testing::Values(1u, 2u, 3u, 7u));
 
+TEST(MultiGpuTest, SimcheckCleanOnFullSuite) {
+  // The workers peel through raw host pointers, so simcheck's coverage here
+  // is allocation lifetimes + host copies (see DESIGN.md); the run must
+  // still come back clean and correct.
+  MultiGpuOptions options;
+  options.worker_device.check_mode = true;
+  for (const NamedGraph& g : FullSuite()) {
+    const std::vector<uint32_t> oracle = RunNaiveReference(g.graph).core;
+    auto result = RunMultiGpuPeel(g.graph, options);
+    ASSERT_TRUE(result.ok()) << g.name << ": " << result.status().ToString();
+    EXPECT_EQ(result->core, oracle) << g.name;
+  }
+}
+
 TEST(MultiGpuTest, ZeroWorkersRejected) {
   MultiGpuOptions options;
   options.num_workers = 0;

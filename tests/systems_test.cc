@@ -22,6 +22,21 @@ SystemConfig SmallSystem() {
 
 // ----------------------------------------------------------- Correctness ---
 
+TEST(SystemsTest, SimcheckCleanOnAllBaselines) {
+  // The baselines run host-orchestrated (no Launch), so simcheck observes
+  // allocation lifetimes + host copies; clean reports assert no leak and no
+  // uninitialized readback on every roster graph.
+  SystemConfig config = SmallSystem();
+  config.device.check_mode = true;
+  for (const NamedGraph& g : FullSuite()) {
+    ASSERT_TRUE(RunMedusaMpm(g.graph, config).ok()) << g.name;
+    ASSERT_TRUE(RunMedusaPeel(g.graph, config).ok()) << g.name;
+    ASSERT_TRUE(RunGunrockKCore(g.graph, config).ok()) << g.name;
+    ASSERT_TRUE(RunGSwitchKCore(g.graph, g.graph.MaxDegree() + 1, config).ok())
+        << g.name;
+  }
+}
+
 TEST(MedusaMpmTest, MatchesOracleOnFullSuite) {
   for (const NamedGraph& g : FullSuite()) {
     const std::vector<uint32_t> oracle = RunNaiveReference(g.graph).core;

@@ -22,6 +22,17 @@ TEST(VetgaTest, MatchesOracleOnFullSuite) {
   }
 }
 
+TEST(VetgaTest, SimcheckCleanOnFullSuite) {
+  VetgaConfig config;
+  config.device.check_mode = true;
+  for (const NamedGraph& g : FullSuite()) {
+    const std::vector<uint32_t> oracle = RunNaiveReference(g.graph).core;
+    auto result = RunVetga(g.graph, config);
+    ASSERT_TRUE(result.ok()) << g.name << ": " << result.status().ToString();
+    EXPECT_EQ(result->core, oracle) << g.name;
+  }
+}
+
 TEST(VetgaTest, EmptyGraph) {
   auto result = RunVetga(CsrGraph());
   ASSERT_TRUE(result.ok());

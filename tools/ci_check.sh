@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# CI gate: build release + asan and run the tier-1 suite on both.
+#
+#   tools/ci_check.sh            release + asan
+#   tools/ci_check.sh --tsan     additionally run the tsan preset
+#
+# The asan leg runs the tier-1 tests twice: once plain and once with
+# KCORE_SIMCHECK=1, so the simulated-device sanitizer and the host sanitizer
+# watch the same kernels simultaneously (simcheck's containment is what
+# keeps the deliberately-broken detector tests ASan-clean).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) run_tsan=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "=== release: configure + build ==="
+cmake --preset release
+cmake --build --preset release -j "$(nproc)"
+echo "=== release: tier-1 ==="
+ctest --preset tier1
+echo "=== release: tier-1 (KCORE_SIMCHECK=1) ==="
+KCORE_SIMCHECK=1 ctest --preset tier1
+
+echo "=== asan: configure + build ==="
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+echo "=== asan: tier-1 ==="
+ctest --preset tier1-asan
+echo "=== asan: tier-1 (KCORE_SIMCHECK=1) ==="
+KCORE_SIMCHECK=1 ctest --preset tier1-asan
+
+if [[ "$run_tsan" == "1" ]]; then
+  echo "=== tsan: configure + build ==="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$(nproc)"
+  echo "=== tsan: tier-1 ==="
+  ctest --preset tier1-tsan
+fi
+
+echo "ci_check: all gates passed"

@@ -8,6 +8,11 @@
 //
 // Engines: gpu (default), bz, pkc, pkc-o, park, mpm, vetga, multigpu.
 // Edge lists are SNAP-style text; IDs are recoded densely.
+//
+// --simcheck (decompose, GPU engines only): runs the engine with the
+// simulated-device sanitizer enabled (memcheck/initcheck/racecheck/
+// synccheck, see src/cusim/simcheck.h); a detected violation fails the run
+// with a report and a nonzero exit.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -35,7 +40,7 @@ int Usage() {
                "usage: kcore_cli <stats|decompose|shells|hierarchy|extract> "
                "<edge_list> [args]\n"
                "  decompose <edge_list> [gpu|bz|pkc|pkc-o|park|mpm|vetga|"
-               "multigpu]\n"
+               "multigpu] [--simcheck]\n"
                "  extract   <edge_list> <k> <output_edge_list>\n");
   return 2;
 }
@@ -46,8 +51,17 @@ StatusOr<BuiltGraph> Load(const char* path) {
 }
 
 StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
-                                    const std::string& engine) {
-  if (engine == "gpu") return RunGpuPeel(graph);
+                                    const std::string& engine, bool simcheck) {
+  if (simcheck && engine != "gpu" && engine != "vetga" &&
+      engine != "multigpu") {
+    return Status::InvalidArgument(
+        "--simcheck only applies to the GPU engines (gpu, vetga, multigpu)");
+  }
+  if (engine == "gpu") {
+    sim::DeviceOptions device_options;
+    device_options.check_mode = simcheck;
+    return RunGpuPeel(graph, {}, device_options);
+  }
   if (engine == "bz") return RunBz(graph);
   if (engine == "pkc") return RunPkc(graph);
   if (engine == "pkc-o") {
@@ -57,8 +71,16 @@ StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
   }
   if (engine == "park") return RunParK(graph);
   if (engine == "mpm") return RunMpm(graph);
-  if (engine == "vetga") return RunVetga(graph);
-  if (engine == "multigpu") return RunMultiGpuPeel(graph);
+  if (engine == "vetga") {
+    VetgaConfig config;
+    config.device.check_mode = simcheck;
+    return RunVetga(graph, config);
+  }
+  if (engine == "multigpu") {
+    MultiGpuOptions options;
+    options.worker_device.check_mode = simcheck;
+    return RunMultiGpuPeel(graph, options);
+  }
   return Status::InvalidArgument("unknown engine: " + engine);
 }
 
@@ -73,8 +95,9 @@ int CmdStats(const CsrGraph& graph) {
   return 0;
 }
 
-int CmdDecompose(const CsrGraph& graph, const std::string& engine) {
-  auto result = Decompose(graph, engine);
+int CmdDecompose(const CsrGraph& graph, const std::string& engine,
+                 bool simcheck) {
+  auto result = Decompose(graph, engine, simcheck);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
@@ -84,6 +107,7 @@ int CmdDecompose(const CsrGraph& graph, const std::string& engine) {
               engine.c_str(), result->MaxCore(), result->metrics.rounds,
               result->metrics.modeled_ms, result->metrics.wall_ms,
               HumanBytes(result->metrics.peak_device_bytes).c_str());
+  if (simcheck) std::printf("simcheck     clean\n");
   return 0;
 }
 
@@ -147,6 +171,18 @@ int CmdExtract(const BuiltGraph& built, uint32_t k, const char* out_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Extract the --simcheck flag wherever it appears.
+  bool simcheck = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--simcheck") == 0) {
+      simcheck = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
   if (argc < 3) return Usage();
   const std::string command = argv[1];
 
@@ -158,7 +194,7 @@ int main(int argc, char** argv) {
 
   if (command == "stats") return CmdStats(built->graph);
   if (command == "decompose") {
-    return CmdDecompose(built->graph, argc > 3 ? argv[3] : "gpu");
+    return CmdDecompose(built->graph, argc > 3 ? argv[3] : "gpu", simcheck);
   }
   if (command == "shells") return CmdShells(built->graph);
   if (command == "hierarchy") return CmdHierarchy(built->graph);
