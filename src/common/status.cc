@@ -24,6 +24,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeviceLost:
+      return "DeviceLost";
   }
   return "Unknown";
 }

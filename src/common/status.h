@@ -20,6 +20,12 @@ enum class StatusCode : uint8_t {
   kCorruption = 7,  ///< A persisted graph file failed validation.
   kInternal = 8,
   kTimeout = 9,  ///< Modeled time exceeded the benchmark budget (">1hr").
+  /// A device operation failed transiently (injected launch/copy fault, the
+  /// cudaErrorLaunchFailure analogue); retrying the operation may succeed.
+  kUnavailable = 10,
+  /// The device is gone for good (cudaErrorDeviceUnavailable analogue):
+  /// every further operation on it fails with this code.
+  kDeviceLost = 11,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -71,6 +77,12 @@ class [[nodiscard]] Status {
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeviceLost(std::string msg) {
+    return Status(StatusCode::kDeviceLost, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -91,6 +103,8 @@ class [[nodiscard]] Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeviceLost() const { return code_ == StatusCode::kDeviceLost; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -1,11 +1,16 @@
 #include "core/gpu_peel.h"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/strings.h"
 #include "common/timer.h"
+#include "core/resilience.h"
+#include "cpu/pkc.h"
 #include "cusim/atomics.h"
 #include "cusim/warp_scan.h"
 
@@ -490,10 +495,42 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
   const VertexId n = graph.NumVertices();
   device_->ResetClock();
 
+  // Resilience engages only when the device carries a fault plan; a plain
+  // device runs the fast path below with zero recovery overhead.
+  const bool resilient =
+      opt.resilience.enabled && device_->fault_injection_enabled();
+
   const uint64_t capacity =
       opt.buffer_capacity != 0
           ? opt.buffer_capacity
           : std::max<uint64_t>(4096, static_cast<uint64_t>(n) / 4);
+
+  DecomposeResult result;
+
+  // Bounded retry for transient (Unavailable) device failures. A failed
+  // launch/copy is fail-stop — no side effects — so re-issuing the same
+  // operation is always safe.
+  const auto with_retry = [&](auto&& op) -> Status {
+    Status st = op();
+    if (!resilient) return st;
+    for (uint32_t attempt = 0;
+         st.IsUnavailable() && attempt < opt.resilience.max_op_retries;
+         ++attempt) {
+      ++result.metrics.retries;
+      if (opt.resilience.backoff_base_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            static_cast<uint64_t>(opt.resilience.backoff_base_ms) << attempt));
+      }
+      st = op();
+    }
+    return st;
+  };
+
+  // The round-boundary checkpoint: the verified degree array (which doubles
+  // as the initial host->device upload), the cumulative removed count, and
+  // implicitly the current k. Also the hand-off state for the CPU fallback.
+  std::vector<uint32_t> ckpt_deg = graph.DegreeArray();
+  uint64_t ckpt_count = 0;
 
   // Algorithm 1 Line 1: move the graph (offset/neighbors/deg) to the device.
   // The CSR arrays and the block buffers are fully overwritten before any
@@ -501,47 +538,95 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
   // fetched; buf_e is written by every scan before the loop reads it), so
   // they use the uninitialized-alloc path and skip the O(bytes) zeroing
   // memset — only the accumulators (count, overflow) need zeroed memory.
-  KCORE_ASSIGN_OR_RETURN(auto d_offsets,
-                         device_->AllocUninit<EdgeIndex>(
-                             graph.offsets().size(), "offsets"));
-  KCORE_ASSIGN_OR_RETURN(
-      auto d_neighbors,
-      device_->AllocUninit<VertexId>(
-          std::max<size_t>(1, graph.neighbors().size()), "neighbors"));
-  KCORE_ASSIGN_OR_RETURN(
-      auto d_deg,
-      device_->AllocUninit<uint32_t>(std::max<VertexId>(1, n), "deg"));
-  KCORE_ASSIGN_OR_RETURN(
-      auto d_buf,
-      device_->AllocUninit<VertexId>(
-          static_cast<uint64_t>(opt.num_blocks) * capacity, "buf"));
-  KCORE_ASSIGN_OR_RETURN(
-      auto d_buf_e, device_->AllocUninit<uint64_t>(opt.num_blocks, "buf_e"));
-  KCORE_ASSIGN_OR_RETURN(auto d_count, device_->Alloc<uint64_t>(1, "count"));
-  KCORE_ASSIGN_OR_RETURN(auto d_overflow,
-                         device_->Alloc<uint32_t>(1, "overflow"));
-
+  sim::DeviceArray<EdgeIndex> d_offsets;
+  sim::DeviceArray<VertexId> d_neighbors;
+  sim::DeviceArray<uint32_t> d_deg;
+  sim::DeviceArray<VertexId> d_buf;
+  sim::DeviceArray<uint64_t> d_buf_e;
+  sim::DeviceArray<uint64_t> d_count;
+  sim::DeviceArray<uint32_t> d_overflow;
   // AC ping-pong arrays: compaction reads the previous active list (or the
   // implicit [0, n) identity) and writes the other array.
   sim::DeviceArray<VertexId> d_active_a;
   sim::DeviceArray<VertexId> d_active_b;
   sim::DeviceArray<uint64_t> d_active_count;
-  if (opt.active_compaction) {
-    KCORE_ASSIGN_OR_RETURN(
-        d_active_a, device_->AllocUninit<VertexId>(std::max<VertexId>(1, n),
-                                                   "active_a"));
-    KCORE_ASSIGN_OR_RETURN(
-        d_active_b, device_->AllocUninit<VertexId>(std::max<VertexId>(1, n),
-                                                   "active_b"));
-    KCORE_ASSIGN_OR_RETURN(d_active_count,
-                           device_->Alloc<uint64_t>(1, "active_count"));
-  }
 
-  d_offsets.CopyFromHost(graph.offsets());
-  d_neighbors.CopyFromHost(graph.neighbors());
-  {
-    const std::vector<uint32_t> deg = graph.DegreeArray();
-    d_deg.CopyFromHost(deg);
+  const auto setup = [&]() -> Status {
+    KCORE_ASSIGN_OR_RETURN(d_offsets, device_->AllocUninit<EdgeIndex>(
+                                          graph.offsets().size(), "offsets"));
+    KCORE_ASSIGN_OR_RETURN(
+        d_neighbors,
+        device_->AllocUninit<VertexId>(
+            std::max<size_t>(1, graph.neighbors().size()), "neighbors"));
+    KCORE_ASSIGN_OR_RETURN(
+        d_deg,
+        device_->AllocUninit<uint32_t>(std::max<VertexId>(1, n), "deg"));
+    KCORE_ASSIGN_OR_RETURN(
+        d_buf,
+        device_->AllocUninit<VertexId>(
+            static_cast<uint64_t>(opt.num_blocks) * capacity, "buf"));
+    KCORE_ASSIGN_OR_RETURN(
+        d_buf_e, device_->AllocUninit<uint64_t>(opt.num_blocks, "buf_e"));
+    KCORE_ASSIGN_OR_RETURN(d_count, device_->Alloc<uint64_t>(1, "count"));
+    KCORE_ASSIGN_OR_RETURN(d_overflow, device_->Alloc<uint32_t>(1, "overflow"));
+    if (opt.active_compaction) {
+      KCORE_ASSIGN_OR_RETURN(
+          d_active_a, device_->AllocUninit<VertexId>(std::max<VertexId>(1, n),
+                                                     "active_a"));
+      KCORE_ASSIGN_OR_RETURN(
+          d_active_b, device_->AllocUninit<VertexId>(std::max<VertexId>(1, n),
+                                                     "active_b"));
+      KCORE_ASSIGN_OR_RETURN(d_active_count,
+                             device_->Alloc<uint64_t>(1, "active_count"));
+    }
+    KCORE_RETURN_IF_ERROR(
+        with_retry([&] { return d_offsets.CopyFromHost(graph.offsets()); }));
+    KCORE_RETURN_IF_ERROR(with_retry(
+        [&] { return d_neighbors.CopyFromHost(graph.neighbors()); }));
+    KCORE_RETURN_IF_ERROR(with_retry([&] {
+      return d_deg.CopyFromHost(std::span<const uint32_t>(ckpt_deg));
+    }));
+    return Status::OK();
+  };
+
+  // Finishes the decomposition on CPU PKC from the last verified checkpoint
+  // (graceful degradation). The warm start consumes ckpt_deg; the combined
+  // core numbers equal what an undisturbed run would produce.
+  const auto cpu_finish = [&](const Status& cause,
+                              uint32_t start_k) -> DecomposeResult {
+    WallTimer recovery;
+    result.metrics.degraded = true;
+    if (cause.IsDeviceLost()) ++result.metrics.devices_lost;
+    DecomposeResult cpu = ResumePkc(graph, std::move(ckpt_deg), start_k);
+    result.core = std::move(cpu.core);
+    result.metrics.cpu_fallback_levels = cpu.metrics.rounds;
+    result.metrics.rounds += cpu.metrics.rounds;
+    result.metrics.counters = device_->totals();
+    result.metrics.counters += cpu.metrics.counters;
+    result.metrics.modeled_ms = device_->modeled_ms() + cpu.metrics.modeled_ms;
+    result.metrics.peak_device_bytes = device_->peak_bytes();
+    result.metrics.recovery_ms += recovery.ElapsedMillis();
+    result.metrics.wall_ms = timer.ElapsedMillis();
+    return result;
+  };
+
+  if (Status st = setup(); !st.ok()) {
+    // Device unusable before any peeling (e.g. injected cudaMalloc OOM):
+    // the checkpoint is still the initial degree array, so the fallback is
+    // a plain CPU decomposition.
+    if (resilient && opt.resilience.cpu_fallback &&
+        (st.IsOutOfMemory() || st.IsUnavailable() || st.IsDeviceLost())) {
+      return cpu_finish(st, /*start_k=*/0);
+    }
+    return st;
+  }
+  // Opt deg[] into injected bitflips: it is the one array the checkpoint
+  // protocol can validate and roll back. Topology stays ECC-protected (see
+  // fault_injection.h).
+  device_->MarkCorruptible(d_deg, "deg");
+  if (!resilient) {
+    ckpt_deg.clear();
+    ckpt_deg.shrink_to_fit();
   }
 
   KernelCtx ctx;
@@ -559,7 +644,6 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
   ctx.shared_capacity = opt.shared_buffer_capacity;
   ctx.append = opt.append;
 
-  DecomposeResult result;
   uint64_t count = 0;  // Algorithm 1 Line 2.
   uint32_t k = 0;
   const uint32_t k_limit = graph.MaxDegree() + 2;
@@ -578,7 +662,12 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
     phase_mark = now;
   };
 
-  while (count < n) {  // Line 5.
+  // One peeling round (Lines 5-9), ending — in resilient mode — with the
+  // post-round validation against the checkpoint. Fills `post_deg` with the
+  // validated state so a passing round can promote it to the new checkpoint
+  // without a second device read.
+  std::vector<uint32_t> post_deg;
+  const auto run_level = [&]() -> Status {
     if (opt.active_compaction) {
       // Rebuild the active array once the survivors have shrunk below the
       // threshold fraction of the current sweep domain (first time vs. n,
@@ -589,14 +678,19 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
       if (static_cast<double>(remaining) <
           opt.compaction_threshold * static_cast<double>(sweep_len)) {
         const uint64_t zero = 0;
-        d_active_count.CopyFromHost({&zero, 1});
+        KCORE_RETURN_IF_ERROR(with_retry(
+            [&] { return d_active_count.CopyFromHost({&zero, 1}); }));
         ctx.active_out = active_next;
         ctx.active_count = d_active_count.data();
-        device_->Launch(opt.num_blocks, opt.block_dim, "compact",
-                        [&](auto& block) { CompactKernel(ctx, k, block); });
+        KCORE_RETURN_IF_ERROR(with_retry([&] {
+          return device_->Launch(
+              opt.num_blocks, opt.block_dim, "compact",
+              [&](auto& block) { CompactKernel(ctx, k, block); });
+        }));
         charge(result.metrics.compact_ms);
         uint64_t active_size = 0;
-        d_active_count.CopyToHost({&active_size, 1});
+        KCORE_RETURN_IF_ERROR(with_retry(
+            [&] { return d_active_count.CopyToHost({&active_size, 1}); }));
         ctx.active = active_next;
         ctx.active_size = active_size;
         ctx.use_active = true;
@@ -604,37 +698,122 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
       }
     }
 
-    device_->Launch(opt.num_blocks, opt.block_dim, "scan",
-                    [&](auto& block) {
-                      ScanKernel(ctx, k, block);  // Line 6.
-                    });
+    KCORE_RETURN_IF_ERROR(with_retry([&] {
+      return device_->Launch(opt.num_blocks, opt.block_dim, "scan",
+                             [&](auto& block) {
+                               ScanKernel(ctx, k, block);  // Line 6.
+                             });
+    }));
     charge(result.metrics.scan_ms);
     const bool vp = opt.vertex_prefetching;
-    device_->Launch(opt.num_blocks, opt.block_dim, "loop",
-                    [&](auto& block) {
-                      LoopKernel(ctx, k, vp, block);  // Line 7.
-                    });
+    KCORE_RETURN_IF_ERROR(with_retry([&] {
+      return device_->Launch(opt.num_blocks, opt.block_dim, "loop",
+                             [&](auto& block) {
+                               LoopKernel(ctx, k, vp, block);  // Line 7.
+                             });
+    }));
     charge(result.metrics.loop_ms);
 
     uint32_t overflow = 0;
-    d_overflow.CopyToHost({&overflow, 1});
+    KCORE_RETURN_IF_ERROR(
+        with_retry([&] { return d_overflow.CopyToHost({&overflow, 1}); }));
     if (overflow != 0) {
       return Status::CapacityExceeded(StrFormat(
           "block buffer overflow in round k=%u (capacity %llu IDs%s)", k,
           static_cast<unsigned long long>(capacity),
           opt.ring_buffer ? ", ring" : ""));
     }
-    d_count.CopyToHost({&count, 1});  // Line 8.
-    ++k;                              // Line 9.
-    ++result.metrics.rounds;
-    if (k > k_limit) {
-      return Status::Internal("peeling failed to converge");
+    KCORE_RETURN_IF_ERROR(
+        with_retry([&] { return d_count.CopyToHost({&count, 1}); }));  // L8.
+    if (resilient) {
+      post_deg.resize(n);
+      KCORE_RETURN_IF_ERROR(with_retry(
+          [&] { return d_deg.CopyToHost(std::span<uint32_t>(post_deg)); }));
+      WallTimer validate;
+      std::string why;
+      const bool valid = ValidatePeelRound(graph, ckpt_deg, post_deg, k,
+                                           count, &why);
+      result.metrics.recovery_ms += validate.ElapsedMillis();
+      if (!valid) return Status::Corruption(why);
     }
+    return Status::OK();
+  };
+
+  // Restores the device to the last verified checkpoint after corruption
+  // (or corruption-suspect overflow): degree array, cumulative count, and
+  // overflow flag. The active-vertex array may have been built from
+  // corrupted degrees, so it is invalidated; the threshold logic rebuilds
+  // it from clean state on the next round.
+  const auto rollback = [&]() -> Status {
+    KCORE_RETURN_IF_ERROR(with_retry([&] {
+      return d_deg.CopyFromHost(std::span<const uint32_t>(ckpt_deg));
+    }));
+    KCORE_RETURN_IF_ERROR(
+        with_retry([&] { return d_count.CopyFromHost({&ckpt_count, 1}); }));
+    const uint32_t zero = 0;
+    KCORE_RETURN_IF_ERROR(
+        with_retry([&] { return d_overflow.CopyFromHost({&zero, 1}); }));
+    count = ckpt_count;
+    ctx.active = nullptr;
+    ctx.active_size = 0;
+    ctx.use_active = false;
+    return Status::OK();
+  };
+
+  uint32_t level_retries = 0;
+  while (count < n) {  // Line 5.
+    Status level = run_level();
+    if (level.ok()) {
+      if (resilient) {
+        // The validated post-round state becomes the new checkpoint.
+        std::swap(ckpt_deg, post_deg);
+        ckpt_count = count;
+        ++result.metrics.checkpoints_taken;
+      }
+      ++k;  // Line 9.
+      ++result.metrics.rounds;
+      level_retries = 0;
+      if (k > k_limit) return Status::Internal("peeling failed to converge");
+      continue;
+    }
+    if (!resilient) return level;
+
+    Status cause = level;
+    if (cause.IsCorruption() || cause.IsCapacityExceeded()) {
+      // Roll back and re-execute the round. An overflow is retried too:
+      // corrupted degrees can flood the buffers, and a genuine capacity
+      // problem reproduces deterministically from the restored state.
+      if (level_retries < opt.resilience.max_level_retries) {
+        WallTimer recovery;
+        ++level_retries;
+        ++result.metrics.levels_reexecuted;
+        Status restored = rollback();
+        result.metrics.recovery_ms += recovery.ElapsedMillis();
+        if (restored.ok()) continue;
+        cause = restored;  // the rollback itself hit a permanent fault
+      } else if (cause.IsCapacityExceeded()) {
+        // Reproduced from a verified checkpoint: a real configuration
+        // limit, not corruption — surface it.
+        return cause;
+      }
+    }
+    // Permanent failure (device lost, retry budgets exhausted): degrade to
+    // the CPU from the last verified checkpoint.
+    if (!opt.resilience.cpu_fallback) return cause;
+    DecomposeResult degraded = cpu_finish(cause, k);
+    KCORE_RETURN_IF_ERROR(device_->CheckStatus());
+    return degraded;
   }
 
   // Line 10: deg[] now holds the core numbers.
-  result.core.assign(n, 0);
-  d_deg.CopyToHost(result.core);
+  if (resilient) {
+    // Validated every round; the checkpoint IS the final state.
+    result.core = std::move(ckpt_deg);
+  } else {
+    result.core.assign(n, 0);
+    KCORE_RETURN_IF_ERROR(
+        d_deg.CopyToHost(std::span<uint32_t>(result.core)));
+  }
 
   result.metrics.wall_ms = timer.ElapsedMillis();
   result.metrics.modeled_ms = device_->modeled_ms();

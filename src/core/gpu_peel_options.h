@@ -19,6 +19,29 @@ enum class AppendStrategy {
   kEfficientCompact,
 };
 
+/// Fault-recovery policy of the resilient peel drivers. The machinery only
+/// engages when the device carries a fault plan (cusim/fault_injection.h);
+/// without one the drivers run the plain fast path — no checkpoints, no
+/// validation, no retry bookkeeping.
+struct ResilienceOptions {
+  /// Master switch; off = injected faults surface as plain Status errors.
+  bool enabled = true;
+  /// Retries per device operation for transient (Unavailable) launch/copy
+  /// failures before the failure is treated as permanent.
+  uint32_t max_op_retries = 3;
+  /// Rounds re-executed from the last checkpoint after corruption is caught
+  /// by post-round validation (or after a buffer overflow, which corruption
+  /// can also cause) before giving up on the device.
+  uint32_t max_level_retries = 2;
+  /// Exponential backoff between op retries: attempt i sleeps
+  /// backoff_base_ms * 2^i. 0 (the test default) never sleeps.
+  uint32_t backoff_base_ms = 0;
+  /// Finish on CPU PKC from the last checkpoint once the device is lost or
+  /// a budget is exhausted (Metrics.degraded = true); false = surface the
+  /// Status instead.
+  bool cpu_fallback = true;
+};
+
 /// Configuration of the GPU peeling decomposer and its ablation variants.
 struct GpuPeelOptions {
   /// Kernel grid geometry (paper §VI: BLK_NUM=108, BLK_DIM=1024).
@@ -60,6 +83,9 @@ struct GpuPeelOptions {
   /// Surviving fraction (remaining / active-array length) below which the
   /// active array is (re)built. 0.5 = compact at every halving.
   double compaction_threshold = 0.5;
+
+  /// Recovery policy under fault injection (inert without a fault plan).
+  ResilienceOptions resilience;
 
   /// Named ablation presets matching the columns of Table II.
   static GpuPeelOptions Ours() { return {}; }

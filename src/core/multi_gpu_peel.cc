@@ -4,10 +4,14 @@
 #include <atomic>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/strings.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/resilience.h"
+#include "cpu/pkc.h"
 #include "cusim/atomics.h"
 #include "perf/cost_model.h"
 #include "perf/modeled_clock.h"
@@ -35,6 +39,19 @@ struct Worker {
   std::vector<VertexId> active;
   bool use_active = false;
   uint64_t local_removed = 0;
+  /// Health: false once the worker's device is permanently lost. Its range
+  /// is then resharded onto an adjacent survivor.
+  bool alive = true;
+};
+
+/// The round-boundary checkpoint shared by every worker: the verified
+/// degree snapshot, the claim flags, and the cumulative removed count.
+/// Restoring it (plus rebuilding any resharded partitions from it) puts the
+/// whole fleet back at the start of round k.
+struct RoundCheckpoint {
+  std::vector<uint32_t> deg;
+  std::vector<uint8_t> claimed;
+  uint64_t removed = 0;
 };
 
 }  // namespace
@@ -56,33 +73,90 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
   DecomposeResult result;
   ModeledClock clock(GpuNativeCostModel());
 
+  // Chunk index -> worker index. Identity at first; resharding after a
+  // device loss redirects the dead worker's chunks to its successor (ranges
+  // stay contiguous because a range is always merged into an adjacent
+  // survivor).
+  std::vector<uint32_t> owner_map(num_workers);
+  for (uint32_t w = 0; w < num_workers; ++w) owner_map[w] = w;
   auto owner_of = [&](VertexId v) -> uint32_t {
-    return chunk == 0 ? 0 : std::min<uint32_t>(v / chunk, num_workers - 1);
+    return chunk == 0
+               ? 0
+               : owner_map[std::min<uint32_t>(v / chunk, num_workers - 1)];
   };
 
-  // --- Partition the graph: each worker loads its CSR slice. ---
+  // --- Create the worker devices (arrays are built below, from the
+  // checkpoint, so partition rebuilds after a device loss reuse the same
+  // path). ---
   std::vector<Worker> workers(num_workers);
   for (uint32_t w = 0; w < num_workers; ++w) {
-    Worker& worker = workers[w];
-    worker.begin = std::min<VertexId>(w * chunk, n);
-    worker.end = std::min<VertexId>(worker.begin + chunk, n);
-    worker.device = std::make_unique<sim::Device>(options.worker_device);
-    const VertexId local_n = worker.end - worker.begin;
+    sim::DeviceOptions device_options = options.worker_device;
+    if (w < options.worker_fault_specs.size() &&
+        !options.worker_fault_specs[w].empty()) {
+      device_options.fault_spec = options.worker_fault_specs[w];
+    }
+    workers[w].device = std::make_unique<sim::Device>(device_options);
+  }
+  bool any_faults = false;
+  for (const Worker& worker : workers) {
+    any_faults = any_faults || worker.device->fault_injection_enabled();
+  }
+  const bool resilient = options.resilience.enabled && any_faults;
+
+  // Bounded retry for transient (Unavailable) copy failures; fail-stop, so
+  // re-issuing is safe.
+  const auto with_retry = [&](auto&& op) -> Status {
+    Status st = op();
+    if (!resilient) return st;
+    for (uint32_t attempt = 0;
+         st.IsUnavailable() && attempt < options.resilience.max_op_retries;
+         ++attempt) {
+      ++result.metrics.retries;
+      st = op();
+    }
+    return st;
+  };
+
+  RoundCheckpoint ckpt;
+  ckpt.deg = graph.DegreeArray();
+  ckpt.claimed.assign(n, 0);
+  ckpt.removed = 0;
+
+  // (Re)builds a worker's device-resident partition for [begin, end) from
+  // the host graph and the checkpoint — used for the initial load and for
+  // resharding a dead worker's range onto a survivor.
+  const auto build_worker = [&](Worker& worker, VertexId begin,
+                                VertexId end) -> Status {
+    worker.begin = begin;
+    worker.end = end;
+    worker.use_active = false;
+    worker.active.clear();
+    worker.border_updates.clear();
+    const VertexId local_n = end - begin;
 
     std::vector<EdgeIndex> offsets(static_cast<size_t>(local_n) + 1, 0);
     for (VertexId v = 0; v < local_n; ++v) {
-      offsets[v + 1] = offsets[v] + graph.Degree(worker.begin + v);
+      offsets[v + 1] = offsets[v] + graph.Degree(begin + v);
     }
     std::vector<VertexId> neighbors;
     neighbors.reserve(offsets[local_n]);
     for (VertexId v = 0; v < local_n; ++v) {
-      const auto nbrs = graph.Neighbors(worker.begin + v);
+      const auto nbrs = graph.Neighbors(begin + v);
       neighbors.insert(neighbors.end(), nbrs.begin(), nbrs.end());
     }
     std::vector<uint32_t> deg(std::max<VertexId>(1, local_n), 0);
+    uint64_t removed_in_range = 0;
     for (VertexId v = 0; v < local_n; ++v) {
-      deg[v] = graph.Degree(worker.begin + v);
+      deg[v] = ckpt.deg[begin + v];
+      if (ckpt.claimed[begin + v] != 0) ++removed_in_range;
     }
+
+    // Free any previous partition first so a reshard doesn't double-count
+    // against the device's memory budget.
+    worker.d_offsets.Reset();
+    worker.d_neighbors.Reset();
+    worker.d_deg.Reset();
+    worker.d_buffer.Reset();
 
     // All four arrays are fully overwritten (host copies / buffer appends)
     // before any read — the uninitialized-alloc path skips the zeroing.
@@ -100,11 +174,132 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
         worker.d_buffer,
         worker.device->AllocUninit<VertexId>(std::max<VertexId>(1024, local_n),
                                              "worker_buffer"));
-    worker.d_offsets.CopyFromHost(offsets);
-    worker.d_neighbors.CopyFromHost(neighbors);
-    worker.d_deg.CopyFromHost(deg);
+    KCORE_RETURN_IF_ERROR(
+        with_retry([&] { return worker.d_offsets.CopyFromHost(offsets); }));
+    KCORE_RETURN_IF_ERROR(with_retry(
+        [&] { return worker.d_neighbors.CopyFromHost(neighbors); }));
+    KCORE_RETURN_IF_ERROR(
+        with_retry([&] { return worker.d_deg.CopyFromHost(deg); }));
+    // The degree slice is the one array the checkpoint protocol can
+    // validate and restore, so it alone is eligible for injected bitflips.
+    worker.device->MarkCorruptible(worker.d_deg, "worker_deg");
+    worker.local_removed = removed_in_range;
+    return Status::OK();
+  };
+
+  // Finishes on CPU PKC from the checkpoint once no usable fleet remains.
+  const auto cpu_finish = [&](uint32_t start_k) -> DecomposeResult {
+    WallTimer recovery;
+    result.metrics.degraded = true;
+    DecomposeResult cpu = ResumePkc(graph, std::move(ckpt.deg), start_k);
+    result.core = std::move(cpu.core);
+    result.metrics.cpu_fallback_levels = cpu.metrics.rounds;
+    result.metrics.rounds += cpu.metrics.rounds;
+    result.metrics.counters += cpu.metrics.counters;
+    result.metrics.modeled_ms = clock.ms() + cpu.metrics.modeled_ms;
+    uint64_t max_peak = 0;
+    for (const Worker& worker : workers) {
+      max_peak = std::max(max_peak, worker.device->peak_bytes());
+    }
+    result.metrics.peak_device_bytes = max_peak;
+    result.metrics.recovery_ms += recovery.ElapsedMillis();
+    result.metrics.wall_ms = timer.ElapsedMillis();
+    return result;
+  };
+
+  // Reshards every unhandled dead worker's range onto the nearest alive
+  // neighbor (by worker index; ranges are contiguous in index order, so the
+  // nearest survivor is range-adjacent after earlier merges). A successor
+  // that fails its rebuild — lost, out of memory for the doubled partition,
+  // or transiently unreachable past the retry budget — is declared dead
+  // itself and the scan restarts; each pass shrinks the fleet, so this
+  // terminates. DeviceLost is returned once nobody survives.
+  std::vector<uint8_t> death_counted(num_workers, 0);
+  std::vector<uint8_t> resharded(num_workers, 0);
+  const auto handle_deaths = [&]() -> Status {
+    bool again = true;
+    while (again) {
+      again = false;
+      for (uint32_t w = 0; w < num_workers; ++w) {
+        if (!workers[w].alive && death_counted[w] == 0) {
+          death_counted[w] = 1;
+          ++result.metrics.devices_lost;
+        }
+      }
+      for (uint32_t w = 0; w < num_workers; ++w) {
+        Worker& dead = workers[w];
+        if (dead.alive || resharded[w] != 0) continue;
+        dead.d_offsets.Reset();
+        dead.d_neighbors.Reset();
+        dead.d_deg.Reset();
+        dead.d_buffer.Reset();
+        dead.active.clear();
+        dead.use_active = false;
+        dead.border_updates.clear();
+        if (dead.begin == dead.end) {
+          resharded[w] = 1;
+          continue;
+        }
+        int succ = -1;
+        for (int i = static_cast<int>(w) - 1; i >= 0; --i) {
+          if (workers[i].alive) {
+            succ = i;
+            break;
+          }
+        }
+        if (succ < 0) {
+          for (uint32_t i = w + 1; i < num_workers; ++i) {
+            if (workers[i].alive) {
+              succ = static_cast<int>(i);
+              break;
+            }
+          }
+        }
+        if (succ < 0) return Status::DeviceLost("all worker devices lost");
+        Worker& successor = workers[succ];
+        const VertexId merged_begin = std::min(successor.begin, dead.begin);
+        const VertexId merged_end = std::max(successor.end, dead.end);
+        Status built = build_worker(successor, merged_begin, merged_end);
+        if (!built.ok()) {
+          successor.alive = false;
+          again = true;
+          break;
+        }
+        resharded[w] = 1;
+        if (chunk > 0 && merged_end > merged_begin) {
+          for (uint32_t c = merged_begin / chunk;
+               c <= (merged_end - 1) / chunk; ++c) {
+            owner_map[std::min<uint32_t>(c, num_workers - 1)] =
+                static_cast<uint32_t>(succ);
+          }
+        }
+      }
+    }
+    return Status::OK();
+  };
+
+  // --- Initial partition load. A worker that cannot even load (injected
+  // cudaMalloc OOM, lost before the first copy) starts out dead and its
+  // range is resharded like a mid-run loss. ---
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    const VertexId begin = std::min<VertexId>(w * chunk, n);
+    const VertexId end = std::min<VertexId>(begin + chunk, n);
+    Status built = build_worker(workers[w], begin, end);
+    if (!built.ok()) {
+      if (resilient && (built.IsOutOfMemory() || built.IsUnavailable() ||
+                        built.IsDeviceLost())) {
+        workers[w].alive = false;
+        continue;
+      }
+      return built;
+    }
+  }
+  if (Status fleet = handle_deaths(); !fleet.ok()) {
+    if (resilient && options.resilience.cpu_fallback) return cpu_finish(0);
+    return fleet;
   }
 
+  // --- Live peeling state (checkpointed at every round boundary). ---
   std::vector<uint8_t> claimed(n, 0);
   std::atomic<uint64_t> removed{0};
   ThreadPool& pool = DefaultThreadPool();
@@ -114,18 +309,91 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
     return worker.d_deg.data()[v - worker.begin];
   };
 
+  // Restores every survivor to the checkpoint: claim flags, removed count,
+  // degree slices, and invalidated active lists. A worker lost during the
+  // restore surfaces as DeviceLost for the caller to reshard first.
+  const auto rollback_alive = [&]() -> Status {
+    std::copy(ckpt.claimed.begin(), ckpt.claimed.end(), claimed.begin());
+    removed.store(ckpt.removed, std::memory_order_relaxed);
+    for (Worker& worker : workers) {
+      if (!worker.alive) continue;
+      const VertexId local_n = worker.end - worker.begin;
+      worker.use_active = false;
+      worker.active.clear();
+      worker.border_updates.clear();
+      uint64_t removed_in_range = 0;
+      for (VertexId v = worker.begin; v < worker.end; ++v) {
+        if (ckpt.claimed[v] != 0) ++removed_in_range;
+      }
+      worker.local_removed = removed_in_range;
+      if (local_n == 0) continue;
+      Status st = with_retry([&] {
+        return worker.d_deg.CopyFromHost(
+            std::span<const uint32_t>(ckpt.deg).subspan(worker.begin,
+                                                        local_n));
+      });
+      if (st.IsDeviceLost()) worker.alive = false;
+      KCORE_RETURN_IF_ERROR(st);
+    }
+    return Status::OK();
+  };
+
+  // Gathers the fleet's degree slices into `out` for validation.
+  const auto gather_deg = [&](std::vector<uint32_t>& out) -> Status {
+    out.resize(n);
+    for (Worker& worker : workers) {
+      if (!worker.alive) continue;
+      const VertexId local_n = worker.end - worker.begin;
+      if (local_n == 0) continue;
+      Status st = with_retry([&] {
+        return worker.d_deg.CopyToHost(
+            std::span<uint32_t>(out).subspan(worker.begin, local_n));
+      });
+      if (st.IsDeviceLost()) worker.alive = false;
+      KCORE_RETURN_IF_ERROR(st);
+    }
+    return Status::OK();
+  };
+
   uint32_t k = 0;
   const uint32_t k_limit = graph.MaxDegree() + 2;
-  while (removed.load(std::memory_order_relaxed) < n) {
-    // Sub-rounds to a fixpoint: local peeling, then border aggregation.
+  std::vector<uint32_t> post_deg;
+
+  // One round k to its border fixpoint, ending (resilient mode) with the
+  // gathered-state validation against the checkpoint.
+  const auto run_round = [&]() -> Status {
+    uint64_t subrounds = 0;
+    // Corruption can manufacture endless border traffic (a flipped degree
+    // re-arms decrements); a clean round never needs more sub-rounds than
+    // vertices, so past that we declare the round corrupt and roll back.
+    const uint64_t subround_limit = static_cast<uint64_t>(n) + 2;
     while (true) {
       ++result.metrics.iterations;
+      if (++subrounds > subround_limit) {
+        return Status::Corruption(StrFormat(
+            "round k=%u: no fixpoint after %llu sub-rounds — suspected "
+            "degree corruption",
+            k, static_cast<unsigned long long>(subrounds - 1)));
+      }
       std::atomic<uint64_t> removed_this_subround{0};
+      std::atomic<bool> death{false};
 
       // --- Each worker peels its own range (parallel; workers only touch
       // their owned deg entries and private border buffers). ---
       pool.RunLanes(num_workers, [&](uint32_t w) {
         Worker& worker = workers[w];
+        if (!worker.alive) return;
+        if (resilient) {
+          // Liveness probe at sub-round granularity: the launch-domain
+          // fault point for workers that peel through host pointers. A
+          // transient probe failure is noise; DeviceLost is terminal.
+          const Status health = worker.device->HealthCheck("subround");
+          if (health.IsDeviceLost()) {
+            worker.alive = false;
+            death.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
         PerfCounters& c = worker.counters;
         const EdgeIndex* offsets = worker.d_offsets.data();
         const VertexId* neighbors = worker.d_neighbors.data();
@@ -218,10 +486,12 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
       });
 
       // Modeled time: slowest worker gates the sub-round.
+      uint32_t alive_count = 0;
       {
         std::vector<PerfCounters> lane_counters;
         lane_counters.reserve(num_workers);
         for (Worker& worker : workers) {
+          if (worker.alive) ++alive_count;
           lane_counters.push_back(worker.counters);
           result.metrics.counters += worker.counters;
           worker.counters = PerfCounters();
@@ -230,7 +500,10 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
         // Two kernels per worker sub-round (scan + loop), plus the border
         // exchange (PCIe transfer of the update lists to the master).
         clock.AddOverheadNs(2 * clock.cost().kernel_launch_ns);
-        result.metrics.counters.kernel_launches += 2 * num_workers;
+        result.metrics.counters.kernel_launches += 2 * alive_count;
+      }
+      if (death.load(std::memory_order_relaxed)) {
+        return Status::DeviceLost("worker device lost mid-round");
       }
 
       // --- Master: aggregate border updates and apply to owners. ---
@@ -261,18 +534,81 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
         break;  // fixpoint for this k
       }
     }
-    ++k;
-    ++result.metrics.rounds;
-    if (k > k_limit) {
-      return Status::Internal("multi-GPU peeling failed to converge");
+
+    if (resilient) {
+      KCORE_RETURN_IF_ERROR(gather_deg(post_deg));
+      WallTimer validate;
+      std::string why;
+      const bool valid =
+          ValidatePeelRound(graph, ckpt.deg, post_deg, k,
+                            removed.load(std::memory_order_relaxed), &why);
+      result.metrics.recovery_ms += validate.ElapsedMillis();
+      if (!valid) return Status::Corruption(why);
     }
+    return Status::OK();
+  };
+
+  // Reshard any dead workers, then roll every survivor back to the
+  // checkpoint; a death during the restore loops back to resharding. Each
+  // iteration shrinks the fleet, so this terminates.
+  const auto recover_fleet = [&]() -> Status {
+    while (true) {
+      KCORE_RETURN_IF_ERROR(handle_deaths());
+      Status restored = rollback_alive();
+      if (restored.ok()) return Status::OK();
+      if (!restored.IsDeviceLost()) return restored;
+    }
+  };
+
+  uint32_t level_retries = 0;
+  while (removed.load(std::memory_order_relaxed) < n) {
+    Status round = run_round();
+    if (round.ok()) {
+      if (resilient) {
+        // The validated post-round state becomes the new checkpoint.
+        std::swap(ckpt.deg, post_deg);
+        std::copy(claimed.begin(), claimed.end(), ckpt.claimed.begin());
+        ckpt.removed = removed.load(std::memory_order_relaxed);
+        ++result.metrics.checkpoints_taken;
+      }
+      ++k;
+      ++result.metrics.rounds;
+      level_retries = 0;
+      if (k > k_limit) {
+        return Status::Internal("multi-GPU peeling failed to converge");
+      }
+      continue;
+    }
+    if (!resilient) return round;
+
+    Status cause = round;
+    // Device losses are recovered unconditionally (bounded by the fleet
+    // size); corruption and transient-budget failures consume the level
+    // retry budget.
+    const bool death_cause = cause.IsDeviceLost();
+    if (death_cause || level_retries < options.resilience.max_level_retries) {
+      WallTimer recovery;
+      if (!death_cause) ++level_retries;
+      ++result.metrics.levels_reexecuted;
+      Status recovered = recover_fleet();
+      result.metrics.recovery_ms += recovery.ElapsedMillis();
+      if (recovered.ok()) continue;
+      cause = recovered;
+    }
+    if (!options.resilience.cpu_fallback) return cause;
+    return cpu_finish(k);
   }
 
-  // Gather core numbers (deg has converged per owner).
-  result.core.assign(n, 0);
-  for (const Worker& worker : workers) {
-    for (VertexId v = worker.begin; v < worker.end; ++v) {
-      result.core[v] = worker.d_deg.data()[v - worker.begin];
+  // Gather core numbers (deg has converged per owner). In resilient mode
+  // every round was validated, so the checkpoint IS the final state.
+  if (resilient) {
+    result.core = std::move(ckpt.deg);
+  } else {
+    result.core.assign(n, 0);
+    for (const Worker& worker : workers) {
+      for (VertexId v = worker.begin; v < worker.end; ++v) {
+        result.core[v] = worker.d_deg.data()[v - worker.begin];
+      }
     }
   }
   uint64_t max_peak = 0;
@@ -281,7 +617,9 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
     // The workers peel through raw host pointers (no Launch), so simcheck
     // observes only allocation lifetimes and host copies here — still worth
     // surfacing: a leak or an uninitialized CopyToHost fails the run.
-    KCORE_RETURN_IF_ERROR(worker.device->CheckStatus());
+    if (worker.alive) {
+      KCORE_RETURN_IF_ERROR(worker.device->CheckStatus());
+    }
   }
   result.metrics.peak_device_bytes = max_peak;
   result.metrics.wall_ms = timer.ElapsedMillis();

@@ -2,8 +2,11 @@
 #define KCORE_CORE_MULTI_GPU_PEEL_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/statusor.h"
+#include "core/gpu_peel_options.h"
 #include "cusim/device.h"
 #include "graph/csr_graph.h"
 #include "perf/decompose_result.h"
@@ -28,6 +31,18 @@ struct MultiGpuOptions {
   /// halving-rebuild policy as GpuPeelOptions::active_compaction).
   bool active_compaction = true;
   double compaction_threshold = 0.5;
+
+  /// Per-worker fault plans (cusim/fault_injection.h grammar): entry i
+  /// overrides worker_device.fault_spec for worker i, letting tests kill or
+  /// degrade one GPU of the fleet. Shorter vectors leave later workers on
+  /// worker_device's spec (and KCORE_FAULTS applies to every worker).
+  std::vector<std::string> worker_fault_specs;
+  /// Recovery policy under fault injection (inert without a fault plan).
+  /// A worker whose device is permanently lost has its vertex range
+  /// resharded onto an adjacent surviving worker and the interrupted round
+  /// re-executed from the last checkpoint; when no worker survives, the
+  /// remaining rounds run on CPU PKC (Metrics.degraded).
+  ResilienceOptions resilience;
 };
 
 /// Multi-GPU peeling. Returns the usual DecomposeResult where

@@ -1,0 +1,65 @@
+#include "core/resilience.h"
+
+#include "common/strings.h"
+
+namespace kcore {
+
+bool ValidatePeelRound(const CsrGraph& graph,
+                       const std::vector<uint32_t>& prev,
+                       const std::vector<uint32_t>& deg, uint32_t k,
+                       uint64_t count, std::string* why) {
+  const VertexId n = graph.NumVertices();
+  uint64_t removed = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (prev[v] < k) {
+      if (deg[v] != prev[v]) {
+        *why = StrFormat("round k=%u: peeled vertex %u changed (%u -> %u)", k,
+                         v, prev[v], deg[v]);
+        return false;
+      }
+    } else {
+      if (deg[v] > prev[v]) {
+        *why = StrFormat("round k=%u: deg[%u] increased (%u -> %u)", k, v,
+                         prev[v], deg[v]);
+        return false;
+      }
+      if (deg[v] < k) {
+        *why = StrFormat(
+            "round k=%u: vertex %u skipped below the k-shell (deg %u)", k, v,
+            deg[v]);
+        return false;
+      }
+    }
+    if (deg[v] <= k) ++removed;
+  }
+  if (removed != count) {
+    *why = StrFormat(
+        "round k=%u: removed count %llu != %llu vertices with deg <= k", k,
+        static_cast<unsigned long long>(count),
+        static_cast<unsigned long long>(removed));
+    return false;
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (prev[v] < k) continue;  // frozen before this round; checked above.
+    uint64_t live = 0;
+    for (VertexId u : graph.Neighbors(v)) {
+      if (deg[u] > k) ++live;
+    }
+    if (deg[v] > k) {
+      if (live != deg[v]) {
+        *why = StrFormat(
+            "round k=%u: survivor %u has deg %u but %llu live neighbors", k,
+            v, deg[v], static_cast<unsigned long long>(live));
+        return false;
+      }
+    } else if (live > k) {
+      *why = StrFormat(
+          "round k=%u: vertex %u peeled with %llu live neighbors", k, v,
+          static_cast<unsigned long long>(live));
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace kcore

@@ -1,0 +1,37 @@
+#ifndef KCORE_CORE_RESILIENCE_H_
+#define KCORE_CORE_RESILIENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace kcore {
+
+/// Exact consistency check of a peeling degree array at the end of round k
+/// against the round-start checkpoint `prev`, shared by the resilient
+/// single- and multi-GPU drivers. The peeling algorithms maintain deg[v] ==
+/// degree of v in the subgraph induced by unpeeled vertices (peeled vertices
+/// keep deg == core forever), so after an uncorrupted round:
+///   (1) deg is monotone non-increasing, and peeled state (prev < k) is
+///       frozen;
+///   (2) no unpeeled vertex skips below the k-shell (prev >= k => deg >= k);
+///   (3) the cumulative removed `count` equals #{v : deg[v] <= k};
+///   (4) every survivor's deg equals its live-neighbor count
+///       |{u in N(v) : deg[u] > k}|;
+///   (5) every vertex peeled this round has at most k live neighbors left.
+/// A bitflip in deg breaks (1)/(2)/(4) at the flipped vertex, or — when the
+/// flip causes a mis-peel that the round then "legitimizes" — (3) or (5) at
+/// the mis-peeled vertex. See DESIGN.md for the detection boundary.
+///
+/// Cost: O(n) plus the adjacency of every vertex unpeeled at round start;
+/// only paid when a fault plan is attached.
+bool ValidatePeelRound(const CsrGraph& graph,
+                       const std::vector<uint32_t>& prev,
+                       const std::vector<uint32_t>& deg, uint32_t k,
+                       uint64_t count, std::string* why);
+
+}  // namespace kcore
+
+#endif  // KCORE_CORE_RESILIENCE_H_

@@ -13,35 +13,53 @@ namespace kcore {
 
 namespace {
 
-DecomposeResult RunPkcImpl(const CsrGraph& graph, const PkcOptions& options) {
+DecomposeResult RunPkcImpl(const CsrGraph& graph, const PkcOptions& options,
+                           std::vector<uint32_t> deg0, uint32_t start_k) {
   WallTimer timer;
   const VertexId n = graph.NumVertices();
   const uint32_t num_threads = options.num_threads;
   DecomposeResult result;
   ModeledClock clock(CpuCostModel());
 
-  std::vector<uint32_t> deg = graph.DegreeArray();
+  std::vector<uint32_t> deg = std::move(deg0);
+  KCORE_CHECK_EQ(deg.size(), static_cast<size_t>(n));
   std::atomic<uint64_t> removed{0};
   // Enqueue-once claim flags. PKC overlaps one lane's loop phase with
   // another lane's scan phase (its point is having no intra-round barrier),
   // so a vertex decremented to k by a loop can also be seen as degree-k by a
   // later scan; the flag guarantees a single collector. The paper's GPU
   // variant gets this for free from the barrier between its two kernels.
+  //
+  // Warm start (start_k > 0): `deg` is a round-boundary snapshot, so every
+  // vertex with deg < start_k was peeled in an earlier round and its deg is
+  // already its final core number — mark it claimed/removed up front.
   std::vector<uint8_t> claimed(n, 0);
+  uint64_t already_removed = 0;
+  if (start_k > 0) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (deg[v] < start_k) {
+        claimed[v] = 1;
+        ++already_removed;
+      }
+    }
+    removed.store(already_removed, std::memory_order_relaxed);
+  }
 
-  // The scan universe: initially all vertices; after compaction, only the
-  // survivors (kCompacted). Stored as an explicit list so scans touch just
-  // `universe_size` entries.
+  // The scan universe: initially all unpeeled vertices; after compaction,
+  // only the survivors (kCompacted). Stored as an explicit list so scans
+  // touch just `universe_size` entries.
   std::vector<VertexId> universe(n);
-  for (VertexId v = 0; v < n; ++v) universe[v] = v;
-  uint64_t universe_size = n;
+  uint64_t universe_size = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (claimed[v] == 0) universe[universe_size++] = v;
+  }
 
   std::vector<PerfCounters> lanes(num_threads);
   std::vector<std::vector<VertexId>> local_buffers(num_threads);
   ThreadPool& pool = DefaultThreadPool();
   uint64_t peak_local_buffer_items = 0;
 
-  uint32_t k = 0;
+  uint32_t k = start_k;
   while (removed.load(std::memory_order_relaxed) < n) {
     for (auto& lane : lanes) lane = PerfCounters();
 
@@ -163,14 +181,20 @@ DecomposeResult RunPkcImpl(const CsrGraph& graph, const PkcOptions& options) {
 
 DecomposeResult RunPkc(const CsrGraph& graph, const PkcOptions& options) {
   KCORE_CHECK_GE(options.num_threads, 1u);
-  return RunPkcImpl(graph, options);
+  return RunPkcImpl(graph, options, graph.DegreeArray(), /*start_k=*/0);
 }
 
 DecomposeResult RunPkcSerial(const CsrGraph& graph, PkcVariant variant) {
   PkcOptions options;
   options.variant = variant;
   options.num_threads = 1;
-  return RunPkcImpl(graph, options);
+  return RunPkcImpl(graph, options, graph.DegreeArray(), /*start_k=*/0);
+}
+
+DecomposeResult ResumePkc(const CsrGraph& graph, std::vector<uint32_t> deg,
+                          uint32_t start_k, const PkcOptions& options) {
+  KCORE_CHECK_GE(options.num_threads, 1u);
+  return RunPkcImpl(graph, options, std::move(deg), start_k);
 }
 
 }  // namespace kcore

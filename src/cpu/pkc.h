@@ -2,6 +2,7 @@
 #define KCORE_CPU_PKC_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/csr_graph.h"
 #include "perf/decompose_result.h"
@@ -37,6 +38,16 @@ DecomposeResult RunPkc(const CsrGraph& graph, const PkcOptions& options = {});
 /// Serial convenience wrappers (Table IV columns).
 DecomposeResult RunPkcSerial(const CsrGraph& graph,
                              PkcVariant variant = PkcVariant::kCompacted);
+
+/// Warm start: finishes a decomposition someone else began. `deg` is a
+/// round-boundary snapshot taken after all rounds < `start_k` completed —
+/// every vertex with deg[v] < start_k is final (deg[v] is its core number)
+/// and survivors carry their current induced degrees. This is the CPU
+/// fallback path of the resilient GPU peel drivers: they hand over their
+/// last verified checkpoint when the device dies mid-decomposition, and the
+/// returned core array equals what an uninterrupted run would produce.
+DecomposeResult ResumePkc(const CsrGraph& graph, std::vector<uint32_t> deg,
+                          uint32_t start_k, const PkcOptions& options = {});
 
 }  // namespace kcore
 

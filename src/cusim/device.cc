@@ -16,4 +16,9 @@ bool Device::EnvCheckEnabled() {
   return env != nullptr && env[0] == '1';
 }
 
+std::string Device::EnvFaultSpec() {
+  const char* env = std::getenv("KCORE_FAULTS");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
 }  // namespace kcore::sim

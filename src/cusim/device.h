@@ -6,6 +6,7 @@
 #include <limits>
 #include <memory>
 #include <span>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "common/statusor.h"
 #include "common/thread_pool.h"
 #include "cusim/block.h"
+#include "cusim/fault_injection.h"
 #include "cusim/simcheck.h"
 #include "perf/cost_model.h"
 #include "perf/perf_counters.h"
@@ -55,10 +57,13 @@ class DeviceArray {
   std::span<T> span() { return {data_.get(), size_}; }
   std::span<const T> span() const { return {data_.get(), size_}; }
 
-  /// cudaMemcpy host->device. `host.size()` must not exceed size().
-  void CopyFromHost(std::span<const T> host);
-  /// cudaMemcpy device->host. `host.size()` must not exceed size().
-  void CopyToHost(std::span<T> host) const;
+  /// cudaMemcpy host->device. `host.size()` must not exceed size(). Fails
+  /// with Unavailable (transient, retryable) or DeviceLost when the device's
+  /// fault plan says so; no byte moves on failure.
+  Status CopyFromHost(std::span<const T> host);
+  /// cudaMemcpy device->host. `host.size()` must not exceed size(). Failure
+  /// semantics as CopyFromHost.
+  Status CopyToHost(std::span<T> host) const;
 
   /// Frees the allocation (cudaFree analogue). Safe to call repeatedly, and
   /// safe after the owning Device is gone (the accounting update is skipped;
@@ -101,6 +106,11 @@ struct DeviceOptions {
   /// KCORE_SIMCHECK=1. Zero-cost when off: kernels run the uninstrumented
   /// BlockCtxT<false> instantiation and no shadow memory exists.
   bool check_mode = false;
+  /// Fault plan for this device (see fault_injection.h for the grammar);
+  /// "" = no injected faults. The environment variable KCORE_FAULTS supplies
+  /// a plan when this is empty. A malformed spec surfaces as InvalidArgument
+  /// from the first device operation (the constructor cannot return Status).
+  std::string fault_spec;
 };
 
 /// The simulated GPU: device-memory accounting with a peak watermark
@@ -111,9 +121,19 @@ struct DeviceOptions {
 /// host (driving) thread only, mirroring a single CUDA stream.
 class Device {
  public:
-  explicit Device(DeviceOptions options = {}) : options_(options) {
+  explicit Device(DeviceOptions options = {}) : options_(std::move(options)) {
     if (options_.check_mode || EnvCheckEnabled()) {
       checker_ = std::make_shared<SimChecker>();
+    }
+    std::string spec =
+        options_.fault_spec.empty() ? EnvFaultSpec() : options_.fault_spec;
+    if (!spec.empty()) {
+      StatusOr<FaultPlan> plan = ParseFaultSpec(spec);
+      if (!plan.ok()) {
+        fault_error_ = plan.status();
+      } else if (!plan->empty()) {
+        faults_ = std::make_unique<FaultInjector>(*std::move(plan));
+      }
     }
   }
   ~Device() {
@@ -129,6 +149,7 @@ class Device {
   /// names the allocation in simcheck reports.
   template <typename U>
   StatusOr<DeviceArray<U>> Alloc(size_t count, const char* label = "") {
+    KCORE_RETURN_IF_ERROR(OnAllocAttempt<U>(label, count));
     KCORE_RETURN_IF_ERROR(Reserve<U>(count));
     auto data = std::make_unique<U[]>(count);
     if (checker_ != nullptr) {
@@ -145,6 +166,7 @@ class Device {
   StatusOr<DeviceArray<U>> AllocUninit(size_t count, const char* label = "") {
     static_assert(std::is_trivially_default_constructible_v<U>,
                   "AllocUninit requires a trivially constructible type");
+    KCORE_RETURN_IF_ERROR(OnAllocAttempt<U>(label, count));
     KCORE_RETURN_IF_ERROR(Reserve<U>(count));
     auto data = std::make_unique_for_overwrite<U[]>(count);
     if (checker_ != nullptr) {
@@ -161,22 +183,68 @@ class Device {
   /// BlockCtxT<false> and BlockCtxT<true>, and the checked variant is
   /// selected here only when simcheck is enabled — so an unchecked launch
   /// executes code with zero instructions of instrumentation.
+  ///
+  /// Fails with Unavailable (transient launch rejection — retrying is a new
+  /// attempt) or DeviceLost when a fault plan says so; a failed launch is
+  /// fail-stop: no block runs, no counter advances, no bitflip applies.
   template <typename Kernel>
-  void Launch(uint32_t num_blocks, uint32_t block_dim, Kernel&& kernel) {
-    Launch(num_blocks, block_dim, "kernel", std::forward<Kernel>(kernel));
+  Status Launch(uint32_t num_blocks, uint32_t block_dim, Kernel&& kernel) {
+    return Launch(num_blocks, block_dim, "kernel",
+                  std::forward<Kernel>(kernel));
   }
 
   /// As above; `label` names the kernel in simcheck reports.
   template <typename Kernel>
-  void Launch(uint32_t num_blocks, uint32_t block_dim, const char* label,
-              Kernel&& kernel) {
+  Status Launch(uint32_t num_blocks, uint32_t block_dim, const char* label,
+                Kernel&& kernel) {
     KCORE_CHECK_GT(num_blocks, 0u);
+    KCORE_RETURN_IF_ERROR(fault_error_);
+    if (faults_ != nullptr) KCORE_RETURN_IF_ERROR(faults_->OnLaunch(label));
     if (checker_ != nullptr) {
       checker_->BeginLaunch(label);
       LaunchGrid<true>(num_blocks, block_dim, kernel);
     } else {
       LaunchGrid<false>(num_blocks, block_dim, kernel);
     }
+    // Bitflips model ECC double-bit errors surfacing after a kernel
+    // completes; they corrupt state but never the launch that ran.
+    if (faults_ != nullptr) faults_->ApplyBitflips(corruptible_);
+    return Status::OK();
+  }
+
+  /// True when a fault plan is attached (DeviceOptions::fault_spec or
+  /// KCORE_FAULTS) or the spec failed to parse. Drivers use this to decide
+  /// whether checkpoint validation is worth paying for.
+  bool fault_injection_enabled() const {
+    return faults_ != nullptr || !fault_error_.ok();
+  }
+
+  /// The injector behind fault_injection_enabled(); nullptr without a plan.
+  /// Exposes the deterministic event log for tests and recovery summaries.
+  const FaultInjector* faults() const { return faults_.get(); }
+
+  /// Registers `arr` as eligible for injected bitflips (modeled ECC
+  /// double-bit errors). Drivers opt in exactly the state they can validate
+  /// and roll back; unregistered allocations are modeled as ECC-protected
+  /// static data. No-op without a fault plan; deregistration happens
+  /// automatically when the array is freed.
+  template <typename U>
+  void MarkCorruptible(DeviceArray<U>& arr, const char* label) {
+    if (faults_ == nullptr || arr.empty()) return;
+    corruptible_.push_back({arr.data(), arr.size() * sizeof(U), label});
+  }
+
+  /// Liveness probe for multi-device drivers whose workers touch device
+  /// memory directly between kernel launches: advances the launch fault
+  /// domain (so device_lost@launch=N schedules fire at sub-round
+  /// granularity) and reports the latched lost state. Unavailable from a
+  /// probe is transient noise; DeviceLost is terminal.
+  Status HealthCheck(const char* label = "health_check") {
+    KCORE_RETURN_IF_ERROR(fault_error_);
+    if (faults_ == nullptr) return Status::OK();
+    Status probe = faults_->OnLaunch(label);
+    if (probe.ok()) faults_->ApplyBitflips(corruptible_);
+    return probe;
   }
 
  private:
@@ -254,6 +322,24 @@ class Device {
 
   static std::string StrFormatBytes(uint64_t bytes);
   static bool EnvCheckEnabled();
+  static std::string EnvFaultSpec();
+
+  /// Fault gate for Alloc/AllocUninit, consulted before any byte reserves.
+  template <typename U>
+  Status OnAllocAttempt(const char* label, size_t count) {
+    KCORE_RETURN_IF_ERROR(fault_error_);
+    if (faults_ == nullptr) return Status::OK();
+    return faults_->OnAlloc(label,
+                            static_cast<uint64_t>(count) * sizeof(U));
+  }
+
+  /// Fault gate for the DeviceArray copy paths, consulted before any byte
+  /// moves.
+  Status OnCopy(uint64_t bytes) {
+    KCORE_RETURN_IF_ERROR(fault_error_);
+    if (faults_ == nullptr) return Status::OK();
+    return faults_->OnCopy(bytes);
+  }
 
   /// Accounts `count * sizeof(U)` bytes against global memory, rejecting
   /// requests whose byte size overflows uint64_t (which would otherwise wrap
@@ -285,6 +371,10 @@ class Device {
   void OnFree(const void* ptr, uint64_t bytes) {
     Release(bytes);
     if (checker_ != nullptr) checker_->UnregisterAlloc(ptr);
+    if (!corruptible_.empty()) {
+      std::erase_if(corruptible_,
+                    [ptr](const CorruptibleRange& r) { return r.ptr == ptr; });
+    }
   }
 
   void NotifyHostWrite(const void* ptr, uint64_t bytes) {
@@ -308,25 +398,34 @@ class Device {
   PerfCounters totals_;
   std::vector<PerfCounters> launch_scratch_;
   std::shared_ptr<SimChecker> checker_;
+  std::unique_ptr<FaultInjector> faults_;
+  /// Parse failure of the fault spec, surfaced from the first device op.
+  Status fault_error_ = Status::OK();
+  /// Live allocations registered via MarkCorruptible.
+  std::vector<CorruptibleRange> corruptible_;
   /// Expiry sentinel handed to DeviceArrays: lets an array outliving its
   /// Device skip the accounting callback instead of dereferencing a corpse.
   std::shared_ptr<const void> alive_ = std::make_shared<int>(0);
 };
 
 template <typename T>
-void DeviceArray<T>::CopyFromHost(std::span<const T> host) {
+Status DeviceArray<T>::CopyFromHost(std::span<const T> host) {
   KCORE_CHECK_LE(host.size(), size_);
+  KCORE_RETURN_IF_ERROR(device_->OnCopy(host.size() * sizeof(T)));
   std::copy(host.begin(), host.end(), data_.get());
   device_->NotifyHostWrite(data_.get(), host.size() * sizeof(T));
   device_->ChargeTransfer(host.size() * sizeof(T));
+  return Status::OK();
 }
 
 template <typename T>
-void DeviceArray<T>::CopyToHost(std::span<T> host) const {
+Status DeviceArray<T>::CopyToHost(std::span<T> host) const {
   KCORE_CHECK_LE(host.size(), size_);
+  KCORE_RETURN_IF_ERROR(device_->OnCopy(host.size() * sizeof(T)));
   device_->NotifyHostRead(data_.get(), host.size() * sizeof(T));
   std::copy(data_.get(), data_.get() + host.size(), host.begin());
   device_->ChargeTransfer(host.size() * sizeof(T));
+  return Status::OK();
 }
 
 template <typename T>

@@ -1,0 +1,278 @@
+#include "cusim/fault_injection.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace kcore::sim {
+
+namespace {
+
+/// Default plan seed: expanded per clause position so two clauses without
+/// explicit seeds still draw independent streams.
+constexpr uint64_t kDefaultSeed = 0xfa17ed0dd5eedULL;
+
+StatusOr<uint64_t> ParseU64(const std::string& clause,
+                            const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || *end != '\0' || errno == ERANGE ||
+      value[0] == '-') {
+    return Status::InvalidArgument("fault spec: bad number '" + value +
+                                   "' in clause '" + clause + "'");
+  }
+  return static_cast<uint64_t>(parsed);
+}
+
+StatusOr<double> ParseProb(const std::string& clause,
+                           const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (value.empty() || *end != '\0' || errno == ERANGE || parsed < 0.0 ||
+      parsed > 1.0) {
+    return Status::InvalidArgument("fault spec: probability '" + value +
+                                   "' out of [0,1] in clause '" + clause +
+                                   "'");
+  }
+  return parsed;
+}
+
+StatusOr<FaultKind> ParseKind(const std::string& name) {
+  if (name == "alloc_fail") return FaultKind::kAllocFail;
+  if (name == "launch_fail") return FaultKind::kLaunchFail;
+  if (name == "copy_fail") return FaultKind::kCopyFail;
+  if (name == "bitflip") return FaultKind::kBitflip;
+  if (name == "device_lost") return FaultKind::kDeviceLost;
+  return Status::InvalidArgument("fault spec: unknown fault kind '" + name +
+                                 "'");
+}
+
+}  // namespace
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kAllocFail:
+      return "alloc_fail";
+    case FaultKind::kLaunchFail:
+      return "launch_fail";
+    case FaultKind::kCopyFail:
+      return "copy_fail";
+    case FaultKind::kBitflip:
+      return "bitflip";
+    case FaultKind::kDeviceLost:
+      return "device_lost";
+  }
+  return "unknown";
+}
+
+std::string FaultEvent::ToString() const {
+  return StrFormat("%s@%llu: %s", FaultKindToString(kind),
+                   static_cast<unsigned long long>(op_index), detail.c_str());
+}
+
+StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& clause_text : SplitNonEmpty(spec, ";")) {
+    // Split "kind[@params]" / "kind[:params]" at the first '@' or ':'.
+    const size_t sep = clause_text.find_first_of("@:");
+    const std::string name = clause_text.substr(0, sep);
+    KCORE_ASSIGN_OR_RETURN(const FaultKind kind, ParseKind(name));
+    FaultClause clause;
+    clause.kind = kind;
+
+    if (sep != std::string::npos) {
+      const std::string params = clause_text.substr(sep + 1);
+      for (const std::string& param : SplitNonEmpty(params, ",")) {
+        const size_t eq = param.find('=');
+        if (eq == std::string::npos) {
+          // Bare number: the op index ("alloc_fail@3").
+          KCORE_ASSIGN_OR_RETURN(clause.at, ParseU64(clause_text, param));
+          continue;
+        }
+        const std::string key = param.substr(0, eq);
+        const std::string value = param.substr(eq + 1);
+        if (key == "at" || key == "launch") {
+          KCORE_ASSIGN_OR_RETURN(clause.at, ParseU64(clause_text, value));
+        } else if (key == "p") {
+          KCORE_ASSIGN_OR_RETURN(clause.p, ParseProb(clause_text, value));
+        } else if (key == "seed") {
+          KCORE_ASSIGN_OR_RETURN(clause.seed, ParseU64(clause_text, value));
+        } else if (key == "alloc" && kind == FaultKind::kBitflip) {
+          clause.alloc = value;
+        } else if (key == "word" && kind == FaultKind::kBitflip) {
+          if (value == "rand") {
+            clause.word_rand = true;
+          } else {
+            KCORE_ASSIGN_OR_RETURN(clause.word, ParseU64(clause_text, value));
+            clause.word_rand = false;
+          }
+        } else if (key == "bit" && kind == FaultKind::kBitflip) {
+          if (value == "rand") {
+            clause.bit_rand = true;
+          } else {
+            KCORE_ASSIGN_OR_RETURN(const uint64_t bit,
+                                   ParseU64(clause_text, value));
+            if (bit >= 32) {
+              return Status::InvalidArgument(
+                  "fault spec: bit index must be < 32 in clause '" +
+                  clause_text + "'");
+            }
+            clause.bit = static_cast<uint32_t>(bit);
+            clause.bit_rand = false;
+          }
+        } else {
+          return Status::InvalidArgument("fault spec: unknown key '" + key +
+                                         "' in clause '" + clause_text + "'");
+        }
+      }
+    }
+
+    if (clause.at == 0 && clause.p == 0.0) {
+      return Status::InvalidArgument(
+          "fault spec: clause '" + clause_text +
+          "' has neither an op index (@N) nor a probability (p=)");
+    }
+    plan.clauses.push_back(std::move(clause));
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  rngs_.reserve(plan_.clauses.size());
+  for (size_t i = 0; i < plan_.clauses.size(); ++i) {
+    uint64_t seed = plan_.clauses[i].seed;
+    if (seed == 0) {
+      uint64_t sm = kDefaultSeed + i;
+      seed = SplitMix64(sm);
+    }
+    rngs_.emplace_back(seed);
+  }
+}
+
+bool FaultInjector::Fires(size_t clause_idx, uint64_t index) {
+  const FaultClause& clause = plan_.clauses[clause_idx];
+  if (clause.at != 0) return index == clause.at;
+  return rngs_[clause_idx].Bernoulli(clause.p);
+}
+
+Status FaultInjector::LostStatus() const {
+  return Status::DeviceLost("device lost (injected)");
+}
+
+void FaultInjector::Record(FaultKind kind, uint64_t op_index,
+                           std::string detail) {
+  events_.push_back({kind, op_index, std::move(detail)});
+}
+
+Status FaultInjector::OnAlloc(const char* label, uint64_t bytes) {
+  if (lost_) return LostStatus();
+  ++allocs_;
+  for (size_t i = 0; i < plan_.clauses.size(); ++i) {
+    if (plan_.clauses[i].kind != FaultKind::kAllocFail) continue;
+    if (Fires(i, allocs_)) {
+      Record(FaultKind::kAllocFail, allocs_,
+             StrFormat("alloc '%s' (%llu bytes) rejected", label,
+                       static_cast<unsigned long long>(bytes)));
+      return Status::OutOfMemory(
+          StrFormat("injected allocation failure ('%s')", label));
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::OnLaunch(const char* label) {
+  if (lost_) return LostStatus();
+  ++launches_;
+  // device_lost is evaluated first: a launch that kills the device does not
+  // also fail transiently.
+  for (size_t i = 0; i < plan_.clauses.size(); ++i) {
+    if (plan_.clauses[i].kind != FaultKind::kDeviceLost) continue;
+    if (Fires(i, launches_)) {
+      lost_ = true;
+      Record(FaultKind::kDeviceLost, launches_,
+             StrFormat("device lost at launch '%s'", label));
+      return LostStatus();
+    }
+  }
+  for (size_t i = 0; i < plan_.clauses.size(); ++i) {
+    if (plan_.clauses[i].kind != FaultKind::kLaunchFail) continue;
+    if (Fires(i, launches_)) {
+      Record(FaultKind::kLaunchFail, launches_,
+             StrFormat("launch '%s' failed", label));
+      return Status::Unavailable(
+          StrFormat("injected launch failure ('%s')", label));
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::OnCopy(uint64_t bytes) {
+  if (lost_) return LostStatus();
+  ++copies_;
+  for (size_t i = 0; i < plan_.clauses.size(); ++i) {
+    if (plan_.clauses[i].kind != FaultKind::kCopyFail) continue;
+    if (Fires(i, copies_)) {
+      Record(FaultKind::kCopyFail, copies_,
+             StrFormat("copy of %llu bytes failed",
+                       static_cast<unsigned long long>(bytes)));
+      return Status::Unavailable("injected copy failure");
+    }
+  }
+  return Status::OK();
+}
+
+uint32_t FaultInjector::ApplyBitflips(
+    std::span<const CorruptibleRange> ranges) {
+  if (lost_) return 0;
+  uint32_t flipped = 0;
+  for (size_t i = 0; i < plan_.clauses.size(); ++i) {
+    const FaultClause& clause = plan_.clauses[i];
+    if (clause.kind != FaultKind::kBitflip) continue;
+    if (!Fires(i, launches_)) continue;
+
+    // Pick the target range: labeled, or uniformly among corruptible words.
+    const CorruptibleRange* target = nullptr;
+    uint64_t total_words = 0;
+    for (const CorruptibleRange& r : ranges) {
+      if (!clause.alloc.empty() && r.label != clause.alloc) continue;
+      total_words += r.bytes / 4;
+    }
+    if (total_words == 0) continue;  // nothing eligible (yet)
+    uint64_t word_idx =
+        clause.word_rand ? rngs_[i].UniformInt(total_words)
+                         : std::min(clause.word, total_words - 1);
+    for (const CorruptibleRange& r : ranges) {
+      if (!clause.alloc.empty() && r.label != clause.alloc) continue;
+      const uint64_t words = r.bytes / 4;
+      if (word_idx < words) {
+        target = &r;
+        break;
+      }
+      word_idx -= words;
+    }
+    if (target == nullptr) continue;
+
+    const uint32_t bit = clause.bit_rand
+                             ? static_cast<uint32_t>(rngs_[i].UniformInt(32))
+                             : clause.bit;
+    // XOR through memcpy: the word may be any trivially-copyable type.
+    auto* base = static_cast<unsigned char*>(target->ptr) + word_idx * 4;
+    uint32_t word = 0;
+    std::memcpy(&word, base, sizeof(word));
+    word ^= (1u << bit);
+    std::memcpy(base, &word, sizeof(word));
+    ++flipped;
+    Record(FaultKind::kBitflip, launches_,
+           StrFormat("flipped bit %u of word %llu in '%s'", bit,
+                     static_cast<unsigned long long>(word_idx),
+                     target->label.c_str()));
+  }
+  return flipped;
+}
+
+}  // namespace kcore::sim

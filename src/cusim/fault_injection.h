@@ -1,0 +1,176 @@
+#ifndef KCORE_CUSIM_FAULT_INJECTION_H_
+#define KCORE_CUSIM_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/statusor.h"
+
+namespace kcore::sim {
+
+/// fault_injection — a deterministic fault plan for the simulated device.
+///
+/// A production k-core service must survive the failure modes real GPUs
+/// exhibit: cudaMalloc OOM, lost/failed kernel launches, transient memory
+/// corruption (ECC double-bit errors), and whole-device loss in multi-GPU
+/// runs. This module makes the simulated Device *inject* those faults on a
+/// deterministic, seeded schedule so the recovery paths in the peel drivers
+/// can be exercised and regression-tested. Attach a plan with
+/// DeviceOptions::fault_spec or the environment variable KCORE_FAULTS.
+///
+/// Spec grammar (';'-separated clauses):
+///
+///   spec    := clause (';' clause)*
+///   clause  := kind [ ('@' | ':') param (',' param)* ]
+///   param   := <index>                 -- bare number: the op index (1-based)
+///            | at=<index>              -- same, spelled out
+///            | launch=<index>          -- alias for at= (launch-domain kinds)
+///            | p=<prob>                -- per-op Bernoulli probability
+///            | seed=<u64>              -- per-clause RNG seed
+///            | alloc=<label>           -- bitflip: target allocation label
+///            | word=<index>|rand       -- bitflip: word within the target
+///            | bit=<index>|rand        -- bitflip: bit within the word
+///   kind    := alloc_fail | launch_fail | copy_fail | bitflip | device_lost
+///
+/// Examples:
+///   alloc_fail@3                       the 3rd device allocation gets OOM
+///   launch_fail:p=0.05,seed=7          each launch attempt fails w.p. 0.05
+///   bitflip:launch=12,word=rand        after launch 12 completes, flip a
+///                                      random bit of a corruptible word
+///   device_lost@launch=40              the 40th launch kills the device
+///   copy_fail@2                        the 2nd host<->device copy fails
+///
+/// Fault semantics (each maps to a real CUDA failure; see DESIGN.md):
+///   alloc_fail   Alloc/AllocUninit returns OutOfMemory
+///                                        (cudaErrorMemoryAllocation).
+///   launch_fail  Launch returns Unavailable *before* executing any block —
+///                fail-stop, no partial side effects (a launch-queue
+///                rejection; cudaErrorLaunchFailure). Retrying is a new
+///                attempt and may succeed.
+///   copy_fail    CopyFromHost/CopyToHost returns Unavailable before moving
+///                any byte (a failed cudaMemcpy). Retryable.
+///   bitflip      After the at-th launch completes (or with probability p
+///                after each launch), XOR one bit of one live device word —
+///                an ECC double-bit error. Only allocations the driver has
+///                registered via Device::MarkCorruptible are eligible:
+///                topology arrays are modeled as ECC-scrubbed/checksummed,
+///                and drivers opt in exactly the state they can validate
+///                and roll back.
+///   device_lost  When the launch counter reaches `at`, the device latches
+///                into the lost state (cudaErrorDeviceUnavailable): every
+///                subsequent alloc/launch/copy fails with DeviceLost.
+///
+/// Determinism: all probabilistic decisions come from per-clause xoshiro
+/// RNGs seeded from the clause (or plan) seed, and index triggers count
+/// operations per domain — the same plan driven through the same operation
+/// sequence fires the same faults, which is what makes recovery tests
+/// reproducible (see events()).
+enum class FaultKind : uint8_t {
+  kAllocFail = 0,
+  kLaunchFail = 1,
+  kCopyFail = 2,
+  kBitflip = 3,
+  kDeviceLost = 4,
+};
+
+/// Returns "alloc_fail", "launch_fail", ... for `kind`.
+const char* FaultKindToString(FaultKind kind);
+
+/// One parsed clause of a fault spec.
+struct FaultClause {
+  FaultKind kind = FaultKind::kLaunchFail;
+  /// 1-based index of the triggering operation in the clause's op domain
+  /// (allocations for alloc_fail, launches for launch_fail/bitflip/
+  /// device_lost, copies for copy_fail). 0 = not index-triggered.
+  uint64_t at = 0;
+  /// Per-operation Bernoulli probability. 0 = not probability-triggered.
+  double p = 0.0;
+  /// Per-clause RNG seed; 0 = derive from the clause position.
+  uint64_t seed = 0;
+  /// bitflip targeting: allocation label ("" = any corruptible allocation),
+  /// word/bit index or uniformly random.
+  std::string alloc;
+  uint64_t word = 0;
+  bool word_rand = true;
+  uint32_t bit = 0;
+  bool bit_rand = true;
+};
+
+/// A parsed fault plan. Empty plans inject nothing.
+struct FaultPlan {
+  std::vector<FaultClause> clauses;
+  bool empty() const { return clauses.empty(); }
+};
+
+/// Parses the spec grammar above. Fails with InvalidArgument naming the
+/// offending clause.
+StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec);
+
+/// A fault that actually fired, for logs and determinism tests.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kLaunchFail;
+  /// Operation index (in the clause's domain) at which the fault fired.
+  uint64_t op_index = 0;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// A live device allocation eligible for bitflips (registered through
+/// Device::MarkCorruptible).
+struct CorruptibleRange {
+  void* ptr = nullptr;
+  uint64_t bytes = 0;
+  std::string label;
+};
+
+/// Executes a FaultPlan against the stream of device operations. Owned by
+/// Device; one injector per device. Host-thread only (like the rest of the
+/// Device surface).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Consulted by Device::Alloc/AllocUninit before reserving memory.
+  Status OnAlloc(const char* label, uint64_t bytes);
+  /// Consulted by Device::Launch before any block executes.
+  Status OnLaunch(const char* label);
+  /// Consulted by the DeviceArray copy paths before any byte moves.
+  Status OnCopy(uint64_t bytes);
+
+  /// Applies bitflips scheduled for the just-completed launch to the
+  /// registered corruptible ranges. Returns the number of bits flipped.
+  uint32_t ApplyBitflips(std::span<const CorruptibleRange> ranges);
+
+  /// True once a device_lost clause has fired; all ops fail from then on.
+  bool device_lost() const { return lost_; }
+
+  uint64_t allocs_seen() const { return allocs_; }
+  uint64_t launches_seen() const { return launches_; }
+  uint64_t copies_seen() const { return copies_; }
+
+  /// Every fault that fired, in order. Two injectors with the same plan
+  /// driven through the same op sequence produce identical event logs.
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+ private:
+  /// Shared trigger logic: does `clause` fire at op index `index`?
+  bool Fires(size_t clause_idx, uint64_t index);
+  Status LostStatus() const;
+  void Record(FaultKind kind, uint64_t op_index, std::string detail);
+
+  FaultPlan plan_;
+  std::vector<Rng> rngs_;  ///< One per clause, seeded deterministically.
+  uint64_t allocs_ = 0;
+  uint64_t launches_ = 0;
+  uint64_t copies_ = 0;
+  bool lost_ = false;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace kcore::sim
+
+#endif  // KCORE_CUSIM_FAULT_INJECTION_H_

@@ -2,7 +2,10 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <limits>
 #include <memory>
+#include <string>
 
 #include "common/strings.h"
 
@@ -45,28 +48,87 @@ Status ReadAll(std::FILE* f, void* data, size_t bytes,
   return Status::OK();
 }
 
+/// A short excerpt of `line` for error messages (whole line if short).
+std::string Excerpt(const std::string& line) {
+  constexpr size_t kMax = 40;
+  if (line.size() <= kMax) return line;
+  return line.substr(0, kMax) + "...";
+}
+
+bool IsFieldSeparator(char c) {
+  return c == ' ' || c == '\t' || c == '\r';
+}
+
+/// Parses one nonnegative decimal vertex id starting at line[pos], skipping
+/// leading whitespace; advances pos past the token. Unlike sscanf's %llu,
+/// this rejects (instead of silently wrapping or truncating) negative ids,
+/// non-numeric tokens, and values past uint64 — every way a hand-edited or
+/// truncated edge file lies about a vertex.
+Status ParseVertexId(const std::string& path, size_t line_no,
+                     const std::string& line, const char* what, size_t& pos,
+                     uint64_t* out) {
+  while (pos < line.size() && IsFieldSeparator(line[pos])) ++pos;
+  if (pos >= line.size()) {
+    return Status::InvalidArgument(
+        StrFormat("%s:%zu: truncated edge line (missing %s): '%s'",
+                  path.c_str(), line_no, what, Excerpt(line).c_str()));
+  }
+  if (line[pos] == '-') {
+    return Status::InvalidArgument(
+        StrFormat("%s:%zu: negative vertex id for %s: '%s'", path.c_str(),
+                  line_no, what, Excerpt(line).c_str()));
+  }
+  uint64_t value = 0;
+  const size_t start = pos;
+  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+    const uint64_t digit = static_cast<uint64_t>(line[pos] - '0');
+    if (value > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%zu: vertex id overflows 64 bits for %s: '%s'",
+                    path.c_str(), line_no, what, Excerpt(line).c_str()));
+    }
+    value = value * 10 + digit;
+    ++pos;
+  }
+  const bool empty_token = pos == start;
+  const bool runs_into_garbage =
+      pos < line.size() && !IsFieldSeparator(line[pos]);
+  if (empty_token || runs_into_garbage) {
+    return Status::InvalidArgument(
+        StrFormat("%s:%zu: non-numeric %s token: '%s'", path.c_str(), line_no,
+                  what, Excerpt(line).c_str()));
+  }
+  *out = value;
+  return Status::OK();
+}
+
 }  // namespace
 
 StatusOr<EdgeList> LoadEdgeListText(const std::string& path) {
-  FilePtr file(std::fopen(path.c_str(), "r"));
-  if (file == nullptr) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
     return Status::IOError("cannot open " + path);
   }
   EdgeList edges;
-  char line[512];
+  std::string line;
   size_t line_no = 0;
-  while (std::fgets(line, sizeof(line), file.get()) != nullptr) {
+  while (std::getline(in, line)) {
     ++line_no;
-    const char* p = line;
-    while (*p == ' ' || *p == '\t') ++p;
-    if (*p == '\0' || *p == '\n' || *p == '#' || *p == '%') continue;
-    unsigned long long u = 0;
-    unsigned long long v = 0;
-    if (std::sscanf(p, "%llu %llu", &u, &v) != 2) {
-      return Status::Corruption(
-          StrFormat("%s:%zu: malformed edge line", path.c_str(), line_no));
-    }
+    size_t pos = 0;
+    while (pos < line.size() && IsFieldSeparator(line[pos])) ++pos;
+    if (pos >= line.size() || line[pos] == '#' || line[pos] == '%') continue;
+    uint64_t u = 0;
+    uint64_t v = 0;
+    KCORE_RETURN_IF_ERROR(
+        ParseVertexId(path, line_no, line, "source", pos, &u));
+    KCORE_RETURN_IF_ERROR(
+        ParseVertexId(path, line_no, line, "target", pos, &v));
+    // Anything after the two endpoints (weights, timestamps) is ignored, as
+    // long as it is whitespace-separated — checked by ParseVertexId above.
     edges.push_back({u, v});
+  }
+  if (in.bad()) {
+    return Status::IOError("read error on " + path);
   }
   return edges;
 }

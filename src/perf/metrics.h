@@ -31,6 +31,28 @@ struct Metrics {
   uint32_t iterations = 0;
   /// Aggregated operation counts.
   PerfCounters counters;
+
+  // Fault-recovery telemetry (resilient drivers only; all zero/false when no
+  // fault plan is attached — see cusim/fault_injection.h).
+  /// True when part of the decomposition ran on the CPU fallback path after
+  /// the device died or exhausted its retry budget. The result is still
+  /// exact; this flag reports that the modeled GPU time is partial.
+  bool degraded = false;
+  /// Transient launch/copy failures absorbed by op-level retry.
+  uint32_t retries = 0;
+  /// Round-boundary checkpoints of core[]/frontier state taken.
+  uint32_t checkpoints_taken = 0;
+  /// Rounds rolled back and re-executed after failing invariant validation
+  /// (bitflip corruption caught by the post-round check).
+  uint32_t levels_reexecuted = 0;
+  /// Rounds completed by the CPU PKC warm start instead of the device.
+  uint32_t cpu_fallback_levels = 0;
+  /// Devices permanently lost mid-decomposition (multi-GPU: resharded onto
+  /// survivors; single-GPU: CPU fallback).
+  uint32_t devices_lost = 0;
+  /// Wall-clock time spent inside recovery machinery: checkpointing,
+  /// validation, rollback re-execution, and the CPU fallback.
+  double recovery_ms = 0.0;
 };
 
 }  // namespace kcore

@@ -53,11 +53,11 @@ StatusOr<DecomposeResult> RunGunrockKCore(const CsrGraph& graph,
   (void)d_candidates;
   (void)d_scratch;
 
-  d_offsets.CopyFromHost(graph.offsets());
-  d_neighbors.CopyFromHost(graph.neighbors());
+  KCORE_RETURN_IF_ERROR(d_offsets.CopyFromHost(graph.offsets()));
+  KCORE_RETURN_IF_ERROR(d_neighbors.CopyFromHost(graph.neighbors()));
   {
     const auto deg = graph.DegreeArray();
-    d_deg.CopyFromHost(deg);
+    KCORE_RETURN_IF_ERROR(d_deg.CopyFromHost(deg));
   }
   std::fill(d_alive.span().begin(), d_alive.span().end(), uint8_t{1});
 
@@ -165,7 +165,7 @@ StatusOr<DecomposeResult> RunGunrockKCore(const CsrGraph& graph,
   }
 
   result.core.assign(n, 0);
-  d_deg.CopyToHost(result.core);
+  KCORE_RETURN_IF_ERROR(d_deg.CopyToHost(result.core));
   result.metrics.wall_ms = timer.ElapsedMillis();
   result.metrics.modeled_ms = clock.ms();
   result.metrics.peak_device_bytes = device.peak_bytes();

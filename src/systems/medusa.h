@@ -123,8 +123,8 @@ Status MedusaEngine<Program>::Init() {
   KCORE_ASSIGN_OR_RETURN(
       reverse_edge_,
       device_.Alloc<uint64_t>(std::max<EdgeIndex>(1, m), "md_reverse_edge"));
-  d_offsets_.CopyFromHost(graph_.offsets());
-  d_neighbors_.CopyFromHost(graph_.neighbors());
+  KCORE_RETURN_IF_ERROR(d_offsets_.CopyFromHost(graph_.offsets()));
+  KCORE_RETURN_IF_ERROR(d_neighbors_.CopyFromHost(graph_.neighbors()));
 
   // Reverse-edge index: slot i carrying (u,v) maps to the slot of (v,u).
   // Built once on the host (part of Medusa's graph construction).
@@ -140,7 +140,7 @@ Status MedusaEngine<Program>::Init() {
       reverse[begin + j] = graph_.offsets()[v] + (it - vn.begin());
     }
   }
-  reverse_edge_.CopyFromHost(reverse);
+  KCORE_RETURN_IF_ERROR(reverse_edge_.CopyFromHost(reverse));
   return Status::OK();
 }
 

@@ -81,9 +81,9 @@ TEST(DeviceTest, AllocUninitAccountsLikeAlloc) {
     // must round-trip.
     std::vector<uint32_t> host(1000);
     std::iota(host.begin(), host.end(), 7u);
-    arr->CopyFromHost(host);
+    ASSERT_TRUE(arr->CopyFromHost(host).ok());
     std::vector<uint32_t> back(1000);
-    arr->CopyToHost(back);
+    ASSERT_TRUE(arr->CopyToHost(back).ok());
     EXPECT_EQ(back, host);
   }
   EXPECT_EQ(device.current_bytes(), 0u);
@@ -96,9 +96,9 @@ TEST(DeviceTest, CopyRoundTripChargesTransfer) {
   auto arr = device.Alloc<uint32_t>(8);
   ASSERT_TRUE(arr.ok());
   std::vector<uint32_t> host = {1, 2, 3, 4, 5, 6, 7, 8};
-  arr->CopyFromHost(host);
+  ASSERT_TRUE(arr->CopyFromHost(host).ok());
   std::vector<uint32_t> back(8);
-  arr->CopyToHost(back);
+  ASSERT_TRUE(arr->CopyToHost(back).ok());
   EXPECT_EQ(back, host);
   EXPECT_GT(device.transfer_ms(), 0.0);
 }
@@ -119,13 +119,14 @@ TEST(DeviceTest, MoveTransfersOwnership) {
 TEST(LaunchTest, AllBlocksRunWithCorrectGeometry) {
   Device device;
   std::vector<std::atomic<int>> block_runs(6);
-  device.Launch(6, 64, [&](auto& block) {
+  ASSERT_TRUE(device.Launch(6, 64, [&](auto& block) {
     EXPECT_EQ(block.num_blocks(), 6u);
     EXPECT_EQ(block.block_dim(), 64u);
     EXPECT_EQ(block.num_warps(), 2u);
     EXPECT_EQ(block.grid_threads(), 384u);
     block_runs[block.block_id()].fetch_add(1);
-  });
+  })
+                  .ok());
   for (auto& r : block_runs) EXPECT_EQ(r.load(), 1);
   EXPECT_GT(device.modeled_ms(), 0.0);
   EXPECT_EQ(device.totals().kernel_launches, 1u);
@@ -135,26 +136,29 @@ TEST(LaunchTest, CrossBlockAtomicsAreReal) {
   Device device;
   auto counter = device.Alloc<uint64_t>(1);
   ASSERT_TRUE(counter.ok());
-  device.Launch(16, 32, [&](auto& block) {
+  ASSERT_TRUE(device.Launch(16, 32, [&](auto& block) {
     block.ForEachThread([&](uint32_t) {
       AtomicAdd(counter->data(), uint64_t{1}, block.counters());
     });
-  });
+  })
+                  .ok());
   EXPECT_EQ(counter->data()[0], 16u * 32);
 }
 
 TEST(LaunchTest, ModeledTimeGrowsWithWork) {
   Device device;
-  device.Launch(4, 32, [&](auto& block) {
+  ASSERT_TRUE(device.Launch(4, 32, [&](auto& block) {
     block.ForEachThread([](uint32_t) {});
-  });
+  })
+                  .ok());
   const double small = device.modeled_ms();
   device.ResetClock();
-  device.Launch(4, 32, [&](auto& block) {
+  ASSERT_TRUE(device.Launch(4, 32, [&](auto& block) {
     for (int i = 0; i < 2000; ++i) {
       block.ForEachThread([](uint32_t) {});
     }
-  });
+  })
+                  .ok());
   EXPECT_GT(device.modeled_ms(), small);
 }
 
@@ -403,21 +407,23 @@ TEST(SimcheckTest, CleanKernelProducesCleanReport) {
   ASSERT_TRUE(data.ok() && sum.ok());
   uint32_t* d = data->data();
   uint32_t* s = sum->data();
-  device.Launch(4, 64, "fill", [&](auto& block) {
+  ASSERT_TRUE(device.Launch(4, 64, "fill", [&](auto& block) {
     auto& c = block.counters();
     block.ForEachThread([&](uint32_t t) {
       const uint32_t i = block.block_id() * 64 + t;
       GlobalStore(&d[i], i, c);       // disjoint cells across blocks
       AtomicAdd(s, uint32_t{1}, c);   // shared cell, but atomic
     });
-  });
-  device.Launch(4, 64, "read", [&](auto& block) {
+  })
+                  .ok());
+  ASSERT_TRUE(device.Launch(4, 64, "read", [&](auto& block) {
     auto& c = block.counters();
     block.ForEachThread([&](uint32_t t) {
       const uint32_t i = block.block_id() * 64 + t;
       EXPECT_EQ(GlobalLoad(&d[i], c), i);
     });
-  });
+  })
+                  .ok());
   EXPECT_TRUE(device.CheckStatus().ok()) << device.CheckStatus().ToString();
   EXPECT_TRUE(device.checker()->report().clean());
 }
@@ -428,13 +434,14 @@ TEST(SimcheckTest, MemcheckFlagsOutOfBoundsAccessAndContainsIt) {
   ASSERT_TRUE(data.ok());
   uint32_t* d = data->data();
   std::atomic<uint32_t> observed{7};
-  device.Launch(1, 32, "oob", [&](auto& block) {
+  ASSERT_TRUE(device.Launch(1, 32, "oob", [&](auto& block) {
     auto& c = block.counters();
     // One past the end: flagged, and the load is contained to T{} instead
     // of dereferencing (keeps this test ASan-clean).
     observed = GlobalLoad(&d[16], c);
     GlobalStore(&d[16], 42u, c);  // contained store
-  });
+  })
+                  .ok());
   const CheckReport& report = device.checker()->report();
   EXPECT_EQ(observed.load(), 0u);
   EXPECT_EQ(report.count(CheckKind::kMemcheck), 2u);
@@ -448,11 +455,12 @@ TEST(SimcheckTest, InitcheckFlagsReadOfNeverWrittenWord) {
   ASSERT_TRUE(data.ok());
   uint32_t* d = data->data();
   std::atomic<uint32_t> observed{7};
-  device.Launch(1, 32, "read_uninit", [&](auto& block) {
+  ASSERT_TRUE(device.Launch(1, 32, "read_uninit", [&](auto& block) {
     auto& c = block.counters();
     GlobalStore(&d[0], 5u, c);
     observed = GlobalLoad(&d[0], c) + GlobalLoad(&d[1], c);  // d[1] is junk
-  });
+  })
+                  .ok());
   const CheckReport& report = device.checker()->report();
   EXPECT_EQ(observed.load(), 5u);  // the invalid read was contained to 0
   EXPECT_EQ(report.count(CheckKind::kInitcheck), 1u);
@@ -465,12 +473,13 @@ TEST(SimcheckTest, InitcheckAcceptsCopyFromHostAsInitialization) {
   auto data = device.AllocUninit<uint32_t>(8, "staged");
   ASSERT_TRUE(data.ok());
   const std::vector<uint32_t> host(8, 3);
-  data->CopyFromHost(host);
+  ASSERT_TRUE(data->CopyFromHost(host).ok());
   uint32_t* d = data->data();
-  device.Launch(1, 32, "read_staged", [&](auto& block) {
+  ASSERT_TRUE(device.Launch(1, 32, "read_staged", [&](auto& block) {
     auto& c = block.counters();
     EXPECT_EQ(GlobalLoad(&d[7], c), 3u);
-  });
+  })
+                  .ok());
   EXPECT_TRUE(device.CheckStatus().ok()) << device.CheckStatus().ToString();
 }
 
@@ -479,7 +488,7 @@ TEST(SimcheckTest, InitcheckFlagsCopyToHostOfUninitializedMemory) {
   auto data = device.AllocUninit<uint32_t>(4, "never_written");
   ASSERT_TRUE(data.ok());
   std::vector<uint32_t> host(4, 0);
-  data->CopyToHost(host);
+  ASSERT_TRUE(data->CopyToHost(host).ok());
   EXPECT_EQ(device.checker()->report().count(CheckKind::kInitcheck), 4u);
 }
 
@@ -492,10 +501,11 @@ TEST(SimcheckTest, RacecheckFlagsCrossBlockPlainWrites) {
   // the redundancy-avoidance logic would never survive. Detection is
   // schedule-independent (shadow tags carry block id + launch epoch), so
   // this fires even if the host serializes the blocks.
-  device.Launch(4, 32, "racy", [&](auto& block) {
+  ASSERT_TRUE(device.Launch(4, 32, "racy", [&](auto& block) {
     auto& c = block.counters();
     GlobalStore(p, block.block_id(), c);
-  });
+  })
+                  .ok());
   EXPECT_GE(device.checker()->report().count(CheckKind::kRacecheck), 1u);
   EXPECT_FALSE(device.CheckStatus().ok());
 }
@@ -507,12 +517,13 @@ TEST(SimcheckTest, RacecheckAllowsAtomicsAndStaleReads) {
   uint32_t* p = cell->data();
   // Device-wide atomics racing plain reads of the same word are the paper's
   // Alg. 3 lines 20-24 pattern (stale deg reads vs. atomicSub) — legal.
-  device.Launch(4, 32, "atomic_vs_read", [&](auto& block) {
+  ASSERT_TRUE(device.Launch(4, 32, "atomic_vs_read", [&](auto& block) {
     auto& c = block.counters();
     (void)GlobalLoad(p, c);
     AtomicAdd(p, 1u, c);
     AtomicSub(p, 1u, c);
-  });
+  })
+                  .ok());
   EXPECT_TRUE(device.CheckStatus().ok()) << device.CheckStatus().ToString();
 }
 
@@ -521,18 +532,20 @@ TEST(SimcheckTest, RacecheckIgnoresWritesFromDifferentLaunches) {
   auto cell = device.Alloc<uint32_t>(1, "cell");
   ASSERT_TRUE(cell.ok());
   uint32_t* p = cell->data();
-  device.Launch(1, 32, "first", [&](auto& block) {
+  ASSERT_TRUE(device.Launch(1, 32, "first", [&](auto& block) {
     GlobalStore(p, 1u, block.counters());
-  });
-  device.Launch(2, 32, "second", [&](auto& block) {
+  })
+                  .ok());
+  ASSERT_TRUE(device.Launch(2, 32, "second", [&](auto& block) {
     if (block.block_id() == 1) GlobalStore(p, 2u, block.counters());
-  });
+  })
+                  .ok());
   EXPECT_TRUE(device.CheckStatus().ok()) << device.CheckStatus().ToString();
 }
 
 TEST(SimcheckTest, SynccheckFlagsCrossWarpSharedConflictWithoutBarrier) {
   Device device(CheckedOptions());
-  device.Launch(1, 64, "missing_sync", [&](auto& block) {
+  ASSERT_TRUE(device.Launch(1, 64, "missing_sync", [&](auto& block) {
     auto& c = block.counters();
     auto* flag = block.template SharedAlloc<uint32_t>(1);
     block.ForEachWarp([&](WarpCtx& warp) {
@@ -544,14 +557,15 @@ TEST(SimcheckTest, SynccheckFlagsCrossWarpSharedConflictWithoutBarrier) {
         (void)SharedLoad(flag, c);
       }
     });
-  });
+  })
+                  .ok());
   EXPECT_GE(device.checker()->report().count(CheckKind::kSynccheck), 1u);
   EXPECT_FALSE(device.CheckStatus().ok());
 }
 
 TEST(SimcheckTest, SynccheckAcceptsBarrierSeparatedSharedTraffic) {
   Device device(CheckedOptions());
-  device.Launch(1, 64, "with_sync", [&](auto& block) {
+  ASSERT_TRUE(device.Launch(1, 64, "with_sync", [&](auto& block) {
     auto& c = block.counters();
     auto* flag = block.template SharedAlloc<uint32_t>(1);
     block.ForEachWarp([&](WarpCtx& warp) {
@@ -563,19 +577,21 @@ TEST(SimcheckTest, SynccheckAcceptsBarrierSeparatedSharedTraffic) {
         EXPECT_EQ(SharedLoad(flag, c), 1u);
       }
     });
-  });
+  })
+                  .ok());
   EXPECT_TRUE(device.CheckStatus().ok()) << device.CheckStatus().ToString();
 }
 
 TEST(SimcheckTest, SynccheckAllowsSharedAtomics) {
   Device device(CheckedOptions());
-  device.Launch(1, 128, "shared_atomics", [&](auto& block) {
+  ASSERT_TRUE(device.Launch(1, 128, "shared_atomics", [&](auto& block) {
     auto& c = block.counters();
     auto* e = block.template SharedAlloc<uint64_t>(1);
     block.ForEachThread([&](uint32_t) {
       AtomicAdd(e, uint64_t{1}, c, MemSpace::kShared);
     });
-  });
+  })
+                  .ok());
   EXPECT_TRUE(device.CheckStatus().ok()) << device.CheckStatus().ToString();
 }
 

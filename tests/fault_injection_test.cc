@@ -1,0 +1,295 @@
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cusim/device.h"
+#include "cusim/fault_injection.h"
+
+namespace kcore::sim {
+namespace {
+
+// ----------------------------------------------------------------- Parser --
+
+TEST(FaultSpecTest, ParsesEveryClauseKind) {
+  auto plan = ParseFaultSpec(
+      "alloc_fail@3;launch_fail:p=0.05,seed=7;bitflip:launch=12,word=rand;"
+      "device_lost@launch=40;copy_fail@2");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->clauses.size(), 5u);
+
+  EXPECT_EQ(plan->clauses[0].kind, FaultKind::kAllocFail);
+  EXPECT_EQ(plan->clauses[0].at, 3u);
+
+  EXPECT_EQ(plan->clauses[1].kind, FaultKind::kLaunchFail);
+  EXPECT_DOUBLE_EQ(plan->clauses[1].p, 0.05);
+  EXPECT_EQ(plan->clauses[1].seed, 7u);
+
+  EXPECT_EQ(plan->clauses[2].kind, FaultKind::kBitflip);
+  EXPECT_EQ(plan->clauses[2].at, 12u);
+  EXPECT_TRUE(plan->clauses[2].word_rand);
+  EXPECT_TRUE(plan->clauses[2].bit_rand);
+
+  EXPECT_EQ(plan->clauses[3].kind, FaultKind::kDeviceLost);
+  EXPECT_EQ(plan->clauses[3].at, 40u);
+
+  EXPECT_EQ(plan->clauses[4].kind, FaultKind::kCopyFail);
+  EXPECT_EQ(plan->clauses[4].at, 2u);
+}
+
+TEST(FaultSpecTest, ParsesBitflipTargeting) {
+  auto plan = ParseFaultSpec("bitflip:at=5,alloc=deg,word=17,bit=3");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const FaultClause& c = plan->clauses[0];
+  EXPECT_EQ(c.alloc, "deg");
+  EXPECT_EQ(c.word, 17u);
+  EXPECT_FALSE(c.word_rand);
+  EXPECT_EQ(c.bit, 3u);
+  EXPECT_FALSE(c.bit_rand);
+}
+
+TEST(FaultSpecTest, RejectsMalformedSpecs) {
+  // Unknown kind, unknown key, missing trigger, out-of-range values: each
+  // must fail InvalidArgument naming the clause, never inject silently.
+  for (const char* bad : {
+           "explode@3",                // unknown kind
+           "launch_fail:frobnicate=1", // unknown key
+           "launch_fail",              // no @N and no p=
+           "launch_fail:seed=9",       // still no trigger
+           "launch_fail:p=1.5",        // probability out of [0, 1]
+           "launch_fail:p=-0.1",
+           "bitflip:at=1,bit=32",      // bit index past a 32-bit word
+           "alloc_fail@",              // empty param
+           "launch_fail:at=xyz",       // non-numeric index
+       }) {
+    auto plan = ParseFaultSpec(bad);
+    EXPECT_FALSE(plan.ok()) << "accepted: " << bad;
+    EXPECT_TRUE(plan.status().IsInvalidArgument()) << bad;
+  }
+}
+
+TEST(FaultSpecTest, EmptySpecIsEmptyPlan) {
+  auto plan = ParseFaultSpec("");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->empty());
+}
+
+// --------------------------------------------------------------- Injector --
+
+TEST(FaultInjectorTest, IndexTriggersFireExactlyOnce) {
+  auto plan = ParseFaultSpec("alloc_fail@2;launch_fail@3;copy_fail@1");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(*std::move(plan));
+
+  EXPECT_TRUE(injector.OnAlloc("a", 64).ok());
+  EXPECT_TRUE(injector.OnAlloc("b", 64).IsOutOfMemory());
+  EXPECT_TRUE(injector.OnAlloc("c", 64).ok());
+
+  EXPECT_TRUE(injector.OnLaunch("k1").ok());
+  EXPECT_TRUE(injector.OnLaunch("k2").ok());
+  EXPECT_TRUE(injector.OnLaunch("k3").IsUnavailable());
+  EXPECT_TRUE(injector.OnLaunch("k4").ok());
+
+  EXPECT_TRUE(injector.OnCopy(256).IsUnavailable());
+  EXPECT_TRUE(injector.OnCopy(256).ok());
+
+  ASSERT_EQ(injector.events().size(), 3u);
+  EXPECT_EQ(injector.events()[0].kind, FaultKind::kAllocFail);
+  EXPECT_EQ(injector.events()[0].op_index, 2u);
+}
+
+TEST(FaultInjectorTest, ProbabilityOneFailsEveryLaunch) {
+  auto plan = ParseFaultSpec("launch_fail:p=1.0");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(*std::move(plan));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(injector.OnLaunch("k").IsUnavailable()) << i;
+  }
+  EXPECT_EQ(injector.launches_seen(), 10u);
+}
+
+TEST(FaultInjectorTest, DeviceLostLatchesAcrossAllDomains) {
+  auto plan = ParseFaultSpec("device_lost@launch=2");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(*std::move(plan));
+  EXPECT_TRUE(injector.OnLaunch("k1").ok());
+  EXPECT_FALSE(injector.device_lost());
+  EXPECT_TRUE(injector.OnLaunch("k2").IsDeviceLost());
+  EXPECT_TRUE(injector.device_lost());
+  // Lost is permanent and poisons every op domain, like a real device loss.
+  EXPECT_TRUE(injector.OnLaunch("k3").IsDeviceLost());
+  EXPECT_TRUE(injector.OnAlloc("a", 8).IsDeviceLost());
+  EXPECT_TRUE(injector.OnCopy(8).IsDeviceLost());
+}
+
+TEST(FaultInjectorTest, TargetedBitflipFlipsExactBit) {
+  auto plan = ParseFaultSpec("bitflip:at=1,alloc=deg,word=2,bit=3");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(*std::move(plan));
+  uint32_t words[4] = {10, 20, 30, 40};
+  std::vector<CorruptibleRange> ranges = {
+      {words, sizeof(words), "deg"},
+  };
+  EXPECT_TRUE(injector.OnLaunch("k").ok());
+  EXPECT_EQ(injector.ApplyBitflips(ranges), 1u);
+  EXPECT_EQ(words[2], 30u ^ (1u << 3));
+  EXPECT_EQ(words[0], 10u);
+  EXPECT_EQ(words[1], 20u);
+  EXPECT_EQ(words[3], 40u);
+  // Fired once; launch 2 leaves memory alone.
+  EXPECT_TRUE(injector.OnLaunch("k").ok());
+  EXPECT_EQ(injector.ApplyBitflips(ranges), 0u);
+}
+
+TEST(FaultInjectorTest, BitflipHonorsAllocLabelFilter) {
+  auto plan = ParseFaultSpec("bitflip:at=1,alloc=deg,word=0,bit=0");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector injector(*std::move(plan));
+  uint32_t other[2] = {1, 2};
+  std::vector<CorruptibleRange> ranges = {
+      {other, sizeof(other), "frontier"},
+  };
+  EXPECT_TRUE(injector.OnLaunch("k").ok());
+  // No range carries the requested label: nothing to corrupt.
+  EXPECT_EQ(injector.ApplyBitflips(ranges), 0u);
+  EXPECT_EQ(other[0], 1u);
+  EXPECT_EQ(other[1], 2u);
+}
+
+TEST(FaultInjectorTest, SamePlanSameOpsSameEventLog) {
+  // The determinism contract: a seeded plan driven through an identical op
+  // sequence fires identical faults — what makes recovery tests repeatable.
+  const std::string spec =
+      "launch_fail:p=0.3,seed=42;copy_fail:p=0.2,seed=9;bitflip:p=0.5,seed=5";
+  auto drive = [&spec]() {
+    auto plan = ParseFaultSpec(spec);
+    KCORE_CHECK(plan.ok());
+    FaultInjector injector(*std::move(plan));
+    uint32_t words[8] = {0};
+    std::vector<CorruptibleRange> ranges = {{words, sizeof(words), "deg"}};
+    std::vector<std::string> log;
+    for (int i = 0; i < 50; ++i) {
+      if (injector.OnLaunch("k").ok()) {
+        injector.ApplyBitflips(ranges);
+      }
+      (void)injector.OnCopy(128);
+    }
+    for (const FaultEvent& e : injector.events()) log.push_back(e.ToString());
+    return log;
+  };
+  const auto first = drive();
+  const auto second = drive();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(FaultInjectorTest, DistinctSeedsGiveDistinctSchedules) {
+  auto drive = [](const std::string& spec) {
+    auto plan = ParseFaultSpec(spec);
+    KCORE_CHECK(plan.ok());
+    FaultInjector injector(*std::move(plan));
+    std::vector<uint64_t> failed;
+    for (uint64_t i = 1; i <= 200; ++i) {
+      if (!injector.OnLaunch("k").ok()) failed.push_back(i);
+    }
+    return failed;
+  };
+  EXPECT_NE(drive("launch_fail:p=0.5,seed=1"),
+            drive("launch_fail:p=0.5,seed=2"));
+}
+
+// ------------------------------------------------------ Device integration -
+
+TEST(DeviceFaultTest, SpecViaOptionsGatesAllocation) {
+  DeviceOptions options;
+  options.fault_spec = "alloc_fail@2";
+  Device device(options);
+  EXPECT_TRUE(device.fault_injection_enabled());
+  auto first = device.Alloc<uint32_t>(8, "first");
+  ASSERT_TRUE(first.ok());
+  auto second = device.Alloc<uint32_t>(8, "second");
+  EXPECT_TRUE(second.status().IsOutOfMemory());
+  // The injected failure reserved nothing.
+  EXPECT_EQ(device.current_bytes(), 32u);
+}
+
+TEST(DeviceFaultTest, LaunchFailureSkipsKernelBody) {
+  DeviceOptions options;
+  options.fault_spec = "launch_fail@1";
+  Device device(options);
+  int runs = 0;
+  Status st = device.Launch(1, 32, [&](auto&) { ++runs; });
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_EQ(runs, 0);  // fail-stop: no partial execution
+  EXPECT_EQ(device.totals().kernel_launches, 0u);
+  // The retry is a fresh attempt and succeeds.
+  EXPECT_TRUE(device.Launch(1, 32, [&](auto&) { ++runs; }).ok());
+  EXPECT_GT(runs, 0);
+  EXPECT_EQ(device.totals().kernel_launches, 1u);
+}
+
+TEST(DeviceFaultTest, CopyFaultMovesNoBytes) {
+  DeviceOptions options;
+  options.fault_spec = "copy_fail@2";
+  Device device(options);
+  auto arr = device.Alloc<uint32_t>(4, "data");
+  ASSERT_TRUE(arr.ok());
+  const std::vector<uint32_t> host = {5, 6, 7, 8};
+  ASSERT_TRUE(arr->CopyFromHost(host).ok());
+  std::vector<uint32_t> back(4, 0);
+  EXPECT_TRUE(arr->CopyToHost(back).IsUnavailable());
+  EXPECT_EQ(back, std::vector<uint32_t>(4, 0));  // untouched
+  EXPECT_TRUE(arr->CopyToHost(back).ok());
+  EXPECT_EQ(back, host);
+}
+
+TEST(DeviceFaultTest, BitflipOnlyTouchesMarkedAllocations) {
+  DeviceOptions options;
+  options.fault_spec = "bitflip:at=1,word=0,bit=0";
+  Device device(options);
+  auto protected_arr = device.Alloc<uint32_t>(4, "topology");
+  auto corruptible = device.Alloc<uint32_t>(4, "deg");
+  ASSERT_TRUE(protected_arr.ok() && corruptible.ok());
+  device.MarkCorruptible(*corruptible, "deg");
+  ASSERT_TRUE(device.Launch(1, 32, [](auto&) {}).ok());
+  EXPECT_EQ(corruptible->data()[0], 1u);   // bit 0 of word 0 flipped
+  EXPECT_EQ(protected_arr->data()[0], 0u); // unmarked: ECC-protected
+  ASSERT_NE(device.faults(), nullptr);
+  ASSERT_EQ(device.faults()->events().size(), 1u);
+  EXPECT_EQ(device.faults()->events()[0].kind, FaultKind::kBitflip);
+}
+
+TEST(DeviceFaultTest, HealthCheckAdvancesLaunchDomain) {
+  DeviceOptions options;
+  options.fault_spec = "device_lost@launch=3";
+  Device device(options);
+  EXPECT_TRUE(device.HealthCheck().ok());
+  EXPECT_TRUE(device.HealthCheck().ok());
+  EXPECT_TRUE(device.HealthCheck().IsDeviceLost());
+  // Lost latches: allocations are dead too.
+  EXPECT_TRUE(device.Alloc<uint32_t>(1).status().IsDeviceLost());
+}
+
+TEST(DeviceFaultTest, MalformedSpecSurfacesFromFirstOp) {
+  DeviceOptions options;
+  options.fault_spec = "launch_fail:p=nope";
+  Device device(options);
+  EXPECT_TRUE(device.fault_injection_enabled());
+  EXPECT_TRUE(device.Alloc<uint32_t>(8).status().IsInvalidArgument());
+  EXPECT_TRUE(device.HealthCheck().IsInvalidArgument());
+}
+
+TEST(DeviceFaultTest, EnvVariableAttachesPlan) {
+  ASSERT_EQ(setenv("KCORE_FAULTS", "launch_fail@1", 1), 0);
+  Device device;
+  ASSERT_EQ(unsetenv("KCORE_FAULTS"), 0);
+  EXPECT_TRUE(device.fault_injection_enabled());
+  EXPECT_TRUE(device.Launch(1, 32, [](auto&) {}).IsUnavailable());
+
+  Device clean;
+  EXPECT_FALSE(clean.fault_injection_enabled());
+}
+
+}  // namespace
+}  // namespace kcore::sim

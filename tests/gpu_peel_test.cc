@@ -314,6 +314,158 @@ TEST(GpuPeelTest, InvalidGeometryRejected) {
                   .IsInvalidArgument());
 }
 
+// ---------------------------------------------- Fault injection matrix ----
+
+sim::DeviceOptions FaultyDevice(const std::string& spec) {
+  sim::DeviceOptions device = SmallDevice();
+  device.fault_spec = spec;
+  return device;
+}
+
+/// The buffering variants whose recovery paths differ: plain atomic append,
+/// append without ring recycling, and shared-memory staging.
+std::vector<VariantCase> ResilienceVariants() {
+  VariantCase ring{SmallGeometry(), "Ring"};
+  GpuPeelOptions append = SmallGeometry();
+  append.ring_buffer = false;
+  VariantCase no_ring{append, "Append"};
+  GpuPeelOptions sm = SmallGeometry(GpuPeelOptions::Sm());
+  sm.shared_buffer_capacity = 256;
+  VariantCase shared{sm, "SM"};
+  return {ring, no_ring, shared};
+}
+
+class FaultMatrixTest : public ::testing::TestWithParam<VariantCase> {};
+
+TEST_P(FaultMatrixTest, TransientLaunchFailuresAreRetried) {
+  const auto g = testing::RandomSuite()[0].graph;
+  const std::vector<uint32_t> oracle = RunNaiveReference(g).core;
+  auto result = RunGpuPeel(g, GetParam().options,
+                           FaultyDevice("launch_fail@2;launch_fail@5"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->core, oracle);
+  EXPECT_GE(result->metrics.retries, 2u);
+  EXPECT_FALSE(result->metrics.degraded);
+  EXPECT_EQ(result->metrics.cpu_fallback_levels, 0u);
+}
+
+TEST_P(FaultMatrixTest, TransientCopyFailuresAreRetried) {
+  const auto g = testing::RandomSuite()[0].graph;
+  const std::vector<uint32_t> oracle = RunNaiveReference(g).core;
+  auto result =
+      RunGpuPeel(g, GetParam().options, FaultyDevice("copy_fail@1;copy_fail@3"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->core, oracle);
+  EXPECT_GE(result->metrics.retries, 2u);
+  EXPECT_FALSE(result->metrics.degraded);
+}
+
+TEST_P(FaultMatrixTest, BitflipIsDetectedRolledBackAndReexecuted) {
+  const auto g = testing::RandomSuite()[0].graph;
+  const std::vector<uint32_t> oracle = RunNaiveReference(g).core;
+  auto result = RunGpuPeel(g, GetParam().options,
+                           FaultyDevice("bitflip:launch=5,word=0,bit=4"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->core, oracle);
+  // The flipped degree word violates a round invariant, so the level is
+  // rolled back to the checkpoint and re-executed (the flip is one-shot).
+  EXPECT_GE(result->metrics.levels_reexecuted, 1u);
+  EXPECT_GT(result->metrics.checkpoints_taken, 0u);
+  EXPECT_FALSE(result->metrics.degraded);
+}
+
+TEST_P(FaultMatrixTest, DeviceLossDegradesToCpuWarmStart) {
+  const auto g = testing::RandomSuite()[0].graph;
+  const std::vector<uint32_t> oracle = RunNaiveReference(g).core;
+  auto result = RunGpuPeel(g, GetParam().options,
+                           FaultyDevice("device_lost@launch=6"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->core, oracle);
+  EXPECT_TRUE(result->metrics.degraded);
+  EXPECT_EQ(result->metrics.devices_lost, 1u);
+  EXPECT_GE(result->metrics.cpu_fallback_levels, 1u);
+}
+
+TEST_P(FaultMatrixTest, SetupAllocFailureDegradesToCpu) {
+  const auto g = testing::RandomSuite()[0].graph;
+  const std::vector<uint32_t> oracle = RunNaiveReference(g).core;
+  auto result =
+      RunGpuPeel(g, GetParam().options, FaultyDevice("alloc_fail@2"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->core, oracle);
+  EXPECT_TRUE(result->metrics.degraded);
+  // Nothing ran on the device: the whole decomposition is CPU levels.
+  EXPECT_EQ(result->metrics.cpu_fallback_levels, result->metrics.rounds);
+}
+
+TEST_P(FaultMatrixTest, PersistentLaunchFailureExhaustsRetriesThenDegrades) {
+  const auto g = testing::RandomSuite()[0].graph;
+  const std::vector<uint32_t> oracle = RunNaiveReference(g).core;
+  auto result = RunGpuPeel(g, GetParam().options,
+                           FaultyDevice("launch_fail:p=1.0,seed=3"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->core, oracle);
+  EXPECT_TRUE(result->metrics.degraded);
+  EXPECT_GE(result->metrics.retries,
+            GetParam().options.resilience.max_op_retries);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BufferVariants, FaultMatrixTest, ::testing::ValuesIn(ResilienceVariants()),
+    [](const ::testing::TestParamInfo<VariantCase>& info) {
+      return info.param.name;
+    });
+
+TEST(GpuPeelFaultTest, FallbackDisabledSurfacesDeviceLoss) {
+  GpuPeelOptions options = SmallGeometry();
+  options.resilience.cpu_fallback = false;
+  const auto g = testing::RandomSuite()[0].graph;
+  auto result = RunGpuPeel(g, options, FaultyDevice("device_lost@launch=4"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeviceLost()) << result.status().ToString();
+}
+
+TEST(GpuPeelFaultTest, ResilienceDisabledSurfacesFirstFault) {
+  GpuPeelOptions options = SmallGeometry();
+  options.resilience.enabled = false;
+  const auto g = testing::CliqueGraph(8).graph;
+  auto launch = RunGpuPeel(g, options, FaultyDevice("launch_fail@1"));
+  EXPECT_TRUE(launch.status().IsUnavailable());
+  auto alloc = RunGpuPeel(g, options, FaultyDevice("alloc_fail@1"));
+  EXPECT_TRUE(alloc.status().IsOutOfMemory());
+}
+
+TEST(GpuPeelFaultTest, MalformedSpecRejectedCleanly) {
+  auto result = RunGpuPeel(testing::CliqueGraph(4).graph, SmallGeometry(),
+                           FaultyDevice("explode@7"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(GpuPeelFaultTest, LaunchCountExcludesFailedAttempts) {
+  // Metric-exact accounting under transients: the clique peels in 10 rounds
+  // of 2 kernels each, and the one rejected attempt is not an execution.
+  auto result = RunGpuPeel(testing::CliqueGraph(10).graph, SmallGeometry(),
+                           FaultyDevice("launch_fail@3"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->MaxCore(), 9u);
+  EXPECT_EQ(result->metrics.rounds, 10u);
+  EXPECT_EQ(result->metrics.counters.kernel_launches, 20u);
+  EXPECT_EQ(result->metrics.retries, 1u);
+}
+
+TEST(GpuPeelFaultTest, NoFaultPlanTakesNoCheckpoints) {
+  // The resilient machinery must be pay-for-what-you-use: without a plan,
+  // no checkpoints, no retries, no validation.
+  auto result = RunGpuPeel(testing::CliqueGraph(10).graph, SmallGeometry(),
+                           SmallDevice());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->metrics.checkpoints_taken, 0u);
+  EXPECT_EQ(result->metrics.retries, 0u);
+  EXPECT_EQ(result->metrics.levels_reexecuted, 0u);
+  EXPECT_FALSE(result->metrics.degraded);
+}
+
 // ------------------------------------------------------ Variant naming ----
 
 TEST(GpuPeelOptionsTest, VariantNames) {

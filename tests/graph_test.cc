@@ -160,7 +160,50 @@ TEST(GraphIoTest, EdgeListRejectsGarbage) {
   ASSERT_NE(f, nullptr);
   std::fputs("0 1\nnot numbers\n", f);
   std::fclose(f);
-  EXPECT_TRUE(LoadEdgeListText(path).status().IsCorruption());
+  const Status s = LoadEdgeListText(path).status();
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  // The error names the file and the offending line.
+  EXPECT_NE(s.message().find(":2:"), std::string::npos) << s.ToString();
+}
+
+TEST(GraphIoTest, EdgeListRejectsTruncatedLine) {
+  const std::string path = TempPath("truncated.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("0 1\n1 2\n7\n", f);  // last line lost its target endpoint
+  std::fclose(f);
+  const Status s = LoadEdgeListText(path).status();
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find(":3:"), std::string::npos) << s.ToString();
+}
+
+TEST(GraphIoTest, EdgeListRejectsNegativeIds) {
+  // sscanf's %llu silently wraps "-3" to a huge vertex id; the strict parser
+  // must reject it instead of fabricating a 2^64-scale graph.
+  const std::string path = TempPath("negative.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("0 -3\n", f);
+  std::fclose(f);
+  const Status s = LoadEdgeListText(path).status();
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("negative"), std::string::npos) << s.ToString();
+}
+
+TEST(GraphIoTest, EdgeListRejectsOverflowAndStuckTokens) {
+  const std::string path = TempPath("overflow.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("99999999999999999999999999 1\n", f);  // > 2^64
+  std::fclose(f);
+  EXPECT_TRUE(LoadEdgeListText(path).status().IsInvalidArgument());
+
+  const std::string stuck = TempPath("stuck.txt");
+  f = std::fopen(stuck.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("1 2x\n", f);  // target runs into garbage
+  std::fclose(f);
+  EXPECT_TRUE(LoadEdgeListText(stuck).status().IsInvalidArgument());
 }
 
 TEST(GraphIoTest, MissingFileIsIOError) {

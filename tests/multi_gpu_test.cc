@@ -114,5 +114,124 @@ TEST(MultiGpuTest, MoreWorkersThanVertices) {
   EXPECT_EQ(result->core, g.expected_core);
 }
 
+// ---------------------------------------------------- Fault injection -----
+
+TEST(MultiGpuFaultTest, WorkerLossReshardsOntoSurvivors) {
+  const auto g = testing::RandomSuite()[0].graph;
+  const std::vector<uint32_t> oracle = RunNaiveReference(g).core;
+  MultiGpuOptions options;
+  options.num_workers = 4;
+  options.worker_fault_specs = {"", "device_lost@launch=3", "", ""};
+  auto result = RunMultiGpuPeel(g, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->core, oracle);
+  EXPECT_EQ(result->metrics.devices_lost, 1u);
+  // The interrupted round re-executes from the checkpoint on the survivors.
+  EXPECT_GE(result->metrics.levels_reexecuted, 1u);
+  EXPECT_FALSE(result->metrics.degraded);
+}
+
+TEST(MultiGpuFaultTest, SequentialLossesKeepResharding) {
+  const auto g = testing::RandomSuite()[0].graph;
+  const std::vector<uint32_t> oracle = RunNaiveReference(g).core;
+  MultiGpuOptions options;
+  options.num_workers = 4;
+  options.worker_fault_specs = {"device_lost@launch=5", "device_lost@launch=2",
+                                "", ""};
+  auto result = RunMultiGpuPeel(g, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->core, oracle);
+  EXPECT_EQ(result->metrics.devices_lost, 2u);
+  EXPECT_FALSE(result->metrics.degraded);
+}
+
+TEST(MultiGpuFaultTest, AllWorkersLostFallsBackToCpu) {
+  const auto g = testing::RandomSuite()[0].graph;
+  const std::vector<uint32_t> oracle = RunNaiveReference(g).core;
+  MultiGpuOptions options;
+  options.num_workers = 2;
+  options.worker_fault_specs = {"device_lost@launch=2",
+                                "device_lost@launch=2"};
+  auto result = RunMultiGpuPeel(g, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->core, oracle);
+  EXPECT_TRUE(result->metrics.degraded);
+  EXPECT_EQ(result->metrics.devices_lost, 2u);
+  EXPECT_GE(result->metrics.cpu_fallback_levels, 1u);
+}
+
+TEST(MultiGpuFaultTest, SetupAllocFailureStartsWorkerDead) {
+  const auto g = testing::RandomSuite()[0].graph;
+  const std::vector<uint32_t> oracle = RunNaiveReference(g).core;
+  MultiGpuOptions options;
+  options.num_workers = 3;
+  options.worker_fault_specs = {"alloc_fail@1"};
+  auto result = RunMultiGpuPeel(g, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->core, oracle);
+  EXPECT_EQ(result->metrics.devices_lost, 1u);
+  EXPECT_FALSE(result->metrics.degraded);
+}
+
+TEST(MultiGpuFaultTest, TransientCopyFailuresAreRetried) {
+  const auto g = testing::RandomSuite()[0].graph;
+  const std::vector<uint32_t> oracle = RunNaiveReference(g).core;
+  MultiGpuOptions options;
+  options.num_workers = 3;
+  options.worker_fault_specs = {"copy_fail@2", "copy_fail@1"};
+  auto result = RunMultiGpuPeel(g, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->core, oracle);
+  EXPECT_GE(result->metrics.retries, 2u);
+  EXPECT_FALSE(result->metrics.degraded);
+}
+
+TEST(MultiGpuFaultTest, BitflipIsDetectedAndRolledBack) {
+  const auto g = testing::RandomSuite()[0].graph;
+  const std::vector<uint32_t> oracle = RunNaiveReference(g).core;
+  MultiGpuOptions options;
+  options.num_workers = 4;
+  options.worker_fault_specs = {"bitflip:launch=2,word=0,bit=3"};
+  auto result = RunMultiGpuPeel(g, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->core, oracle);
+  EXPECT_GE(result->metrics.levels_reexecuted, 1u);
+  EXPECT_GT(result->metrics.checkpoints_taken, 0u);
+  EXPECT_FALSE(result->metrics.degraded);
+}
+
+TEST(MultiGpuFaultTest, FallbackDisabledSurfacesTotalLoss) {
+  const auto g = testing::RandomSuite()[0].graph;
+  MultiGpuOptions options;
+  options.num_workers = 2;
+  options.resilience.cpu_fallback = false;
+  options.worker_fault_specs = {"device_lost@launch=1",
+                                "device_lost@launch=1"};
+  auto result = RunMultiGpuPeel(g, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeviceLost()) << result.status().ToString();
+}
+
+TEST(MultiGpuFaultTest, ResilienceDisabledSurfacesFirstFault) {
+  const auto g = testing::CliqueGraph(8).graph;
+  MultiGpuOptions options;
+  options.num_workers = 2;
+  options.resilience.enabled = false;
+  options.worker_fault_specs = {"copy_fail@1"};
+  auto result = RunMultiGpuPeel(g, options);
+  EXPECT_TRUE(result.status().IsUnavailable()) << result.status().ToString();
+}
+
+TEST(MultiGpuFaultTest, NoFaultPlanTakesNoCheckpoints) {
+  MultiGpuOptions options;
+  options.num_workers = 3;
+  auto result = RunMultiGpuPeel(testing::CliqueGraph(10).graph, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->metrics.checkpoints_taken, 0u);
+  EXPECT_EQ(result->metrics.retries, 0u);
+  EXPECT_EQ(result->metrics.devices_lost, 0u);
+  EXPECT_FALSE(result->metrics.degraded);
+}
+
 }  // namespace
 }  // namespace kcore

@@ -8,8 +8,28 @@
 # KCORE_SIMCHECK=1, so the simulated-device sanitizer and the host sanitizer
 # watch the same kernels simultaneously (simcheck's containment is what
 # keeps the deliberately-broken detector tests ASan-clean).
+#
+# Both legs additionally run a fault-recovery pass: KCORE_FAULTS attaches a
+# representative fault plan (transient launch + copy failures and a one-shot
+# degree-word bitflip) to every simulated device, and the oracle-equality
+# suites must still produce exact core numbers — recovery has to be
+# transparent to call sites that never heard of faults. Only those suites
+# run under the plan (tests that assert exact launch/retry/checkpoint
+# counters are meaningless with ambient faults), and the pass is stacked
+# with KCORE_SIMCHECK=1 so checkpoint/rollback traffic is sanitizer-watched.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Transients recover via op retries; the bitflip via checkpoint rollback.
+fault_spec='launch_fail@2;copy_fail@1;bitflip:launch=7,word=0,bit=3,seed=9'
+# Suites that assert core numbers against the CPU oracle for the two
+# *resilient* engines (all kernel variants, compaction on/off, 1-7 workers).
+# The system baselines (Medusa/Gunrock/GSWITCH) surface faults as Status by
+# design and are deliberately not run under the plan.
+fault_suites='GpuPeelVariantTest.MatchesOracleOnFullSuite'
+fault_suites+='|CompactionEquivalenceTest.CoreNumbersIdenticalOnAndOff'
+fault_suites+='|MultiGpuWorkerCountTest.MatchesOracleOnFullSuite'
+fault_suites+='|MultiGpuTest.AgreesWithSingleGpuKernels'
 
 run_tsan=0
 for arg in "$@"; do
@@ -26,6 +46,17 @@ echo "=== release: tier-1 ==="
 ctest --preset tier1
 echo "=== release: tier-1 (KCORE_SIMCHECK=1) ==="
 KCORE_SIMCHECK=1 ctest --preset tier1
+echo "=== release: fault recovery (KCORE_FAULTS) ==="
+KCORE_FAULTS="$fault_spec" ctest --preset tier1 -R "$fault_suites"
+echo "=== release: fault recovery (KCORE_FAULTS + KCORE_SIMCHECK=1) ==="
+KCORE_FAULTS="$fault_spec" KCORE_SIMCHECK=1 ctest --preset tier1 -R "$fault_suites"
+
+echo "=== release: kcore_cli device-loss smoke ==="
+smoke_graph="$(mktemp)"
+trap 'rm -f "$smoke_graph"' EXIT
+printf '0 1\n1 2\n2 3\n3 0\n0 2\n1 3\n' > "$smoke_graph"
+build/tools/kcore_cli decompose "$smoke_graph" gpu \
+  '--faults=device_lost@launch=4' --simcheck
 
 echo "=== asan: configure + build ==="
 cmake --preset asan
@@ -34,6 +65,8 @@ echo "=== asan: tier-1 ==="
 ctest --preset tier1-asan
 echo "=== asan: tier-1 (KCORE_SIMCHECK=1) ==="
 KCORE_SIMCHECK=1 ctest --preset tier1-asan
+echo "=== asan: fault recovery (KCORE_FAULTS + KCORE_SIMCHECK=1) ==="
+KCORE_FAULTS="$fault_spec" KCORE_SIMCHECK=1 ctest --preset tier1-asan -R "$fault_suites"
 
 if [[ "$run_tsan" == "1" ]]; then
   echo "=== tsan: configure + build ==="

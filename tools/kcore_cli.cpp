@@ -13,6 +13,12 @@
 // simulated-device sanitizer enabled (memcheck/initcheck/racecheck/
 // synccheck, see src/cusim/simcheck.h); a detected violation fails the run
 // with a report and a nonzero exit.
+//
+// --faults=<spec> (decompose, gpu/multigpu engines): attaches a fault plan
+// to the simulated device(s) (see src/cusim/fault_injection.h for the
+// grammar, e.g. --faults='launch_fail@3;bitflip:launch=12') and prints a
+// recovery summary — retries, checkpoints, re-executed levels, devices
+// lost, CPU-fallback levels — after the run. Composes with --simcheck.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -40,7 +46,7 @@ int Usage() {
                "usage: kcore_cli <stats|decompose|shells|hierarchy|extract> "
                "<edge_list> [args]\n"
                "  decompose <edge_list> [gpu|bz|pkc|pkc-o|park|mpm|vetga|"
-               "multigpu] [--simcheck]\n"
+               "multigpu] [--simcheck] [--faults=<spec>]\n"
                "  extract   <edge_list> <k> <output_edge_list>\n");
   return 2;
 }
@@ -51,15 +57,21 @@ StatusOr<BuiltGraph> Load(const char* path) {
 }
 
 StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
-                                    const std::string& engine, bool simcheck) {
+                                    const std::string& engine, bool simcheck,
+                                    const std::string& faults) {
   if (simcheck && engine != "gpu" && engine != "vetga" &&
       engine != "multigpu") {
     return Status::InvalidArgument(
         "--simcheck only applies to the GPU engines (gpu, vetga, multigpu)");
   }
+  if (!faults.empty() && engine != "gpu" && engine != "multigpu") {
+    return Status::InvalidArgument(
+        "--faults only applies to the resilient GPU engines (gpu, multigpu)");
+  }
   if (engine == "gpu") {
     sim::DeviceOptions device_options;
     device_options.check_mode = simcheck;
+    device_options.fault_spec = faults;
     return RunGpuPeel(graph, {}, device_options);
   }
   if (engine == "bz") return RunBz(graph);
@@ -79,6 +91,7 @@ StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
   if (engine == "multigpu") {
     MultiGpuOptions options;
     options.worker_device.check_mode = simcheck;
+    options.worker_device.fault_spec = faults;
     return RunMultiGpuPeel(graph, options);
   }
   return Status::InvalidArgument("unknown engine: " + engine);
@@ -96,8 +109,8 @@ int CmdStats(const CsrGraph& graph) {
 }
 
 int CmdDecompose(const CsrGraph& graph, const std::string& engine,
-                 bool simcheck) {
-  auto result = Decompose(graph, engine, simcheck);
+                 bool simcheck, const std::string& faults) {
+  auto result = Decompose(graph, engine, simcheck, faults);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
@@ -108,6 +121,20 @@ int CmdDecompose(const CsrGraph& graph, const std::string& engine,
               result->metrics.modeled_ms, result->metrics.wall_ms,
               HumanBytes(result->metrics.peak_device_bytes).c_str());
   if (simcheck) std::printf("simcheck     clean\n");
+  if (!faults.empty()) {
+    const Metrics& m = result->metrics;
+    std::printf("--- recovery summary ---\n"
+                "retries             %u\n"
+                "checkpoints_taken   %u\n"
+                "levels_reexecuted   %u\n"
+                "devices_lost        %u\n"
+                "cpu_fallback_levels %u\n"
+                "recovery_ms         %.3f\n"
+                "degraded            %s\n",
+                m.retries, m.checkpoints_taken, m.levels_reexecuted,
+                m.devices_lost, m.cpu_fallback_levels, m.recovery_ms,
+                m.degraded ? "yes (finished on CPU warm-start)" : "no");
+  }
   return 0;
 }
 
@@ -171,12 +198,15 @@ int CmdExtract(const BuiltGraph& built, uint32_t k, const char* out_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Extract the --simcheck flag wherever it appears.
+  // Extract the --simcheck and --faults flags wherever they appear.
   bool simcheck = false;
+  std::string faults;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--simcheck") == 0) {
       simcheck = true;
+    } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+      faults = argv[i] + 9;
     } else {
       argv[out++] = argv[i];
     }
@@ -194,7 +224,8 @@ int main(int argc, char** argv) {
 
   if (command == "stats") return CmdStats(built->graph);
   if (command == "decompose") {
-    return CmdDecompose(built->graph, argc > 3 ? argv[3] : "gpu", simcheck);
+    return CmdDecompose(built->graph, argc > 3 ? argv[3] : "gpu", simcheck,
+                        faults);
   }
   if (command == "shells") return CmdShells(built->graph);
   if (command == "hierarchy") return CmdHierarchy(built->graph);
