@@ -1,0 +1,119 @@
+// Micro-benchmark: loop-phase expansion strategies (DESIGN.md §8) across a
+// degree sweep. Star graphs with a fixed total edge budget isolate the
+// expansion engine: every frontier mixes degree-1 leaves with degree-d hubs,
+// and the sweep shows each bin's modeled cost per frontier vertex.
+//
+// What the numbers say (and how block_expand_threshold's default fell out):
+//  - thread granularity wins whenever adjacencies fit under a warp
+//    (d < 32): one lane per vertex retires 32 frontier vertices per pass.
+//  - warp granularity (the paper's Alg. 3) is the mid-range workhorse.
+//  - block granularity pays one entry barrier per hub plus a block scan per
+//    appending batch. The overhead per edge is ~150ns/d, so it undercuts
+//    the per-edge lane cost (~0.04 ns at d = 4096) only once adjacencies
+//    span several full block batches — hence the 4096 default: below it the
+//    barrier tax dominates, above it the cooperative sweep is fixed-cost
+//    noise while spreading the hub across every warp of the block.
+//  - auto composes all three and should track the per-degree winner.
+#include <benchmark/benchmark.h>
+
+#include "core/gpu_peel.h"
+#include "graph/graph_builder.h"
+
+namespace kcore {
+namespace {
+
+/// Fixed edge budget per graph so the sweep varies only the degree shape.
+constexpr uint64_t kEdgeBudget = 1 << 16;
+
+/// num_hubs stars of degree d: every frontier holds degree-1 leaves (thread
+/// bin) and degree-d hubs (warp or block bin, depending on the threshold).
+CsrGraph MakeStarGraph(uint32_t degree) {
+  const uint32_t num_hubs =
+      static_cast<uint32_t>(std::max<uint64_t>(1, kEdgeBudget / degree));
+  EdgeList edges;
+  edges.reserve(static_cast<size_t>(num_hubs) * degree);
+  uint32_t next = num_hubs;  // hubs are [0, num_hubs), leaves follow
+  for (uint32_t h = 0; h < num_hubs; ++h) {
+    for (uint32_t i = 0; i < degree; ++i) edges.push_back({h, next++});
+  }
+  return BuildUndirectedGraphWithVertexCount(edges, next);
+}
+
+void BM_ExpandStrategy(benchmark::State& state) {
+  const auto degree = static_cast<uint32_t>(state.range(0));
+  const auto strategy = static_cast<ExpandStrategy>(state.range(1));
+  const CsrGraph graph = MakeStarGraph(degree);
+
+  GpuPeelOptions options = GpuPeelOptions::Ours().WithExpand(strategy);
+  double loop_ms = 0.0;
+  double imbalance = 0.0;
+  uint64_t bin_thread = 0;
+  uint64_t bin_warp = 0;
+  uint64_t bin_block = 0;
+  uint64_t runs = 0;
+  for (auto _ : state) {
+    auto result = RunGpuPeel(graph, options);
+    KCORE_CHECK(result.ok());
+    loop_ms += result->metrics.loop_ms;
+    imbalance += result->metrics.loop_imbalance;
+    bin_thread += result->metrics.counters.loop_bin_thread;
+    bin_warp += result->metrics.counters.loop_bin_warp;
+    bin_block += result->metrics.counters.loop_bin_block;
+    ++runs;
+    benchmark::DoNotOptimize(result->core.data());
+  }
+  const double frontier = static_cast<double>(graph.NumVertices()) * runs;
+  state.counters["loop_ns_per_vertex"] = loop_ms * 1e6 / frontier;
+  state.counters["loop_imbalance"] = imbalance / static_cast<double>(runs);
+  state.counters["bin_thread"] =
+      static_cast<double>(bin_thread) / static_cast<double>(runs);
+  state.counters["bin_warp"] =
+      static_cast<double>(bin_warp) / static_cast<double>(runs);
+  state.counters["bin_block"] =
+      static_cast<double>(bin_block) / static_cast<double>(runs);
+}
+BENCHMARK(BM_ExpandStrategy)
+    ->ArgNames({"deg", "expand"})
+    ->ArgsProduct({{4, 16, 64, 256, 1024, 4096, 16384},
+                   {static_cast<int>(ExpandStrategy::kThread),
+                    static_cast<int>(ExpandStrategy::kWarp),
+                    static_cast<int>(ExpandStrategy::kBlock),
+                    static_cast<int>(ExpandStrategy::kAuto)}});
+
+/// The block bin's fixed tax in isolation: the same auto run with hubs
+/// routed to the block bin (threshold = d) versus kept on the warp path
+/// (threshold = infinity) — leaves ride the thread bin either way, so the
+/// gap is purely the cooperative sweep's barriers. The per-hub-edge tax
+/// closes as ~1/d, which is the crossover argument behind the
+/// block_expand_threshold default.
+void BM_BlockBinOverhead(benchmark::State& state) {
+  const auto degree = static_cast<uint32_t>(state.range(0));
+  const CsrGraph graph = MakeStarGraph(degree);
+  GpuPeelOptions to_block = GpuPeelOptions::Ours()
+                                .WithExpand(ExpandStrategy::kAuto);
+  to_block.block_expand_threshold = degree;
+  GpuPeelOptions to_warp = to_block;
+  to_warp.block_expand_threshold = ~0u;
+  double gap_ms = 0.0;
+  uint64_t runs = 0;
+  for (auto _ : state) {
+    auto block_run = RunGpuPeel(graph, to_block);
+    auto warp_run = RunGpuPeel(graph, to_warp);
+    KCORE_CHECK(block_run.ok());
+    KCORE_CHECK(warp_run.ok());
+    KCORE_CHECK(block_run->metrics.counters.loop_bin_block > 0);
+    KCORE_CHECK(warp_run->metrics.counters.loop_bin_block == 0);
+    gap_ms += block_run->metrics.loop_ms - warp_run->metrics.loop_ms;
+    ++runs;
+  }
+  const double hub_edges =
+      static_cast<double>(kEdgeBudget / degree) * degree * runs;
+  state.counters["block_tax_ns_per_hub_edge"] = gap_ms * 1e6 / hub_edges;
+}
+BENCHMARK(BM_BlockBinOverhead)->ArgName("deg")->Arg(256)->Arg(1024)->Arg(4096)
+    ->Arg(16384);
+
+}  // namespace
+}  // namespace kcore
+
+BENCHMARK_MAIN();

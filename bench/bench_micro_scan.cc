@@ -77,6 +77,20 @@ void BM_BlockScan(benchmark::State& state) {
 }
 BENCHMARK(BM_BlockScan)->Arg(2)->Arg(8)->Arg(32);
 
+void BM_BlockBallotScan(benchmark::State& state) {
+  const auto warps = static_cast<uint32_t>(state.range(0));
+  std::vector<uint32_t> flags(warps * kWarpSize);
+  std::vector<uint32_t> exclusive(flags.size());
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    BlockCtx block(0, 1, warps * kWarpSize, 48 << 10);
+    FillRandom(flags.data(), flags.size(), seed++, 2);
+    benchmark::DoNotOptimize(
+        BlockBallotExclusiveScan(block, flags.data(), exclusive.data()));
+  }
+}
+BENCHMARK(BM_BlockBallotScan)->Arg(2)->Arg(8)->Arg(32);
+
 }  // namespace
 }  // namespace kcore::sim
 

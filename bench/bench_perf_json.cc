@@ -4,6 +4,10 @@
 // committed file. Each dataset is run with active-vertex compaction off and
 // on; the harness fails if the two disagree on core numbers.
 //
+// A second "expand" section runs the ExpandRoster skew datasets under every
+// loop-phase expansion strategy (DESIGN.md §8); the harness fails if any
+// strategy's core numbers diverge from expand=warp's.
+//
 // Output path: argv[1] if given, else $KCORE_BENCH_JSON_PATH, else
 // ./BENCH_gpu_peel.json. Respects KCORE_BENCH_MAX_EDGES.
 #include <cstdio>
@@ -35,7 +39,11 @@ std::string MetricsJson(const Metrics& m) {
   json += StrFormat("\"wall_ms\": %.2f, ", m.wall_ms);
   json += "\"peak_device_bytes\": " + U64(m.peak_device_bytes) + ", ";
   json += StrFormat("\"rounds\": %u, ", m.rounds);
+  json += StrFormat("\"loop_imbalance\": %.3f, ", m.loop_imbalance);
   json += "\"counters\": {";
+  json += "\"loop_bin_thread\": " + U64(c.loop_bin_thread) + ", ";
+  json += "\"loop_bin_warp\": " + U64(c.loop_bin_warp) + ", ";
+  json += "\"loop_bin_block\": " + U64(c.loop_bin_block) + ", ";
   json += "\"kernel_launches\": " + U64(c.kernel_launches) + ", ";
   json += "\"vertices_scanned\": " + U64(c.vertices_scanned) + ", ";
   json += "\"scan_vertices_skipped\": " + U64(c.scan_vertices_skipped) + ", ";
@@ -105,6 +113,56 @@ int main(int argc, char** argv) {
     json += "     \"compaction_off\": " + MetricsJson(off_result->metrics) +
             ",\n";
     json += "     \"compaction_on\": " + MetricsJson(on_result->metrics);
+    json += "}";
+  }
+  json += "\n  ],\n  \"expand\": [\n";
+
+  static const ExpandStrategy kStrategies[] = {
+      ExpandStrategy::kWarp, ExpandStrategy::kAuto, ExpandStrategy::kThread,
+      ExpandStrategy::kBlock};
+  first = true;
+  for (const DatasetSpec& spec : ExpandRoster()) {
+    auto graph = LoadOrGenerateDataset(spec, DefaultCacheDir());
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+    if (max_edges != 0 && graph->NumUndirectedEdges() > max_edges) continue;
+
+    GpuPeelOptions base = GpuPeelOptions::Ours();
+    base.buffer_capacity = ScaledBufferCapacity(*graph);
+
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\"name\": \"" + spec.name + "\", ";
+    json += "\"vertices\": " + U64(graph->NumVertices()) + ", ";
+    json += "\"edges\": " + U64(graph->NumUndirectedEdges()) + ", ";
+
+    std::vector<uint32_t> warp_core;
+    bool first_strategy = true;
+    for (ExpandStrategy strategy : kStrategies) {
+      auto result =
+          RunGpuPeel(*graph, base.WithExpand(strategy), ScaledP100Options());
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s expand=%s: %s\n", spec.name.c_str(),
+                     ExpandStrategyName(strategy),
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      if (strategy == ExpandStrategy::kWarp) {
+        warp_core = result->core;
+        json += StrFormat("\"kmax\": %u,\n", result->MaxCore());
+      } else if (result->core != warp_core) {
+        std::fprintf(stderr, "%s: expand=%s core numbers diverge from warp\n",
+                     spec.name.c_str(), ExpandStrategyName(strategy));
+        return 1;
+      }
+      if (!first_strategy) json += ",\n";
+      first_strategy = false;
+      json += StrFormat("     \"expand_%s\": ", ExpandStrategyName(strategy)) +
+              MetricsJson(result->metrics);
+    }
     json += "}";
   }
   json += "\n  ]\n}\n";

@@ -65,6 +65,19 @@ GeneratorSpec Er(uint32_t v, uint64_t e, uint32_t core, double density,
   return g;
 }
 
+GeneratorSpec Skew(uint32_t v, uint64_t tail, double exponent, uint32_t hubs,
+                   uint32_t hub_degree, uint64_t seed) {
+  GeneratorSpec g;
+  g.kind = GeneratorSpec::Kind::kSkewed;
+  g.num_vertices = v;
+  g.num_edges = tail;
+  g.chung_lu_exponent = exponent;
+  g.hub_count = hubs;
+  g.hub_degree = hub_degree;
+  g.seed = seed;
+  return g;
+}
+
 }  // namespace
 
 const std::vector<DatasetSpec>& PaperRoster() {
@@ -108,6 +121,17 @@ const std::vector<DatasetSpec>& PaperRoster() {
   return *roster;
 }
 
+const std::vector<DatasetSpec>& ExpandRoster() {
+  // Skewed stand-ins for the hub-dominated crawls where one-warp-per-vertex
+  // expansion stalls: ~75k-edge tails of degree 1-4 under a handful of
+  // mega-hubs whose adjacencies clear the default block_expand_threshold.
+  static const std::vector<DatasetSpec>* roster = new std::vector<DatasetSpec>{
+      {"skew-hub", "Synthetic (skew)", 0, Skew(60000, 45000, 2.6, 4, 8000, 201)},
+      {"skew-tail", "Synthetic (skew)", 0, Skew(120000, 90000, 2.8, 2, 6000, 202)},
+  };
+  return *roster;
+}
+
 StatusOr<CsrGraph> LoadOrGenerateDataset(const DatasetSpec& spec,
                                          const std::string& cache_dir) {
   const std::string path = cache_dir + "/" + spec.name + ".csr";
@@ -138,6 +162,16 @@ StatusOr<CsrGraph> LoadOrGenerateDataset(const DatasetSpec& spec,
     case GeneratorSpec::Kind::kErdosRenyi:
       edges = GenerateErdosRenyi(g.num_vertices, g.num_edges, g.seed);
       break;
+    case GeneratorSpec::Kind::kSkewed: {
+      SkewedPowerLawOptions skew;
+      skew.num_vertices = g.num_vertices;
+      skew.tail_edges = g.num_edges;
+      skew.exponent = g.chung_lu_exponent;
+      skew.num_hubs = g.hub_count;
+      skew.hub_degree = g.hub_degree;
+      edges = GenerateSkewedPowerLaw(skew, g.seed);
+      break;
+    }
   }
   if (g.planted_core_size != 0) {
     PlantedCoreOptions planted;

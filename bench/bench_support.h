@@ -19,6 +19,7 @@ struct GeneratorSpec {
     kChungLu,         ///< Power-law web/social graphs.
     kHub,             ///< Extreme-skew graphs (wiki-Talk, trackers).
     kErdosRenyi,      ///< Low-variance graphs (patentcite, hollywood).
+    kSkewed,          ///< Power-law tail + mega-hubs (expansion benchmarks).
   };
   Kind kind = Kind::kChungLu;
   uint32_t num_vertices = 0;
@@ -26,6 +27,7 @@ struct GeneratorSpec {
   uint32_t ba_edges_per_vertex = 0;
   double chung_lu_exponent = 2.3;
   uint32_t hub_count = 0;
+  uint32_t hub_degree = 0;  ///< Spokes per mega-hub (kSkewed only).
   /// Planted dense community lifting k_max to web-crawl levels (0 = none).
   uint32_t planted_core_size = 0;
   double planted_density = 0.0;
@@ -42,6 +44,11 @@ struct DatasetSpec {
 
 /// The 20-dataset roster in the paper's Table I order (ascending |E|).
 const std::vector<DatasetSpec>& PaperRoster();
+
+/// Extra datasets for the loop-phase expansion benchmarks (DESIGN.md §8) —
+/// not part of the paper's Table I, so the Table II-V reproductions stay
+/// byte-stable. Skewed power-law graphs: degree-1-4 tails plus mega-hubs.
+const std::vector<DatasetSpec>& ExpandRoster();
 
 /// Generates `spec` (or loads it from the binary cache in `cache_dir`,
 /// writing the cache on first generation). Deterministic per spec.

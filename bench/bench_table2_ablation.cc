@@ -139,5 +139,78 @@ int main() {
       "\nminiature scale the fixed per-launch cost of the CompactKernel can"
       "\noffset the scan savings in total modeled ms; the counted work and"
       "\nhost wall-clock both drop.\n");
+
+  // --- Loop-phase expansion-strategy ablation (DESIGN.md §8). ---
+  // Runs the paper roster plus the skew datasets under every frontier
+  // expansion granularity; loop_ms isolates the phase the strategies touch.
+  std::printf("\n=== Expansion-strategy ablation (variant: Ours, loop ms) ===\n");
+  TablePrinter ex_table({"Dataset", "warp", "thread", "block", "auto",
+                         "auto win", "imbal warp->auto", "auto bins t/w/b"});
+  std::vector<DatasetSpec> ex_roster = PaperRoster();
+  ex_roster.insert(ex_roster.end(), ExpandRoster().begin(),
+                   ExpandRoster().end());
+  for (const DatasetSpec& spec : ex_roster) {
+    auto graph = LoadOrGenerateDataset(spec, DefaultCacheDir());
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+    if (max_edges != 0 && graph->NumUndirectedEdges() > max_edges) continue;
+
+    GpuPeelOptions base = GpuPeelOptions::Ours();
+    base.buffer_capacity = ScaledBufferCapacity(*graph);
+    static const ExpandStrategy kStrategies[] = {
+        ExpandStrategy::kWarp, ExpandStrategy::kThread, ExpandStrategy::kBlock,
+        ExpandStrategy::kAuto};
+    std::vector<Metrics> metrics;
+    std::vector<uint32_t> warp_core;
+    for (ExpandStrategy strategy : kStrategies) {
+      auto result =
+          RunGpuPeel(*graph, base.WithExpand(strategy), ScaledP100Options());
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s/expand=%s: %s\n", spec.name.c_str(),
+                     ExpandStrategyName(strategy),
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      if (strategy == ExpandStrategy::kWarp) {
+        warp_core = result->core;
+      } else if (result->core != warp_core) {
+        std::fprintf(stderr, "%s: expand=%s core numbers diverge!\n",
+                     spec.name.c_str(), ExpandStrategyName(strategy));
+        return 1;
+      }
+      metrics.push_back(result->metrics);
+    }
+    const Metrics& warp_m = metrics[0];
+    const Metrics& auto_m = metrics[3];
+    const PerfCounters& ac = auto_m.counters;
+    ex_table.AddRow(
+        {spec.name, FormatCellMs(warp_m.loop_ms),
+         FormatCellMs(metrics[1].loop_ms), FormatCellMs(metrics[2].loop_ms),
+         FormatCellMs(auto_m.loop_ms),
+         StrFormat("%.0f%%", warp_m.loop_ms == 0.0
+                                 ? 0.0
+                                 : 100.0 * (1.0 - auto_m.loop_ms /
+                                                      warp_m.loop_ms)),
+         StrFormat("%.2f -> %.2f", warp_m.loop_imbalance,
+                   auto_m.loop_imbalance),
+         StrFormat("%llu/%llu/%llu",
+                   static_cast<unsigned long long>(ac.loop_bin_thread),
+                   static_cast<unsigned long long>(ac.loop_bin_warp),
+                   static_cast<unsigned long long>(ac.loop_bin_block))});
+  }
+  ex_table.Print();
+  std::printf(
+      "\nThe warp column is the paper's Alg. 3 (one warp per frontier"
+      "\nvertex, instruction-identical to all rows above). thread retires 32"
+      "\nsmall vertices per warp pass and dominates on power-law tails;"
+      "\nblock pays a barrier per vertex and only makes sense for hubs,"
+      "\nwhich is exactly how auto routes them (bins column; threshold"
+      "\n4096 via bench_micro_expand's crossover sweep). auto's known tax:"
+      "\none block-wide sync per loop window to drain the shared hub list,"
+      "\nso dense crawls with many windows and no hubs (bins .../0) give a"
+      "\nfew percent back while skewed graphs gain 40%%+.\n");
   return 0;
 }

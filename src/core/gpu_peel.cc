@@ -51,6 +51,10 @@ struct KernelCtx {
   bool sm = false;               ///< Shared-memory buffering enabled.
   uint32_t shared_capacity = 0;  ///< n_B (only when sm).
   AppendStrategy append = AppendStrategy::kAtomic;
+  /// Loop-phase expansion granularity (kWarp = the unchanged Alg. 3 path).
+  ExpandStrategy expand = ExpandStrategy::kWarp;
+  /// kAuto: adjacency length at which a vertex moves to the block bin.
+  uint32_t block_threshold = 4096;
 };
 
 /// Per-block view of buf[i] implementing the position translation of the
@@ -375,6 +379,395 @@ void ProcessVertex(const KernelCtx& ctx, uint32_t k, const BlockBuffer& buf,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Degree-binned expansion engine (thread / warp / block granularities; see
+// DESIGN.md §8). The warp granularity is ProcessVertex above, untouched.
+// ---------------------------------------------------------------------------
+
+/// Thread-granularity expansion: one lane owns one small vertex
+/// (deg < 32) and peels its whole adjacency, so a warp retires 32 frontier
+/// vertices per pass instead of serializing them chunk by chunk. The 32
+/// private adjacencies advance in lockstep, which keeps Case-2 appends
+/// batchable through the warp ballot scan each step — the same append
+/// discipline as ProcessVertex, just transposed.
+void ProcessThreadBin(const KernelCtx& ctx, uint32_t k, const BlockBuffer& buf,
+                      uint64_t* e, const uint64_t* s, WarpCtx& warp,
+                      const VertexId verts[kWarpSize], uint32_t count,
+                      auto& c) {
+  uint64_t pos[kWarpSize];
+  uint64_t end[kWarpSize];
+  uint64_t max_len = 0;
+  warp.ForEachLane([&](uint32_t lane) {
+    if (lane >= count || verts[lane] >= ctx.num_vertices) {
+      pos[lane] = end[lane] = 0;  // idle lane / suppressed-overflow garbage
+      return;
+    }
+    pos[lane] = GlobalLoad(&ctx.offsets[verts[lane]], c);
+    end[lane] = GlobalLoad(&ctx.offsets[verts[lane] + 1], c);
+    max_len = std::max(max_len, end[lane] - pos[lane]);
+  });
+
+  const bool compact = ctx.append != AppendStrategy::kAtomic;
+  for (uint64_t step = 0; step < max_len; ++step) {
+    warp.SyncWarp();  // step boundary (Alg. 3 Line 15 analogue)
+    uint32_t flags[kWarpSize] = {0};
+    VertexId appended[kWarpSize] = {0};
+    warp.ForEachLane([&](uint32_t lane) {
+      const uint64_t pos_cur = pos[lane] + step;
+      if (pos_cur >= end[lane]) return;  // this lane's adjacency is done
+      const VertexId u = GlobalLoad(&ctx.neighbors[pos_cur], c);
+      ++c.edges_traversed;
+      const uint32_t du = GlobalLoad(&ctx.deg[u], c);
+      if (du <= k) return;
+      const uint32_t old = AtomicSub(&ctx.deg[u], 1u, c);
+      if (old == k + 1) {
+        if (compact) {
+          flags[lane] = 1;
+          appended[lane] = u;
+        } else {
+          const uint64_t loc =
+              AtomicAdd(e, uint64_t{1}, c, MemSpace::kShared);
+          ++c.shared_ops;  // read of s for the ring-backlog check
+          buf.Store(loc, u, *s, c);
+          ++c.buffer_appends;
+        }
+      } else if (old <= k) {
+        AtomicAdd(&ctx.deg[u], 1u, c);  // §IV-B Case 1 rollback
+      }
+    });
+    if (compact) {
+      uint32_t exclusive[kWarpSize];
+      const uint32_t total = BallotExclusiveScan(warp, flags, exclusive);
+      if (total != 0) {
+        const uint64_t e_old =
+            AtomicAdd(e, uint64_t{total}, c, MemSpace::kShared);
+        ++c.shared_ops;  // broadcast of e_old.
+        ++c.shared_ops;  // read of s for the ring-backlog check
+        const uint64_t observed_s = *s;
+        warp.ForEachLane([&](uint32_t lane) {
+          if (flags[lane] != 0) {
+            buf.Store(e_old + exclusive[lane], appended[lane], observed_s, c);
+            ++c.buffer_appends;
+          }
+        });
+      }
+    }
+  }
+}
+
+/// Kernel-local staging for block-cooperative batches, sized block_dim once
+/// per launch and reused across batches (mirrors the EC scan path's
+/// flags/cand arrays, which live in registers/local memory, not shared).
+struct BlockExpandScratch {
+  std::vector<uint32_t> flags;
+  std::vector<uint32_t> exclusive;
+  std::vector<VertexId> appended;
+};
+
+/// Block-granularity expansion for hubs: every warp of the block
+/// cooperatively sweeps v's adjacency in grid-stride block_dim-neighbor
+/// batches, and each batch's Case-2 appends are compacted through the
+/// block-wide ballot scan (one shared atomicAdd per batch) regardless of
+/// the append strategy — per-element shared atomics would re-serialize the
+/// very adjacency this bin exists to spread. Barriers are paid lazily: one
+/// on entry (all warps arrive; earlier scratch readers are done), then only
+/// batches that actually appended run the scan and its trailing barrier —
+/// append-free batches ride the entry barrier's ordering for free.
+void ProcessBlockBin(const KernelCtx& ctx, uint32_t k, const BlockBuffer& buf,
+                     uint64_t* e, const uint64_t* s, auto& block, VertexId v,
+                     BlockExpandScratch& scratch, auto& c) {
+  const uint64_t pos_s = GlobalLoad(&ctx.offsets[v], c);
+  const uint64_t pos_e = GlobalLoad(&ctx.offsets[v + 1], c);
+  const uint32_t dim = block.block_dim();
+  uint32_t* flags = scratch.flags.data();
+  uint32_t* exclusive = scratch.exclusive.data();
+  VertexId* appended = scratch.appended.data();
+
+  block.Sync();  // all warps enter the sweep together
+  for (uint64_t base = pos_s; base < pos_e; base += dim) {
+    std::fill(flags, flags + dim, 0);
+    bool any = false;
+    block.ForEachWarp([&](WarpCtx& warp) {
+      warp.ForEachLane([&](uint32_t lane) {
+        const uint32_t slot = warp.warp_id() * kWarpSize + lane;
+        const uint64_t pos_cur = base + slot;
+        if (pos_cur >= pos_e) return;
+        const VertexId u = GlobalLoad(&ctx.neighbors[pos_cur], c);
+        ++c.edges_traversed;
+        const uint32_t du = GlobalLoad(&ctx.deg[u], c);
+        if (du <= k) return;
+        const uint32_t old = AtomicSub(&ctx.deg[u], 1u, c);
+        if (old == k + 1) {
+          flags[slot] = 1;
+          appended[slot] = u;
+          any = true;
+        } else if (old <= k) {
+          AtomicAdd(&ctx.deg[u], 1u, c);  // §IV-B Case 1 rollback
+        }
+      });
+    });
+    // __syncthreads_or-style early out: batches that appended nothing skip
+    // the block scan (the entry barrier's ordering still holds).
+    if (!any) continue;
+    const uint32_t total = BlockBallotExclusiveScan(block, flags, exclusive);
+    const uint64_t e_old = AtomicAdd(e, uint64_t{total}, c, MemSpace::kShared);
+    ++c.shared_ops;  // broadcast of e_old.
+    ++c.shared_ops;  // read of s for the ring-backlog check
+    const uint64_t observed_s = *s;
+    block.ForEachThread([&](uint32_t t) {
+      if (flags[t] != 0) {
+        buf.Store(e_old + exclusive[t], appended[t], observed_s, c);
+        ++c.buffer_appends;
+      }
+    });
+    block.Sync();  // stores consumed before the next batch rewrites scratch
+  }
+}
+
+/// Shared-memory staging for kAuto: only hub vertices cross warps, so only
+/// they need a shared list. Thread- and warp-bin vertices are classified
+/// and drained inside the warp that fetched them, barrier-free.
+struct ExpandShared {
+  VertexId* block_list = nullptr;  ///< deg >= block_expand_threshold (hubs)
+  uint32_t* block_n = nullptr;     ///< [1] shared append cursor
+};
+
+/// Expands one fetched frontier window — `item(i)` yields the window's i-th
+/// vertex (a buffer fetch, or a pref[] read under VP) — at the granularity
+/// selected by ctx.expand. Pure thread/block strategies send every vertex
+/// to their single bin with no classification pass. kAuto classifies each
+/// warp's 32-vertex chunk by adjacency length and drains the thread and
+/// warp bins in place (no cross-warp traffic, so no barriers); hubs are
+/// ballot-compacted into the shared block list and swept cooperatively
+/// after one barrier — windows without hubs pay no classification barrier
+/// at all.
+void ExpandWindow(const KernelCtx& ctx, uint32_t k, const BlockBuffer& buf,
+                  uint64_t* e, const uint64_t* s, auto& block,
+                  const ExpandShared& sh, BlockExpandScratch& scratch,
+                  auto&& item, uint64_t count, auto& c) {
+  if (count == 0) return;
+  const uint32_t num_warps = block.num_warps();
+  const uint64_t warp_stride = static_cast<uint64_t>(num_warps) * kWarpSize;
+
+  // Drains `n_items` vertices (vert_at(i)) 32-per-warp at thread granularity.
+  const auto run_thread_bin = [&](auto&& vert_at, uint64_t n_items) {
+    for (uint64_t base = 0; base < n_items; base += warp_stride) {
+      block.ForEachWarp([&](WarpCtx& warp) {
+        const uint64_t wbase =
+            base + static_cast<uint64_t>(warp.warp_id()) * kWarpSize;
+        if (wbase >= n_items) return;
+        const auto cnt = static_cast<uint32_t>(
+            std::min<uint64_t>(kWarpSize, n_items - wbase));
+        VertexId verts[kWarpSize] = {0};
+        warp.ForEachLane([&](uint32_t lane) {
+          if (lane < cnt) verts[lane] = vert_at(wbase + lane);
+        });
+        ProcessThreadBin(ctx, k, buf, e, s, warp, verts, cnt, c);
+      });
+    }
+  };
+  switch (ctx.expand) {
+    case ExpandStrategy::kThread:
+      c.loop_bin_thread += count;
+      run_thread_bin(item, count);
+      return;
+    case ExpandStrategy::kBlock:
+      c.loop_bin_block += count;
+      for (uint64_t i = 0; i < count; ++i) {
+        const VertexId v = item(i);  // lane 0 fetches, implicit broadcast
+        if (v >= ctx.num_vertices) continue;
+        ProcessBlockBin(ctx, k, buf, e, s, block, v, scratch, c);
+      }
+      return;
+    case ExpandStrategy::kWarp:  // LoopKernel's unchanged path, not here
+    case ExpandStrategy::kAuto:
+      break;
+  }
+
+  // kAuto: each warp classifies its own 32-vertex chunk by adjacency length
+  // and drains the small bins in place. The shared block_n cursor starts
+  // zeroed (SharedAlloc zero-fills; after a hub window the drain resets it
+  // below, and the outer window barrier orders the reset against the next
+  // window's appends).
+  for (uint64_t base = 0; base < count; base += warp_stride) {
+    block.ForEachWarp([&](WarpCtx& warp) {
+      const uint64_t wbase =
+          base + static_cast<uint64_t>(warp.warp_id()) * kWarpSize;
+      if (wbase >= count) return;
+      uint32_t thread_flags[kWarpSize] = {0};
+      uint32_t warp_flags[kWarpSize] = {0};
+      uint32_t block_flags[kWarpSize] = {0};
+      VertexId cand[kWarpSize] = {0};
+      warp.ForEachLane([&](uint32_t lane) {
+        const uint64_t idx = wbase + lane;
+        if (idx >= count) return;
+        const VertexId v = item(idx);
+        if (v >= ctx.num_vertices) return;  // see LoopKernel's OOB comment
+        cand[lane] = v;
+        const uint64_t adj_s = GlobalLoad(&ctx.offsets[v], c);
+        const uint64_t adj_e = GlobalLoad(&ctx.offsets[v + 1], c);
+        const uint64_t len = adj_e - adj_s;
+        if (len < kWarpSize) {
+          thread_flags[lane] = 1;
+        } else if (len < ctx.block_threshold) {
+          warp_flags[lane] = 1;
+        } else {
+          block_flags[lane] = 1;
+        }
+      });
+
+      // Thread bin: ballot-compact the small vertices into a dense local
+      // batch and peel all of them in one lockstep pass.
+      uint32_t exclusive[kWarpSize];
+      const uint32_t thread_n =
+          BallotExclusiveScan(warp, thread_flags, exclusive);
+      if (thread_n != 0) {
+        VertexId verts[kWarpSize] = {0};
+        warp.ForEachLane([&](uint32_t lane) {
+          if (thread_flags[lane] != 0) verts[exclusive[lane]] = cand[lane];
+        });
+        c.loop_bin_thread += thread_n;
+        ProcessThreadBin(ctx, k, buf, e, s, warp, verts, thread_n, c);
+      }
+
+      // Hubs: ballot-compact into the shared block list for the cooperative
+      // sweep after the window barrier.
+      const uint32_t hub_n = BallotExclusiveScan(warp, block_flags, exclusive);
+      if (hub_n != 0) {
+        const uint32_t off =
+            AtomicAdd(sh.block_n, hub_n, c, MemSpace::kShared);
+        ++c.shared_ops;  // broadcast of off.
+        warp.ForEachLane([&](uint32_t lane) {
+          if (block_flags[lane] != 0) {
+            sh.block_list[off + exclusive[lane]] = cand[lane];
+            ++c.shared_ops;
+          }
+        });
+      }
+
+      // Warp bin: everything mid-sized runs the paper's Alg. 3 path as-is.
+      for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+        if (warp_flags[lane] == 0) continue;
+        ++c.loop_bin_warp;
+        ProcessVertex(ctx, k, buf, e, s, warp, cand[lane], c);
+      }
+    });
+  }
+
+  block.Sync();  // hub list complete before the cooperative sweep
+  const uint32_t block_n = *sh.block_n;
+  ++c.shared_ops;
+  if (block_n == 0) return;
+  c.loop_bin_block += block_n;
+  for (uint32_t i = 0; i < block_n; ++i) {
+    ++c.shared_ops;
+    const VertexId v = sh.block_list[i];
+    ProcessBlockBin(ctx, k, buf, e, s, block, v, scratch, c);
+  }
+  // Reset the cursor for the next window; ProcessBlockBin's entry barrier
+  // already separated this write from the block_n reads above, and the next
+  // window's opening barrier orders it against new appends.
+  *sh.block_n = 0;
+  ++c.shared_ops;
+}
+
+/// Degree-binned loop kernel (thread / block / auto strategies; the warp
+/// strategy keeps LoopKernel below, instruction for instruction). Window
+/// structure mirrors LoopKernel, but one iteration consumes up to
+/// block_dim() frontier vertices instead of one per warp, so on
+/// small-degree frontiers the barrier-dominated iteration count drops by
+/// ~num_warps while the expansion engine spreads whatever the window holds
+/// across lane, warp, and block granularity.
+void LoopKernelBinned(const KernelCtx& ctx, uint32_t k,
+                      bool vertex_prefetching, auto& block) {
+  auto& c = block.counters();
+  const uint32_t num_warps = block.num_warps();
+  const uint32_t dim = block.block_dim();
+
+  auto* s = block.template SharedAlloc<uint64_t>(1);
+  auto* e = block.template SharedAlloc<uint64_t>(1);
+  VertexId* shared_b =
+      ctx.sm ? block.template SharedAlloc<VertexId>(ctx.shared_capacity)
+             : nullptr;
+  VertexId* pref = vertex_prefetching
+                       ? block.template SharedAlloc<VertexId>(num_warps)
+                       : nullptr;
+  VertexId* pref_next = vertex_prefetching
+                            ? block.template SharedAlloc<VertexId>(num_warps)
+                            : nullptr;
+  ExpandShared sh;
+  if (ctx.expand == ExpandStrategy::kAuto) {
+    sh.block_list = block.template SharedAlloc<VertexId>(dim);
+    sh.block_n = block.template SharedAlloc<uint32_t>(1);
+  }
+  BlockExpandScratch scratch;
+  if (ctx.expand != ExpandStrategy::kThread) {
+    scratch.flags.assign(dim, 0);
+    scratch.exclusive.assign(dim, 0);
+    scratch.appended.assign(dim, 0);
+  }
+
+  *s = 0;
+  *e = GlobalLoad(&ctx.buf_e[block.block_id()], c);  // Line 2.
+  const uint64_t e_init = *e;
+  BlockBuffer buf(ctx, block, shared_b, e_init);
+
+  uint64_t pref_count = 0;
+
+  while (true) {
+    block.Sync();  // Line 4.
+    const uint64_t cur_s = *s;
+    const uint64_t cur_e = *e;
+    c.shared_ops += 2 * dim;  // every thread reads s and e.
+
+    if (!vertex_prefetching) {
+      if (cur_s == cur_e) break;  // Line 5.
+      block.Sync();
+      const uint64_t window = std::min<uint64_t>(dim, cur_e - cur_s);
+      *s = cur_s + window;
+      ++c.shared_ops;
+      ExpandWindow(
+          ctx, k, buf, e, s, block, sh, scratch,
+          [&](uint64_t i) { return buf.Fetch(cur_s + i, c); }, window, c);
+    } else {
+      // VP composition: Warp 0 prefetches the next batch into pref_next
+      // (then joins the expansion — every barrier inside the engine is
+      // block-wide), while the engine drains the previously fetched batch
+      // at binned granularity. The batch no longer maps one-to-one onto
+      // processing warps, but the prefetch depth stays at Warp 0's lane
+      // count, so the window is at most num_warps - 1 vertices.
+      if (pref_count == 0 && cur_s == cur_e) break;
+      block.Sync();  // Line 7 analogue.
+      const uint64_t nfetch =
+          std::min<uint64_t>(num_warps - 1, cur_e - cur_s);
+      block.ForEachWarp([&](WarpCtx& warp) {
+        if (warp.warp_id() != 0) return;
+        warp.SyncWarp();
+        warp.ForEachLane([&](uint32_t lane) {
+          if (lane >= 1 && lane <= nfetch) {
+            pref_next[lane - 1] = buf.Fetch(cur_s + lane - 1, c);
+            ++c.shared_ops;
+          }
+        });
+      });
+      ExpandWindow(
+          ctx, k, buf, e, s, block, sh, scratch,
+          [&](uint64_t i) {
+            ++c.shared_ops;
+            return pref[i];
+          },
+          pref_count, c);
+      *s = cur_s + nfetch;
+      ++c.shared_ops;
+      std::swap_ranges(pref, pref + num_warps, pref_next);
+      pref_count = nfetch;
+    }
+  }
+
+  block.Sync();  // Line 25.
+  AtomicAdd(ctx.gpu_count, *e, c);
+}
+
 void LoopKernel(const KernelCtx& ctx, uint32_t k, bool vertex_prefetching,
                 auto& block) {
   auto& c = block.counters();
@@ -421,6 +814,7 @@ void LoopKernel(const KernelCtx& ctx, uint32_t k, bool vertex_prefetching,
         // Defensive: a suppressed overflow store leaves garbage behind; the
         // host aborts on the flag, but this kernel must not read OOB first.
         if (v >= ctx.num_vertices) return;
+        ++c.loop_bin_warp;  // uncharged meter; see PerfCounters
         ProcessVertex(ctx, k, buf, e, s, warp, v, c);
       });
     } else {
@@ -447,6 +841,7 @@ void LoopKernel(const KernelCtx& ctx, uint32_t k, bool vertex_prefetching,
         const VertexId v = pref[slot];
         ++c.shared_ops;
         if (v >= ctx.num_vertices) return;  // see non-VP path comment
+        ++c.loop_bin_warp;  // uncharged meter; see PerfCounters
         ProcessVertex(ctx, k, buf, e, s, warp, v, c);
       });
       *s = cur_s + nfetch;
@@ -479,11 +874,34 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
         "vertex prefetching needs 2..32 warps per block (Warp 0's 32 lanes "
         "must cover the other warps)");
   }
+  if ((opt.expand_strategy == ExpandStrategy::kBlock ||
+       opt.expand_strategy == ExpandStrategy::kAuto) &&
+      opt.block_dim / 32 > 32) {
+    return Status::InvalidArgument(
+        "block-cooperative expansion requires at most 32 warps per block "
+        "(the block ballot scan stages one warp total per lane)");
+  }
+  if (opt.expand_strategy == ExpandStrategy::kAuto &&
+      opt.block_expand_threshold < kWarpSize) {
+    return Status::InvalidArgument(
+        "block_expand_threshold must be >= 32 (the warp bin starts there)");
+  }
+  // kAuto stages one block_dim-sized hub list (+ cursor) in shared memory,
+  // on top of whatever SM buffering claims.
+  const uint64_t expand_shared_bytes =
+      opt.expand_strategy == ExpandStrategy::kAuto
+          ? static_cast<uint64_t>(opt.block_dim) * sizeof(VertexId) +
+                sizeof(uint32_t)
+          : 0;
   if (opt.shared_memory_buffering &&
       static_cast<uint64_t>(opt.shared_buffer_capacity) * sizeof(VertexId) +
-              4096 >
+              expand_shared_bytes + 4096 >
           device_->options().shared_mem_per_block) {
     return Status::InvalidArgument("shared buffer B exceeds shared memory");
+  }
+  if (expand_shared_bytes + 4096 > device_->options().shared_mem_per_block) {
+    return Status::InvalidArgument(
+        "auto-expansion bin lists exceed shared memory (reduce block_dim)");
   }
   if (opt.active_compaction && (opt.compaction_threshold < 0.0 ||
                                 opt.compaction_threshold > 1.0)) {
@@ -506,6 +924,19 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
           : std::max<uint64_t>(4096, static_cast<uint64_t>(n) / 4);
 
   DecomposeResult result;
+
+  // Loop-phase imbalance accumulators: per loop launch, the slowest block's
+  // modeled ns and the mean over the blocks whose frontier buffer held work
+  // at launch (Device::last_launch_stats + the host-visible buf_e snapshot;
+  // idle blocks only measure the kernel's fixed floor, not balance). Their
+  // ratio — time-weighted over every loop launch — is
+  // Metrics.loop_imbalance. Reading the stats charges nothing.
+  double loop_max_ns = 0.0;
+  double loop_mean_ns = 0.0;
+  const auto finish_loop_imbalance = [&]() {
+    result.metrics.loop_imbalance =
+        loop_mean_ns > 0.0 ? loop_max_ns / loop_mean_ns : 0.0;
+  };
 
   // Bounded retry for transient (Unavailable) device failures. A failed
   // launch/copy is fail-stop — no side effects — so re-issuing the same
@@ -606,6 +1037,7 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
     result.metrics.modeled_ms = device_->modeled_ms() + cpu.metrics.modeled_ms;
     result.metrics.peak_device_bytes = device_->peak_bytes();
     result.metrics.recovery_ms += recovery.ElapsedMillis();
+    finish_loop_imbalance();
     result.metrics.wall_ms = timer.ElapsedMillis();
     return result;
   };
@@ -643,6 +1075,8 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
   ctx.sm = opt.shared_memory_buffering;
   ctx.shared_capacity = opt.shared_buffer_capacity;
   ctx.append = opt.append;
+  ctx.expand = opt.expand_strategy;
+  ctx.block_threshold = opt.block_expand_threshold;
 
   uint64_t count = 0;  // Algorithm 1 Line 2.
   uint32_t k = 0;
@@ -706,12 +1140,38 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
     }));
     charge(result.metrics.scan_ms);
     const bool vp = opt.vertex_prefetching;
+    const bool binned = opt.expand_strategy != ExpandStrategy::kWarp;
+    // Snapshot per-block frontier occupancy before the launch (the loop
+    // kernel never writes buf_e back): host-side instrumentation, uncharged.
+    std::vector<bool> block_had_work(opt.num_blocks);
+    for (uint32_t b = 0; b < opt.num_blocks; ++b) {
+      block_had_work[b] = ctx.buf_e[b] != 0;
+    }
     KCORE_RETURN_IF_ERROR(with_retry([&] {
       return device_->Launch(opt.num_blocks, opt.block_dim, "loop",
                              [&](auto& block) {
-                               LoopKernel(ctx, k, vp, block);  // Line 7.
+                               if (binned) {
+                                 LoopKernelBinned(ctx, k, vp, block);
+                               } else {
+                                 LoopKernel(ctx, k, vp, block);  // Line 7.
+                               }
                              });
     }));
+    {
+      const auto& stats = device_->last_launch_stats();
+      double sum_active = 0.0;
+      uint32_t num_active = 0;
+      for (uint32_t b = 0;
+           b < opt.num_blocks && b < stats.block_ns.size(); ++b) {
+        if (!block_had_work[b]) continue;
+        sum_active += stats.block_ns[b];
+        ++num_active;
+      }
+      if (num_active > 0) {
+        loop_max_ns += stats.max_block_ns;
+        loop_mean_ns += sum_active / num_active;
+      }
+    }
     charge(result.metrics.loop_ms);
 
     uint32_t overflow = 0;
@@ -815,6 +1275,7 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
         d_deg.CopyToHost(std::span<uint32_t>(result.core)));
   }
 
+  finish_loop_imbalance();
   result.metrics.wall_ms = timer.ElapsedMillis();
   result.metrics.modeled_ms = device_->modeled_ms();
   result.metrics.peak_device_bytes = device_->peak_bytes();

@@ -2,6 +2,35 @@
 
 namespace kcore {
 
+const char* ExpandStrategyName(ExpandStrategy strategy) {
+  switch (strategy) {
+    case ExpandStrategy::kThread:
+      return "thread";
+    case ExpandStrategy::kWarp:
+      return "warp";
+    case ExpandStrategy::kBlock:
+      return "block";
+    case ExpandStrategy::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+bool ParseExpandStrategy(const std::string& token, ExpandStrategy* out) {
+  if (token == "thread") {
+    *out = ExpandStrategy::kThread;
+  } else if (token == "warp") {
+    *out = ExpandStrategy::kWarp;
+  } else if (token == "block") {
+    *out = ExpandStrategy::kBlock;
+  } else if (token == "auto") {
+    *out = ExpandStrategy::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 std::string GpuPeelOptions::VariantName() const {
   std::string base;
   switch (append) {

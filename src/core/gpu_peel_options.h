@@ -19,6 +19,31 @@ enum class AppendStrategy {
   kEfficientCompact,
 };
 
+/// How the loop kernel expands the adjacency of a frontier vertex
+/// (degree-aware load balancing, cf. Gunrock's TWC load-balanced advance).
+enum class ExpandStrategy {
+  /// One lane peels the whole adjacency; a warp handles 32 frontier
+  /// vertices in lockstep. Best for deg < 32.
+  kThread,
+  /// One warp per frontier vertex, 32 lanes per neighbor chunk — the
+  /// paper's Alg. 3 path, and the default (exactly the pre-binning
+  /// instruction sequence).
+  kWarp,
+  /// All warps of the block cooperatively sweep one vertex's adjacency in
+  /// grid-stride batches; appends go through a block-wide ballot scan.
+  kBlock,
+  /// Per-window classification: each fetched frontier window is binned by
+  /// degree into thread / warp / block granularity.
+  kAuto,
+};
+
+/// Short name used by CLI flags and bench labels ("thread", "warp", ...).
+const char* ExpandStrategyName(ExpandStrategy strategy);
+
+/// Parses a CLI token ("thread"/"warp"/"block"/"auto"); returns false on an
+/// unknown token, leaving *out untouched.
+bool ParseExpandStrategy(const std::string& token, ExpandStrategy* out);
+
 /// Fault-recovery policy of the resilient peel drivers. The machinery only
 /// engages when the device carries a fault plan (cusim/fault_injection.h);
 /// without one the drivers run the plain fast path — no checkpoints, no
@@ -68,6 +93,18 @@ struct GpuPeelOptions {
   bool vertex_prefetching = false;
 
   AppendStrategy append = AppendStrategy::kAtomic;
+
+  /// Loop-phase frontier expansion granularity. kWarp (the default) is the
+  /// paper's warp-per-vertex path, bit-identical to the pre-binning code;
+  /// kAuto classifies each fetched window by degree into thread / warp /
+  /// block bins (see DESIGN.md §8). Composes with every append / ring /
+  /// SM / VP variant.
+  ExpandStrategy expand_strategy = ExpandStrategy::kWarp;
+  /// Adjacency length at or above which kAuto moves a vertex from the warp
+  /// bin to the block-cooperative bin. Default from bench_micro_expand:
+  /// block sweeps pay ~3 extra barriers per block_dim-neighbor batch, so
+  /// they only amortize once the adjacency spans several full batches.
+  uint32_t block_expand_threshold = 4096;
 
   /// AC: active-vertex compaction for the scan phase. The scan kernel
   /// normally sweeps all n vertices every round k even when almost all of
@@ -126,6 +163,12 @@ struct GpuPeelOptions {
   GpuPeelOptions WithoutCompaction() const {
     GpuPeelOptions o = *this;
     o.active_compaction = false;
+    return o;
+  }
+  /// Selects a loop-phase expansion strategy on top of any preset.
+  GpuPeelOptions WithExpand(ExpandStrategy strategy) const {
+    GpuPeelOptions o = *this;
+    o.expand_strategy = strategy;
     return o;
   }
 

@@ -66,12 +66,27 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
     return Status::InvalidArgument(
         "compaction_threshold must be a fraction in [0, 1]");
   }
+  if (options.expand_strategy == ExpandStrategy::kAuto &&
+      options.block_expand_threshold < 32) {
+    return Status::InvalidArgument(
+        "block_expand_threshold must be >= 32 (the warp bin starts there)");
+  }
   WallTimer timer;
   const VertexId n = graph.NumVertices();
   const uint32_t num_workers = options.num_workers;
   const VertexId chunk = (n + num_workers - 1) / num_workers;
   DecomposeResult result;
   ModeledClock clock(GpuNativeCostModel());
+
+  // Sub-round imbalance accumulators: slowest vs mean alive-worker modeled
+  // ns per sub-round; the time-weighted ratio is Metrics.loop_imbalance
+  // (workers run scan + cascade fused, so this covers the whole sub-round).
+  double subround_max_ns = 0.0;
+  double subround_mean_ns = 0.0;
+  const auto finish_loop_imbalance = [&]() {
+    result.metrics.loop_imbalance =
+        subround_mean_ns > 0.0 ? subround_max_ns / subround_mean_ns : 0.0;
+  };
 
   // Chunk index -> worker index. Identity at first; resharding after a
   // device loss redirects the dead worker's chunks to its successor (ranges
@@ -203,6 +218,7 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
     }
     result.metrics.peak_device_bytes = max_peak;
     result.metrics.recovery_ms += recovery.ElapsedMillis();
+    finish_loop_imbalance();
     result.metrics.wall_ms = timer.ElapsedMillis();
     return result;
   };
@@ -456,6 +472,29 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
           const VertexId v = buffer[head++];
           ++processed;
           const VertexId local = v - worker.begin;
+          // Expansion-bin attribution (uncharged meters; see MultiGpuOptions).
+          switch (options.expand_strategy) {
+            case ExpandStrategy::kThread:
+              ++c.loop_bin_thread;
+              break;
+            case ExpandStrategy::kWarp:
+              ++c.loop_bin_warp;
+              break;
+            case ExpandStrategy::kBlock:
+              ++c.loop_bin_block;
+              break;
+            case ExpandStrategy::kAuto: {
+              const uint64_t len = offsets[local + 1] - offsets[local];
+              if (len < 32) {
+                ++c.loop_bin_thread;
+              } else if (len < options.block_expand_threshold) {
+                ++c.loop_bin_warp;
+              } else {
+                ++c.loop_bin_block;
+              }
+              break;
+            }
+          }
           for (EdgeIndex e = offsets[local]; e < offsets[local + 1]; ++e) {
             const VertexId u = neighbors[e];
             ++c.edges_traversed;
@@ -490,11 +529,22 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
       {
         std::vector<PerfCounters> lane_counters;
         lane_counters.reserve(num_workers);
+        double max_ns = 0.0;
+        double sum_ns = 0.0;
         for (Worker& worker : workers) {
-          if (worker.alive) ++alive_count;
+          if (worker.alive) {
+            ++alive_count;
+            const double ns = clock.cost().UnitTimeNs(worker.counters);
+            max_ns = std::max(max_ns, ns);
+            sum_ns += ns;
+          }
           lane_counters.push_back(worker.counters);
           result.metrics.counters += worker.counters;
           worker.counters = PerfCounters();
+        }
+        if (alive_count > 0) {
+          subround_max_ns += max_ns;
+          subround_mean_ns += sum_ns / alive_count;
         }
         clock.AddParallelPhase(lane_counters);
         // Two kernels per worker sub-round (scan + loop), plus the border
@@ -622,6 +672,7 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
     }
   }
   result.metrics.peak_device_bytes = max_peak;
+  finish_loop_imbalance();
   result.metrics.wall_ms = timer.ElapsedMillis();
   result.metrics.modeled_ms = clock.ms();
   return result;

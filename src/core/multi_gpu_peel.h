@@ -32,6 +32,16 @@ struct MultiGpuOptions {
   bool active_compaction = true;
   double compaction_threshold = 0.5;
 
+  /// Loop-phase expansion accounting, mirroring GpuPeelOptions. The workers
+  /// emulate their cascade through host pointers (no warp scheduling), so
+  /// the strategy cannot change which instructions run — it selects how the
+  /// popped frontier vertices are attributed to the loop_bin_* meters:
+  /// kWarp/kThread/kBlock book every vertex to that one bin; kAuto
+  /// classifies by adjacency length exactly like the single-GPU engine
+  /// (deg < 32 -> thread, < block_expand_threshold -> warp, else block).
+  ExpandStrategy expand_strategy = ExpandStrategy::kWarp;
+  uint32_t block_expand_threshold = 4096;
+
   /// Per-worker fault plans (cusim/fault_injection.h grammar): entry i
   /// overrides worker_device.fault_spec for worker i, letting tests kill or
   /// degrade one GPU of the fleet. Shorter vectors leave later workers on

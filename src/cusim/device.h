@@ -280,6 +280,12 @@ class Device {
     // before its slowest block nor faster than the work spread over all SMs.
     const double body_ns =
         std::max(max_block_ns, sum_block_ns / options_.num_sms);
+    last_launch_stats_.max_block_ns = max_block_ns;
+    last_launch_stats_.mean_block_ns = sum_block_ns / num_blocks;
+    last_launch_stats_.block_ns.assign(num_blocks, 0.0);
+    for (uint32_t b = 0; b < num_blocks; ++b) {
+      last_launch_stats_.block_ns[b] = options_.cost.UnitTimeNs(per_block[b]);
+    }
     modeled_ns_ += options_.cost.kernel_launch_ns + body_ns;
     launch_total.kernel_launches = 1;
     totals_ += launch_total;
@@ -292,6 +298,20 @@ class Device {
 
   /// Modeled kernel-execution time accumulated so far.
   double modeled_ms() const { return modeled_ns_ / 1e6; }
+
+  /// Per-launch block-time spread of the most recent Launch(): the slowest
+  /// block's modeled ns and the mean over all blocks of the grid. Drivers
+  /// read this right after a launch to measure load imbalance (the max/mean
+  /// ratio) without re-deriving per-block costs.
+  struct LaunchStats {
+    double max_block_ns = 0.0;
+    double mean_block_ns = 0.0;
+    /// Every block's modeled ns, indexed by block id — lets a driver weight
+    /// the spread by what it knows about per-block work assignment (e.g.
+    /// exclude blocks whose frontier buffer was empty at launch).
+    std::vector<double> block_ns;
+  };
+  const LaunchStats& last_launch_stats() const { return last_launch_stats_; }
   /// Modeled host<->device transfer time (reported separately, as the paper
   /// separates loading from computation).
   double transfer_ms() const { return transfer_ns_ / 1e6; }
@@ -395,6 +415,7 @@ class Device {
   uint64_t peak_bytes_ = 0;
   double modeled_ns_ = 0.0;
   double transfer_ns_ = 0.0;
+  LaunchStats last_launch_stats_;
   PerfCounters totals_;
   std::vector<PerfCounters> launch_scratch_;
   std::shared_ptr<SimChecker> checker_;

@@ -84,6 +84,52 @@ uint32_t BlockExclusiveScan(BlockCtxT<Checked>& block, const uint32_t* flags,
   return warp_sums[num_warps - 1];
 }
 
+/// Block-wide ballot scan: composes the warp ballot scan (Fig. 8(c)) across
+/// warps through shared memory — the block-level analogue backing the
+/// block-cooperative (CTA) expansion bin. Stage 1: each warp ballot-scans
+/// its 32 flags and lane 0 stages the warp total in shared memory; Stage 2:
+/// Warp 0 HS-scans the staged totals (counts, not 0/1 flags, so the ballot
+/// trick does not apply — same Fig. 9 note as BlockExclusiveScan); Stage 3:
+/// each warp adds its global offset. Writes exclusive offsets into
+/// `exclusive` (block_dim() entries) and returns the block total.
+/// Requires num_warps() <= 32 (one warp must cover the staged totals).
+/// Unlike BlockExclusiveScan, the warp-total staging is modeled as shared
+/// traffic (one store per warp, one load per consumer warp).
+template <bool Checked>
+uint32_t BlockBallotExclusiveScan(BlockCtxT<Checked>& block,
+                                  const uint32_t* flags, uint32_t* exclusive) {
+  const uint32_t num_warps = block.num_warps();
+  KCORE_CHECK_LE(num_warps, kWarpSize);
+  PerfCounters& counters = block.counters();
+
+  // Stage 1: independent per-warp ballot scans; totals staged in shared.
+  uint32_t warp_sums[kWarpSize] = {0};
+  block.ForEachWarp([&](WarpCtx& warp) {
+    const uint32_t base = warp.warp_id() * kWarpSize;
+    warp_sums[warp.warp_id()] =
+        BallotExclusiveScan(warp, flags + base, exclusive + base);
+    ++counters.shared_ops;  // lane 0 stores the warp total
+  });
+  block.Sync();  // Stage 2 barrier: warp totals visible to Warp 0.
+
+  counters.shared_ops += num_warps;  // Warp 0 loads the staged totals.
+  HillisSteeleInclusiveScan(warp_sums, counters);
+  block.Sync();  // Stage 3 barrier: per-warp global offsets visible.
+
+  // Stage 3: add each warp's global offset (0 for Warp 0, which still
+  // executes the add in lockstep with the rest of the block).
+  block.ForEachWarp([&](WarpCtx& warp) {
+    const uint32_t w = warp.warp_id();
+    const uint32_t base = w * kWarpSize;
+    const uint32_t warp_offset = w == 0 ? 0 : warp_sums[w - 1];
+    ++counters.shared_ops;  // each warp loads its offset
+    warp.ForEachLane(
+        [&](uint32_t lane) { exclusive[base + lane] += warp_offset; });
+  });
+  block.Sync();
+  return warp_sums[num_warps - 1];
+}
+
 }  // namespace kcore::sim
 
 #endif  // KCORE_CUSIM_WARP_SCAN_H_

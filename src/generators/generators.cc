@@ -200,4 +200,27 @@ EdgeList GenerateHubGraph(const HubGraphOptions& options, uint64_t seed) {
   return edges;
 }
 
+EdgeList GenerateSkewedPowerLaw(const SkewedPowerLawOptions& options,
+                                uint64_t seed) {
+  KCORE_CHECK_GT(options.num_vertices, options.num_hubs + options.hub_degree);
+  Rng rng(seed);
+  // Chung–Lu already gives the first vertices the largest expected degrees,
+  // so making them the hubs compounds the skew instead of diluting it.
+  EdgeList edges = GenerateChungLuPowerLaw(options.num_vertices,
+                                           options.tail_edges,
+                                           options.exponent, seed * 31 + 7);
+  std::unordered_set<uint32_t> spokes;
+  spokes.reserve(options.hub_degree * 2);
+  for (uint32_t h = 0; h < options.num_hubs; ++h) {
+    spokes.clear();
+    while (spokes.size() < options.hub_degree) {
+      const auto v = static_cast<uint32_t>(
+          options.num_hubs +
+          rng.UniformInt(options.num_vertices - options.num_hubs));
+      if (spokes.insert(v).second) edges.push_back({h, v});
+    }
+  }
+  return edges;
+}
+
 }  // namespace kcore

@@ -63,6 +63,23 @@ struct HubGraphOptions {
 
 EdgeList GenerateHubGraph(const HubGraphOptions& options, uint64_t seed);
 
+/// Skewed power-law graph built for load-balancing studies (DESIGN.md §8):
+/// a sparse Chung–Lu power-law tail (most vertices of degree 1-4) plus a few
+/// mega-hubs, each attached to `hub_degree` distinct tail vertices. The tail
+/// keeps k_max small (few peeling rounds) while the frontier of every round
+/// mixes thousands of tiny adjacencies with a handful of huge ones — the
+/// worst case for one-warp-per-vertex expansion.
+struct SkewedPowerLawOptions {
+  uint32_t num_vertices = 60000;
+  uint64_t tail_edges = 45000;  ///< Chung–Lu background edge budget.
+  double exponent = 2.6;        ///< Power-law exponent (must be > 2).
+  uint32_t num_hubs = 4;        ///< Mega-hubs, vertices [0, num_hubs).
+  uint32_t hub_degree = 8000;   ///< Distinct spokes per hub.
+};
+
+EdgeList GenerateSkewedPowerLaw(const SkewedPowerLawOptions& options,
+                                uint64_t seed);
+
 }  // namespace kcore
 
 #endif  // KCORE_GENERATORS_GENERATORS_H_

@@ -25,6 +25,13 @@ struct Metrics {
   double scan_ms = 0.0;     ///< ScanKernel launches (Algorithm 2).
   double loop_ms = 0.0;     ///< LoopKernel launches (Algorithm 3).
   double compact_ms = 0.0;  ///< CompactKernel launches (active-vertex lists).
+  /// Loop-phase load imbalance: the time-weighted ratio of slowest-block to
+  /// mean-active-block modeled time over all loop launches (sum of
+  /// per-launch max block ns divided by sum of per-launch means over the
+  /// blocks whose frontier buffer held work at launch). 1.0 = perfectly
+  /// balanced; large values mean a few blocks gate every loop launch.
+  /// 0.0 when the engine does not measure it.
+  double loop_imbalance = 0.0;
   /// Peeling rounds / BSP supersteps executed.
   uint32_t rounds = 0;
   /// Inner iterations (sub-levels, h-index sweeps, frontier steps).

@@ -38,6 +38,12 @@ struct PerfCounters {
   uint64_t hindex_evals = 0;       ///< h-index operator applications (MPM).
   uint64_t messages = 0;           ///< Vertex-centric messages (systems).
   uint64_t vector_op_calls = 0;    ///< Vector-primitive launches (VETGA).
+  /// Loop-phase expansion bins: frontier vertices expanded at thread, warp,
+  /// and block granularity (uncharged meters, like edges_traversed — the
+  /// charged work is counted by the fields above as it happens).
+  uint64_t loop_bin_thread = 0;
+  uint64_t loop_bin_warp = 0;
+  uint64_t loop_bin_block = 0;
 
   PerfCounters& operator+=(const PerfCounters& other) {
     lane_ops += other.lane_ops;
@@ -57,6 +63,9 @@ struct PerfCounters {
     hindex_evals += other.hindex_evals;
     messages += other.messages;
     vector_op_calls += other.vector_op_calls;
+    loop_bin_thread += other.loop_bin_thread;
+    loop_bin_warp += other.loop_bin_warp;
+    loop_bin_block += other.loop_bin_block;
     return *this;
   }
 };

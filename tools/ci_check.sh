@@ -30,6 +30,8 @@ fault_suites='GpuPeelVariantTest.MatchesOracleOnFullSuite'
 fault_suites+='|CompactionEquivalenceTest.CoreNumbersIdenticalOnAndOff'
 fault_suites+='|MultiGpuWorkerCountTest.MatchesOracleOnFullSuite'
 fault_suites+='|MultiGpuTest.AgreesWithSingleGpuKernels'
+fault_suites+='|ExpandStrategyTest.MatchesOracleAcrossVariantsOnFullSuite'
+fault_suites+='|ExpandTest.MultiGpuAutoMatchesOracleAndBinsPartition'
 
 run_tsan=0
 for arg in "$@"; do
@@ -53,10 +55,65 @@ KCORE_FAULTS="$fault_spec" KCORE_SIMCHECK=1 ctest --preset tier1 -R "$fault_suit
 
 echo "=== release: kcore_cli device-loss smoke ==="
 smoke_graph="$(mktemp)"
-trap 'rm -f "$smoke_graph"' EXIT
+expand_graph="$(mktemp)"
+trap 'rm -f "$smoke_graph" "$expand_graph"' EXIT
 printf '0 1\n1 2\n2 3\n3 0\n0 2\n1 3\n' > "$smoke_graph"
 build/tools/kcore_cli decompose "$smoke_graph" gpu \
   '--faults=device_lost@launch=4' --simcheck
+
+echo "=== release: expansion-strategy legs (kcore_cli, simcheck on) ==="
+# Deterministic skewed fixture: a K12 core, a 600-spoke hub on vertex 0,
+# and a path tail. Under --expand=auto the spokes ride the thread bin and
+# the hub the warp bin (600 < the 4096 block threshold); the block bin is
+# exercised by the tier-1 suite with a lowered threshold.
+{
+  for ((i = 0; i < 12; i++)); do
+    for ((j = i + 1; j < 12; j++)); do echo "$i $j"; done
+  done
+  for ((i = 12; i < 612; i++)); do echo "0 $i"; done
+  for ((i = 612; i < 700; i++)); do echo "$i $((i + 1))"; done
+} > "$expand_graph"
+base_out="$(build/tools/kcore_cli decompose "$expand_graph" gpu)"
+for strategy in thread warp block auto; do
+  for engine in gpu multigpu; do
+    out="$(build/tools/kcore_cli decompose "$expand_graph" "$engine" \
+      "--expand=$strategy" --simcheck)"
+    sig="$(grep -E '^(k_max|rounds)' <<< "$out")"
+    want="$(grep -E '^(k_max|rounds)' <<< "$base_out")"
+    if [[ "$engine" == gpu && "$sig" != "$want" ]]; then
+      echo "expand=$strategy/$engine diverges from the default engine:" >&2
+      diff <(echo "$want") <(echo "$sig") >&2 || true
+      exit 1
+    fi
+    if [[ "$(grep -E '^k_max' <<< "$out")" != "$(grep -E '^k_max' <<< "$base_out")" ]]; then
+      echo "expand=$strategy/$engine k_max diverges" >&2
+      exit 1
+    fi
+  done
+done
+
+echo "=== release: expand=warp drift guard (zero-cost-when-off) ==="
+# --expand=warp must dispatch to the *original* loop kernel. Two guards:
+#  1. its bin meters prove no vertex left the warp path;
+#  2. its modeled time matches the flagless default run. Modeled times carry
+#     run-to-run scheduling jitter (cross-block cascade order moves work
+#     between blocks), so the comparison uses a relative tolerance rather
+#     than bit equality.
+warp_out="$(build/tools/kcore_cli decompose "$expand_graph" gpu --expand=warp)"
+grep -q '^bin_thread      0$' <<< "$warp_out" || {
+  echo "expand=warp routed vertices to the thread bin" >&2; exit 1; }
+grep -q '^bin_block       0$' <<< "$warp_out" || {
+  echo "expand=warp routed vertices to the block bin" >&2; exit 1; }
+base_ms="$(awk '/^modeled_ms/ {print $2}' <<< "$base_out")"
+warp_ms="$(awk '/^modeled_ms/ {print $2}' <<< "$warp_out")"
+awk -v a="$base_ms" -v b="$warp_ms" 'BEGIN {
+  d = a > b ? a - b : b - a
+  lo = a < b ? a : b
+  if (d > 0.10 * lo + 0.005) {
+    printf "expand=warp modeled_ms drifted from default: %s vs %s\n", a, b
+    exit 1
+  }
+}'
 
 echo "=== asan: configure + build ==="
 cmake --preset asan

@@ -19,6 +19,11 @@
 // grammar, e.g. --faults='launch_fail@3;bitflip:launch=12') and prints a
 // recovery summary — retries, checkpoints, re-executed levels, devices
 // lost, CPU-fallback levels — after the run. Composes with --simcheck.
+//
+// --expand=<thread|warp|block|auto> (decompose, gpu/multigpu engines):
+// loop-phase frontier expansion granularity (DESIGN.md §8). warp is the
+// paper's Alg. 3 path and the default; auto bins each frontier window by
+// degree. The run prints the bin counters and the loop imbalance ratio.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -47,6 +52,7 @@ int Usage() {
                "<edge_list> [args]\n"
                "  decompose <edge_list> [gpu|bz|pkc|pkc-o|park|mpm|vetga|"
                "multigpu] [--simcheck] [--faults=<spec>]\n"
+               "            [--expand=<thread|warp|block|auto>]\n"
                "  extract   <edge_list> <k> <output_edge_list>\n");
   return 2;
 }
@@ -58,7 +64,8 @@ StatusOr<BuiltGraph> Load(const char* path) {
 
 StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
                                     const std::string& engine, bool simcheck,
-                                    const std::string& faults) {
+                                    const std::string& faults,
+                                    const std::string& expand) {
   if (simcheck && engine != "gpu" && engine != "vetga" &&
       engine != "multigpu") {
     return Status::InvalidArgument(
@@ -68,11 +75,24 @@ StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
     return Status::InvalidArgument(
         "--faults only applies to the resilient GPU engines (gpu, multigpu)");
   }
+  ExpandStrategy expand_strategy = ExpandStrategy::kWarp;
+  if (!expand.empty()) {
+    if (engine != "gpu" && engine != "multigpu") {
+      return Status::InvalidArgument(
+          "--expand only applies to the peeling GPU engines (gpu, multigpu)");
+    }
+    if (!ParseExpandStrategy(expand, &expand_strategy)) {
+      return Status::InvalidArgument("unknown --expand strategy: " + expand +
+                                     " (want thread|warp|block|auto)");
+    }
+  }
   if (engine == "gpu") {
     sim::DeviceOptions device_options;
     device_options.check_mode = simcheck;
     device_options.fault_spec = faults;
-    return RunGpuPeel(graph, {}, device_options);
+    GpuPeelOptions options;
+    options.expand_strategy = expand_strategy;
+    return RunGpuPeel(graph, options, device_options);
   }
   if (engine == "bz") return RunBz(graph);
   if (engine == "pkc") return RunPkc(graph);
@@ -92,6 +112,7 @@ StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
     MultiGpuOptions options;
     options.worker_device.check_mode = simcheck;
     options.worker_device.fault_spec = faults;
+    options.expand_strategy = expand_strategy;
     return RunMultiGpuPeel(graph, options);
   }
   return Status::InvalidArgument("unknown engine: " + engine);
@@ -109,8 +130,9 @@ int CmdStats(const CsrGraph& graph) {
 }
 
 int CmdDecompose(const CsrGraph& graph, const std::string& engine,
-                 bool simcheck, const std::string& faults) {
-  auto result = Decompose(graph, engine, simcheck, faults);
+                 bool simcheck, const std::string& faults,
+                 const std::string& expand) {
+  auto result = Decompose(graph, engine, simcheck, faults, expand);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
@@ -121,6 +143,20 @@ int CmdDecompose(const CsrGraph& graph, const std::string& engine,
               result->metrics.modeled_ms, result->metrics.wall_ms,
               HumanBytes(result->metrics.peak_device_bytes).c_str());
   if (simcheck) std::printf("simcheck     clean\n");
+  if (!expand.empty()) {
+    const PerfCounters& c = result->metrics.counters;
+    std::printf("--- expansion ---\n"
+                "expand          %s\n"
+                "bin_thread      %llu\n"
+                "bin_warp        %llu\n"
+                "bin_block       %llu\n"
+                "loop_imbalance  %.3f\n",
+                expand.c_str(),
+                static_cast<unsigned long long>(c.loop_bin_thread),
+                static_cast<unsigned long long>(c.loop_bin_warp),
+                static_cast<unsigned long long>(c.loop_bin_block),
+                result->metrics.loop_imbalance);
+  }
   if (!faults.empty()) {
     const Metrics& m = result->metrics;
     std::printf("--- recovery summary ---\n"
@@ -198,15 +234,18 @@ int CmdExtract(const BuiltGraph& built, uint32_t k, const char* out_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Extract the --simcheck and --faults flags wherever they appear.
+  // Extract the --simcheck, --faults and --expand flags wherever they appear.
   bool simcheck = false;
   std::string faults;
+  std::string expand;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--simcheck") == 0) {
       simcheck = true;
     } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
       faults = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--expand=", 9) == 0) {
+      expand = argv[i] + 9;
     } else {
       argv[out++] = argv[i];
     }
@@ -225,7 +264,7 @@ int main(int argc, char** argv) {
   if (command == "stats") return CmdStats(built->graph);
   if (command == "decompose") {
     return CmdDecompose(built->graph, argc > 3 ? argv[3] : "gpu", simcheck,
-                        faults);
+                        faults, expand);
   }
   if (command == "shells") return CmdShells(built->graph);
   if (command == "hierarchy") return CmdHierarchy(built->graph);
