@@ -8,8 +8,16 @@
 // loop-phase expansion strategy (DESIGN.md §8); the harness fails if any
 // strategy's core numbers diverge from expand=warp's.
 //
+// A third "trace_phases" section re-runs each roster dataset once with
+// simprof enabled and reports the phase breakdown derived from the trace's
+// kernel spans (the cross-check that the timeline and the Metrics phase
+// accumulators agree); the harness fails if any phase diverges from that
+// run's own Metrics by more than 1%. The tracked compaction_on/off numbers
+// above always come from unprofiled runs.
+//
 // Output path: argv[1] if given, else $KCORE_BENCH_JSON_PATH, else
 // ./BENCH_gpu_peel.json. Respects KCORE_BENCH_MAX_EDGES.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -17,6 +25,7 @@
 #include "bench_support.h"
 #include "common/strings.h"
 #include "core/gpu_peel.h"
+#include "perf/trace.h"
 
 namespace {
 
@@ -58,6 +67,13 @@ std::string MetricsJson(const Metrics& m) {
   json += "\"barriers\": " + U64(c.barriers);
   json += "}}";
   return json;
+}
+
+/// Relative disagreement between a trace-derived phase total and the engine's
+/// own Metrics accumulator, tolerant of both being ~0.
+bool PhaseMismatch(double trace_ms, double metrics_ms) {
+  const double scale = std::max(std::abs(metrics_ms), 1e-6);
+  return std::abs(trace_ms - metrics_ms) > 0.01 * scale;
 }
 
 }  // namespace
@@ -163,6 +179,58 @@ int main(int argc, char** argv) {
       json += StrFormat("     \"expand_%s\": ", ExpandStrategyName(strategy)) +
               MetricsJson(result->metrics);
     }
+    json += "}";
+  }
+  json += "\n  ],\n  \"trace_phases\": [\n";
+
+  first = true;
+  for (const DatasetSpec& spec : PaperRoster()) {
+    auto graph = LoadOrGenerateDataset(spec, DefaultCacheDir());
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+    if (max_edges != 0 && graph->NumUndirectedEdges() > max_edges) continue;
+
+    GpuPeelOptions options = GpuPeelOptions::Ours();
+    options.buffer_capacity = ScaledBufferCapacity(*graph);
+    sim::DeviceOptions device_options = ScaledP100Options();
+    device_options.profile = true;
+    sim::Device device(device_options);
+    GpuPeelDecomposer decomposer(&device, options);
+    auto result = decomposer.Decompose(*graph);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s (profiled): %s\n", spec.name.c_str(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const Trace& trace = device.profiler()->trace();
+    const double scan_ms = trace.TotalDurNs(kTraceCatKernel, "scan") / 1e6;
+    const double loop_ms = trace.TotalDurNs(kTraceCatKernel, "loop") / 1e6;
+    const double compact_ms =
+        trace.TotalDurNs(kTraceCatKernel, "compact") / 1e6;
+    const Metrics& m = result->metrics;
+    if (PhaseMismatch(scan_ms, m.scan_ms) ||
+        PhaseMismatch(loop_ms, m.loop_ms) ||
+        PhaseMismatch(compact_ms, m.compact_ms)) {
+      std::fprintf(stderr,
+                   "%s: trace phase totals diverge from Metrics "
+                   "(scan %.4f vs %.4f, loop %.4f vs %.4f, "
+                   "compact %.4f vs %.4f ms)\n",
+                   spec.name.c_str(), scan_ms, m.scan_ms, loop_ms, m.loop_ms,
+                   compact_ms, m.compact_ms);
+      return 1;
+    }
+
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\"name\": \"" + spec.name + "\", ";
+    json += "\"trace_events\": " + U64(trace.num_events()) + ", ";
+    json += StrFormat("\"scan_ms\": %.4f, ", scan_ms);
+    json += StrFormat("\"loop_ms\": %.4f, ", loop_ms);
+    json += StrFormat("\"compact_ms\": %.4f, ", compact_ms);
+    json += StrFormat("\"modeled_ms\": %.4f", m.modeled_ms);
     json += "}";
   }
   json += "\n  ]\n}\n";

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -944,15 +945,26 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
   const auto with_retry = [&](auto&& op) -> Status {
     Status st = op();
     if (!resilient) return st;
+    // With profiling on, an absorbed transient draws a flow arrow from the
+    // first failure to the attempt that cleared it (nsys shows retried
+    // launches the same way).
+    sim::SimProfiler* const prof = device_->profiler();
+    uint64_t flow_id = 0;
     for (uint32_t attempt = 0;
          st.IsUnavailable() && attempt < opt.resilience.max_op_retries;
          ++attempt) {
       ++result.metrics.retries;
+      if (prof != nullptr && flow_id == 0) {
+        flow_id = prof->FlowBegin("retry");
+      }
       if (opt.resilience.backoff_base_ms > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(
             static_cast<uint64_t>(opt.resilience.backoff_base_ms) << attempt));
       }
       st = op();
+    }
+    if (prof != nullptr && flow_id != 0) {
+      prof->FlowEnd(st.ok() ? "retry" : "retry_exhausted", flow_id);
     }
     return st;
   };
@@ -1026,6 +1038,9 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
   const auto cpu_finish = [&](const Status& cause,
                               uint32_t start_k) -> DecomposeResult {
     WallTimer recovery;
+    if (sim::SimProfiler* const prof = device_->profiler()) {
+      prof->Mark(StrFormat("cpu_fallback k=%u", start_k));
+    }
     result.metrics.degraded = true;
     if (cause.IsDeviceLost()) ++result.metrics.devices_lost;
     DecomposeResult cpu = ResumePkc(graph, std::move(ckpt_deg), start_k);
@@ -1102,6 +1117,7 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
   // without a second device read.
   std::vector<uint32_t> post_deg;
   const auto run_level = [&]() -> Status {
+    sim::SimProfiler* const prof = device_->profiler();
     if (opt.active_compaction) {
       // Rebuild the active array once the survivors have shrunk below the
       // threshold fraction of the current sweep domain (first time vs. n,
@@ -1111,6 +1127,7 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
       const uint64_t sweep_len = ctx.use_active ? ctx.active_size : n;
       if (static_cast<double>(remaining) <
           opt.compaction_threshold * static_cast<double>(sweep_len)) {
+        sim::ProfRange compact_range(prof, "compact");
         const uint64_t zero = 0;
         KCORE_RETURN_IF_ERROR(with_retry(
             [&] { return d_active_count.CopyFromHost({&zero, 1}); }));
@@ -1132,13 +1149,16 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
       }
     }
 
-    KCORE_RETURN_IF_ERROR(with_retry([&] {
-      return device_->Launch(opt.num_blocks, opt.block_dim, "scan",
-                             [&](auto& block) {
-                               ScanKernel(ctx, k, block);  // Line 6.
-                             });
-    }));
-    charge(result.metrics.scan_ms);
+    {
+      sim::ProfRange scan_range(prof, "scan");
+      KCORE_RETURN_IF_ERROR(with_retry([&] {
+        return device_->Launch(opt.num_blocks, opt.block_dim, "scan",
+                               [&](auto& block) {
+                                 ScanKernel(ctx, k, block);  // Line 6.
+                               });
+      }));
+      charge(result.metrics.scan_ms);
+    }
     const bool vp = opt.vertex_prefetching;
     const bool binned = opt.expand_strategy != ExpandStrategy::kWarp;
     // Snapshot per-block frontier occupancy before the launch (the loop
@@ -1147,6 +1167,8 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
     for (uint32_t b = 0; b < opt.num_blocks; ++b) {
       block_had_work[b] = ctx.buf_e[b] != 0;
     }
+    std::optional<sim::ProfRange> loop_range;
+    if (prof != nullptr) loop_range.emplace(prof, "loop");
     KCORE_RETURN_IF_ERROR(with_retry([&] {
       return device_->Launch(opt.num_blocks, opt.block_dim, "loop",
                              [&](auto& block) {
@@ -1173,6 +1195,7 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
       }
     }
     charge(result.metrics.loop_ms);
+    loop_range.reset();
 
     uint32_t overflow = 0;
     KCORE_RETURN_IF_ERROR(
@@ -1186,6 +1209,7 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
     KCORE_RETURN_IF_ERROR(
         with_retry([&] { return d_count.CopyToHost({&count, 1}); }));  // L8.
     if (resilient) {
+      sim::ProfRange validate_range(prof, "validate");
       post_deg.resize(n);
       KCORE_RETURN_IF_ERROR(with_retry(
           [&] { return d_deg.CopyToHost(std::span<uint32_t>(post_deg)); }));
@@ -1220,6 +1244,7 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
     return Status::OK();
   };
 
+  sim::SimProfiler* const prof = device_->profiler();
   uint32_t level_retries = 0;
   while (count < n) {  // Line 5.
     Status level = run_level();
@@ -1229,6 +1254,7 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
         std::swap(ckpt_deg, post_deg);
         ckpt_count = count;
         ++result.metrics.checkpoints_taken;
+        if (prof != nullptr) prof->Mark(StrFormat("checkpoint k=%u", k));
       }
       ++k;  // Line 9.
       ++result.metrics.rounds;
@@ -1247,7 +1273,16 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
         WallTimer recovery;
         ++level_retries;
         ++result.metrics.levels_reexecuted;
-        Status restored = rollback();
+        // Rollback flow arrow: from the corrupt round's end to the restored
+        // re-execution point (both on the modeled clock).
+        uint64_t flow_id = 0;
+        if (prof != nullptr) flow_id = prof->FlowBegin("rollback");
+        Status restored;
+        {
+          sim::ProfRange rollback_range(prof, "rollback");
+          restored = rollback();
+        }
+        if (prof != nullptr) prof->FlowEnd("rollback", flow_id);
         result.metrics.recovery_ms += recovery.ElapsedMillis();
         if (restored.ok()) continue;
         cause = restored;  // the rollback itself hit a permanent fault

@@ -78,6 +78,19 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
   DecomposeResult result;
   ModeledClock clock(GpuNativeCostModel());
 
+  // simprof: the master assembles the fleet timeline itself because the
+  // workers peel through host pointers (no Device::Launch to hook). Worker
+  // devices still profile their alloc/copy activity under their own pid;
+  // those traces are merged in at the end.
+  const bool tracing = options.trace != nullptr;
+  Trace trace;
+  const auto now_ns = [&] { return clock.ms() * 1e6; };
+  if (tracing) {
+    trace.SetProcessName(0, "master");
+    trace.SetThreadName(0, kTraceTidKernels, "border exchange");
+    trace.SetThreadName(0, kTraceTidRanges, "rounds");
+  }
+
   // Sub-round imbalance accumulators: slowest vs mean alive-worker modeled
   // ns per sub-round; the time-weighted ratio is Metrics.loop_imbalance
   // (workers run scan + cascade fused, so this covers the whole sub-round).
@@ -110,6 +123,11 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
         !options.worker_fault_specs[w].empty()) {
       device_options.fault_spec = options.worker_fault_specs[w];
     }
+    if (tracing) {
+      device_options.profile = true;
+      device_options.profile_pid = w + 1;
+      device_options.profile_name = StrFormat("worker%u", w);
+    }
     workers[w].device = std::make_unique<sim::Device>(device_options);
   }
   bool any_faults = false;
@@ -117,6 +135,18 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
     any_faults = any_faults || worker.device->fault_injection_enabled();
   }
   const bool resilient = options.resilience.enabled && any_faults;
+
+  // Hands the merged fleet timeline to the caller; called on every exit
+  // path that produces a result.
+  const auto flush_trace = [&] {
+    if (!tracing) return;
+    for (const Worker& worker : workers) {
+      if (sim::SimProfiler* prof = worker.device->profiler()) {
+        trace.Append(prof->trace());
+      }
+    }
+    *options.trace = std::move(trace);
+  };
 
   // Bounded retry for transient (Unavailable) copy failures; fail-stop, so
   // re-issuing is safe.
@@ -205,6 +235,10 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
   // Finishes on CPU PKC from the checkpoint once no usable fleet remains.
   const auto cpu_finish = [&](uint32_t start_k) -> DecomposeResult {
     WallTimer recovery;
+    if (tracing) {
+      trace.AddInstant(StrFormat("cpu_fallback k=%u", start_k),
+                       kTraceCatRecovery, 0, kTraceTidRanges, now_ns());
+    }
     result.metrics.degraded = true;
     DecomposeResult cpu = ResumePkc(graph, std::move(ckpt.deg), start_k);
     result.core = std::move(cpu.core);
@@ -220,6 +254,7 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
     result.metrics.recovery_ms += recovery.ElapsedMillis();
     finish_loop_imbalance();
     result.metrics.wall_ms = timer.ElapsedMillis();
+    flush_trace();
     return result;
   };
 
@@ -240,6 +275,10 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
         if (!workers[w].alive && death_counted[w] == 0) {
           death_counted[w] = 1;
           ++result.metrics.devices_lost;
+          if (tracing) {
+            trace.AddInstant(StrFormat("device_lost worker%u", w),
+                             kTraceCatRecovery, 0, kTraceTidRanges, now_ns());
+          }
         }
       }
       for (uint32_t w = 0; w < num_workers; ++w) {
@@ -282,6 +321,11 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
           break;
         }
         resharded[w] = 1;
+        if (tracing) {
+          trace.AddInstant(
+              StrFormat("reshard worker%u -> worker%d", w, succ),
+              kTraceCatRecovery, 0, kTraceTidRanges, now_ns());
+        }
         if (chunk > 0 && merged_end > merged_begin) {
           for (uint32_t c = merged_begin / chunk;
                c <= (merged_end - 1) / chunk; ++c) {
@@ -527,6 +571,7 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
       // Modeled time: slowest worker gates the sub-round.
       uint32_t alive_count = 0;
       {
+        const double subround_start_ns = now_ns();
         std::vector<PerfCounters> lane_counters;
         lane_counters.reserve(num_workers);
         double max_ns = 0.0;
@@ -537,6 +582,20 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
             const double ns = clock.cost().UnitTimeNs(worker.counters);
             max_ns = std::max(max_ns, ns);
             sum_ns += ns;
+            if (tracing) {
+              // One span per alive worker on its own pid, laid on the
+              // master's clock: all workers start the sub-round together and
+              // each runs for its own modeled time (the barrier waits for
+              // the longest span — the fleet's imbalance picture).
+              const auto w =
+                  static_cast<uint32_t>(&worker - workers.data());
+              trace.AddComplete(
+                  StrFormat("subround k=%u", k), kTraceCatKernel, w + 1,
+                  kTraceTidKernels, subround_start_ns, ns,
+                  {{"subround",
+                    StrFormat("%llu",
+                              static_cast<unsigned long long>(subrounds))}});
+            }
           }
           lane_counters.push_back(worker.counters);
           result.metrics.counters += worker.counters;
@@ -574,8 +633,20 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
         worker.border_updates.clear();
       }
       // Transfer + apply cost at the master.
+      const double exchange_start_ns = now_ns();
       clock.AddOverheadNs(clock.cost().kernel_launch_ns +
                           static_cast<double>(border_entries) * 8.0);
+      if (tracing) {
+        trace.AddComplete(
+            "border_exchange", kTraceCatKernel, 0, kTraceTidKernels,
+            exchange_start_ns, now_ns() - exchange_start_ns,
+            {{"entries",
+              StrFormat("%llu",
+                        static_cast<unsigned long long>(border_entries))},
+             {"applied",
+              StrFormat("%llu",
+                        static_cast<unsigned long long>(border_applied))}});
+      }
 
       removed.fetch_add(removed_this_subround.load(std::memory_order_relaxed),
                         std::memory_order_relaxed);
@@ -612,7 +683,13 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
 
   uint32_t level_retries = 0;
   while (removed.load(std::memory_order_relaxed) < n) {
+    const double round_start_ns = now_ns();
     Status round = run_round();
+    if (tracing) {
+      trace.AddComplete(StrFormat("round k=%u", k), kTraceCatRange, 0,
+                        kTraceTidRanges, round_start_ns,
+                        now_ns() - round_start_ns);
+    }
     if (round.ok()) {
       if (resilient) {
         // The validated post-round state becomes the new checkpoint.
@@ -620,6 +697,10 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
         std::copy(claimed.begin(), claimed.end(), ckpt.claimed.begin());
         ckpt.removed = removed.load(std::memory_order_relaxed);
         ++result.metrics.checkpoints_taken;
+        if (tracing) {
+          trace.AddInstant(StrFormat("checkpoint k=%u", k), kTraceCatRecovery,
+                           0, kTraceTidRanges, now_ns());
+        }
       }
       ++k;
       ++result.metrics.rounds;
@@ -675,6 +756,7 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
   finish_loop_imbalance();
   result.metrics.wall_ms = timer.ElapsedMillis();
   result.metrics.modeled_ms = clock.ms();
+  flush_trace();
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include "cusim/device.h"
 #include "graph/csr_graph.h"
 #include "perf/decompose_result.h"
+#include "perf/trace.h"
 
 namespace kcore {
 
@@ -53,6 +54,15 @@ struct MultiGpuOptions {
   /// re-executed from the last checkpoint; when no worker survives, the
   /// remaining rounds run on CPU PKC (Metrics.degraded).
   ResilienceOptions resilience;
+
+  /// simprof output (see cusim/simprof.h): non-null enables profiling and
+  /// receives the fleet's merged timeline on return — the master as pid 0
+  /// (round ranges, border exchanges, checkpoint/reshard markers) and worker
+  /// w as pid w+1 (per-sub-round spans on the master's modeled clock, plus
+  /// the worker device's own alloc/copy events). The workers peel through
+  /// host pointers rather than Device::Launch, so their kernel-level spans
+  /// are assembled here by the driver, exactly like the modeled clock is.
+  Trace* trace = nullptr;
 };
 
 /// Multi-GPU peeling. Returns the usual DecomposeResult where

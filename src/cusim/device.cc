@@ -16,6 +16,12 @@ bool Device::EnvCheckEnabled() {
   return env != nullptr && env[0] == '1';
 }
 
+bool Device::EnvTraceEnabled() {
+  const char* env = std::getenv("KCORE_TRACE");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
 std::string Device::EnvFaultSpec() {
   const char* env = std::getenv("KCORE_FAULTS");
   return env != nullptr ? std::string(env) : std::string();

@@ -16,6 +16,7 @@
 #include "cusim/block.h"
 #include "cusim/fault_injection.h"
 #include "cusim/simcheck.h"
+#include "cusim/simprof.h"
 #include "perf/cost_model.h"
 #include "perf/perf_counters.h"
 
@@ -111,6 +112,19 @@ struct DeviceOptions {
   /// a plan when this is empty. A malformed spec surfaces as InvalidArgument
   /// from the first device operation (the constructor cannot return Status).
   std::string fault_spec;
+  /// Enables simprof (the Nsight-Systems analogue; see simprof.h): kernel
+  /// spans, alloc/free/copy events, and driver NVTX ranges accumulate in an
+  /// in-memory Trace exported via Device::WriteTrace. Also switched on by a
+  /// non-empty KCORE_TRACE environment variable (KCORE_TRACE=0 stays off).
+  /// Zero-cost when off: no profiler object exists and every hook is a null
+  /// check on the host path — modeled time is bit-identical either way.
+  bool profile = false;
+  /// Trace process id (and its label) for this device's events; multi-device
+  /// drivers hand each worker a distinct pid. "" derives "gpu<pid>".
+  uint32_t profile_pid = 0;
+  std::string profile_name;
+  /// Per-block lane sub-spans under each kernel span (ProfilerOptions).
+  bool profile_block_spans = true;
 };
 
 /// The simulated GPU: device-memory accounting with a peak watermark
@@ -124,6 +138,15 @@ class Device {
   explicit Device(DeviceOptions options = {}) : options_(std::move(options)) {
     if (options_.check_mode || EnvCheckEnabled()) {
       checker_ = std::make_shared<SimChecker>();
+    }
+    if (options_.profile || EnvTraceEnabled()) {
+      ProfilerOptions prof_options;
+      prof_options.pid = options_.profile_pid;
+      prof_options.process_name = options_.profile_name;
+      prof_options.block_spans = options_.profile_block_spans;
+      prof_options.num_sms = options_.num_sms;
+      profiler_ = std::make_unique<SimProfiler>(prof_options, &modeled_ns_,
+                                                &transfer_ns_);
     }
     std::string spec =
         options_.fault_spec.empty() ? EnvFaultSpec() : options_.fault_spec;
@@ -156,6 +179,10 @@ class Device {
       checker_->RegisterAlloc(data.get(), count * sizeof(U),
                               /*zero_initialized=*/true, label);
     }
+    if (profiler_ != nullptr) {
+      profiler_->OnAlloc(label, count * sizeof(U), current_bytes_,
+                         peak_bytes_);
+    }
     return DeviceArray<U>(this, alive_, std::move(data), count);
   }
 
@@ -172,6 +199,10 @@ class Device {
     if (checker_ != nullptr) {
       checker_->RegisterAlloc(data.get(), count * sizeof(U),
                               /*zero_initialized=*/false, label);
+    }
+    if (profiler_ != nullptr) {
+      profiler_->OnAlloc(label, count * sizeof(U), current_bytes_,
+                         peak_bytes_);
     }
     return DeviceArray<U>(this, alive_, std::move(data), count);
   }
@@ -200,11 +231,19 @@ class Device {
     KCORE_CHECK_GT(num_blocks, 0u);
     KCORE_RETURN_IF_ERROR(fault_error_);
     if (faults_ != nullptr) KCORE_RETURN_IF_ERROR(faults_->OnLaunch(label));
+    const double launch_start_ns = modeled_ns_;
     if (checker_ != nullptr) {
       checker_->BeginLaunch(label);
       LaunchGrid<true>(num_blocks, block_dim, kernel);
     } else {
       LaunchGrid<false>(num_blocks, block_dim, kernel);
+    }
+    if (profiler_ != nullptr) {
+      // The span is the exact modeled advance of this launch (overhead +
+      // body), so summed kernel spans reproduce the clock's phase totals.
+      profiler_->OnLaunch(label, num_blocks, block_dim, launch_start_ns,
+                          modeled_ns_, options_.cost.kernel_launch_ns,
+                          last_launch_stats_.block_ns);
     }
     // Bitflips model ECC double-bit errors surfacing after a kernel
     // completes; they corrupt state but never the launch that ran.
@@ -336,12 +375,28 @@ class Device {
   /// the report alive past the Device (leak checking).
   std::shared_ptr<SimChecker> checker() const { return checker_; }
 
+  /// The profiler (nullptr when profiling is off — DeviceOptions::profile /
+  /// KCORE_TRACE). Drivers pass it to ProfRange and use the flow hooks; the
+  /// null case costs one pointer test.
+  SimProfiler* profiler() const { return profiler_.get(); }
+
+  /// Exports the profiler's trace as chrome://tracing JSON (load in
+  /// Perfetto). FailedPrecondition when profiling is off.
+  Status WriteTrace(const std::string& path) const {
+    if (profiler_ == nullptr) {
+      return Status::FailedPrecondition(
+          "no trace recorded: enable DeviceOptions::profile or KCORE_TRACE");
+    }
+    return profiler_->trace().WriteChromeTrace(path);
+  }
+
  private:
   template <typename U>
   friend class DeviceArray;
 
   static std::string StrFormatBytes(uint64_t bytes);
   static bool EnvCheckEnabled();
+  static bool EnvTraceEnabled();
   static std::string EnvFaultSpec();
 
   /// Fault gate for Alloc/AllocUninit, consulted before any byte reserves.
@@ -390,6 +445,7 @@ class Device {
   /// cudaFree analogue, called by DeviceArray::Reset.
   void OnFree(const void* ptr, uint64_t bytes) {
     Release(bytes);
+    if (profiler_ != nullptr) profiler_->OnFree(bytes, current_bytes_);
     if (checker_ != nullptr) checker_->UnregisterAlloc(ptr);
     if (!corruptible_.empty()) {
       std::erase_if(corruptible_,
@@ -405,9 +461,13 @@ class Device {
     if (checker_ != nullptr) checker_->OnHostRead(ptr, bytes);
   }
 
-  void ChargeTransfer(uint64_t bytes) {
+  void ChargeTransfer(uint64_t bytes, bool to_device) {
+    const double start_ns = transfer_ns_;
     transfer_ns_ += static_cast<double>(bytes) /
                     options_.pcie_bytes_per_sec * 1e9;
+    if (profiler_ != nullptr) {
+      profiler_->OnCopy(to_device, bytes, start_ns, transfer_ns_ - start_ns);
+    }
   }
 
   DeviceOptions options_;
@@ -419,6 +479,7 @@ class Device {
   PerfCounters totals_;
   std::vector<PerfCounters> launch_scratch_;
   std::shared_ptr<SimChecker> checker_;
+  std::unique_ptr<SimProfiler> profiler_;
   std::unique_ptr<FaultInjector> faults_;
   /// Parse failure of the fault spec, surfaced from the first device op.
   Status fault_error_ = Status::OK();
@@ -435,7 +496,7 @@ Status DeviceArray<T>::CopyFromHost(std::span<const T> host) {
   KCORE_RETURN_IF_ERROR(device_->OnCopy(host.size() * sizeof(T)));
   std::copy(host.begin(), host.end(), data_.get());
   device_->NotifyHostWrite(data_.get(), host.size() * sizeof(T));
-  device_->ChargeTransfer(host.size() * sizeof(T));
+  device_->ChargeTransfer(host.size() * sizeof(T), /*to_device=*/true);
   return Status::OK();
 }
 
@@ -445,7 +506,7 @@ Status DeviceArray<T>::CopyToHost(std::span<T> host) const {
   KCORE_RETURN_IF_ERROR(device_->OnCopy(host.size() * sizeof(T)));
   device_->NotifyHostRead(data_.get(), host.size() * sizeof(T));
   std::copy(data_.get(), data_.get() + host.size(), host.begin());
-  device_->ChargeTransfer(host.size() * sizeof(T));
+  device_->ChargeTransfer(host.size() * sizeof(T), /*to_device=*/false);
   return Status::OK();
 }
 

@@ -1,0 +1,126 @@
+#include "cusim/simprof.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace kcore::sim {
+
+SimProfiler::SimProfiler(ProfilerOptions options, const double* modeled_ns,
+                         const double* transfer_ns)
+    : options_(std::move(options)),
+      modeled_ns_(modeled_ns),
+      transfer_ns_(transfer_ns) {
+  if (options_.process_name.empty()) {
+    options_.process_name = StrFormat("gpu%u", options_.pid);
+  }
+  trace_.SetProcessName(options_.pid, options_.process_name);
+  trace_.SetThreadName(options_.pid, kTraceTidKernels, "kernels");
+  trace_.SetThreadName(options_.pid, kTraceTidRanges, "phases");
+  trace_.SetThreadName(options_.pid, kTraceTidPcie, "pcie");
+  trace_.SetThreadName(options_.pid, kTraceTidMemory, "memory");
+}
+
+void SimProfiler::EnsureSmLaneNames(uint32_t lanes) {
+  for (uint32_t sm = named_sm_lanes_; sm < lanes; ++sm) {
+    trace_.SetThreadName(options_.pid, kTraceTidBlockLanes + sm,
+                         StrFormat("sm %u", sm));
+  }
+  named_sm_lanes_ = std::max(named_sm_lanes_, lanes);
+}
+
+void SimProfiler::OnLaunch(const char* label, uint32_t num_blocks,
+                           uint32_t block_dim, double start_ns, double end_ns,
+                           double launch_overhead_ns,
+                           const std::vector<double>& block_ns) {
+  trace_.AddComplete(
+      label, kTraceCatKernel, options_.pid, kTraceTidKernels, start_ns,
+      end_ns - start_ns,
+      {{"grid", StrFormat("%u", num_blocks)},
+       {"block", StrFormat("%u", block_dim)},
+       {"launch_overhead_us", StrFormat("%.9g", launch_overhead_ns / 1e3)}});
+  if (!options_.block_spans || block_ns.empty()) return;
+
+  // Lay the blocks out on SM lanes with a greedy list schedule (each block
+  // goes to the earliest-free SM), which is how the cost model's wave bound
+  // arises: the kernel body cannot end before max(slowest block, total work
+  // spread over all SMs). The lanes visualize imbalance — a straggler block
+  // sticks out past its wave.
+  const uint32_t lanes =
+      std::min<uint32_t>(std::max(1u, options_.num_sms), num_blocks);
+  EnsureSmLaneNames(lanes);
+  sm_free_.assign(lanes, 0.0);
+  const double body_start = start_ns + launch_overhead_ns;
+  for (uint32_t b = 0; b < block_ns.size(); ++b) {
+    const uint32_t sm = static_cast<uint32_t>(
+        std::min_element(sm_free_.begin(), sm_free_.end()) - sm_free_.begin());
+    trace_.AddComplete(StrFormat("%s b%u", label, b), kTraceCatBlock,
+                       options_.pid, kTraceTidBlockLanes + sm,
+                       body_start + sm_free_[sm], block_ns[b]);
+    sm_free_[sm] += block_ns[b];
+  }
+}
+
+void SimProfiler::OnAlloc(const char* label, uint64_t bytes,
+                          uint64_t live_bytes, uint64_t peak_bytes) {
+  trace_.AddInstant(
+      StrFormat("alloc %s", label), kTraceCatMemory, options_.pid,
+      kTraceTidMemory, now_ns(),
+      {{"bytes", StrFormat("%llu", static_cast<unsigned long long>(bytes))},
+       {"live_bytes",
+        StrFormat("%llu", static_cast<unsigned long long>(live_bytes))},
+       {"peak_bytes",
+        StrFormat("%llu", static_cast<unsigned long long>(peak_bytes))}});
+  trace_.AddCounter("device_mem", options_.pid, now_ns(),
+                    {{"live", static_cast<double>(live_bytes)}});
+}
+
+void SimProfiler::OnFree(uint64_t bytes, uint64_t live_bytes) {
+  trace_.AddInstant(
+      "free", kTraceCatMemory, options_.pid, kTraceTidMemory, now_ns(),
+      {{"bytes", StrFormat("%llu", static_cast<unsigned long long>(bytes))},
+       {"live_bytes",
+        StrFormat("%llu", static_cast<unsigned long long>(live_bytes))}});
+  trace_.AddCounter("device_mem", options_.pid, now_ns(),
+                    {{"live", static_cast<double>(live_bytes)}});
+}
+
+void SimProfiler::OnCopy(bool to_device, uint64_t bytes, double start_ns,
+                         double dur_ns) {
+  trace_.AddComplete(
+      to_device ? "memcpy HtoD" : "memcpy DtoH", kTraceCatCopy, options_.pid,
+      kTraceTidPcie, start_ns, dur_ns,
+      {{"bytes", StrFormat("%llu", static_cast<unsigned long long>(bytes))}});
+}
+
+void SimProfiler::PushRange(std::string name) {
+  range_stack_.emplace_back(std::move(name), now_ns());
+}
+
+void SimProfiler::PopRange() {
+  KCORE_CHECK(!range_stack_.empty());
+  auto [name, start] = std::move(range_stack_.back());
+  range_stack_.pop_back();
+  trace_.AddComplete(std::move(name), kTraceCatRange, options_.pid,
+                     kTraceTidRanges, start, now_ns() - start);
+}
+
+void SimProfiler::Mark(std::string name, const char* cat) {
+  trace_.AddInstant(std::move(name), cat, options_.pid, kTraceTidRanges,
+                    now_ns());
+}
+
+uint64_t SimProfiler::FlowBegin(std::string name) {
+  const uint64_t id = next_flow_id_++;
+  trace_.AddFlowBegin(std::move(name), options_.pid, kTraceTidRanges,
+                      now_ns(), id);
+  return id;
+}
+
+void SimProfiler::FlowEnd(std::string name, uint64_t id) {
+  trace_.AddFlowEnd(std::move(name), options_.pid, kTraceTidRanges, now_ns(),
+                    id);
+}
+
+}  // namespace kcore::sim

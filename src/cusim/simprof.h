@@ -1,0 +1,123 @@
+#ifndef KCORE_CUSIM_SIMPROF_H_
+#define KCORE_CUSIM_SIMPROF_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "perf/trace.h"
+
+namespace kcore::sim {
+
+/// Configuration of a device's profiler (see Device::profiler()).
+struct ProfilerOptions {
+  /// Process id under which this device's events appear in the exported
+  /// trace. Multi-device drivers give each worker its own pid so Perfetto
+  /// draws the fleet as separate process groups.
+  uint32_t pid = 0;
+  /// Process-track label; "" derives "gpu<pid>".
+  std::string process_name;
+  /// Record one sub-span per simulated block, laid out on per-SM lanes under
+  /// the kernel span — the imbalance picture nsys draws from SM occupancy.
+  /// Costs O(num_blocks) events per launch; switch off for huge grids.
+  bool block_spans = true;
+  /// SM lanes available for the block-span layout (DeviceOptions::num_sms).
+  uint32_t num_sms = 108;
+};
+
+/// The Nsight-Systems analogue for the simulated device: an opt-in recorder
+/// that turns device activity into a chrome://tracing timeline on the
+/// *modeled* clock (what nsys shows for a real GPU, this shows for the cost
+/// model). One span per kernel launch with per-block lane sub-spans, instant
+/// + counter events for alloc/free with live/peak accounting, copy spans on
+/// a PCIe track, NVTX-style named ranges pushed by the drivers, and flow
+/// arrows tying injected faults to their retries/rollbacks.
+///
+/// Zero-cost when off: the Device only constructs a SimProfiler when
+/// profiling is requested, and every hook call is guarded by a null check on
+/// the host path — no per-lane instrumentation exists, so a profiled run's
+/// modeled time is bit-identical to an unprofiled one (asserted in
+/// trace_test.cc). Hooks never touch counters or the clock; they only read
+/// it.
+///
+/// Thread compatibility: host (driving) thread only, like the Device
+/// methods that call the hooks.
+class SimProfiler {
+ public:
+  /// `modeled_ns` / `transfer_ns` point at the owning device's clocks; the
+  /// profiler samples them instead of keeping its own notion of "now".
+  SimProfiler(ProfilerOptions options, const double* modeled_ns,
+              const double* transfer_ns);
+
+  // --- Device hooks (called by Device; not meant for drivers). ---
+  /// One completed Launch. [start_ns, end_ns) is the modeled interval the
+  /// launch occupied (launch overhead included), so summed kernel spans
+  /// equal the modeled clock's advance exactly. `block_ns` holds each
+  /// block's own modeled time for the per-SM lane layout.
+  void OnLaunch(const char* label, uint32_t num_blocks, uint32_t block_dim,
+                double start_ns, double end_ns, double launch_overhead_ns,
+                const std::vector<double>& block_ns);
+  void OnAlloc(const char* label, uint64_t bytes, uint64_t live_bytes,
+               uint64_t peak_bytes);
+  void OnFree(uint64_t bytes, uint64_t live_bytes);
+  /// One host<->device copy. `start_ns`/`dur_ns` live on the transfer
+  /// timeline (the modeled clock does not advance for copies; see
+  /// Device::transfer_ms), drawn on the pid's PCIe track.
+  void OnCopy(bool to_device, uint64_t bytes, double start_ns, double dur_ns);
+
+  // --- NVTX analogue (called by drivers, usually via ProfRange). ---
+  /// Opens a named range on the pid's "phases" track at the current modeled
+  /// time. Ranges nest like nvtxRangePush/Pop.
+  void PushRange(std::string name);
+  void PopRange();
+  /// A labeled point-in-time marker (nvtxMark): checkpoints, reshards,
+  /// fallback entries — things with no modeled duration of their own.
+  void Mark(std::string name, const char* cat = kTraceCatRecovery);
+  /// Opens a flow arrow at the current modeled time and returns its id;
+  /// FlowEnd with the same id draws the arrow to the recovery point.
+  uint64_t FlowBegin(std::string name);
+  void FlowEnd(std::string name, uint64_t id);
+
+  double now_ns() const { return *modeled_ns_; }
+  uint32_t pid() const { return options_.pid; }
+  const Trace& trace() const { return trace_; }
+  Trace& mutable_trace() { return trace_; }
+
+ private:
+  /// Lazily names the per-SM lane threads up to `lanes`.
+  void EnsureSmLaneNames(uint32_t lanes);
+
+  ProfilerOptions options_;
+  const double* modeled_ns_;
+  const double* transfer_ns_;
+  Trace trace_;
+  /// Open PushRange frames: {name, start ts}.
+  std::vector<std::pair<std::string, double>> range_stack_;
+  uint64_t next_flow_id_ = 1;
+  /// Greedy list-scheduler scratch: per-SM busy-until offsets.
+  std::vector<double> sm_free_;
+  uint32_t named_sm_lanes_ = 0;
+};
+
+/// RAII NVTX range (nvtxRangePush/Pop analogue). Null profiler = no-op, so
+/// drivers write `ProfRange r(device->profiler(), "scan");` unconditionally
+/// and pay nothing when profiling is off.
+class ProfRange {
+ public:
+  ProfRange(SimProfiler* profiler, const char* name) : profiler_(profiler) {
+    if (profiler_ != nullptr) profiler_->PushRange(name);
+  }
+  ~ProfRange() {
+    if (profiler_ != nullptr) profiler_->PopRange();
+  }
+  ProfRange(const ProfRange&) = delete;
+  ProfRange& operator=(const ProfRange&) = delete;
+
+ private:
+  SimProfiler* profiler_;
+};
+
+}  // namespace kcore::sim
+
+#endif  // KCORE_CUSIM_SIMPROF_H_

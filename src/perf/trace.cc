@@ -1,0 +1,283 @@
+#include "perf/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/strings.h"
+
+namespace kcore {
+
+namespace {
+
+/// Formats a nanosecond stamp as the schema's microseconds. %.9g keeps
+/// sub-ns precision (the cost model produces fractional ns) while printing
+/// integers without a trailing ".000".
+std::string MicrosField(double ns) { return StrFormat("%.9g", ns / 1e3); }
+
+void AppendArgs(
+    std::string& out,
+    const std::vector<std::pair<std::string, std::string>>& args) {
+  if (args.empty()) return;
+  out += ",\"args\":{";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) out += ',';
+    out += JsonQuote(args[i].first);
+    out += ':';
+    out += args[i].second;
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string JsonQuote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void Trace::SetProcessName(uint32_t pid, std::string name) {
+  for (auto& [p, n] : process_names_) {
+    if (p == pid) {
+      n = std::move(name);
+      return;
+    }
+  }
+  process_names_.emplace_back(pid, std::move(name));
+}
+
+void Trace::SetThreadName(uint32_t pid, uint32_t tid, std::string name) {
+  for (auto& [key, n] : thread_names_) {
+    if (key.first == pid && key.second == tid) {
+      n = std::move(name);
+      return;
+    }
+  }
+  thread_names_.push_back({{pid, tid}, std::move(name)});
+}
+
+void Trace::AddComplete(
+    std::string name, std::string cat, uint32_t pid, uint32_t tid,
+    double ts_ns, double dur_ns,
+    std::vector<std::pair<std::string, std::string>> args) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.phase = 'X';
+  e.pid = pid;
+  e.tid = tid;
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void Trace::AddInstant(
+    std::string name, std::string cat, uint32_t pid, uint32_t tid,
+    double ts_ns, std::vector<std::pair<std::string, std::string>> args) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.phase = 'i';
+  e.pid = pid;
+  e.tid = tid;
+  e.ts_ns = ts_ns;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void Trace::AddCounter(std::string name, uint32_t pid, double ts_ns,
+                       std::vector<std::pair<std::string, double>> series) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = kTraceCatMemory;
+  e.phase = 'C';
+  e.pid = pid;
+  e.tid = 0;
+  e.ts_ns = ts_ns;
+  e.args.reserve(series.size());
+  for (auto& [key, value] : series) {
+    e.args.emplace_back(std::move(key), StrFormat("%.9g", value));
+  }
+  events_.push_back(std::move(e));
+}
+
+void Trace::AddFlowBegin(std::string name, uint32_t pid, uint32_t tid,
+                         double ts_ns, uint64_t id) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = kTraceCatRecovery;
+  e.phase = 's';
+  e.pid = pid;
+  e.tid = tid;
+  e.ts_ns = ts_ns;
+  e.flow_id = id;
+  events_.push_back(std::move(e));
+}
+
+void Trace::AddFlowEnd(std::string name, uint32_t pid, uint32_t tid,
+                       double ts_ns, uint64_t id) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = kTraceCatRecovery;
+  e.phase = 'f';
+  e.pid = pid;
+  e.tid = tid;
+  e.ts_ns = ts_ns;
+  e.flow_id = id;
+  events_.push_back(std::move(e));
+}
+
+void Trace::Append(const Trace& other) {
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+  for (const auto& [pid, name] : other.process_names_) {
+    SetProcessName(pid, name);
+  }
+  for (const auto& [key, name] : other.thread_names_) {
+    SetThreadName(key.first, key.second, name);
+  }
+}
+
+std::string Trace::ToChromeJson() const {
+  std::string out;
+  out.reserve(events_.size() * 96 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  for (const auto& [pid, name] : process_names_) {
+    comma();
+    out += StrFormat("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                     "\"tid\":0,\"args\":{\"name\":%s}}",
+                     pid, JsonQuote(name).c_str());
+  }
+  for (const auto& [key, name] : thread_names_) {
+    comma();
+    out += StrFormat("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,"
+                     "\"tid\":%u,\"args\":{\"name\":%s}}",
+                     key.first, key.second, JsonQuote(name).c_str());
+  }
+  for (const TraceEvent& e : events_) {
+    comma();
+    out += '{';
+    out += StrFormat("\"name\":%s,\"cat\":%s,\"ph\":\"%c\",\"pid\":%u,"
+                     "\"tid\":%u,\"ts\":%s",
+                     JsonQuote(e.name).c_str(), JsonQuote(e.cat).c_str(),
+                     e.phase, e.pid, e.tid, MicrosField(e.ts_ns).c_str());
+    if (e.phase == 'X') {
+      out += StrFormat(",\"dur\":%s", MicrosField(e.dur_ns).c_str());
+    }
+    if (e.phase == 'i') out += ",\"s\":\"t\"";
+    if (e.phase == 's' || e.phase == 'f') {
+      out += StrFormat(",\"id\":%llu",
+                       static_cast<unsigned long long>(e.flow_id));
+      if (e.phase == 'f') out += ",\"bp\":\"e\"";
+    }
+    AppendArgs(out, e.args);
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status Trace::WriteChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace output file: " + path);
+  }
+  const std::string json = ToChromeJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::IOError("short write to trace output file: " + path);
+  }
+  return Status::OK();
+}
+
+std::vector<Trace::KernelStat> Trace::KernelStats() const {
+  std::map<std::string, KernelStat> by_name;
+  for (const TraceEvent& e : events_) {
+    if (e.phase != 'X' || e.cat != kTraceCatKernel) continue;
+    KernelStat& s = by_name[e.name];
+    if (s.count == 0) {
+      s.name = e.name;
+      s.min_ns = e.dur_ns;
+      s.max_ns = e.dur_ns;
+    }
+    ++s.count;
+    s.total_ns += e.dur_ns;
+    s.min_ns = std::min(s.min_ns, e.dur_ns);
+    s.max_ns = std::max(s.max_ns, e.dur_ns);
+  }
+  std::vector<KernelStat> stats;
+  stats.reserve(by_name.size());
+  for (auto& [name, s] : by_name) stats.push_back(std::move(s));
+  std::sort(stats.begin(), stats.end(),
+            [](const KernelStat& a, const KernelStat& b) {
+              return a.total_ns > b.total_ns;
+            });
+  return stats;
+}
+
+std::string Trace::KernelSummaryTable() const {
+  const std::vector<KernelStat> stats = KernelStats();
+  double grand_total = 0.0;
+  for (const KernelStat& s : stats) grand_total += s.total_ns;
+  std::string out =
+      StrFormat("%-18s %8s %7s %12s %12s %12s %12s\n", "kernel", "count",
+                "time%", "total_ms", "avg_us", "min_us", "max_us");
+  for (const KernelStat& s : stats) {
+    const double pct = grand_total > 0.0 ? 100.0 * s.total_ns / grand_total
+                                         : 0.0;
+    out += StrFormat(
+        "%-18s %8llu %6.1f%% %12.3f %12.3f %12.3f %12.3f\n", s.name.c_str(),
+        static_cast<unsigned long long>(s.count), pct, s.total_ns / 1e6,
+        s.total_ns / 1e3 / static_cast<double>(s.count), s.min_ns / 1e3,
+        s.max_ns / 1e3);
+  }
+  if (stats.empty()) out += "(no kernel spans recorded)\n";
+  return out;
+}
+
+double Trace::TotalDurNs(const std::string& cat,
+                         const std::string& name) const {
+  double total = 0.0;
+  for (const TraceEvent& e : events_) {
+    if (e.phase != 'X' || e.cat != cat) continue;
+    if (!name.empty() && e.name != name) continue;
+    total += e.dur_ns;
+  }
+  return total;
+}
+
+}  // namespace kcore

@@ -1,0 +1,130 @@
+#ifndef KCORE_PERF_TRACE_H_
+#define KCORE_PERF_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kcore {
+
+/// One Trace Event Format record (the chrome://tracing JSON schema that
+/// Perfetto and about:tracing load). Timestamps and durations are modeled
+/// nanoseconds; the JSON writer converts to the format's microseconds.
+///
+/// Phases used here: 'X' complete span, 'i' instant, 'C' counter,
+/// 's'/'f' flow begin/end (the arrows tying a fault to its recovery).
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char phase = 'X';
+  uint32_t pid = 0;
+  uint32_t tid = 0;
+  double ts_ns = 0.0;
+  double dur_ns = 0.0;   ///< 'X' only.
+  uint64_t flow_id = 0;  ///< 's'/'f' only.
+  /// Extra per-event payload shown in the UI's args pane. Values are raw
+  /// JSON fragments (already quoted/encoded by the producer) so numbers stay
+  /// numbers and strings stay strings without a variant type here.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Well-known event categories. The per-kernel summary aggregates kKernel;
+/// the bench harness sums kKernel spans per enclosing phase range. Per-block
+/// sub-spans use kBlock so they neither double-count against their parent
+/// kernel span nor flood the summary table.
+inline constexpr const char* kTraceCatKernel = "kernel";
+inline constexpr const char* kTraceCatBlock = "block";
+inline constexpr const char* kTraceCatRange = "range";
+inline constexpr const char* kTraceCatMemory = "memory";
+inline constexpr const char* kTraceCatCopy = "copy";
+inline constexpr const char* kTraceCatRecovery = "recovery";
+
+/// Conventional tids inside one device pid. Block lanes (per-SM rows under a
+/// kernel span) start at kTraceTidBlockLanes + sm.
+inline constexpr uint32_t kTraceTidKernels = 0;
+inline constexpr uint32_t kTraceTidRanges = 1;
+inline constexpr uint32_t kTraceTidPcie = 2;
+inline constexpr uint32_t kTraceTidMemory = 3;
+inline constexpr uint32_t kTraceTidBlockLanes = 16;
+
+/// JSON-encodes `s` including the surrounding quotes (for TraceEvent args).
+std::string JsonQuote(const std::string& s);
+
+/// An append-only container of trace events plus process/thread naming
+/// metadata. Producers (the simulated device's profiler, the multi-GPU and
+/// VETGA drivers) append on the host thread; WriteChromeTrace exports the
+/// whole run as one chrome://tracing JSON document.
+class Trace {
+ public:
+  /// Names a process track ("gpu0", "master"). Multi-device runs use one pid
+  /// per device so Perfetto draws them as separate process groups.
+  void SetProcessName(uint32_t pid, std::string name);
+  /// Names a thread track within a process ("kernels", "phases", "sm 3").
+  void SetThreadName(uint32_t pid, uint32_t tid, std::string name);
+
+  void AddComplete(std::string name, std::string cat, uint32_t pid,
+                   uint32_t tid, double ts_ns, double dur_ns,
+                   std::vector<std::pair<std::string, std::string>> args = {});
+  void AddInstant(std::string name, std::string cat, uint32_t pid,
+                  uint32_t tid, double ts_ns,
+                  std::vector<std::pair<std::string, std::string>> args = {});
+  /// One sample of a counter track (drawn as a stacked area chart). Each
+  /// entry of `series` is {series name, value}.
+  void AddCounter(std::string name, uint32_t pid, double ts_ns,
+                  std::vector<std::pair<std::string, double>> series);
+  /// Flow arrows: Begin and End with the same id draw an arrow from the
+  /// begin point to the end point (used for fault -> retry/rollback links).
+  void AddFlowBegin(std::string name, uint32_t pid, uint32_t tid, double ts_ns,
+                    uint64_t id);
+  void AddFlowEnd(std::string name, uint32_t pid, uint32_t tid, double ts_ns,
+                  uint64_t id);
+
+  /// Merges another trace's events and naming metadata (multi-GPU: the
+  /// driver's own trace absorbs each worker device's profiler trace).
+  void Append(const Trace& other);
+
+  bool empty() const { return events_.empty(); }
+  size_t num_events() const { return events_.size(); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// The full trace as a chrome://tracing JSON object (load in Perfetto or
+  /// chrome://tracing). Timestamps/durations are emitted in microseconds
+  /// with sub-ns precision preserved.
+  std::string ToChromeJson() const;
+  /// Writes ToChromeJson() to `path`.
+  Status WriteChromeTrace(const std::string& path) const;
+
+  /// Per-kernel aggregate over kTraceCatKernel complete spans, the modeled
+  /// analogue of `nsys stats --report gpukernsum`.
+  struct KernelStat {
+    std::string name;
+    uint64_t count = 0;
+    double total_ns = 0.0;
+    double min_ns = 0.0;
+    double max_ns = 0.0;
+  };
+  /// Sorted by descending total time.
+  std::vector<KernelStat> KernelStats() const;
+  /// Human-readable table of KernelStats with time percentages.
+  std::string KernelSummaryTable() const;
+
+  /// Sum of complete-span durations in `cat` whose name matches `name`
+  /// exactly ("" = any name). Used by tests and the bench harness to check
+  /// kernel spans against Metrics phase totals.
+  double TotalDurNs(const std::string& cat, const std::string& name = "") const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  /// pid -> process name; (pid, tid) -> thread name. Kept separately from
+  /// events_ so Append can dedup names.
+  std::vector<std::pair<uint32_t, std::string>> process_names_;
+  std::vector<std::pair<std::pair<uint32_t, uint32_t>, std::string>>
+      thread_names_;
+};
+
+}  // namespace kcore
+
+#endif  // KCORE_PERF_TRACE_H_

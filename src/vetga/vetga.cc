@@ -18,26 +18,42 @@ namespace {
 class VectorOpMeter {
  public:
   VectorOpMeter(double dispatch_ns, ModeledClock* clock,
-                PerfCounters* counters)
-      : dispatch_ns_(dispatch_ns), clock_(clock), counters_(counters) {}
+                PerfCounters* counters, Trace* trace)
+      : dispatch_ns_(dispatch_ns),
+        clock_(clock),
+        counters_(counters),
+        trace_(trace) {}
 
-  void Charge(uint64_t elements, uint64_t reads, uint64_t writes) {
+  /// `op` names the primitive in the trace (one span per dispatch,
+  /// dispatch overhead included — VETGA's launch-bound profile is the
+  /// point of the timeline).
+  void Charge(const char* op, uint64_t elements, uint64_t reads,
+              uint64_t writes) {
     ++counters_->vector_op_calls;
     counters_->lane_ops += elements;
     counters_->global_reads += reads;
     counters_->global_writes += writes;
-    PerfCounters op;
-    op.lane_ops = elements;
-    op.global_reads = reads;
-    op.global_writes = writes;
-    clock_->AddSerial(op);
+    PerfCounters work;
+    work.lane_ops = elements;
+    work.global_reads = reads;
+    work.global_writes = writes;
+    const double start_ns = clock_->ms() * 1e6;
+    clock_->AddSerial(work);
     clock_->AddOverheadNs(dispatch_ns_);
+    if (trace_ != nullptr) {
+      trace_->AddComplete(
+          op, kTraceCatKernel, 0, kTraceTidKernels, start_ns,
+          clock_->ms() * 1e6 - start_ns,
+          {{"elements",
+            StrFormat("%llu", static_cast<unsigned long long>(elements))}});
+    }
   }
 
  private:
   double dispatch_ns_;
   ModeledClock* clock_;
   PerfCounters* counters_;
+  Trace* trace_;
 };
 
 }  // namespace
@@ -47,7 +63,11 @@ StatusOr<DecomposeResult> RunVetga(const CsrGraph& graph,
   WallTimer timer;
   const VertexId n = graph.NumVertices();
   const EdgeIndex m = graph.NumDirectedEdges();
-  sim::Device device(config.device);
+  const bool tracing = config.trace != nullptr;
+  sim::DeviceOptions device_options = config.device;
+  if (tracing) device_options.profile = true;
+  sim::Device device(device_options);
+  Trace trace;
 
   // Whole-device vector model: one logical unit spanning every SM.
   CostModel cost = GpuNativeCostModel();
@@ -56,7 +76,8 @@ StatusOr<DecomposeResult> RunVetga(const CsrGraph& graph,
   ModeledClock clock(cost);
   DecomposeResult result;
   VectorOpMeter meter(config.op_dispatch_ns, &clock,
-                      &result.metrics.counters);
+                      &result.metrics.counters,
+                      tracing ? &trace : nullptr);
 
   // PyTorch + CUDA context (allocator pools, cuBLAS handles), graph size
   // independent; ~500 MB on the real system, scaled 1/400.
@@ -121,7 +142,7 @@ StatusOr<DecomposeResult> RunVetga(const CsrGraph& graph,
     for (VertexId v = 0; v < n; ++v) {
       mask[v] = (alive[v] != 0 && deg[v] <= k) ? 1 : 0;
     }
-    meter.Charge(n, 2 * n, n);
+    meter.Charge("vt_compare_mask", n, 2 * n, n);
   };
 
   // frontier = nonzero(mask): stream-compaction primitive.
@@ -130,13 +151,14 @@ StatusOr<DecomposeResult> RunVetga(const CsrGraph& graph,
     for (VertexId v = 0; v < n; ++v) {
       if (mask[v] != 0) frontier[size++] = v;
     }
-    meter.Charge(n, n, size);
+    meter.Charge("vt_nonzero", n, n, size);
     return size;
   };
 
   uint64_t removed = 0;
   uint32_t k = 0;
   while (removed < n) {
+    const double round_start_ns = clock.ms() * 1e6;
     compute_mask(k);
     uint64_t fsize = nonzero();
     while (fsize != 0) {
@@ -148,7 +170,7 @@ StatusOr<DecomposeResult> RunVetga(const CsrGraph& graph,
         alive[frontier[i]] = 0;
         deg[frontier[i]] = k;
       }
-      meter.Charge(fsize, fsize, 3 * fsize);
+      meter.Charge("vt_scatter", fsize, fsize, 3 * fsize);
       removed += fsize;
 
       // flat = gather(neighbors, frontier adjacency): segment-gather.
@@ -157,7 +179,7 @@ StatusOr<DecomposeResult> RunVetga(const CsrGraph& graph,
         const auto v = static_cast<VertexId>(frontier[i]);
         for (VertexId u : graph.Neighbors(v)) flat[flat_size++] = u;
       }
-      meter.Charge(flat_size, flat_size + fsize, flat_size);
+      meter.Charge("vt_gather", flat_size, flat_size + fsize, flat_size);
       result.metrics.counters.edges_traversed += flat_size;
 
       // counts = bincount(flat[alive]): masked histogram primitive.
@@ -166,7 +188,7 @@ StatusOr<DecomposeResult> RunVetga(const CsrGraph& graph,
         const auto u = static_cast<VertexId>(flat[i]);
         if (alive[u] != 0) ++counts[u];
       }
-      meter.Charge(flat_size + n, 2 * flat_size, n);
+      meter.Charge("vt_bincount", flat_size + n, 2 * flat_size, n);
 
       // deg = max(deg - counts, k) elementwise (alive lanes only).
       for (VertexId v = 0; v < n; ++v) {
@@ -174,7 +196,7 @@ StatusOr<DecomposeResult> RunVetga(const CsrGraph& graph,
           deg[v] = std::max(k, deg[v] - std::min(deg[v], counts[v]));
         }
       }
-      meter.Charge(n, 2 * n, n);
+      meter.Charge("vt_deg_update", n, 2 * n, n);
 
       compute_mask(k);
       fsize = nonzero();
@@ -184,6 +206,11 @@ StatusOr<DecomposeResult> RunVetga(const CsrGraph& graph,
             StrFormat("VETGA exceeded modeled budget at k=%u", k));
       }
     }
+    if (tracing) {
+      trace.AddComplete(StrFormat("round k=%u", k), kTraceCatRange, 0,
+                        kTraceTidRanges, round_start_ns,
+                        clock.ms() * 1e6 - round_start_ns);
+    }
     ++k;
     ++result.metrics.rounds;
     if (k > graph.MaxDegree() + 2) {
@@ -192,6 +219,18 @@ StatusOr<DecomposeResult> RunVetga(const CsrGraph& graph,
   }
 
   result.core.assign(core, core + n);
+  if (tracing) {
+    // Absorb the device's own events (tensor allocs), then claim the
+    // process label: the primitives and the allocator are one "process" in
+    // the PyTorch analogy.
+    if (sim::SimProfiler* prof = device.profiler()) {
+      trace.Append(prof->trace());
+    }
+    trace.SetProcessName(0, "vetga");
+    trace.SetThreadName(0, kTraceTidKernels, "primitives");
+    trace.SetThreadName(0, kTraceTidRanges, "rounds");
+    *config.trace = std::move(trace);
+  }
   result.metrics.wall_ms = timer.ElapsedMillis();
   result.metrics.modeled_ms = clock.ms();
   result.metrics.peak_device_bytes = device.peak_bytes();

@@ -7,6 +7,7 @@
 #include "cusim/device.h"
 #include "graph/csr_graph.h"
 #include "perf/decompose_result.h"
+#include "perf/trace.h"
 
 namespace kcore {
 
@@ -21,6 +22,14 @@ struct VetgaConfig {
   /// loader the paper describes revising; drives the "LD > 1hr" rows.
   double load_ns_per_edge = 6000.0;
   sim::DeviceOptions device;
+  /// simprof output (see cusim/simprof.h): non-null enables profiling and
+  /// receives the run's timeline on return — one span per dispatched vector
+  /// primitive (compare/nonzero/scatter/gather/bincount/deg-update) on
+  /// VETGA's own modeled clock, peeling-round ranges, and the device's
+  /// tensor alloc events. VETGA never uses Device::Launch (every primitive
+  /// is a whole-array dispatch), so the spans are recorded by the
+  /// primitive meter rather than the device.
+  Trace* trace = nullptr;
 };
 
 /// VETGA (Mehrafsa, Chester, Thomo — paper §II-A): k-core peeling reframed

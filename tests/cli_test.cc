@@ -1,0 +1,203 @@
+// Golden smoke tests for kcore_cli: runs the real binary (path baked in via
+// KCORE_CLI_PATH) over a fixed tiny graph with the profiling flags and
+// diffs normalized output. Numbers are volatile (wall time, modeled jitter
+// across thread schedules), so normalization folds every digit run to '#'
+// and sorts the kernel-summary rows (their order depends on relative
+// modeled totals).
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#ifndef KCORE_CLI_PATH
+#error "cli_test requires -DKCORE_CLI_PATH=\"...\" (see tests/CMakeLists.txt)"
+#endif
+
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+CommandResult RunCli(const std::string& args) {
+  const std::string command = std::string(KCORE_CLI_PATH) + " " + args + " 2>&1";
+  std::FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << command;
+  CommandResult result;
+  if (pipe == nullptr) return result;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, pipe)) > 0) {
+    result.output.append(buf, got);
+  }
+  const int rc = pclose(pipe);
+  result.exit_code = WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+  return result;
+}
+
+/// Digit runs -> '#', then the kernel-summary body (everything after its
+/// header line) is sorted so the comparison is order-independent.
+std::string Normalize(const std::string& raw) {
+  std::string folded;
+  bool in_digits = false;
+  for (char c : raw) {
+    if (c >= '0' && c <= '9') {
+      if (!in_digits) folded += '#';
+      in_digits = true;
+    } else {
+      in_digits = false;
+      folded += c;
+    }
+  }
+  // Split into lines; sort the region after the summary header.
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= folded.size()) {
+    const size_t nl = folded.find('\n', start);
+    if (nl == std::string::npos) {
+      if (start < folded.size()) lines.push_back(folded.substr(start));
+      break;
+    }
+    lines.push_back(folded.substr(start, nl - start));
+    start = nl + 1;
+  }
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i] == "--- kernel summary ---" && i + 2 < lines.size()) {
+      std::sort(lines.begin() + i + 2, lines.end());  // keep header row
+      break;
+    }
+  }
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Writes the paper-figure edge list to a fixed path and returns it.
+std::string EdgeListPath() {
+  static const std::string path = "/tmp/kcore_cli_test_graph.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  std::fputs(
+      "0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n"  // K4: 3-core
+      "0 4\n4 5\n5 6\n6 4\n"            // 2-shell triangle
+      "5 7\n7 8\n",                     // pendant path
+      f);
+  std::fclose(f);
+  return path;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string content;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    content.append(buf, got);
+  }
+  std::fclose(f);
+  return content;
+}
+
+TEST(CliGolden, GpuTraceSimcheckAndSummary) {
+  const std::string trace_path = "/tmp/kcore_cli_test_gpu_trace.json";
+  std::remove(trace_path.c_str());
+  CommandResult r =
+      RunCli("decompose " + EdgeListPath() + " gpu --simcheck --trace=" +
+          trace_path + " --prof-summary");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  const std::string expected =
+      "engine       gpu\n"
+      "k_max        #\n"
+      "rounds       #\n"
+      "modeled_ms   #.#\n"
+      "wall_ms      #.#\n"
+      "peak_device  #.# MB\n"
+      "simcheck     clean\n"
+      "trace        /tmp/kcore_cli_test_gpu_trace.json\n"
+      "--- kernel summary ---\n"
+      "kernel                count   time%     total_ms       avg_us"
+      "       min_us       max_us\n"
+      "loop                      #   #.#%        #.#        #.#        #.#"
+      "        #.#\n"
+      "scan                      #   #.#%        #.#        #.#        #.#"
+      "        #.#\n"
+      // Active-vertex compaction rebuilds once on this graph (survivors
+      // halve entering the k=3 round).
+      "compact                   #    #.#%        #.#        #.#        #.#"
+      "        #.#\n";
+  EXPECT_EQ(Normalize(r.output), Normalize(expected)) << r.output;
+
+  const std::string trace = ReadFileOrEmpty(trace_path);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"scan\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"loop\""), std::string::npos);
+}
+
+TEST(CliGolden, MultiGpuTrace) {
+  const std::string trace_path = "/tmp/kcore_cli_test_mg_trace.json";
+  std::remove(trace_path.c_str());
+  CommandResult r = RunCli("decompose " + EdgeListPath() +
+                        " multigpu --trace=" + trace_path);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  const std::string expected =
+      "engine       multigpu\n"
+      "k_max        #\n"
+      "rounds       #\n"
+      "modeled_ms   #.#\n"
+      "wall_ms      #.#\n"
+      "peak_device  #.# KB\n"
+      "trace        /tmp/kcore_cli_test_mg_trace.json\n";
+  EXPECT_EQ(Normalize(r.output), Normalize(expected)) << r.output;
+
+  const std::string trace = ReadFileOrEmpty(trace_path);
+  ASSERT_FALSE(trace.empty());
+  // One process group per device: the master plus the default 4 workers.
+  EXPECT_NE(trace.find("\"master\""), std::string::npos);
+  EXPECT_NE(trace.find("\"worker0\""), std::string::npos);
+  EXPECT_NE(trace.find("\"worker3\""), std::string::npos);
+  EXPECT_NE(trace.find("border_exchange"), std::string::npos);
+}
+
+TEST(CliGolden, VetgaSummary) {
+  CommandResult r =
+      RunCli("decompose " + EdgeListPath() + " vetga --prof-summary --simcheck");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("engine       vetga"), std::string::npos);
+  EXPECT_NE(r.output.find("simcheck     clean"), std::string::npos);
+  EXPECT_NE(r.output.find("--- kernel summary ---"), std::string::npos);
+  // The six vector primitives all appear as summary rows.
+  for (const char* op : {"vt_compare_mask", "vt_nonzero", "vt_scatter",
+                         "vt_gather", "vt_bincount", "vt_deg_update"}) {
+    EXPECT_NE(r.output.find(op), std::string::npos) << op;
+  }
+}
+
+TEST(CliGolden, TraceRejectsCpuEngines) {
+  CommandResult r = RunCli("decompose " + EdgeListPath() + " bz --trace=/tmp/x");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("--trace/--prof-summary only apply"),
+            std::string::npos)
+      << r.output;
+  CommandResult s = RunCli("decompose " + EdgeListPath() + " park --prof-summary");
+  EXPECT_EQ(s.exit_code, 1);
+}
+
+TEST(CliGolden, UsageMentionsProfilingFlags) {
+  CommandResult r = RunCli("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--trace=<out.json>"), std::string::npos);
+  EXPECT_NE(r.output.find("--prof-summary"), std::string::npos);
+}
+
+}  // namespace

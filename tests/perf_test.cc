@@ -106,6 +106,69 @@ TEST(ModeledClockTest, SerialAddsUnitTime) {
   EXPECT_DOUBLE_EQ(clock.ms() * 1e6, model.UnitTimeNs(work));
 }
 
+// The charged/uncharged classification documented in DESIGN.md's counter
+// reference table: every PerfCounters field is either charged by
+// CostModel::UnitTimeNs or explicitly an uncharged meter. Setting one field
+// at a time proves the classification against the real cost formulas, and
+// the sizeof guard forces whoever adds a field to classify it here (and in
+// DESIGN.md) before the build goes green again.
+TEST(PerfCountersTest, EveryCounterIsChargedOrDocumentedUncharged) {
+  struct Field {
+    const char* name;
+    uint64_t PerfCounters::* member;
+  };
+  // Charged: these feed UnitTimeNs in every cost model.
+  static const Field kCharged[] = {
+      {"lane_ops", &PerfCounters::lane_ops},
+      {"global_reads", &PerfCounters::global_reads},
+      {"global_writes", &PerfCounters::global_writes},
+      {"global_atomics", &PerfCounters::global_atomics},
+      {"shared_ops", &PerfCounters::shared_ops},
+      {"shared_atomics", &PerfCounters::shared_atomics},
+      {"barriers", &PerfCounters::barriers},
+      {"scan_steps", &PerfCounters::scan_steps},
+  };
+  // Uncharged meters: reported, never timed (their work is already counted
+  // by the charged fields as it happens; kernel_launches is charged per
+  // launch as CostModel::kernel_launch_ns by the Device, not per count
+  // here).
+  static const Field kUncharged[] = {
+      {"kernel_launches", &PerfCounters::kernel_launches},
+      {"edges_traversed", &PerfCounters::edges_traversed},
+      {"vertices_scanned", &PerfCounters::vertices_scanned},
+      {"buffer_appends", &PerfCounters::buffer_appends},
+      {"compactions", &PerfCounters::compactions},
+      {"scan_vertices_skipped", &PerfCounters::scan_vertices_skipped},
+      {"hindex_evals", &PerfCounters::hindex_evals},
+      {"messages", &PerfCounters::messages},
+      {"vector_op_calls", &PerfCounters::vector_op_calls},
+      {"loop_bin_thread", &PerfCounters::loop_bin_thread},
+      {"loop_bin_warp", &PerfCounters::loop_bin_warp},
+      {"loop_bin_block", &PerfCounters::loop_bin_block},
+  };
+  // A new field must be added to exactly one list (and to DESIGN.md).
+  static_assert(sizeof(PerfCounters) ==
+                    (std::size(kCharged) + std::size(kUncharged)) *
+                        sizeof(uint64_t),
+                "PerfCounters gained a field: classify it as charged or "
+                "uncharged here and in DESIGN.md's counter table");
+
+  const CostModel models[] = {GpuNativeCostModel(), GpuSystemCostModel(),
+                              CpuCostModel()};
+  for (const CostModel& model : models) {
+    for (const Field& field : kCharged) {
+      PerfCounters c;
+      c.*field.member = 1000;
+      EXPECT_GT(model.UnitTimeNs(c), 0.0) << field.name;
+    }
+    for (const Field& field : kUncharged) {
+      PerfCounters c;
+      c.*field.member = 1000;
+      EXPECT_EQ(model.UnitTimeNs(c), 0.0) << field.name;
+    }
+  }
+}
+
 TEST(DecomposeResultTest, MaxCore) {
   DecomposeResult result;
   EXPECT_EQ(result.MaxCore(), 0u);

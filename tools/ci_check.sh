@@ -9,6 +9,12 @@
 # watch the same kernels simultaneously (simcheck's containment is what
 # keeps the deliberately-broken detector tests ASan-clean).
 #
+# A tracing pass stacks KCORE_TRACE on top of the fault + simcheck
+# combination over the same oracle suites: simprof must stay an observer —
+# profiled runs still produce exact core numbers while the recovery and
+# sanitizer machinery is active. A CLI smoke then checks --trace actually
+# emits loadable chrome-trace JSON alongside --simcheck and --faults.
+#
 # Both legs additionally run a fault-recovery pass: KCORE_FAULTS attaches a
 # representative fault plan (transient launch + copy failures and a one-shot
 # degree-word bitflip) to every simulated device, and the oracle-equality
@@ -52,14 +58,34 @@ echo "=== release: fault recovery (KCORE_FAULTS) ==="
 KCORE_FAULTS="$fault_spec" ctest --preset tier1 -R "$fault_suites"
 echo "=== release: fault recovery (KCORE_FAULTS + KCORE_SIMCHECK=1) ==="
 KCORE_FAULTS="$fault_spec" KCORE_SIMCHECK=1 ctest --preset tier1 -R "$fault_suites"
+echo "=== release: tracing observer (KCORE_TRACE + KCORE_FAULTS + KCORE_SIMCHECK=1) ==="
+KCORE_TRACE=1 KCORE_FAULTS="$fault_spec" KCORE_SIMCHECK=1 \
+  ctest --preset tier1 -R "$fault_suites"
 
 echo "=== release: kcore_cli device-loss smoke ==="
 smoke_graph="$(mktemp)"
 expand_graph="$(mktemp)"
-trap 'rm -f "$smoke_graph" "$expand_graph"' EXIT
+trace_json="$(mktemp)"
+trap 'rm -f "$smoke_graph" "$expand_graph" "$trace_json"' EXIT
 printf '0 1\n1 2\n2 3\n3 0\n0 2\n1 3\n' > "$smoke_graph"
 build/tools/kcore_cli decompose "$smoke_graph" gpu \
   '--faults=device_lost@launch=4' --simcheck
+
+echo "=== release: kcore_cli --trace smoke (stacked with simcheck + faults) ==="
+build/tools/kcore_cli decompose "$smoke_graph" gpu \
+  '--faults=launch_fail@2' --simcheck "--trace=$trace_json" --prof-summary \
+  | grep -q '^kernel ' || {
+    echo "--prof-summary printed no kernel table" >&2; exit 1; }
+grep -q '"traceEvents"' "$trace_json" || {
+  echo "--trace wrote no chrome-trace JSON" >&2; exit 1; }
+grep -q '"name":"retry"' "$trace_json" || {
+  echo "trace is missing the retry flow events" >&2; exit 1; }
+for engine in multigpu vetga; do
+  build/tools/kcore_cli decompose "$smoke_graph" "$engine" \
+    "--trace=$trace_json" > /dev/null
+  grep -q '"traceEvents"' "$trace_json" || {
+    echo "--trace/$engine wrote no chrome-trace JSON" >&2; exit 1; }
+done
 
 echo "=== release: expansion-strategy legs (kcore_cli, simcheck on) ==="
 # Deterministic skewed fixture: a K12 core, a 600-spoke hub on vertex 0,

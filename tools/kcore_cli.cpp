@@ -24,6 +24,13 @@
 // loop-phase frontier expansion granularity (DESIGN.md §8). warp is the
 // paper's Alg. 3 path and the default; auto bins each frontier window by
 // degree. The run prints the bin counters and the loop imbalance ratio.
+//
+// --trace=<path> (decompose, GPU engines): records the run with simprof
+// (the Nsight-Systems analogue, see src/cusim/simprof.h) and writes a
+// chrome://tracing JSON timeline to <path> — open it in Perfetto
+// (ui.perfetto.dev) or chrome://tracing. --prof-summary prints the
+// `nsys stats`-style per-kernel table instead of (or alongside) the file.
+// Both compose with --simcheck, --faults and --expand.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -52,7 +59,8 @@ int Usage() {
                "<edge_list> [args]\n"
                "  decompose <edge_list> [gpu|bz|pkc|pkc-o|park|mpm|vetga|"
                "multigpu] [--simcheck] [--faults=<spec>]\n"
-               "            [--expand=<thread|warp|block|auto>]\n"
+               "            [--expand=<thread|warp|block|auto>] "
+               "[--trace=<out.json>] [--prof-summary]\n"
                "  extract   <edge_list> <k> <output_edge_list>\n");
   return 2;
 }
@@ -65,11 +73,20 @@ StatusOr<BuiltGraph> Load(const char* path) {
 StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
                                     const std::string& engine, bool simcheck,
                                     const std::string& faults,
-                                    const std::string& expand) {
+                                    const std::string& expand,
+                                    const std::string& trace_path,
+                                    bool prof_summary, std::string* summary) {
   if (simcheck && engine != "gpu" && engine != "vetga" &&
       engine != "multigpu") {
     return Status::InvalidArgument(
         "--simcheck only applies to the GPU engines (gpu, vetga, multigpu)");
+  }
+  const bool profiling = !trace_path.empty() || prof_summary;
+  if (profiling && engine != "gpu" && engine != "vetga" &&
+      engine != "multigpu") {
+    return Status::InvalidArgument(
+        "--trace/--prof-summary only apply to the GPU engines "
+        "(gpu, vetga, multigpu)");
   }
   if (!faults.empty() && engine != "gpu" && engine != "multigpu") {
     return Status::InvalidArgument(
@@ -86,13 +103,28 @@ StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
                                      " (want thread|warp|block|auto)");
     }
   }
+  // Writes/summarizes a finished trace per the requested flags.
+  const auto finish_trace = [&](const Trace& trace) -> Status {
+    if (!trace_path.empty()) {
+      KCORE_RETURN_IF_ERROR(trace.WriteChromeTrace(trace_path));
+    }
+    if (prof_summary) *summary = trace.KernelSummaryTable();
+    return Status::OK();
+  };
   if (engine == "gpu") {
     sim::DeviceOptions device_options;
     device_options.check_mode = simcheck;
     device_options.fault_spec = faults;
+    device_options.profile = profiling;
     GpuPeelOptions options;
     options.expand_strategy = expand_strategy;
-    return RunGpuPeel(graph, options, device_options);
+    sim::Device device(device_options);
+    GpuPeelDecomposer decomposer(&device, options);
+    auto result = decomposer.Decompose(graph);
+    if (result.ok() && profiling && device.profiler() != nullptr) {
+      KCORE_RETURN_IF_ERROR(finish_trace(device.profiler()->trace()));
+    }
+    return result;
   }
   if (engine == "bz") return RunBz(graph);
   if (engine == "pkc") return RunPkc(graph);
@@ -106,14 +138,26 @@ StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
   if (engine == "vetga") {
     VetgaConfig config;
     config.device.check_mode = simcheck;
-    return RunVetga(graph, config);
+    Trace trace;
+    if (profiling) config.trace = &trace;
+    auto result = RunVetga(graph, config);
+    if (result.ok() && profiling) {
+      KCORE_RETURN_IF_ERROR(finish_trace(trace));
+    }
+    return result;
   }
   if (engine == "multigpu") {
     MultiGpuOptions options;
     options.worker_device.check_mode = simcheck;
     options.worker_device.fault_spec = faults;
     options.expand_strategy = expand_strategy;
-    return RunMultiGpuPeel(graph, options);
+    Trace trace;
+    if (profiling) options.trace = &trace;
+    auto result = RunMultiGpuPeel(graph, options);
+    if (result.ok() && profiling) {
+      KCORE_RETURN_IF_ERROR(finish_trace(trace));
+    }
+    return result;
   }
   return Status::InvalidArgument("unknown engine: " + engine);
 }
@@ -131,8 +175,11 @@ int CmdStats(const CsrGraph& graph) {
 
 int CmdDecompose(const CsrGraph& graph, const std::string& engine,
                  bool simcheck, const std::string& faults,
-                 const std::string& expand) {
-  auto result = Decompose(graph, engine, simcheck, faults, expand);
+                 const std::string& expand, const std::string& trace_path,
+                 bool prof_summary) {
+  std::string summary;
+  auto result = Decompose(graph, engine, simcheck, faults, expand, trace_path,
+                          prof_summary, &summary);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
@@ -170,6 +217,10 @@ int CmdDecompose(const CsrGraph& graph, const std::string& engine,
                 m.retries, m.checkpoints_taken, m.levels_reexecuted,
                 m.devices_lost, m.cpu_fallback_levels, m.recovery_ms,
                 m.degraded ? "yes (finished on CPU warm-start)" : "no");
+  }
+  if (!trace_path.empty()) std::printf("trace        %s\n", trace_path.c_str());
+  if (prof_summary) {
+    std::printf("--- kernel summary ---\n%s", summary.c_str());
   }
   return 0;
 }
@@ -234,18 +285,25 @@ int CmdExtract(const BuiltGraph& built, uint32_t k, const char* out_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Extract the --simcheck, --faults and --expand flags wherever they appear.
+  // Extract the --simcheck, --faults, --expand, --trace and --prof-summary
+  // flags wherever they appear.
   bool simcheck = false;
+  bool prof_summary = false;
   std::string faults;
   std::string expand;
+  std::string trace_path;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--simcheck") == 0) {
       simcheck = true;
+    } else if (std::strcmp(argv[i], "--prof-summary") == 0) {
+      prof_summary = true;
     } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
       faults = argv[i] + 9;
     } else if (std::strncmp(argv[i], "--expand=", 9) == 0) {
       expand = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
     } else {
       argv[out++] = argv[i];
     }
@@ -264,7 +322,7 @@ int main(int argc, char** argv) {
   if (command == "stats") return CmdStats(built->graph);
   if (command == "decompose") {
     return CmdDecompose(built->graph, argc > 3 ? argv[3] : "gpu", simcheck,
-                        faults, expand);
+                        faults, expand, trace_path, prof_summary);
   }
   if (command == "shells") return CmdShells(built->graph);
   if (command == "hierarchy") return CmdHierarchy(built->graph);
