@@ -15,16 +15,32 @@
 // run's own Metrics by more than 1%. The tracked compaction_on/off numbers
 // above always come from unprofiled runs.
 //
+// A fourth "single_k" section benchmarks the direct single-k miners
+// (DESIGN.md §10) against the only alternative the engine had before:
+// fully decomposing and filtering at k. Both the GPU pipeline and the CPU
+// Xiang cascade must reproduce the filtered membership exactly.
+//
+// A fifth "renumber" section runs the skew rosters with degree-ordered
+// renumbering off and on and reports loop_imbalance + modeled_ms; cores
+// must be bit-identical either way.
+//
+// A sixth "fusion" section runs each roster dataset with the fused
+// scan->compact sweep off and on and reports the kernel-launch reduction;
+// again the cores must match.
+//
 // Output path: argv[1] if given, else $KCORE_BENCH_JSON_PATH, else
 // ./BENCH_gpu_peel.json. Respects KCORE_BENCH_MAX_EDGES.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "bench_support.h"
 #include "common/strings.h"
 #include "core/gpu_peel.h"
+#include "cpu/xiang.h"
 #include "perf/trace.h"
 
 namespace {
@@ -231,6 +247,144 @@ int main(int argc, char** argv) {
     json += StrFormat("\"loop_ms\": %.4f, ", loop_ms);
     json += StrFormat("\"compact_ms\": %.4f, ", compact_ms);
     json += StrFormat("\"modeled_ms\": %.4f", m.modeled_ms);
+    json += "}";
+  }
+  json += "\n  ],\n  \"single_k\": [\n";
+
+  first = true;
+  for (const DatasetSpec& spec : PaperRoster()) {
+    auto graph = LoadOrGenerateDataset(spec, DefaultCacheDir());
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+    if (max_edges != 0 && graph->NumUndirectedEdges() > max_edges) continue;
+
+    GpuPeelOptions options = GpuPeelOptions::Ours();
+    options.buffer_capacity = ScaledBufferCapacity(*graph);
+    auto full = RunGpuPeel(*graph, options, ScaledP100Options());
+    if (!full.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
+                   full.status().ToString().c_str());
+      return 1;
+    }
+    // Query the mid-shell: high enough that most of the graph is pruned,
+    // low enough that the core is non-trivial on every roster graph.
+    const uint32_t k = std::max<uint32_t>(2, (full->MaxCore() + 1) / 2);
+    std::vector<uint8_t> filtered(full->core.size(), 0);
+    uint64_t core_size = 0;
+    for (size_t v = 0; v < full->core.size(); ++v) {
+      filtered[v] = full->core[v] >= k;
+      core_size += filtered[v];
+    }
+
+    auto direct = RunGpuSingleKCore(*graph, k, options, ScaledP100Options());
+    if (!direct.ok()) {
+      std::fprintf(stderr, "%s single-k: %s\n", spec.name.c_str(),
+                   direct.status().ToString().c_str());
+      return 1;
+    }
+    const SingleKCoreResult cpu = XiangSingleKCore(*graph, k);
+    if (direct->in_core != filtered || cpu.in_core != filtered) {
+      std::fprintf(stderr,
+                   "%s: single-k membership diverges from full-peel filter "
+                   "at k=%u\n",
+                   spec.name.c_str(), k);
+      return 1;
+    }
+
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\"name\": \"" + spec.name + "\", ";
+    json += StrFormat("\"k\": %u, ", k);
+    json += StrFormat("\"kmax\": %u, ", full->MaxCore());
+    json += "\"core_size\": " + U64(core_size) + ", ";
+    json += StrFormat("\"speedup_vs_full_peel\": %.2f,\n",
+                      full->metrics.modeled_ms /
+                          std::max(direct->metrics.modeled_ms, 1e-9));
+    json += "     \"full_peel_filter\": " + MetricsJson(full->metrics) +
+            ",\n";
+    json += "     \"gpu_direct\": " + MetricsJson(direct->metrics) + ",\n";
+    json += "     \"cpu_xiang\": " + MetricsJson(cpu.metrics);
+    json += "}";
+  }
+  json += "\n  ],\n  \"renumber\": [\n";
+
+  first = true;
+  for (const DatasetSpec& spec : ExpandRoster()) {
+    auto graph = LoadOrGenerateDataset(spec, DefaultCacheDir());
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+    if (max_edges != 0 && graph->NumUndirectedEdges() > max_edges) continue;
+
+    GpuPeelOptions off_options = GpuPeelOptions::Ours();
+    off_options.buffer_capacity = ScaledBufferCapacity(*graph);
+    auto off = RunGpuPeel(*graph, off_options, ScaledP100Options());
+    auto on =
+        RunGpuPeel(*graph, off_options.WithRenumber(), ScaledP100Options());
+    if (!off.ok() || !on.ok()) {
+      std::fprintf(stderr, "%s renumber: %s\n", spec.name.c_str(),
+                   (!off.ok() ? off : on).status().ToString().c_str());
+      return 1;
+    }
+    if (on->core != off->core) {
+      std::fprintf(stderr, "%s: renumber on/off core numbers diverge\n",
+                   spec.name.c_str());
+      return 1;
+    }
+
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\"name\": \"" + spec.name + "\", ";
+    json += StrFormat("\"kmax\": %u,\n", on->MaxCore());
+    json += "     \"renumber_off\": " + MetricsJson(off->metrics) + ",\n";
+    json += "     \"renumber_on\": " + MetricsJson(on->metrics);
+    json += "}";
+  }
+  json += "\n  ],\n  \"fusion\": [\n";
+
+  first = true;
+  for (const DatasetSpec& spec : PaperRoster()) {
+    auto graph = LoadOrGenerateDataset(spec, DefaultCacheDir());
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+    if (max_edges != 0 && graph->NumUndirectedEdges() > max_edges) continue;
+
+    GpuPeelOptions unfused = GpuPeelOptions::Ours();
+    unfused.buffer_capacity = ScaledBufferCapacity(*graph);
+    auto off = RunGpuPeel(*graph, unfused, ScaledP100Options());
+    auto on = RunGpuPeel(*graph, unfused.WithFusion(), ScaledP100Options());
+    if (!off.ok() || !on.ok()) {
+      std::fprintf(stderr, "%s fusion: %s\n", spec.name.c_str(),
+                   (!off.ok() ? off : on).status().ToString().c_str());
+      return 1;
+    }
+    if (on->core != off->core) {
+      std::fprintf(stderr, "%s: fusion on/off core numbers diverge\n",
+                   spec.name.c_str());
+      return 1;
+    }
+    const uint64_t before = off->metrics.counters.kernel_launches;
+    const uint64_t after = on->metrics.counters.kernel_launches;
+
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\"name\": \"" + spec.name + "\", ";
+    json += StrFormat("\"kmax\": %u, ", on->MaxCore());
+    json += "\"launches_unfused\": " + U64(before) + ", ";
+    json += "\"launches_fused\": " + U64(after) + ", ";
+    json += StrFormat(
+        "\"launch_reduction_pct\": %.1f,\n",
+        before == 0 ? 0.0 : 100.0 * (before - after) / double(before));
+    json += "     \"fused_off\": " + MetricsJson(off->metrics) + ",\n";
+    json += "     \"fused_on\": " + MetricsJson(on->metrics);
     json += "}";
   }
   json += "\n  ]\n}\n";

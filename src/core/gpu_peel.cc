@@ -12,8 +12,10 @@
 #include "common/timer.h"
 #include "core/resilience.h"
 #include "cpu/pkc.h"
+#include "cpu/xiang.h"
 #include "cusim/atomics.h"
 #include "cusim/warp_scan.h"
+#include "graph/renumber.h"
 
 namespace kcore {
 
@@ -48,6 +50,11 @@ struct KernelCtx {
   uint64_t* active_count = nullptr;
   uint64_t active_size = 0;
   bool use_active = false;
+  /// Single-k direct mining (GpuSingleKCore): the scan collects deg < k
+  /// (every vertex Xiang's algorithm seeds its deletion stack with) instead
+  /// of deg == k, and the loop then runs with threshold k-1 — the same
+  /// skip/append/rollback boundary shifted by one.
+  bool scan_below = false;
   bool ring = false;
   bool sm = false;               ///< Shared-memory buffering enabled.
   uint32_t shared_capacity = 0;  ///< n_B (only when sm).
@@ -142,6 +149,11 @@ void ScanKernel(const KernelCtx& ctx, uint32_t k, auto& block) {
     return ctx.use_active ? GlobalLoad(&ctx.active[idx], c)
                           : static_cast<VertexId>(idx);
   };
+  // Full peel collects the round's k-shell; single-k mining (scan_below)
+  // collects everything already below the survival threshold.
+  auto collects = [&](uint32_t dv) {
+    return ctx.scan_below ? dv < k : dv == k;
+  };
   if (ctx.use_active && block.block_id() == 0) {
     c.scan_vertices_skipped += ctx.num_vertices - ctx.active_size;
   }
@@ -176,7 +188,7 @@ void ScanKernel(const KernelCtx& ctx, uint32_t k, auto& block) {
           const VertexId v = vertex_at(idx);
           ++c.vertices_scanned;
           const uint32_t dv = GlobalLoad(&ctx.deg[v], c);
-          if (dv == k) {  // Line 6.
+          if (collects(dv)) {  // Line 6.
             const uint64_t pos =
                 AtomicAdd(e, uint64_t{1}, c, MemSpace::kShared);  // Line 7.
             raw_store(pos, v);                                    // Line 9.
@@ -196,7 +208,7 @@ void ScanKernel(const KernelCtx& ctx, uint32_t k, auto& block) {
             if (idx >= sweep_len) return;
             const VertexId v = vertex_at(idx);
             ++c.vertices_scanned;
-            if (GlobalLoad(&ctx.deg[v], c) == k) {
+            if (collects(GlobalLoad(&ctx.deg[v], c))) {
               flags[lane] = 1;
               cand[lane] = v;
             }
@@ -227,7 +239,7 @@ void ScanKernel(const KernelCtx& ctx, uint32_t k, auto& block) {
           if (idx >= sweep_len) return;
           const VertexId v = vertex_at(idx);
           ++c.vertices_scanned;
-          if (GlobalLoad(&ctx.deg[v], c) == k) {
+          if (collects(GlobalLoad(&ctx.deg[v], c))) {
             flags[t] = 1;
             cand[t] = v;
           }
@@ -309,6 +321,106 @@ void CompactKernel(const KernelCtx& ctx, uint32_t k, auto& block) {
       });
     });
   }
+}
+
+// ---------------------------------------------------------------------------
+// Fused scan+compact kernel: one launch per round replaces the scan and the
+// round-boundary CompactKernel (GpuPeelOptions::fuse_scan_compact).
+// ---------------------------------------------------------------------------
+
+/// One warp-ballot sweep over the active domain reads each survivor's degree
+/// exactly once and routes it to both consumers: deg == k vertices enter
+/// this block's frontier buffer (the scan's output, one shared atomicAdd per
+/// warp — the BC append discipline, since the sweep is warp-structured
+/// either way), and deg > k vertices enter the next active array (the
+/// compaction's output, one global atomicAdd per warp). deg < k vertices —
+/// peeled in earlier rounds — simply drop out. The strict `> k` survivor
+/// filter is safe: at the end of round k's cascade every unpeeled vertex
+/// has degree > k (§IV-B), so the next round's sweep domain is still a
+/// superset of its survivors, and one round tighter than what the unfused
+/// threshold rebuild keeps.
+void FusedScanCompactKernel(const KernelCtx& ctx, uint32_t k, auto& block) {
+  auto& c = block.counters();
+  auto* e = block.template SharedAlloc<uint64_t>(1);
+  block.Sync();
+  if (block.block_id() == 0) ++c.compactions;
+
+  const uint64_t src_len = ctx.use_active ? ctx.active_size : ctx.num_vertices;
+  if (ctx.use_active && block.block_id() == 0) {
+    c.scan_vertices_skipped += ctx.num_vertices - ctx.active_size;
+  }
+  const uint64_t base = static_cast<uint64_t>(block.block_id()) * ctx.capacity;
+  const uint64_t grid_threads = block.grid_threads();
+  const uint64_t block_first =
+      static_cast<uint64_t>(block.block_id()) * block.block_dim();
+
+  auto raw_store = [&](uint64_t pos, VertexId v) {
+    // Same ring-exempt overflow rule as ScanKernel: the buffer starts the
+    // round empty, so `capacity` collected vertices is the hard limit.
+    if (pos >= ctx.capacity) {
+      sim::AtomicMax(ctx.overflow, 1u, c);
+      return;
+    }
+    GlobalStore(&ctx.buf[base + pos], v, c);
+  };
+
+  for (uint64_t s = 0; s < src_len; s += grid_threads) {
+    const uint64_t sweep_base = s + block_first;
+    if (sweep_base >= src_len) continue;
+    block.ForEachWarp([&](WarpCtx& warp) {
+      uint32_t live_flags[kWarpSize] = {0};
+      uint32_t shell_flags[kWarpSize] = {0};
+      VertexId cand[kWarpSize] = {0};
+      warp.ForEachLane([&](uint32_t lane) {
+        const uint64_t idx = sweep_base + warp.warp_id() * kWarpSize + lane;
+        if (idx >= src_len) return;
+        const VertexId v = ctx.use_active
+                               ? GlobalLoad(&ctx.active[idx], c)
+                               : static_cast<VertexId>(idx);
+        ++c.vertices_scanned;
+        const uint32_t dv = GlobalLoad(&ctx.deg[v], c);
+        if (dv < k) return;
+        cand[lane] = v;
+        if (dv == k) {
+          shell_flags[lane] = 1;
+        } else {
+          live_flags[lane] = 1;
+        }
+      });
+
+      uint32_t exclusive[kWarpSize];
+      const uint32_t live_n = BallotExclusiveScan(warp, live_flags, exclusive);
+      if (live_n != 0) {
+        const uint64_t out_base =
+            AtomicAdd(ctx.active_count, uint64_t{live_n}, c);
+        ++c.shared_ops;  // __shfl_sync broadcast of out_base.
+        warp.ForEachLane([&](uint32_t lane) {
+          if (live_flags[lane] != 0) {
+            // Bounded exactly like CompactKernel: survivors <= src_len <= n.
+            GlobalStore(&ctx.active_out[out_base + exclusive[lane]],
+                        cand[lane], c);
+          }
+        });
+      }
+
+      const uint32_t shell_n =
+          BallotExclusiveScan(warp, shell_flags, exclusive);
+      if (shell_n != 0) {
+        const uint64_t e_old =
+            AtomicAdd(e, uint64_t{shell_n}, c, MemSpace::kShared);
+        ++c.shared_ops;  // __shfl_sync broadcast of e_old.
+        warp.ForEachLane([&](uint32_t lane) {
+          if (shell_flags[lane] != 0) {
+            raw_store(e_old + exclusive[lane], cand[lane]);
+            ++c.buffer_appends;
+          }
+        });
+      }
+    });
+  }
+
+  block.Sync();
+  GlobalStore(&ctx.buf_e[block.block_id()], *e, c);
 }
 
 // ---------------------------------------------------------------------------
@@ -857,10 +969,11 @@ void LoopKernel(const KernelCtx& ctx, uint32_t k, bool vertex_prefetching,
   AtomicAdd(ctx.gpu_count, *e, c);
 }
 
-}  // namespace
-
-StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
-  const GpuPeelOptions& opt = options_;
+/// Launch-geometry and variant-compatibility validation shared by the full
+/// decomposer and the single-k driver (both launch the same kernels, so the
+/// same constraints apply).
+Status ValidateGpuPeelOptions(const GpuPeelOptions& opt,
+                              const sim::Device& device) {
   if (opt.num_blocks == 0 || opt.block_dim == 0 || opt.block_dim % 32 != 0) {
     return Status::InvalidArgument("block_dim must be a positive multiple of 32");
   }
@@ -897,10 +1010,10 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
   if (opt.shared_memory_buffering &&
       static_cast<uint64_t>(opt.shared_buffer_capacity) * sizeof(VertexId) +
               expand_shared_bytes + 4096 >
-          device_->options().shared_mem_per_block) {
+          device.options().shared_mem_per_block) {
     return Status::InvalidArgument("shared buffer B exceeds shared memory");
   }
-  if (expand_shared_bytes + 4096 > device_->options().shared_mem_per_block) {
+  if (expand_shared_bytes + 4096 > device.options().shared_mem_per_block) {
     return Status::InvalidArgument(
         "auto-expansion bin lists exceed shared memory (reduce block_dim)");
   }
@@ -909,6 +1022,41 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
     return Status::InvalidArgument(
         "compaction_threshold must be a fraction in [0, 1]");
   }
+  if (opt.fuse_scan_compact && !opt.active_compaction) {
+    return Status::InvalidArgument(
+        "scan->compact fusion requires active compaction (the fused kernel "
+        "IS the compaction; there is no unfused scan to fall back to)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
+  const GpuPeelOptions& opt = options_;
+  if (opt.renumber) {
+    // Degree-ordered renumbering wrap: remap the graph, run the entire
+    // pipeline (validation, resilience, compaction, fusion — everything) on
+    // the relabeled CSR with `renumber` cleared, then permute the core
+    // numbers back to the original IDs. Core numbers are label-invariant,
+    // so the result is bit-identical to an unrenumbered run. The remap is
+    // host-side preprocessing, amortizable across queries on a static
+    // graph: its cost lands in wall_ms only — the modeled device clock
+    // never sees it.
+    WallTimer total;
+    // Stripe at block_dim: the scan hands each block_dim-wide ID window to
+    // one block, so dealing degree ranks round-robin across windows spreads
+    // the hubs over all blocks' frontier buffers.
+    const Renumbering rn = DegreeOrderRenumber(graph, opt.block_dim);
+    GpuPeelOptions inner_options = opt;
+    inner_options.renumber = false;
+    GpuPeelDecomposer inner(device_, inner_options);
+    KCORE_ASSIGN_OR_RETURN(DecomposeResult result, inner.Decompose(rn.graph));
+    result.core = rn.ToOriginal(result.core);
+    result.metrics.wall_ms = total.ElapsedMillis();
+    return result;
+  }
+  KCORE_RETURN_IF_ERROR(ValidateGpuPeelOptions(opt, *device_));
 
   WallTimer timer;
   const VertexId n = graph.NumVertices();
@@ -1118,38 +1266,66 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
   std::vector<uint32_t> post_deg;
   const auto run_level = [&]() -> Status {
     sim::SimProfiler* const prof = device_->profiler();
-    if (opt.active_compaction) {
-      // Rebuild the active array once the survivors have shrunk below the
-      // threshold fraction of the current sweep domain (first time vs. n,
-      // then vs. the active array itself — i.e. at every further halving
-      // for the default 0.5).
-      const uint64_t remaining = n - count;
-      const uint64_t sweep_len = ctx.use_active ? ctx.active_size : n;
-      if (static_cast<double>(remaining) <
-          opt.compaction_threshold * static_cast<double>(sweep_len)) {
-        sim::ProfRange compact_range(prof, "compact");
-        const uint64_t zero = 0;
-        KCORE_RETURN_IF_ERROR(with_retry(
-            [&] { return d_active_count.CopyFromHost({&zero, 1}); }));
-        ctx.active_out = active_next;
-        ctx.active_count = d_active_count.data();
-        KCORE_RETURN_IF_ERROR(with_retry([&] {
-          return device_->Launch(
-              opt.num_blocks, opt.block_dim, "compact",
-              [&](auto& block) { CompactKernel(ctx, k, block); });
-        }));
-        charge(result.metrics.compact_ms);
-        uint64_t active_size = 0;
-        KCORE_RETURN_IF_ERROR(with_retry(
-            [&] { return d_active_count.CopyToHost({&active_size, 1}); }));
-        ctx.active = active_next;
-        ctx.active_size = active_size;
-        ctx.use_active = true;
-        std::swap(active_next, active_live);
+    if (opt.fuse_scan_compact) {
+      // Fused path: one launch per round replaces the scan and the
+      // round-boundary compaction. The kernel routes each surviving
+      // vertex's degree to both consumers (deg == k -> frontier buffers,
+      // deg > k -> next active array), so the active list shrinks every
+      // round instead of at threshold halvings and the separate compact
+      // launch disappears. The whole launch is charged to scan_ms — it is
+      // the scan, with the compaction riding on its already-paid degree
+      // reads.
+      sim::ProfRange fused_range(prof, "fused_scan");
+      const uint64_t zero = 0;
+      KCORE_RETURN_IF_ERROR(
+          with_retry([&] { return d_active_count.CopyFromHost({&zero, 1}); }));
+      ctx.active_out = active_next;
+      ctx.active_count = d_active_count.data();
+      KCORE_RETURN_IF_ERROR(with_retry([&] {
+        return device_->Launch(
+            opt.num_blocks, opt.block_dim, "fused_scan",
+            [&](auto& block) { FusedScanCompactKernel(ctx, k, block); });
+      }));
+      charge(result.metrics.scan_ms);
+      uint64_t active_size = 0;
+      KCORE_RETURN_IF_ERROR(with_retry(
+          [&] { return d_active_count.CopyToHost({&active_size, 1}); }));
+      ctx.active = active_next;
+      ctx.active_size = active_size;
+      ctx.use_active = true;
+      std::swap(active_next, active_live);
+    } else {
+      if (opt.active_compaction) {
+        // Rebuild the active array once the survivors have shrunk below the
+        // threshold fraction of the current sweep domain (first time vs. n,
+        // then vs. the active array itself — i.e. at every further halving
+        // for the default 0.5).
+        const uint64_t remaining = n - count;
+        const uint64_t sweep_len = ctx.use_active ? ctx.active_size : n;
+        if (static_cast<double>(remaining) <
+            opt.compaction_threshold * static_cast<double>(sweep_len)) {
+          sim::ProfRange compact_range(prof, "compact");
+          const uint64_t zero = 0;
+          KCORE_RETURN_IF_ERROR(with_retry(
+              [&] { return d_active_count.CopyFromHost({&zero, 1}); }));
+          ctx.active_out = active_next;
+          ctx.active_count = d_active_count.data();
+          KCORE_RETURN_IF_ERROR(with_retry([&] {
+            return device_->Launch(
+                opt.num_blocks, opt.block_dim, "compact",
+                [&](auto& block) { CompactKernel(ctx, k, block); });
+          }));
+          charge(result.metrics.compact_ms);
+          uint64_t active_size = 0;
+          KCORE_RETURN_IF_ERROR(with_retry(
+              [&] { return d_active_count.CopyToHost({&active_size, 1}); }));
+          ctx.active = active_next;
+          ctx.active_size = active_size;
+          ctx.use_active = true;
+          std::swap(active_next, active_live);
+        }
       }
-    }
 
-    {
       sim::ProfRange scan_range(prof, "scan");
       KCORE_RETURN_IF_ERROR(with_retry([&] {
         return device_->Launch(opt.num_blocks, opt.block_dim, "scan",
@@ -1164,38 +1340,50 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
     // Snapshot per-block frontier occupancy before the launch (the loop
     // kernel never writes buf_e back): host-side instrumentation, uncharged.
     std::vector<bool> block_had_work(opt.num_blocks);
+    bool any_work = false;
     for (uint32_t b = 0; b < opt.num_blocks; ++b) {
       block_had_work[b] = ctx.buf_e[b] != 0;
+      any_work = any_work || block_had_work[b];
     }
-    std::optional<sim::ProfRange> loop_range;
-    if (prof != nullptr) loop_range.emplace(prof, "loop");
-    KCORE_RETURN_IF_ERROR(with_retry([&] {
-      return device_->Launch(opt.num_blocks, opt.block_dim, "loop",
-                             [&](auto& block) {
-                               if (binned) {
-                                 LoopKernelBinned(ctx, k, vp, block);
-                               } else {
-                                 LoopKernel(ctx, k, vp, block);  // Line 7.
-                               }
-                             });
-    }));
-    {
-      const auto& stats = device_->last_launch_stats();
-      double sum_active = 0.0;
-      uint32_t num_active = 0;
-      for (uint32_t b = 0;
-           b < opt.num_blocks && b < stats.block_ns.size(); ++b) {
-        if (!block_had_work[b]) continue;
-        sum_active += stats.block_ns[b];
-        ++num_active;
+    if (opt.fuse_scan_compact && !any_work) {
+      // Empty k-shell: every block's frontier buffer came up empty, so the
+      // loop launch would only spin its fixed-cost drain loop and add
+      // nothing to gpu_count. Skipping it is bit-identical (deg and count
+      // are untouched either way) and is where fusion's launch savings
+      // concentrate on high-k_max graphs — the many empty rounds between
+      // the shell tail and the densest core cost one launch instead of two.
+      if (prof != nullptr) prof->Mark(StrFormat("loop_skipped k=%u", k));
+    } else {
+      std::optional<sim::ProfRange> loop_range;
+      if (prof != nullptr) loop_range.emplace(prof, "loop");
+      KCORE_RETURN_IF_ERROR(with_retry([&] {
+        return device_->Launch(opt.num_blocks, opt.block_dim, "loop",
+                               [&](auto& block) {
+                                 if (binned) {
+                                   LoopKernelBinned(ctx, k, vp, block);
+                                 } else {
+                                   LoopKernel(ctx, k, vp, block);  // Line 7.
+                                 }
+                               });
+      }));
+      {
+        const auto& stats = device_->last_launch_stats();
+        double sum_active = 0.0;
+        uint32_t num_active = 0;
+        for (uint32_t b = 0;
+             b < opt.num_blocks && b < stats.block_ns.size(); ++b) {
+          if (!block_had_work[b]) continue;
+          sum_active += stats.block_ns[b];
+          ++num_active;
+        }
+        if (num_active > 0) {
+          loop_max_ns += stats.max_block_ns;
+          loop_mean_ns += sum_active / num_active;
+        }
       }
-      if (num_active > 0) {
-        loop_max_ns += stats.max_block_ns;
-        loop_mean_ns += sum_active / num_active;
-      }
+      charge(result.metrics.loop_ms);
+      loop_range.reset();
     }
-    charge(result.metrics.loop_ms);
-    loop_range.reset();
 
     uint32_t overflow = 0;
     KCORE_RETURN_IF_ERROR(
@@ -1326,6 +1514,223 @@ StatusOr<DecomposeResult> RunGpuPeel(const CsrGraph& graph,
   sim::Device device(device_options);
   GpuPeelDecomposer decomposer(&device, options);
   return decomposer.Decompose(graph);
+}
+
+StatusOr<SingleKCoreResult> GpuSingleKCore(const CsrGraph& graph, uint32_t k,
+                                           const GpuPeelOptions& options,
+                                           sim::Device* device) {
+  if (k < 1) {
+    return Status::InvalidArgument("single-k mining requires k >= 1");
+  }
+  const GpuPeelOptions& opt = options;
+  const VertexId n = graph.NumVertices();
+  if (opt.renumber) {
+    // Same wrap as Decompose: mine on the relabeled CSR, then permute the
+    // membership bitmap back and rebuild the ascending member list in
+    // original-ID space. Remap cost lands in wall_ms only.
+    WallTimer total;
+    const Renumbering rn = DegreeOrderRenumber(graph, opt.block_dim);
+    GpuPeelOptions inner_options = opt;
+    inner_options.renumber = false;
+    KCORE_ASSIGN_OR_RETURN(SingleKCoreResult result,
+                           GpuSingleKCore(rn.graph, k, inner_options, device));
+    result.in_core = rn.ToOriginal(result.in_core);
+    result.vertices.clear();
+    for (VertexId v = 0; v < n; ++v) {
+      if (result.in_core[v] != 0) result.vertices.push_back(v);
+    }
+    result.metrics.wall_ms = total.ElapsedMillis();
+    return result;
+  }
+  KCORE_RETURN_IF_ERROR(ValidateGpuPeelOptions(opt, *device));
+
+  WallTimer timer;
+  device->ResetClock();
+  const bool resilient =
+      opt.resilience.enabled && device->fault_injection_enabled();
+  const uint64_t capacity =
+      opt.buffer_capacity != 0
+          ? opt.buffer_capacity
+          : std::max<uint64_t>(4096, static_cast<uint64_t>(n) / 4);
+
+  SingleKCoreResult result;
+  result.k = k;
+
+  const auto with_retry = [&](auto&& op) -> Status {
+    Status st = op();
+    if (!resilient) return st;
+    for (uint32_t attempt = 0;
+         st.IsUnavailable() && attempt < opt.resilience.max_op_retries;
+         ++attempt) {
+      ++result.metrics.retries;
+      if (opt.resilience.backoff_base_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            static_cast<uint64_t>(opt.resilience.backoff_base_ms) << attempt));
+      }
+      st = op();
+    }
+    return st;
+  };
+
+  // The device path never calls MarkCorruptible: with one round there is no
+  // checkpoint to roll back to, so deg[] stays ECC-protected like the
+  // topology and injected bitflips are inert here. Launch/copy faults are
+  // still live — transients are retried, and a permanent loss degrades to
+  // the CPU algorithm below.
+  std::vector<uint32_t> final_deg;
+  const auto run = [&]() -> Status {
+    sim::DeviceArray<EdgeIndex> d_offsets;
+    sim::DeviceArray<VertexId> d_neighbors;
+    sim::DeviceArray<uint32_t> d_deg;
+    sim::DeviceArray<VertexId> d_buf;
+    sim::DeviceArray<uint64_t> d_buf_e;
+    sim::DeviceArray<uint64_t> d_count;
+    sim::DeviceArray<uint32_t> d_overflow;
+    KCORE_ASSIGN_OR_RETURN(d_offsets, device->AllocUninit<EdgeIndex>(
+                                          graph.offsets().size(), "offsets"));
+    KCORE_ASSIGN_OR_RETURN(
+        d_neighbors,
+        device->AllocUninit<VertexId>(
+            std::max<size_t>(1, graph.neighbors().size()), "neighbors"));
+    KCORE_ASSIGN_OR_RETURN(
+        d_deg, device->AllocUninit<uint32_t>(std::max<VertexId>(1, n), "deg"));
+    KCORE_ASSIGN_OR_RETURN(
+        d_buf,
+        device->AllocUninit<VertexId>(
+            static_cast<uint64_t>(opt.num_blocks) * capacity, "buf"));
+    KCORE_ASSIGN_OR_RETURN(
+        d_buf_e, device->AllocUninit<uint64_t>(opt.num_blocks, "buf_e"));
+    KCORE_ASSIGN_OR_RETURN(d_count, device->Alloc<uint64_t>(1, "count"));
+    KCORE_ASSIGN_OR_RETURN(d_overflow, device->Alloc<uint32_t>(1, "overflow"));
+    KCORE_RETURN_IF_ERROR(
+        with_retry([&] { return d_offsets.CopyFromHost(graph.offsets()); }));
+    KCORE_RETURN_IF_ERROR(with_retry(
+        [&] { return d_neighbors.CopyFromHost(graph.neighbors()); }));
+    const std::vector<uint32_t> host_deg = graph.DegreeArray();
+    KCORE_RETURN_IF_ERROR(with_retry([&] {
+      return d_deg.CopyFromHost(std::span<const uint32_t>(host_deg));
+    }));
+
+    KernelCtx ctx;
+    ctx.offsets = d_offsets.data();
+    ctx.neighbors = d_neighbors.data();
+    ctx.deg = d_deg.data();
+    ctx.buf = d_buf.data();
+    ctx.buf_e = d_buf_e.data();
+    ctx.gpu_count = d_count.data();
+    ctx.overflow = d_overflow.data();
+    ctx.capacity = capacity;
+    ctx.num_vertices = n;
+    ctx.scan_below = true;
+    ctx.ring = opt.ring_buffer;
+    ctx.sm = opt.shared_memory_buffering;
+    ctx.shared_capacity = opt.shared_buffer_capacity;
+    ctx.append = opt.append;
+    ctx.expand = opt.expand_strategy;
+    ctx.block_threshold = opt.block_expand_threshold;
+
+    sim::SimProfiler* const prof = device->profiler();
+    double phase_mark = device->modeled_ms();
+    const auto charge = [&](double& phase_ms) {
+      const double now = device->modeled_ms();
+      phase_ms += now - phase_mark;
+      phase_mark = now;
+    };
+
+    // One scan+loop pair total. The scan seeds every block buffer with its
+    // deg < k vertices (Xiang's initial deletion stack); the loop at
+    // threshold k-1 is the cascade verbatim — skip du <= k-1 (already
+    // deleted), decrement survivors, append on old == k (u just crossed
+    // below k), roll back on overshoot.
+    {
+      sim::ProfRange scan_range(prof, "scan");
+      KCORE_RETURN_IF_ERROR(with_retry([&] {
+        return device->Launch(opt.num_blocks, opt.block_dim, "scan",
+                              [&](auto& block) { ScanKernel(ctx, k, block); });
+      }));
+      charge(result.metrics.scan_ms);
+    }
+    {
+      const bool vp = opt.vertex_prefetching;
+      const bool binned = opt.expand_strategy != ExpandStrategy::kWarp;
+      sim::ProfRange loop_range(prof, "loop");
+      KCORE_RETURN_IF_ERROR(with_retry([&] {
+        return device->Launch(opt.num_blocks, opt.block_dim, "loop",
+                              [&](auto& block) {
+                                if (binned) {
+                                  LoopKernelBinned(ctx, k - 1, vp, block);
+                                } else {
+                                  LoopKernel(ctx, k - 1, vp, block);
+                                }
+                              });
+      }));
+      charge(result.metrics.loop_ms);
+    }
+
+    uint32_t overflow = 0;
+    KCORE_RETURN_IF_ERROR(
+        with_retry([&] { return d_overflow.CopyToHost({&overflow, 1}); }));
+    if (overflow != 0) {
+      return Status::CapacityExceeded(StrFormat(
+          "block buffer overflow mining k=%u (capacity %llu IDs%s)", k,
+          static_cast<unsigned long long>(capacity),
+          opt.ring_buffer ? ", ring" : ""));
+    }
+    final_deg.resize(n);
+    KCORE_RETURN_IF_ERROR(with_retry(
+        [&] { return d_deg.CopyToHost(std::span<uint32_t>(final_deg)); }));
+    return Status::OK();
+  };
+
+  if (Status st = run(); !st.ok()) {
+    if (resilient && opt.resilience.cpu_fallback &&
+        (st.IsOutOfMemory() || st.IsUnavailable() || st.IsDeviceLost())) {
+      // Graceful degradation: the query is stateless (no checkpoint to
+      // resume from), so the fallback is simply the CPU algorithm from
+      // scratch.
+      WallTimer recovery;
+      if (sim::SimProfiler* const prof = device->profiler()) {
+        prof->Mark(StrFormat("single_k_cpu_fallback k=%u", k));
+      }
+      SingleKCoreResult cpu = XiangSingleKCore(graph, k);
+      cpu.metrics.degraded = true;
+      if (st.IsDeviceLost()) ++cpu.metrics.devices_lost;
+      cpu.metrics.retries = result.metrics.retries;
+      cpu.metrics.cpu_fallback_levels = 1;
+      cpu.metrics.counters += device->totals();
+      cpu.metrics.modeled_ms += device->modeled_ms();
+      cpu.metrics.peak_device_bytes =
+          std::max(cpu.metrics.peak_device_bytes, device->peak_bytes());
+      cpu.metrics.recovery_ms = recovery.ElapsedMillis();
+      cpu.metrics.wall_ms = timer.ElapsedMillis();
+      return cpu;
+    }
+    return st;
+  }
+
+  // deg >= k now means "survived the cascade": exactly the k-core.
+  result.in_core.assign(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (final_deg[v] >= k) {
+      result.in_core[v] = 1;
+      result.vertices.push_back(v);
+    }
+  }
+  result.metrics.rounds = 1;
+  result.metrics.counters = device->totals();
+  result.metrics.modeled_ms = device->modeled_ms();
+  result.metrics.peak_device_bytes = device->peak_bytes();
+  result.metrics.wall_ms = timer.ElapsedMillis();
+  // Under --simcheck / check_mode, a detected violation fails the run.
+  KCORE_RETURN_IF_ERROR(device->CheckStatus());
+  return result;
+}
+
+StatusOr<SingleKCoreResult> RunGpuSingleKCore(
+    const CsrGraph& graph, uint32_t k, const GpuPeelOptions& options,
+    const sim::DeviceOptions& device_options) {
+  sim::Device device(device_options);
+  return GpuSingleKCore(graph, k, options, &device);
 }
 
 }  // namespace kcore

@@ -44,6 +44,28 @@ StatusOr<DecomposeResult> RunGpuPeel(const CsrGraph& graph,
                                      const GpuPeelOptions& options = {},
                                      const sim::DeviceOptions& device_options = {});
 
+/// Direct single-k core mining on the simulated GPU (the device analogue of
+/// XiangSingleKCore): one scan launch collects every deg < k vertex into the
+/// block frontier buffers — the initial deletion stack — and one loop launch
+/// at threshold k-1 runs the full cascade, so the query costs a single
+/// scan+loop kernel pair instead of k rounds of peeling. Composes with every
+/// append / ring / SM / VP / expand variant and with renumbering; active
+/// compaction and fusion are full-decomposition concepts and are ignored.
+///
+/// Fails with InvalidArgument for k < 1 or bad kernel geometry,
+/// CapacityExceeded on frontier-buffer overflow, or — under an attached
+/// fault plan with resilience enabled — degrades to the CPU algorithm
+/// (Metrics.degraded) when the device is lost.
+StatusOr<SingleKCoreResult> GpuSingleKCore(const CsrGraph& graph, uint32_t k,
+                                           const GpuPeelOptions& options,
+                                           sim::Device* device);
+
+/// One-shot convenience: creates a device with `device_options` and mines
+/// the k-core with `options`.
+StatusOr<SingleKCoreResult> RunGpuSingleKCore(
+    const CsrGraph& graph, uint32_t k, const GpuPeelOptions& options = {},
+    const sim::DeviceOptions& device_options = {});
+
 }  // namespace kcore
 
 #endif  // KCORE_CORE_GPU_PEEL_H_

@@ -106,6 +106,33 @@ struct GpuPeelOptions {
   /// they only amortize once the adjacency spans several full batches.
   uint32_t block_expand_threshold = 4096;
 
+  /// Degree-ordered vertex renumbering (src/graph/renumber.h): relabel the
+  /// graph by degree rank before peeling — dealt block-cyclically across
+  /// block_dim-wide ID chunks, so each scan block's window holds a
+  /// stratified degree sample and hub expansion spreads over all frontier
+  /// buffers (shrinks Metrics.loop_imbalance on skewed graphs) — then map
+  /// the core numbers back to the original IDs on return. The peeling
+  /// pipeline itself is untouched — it just sees a relabeled CSR — so
+  /// renumbering composes with every append / ring / SM / VP / expand
+  /// variant, active compaction, fusion, multi-GPU sharding, simcheck,
+  /// fault recovery, and simprof. Host-side preprocessing; its cost lands
+  /// in wall_ms, not modeled_ms (it is amortizable across queries on a
+  /// static graph).
+  bool renumber = false;
+
+  /// Fuse the round-boundary scan and active-list compaction into a single
+  /// kernel launch: each round's fused kernel reads every surviving
+  /// vertex's degree once, ballot-compacting the deg == k vertices into the
+  /// block frontier buffers *and* the deg >= k survivors into the next
+  /// active array. The separate CompactKernel launch disappears, the active
+  /// list shrinks every round instead of at halvings, and the host skips
+  /// the loop launch entirely for rounds whose frontier came up empty —
+  /// on high-k_max graphs (many empty shells between the tail and the
+  /// densest core) that removes most launches, the overhead the paper's
+  /// profiling singles out. Requires active_compaction. Core numbers are
+  /// bit-identical with fusion on or off.
+  bool fuse_scan_compact = false;
+
   /// AC: active-vertex compaction for the scan phase. The scan kernel
   /// normally sweeps all n vertices every round k even when almost all of
   /// them are already peeled (the inefficiency PKC's graph compaction
@@ -169,6 +196,18 @@ struct GpuPeelOptions {
   GpuPeelOptions WithExpand(ExpandStrategy strategy) const {
     GpuPeelOptions o = *this;
     o.expand_strategy = strategy;
+    return o;
+  }
+  /// Enables degree-ordered renumbering on top of any preset.
+  GpuPeelOptions WithRenumber() const {
+    GpuPeelOptions o = *this;
+    o.renumber = true;
+    return o;
+  }
+  /// Enables scan->compact kernel fusion on top of any preset.
+  GpuPeelOptions WithFusion() const {
+    GpuPeelOptions o = *this;
+    o.fuse_scan_compact = true;
     return o;
   }
 

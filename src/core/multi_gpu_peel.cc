@@ -12,6 +12,7 @@
 #include "common/timer.h"
 #include "core/resilience.h"
 #include "cpu/pkc.h"
+#include "graph/renumber.h"
 #include "cusim/atomics.h"
 #include "perf/cost_model.h"
 #include "perf/modeled_clock.h"
@@ -60,6 +61,21 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
                                           const MultiGpuOptions& options) {
   if (options.num_workers == 0) {
     return Status::InvalidArgument("num_workers must be positive");
+  }
+  if (options.renumber) {
+    // Degree-ordered renumbering wrap (see GpuPeelOptions::renumber): the
+    // fleet peels the relabeled CSR — whose contiguous shards are
+    // degree-homogeneous — and the core numbers are permuted back at the
+    // end. Remap cost lands in wall_ms only.
+    WallTimer total;
+    const Renumbering rn = DegreeOrderRenumber(graph);
+    MultiGpuOptions inner_options = options;
+    inner_options.renumber = false;
+    KCORE_ASSIGN_OR_RETURN(DecomposeResult result,
+                           RunMultiGpuPeel(rn.graph, inner_options));
+    result.core = rn.ToOriginal(result.core);
+    result.metrics.wall_ms = total.ElapsedMillis();
+    return result;
   }
   if (options.active_compaction && (options.compaction_threshold < 0.0 ||
                                     options.compaction_threshold > 1.0)) {

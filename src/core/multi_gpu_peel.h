@@ -43,6 +43,15 @@ struct MultiGpuOptions {
   ExpandStrategy expand_strategy = ExpandStrategy::kWarp;
   uint32_t block_expand_threshold = 4096;
 
+  /// Degree-ordered vertex renumbering (src/graph/renumber.h) before
+  /// sharding: with the contiguous even-split partitioning below, sorting by
+  /// degree makes each worker's range degree-homogeneous, so the fleet's
+  /// per-sub-round load spread shrinks on skewed graphs. Same wrap as the
+  /// single-GPU engine — remap, peel, permute the core numbers back — so it
+  /// composes with compaction, faults, resharding, and tracing; cost lands
+  /// in wall_ms only.
+  bool renumber = false;
+
   /// Per-worker fault plans (cusim/fault_injection.h grammar): entry i
   /// overrides worker_device.fault_spec for worker i, letting tests kill or
   /// degrade one GPU of the fleet. Shorter vectors leave later workers on

@@ -1,0 +1,41 @@
+#include "core/single_k.h"
+
+#include "core/gpu_peel.h"
+#include "cpu/xiang.h"
+
+namespace kcore {
+
+const char* SingleKEngineName(SingleKEngine engine) {
+  switch (engine) {
+    case SingleKEngine::kAuto:
+      return "auto";
+    case SingleKEngine::kCpu:
+      return "cpu";
+    case SingleKEngine::kGpu:
+      return "gpu";
+  }
+  return "?";
+}
+
+StatusOr<SingleKCoreResult> SingleKCore(const CsrGraph& graph, uint32_t k,
+                                        const SingleKOptions& options) {
+  if (k < 1) {
+    return Status::InvalidArgument(
+        "single-k mining requires k >= 1 (the 0-core is every vertex)");
+  }
+  SingleKEngine engine = options.engine;
+  if (engine == SingleKEngine::kAuto) {
+    engine = graph.NumDirectedEdges() >= options.auto_gpu_min_edges
+                 ? SingleKEngine::kGpu
+                 : SingleKEngine::kCpu;
+  }
+  if (engine == SingleKEngine::kCpu) {
+    return XiangSingleKCore(graph, k);
+  }
+  if (options.device != nullptr) {
+    return GpuSingleKCore(graph, k, options.gpu, options.device);
+  }
+  return RunGpuSingleKCore(graph, k, options.gpu);
+}
+
+}  // namespace kcore

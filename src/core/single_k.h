@@ -1,0 +1,52 @@
+#ifndef KCORE_CORE_SINGLE_K_H_
+#define KCORE_CORE_SINGLE_K_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/statusor.h"
+#include "core/gpu_peel_options.h"
+#include "cusim/device.h"
+#include "graph/csr_graph.h"
+#include "perf/decompose_result.h"
+
+namespace kcore {
+
+/// Which algorithm answers a single-k query.
+enum class SingleKEngine {
+  /// Pick per query: CPU for small graphs (kernel launch overhead dominates
+  /// below SingleKOptions::auto_gpu_min_edges), GPU otherwise.
+  kAuto,
+  /// Xiang's sort-free linear CPU algorithm (cpu/xiang.h).
+  kCpu,
+  /// GpuSingleKCore: one scan+loop kernel pair on the simulated device.
+  kGpu,
+};
+
+/// Short name used by CLI output and bench labels ("auto", "cpu", "gpu").
+const char* SingleKEngineName(SingleKEngine engine);
+
+/// Configuration of the single-k query router.
+struct SingleKOptions {
+  SingleKEngine engine = SingleKEngine::kAuto;
+  /// GPU path configuration (geometry, variants, renumber, resilience).
+  GpuPeelOptions gpu;
+  /// Device for the GPU path. Owned by the caller; nullptr = the router
+  /// creates a default-options device for the query.
+  sim::Device* device = nullptr;
+  /// kAuto routes to the GPU at or above this edge count — below it the
+  /// two fixed-cost kernel launches outweigh the linear CPU pass.
+  uint64_t auto_gpu_min_edges = uint64_t{1} << 14;
+};
+
+/// Routes a "give me the k-core" query to the right engine (ROADMAP: engines
+/// route per-k queries here instead of running a full decomposition and
+/// filtering). Fails with InvalidArgument for k < 1; GPU-path failures
+/// surface as in GpuSingleKCore. The CPU path honors gpu.renumber trivially
+/// (membership is label-invariant, so it never relabels).
+StatusOr<SingleKCoreResult> SingleKCore(const CsrGraph& graph, uint32_t k,
+                                        const SingleKOptions& options = {});
+
+}  // namespace kcore
+
+#endif  // KCORE_CORE_SINGLE_K_H_

@@ -1,0 +1,81 @@
+#include "cpu/xiang.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "perf/cost_model.h"
+#include "perf/modeled_clock.h"
+
+namespace kcore {
+
+SingleKCoreResult XiangSingleKCore(const CsrGraph& graph, uint32_t k) {
+  KCORE_CHECK_GE(k, 1u);
+  WallTimer timer;
+  const VertexId n = graph.NumVertices();
+  SingleKCoreResult result;
+  result.k = k;
+  PerfCounters& c = result.metrics.counters;
+
+  std::vector<uint32_t> deg = graph.DegreeArray();
+  c.vertices_scanned += n;
+  c.global_reads += n;
+
+  // Seed the deletion stack with everything already below k. Deleted
+  // vertices keep deg < k forever, so "deg[v] < k" doubles as the visited
+  // mark — no vertex enters the stack twice.
+  std::vector<VertexId> stack;
+  for (VertexId v = 0; v < n; ++v) {
+    if (deg[v] < k) stack.push_back(v);
+  }
+  c.lane_ops += n;
+  c.global_writes += stack.size();
+
+  // Cascade: deleting v strips one edge from each surviving neighbor; a
+  // neighbor crossing below k joins the deletion front. Only survivors are
+  // ever decremented, so deg[u] cannot underflow past k - 1.
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    c.global_reads += 1;
+    for (VertexId u : graph.Neighbors(v)) {
+      ++c.edges_traversed;
+      ++c.global_reads;
+      ++c.lane_ops;
+      if (deg[u] >= k) {
+        --deg[u];
+        ++c.global_writes;
+        if (deg[u] == k - 1) {
+          stack.push_back(u);
+          ++c.global_writes;
+        }
+      }
+    }
+  }
+
+  // Survivors are exactly the k-core (maximality: every survivor keeps >= k
+  // surviving neighbors; soundness: the cascade only deletes vertices that
+  // cannot be in any subgraph of minimum degree k).
+  result.in_core.assign(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (deg[v] >= k) {
+      result.in_core[v] = 1;
+      result.vertices.push_back(v);
+    }
+  }
+  c.lane_ops += n;
+  c.global_reads += n;
+
+  result.metrics.rounds = 1;
+  result.metrics.wall_ms = timer.ElapsedMillis();
+  ModeledClock clock(CpuCostModel());
+  clock.AddSerial(c);
+  result.metrics.modeled_ms = clock.ms();
+  result.metrics.peak_device_bytes =
+      graph.MemoryBytes() + deg.size() * sizeof(uint32_t) +
+      result.in_core.size() + result.vertices.size() * sizeof(uint32_t);
+  return result;
+}
+
+}  // namespace kcore

@@ -1,0 +1,27 @@
+#ifndef KCORE_CPU_XIANG_H_
+#define KCORE_CPU_XIANG_H_
+
+#include <cstdint>
+
+#include "graph/csr_graph.h"
+#include "perf/decompose_result.h"
+
+namespace kcore {
+
+/// Xiang's sort-free linear single-k core mining ("Simple linear algorithms
+/// for mining graph cores", PAPERS.md): when only the k-core for one given k
+/// is wanted, the BZ bucket structure (and any full decomposition) is
+/// overkill. One pass seeds a deletion stack with every vertex of degree
+/// < k; draining the stack decrements surviving neighbors and pushes each
+/// one the moment it drops below k. No sorting, no rounds: O(V + E) worst
+/// case, and typically far less — work is proportional to the part of the
+/// graph that is *not* in the k-core plus its boundary, while a full
+/// peel-then-filter pays for every shell below k.
+///
+/// Requires k >= 1 (checked). deg converges to the k-core's induced degrees
+/// for members; membership is deg >= k.
+SingleKCoreResult XiangSingleKCore(const CsrGraph& graph, uint32_t k);
+
+}  // namespace kcore
+
+#endif  // KCORE_CPU_XIANG_H_

@@ -1,0 +1,90 @@
+#include "graph/renumber.h"
+
+#include <algorithm>
+
+namespace kcore {
+namespace {
+
+/// rank[r] = old ID of the vertex with degree rank r (descending, ties by
+/// original ID), via a stable counting sort over degrees.
+std::vector<VertexId> DegreeRanks(const CsrGraph& graph) {
+  const VertexId n = graph.NumVertices();
+  const uint32_t max_degree = graph.MaxDegree();
+  std::vector<VertexId> bucket_start(static_cast<size_t>(max_degree) + 2, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    ++bucket_start[max_degree - graph.Degree(v)];
+  }
+  VertexId cursor = 0;
+  for (size_t b = 0; b < bucket_start.size(); ++b) {
+    const VertexId count = bucket_start[b];
+    bucket_start[b] = cursor;
+    cursor += count;
+  }
+  std::vector<VertexId> rank(n);
+  for (VertexId v = 0; v < n; ++v) {
+    rank[bucket_start[max_degree - graph.Degree(v)]++] = v;
+  }
+  return rank;
+}
+
+}  // namespace
+
+Renumbering DegreeOrderRenumber(const CsrGraph& graph,
+                                uint32_t stripe_chunk) {
+  const VertexId n = graph.NumVertices();
+  Renumbering out;
+  out.perm.resize(n);
+  out.inverse.resize(n);
+
+  const std::vector<VertexId> rank = DegreeRanks(graph);
+  if (stripe_chunk == 0 || n <= stripe_chunk) {
+    // Contiguous: new ID = degree rank.
+    for (VertexId r = 0; r < n; ++r) {
+      out.perm[rank[r]] = r;
+      out.inverse[r] = rank[r];
+    }
+  } else {
+    // Block-cyclic: deal ranks round-robin across the stripe_chunk-wide
+    // chunks of ID space, skipping chunks that are already full (only the
+    // last, partial chunk ever fills early). Every ID in [0, n) is used
+    // exactly once because the chunk capacities sum to n.
+    const uint64_t chunks =
+        (static_cast<uint64_t>(n) + stripe_chunk - 1) / stripe_chunk;
+    std::vector<VertexId> fill(chunks, 0);
+    const auto capacity = [&](uint64_t c) -> VertexId {
+      const uint64_t lo = c * stripe_chunk;
+      return static_cast<VertexId>(std::min<uint64_t>(stripe_chunk, n - lo));
+    };
+    uint64_t c = 0;
+    for (VertexId r = 0; r < n; ++r) {
+      while (fill[c] == capacity(c)) c = (c + 1) % chunks;
+      const VertexId new_id =
+          static_cast<VertexId>(c * stripe_chunk + fill[c]++);
+      out.perm[rank[r]] = new_id;
+      out.inverse[new_id] = rank[r];
+      c = (c + 1) % chunks;
+    }
+  }
+
+  // Rebuild the CSR under the new IDs. Degrees are permutation-invariant,
+  // so offsets come straight from the permuted degree sequence; each list
+  // is remapped and re-sorted so the relabeled graph stays canonical
+  // (ascending adjacency, same as BuildGraph output).
+  std::vector<EdgeIndex> offsets(static_cast<size_t>(n) + 1, 0);
+  for (VertexId new_id = 0; new_id < n; ++new_id) {
+    offsets[new_id + 1] = offsets[new_id] + graph.Degree(out.inverse[new_id]);
+  }
+  std::vector<VertexId> neighbors(graph.NumDirectedEdges());
+  for (VertexId new_id = 0; new_id < n; ++new_id) {
+    EdgeIndex pos = offsets[new_id];
+    for (VertexId u : graph.Neighbors(out.inverse[new_id])) {
+      neighbors[pos++] = out.perm[u];
+    }
+    std::sort(neighbors.begin() + offsets[new_id],
+              neighbors.begin() + offsets[new_id + 1]);
+  }
+  out.graph = CsrGraph(std::move(offsets), std::move(neighbors));
+  return out;
+}
+
+}  // namespace kcore

@@ -24,6 +24,20 @@ struct DecomposeResult {
   }
 };
 
+/// The output of a single-k direct-mining query ("give me the k-core", no
+/// full decomposition): membership of the k-core plus the execution report.
+/// Produced by XiangSingleKCore (CPU) and GpuSingleKCore / SingleKCore.
+struct SingleKCoreResult {
+  /// The k the query was mined for.
+  uint32_t k = 0;
+  /// in_core[v] != 0 iff v belongs to the k-core. Size V.
+  std::vector<uint8_t> in_core;
+  /// The k-core's vertices in ascending ID order (the dense answer most
+  /// callers want; |vertices| vertices are in the core).
+  std::vector<uint32_t> vertices;
+  Metrics metrics;
+};
+
 }  // namespace kcore
 
 #endif  // KCORE_PERF_DECOMPOSE_RESULT_H_

@@ -1,0 +1,241 @@
+// Tests for degree-ordered vertex renumbering (src/graph/renumber.h): the
+// permutation itself (bijection, degree-sorted, edge-preserving), the
+// ToOriginal round trip, and composition with the single- and multi-GPU
+// peeling pipelines — renumbered runs must reproduce the unrenumbered core
+// numbers bit-exactly, including under simcheck and fault injection.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/gpu_peel.h"
+#include "core/multi_gpu_peel.h"
+#include "cpu/naive_ref.h"
+#include "graph/renumber.h"
+#include "test_graphs.h"
+
+namespace kcore {
+namespace {
+
+using testing::FullSuite;
+using testing::NamedGraph;
+
+GpuPeelOptions SmallGeometry(GpuPeelOptions base = {}) {
+  base.num_blocks = 4;
+  base.block_dim = 64;  // 2 warps
+  return base;
+}
+
+sim::DeviceOptions SmallDevice() {
+  sim::DeviceOptions device;
+  device.num_sms = 4;
+  return device;
+}
+
+// ----------------------------------------------------- the permutation ----
+
+TEST(RenumberTest, PermutationIsDegreeSortedBijection) {
+  for (const NamedGraph& g : FullSuite()) {
+    const Renumbering rn = DegreeOrderRenumber(g.graph);
+    const VertexId n = g.graph.NumVertices();
+    ASSERT_EQ(rn.graph.NumVertices(), n) << g.name;
+    ASSERT_EQ(rn.perm.size(), n) << g.name;
+    ASSERT_EQ(rn.inverse.size(), n) << g.name;
+
+    // perm and inverse are mutually inverse bijections on [0, n).
+    std::vector<bool> seen(n, false);
+    for (VertexId v = 0; v < n; ++v) {
+      ASSERT_LT(rn.perm[v], n) << g.name;
+      EXPECT_FALSE(seen[rn.perm[v]]) << g.name;
+      seen[rn.perm[v]] = true;
+      EXPECT_EQ(rn.inverse[rn.perm[v]], v) << g.name;
+    }
+
+    // New IDs are sorted by degree descending, ties by original ID
+    // (stability makes the pass deterministic).
+    for (VertexId new_id = 0; new_id + 1 < n; ++new_id) {
+      const uint32_t d0 = rn.graph.Degree(new_id);
+      const uint32_t d1 = rn.graph.Degree(new_id + 1);
+      EXPECT_GE(d0, d1) << g.name << " at new_id=" << new_id;
+      if (d0 == d1) {
+        EXPECT_LT(rn.inverse[new_id], rn.inverse[new_id + 1])
+            << g.name << " tie at new_id=" << new_id;
+      }
+    }
+  }
+}
+
+TEST(RenumberTest, RelabeledGraphIsIsomorphic) {
+  for (const NamedGraph& g : FullSuite()) {
+    const Renumbering rn = DegreeOrderRenumber(g.graph);
+    for (VertexId v = 0; v < g.graph.NumVertices(); ++v) {
+      // The adjacency of v, pushed through perm, is exactly the adjacency
+      // of perm[v] in the relabeled graph (both kept sorted ascending).
+      std::vector<VertexId> mapped;
+      for (VertexId u : g.graph.Neighbors(v)) mapped.push_back(rn.perm[u]);
+      std::sort(mapped.begin(), mapped.end());
+      const auto relabeled = rn.graph.Neighbors(rn.perm[v]);
+      ASSERT_EQ(mapped.size(), relabeled.size()) << g.name << " v=" << v;
+      EXPECT_TRUE(std::equal(mapped.begin(), mapped.end(), relabeled.begin()))
+          << g.name << " v=" << v;
+    }
+  }
+}
+
+TEST(RenumberTest, ToOriginalRoundTrip) {
+  const NamedGraph g = testing::PaperFigureGraph();
+  const Renumbering rn = DegreeOrderRenumber(g.graph);
+  // An array holding each new ID maps back to perm: out[old] = perm[old].
+  std::vector<VertexId> new_ids(g.graph.NumVertices());
+  for (VertexId v = 0; v < g.graph.NumVertices(); ++v) new_ids[v] = v;
+  EXPECT_EQ(rn.ToOriginal(new_ids), rn.perm);
+}
+
+TEST(RenumberTest, StripedLayoutDealsRanksAcrossChunks) {
+  // The GPU engine stripes at its block_dim so the scan's per-block ID
+  // windows each get a stratified degree sample. Check the layout contract
+  // on a hub-heavy graph: still a bijection, edge-preserving, degrees
+  // non-increasing *within* each chunk (ranks are dealt to a chunk in
+  // increasing order), and the heaviest vertices spread one-per-chunk
+  // instead of packing into chunk 0.
+  const NamedGraph g = testing::FullSuite().back();  // skew-hub roster
+  const uint32_t chunk = 64;
+  const Renumbering rn = DegreeOrderRenumber(g.graph, chunk);
+  const VertexId n = g.graph.NumVertices();
+  ASSERT_GT(n, 2 * chunk);
+  const uint64_t chunks = (n + chunk - 1) / chunk;
+
+  std::vector<bool> seen(n, false);
+  for (VertexId v = 0; v < n; ++v) {
+    ASSERT_LT(rn.perm[v], n);
+    EXPECT_FALSE(seen[rn.perm[v]]);
+    seen[rn.perm[v]] = true;
+    EXPECT_EQ(rn.inverse[rn.perm[v]], v);
+  }
+  for (VertexId id = 0; id + 1 < n; ++id) {
+    if ((id + 1) % chunk == 0) continue;  // chunk boundary
+    EXPECT_GE(rn.graph.Degree(id), rn.graph.Degree(id + 1))
+        << "within-chunk order broken at new_id=" << id;
+  }
+  // Chunk-start IDs hold exactly the `chunks` heaviest ranks, in order.
+  for (uint64_t c = 0; c + 1 < chunks; ++c) {
+    EXPECT_GE(rn.graph.Degree(static_cast<VertexId>(c * chunk)),
+              rn.graph.Degree(static_cast<VertexId>((c + 1) * chunk)))
+        << "chunk-start order broken at chunk " << c;
+  }
+  // Edges survive the relabeling.
+  for (VertexId v = 0; v < n; ++v) {
+    std::vector<VertexId> mapped;
+    for (VertexId u : g.graph.Neighbors(v)) mapped.push_back(rn.perm[u]);
+    std::sort(mapped.begin(), mapped.end());
+    const auto relabeled = rn.graph.Neighbors(rn.perm[v]);
+    ASSERT_EQ(mapped.size(), relabeled.size()) << "v=" << v;
+    EXPECT_TRUE(std::equal(mapped.begin(), mapped.end(), relabeled.begin()))
+        << "v=" << v;
+  }
+}
+
+TEST(RenumberTest, EmptyAndSingleVertexGraphs) {
+  const Renumbering empty = DegreeOrderRenumber(CsrGraph());
+  EXPECT_EQ(empty.graph.NumVertices(), 0u);
+  EXPECT_TRUE(empty.perm.empty());
+
+  const Renumbering one = DegreeOrderRenumber(
+      CsrGraph(std::vector<EdgeIndex>{0, 0}, std::vector<VertexId>{}));
+  EXPECT_EQ(one.graph.NumVertices(), 1u);
+  EXPECT_EQ(one.perm, std::vector<VertexId>{0});
+}
+
+// -------------------------------------------------- pipeline round trip ----
+
+TEST(RenumberPeelTest, GpuRenumberedMatchesUnrenumberedBitExactly) {
+  for (const NamedGraph& g : FullSuite()) {
+    const auto plain =
+        RunGpuPeel(g.graph, SmallGeometry(), SmallDevice());
+    ASSERT_TRUE(plain.ok()) << g.name << ": " << plain.status().ToString();
+    const auto renumbered = RunGpuPeel(
+        g.graph, SmallGeometry().WithRenumber(), SmallDevice());
+    ASSERT_TRUE(renumbered.ok())
+        << g.name << ": " << renumbered.status().ToString();
+    EXPECT_EQ(renumbered->core, plain->core) << g.name;
+    EXPECT_EQ(renumbered->core, RunNaiveReference(g.graph).core) << g.name;
+  }
+}
+
+TEST(RenumberPeelTest, ComposesWithVariantsFusionAndExpand) {
+  // Renumbering is a wrap around the whole pipeline, so it must compose
+  // with the append/SM/VP ablations, scan->compact fusion, and the binned
+  // expansion engine without disturbing the cores.
+  std::vector<GpuPeelOptions> configs;
+  for (const GpuPeelOptions& variant : GpuPeelOptions::AblationVariants()) {
+    configs.push_back(SmallGeometry(variant).WithRenumber());
+  }
+  configs.push_back(SmallGeometry().WithRenumber().WithFusion());
+  {
+    GpuPeelOptions auto_expand =
+        SmallGeometry().WithRenumber().WithExpand(ExpandStrategy::kAuto);
+    auto_expand.block_expand_threshold = 32;
+    configs.push_back(auto_expand);
+  }
+  const NamedGraph hub = testing::FullSuite().back();  // skew-hub roster
+  const std::vector<uint32_t> oracle = RunNaiveReference(hub.graph).core;
+  for (const GpuPeelOptions& options : configs) {
+    auto result = RunGpuPeel(hub.graph, options, SmallDevice());
+    ASSERT_TRUE(result.ok())
+        << options.VariantName() << ": " << result.status().ToString();
+    EXPECT_EQ(result->core, oracle) << options.VariantName();
+  }
+}
+
+TEST(RenumberPeelTest, MultiGpuRenumberedMatchesOracle) {
+  for (const NamedGraph& g : FullSuite()) {
+    MultiGpuOptions options;
+    options.num_workers = 3;
+    options.renumber = true;
+    auto result = RunMultiGpuPeel(g.graph, options);
+    ASSERT_TRUE(result.ok()) << g.name << ": " << result.status().ToString();
+    EXPECT_EQ(result->core, RunNaiveReference(g.graph).core) << g.name;
+  }
+}
+
+TEST(RenumberPeelTest, SimcheckCleanOnRenumberedRun) {
+  sim::DeviceOptions device = SmallDevice();
+  device.check_mode = true;
+  const NamedGraph g = testing::RandomSuite()[0];
+  auto result =
+      RunGpuPeel(g.graph, SmallGeometry().WithRenumber(), device);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->core, RunNaiveReference(g.graph).core);
+}
+
+TEST(RenumberPeelTest, CheckpointRollbackValidatesOnRenumberedGraph) {
+  // A bitflip under renumbering must be detected against the *renumbered*
+  // graph (the wrap hands the inner pipeline a consistent CSR), rolled
+  // back, and the permuted-back cores must still be exact.
+  sim::DeviceOptions device = SmallDevice();
+  device.fault_spec = "bitflip:launch=5,word=0,bit=4";
+  const NamedGraph g = testing::RandomSuite()[0];
+  auto result =
+      RunGpuPeel(g.graph, SmallGeometry().WithRenumber(), device);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->core, RunNaiveReference(g.graph).core);
+  EXPECT_GE(result->metrics.checkpoints_taken, 1u);
+  EXPECT_GE(result->metrics.levels_reexecuted, 1u);
+  EXPECT_FALSE(result->metrics.degraded);
+}
+
+TEST(RenumberPeelTest, DeviceLossDegradesAndStillMapsBack) {
+  // CPU fallback happens inside the wrap, on the renumbered graph; the
+  // combined warm-start cores must come back in original-ID space.
+  sim::DeviceOptions device = SmallDevice();
+  device.fault_spec = "device_lost@launch=6";
+  const NamedGraph g = testing::RandomSuite()[0];
+  auto result =
+      RunGpuPeel(g.graph, SmallGeometry().WithRenumber(), device);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->core, RunNaiveReference(g.graph).core);
+  EXPECT_TRUE(result->metrics.degraded);
+}
+
+}  // namespace
+}  // namespace kcore

@@ -141,6 +141,91 @@ awk -v a="$base_ms" -v b="$warp_ms" 'BEGIN {
   }
 }'
 
+echo "=== release: single-k legs (--k, gpu vs xiang, stacked with simcheck + faults) ==="
+# Direct mining on both engines must agree on the k-core size for every k,
+# from the trivial 1-core through the K12 clique core to past-degeneracy.
+for k in 1 2 5 11 12 40; do
+  gpu_core="$(build/tools/kcore_cli decompose "$expand_graph" gpu "--k=$k" \
+    --simcheck | awk '/^core_size/ {print $2}')"
+  xiang_core="$(build/tools/kcore_cli decompose "$expand_graph" xiang "--k=$k" \
+    | awk '/^core_size/ {print $2}')"
+  if [[ -z "$gpu_core" || "$gpu_core" != "$xiang_core" ]]; then
+    echo "--k=$k: gpu core_size '$gpu_core' != xiang '$xiang_core'" >&2
+    exit 1
+  fi
+done
+# A transient launch failure is retried away without degrading; a dead
+# device degrades to the CPU cascade. Both answers must stay exact.
+retried="$(build/tools/kcore_cli decompose "$expand_graph" gpu --k=5 \
+  '--faults=launch_fail@1' --simcheck)"
+grep -q '^core_size    12$' <<< "$retried" || {
+  echo "--k=5 under a transient launch failure lost the K12 core" >&2; exit 1; }
+grep -q '^degraded            no' <<< "$retried" || {
+  echo "--k=5 degraded on a retryable fault" >&2; exit 1; }
+lost="$(build/tools/kcore_cli decompose "$expand_graph" gpu --k=5 \
+  '--faults=device_lost@launch=1' --simcheck)"
+grep -q '^core_size    12$' <<< "$lost" || {
+  echo "--k=5 after device loss lost the K12 core" >&2; exit 1; }
+grep -q 'answered by CPU xiang' <<< "$lost" || {
+  echo "--k=5 after device loss did not report the CPU fallback" >&2; exit 1; }
+# Malformed queries and unsupported engines are rejected up front.
+for bad in '--k=0' '--k=abc' '--k='; do
+  if build/tools/kcore_cli decompose "$expand_graph" gpu "$bad" 2>/dev/null; then
+    echo "kcore_cli accepted $bad" >&2; exit 1
+  fi
+done
+if build/tools/kcore_cli decompose "$expand_graph" bz --k=2 2>/dev/null; then
+  echo "kcore_cli accepted --k on a full-decomposition-only engine" >&2
+  exit 1
+fi
+
+echo "=== release: renumber legs (gpu + multigpu, stacked with simcheck + faults) ==="
+# Degree-ordered renumbering is a pure relabeling: both engines must land on
+# the flagless k_max/rounds, with simcheck watching and (on gpu) the
+# representative fault plan exercising checkpoint/rollback on the
+# renumbered graph.
+want_sig="$(grep -E '^(k_max|rounds)' <<< "$base_out")"
+for engine in gpu multigpu; do
+  renum_out="$(build/tools/kcore_cli decompose "$expand_graph" "$engine" \
+    --renumber --simcheck)"
+  if [[ "$(grep -E '^(k_max|rounds)' <<< "$renum_out")" != "$want_sig" ]]; then
+    echo "--renumber/$engine diverges from the flagless run" >&2
+    exit 1
+  fi
+  grep -q '^renumber        degree-ordered' <<< "$renum_out" || {
+    echo "--renumber/$engine did not report the renumber section" >&2; exit 1; }
+done
+renum_faulted="$(build/tools/kcore_cli decompose "$expand_graph" gpu \
+  --renumber --simcheck "--faults=$fault_spec")"
+if [[ "$(grep -E '^(k_max|rounds)' <<< "$renum_faulted")" != "$want_sig" ]]; then
+  echo "--renumber under the fault plan diverges from the flagless run" >&2
+  exit 1
+fi
+
+echo "=== release: fused-path drift guard (--fuse) ==="
+# Fusion must not move the results (k_max/rounds identical), must actually
+# cut launches below the unfused two-per-round floor, and must not drift
+# the modeled time upward (same relative tolerance as the warp guard).
+fused_out="$(build/tools/kcore_cli decompose "$expand_graph" gpu --fuse --simcheck)"
+if [[ "$(grep -E '^(k_max|rounds)' <<< "$fused_out")" != "$want_sig" ]]; then
+  echo "--fuse diverges from the flagless run" >&2
+  exit 1
+fi
+fused_rounds="$(awk '/^rounds/ {print $2}' <<< "$fused_out")"
+fused_launches="$(awk '/^kernel_launches/ {print $2}' <<< "$fused_out")"
+if (( fused_launches >= 2 * fused_rounds )); then
+  echo "--fuse did not cut launches: $fused_launches launches over" \
+    "$fused_rounds rounds" >&2
+  exit 1
+fi
+fused_ms="$(awk '/^modeled_ms/ {print $2}' <<< "$fused_out")"
+awk -v a="$base_ms" -v b="$fused_ms" 'BEGIN {
+  if (b > a * 1.10 + 0.005) {
+    printf "--fuse modeled_ms drifted above default: %s vs %s\n", b, a
+    exit 1
+  }
+}'
+
 echo "=== asan: configure + build ==="
 cmake --preset asan
 cmake --build --preset asan -j "$(nproc)"

@@ -6,8 +6,26 @@
 //   kcore_cli hierarchy  <edge_list>            HCD forest summary
 //   kcore_cli extract    <edge_list> <k> <out>  write the k-core's edge list
 //
-// Engines: gpu (default), bz, pkc, pkc-o, park, mpm, vetga, multigpu.
+// Engines: gpu (default), bz, pkc, pkc-o, park, mpm, vetga, multigpu; plus
+// xiang (single-k queries only, see --k below).
 // Edge lists are SNAP-style text; IDs are recoded densely.
+//
+// --k=<K> (decompose, gpu/xiang engines): direct single-k core mining — the
+// K-core's membership without a full decomposition. gpu runs one scan+loop
+// kernel pair on the simulated device (src/core/gpu_peel.h GpuSingleKCore);
+// xiang is the sort-free linear CPU algorithm (src/cpu/xiang.h). Composes
+// with --simcheck, --faults, --expand, --renumber, --trace/--prof-summary
+// on the gpu engine.
+//
+// --renumber (decompose, gpu/multigpu engines): degree-ordered vertex
+// renumbering before peeling (src/graph/renumber.h) — core numbers are
+// mapped back to the original IDs, so the output is unchanged; the run
+// prints the loop imbalance the reordering is meant to shrink.
+//
+// --fuse (decompose, gpu engine): fuse the per-round scan and active-list
+// compaction into one kernel launch and skip loop launches on empty
+// k-shells (GpuPeelOptions::fuse_scan_compact); prints the launch counters
+// the fusion is meant to cut.
 //
 // --simcheck (decompose, GPU engines only): runs the engine with the
 // simulated-device sanitizer enabled (memcheck/initcheck/racecheck/
@@ -40,6 +58,7 @@
 #include "common/strings.h"
 #include "core/gpu_peel.h"
 #include "core/multi_gpu_peel.h"
+#include "core/single_k.h"
 #include "cpu/bz.h"
 #include "cpu/mpm.h"
 #include "cpu/park.h"
@@ -58,11 +77,39 @@ int Usage() {
                "usage: kcore_cli <stats|decompose|shells|hierarchy|extract> "
                "<edge_list> [args]\n"
                "  decompose <edge_list> [gpu|bz|pkc|pkc-o|park|mpm|vetga|"
-               "multigpu] [--simcheck] [--faults=<spec>]\n"
-               "            [--expand=<thread|warp|block|auto>] "
-               "[--trace=<out.json>] [--prof-summary]\n"
+               "multigpu|xiang] [--simcheck] [--faults=<spec>]\n"
+               "            [--expand=<thread|warp|block|auto>] [--k=<K>] "
+               "[--renumber] [--fuse]\n"
+               "            [--trace=<out.json>] [--prof-summary]\n"
                "  extract   <edge_list> <k> <output_edge_list>\n");
   return 2;
+}
+
+/// Strict parse of the --k flag value: digits only, value >= 1. Errors carry
+/// the offending token in the same InvalidArgument context style as the
+/// graph loader's.
+StatusOr<uint32_t> ParseK(const std::string& raw) {
+  if (raw.empty()) {
+    return Status::InvalidArgument("--k=: empty k token (want --k=<K>, K >= 1)");
+  }
+  uint64_t value = 0;
+  for (char ch : raw) {
+    if (ch < '0' || ch > '9') {
+      return Status::InvalidArgument(
+          StrFormat("--k=%s: non-numeric k token: '%s'", raw.c_str(),
+                    raw.c_str()));
+    }
+    value = value * 10 + static_cast<uint64_t>(ch - '0');
+    if (value > 0xFFFFFFFFull) {
+      return Status::InvalidArgument(
+          StrFormat("--k=%s: k token overflows uint32", raw.c_str()));
+    }
+  }
+  if (value < 1) {
+    return Status::InvalidArgument(StrFormat(
+        "--k=%s: k must be >= 1 (the 0-core is every vertex)", raw.c_str()));
+  }
+  return static_cast<uint32_t>(value);
 }
 
 StatusOr<BuiltGraph> Load(const char* path) {
@@ -73,9 +120,21 @@ StatusOr<BuiltGraph> Load(const char* path) {
 StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
                                     const std::string& engine, bool simcheck,
                                     const std::string& faults,
-                                    const std::string& expand,
-                                    const std::string& trace_path,
+                                    const std::string& expand, bool renumber,
+                                    bool fuse, const std::string& trace_path,
                                     bool prof_summary, std::string* summary) {
+  if (engine == "xiang") {
+    return Status::InvalidArgument(
+        "engine xiang answers single-k queries only; pass --k=<K>");
+  }
+  if (renumber && engine != "gpu" && engine != "multigpu") {
+    return Status::InvalidArgument(
+        "--renumber only applies to the peeling GPU engines (gpu, multigpu)");
+  }
+  if (fuse && engine != "gpu") {
+    return Status::InvalidArgument(
+        "--fuse only applies to the gpu engine (scan->compact kernel fusion)");
+  }
   if (simcheck && engine != "gpu" && engine != "vetga" &&
       engine != "multigpu") {
     return Status::InvalidArgument(
@@ -118,6 +177,8 @@ StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
     device_options.profile = profiling;
     GpuPeelOptions options;
     options.expand_strategy = expand_strategy;
+    options.renumber = renumber;
+    options.fuse_scan_compact = fuse;
     sim::Device device(device_options);
     GpuPeelDecomposer decomposer(&device, options);
     auto result = decomposer.Decompose(graph);
@@ -151,6 +212,7 @@ StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
     options.worker_device.check_mode = simcheck;
     options.worker_device.fault_spec = faults;
     options.expand_strategy = expand_strategy;
+    options.renumber = renumber;
     Trace trace;
     if (profiling) options.trace = &trace;
     auto result = RunMultiGpuPeel(graph, options);
@@ -160,6 +222,56 @@ StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
     return result;
   }
   return Status::InvalidArgument("unknown engine: " + engine);
+}
+
+/// Routes a --k single-k query through the SingleKCore entry point
+/// (src/core/single_k.h). gpu composes with the device flags; xiang is pure
+/// CPU and rejects them.
+StatusOr<SingleKCoreResult> SingleK(const CsrGraph& graph,
+                                    const std::string& engine, uint32_t k,
+                                    bool simcheck, const std::string& faults,
+                                    const std::string& expand, bool renumber,
+                                    const std::string& trace_path,
+                                    bool prof_summary, std::string* summary) {
+  if (engine != "gpu" && engine != "xiang") {
+    return Status::InvalidArgument(
+        "--k single-k mining supports the gpu and xiang engines only (got " +
+        engine + ")");
+  }
+  if (engine == "xiang") {
+    if (simcheck || !faults.empty() || !expand.empty() || renumber ||
+        !trace_path.empty() || prof_summary) {
+      return Status::InvalidArgument(
+          "device flags (--simcheck/--faults/--expand/--renumber/--trace/"
+          "--prof-summary) do not apply to the xiang CPU engine");
+    }
+    SingleKOptions options;
+    options.engine = SingleKEngine::kCpu;
+    return SingleKCore(graph, k, options);
+  }
+  SingleKOptions options;
+  options.engine = SingleKEngine::kGpu;
+  options.gpu.renumber = renumber;
+  if (!expand.empty() &&
+      !ParseExpandStrategy(expand, &options.gpu.expand_strategy)) {
+    return Status::InvalidArgument("unknown --expand strategy: " + expand +
+                                   " (want thread|warp|block|auto)");
+  }
+  sim::DeviceOptions device_options;
+  device_options.check_mode = simcheck;
+  device_options.fault_spec = faults;
+  device_options.profile = !trace_path.empty() || prof_summary;
+  sim::Device device(device_options);
+  options.device = &device;
+  auto result = SingleKCore(graph, k, options);
+  if (result.ok() && device.profiler() != nullptr) {
+    const Trace& trace = device.profiler()->trace();
+    if (!trace_path.empty()) {
+      KCORE_RETURN_IF_ERROR(trace.WriteChromeTrace(trace_path));
+    }
+    if (prof_summary) *summary = trace.KernelSummaryTable();
+  }
+  return result;
 }
 
 int CmdStats(const CsrGraph& graph) {
@@ -175,11 +287,11 @@ int CmdStats(const CsrGraph& graph) {
 
 int CmdDecompose(const CsrGraph& graph, const std::string& engine,
                  bool simcheck, const std::string& faults,
-                 const std::string& expand, const std::string& trace_path,
-                 bool prof_summary) {
+                 const std::string& expand, bool renumber, bool fuse,
+                 const std::string& trace_path, bool prof_summary) {
   std::string summary;
-  auto result = Decompose(graph, engine, simcheck, faults, expand, trace_path,
-                          prof_summary, &summary);
+  auto result = Decompose(graph, engine, simcheck, faults, expand, renumber,
+                          fuse, trace_path, prof_summary, &summary);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
@@ -190,6 +302,20 @@ int CmdDecompose(const CsrGraph& graph, const std::string& engine,
               result->metrics.modeled_ms, result->metrics.wall_ms,
               HumanBytes(result->metrics.peak_device_bytes).c_str());
   if (simcheck) std::printf("simcheck     clean\n");
+  if (renumber) {
+    std::printf("--- renumber ---\n"
+                "renumber        degree-ordered\n"
+                "loop_imbalance  %.3f\n",
+                result->metrics.loop_imbalance);
+  }
+  if (fuse) {
+    const PerfCounters& c = result->metrics.counters;
+    std::printf("--- fusion ---\n"
+                "kernel_launches %llu\n"
+                "compactions     %llu\n",
+                static_cast<unsigned long long>(c.kernel_launches),
+                static_cast<unsigned long long>(c.compactions));
+  }
   if (!expand.empty()) {
     const PerfCounters& c = result->metrics.counters;
     std::printf("--- expansion ---\n"
@@ -217,6 +343,43 @@ int CmdDecompose(const CsrGraph& graph, const std::string& engine,
                 m.retries, m.checkpoints_taken, m.levels_reexecuted,
                 m.devices_lost, m.cpu_fallback_levels, m.recovery_ms,
                 m.degraded ? "yes (finished on CPU warm-start)" : "no");
+  }
+  if (!trace_path.empty()) std::printf("trace        %s\n", trace_path.c_str());
+  if (prof_summary) {
+    std::printf("--- kernel summary ---\n%s", summary.c_str());
+  }
+  return 0;
+}
+
+int CmdSingleK(const CsrGraph& graph, const std::string& engine, uint32_t k,
+               bool simcheck, const std::string& faults,
+               const std::string& expand, bool renumber,
+               const std::string& trace_path, bool prof_summary) {
+  std::string summary;
+  auto result = SingleK(graph, engine, k, simcheck, faults, expand, renumber,
+                        trace_path, prof_summary, &summary);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("engine       %s\nk            %u\ncore_size    %s\n"
+              "modeled_ms   %.3f\nwall_ms      %.3f\npeak_device  %s\n",
+              engine.c_str(), result->k,
+              WithCommas(result->vertices.size()).c_str(),
+              result->metrics.modeled_ms, result->metrics.wall_ms,
+              HumanBytes(result->metrics.peak_device_bytes).c_str());
+  if (simcheck) std::printf("simcheck     clean\n");
+  if (!faults.empty()) {
+    const Metrics& m = result->metrics;
+    std::printf("--- recovery summary ---\n"
+                "retries             %u\n"
+                "devices_lost        %u\n"
+                "cpu_fallback_levels %u\n"
+                "recovery_ms         %.3f\n"
+                "degraded            %s\n",
+                m.retries, m.devices_lost, m.cpu_fallback_levels,
+                m.recovery_ms,
+                m.degraded ? "yes (answered by CPU xiang)" : "no");
   }
   if (!trace_path.empty()) std::printf("trace        %s\n", trace_path.c_str());
   if (prof_summary) {
@@ -285,10 +448,14 @@ int CmdExtract(const BuiltGraph& built, uint32_t k, const char* out_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Extract the --simcheck, --faults, --expand, --trace and --prof-summary
-  // flags wherever they appear.
+  // Extract the --simcheck, --faults, --expand, --k, --renumber, --fuse,
+  // --trace and --prof-summary flags wherever they appear.
   bool simcheck = false;
   bool prof_summary = false;
+  bool renumber = false;
+  bool fuse = false;
+  bool have_k = false;
+  std::string k_token;
   std::string faults;
   std::string expand;
   std::string trace_path;
@@ -298,6 +465,13 @@ int main(int argc, char** argv) {
       simcheck = true;
     } else if (std::strcmp(argv[i], "--prof-summary") == 0) {
       prof_summary = true;
+    } else if (std::strcmp(argv[i], "--renumber") == 0) {
+      renumber = true;
+    } else if (std::strcmp(argv[i], "--fuse") == 0) {
+      fuse = true;
+    } else if (std::strncmp(argv[i], "--k=", 4) == 0) {
+      have_k = true;
+      k_token = argv[i] + 4;
     } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
       faults = argv[i] + 9;
     } else if (std::strncmp(argv[i], "--expand=", 9) == 0) {
@@ -321,8 +495,25 @@ int main(int argc, char** argv) {
 
   if (command == "stats") return CmdStats(built->graph);
   if (command == "decompose") {
-    return CmdDecompose(built->graph, argc > 3 ? argv[3] : "gpu", simcheck,
-                        faults, expand, trace_path, prof_summary);
+    const std::string engine = argc > 3 ? argv[3] : "gpu";
+    if (have_k) {
+      auto k = ParseK(k_token);
+      if (!k.ok()) {
+        std::fprintf(stderr, "%s\n", k.status().ToString().c_str());
+        return 1;
+      }
+      if (fuse) {
+        std::fprintf(stderr,
+                     "InvalidArgument: --fuse applies to the full "
+                     "decomposition only (single-k mining has no per-round "
+                     "scan/compact pair to fuse)\n");
+        return 1;
+      }
+      return CmdSingleK(built->graph, engine, *k, simcheck, faults, expand,
+                        renumber, trace_path, prof_summary);
+    }
+    return CmdDecompose(built->graph, engine, simcheck, faults, expand,
+                        renumber, fuse, trace_path, prof_summary);
   }
   if (command == "shells") return CmdShells(built->graph);
   if (command == "hierarchy") return CmdHierarchy(built->graph);
