@@ -13,6 +13,7 @@
 #include "core/resilience.h"
 #include "cpu/pkc.h"
 #include "cpu/xiang.h"
+#include "cusim/annotations.h"
 #include "cusim/atomics.h"
 #include "cusim/warp_scan.h"
 #include "graph/renumber.h"
@@ -73,7 +74,7 @@ struct KernelCtx {
 /// counters parameter here (and in the kernels below) is `auto&`: the
 /// concrete type — PerfCounters or CheckedPerfCounters — selects the
 /// matching accessor overloads in atomics.h.
-class BlockBuffer {
+class KCORE_KERNEL BlockBuffer {
  public:
   BlockBuffer(const KernelCtx& ctx, auto& block, VertexId* shared_b,
               uint64_t e_init)
@@ -134,7 +135,7 @@ class BlockBuffer {
 // Scan kernel (Algorithm 2): collect degree-k vertices into buf[block].
 // ---------------------------------------------------------------------------
 
-void ScanKernel(const KernelCtx& ctx, uint32_t k, auto& block) {
+KCORE_KERNEL void ScanKernel(const KernelCtx& ctx, uint32_t k, auto& block) {
   auto& c = block.counters();
   // Line 1: thread 0 zeroes e. (`template` keyword: block's type is a
   // template parameter, so the member template call needs the disambiguator.)
@@ -279,7 +280,7 @@ void ScanKernel(const KernelCtx& ctx, uint32_t k, auto& block) {
 /// unpeeled vertex has deg >= k at the start of round k — so the filter
 /// keeps exactly the unpeeled vertices and the new array stays a superset
 /// of every later round's survivors until the next rebuild.
-void CompactKernel(const KernelCtx& ctx, uint32_t k, auto& block) {
+KCORE_KERNEL void CompactKernel(const KernelCtx& ctx, uint32_t k, auto& block) {
   auto& c = block.counters();
   if (block.block_id() == 0) ++c.compactions;
 
@@ -339,7 +340,8 @@ void CompactKernel(const KernelCtx& ctx, uint32_t k, auto& block) {
 /// has degree > k (§IV-B), so the next round's sweep domain is still a
 /// superset of its survivors, and one round tighter than what the unfused
 /// threshold rebuild keeps.
-void FusedScanCompactKernel(const KernelCtx& ctx, uint32_t k, auto& block) {
+KCORE_KERNEL void FusedScanCompactKernel(const KernelCtx& ctx, uint32_t k,
+                                         auto& block) {
   auto& c = block.counters();
   auto* e = block.template SharedAlloc<uint64_t>(1);
   block.Sync();
@@ -429,8 +431,9 @@ void FusedScanCompactKernel(const KernelCtx& ctx, uint32_t k, auto& block) {
 
 /// Lines 13-24: one warp processes vertex v's adjacency list in 32-neighbor
 /// chunks, decrementing degrees and appending new k-shell vertices.
-void ProcessVertex(const KernelCtx& ctx, uint32_t k, const BlockBuffer& buf,
-                   uint64_t* e, const uint64_t* s, WarpCtx& warp,
+KCORE_KERNEL void ProcessVertex(const KernelCtx& ctx, uint32_t k,
+                                const BlockBuffer& buf, uint64_t* e,
+                                const uint64_t* s, WarpCtx& warp,
                    VertexId v, auto& c) {
   uint64_t pos_s = GlobalLoad(&ctx.offsets[v], c);  // Line 13.
   const uint64_t pos_e = GlobalLoad(&ctx.offsets[v + 1], c);
@@ -503,8 +506,9 @@ void ProcessVertex(const KernelCtx& ctx, uint32_t k, const BlockBuffer& buf,
 /// private adjacencies advance in lockstep, which keeps Case-2 appends
 /// batchable through the warp ballot scan each step — the same append
 /// discipline as ProcessVertex, just transposed.
-void ProcessThreadBin(const KernelCtx& ctx, uint32_t k, const BlockBuffer& buf,
-                      uint64_t* e, const uint64_t* s, WarpCtx& warp,
+KCORE_KERNEL void ProcessThreadBin(const KernelCtx& ctx, uint32_t k,
+                                   const BlockBuffer& buf, uint64_t* e,
+                                   const uint64_t* s, WarpCtx& warp,
                       const VertexId verts[kWarpSize], uint32_t count,
                       auto& c) {
   uint64_t pos[kWarpSize];
@@ -586,8 +590,9 @@ struct BlockExpandScratch {
 /// on entry (all warps arrive; earlier scratch readers are done), then only
 /// batches that actually appended run the scan and its trailing barrier —
 /// append-free batches ride the entry barrier's ordering for free.
-void ProcessBlockBin(const KernelCtx& ctx, uint32_t k, const BlockBuffer& buf,
-                     uint64_t* e, const uint64_t* s, auto& block, VertexId v,
+KCORE_KERNEL void ProcessBlockBin(const KernelCtx& ctx, uint32_t k,
+                                  const BlockBuffer& buf, uint64_t* e,
+                                  const uint64_t* s, auto& block, VertexId v,
                      BlockExpandScratch& scratch, auto& c) {
   const uint64_t pos_s = GlobalLoad(&ctx.offsets[v], c);
   const uint64_t pos_e = GlobalLoad(&ctx.offsets[v + 1], c);
@@ -654,8 +659,9 @@ struct ExpandShared {
 /// ballot-compacted into the shared block list and swept cooperatively
 /// after one barrier — windows without hubs pay no classification barrier
 /// at all.
-void ExpandWindow(const KernelCtx& ctx, uint32_t k, const BlockBuffer& buf,
-                  uint64_t* e, const uint64_t* s, auto& block,
+KCORE_KERNEL void ExpandWindow(const KernelCtx& ctx, uint32_t k,
+                               const BlockBuffer& buf, uint64_t* e,
+                               const uint64_t* s, auto& block,
                   const ExpandShared& sh, BlockExpandScratch& scratch,
                   auto&& item, uint64_t count, auto& c) {
   if (count == 0) return;
@@ -791,8 +797,8 @@ void ExpandWindow(const KernelCtx& ctx, uint32_t k, const BlockBuffer& buf,
 /// small-degree frontiers the barrier-dominated iteration count drops by
 /// ~num_warps while the expansion engine spreads whatever the window holds
 /// across lane, warp, and block granularity.
-void LoopKernelBinned(const KernelCtx& ctx, uint32_t k,
-                      bool vertex_prefetching, auto& block) {
+KCORE_KERNEL void LoopKernelBinned(const KernelCtx& ctx, uint32_t k,
+                                   bool vertex_prefetching, auto& block) {
   auto& c = block.counters();
   const uint32_t num_warps = block.num_warps();
   const uint32_t dim = block.block_dim();
@@ -881,8 +887,8 @@ void LoopKernelBinned(const KernelCtx& ctx, uint32_t k,
   AtomicAdd(ctx.gpu_count, *e, c);
 }
 
-void LoopKernel(const KernelCtx& ctx, uint32_t k, bool vertex_prefetching,
-                auto& block) {
+KCORE_KERNEL void LoopKernel(const KernelCtx& ctx, uint32_t k,
+                             bool vertex_prefetching, auto& block) {
   auto& c = block.counters();
   const uint32_t num_warps = block.num_warps();
 

@@ -31,7 +31,7 @@ class GpuPeelDecomposer {
   ///  - CapacityExceeded if a block buffer overflows (non-ring, or ring
   ///    backlog beyond capacity) — the failure the paper's §VII notes as the
   ///    current limitation.
-  StatusOr<DecomposeResult> Decompose(const CsrGraph& graph);
+  [[nodiscard]] StatusOr<DecomposeResult> Decompose(const CsrGraph& graph);
 
  private:
   sim::Device* device_;
@@ -40,7 +40,7 @@ class GpuPeelDecomposer {
 
 /// One-shot convenience: creates a device with `device_options` and runs the
 /// decomposition with `options`.
-StatusOr<DecomposeResult> RunGpuPeel(const CsrGraph& graph,
+[[nodiscard]] StatusOr<DecomposeResult> RunGpuPeel(const CsrGraph& graph,
                                      const GpuPeelOptions& options = {},
                                      const sim::DeviceOptions& device_options = {});
 
@@ -56,13 +56,13 @@ StatusOr<DecomposeResult> RunGpuPeel(const CsrGraph& graph,
 /// CapacityExceeded on frontier-buffer overflow, or — under an attached
 /// fault plan with resilience enabled — degrades to the CPU algorithm
 /// (Metrics.degraded) when the device is lost.
-StatusOr<SingleKCoreResult> GpuSingleKCore(const CsrGraph& graph, uint32_t k,
+[[nodiscard]] StatusOr<SingleKCoreResult> GpuSingleKCore(const CsrGraph& graph, uint32_t k,
                                            const GpuPeelOptions& options,
                                            sim::Device* device);
 
 /// One-shot convenience: creates a device with `device_options` and mines
 /// the k-core with `options`.
-StatusOr<SingleKCoreResult> RunGpuSingleKCore(
+[[nodiscard]] StatusOr<SingleKCoreResult> RunGpuSingleKCore(
     const CsrGraph& graph, uint32_t k, const GpuPeelOptions& options = {},
     const sim::DeviceOptions& device_options = {});
 

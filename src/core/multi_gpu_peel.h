@@ -78,7 +78,7 @@ struct MultiGpuOptions {
 ///  - metrics.rounds     = peeling rounds (k_max + 1),
 ///  - metrics.iterations = total sub-rounds (border-synchronization steps),
 ///  - metrics.peak_device_bytes = max over workers (per-GPU footprint).
-StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
+[[nodiscard]] StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
                                           const MultiGpuOptions& options = {});
 
 }  // namespace kcore

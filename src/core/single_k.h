@@ -44,7 +44,7 @@ struct SingleKOptions {
 /// filtering). Fails with InvalidArgument for k < 1; GPU-path failures
 /// surface as in GpuSingleKCore. The CPU path honors gpu.renumber trivially
 /// (membership is label-invariant, so it never relabels).
-StatusOr<SingleKCoreResult> SingleKCore(const CsrGraph& graph, uint32_t k,
+[[nodiscard]] StatusOr<SingleKCoreResult> SingleKCore(const CsrGraph& graph, uint32_t k,
                                         const SingleKOptions& options = {});
 
 }  // namespace kcore

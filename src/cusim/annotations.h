@@ -1,0 +1,50 @@
+#ifndef KCORE_CUSIM_ANNOTATIONS_H_
+#define KCORE_CUSIM_ANNOTATIONS_H_
+
+/// Source annotations anchoring the simlint static analyzer (tools/simlint)
+/// to the cusim kernel DSL. They are the simulated-device analogues of CUDA's
+/// __global__ / __host__ execution-space qualifiers: cusim kernels are plain
+/// C++ lambdas and functions, so nothing in the type system records which
+/// code runs "on device" (under a Launch, against the modeled clock) versus
+/// on the host (driving thread). These macros record that contract where the
+/// compiler can see it, and simlint enforces it:
+///
+///   KCORE_KERNEL     — function executes inside a kernel (called from a
+///                      Device::Launch lambda, directly or transitively).
+///                      simlint applies the device-side rules to its body:
+///                      sync-divergence, cross-block-race, host-confinement.
+///   KCORE_HOST_ONLY  — method/function must only be called from the host
+///                      (driving) thread, never from kernel code: Alloc,
+///                      Launch, clock readers, graph IO. The device.h
+///                      "thread compatibility" prose, made machine-checkable.
+///   KCORE_OBSERVER   — zero-cost-off observer code (simprof / simcheck /
+///                      trace hooks). Must not mutate charged PerfCounters
+///                      fields, the modeled clock, or call CostModel charging
+///                      paths — simlint's modeled-clock-purity rule statically
+///                      enforces the "profiled run is bit-identical to an
+///                      unprofiled one" invariant that trace_test asserts
+///                      dynamically.
+///
+/// Under clang the macros also expand to `annotate` attributes so a future
+/// LibTooling frontend (tools/simlint/frontend_clang.cc) can find the same
+/// anchors in the AST; under gcc they expand to nothing and cost nothing.
+/// simlint's built-in frontend keys on the literal macro names, so analysis
+/// works identically under either compiler.
+///
+/// Suppressions: a finding may be silenced in place with
+///   // simlint:allow(<rule>): reason
+/// on the offending line or on a comment-only line directly above it.
+/// Unused suppressions are themselves findings (stale-suppression), so
+/// silenced exceptions cannot outlive the code they excuse.
+
+#if defined(__clang__)
+#define KCORE_KERNEL __attribute__((annotate("kcore_kernel")))
+#define KCORE_HOST_ONLY __attribute__((annotate("kcore_host_only")))
+#define KCORE_OBSERVER __attribute__((annotate("kcore_observer")))
+#else
+#define KCORE_KERNEL
+#define KCORE_HOST_ONLY
+#define KCORE_OBSERVER
+#endif
+
+#endif  // KCORE_CUSIM_ANNOTATIONS_H_

@@ -13,6 +13,7 @@
 #include "common/check.h"
 #include "common/statusor.h"
 #include "common/thread_pool.h"
+#include "cusim/annotations.h"
 #include "cusim/block.h"
 #include "cusim/fault_injection.h"
 #include "cusim/simcheck.h"
@@ -61,10 +62,10 @@ class DeviceArray {
   /// cudaMemcpy host->device. `host.size()` must not exceed size(). Fails
   /// with Unavailable (transient, retryable) or DeviceLost when the device's
   /// fault plan says so; no byte moves on failure.
-  Status CopyFromHost(std::span<const T> host);
+  [[nodiscard]] KCORE_HOST_ONLY Status CopyFromHost(std::span<const T> host);
   /// cudaMemcpy device->host. `host.size()` must not exceed size(). Failure
   /// semantics as CopyFromHost.
-  Status CopyToHost(std::span<T> host) const;
+  [[nodiscard]] KCORE_HOST_ONLY Status CopyToHost(std::span<T> host) const;
 
   /// Frees the allocation (cudaFree analogue). Safe to call repeatedly, and
   /// safe after the owning Device is gone (the accounting update is skipped;
@@ -171,7 +172,8 @@ class Device {
   /// Allocates `count` zero-initialized elements of device memory. `label`
   /// names the allocation in simcheck reports.
   template <typename U>
-  StatusOr<DeviceArray<U>> Alloc(size_t count, const char* label = "") {
+  [[nodiscard]] KCORE_HOST_ONLY StatusOr<DeviceArray<U>> Alloc(
+      size_t count, const char* label = "") {
     KCORE_RETURN_IF_ERROR(OnAllocAttempt<U>(label, count));
     KCORE_RETURN_IF_ERROR(Reserve<U>(count));
     auto data = std::make_unique<U[]>(count);
@@ -190,7 +192,8 @@ class Device {
   /// contents are garbage). For buffers the kernels fully overwrite before
   /// reading — skipping the O(bytes) zeroing memset of Alloc.
   template <typename U>
-  StatusOr<DeviceArray<U>> AllocUninit(size_t count, const char* label = "") {
+  [[nodiscard]] KCORE_HOST_ONLY StatusOr<DeviceArray<U>> AllocUninit(
+      size_t count, const char* label = "") {
     static_assert(std::is_trivially_default_constructible_v<U>,
                   "AllocUninit requires a trivially constructible type");
     KCORE_RETURN_IF_ERROR(OnAllocAttempt<U>(label, count));
@@ -219,14 +222,18 @@ class Device {
   /// attempt) or DeviceLost when a fault plan says so; a failed launch is
   /// fail-stop: no block runs, no counter advances, no bitflip applies.
   template <typename Kernel>
-  Status Launch(uint32_t num_blocks, uint32_t block_dim, Kernel&& kernel) {
+  [[nodiscard]] KCORE_HOST_ONLY Status Launch(uint32_t num_blocks,
+                                              uint32_t block_dim,
+                                              Kernel&& kernel) {
     return Launch(num_blocks, block_dim, "kernel",
                   std::forward<Kernel>(kernel));
   }
 
   /// As above; `label` names the kernel in simcheck reports.
   template <typename Kernel>
-  Status Launch(uint32_t num_blocks, uint32_t block_dim, const char* label,
+  [[nodiscard]] KCORE_HOST_ONLY Status Launch(uint32_t num_blocks,
+                                              uint32_t block_dim,
+                                              const char* label,
                 Kernel&& kernel) {
     KCORE_CHECK_GT(num_blocks, 0u);
     KCORE_RETURN_IF_ERROR(fault_error_);
@@ -268,7 +275,8 @@ class Device {
   /// static data. No-op without a fault plan; deregistration happens
   /// automatically when the array is freed.
   template <typename U>
-  void MarkCorruptible(DeviceArray<U>& arr, const char* label) {
+  KCORE_HOST_ONLY void MarkCorruptible(DeviceArray<U>& arr,
+                                       const char* label) {
     if (faults_ == nullptr || arr.empty()) return;
     corruptible_.push_back({arr.data(), arr.size() * sizeof(U), label});
   }
@@ -278,7 +286,8 @@ class Device {
   /// domain (so device_lost@launch=N schedules fire at sub-round
   /// granularity) and reports the latched lost state. Unavailable from a
   /// probe is transient noise; DeviceLost is terminal.
-  Status HealthCheck(const char* label = "health_check") {
+  [[nodiscard]] KCORE_HOST_ONLY Status HealthCheck(
+      const char* label = "health_check") {
     KCORE_RETURN_IF_ERROR(fault_error_);
     if (faults_ == nullptr) return Status::OK();
     Status probe = faults_->OnLaunch(label);
@@ -358,7 +367,7 @@ class Device {
   const PerfCounters& totals() const { return totals_; }
 
   /// Resets the clock and counters (not the memory watermark).
-  void ResetClock() {
+  KCORE_HOST_ONLY void ResetClock() {
     modeled_ns_ = 0.0;
     transfer_ns_ = 0.0;
     totals_ = PerfCounters();
@@ -367,7 +376,7 @@ class Device {
   /// The simcheck verdict so far: OK when checking is off or no violation
   /// was detected, FailedPrecondition with the report otherwise. Checked
   /// runners call this before returning their result.
-  Status CheckStatus() const {
+  [[nodiscard]] KCORE_HOST_ONLY Status CheckStatus() const {
     return checker_ != nullptr ? checker_->report().ToStatus() : Status::OK();
   }
 
@@ -382,7 +391,7 @@ class Device {
 
   /// Exports the profiler's trace as chrome://tracing JSON (load in
   /// Perfetto). FailedPrecondition when profiling is off.
-  Status WriteTrace(const std::string& path) const {
+  [[nodiscard]] KCORE_HOST_ONLY Status WriteTrace(const std::string& path) const {
     if (profiler_ == nullptr) {
       return Status::FailedPrecondition(
           "no trace recorded: enable DeviceOptions::profile or KCORE_TRACE");

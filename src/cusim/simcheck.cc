@@ -111,7 +111,7 @@ std::string CheckViolation::ToString() const {
   return out;
 }
 
-std::string CheckReport::ToString() const {
+KCORE_OBSERVER std::string CheckReport::ToString() const {
   if (clean()) return "simcheck: clean";
   std::string out = StrFormat(
       "simcheck: %llu violation(s) (memcheck=%llu initcheck=%llu "
@@ -133,12 +133,12 @@ std::string CheckReport::ToString() const {
   return out;
 }
 
-Status CheckReport::ToStatus() const {
+KCORE_OBSERVER Status CheckReport::ToStatus() const {
   if (clean()) return Status::OK();
   return Status::FailedPrecondition(ToString());
 }
 
-void SimChecker::RegisterAlloc(const void* ptr, uint64_t bytes,
+KCORE_OBSERVER void SimChecker::RegisterAlloc(const void* ptr, uint64_t bytes,
                                bool zero_initialized, const char* label) {
   Allocation alloc;
   alloc.start = reinterpret_cast<uintptr_t>(ptr);
@@ -153,11 +153,11 @@ void SimChecker::RegisterAlloc(const void* ptr, uint64_t bytes,
   allocations_[alloc.start] = std::move(alloc);
 }
 
-void SimChecker::UnregisterAlloc(const void* ptr) {
+KCORE_OBSERVER void SimChecker::UnregisterAlloc(const void* ptr) {
   allocations_.erase(reinterpret_cast<uintptr_t>(ptr));
 }
 
-void SimChecker::OnHostWrite(const void* ptr, uint64_t bytes) {
+KCORE_OBSERVER void SimChecker::OnHostWrite(const void* ptr, uint64_t bytes) {
   if (bytes == 0) return;
   Allocation* alloc = FindAllocation(reinterpret_cast<uintptr_t>(ptr));
   if (alloc == nullptr) return;
@@ -171,7 +171,7 @@ void SimChecker::OnHostWrite(const void* ptr, uint64_t bytes) {
   }
 }
 
-void SimChecker::OnHostRead(const void* ptr, uint64_t bytes) {
+KCORE_OBSERVER void SimChecker::OnHostRead(const void* ptr, uint64_t bytes) {
   if (bytes == 0) return;
   Allocation* alloc = FindAllocation(reinterpret_cast<uintptr_t>(ptr));
   if (alloc == nullptr) return;
@@ -190,12 +190,12 @@ void SimChecker::OnHostRead(const void* ptr, uint64_t bytes) {
   }
 }
 
-void SimChecker::BeginLaunch(const char* label) {
+KCORE_OBSERVER void SimChecker::BeginLaunch(const char* label) {
   ++epoch_;
   kernel_ = label == nullptr ? "" : label;
 }
 
-void SimChecker::OnDeviceDestroyed() {
+KCORE_OBSERVER void SimChecker::OnDeviceDestroyed() {
   for (const auto& [start, alloc] : allocations_) {
     CheckViolation v;
     v.kind = CheckKind::kLeak;
@@ -208,7 +208,7 @@ void SimChecker::OnDeviceDestroyed() {
   allocations_.clear();
 }
 
-SimChecker::Allocation* SimChecker::FindAllocation(uintptr_t addr) {
+KCORE_OBSERVER SimChecker::Allocation* SimChecker::FindAllocation(uintptr_t addr) {
   auto it = allocations_.upper_bound(addr);
   if (it == allocations_.begin()) return nullptr;
   --it;
@@ -217,7 +217,7 @@ SimChecker::Allocation* SimChecker::FindAllocation(uintptr_t addr) {
   return &alloc;
 }
 
-bool SimChecker::CheckGlobalAccess(const CheckedBlockCtx& block, const void* addr,
+KCORE_OBSERVER bool SimChecker::CheckGlobalAccess(const CheckedBlockCtx& block, const void* addr,
                                    uint64_t bytes, CheckAccess access) {
   const uintptr_t a = reinterpret_cast<uintptr_t>(addr);
   Allocation* alloc = FindAllocation(a);
@@ -327,7 +327,7 @@ bool SimChecker::CheckGlobalAccess(const CheckedBlockCtx& block, const void* add
   return proceed;
 }
 
-bool SimChecker::CheckSharedAccess(CheckedBlockCtx& block, const void* addr,
+KCORE_OBSERVER bool SimChecker::CheckSharedAccess(CheckedBlockCtx& block, const void* addr,
                                    uint64_t bytes, CheckAccess access) {
   const uintptr_t a = reinterpret_cast<uintptr_t>(addr);
   const uintptr_t base = reinterpret_cast<uintptr_t>(block.shared_data());
@@ -403,7 +403,7 @@ bool SimChecker::CheckSharedAccess(CheckedBlockCtx& block, const void* addr,
   return true;
 }
 
-void SimChecker::Record(CheckViolation violation) {
+KCORE_OBSERVER void SimChecker::Record(CheckViolation violation) {
   std::lock_guard<std::mutex> lock(mu_);
   ++report_.total_;
   ++report_.by_kind_[static_cast<size_t>(violation.kind)];

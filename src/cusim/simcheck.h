@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "cusim/annotations.h"
 #include "perf/perf_counters.h"
 
 namespace kcore::sim {
@@ -91,7 +92,7 @@ struct CheckViolation {
 /// The structured result of a checked run: all recorded violations plus
 /// per-analysis totals (recording caps at kMaxRecorded to bound memory; the
 /// totals keep counting).
-class CheckReport {
+class KCORE_OBSERVER CheckReport {
  public:
   bool clean() const { return total_ == 0; }
   uint64_t total_violations() const { return total_; }
@@ -126,7 +127,7 @@ class CheckReport {
 /// access hooks (CheckGlobalAccess/CheckSharedAccess) are called from
 /// concurrently-running simulated blocks; shadow cells are atomic and the
 /// violation log is mutex-guarded.
-class SimChecker {
+class KCORE_OBSERVER SimChecker {
  public:
   // --- Host side (driving thread only). ---
 

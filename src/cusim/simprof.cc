@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/strings.h"
+#include "cusim/annotations.h"
 
 namespace kcore::sim {
 
@@ -22,7 +23,7 @@ SimProfiler::SimProfiler(ProfilerOptions options, const double* modeled_ns,
   trace_.SetThreadName(options_.pid, kTraceTidMemory, "memory");
 }
 
-void SimProfiler::EnsureSmLaneNames(uint32_t lanes) {
+KCORE_OBSERVER void SimProfiler::EnsureSmLaneNames(uint32_t lanes) {
   for (uint32_t sm = named_sm_lanes_; sm < lanes; ++sm) {
     trace_.SetThreadName(options_.pid, kTraceTidBlockLanes + sm,
                          StrFormat("sm %u", sm));
@@ -30,7 +31,7 @@ void SimProfiler::EnsureSmLaneNames(uint32_t lanes) {
   named_sm_lanes_ = std::max(named_sm_lanes_, lanes);
 }
 
-void SimProfiler::OnLaunch(const char* label, uint32_t num_blocks,
+KCORE_OBSERVER void SimProfiler::OnLaunch(const char* label, uint32_t num_blocks,
                            uint32_t block_dim, double start_ns, double end_ns,
                            double launch_overhead_ns,
                            const std::vector<double>& block_ns) {
@@ -62,7 +63,7 @@ void SimProfiler::OnLaunch(const char* label, uint32_t num_blocks,
   }
 }
 
-void SimProfiler::OnAlloc(const char* label, uint64_t bytes,
+KCORE_OBSERVER void SimProfiler::OnAlloc(const char* label, uint64_t bytes,
                           uint64_t live_bytes, uint64_t peak_bytes) {
   trace_.AddInstant(
       StrFormat("alloc %s", label), kTraceCatMemory, options_.pid,
@@ -76,7 +77,7 @@ void SimProfiler::OnAlloc(const char* label, uint64_t bytes,
                     {{"live", static_cast<double>(live_bytes)}});
 }
 
-void SimProfiler::OnFree(uint64_t bytes, uint64_t live_bytes) {
+KCORE_OBSERVER void SimProfiler::OnFree(uint64_t bytes, uint64_t live_bytes) {
   trace_.AddInstant(
       "free", kTraceCatMemory, options_.pid, kTraceTidMemory, now_ns(),
       {{"bytes", StrFormat("%llu", static_cast<unsigned long long>(bytes))},
@@ -86,7 +87,7 @@ void SimProfiler::OnFree(uint64_t bytes, uint64_t live_bytes) {
                     {{"live", static_cast<double>(live_bytes)}});
 }
 
-void SimProfiler::OnCopy(bool to_device, uint64_t bytes, double start_ns,
+KCORE_OBSERVER void SimProfiler::OnCopy(bool to_device, uint64_t bytes, double start_ns,
                          double dur_ns) {
   trace_.AddComplete(
       to_device ? "memcpy HtoD" : "memcpy DtoH", kTraceCatCopy, options_.pid,
@@ -94,11 +95,11 @@ void SimProfiler::OnCopy(bool to_device, uint64_t bytes, double start_ns,
       {{"bytes", StrFormat("%llu", static_cast<unsigned long long>(bytes))}});
 }
 
-void SimProfiler::PushRange(std::string name) {
+KCORE_OBSERVER void SimProfiler::PushRange(std::string name) {
   range_stack_.emplace_back(std::move(name), now_ns());
 }
 
-void SimProfiler::PopRange() {
+KCORE_OBSERVER void SimProfiler::PopRange() {
   KCORE_CHECK(!range_stack_.empty());
   auto [name, start] = std::move(range_stack_.back());
   range_stack_.pop_back();
@@ -106,19 +107,19 @@ void SimProfiler::PopRange() {
                      kTraceTidRanges, start, now_ns() - start);
 }
 
-void SimProfiler::Mark(std::string name, const char* cat) {
+KCORE_OBSERVER void SimProfiler::Mark(std::string name, const char* cat) {
   trace_.AddInstant(std::move(name), cat, options_.pid, kTraceTidRanges,
                     now_ns());
 }
 
-uint64_t SimProfiler::FlowBegin(std::string name) {
+KCORE_OBSERVER uint64_t SimProfiler::FlowBegin(std::string name) {
   const uint64_t id = next_flow_id_++;
   trace_.AddFlowBegin(std::move(name), options_.pid, kTraceTidRanges,
                       now_ns(), id);
   return id;
 }
 
-void SimProfiler::FlowEnd(std::string name, uint64_t id) {
+KCORE_OBSERVER void SimProfiler::FlowEnd(std::string name, uint64_t id) {
   trace_.AddFlowEnd(std::move(name), options_.pid, kTraceTidRanges, now_ns(),
                     id);
 }

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "cusim/annotations.h"
 #include "perf/trace.h"
 
 namespace kcore::sim {
@@ -43,7 +44,7 @@ struct ProfilerOptions {
 ///
 /// Thread compatibility: host (driving) thread only, like the Device
 /// methods that call the hooks.
-class SimProfiler {
+class KCORE_OBSERVER SimProfiler {
  public:
   /// `modeled_ns` / `transfer_ns` point at the owning device's clocks; the
   /// profiler samples them instead of keeping its own notion of "now".
@@ -103,7 +104,7 @@ class SimProfiler {
 /// RAII NVTX range (nvtxRangePush/Pop analogue). Null profiler = no-op, so
 /// drivers write `ProfRange r(device->profiler(), "scan");` unconditionally
 /// and pay nothing when profiling is off.
-class ProfRange {
+class KCORE_OBSERVER ProfRange {
  public:
   ProfRange(SimProfiler* profiler, const char* name) : profiler_(profiler) {
     if (profiler_ != nullptr) profiler_->PushRange(name);

@@ -4,8 +4,8 @@
 
 namespace kcore::sim {
 
-void HillisSteeleInclusiveScan(uint32_t values[kWarpSize],
-                               PerfCounters& counters) {
+KCORE_KERNEL void HillisSteeleInclusiveScan(uint32_t values[kWarpSize],
+                                            PerfCounters& counters) {
   // In iteration i, lane j adds the value from lane j - 2^(i-1). On hardware
   // each iteration is one __shfl_up + add over all lanes; here lanes are
   // evaluated into a temp to preserve the lockstep read-before-write order.
@@ -20,8 +20,8 @@ void HillisSteeleInclusiveScan(uint32_t values[kWarpSize],
   }
 }
 
-uint32_t BlellochExclusiveScan(uint32_t values[kWarpSize],
-                               PerfCounters& counters) {
+KCORE_KERNEL uint32_t BlellochExclusiveScan(uint32_t values[kWarpSize],
+                                            PerfCounters& counters) {
   // Up-sweep (reduce).
   for (uint32_t stride = 1; stride < kWarpSize; stride <<= 1) {
     for (uint32_t i = 2 * stride - 1; i < kWarpSize; i += 2 * stride) {
@@ -43,8 +43,9 @@ uint32_t BlellochExclusiveScan(uint32_t values[kWarpSize],
   return total;
 }
 
-uint32_t BallotExclusiveScan(WarpCtx& warp, const uint32_t flags[kWarpSize],
-                             uint32_t exclusive[kWarpSize]) {
+KCORE_KERNEL uint32_t BallotExclusiveScan(WarpCtx& warp,
+                                          const uint32_t flags[kWarpSize],
+                                          uint32_t exclusive[kWarpSize]) {
   const uint32_t bits =
       warp.BallotSync([&](uint32_t lane) { return flags[lane] != 0; });
   warp.ForEachLane([&](uint32_t lane) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/check.h"
+#include "cusim/annotations.h"
 #include "cusim/block.h"
 #include "cusim/warp.h"
 #include "perf/perf_counters.h"
@@ -15,21 +16,22 @@ namespace kcore::sim {
 
 /// Hillis–Steele inclusive scan, in place: log2(32)=5 SIMD iterations.
 /// values[i] becomes sum(values[0..i]).
-void HillisSteeleInclusiveScan(uint32_t values[kWarpSize],
-                               PerfCounters& counters);
+KCORE_KERNEL void HillisSteeleInclusiveScan(uint32_t values[kWarpSize],
+                                            PerfCounters& counters);
 
 /// Blelloch work-efficient exclusive scan, in place; returns the total.
 /// Runs 2*log2(32) sweeps (the paper notes it needs twice the iterations of
 /// Hillis–Steele, which is why HS is preferred at warp width).
-uint32_t BlellochExclusiveScan(uint32_t values[kWarpSize],
-                               PerfCounters& counters);
+KCORE_KERNEL uint32_t BlellochExclusiveScan(uint32_t values[kWarpSize],
+                                            PerfCounters& counters);
 
 /// Ballot scan (Fig. 8(c)): for 0/1 flags, compacts the lane votes into one
 /// 32-bit bitmap with __ballot_sync, then each lane pops the bits below it.
 /// Writes exclusive prefix counts into `exclusive` and returns the total
 /// number of set flags.
-uint32_t BallotExclusiveScan(WarpCtx& warp, const uint32_t flags[kWarpSize],
-                             uint32_t exclusive[kWarpSize]);
+KCORE_KERNEL uint32_t BallotExclusiveScan(WarpCtx& warp,
+                                          const uint32_t flags[kWarpSize],
+                                          uint32_t exclusive[kWarpSize]);
 
 /// Two-stage intra-block exclusive scan (paper Fig. 9) over
 /// `block.block_dim()` 0/1 flags: (1) per-warp HS scans, (2) warp sums are
@@ -42,8 +44,9 @@ uint32_t BallotExclusiveScan(WarpCtx& warp, const uint32_t flags[kWarpSize],
 /// kernel-local host arrays, not device memory, so binding the base
 /// PerfCounters& here does not skip any instrumented accesses.
 template <bool Checked>
-uint32_t BlockExclusiveScan(BlockCtxT<Checked>& block, const uint32_t* flags,
-                            uint32_t* exclusive) {
+KCORE_KERNEL uint32_t BlockExclusiveScan(BlockCtxT<Checked>& block,
+                                         const uint32_t* flags,
+                                         uint32_t* exclusive) {
   const uint32_t num_warps = block.num_warps();
   KCORE_CHECK_LE(num_warps, kWarpSize);
   PerfCounters& counters = block.counters();
@@ -96,8 +99,9 @@ uint32_t BlockExclusiveScan(BlockCtxT<Checked>& block, const uint32_t* flags,
 /// Unlike BlockExclusiveScan, the warp-total staging is modeled as shared
 /// traffic (one store per warp, one load per consumer warp).
 template <bool Checked>
-uint32_t BlockBallotExclusiveScan(BlockCtxT<Checked>& block,
-                                  const uint32_t* flags, uint32_t* exclusive) {
+KCORE_KERNEL uint32_t BlockBallotExclusiveScan(BlockCtxT<Checked>& block,
+                                               const uint32_t* flags,
+                                               uint32_t* exclusive) {
   const uint32_t num_warps = block.num_warps();
   KCORE_CHECK_LE(num_warps, kWarpSize);
   PerfCounters& counters = block.counters();

@@ -85,7 +85,7 @@ class CsrGraph {
   /// Deep structural validation for graphs from untrusted sources: offsets
   /// monotone, neighbor IDs in range, no self-loops, adjacency symmetric
   /// (u in N(v) iff v in N(u)), and lists free of duplicates.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   /// Bytes used by the two arrays (what a device copy would occupy).
   uint64_t MemoryBytes() const {

@@ -39,7 +39,7 @@ struct BuiltGraph {
 /// Fails with InvalidArgument if recoding is disabled and an endpoint exceeds
 /// the dense VertexId range. Deterministic: dense IDs are assigned in order
 /// of first appearance in `edges`.
-StatusOr<BuiltGraph> BuildGraph(const EdgeList& edges,
+[[nodiscard]] StatusOr<BuiltGraph> BuildGraph(const EdgeList& edges,
                                 const BuildOptions& options = {});
 
 /// Convenience wrapper for tests and generators whose edges are already

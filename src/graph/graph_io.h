@@ -11,18 +11,18 @@ namespace kcore {
 
 /// Reads a SNAP-style whitespace-separated edge list. Lines starting with
 /// '#' or '%' are comments; each data line is "u v" (extra columns ignored).
-StatusOr<EdgeList> LoadEdgeListText(const std::string& path);
+[[nodiscard]] StatusOr<EdgeList> LoadEdgeListText(const std::string& path);
 
 /// Writes "u v" lines with a one-line '#' header.
-Status SaveEdgeListText(const EdgeList& edges, const std::string& path);
+[[nodiscard]] Status SaveEdgeListText(const EdgeList& edges, const std::string& path);
 
 /// Serializes a CSR graph to a binary file: fixed header (magic, version,
 /// vertex/edge counts), offsets array, neighbors array, FNV-1a checksum of
 /// the payload. Used to cache generated benchmark datasets.
-Status SaveCsrBinary(const CsrGraph& graph, const std::string& path);
+[[nodiscard]] Status SaveCsrBinary(const CsrGraph& graph, const std::string& path);
 
 /// Loads a binary CSR file, verifying magic, version, sizes and checksum.
-StatusOr<CsrGraph> LoadCsrBinary(const std::string& path);
+[[nodiscard]] StatusOr<CsrGraph> LoadCsrBinary(const std::string& path);
 
 }  // namespace kcore
 

@@ -64,7 +64,7 @@ std::string JsonQuote(const std::string& s) {
   return out;
 }
 
-void Trace::SetProcessName(uint32_t pid, std::string name) {
+KCORE_OBSERVER void Trace::SetProcessName(uint32_t pid, std::string name) {
   for (auto& [p, n] : process_names_) {
     if (p == pid) {
       n = std::move(name);
@@ -74,7 +74,7 @@ void Trace::SetProcessName(uint32_t pid, std::string name) {
   process_names_.emplace_back(pid, std::move(name));
 }
 
-void Trace::SetThreadName(uint32_t pid, uint32_t tid, std::string name) {
+KCORE_OBSERVER void Trace::SetThreadName(uint32_t pid, uint32_t tid, std::string name) {
   for (auto& [key, n] : thread_names_) {
     if (key.first == pid && key.second == tid) {
       n = std::move(name);
@@ -84,7 +84,7 @@ void Trace::SetThreadName(uint32_t pid, uint32_t tid, std::string name) {
   thread_names_.push_back({{pid, tid}, std::move(name)});
 }
 
-void Trace::AddComplete(
+KCORE_OBSERVER void Trace::AddComplete(
     std::string name, std::string cat, uint32_t pid, uint32_t tid,
     double ts_ns, double dur_ns,
     std::vector<std::pair<std::string, std::string>> args) {
@@ -100,7 +100,7 @@ void Trace::AddComplete(
   events_.push_back(std::move(e));
 }
 
-void Trace::AddInstant(
+KCORE_OBSERVER void Trace::AddInstant(
     std::string name, std::string cat, uint32_t pid, uint32_t tid,
     double ts_ns, std::vector<std::pair<std::string, std::string>> args) {
   TraceEvent e;
@@ -114,7 +114,7 @@ void Trace::AddInstant(
   events_.push_back(std::move(e));
 }
 
-void Trace::AddCounter(std::string name, uint32_t pid, double ts_ns,
+KCORE_OBSERVER void Trace::AddCounter(std::string name, uint32_t pid, double ts_ns,
                        std::vector<std::pair<std::string, double>> series) {
   TraceEvent e;
   e.name = std::move(name);
@@ -130,7 +130,7 @@ void Trace::AddCounter(std::string name, uint32_t pid, double ts_ns,
   events_.push_back(std::move(e));
 }
 
-void Trace::AddFlowBegin(std::string name, uint32_t pid, uint32_t tid,
+KCORE_OBSERVER void Trace::AddFlowBegin(std::string name, uint32_t pid, uint32_t tid,
                          double ts_ns, uint64_t id) {
   TraceEvent e;
   e.name = std::move(name);
@@ -143,7 +143,7 @@ void Trace::AddFlowBegin(std::string name, uint32_t pid, uint32_t tid,
   events_.push_back(std::move(e));
 }
 
-void Trace::AddFlowEnd(std::string name, uint32_t pid, uint32_t tid,
+KCORE_OBSERVER void Trace::AddFlowEnd(std::string name, uint32_t pid, uint32_t tid,
                        double ts_ns, uint64_t id) {
   TraceEvent e;
   e.name = std::move(name);
@@ -156,7 +156,7 @@ void Trace::AddFlowEnd(std::string name, uint32_t pid, uint32_t tid,
   events_.push_back(std::move(e));
 }
 
-void Trace::Append(const Trace& other) {
+KCORE_OBSERVER void Trace::Append(const Trace& other) {
   events_.insert(events_.end(), other.events_.begin(), other.events_.end());
   for (const auto& [pid, name] : other.process_names_) {
     SetProcessName(pid, name);
@@ -166,7 +166,7 @@ void Trace::Append(const Trace& other) {
   }
 }
 
-std::string Trace::ToChromeJson() const {
+KCORE_OBSERVER std::string Trace::ToChromeJson() const {
   std::string out;
   out.reserve(events_.size() * 96 + 256);
   out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
@@ -210,7 +210,7 @@ std::string Trace::ToChromeJson() const {
   return out;
 }
 
-Status Trace::WriteChromeTrace(const std::string& path) const {
+KCORE_OBSERVER Status Trace::WriteChromeTrace(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return Status::IOError("cannot open trace output file: " + path);
@@ -249,7 +249,7 @@ std::vector<Trace::KernelStat> Trace::KernelStats() const {
   return stats;
 }
 
-std::string Trace::KernelSummaryTable() const {
+KCORE_OBSERVER std::string Trace::KernelSummaryTable() const {
   const std::vector<KernelStat> stats = KernelStats();
   double grand_total = 0.0;
   for (const KernelStat& s : stats) grand_total += s.total_ns;

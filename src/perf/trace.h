@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "cusim/annotations.h"
 
 namespace kcore {
 
@@ -57,7 +58,7 @@ std::string JsonQuote(const std::string& s);
 /// metadata. Producers (the simulated device's profiler, the multi-GPU and
 /// VETGA drivers) append on the host thread; WriteChromeTrace exports the
 /// whole run as one chrome://tracing JSON document.
-class Trace {
+class KCORE_OBSERVER Trace {
  public:
   /// Names a process track ("gpu0", "master"). Multi-device runs use one pid
   /// per device so Perfetto draws them as separate process groups.

@@ -105,8 +105,7 @@ StatusOr<DecomposeResult> RunGunrockKCore(const CsrGraph& graph,
             const uint64_t pos =
                 frontier_size.fetch_add(1, std::memory_order_relaxed);
             ++c.global_atomics;
-            frontier[pos] = static_cast<VertexId>(v);
-            ++c.global_writes;
+            sim::GlobalStore(&frontier[pos], static_cast<VertexId>(v), c);
           }
         }
       });
@@ -127,8 +126,7 @@ StatusOr<DecomposeResult> RunGunrockKCore(const CsrGraph& graph,
         while (true) {
           const uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= fsize) break;
-          const VertexId v = frontier[i];
-          ++c.global_reads;
+          const VertexId v = sim::GlobalLoad(&frontier[i], c);
           // Atomic stores: other lanes concurrently read these locations.
           sim::GlobalStore(&alive[v], uint8_t{0}, c);
           sim::GlobalStore(&deg[v], k, c);  // freeze at the core number

@@ -1,0 +1,191 @@
+// simlint golden-fixture tests: each deliberately-broken kernel under
+// tools/simlint/fixtures/ must produce exactly the diagnostics recorded in
+// the .golden file next to it, the clean fixture must produce none, and a
+// sample of the real (annotated) tree must be clean. Regenerate goldens
+// after an intentional diagnostic change with KCORE_UPDATE_GOLDEN=1.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "simlint/analyzer.h"
+
+namespace kcore::simlint {
+namespace {
+
+std::string RepoRoot() {
+  std::string path = __FILE__;           // <root>/tests/simlint_test.cc
+  path = path.substr(0, path.find_last_of('/'));  // <root>/tests
+  return path.substr(0, path.find_last_of('/'));  // <root>
+}
+
+std::string FixtureDir() { return RepoRoot() + "/tools/simlint/fixtures"; }
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+/// Analyzes one fixture with the fixture's basename as the reported path so
+/// the golden text is independent of the checkout location.
+std::vector<Finding> AnalyzeFixture(const std::string& name,
+                                    const AnalyzerOptions& options = {}) {
+  const std::string path = FixtureDir() + "/" + name;
+  const std::string content = ReadFileOrEmpty(path);
+  EXPECT_FALSE(content.empty()) << "missing fixture " << path;
+  return AnalyzeSource(name, content, options);
+}
+
+std::string FormatAll(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) out += f.Format() + "\n";
+  return out;
+}
+
+/// Golden comparison with the trace_test regeneration protocol: setting
+/// KCORE_UPDATE_GOLDEN=1 rewrites the golden and skips, so an intentional
+/// diagnostic change is a one-command update.
+void ExpectMatchesGolden(const std::string& fixture,
+                         const std::vector<Finding>& findings) {
+  const std::string text = FormatAll(findings);
+  const std::string golden_path =
+      FixtureDir() + "/" +
+      fixture.substr(0, fixture.find_last_of('.')) + ".golden";
+  if (std::getenv("KCORE_UPDATE_GOLDEN") != nullptr) {
+    std::FILE* f = std::fopen(golden_path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << "cannot write " << golden_path;
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  const std::string golden = ReadFileOrEmpty(golden_path);
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file " << golden_path
+      << " — regenerate with KCORE_UPDATE_GOLDEN=1";
+  EXPECT_EQ(text, golden)
+      << "simlint diagnostics drifted from " << golden_path
+      << " — if intentional, regenerate with KCORE_UPDATE_GOLDEN=1";
+}
+
+size_t CountRule(const std::vector<Finding>& findings, const char* rule) {
+  size_t n = 0;
+  for (const Finding& f : findings) n += (f.rule == rule) ? 1 : 0;
+  return n;
+}
+
+TEST(SimlintFixtures, SyncDivergence) {
+  const auto findings = AnalyzeFixture("broken_sync_divergence.cc");
+  EXPECT_EQ(CountRule(findings, kRuleSyncDivergence), 3u);
+  EXPECT_EQ(findings.size(), 3u) << FormatAll(findings);
+  ExpectMatchesGolden("broken_sync_divergence.cc", findings);
+}
+
+TEST(SimlintFixtures, CrossBlockRace) {
+  const auto findings = AnalyzeFixture("broken_cross_block_race.cc");
+  EXPECT_EQ(CountRule(findings, kRuleCrossBlockRace), 4u);
+  EXPECT_EQ(findings.size(), 4u) << FormatAll(findings);
+  ExpectMatchesGolden("broken_cross_block_race.cc", findings);
+}
+
+TEST(SimlintFixtures, ModeledClockPurity) {
+  const auto findings = AnalyzeFixture("broken_clock_purity.cc");
+  EXPECT_EQ(CountRule(findings, kRuleClockPurity), 5u);
+  EXPECT_EQ(findings.size(), 5u) << FormatAll(findings);
+  ExpectMatchesGolden("broken_clock_purity.cc", findings);
+}
+
+TEST(SimlintFixtures, UncheckedStatus) {
+  const auto findings = AnalyzeFixture("broken_unchecked_status.cc");
+  EXPECT_EQ(CountRule(findings, kRuleUncheckedStatus), 4u);
+  EXPECT_EQ(findings.size(), 4u) << FormatAll(findings);
+  ExpectMatchesGolden("broken_unchecked_status.cc", findings);
+}
+
+TEST(SimlintFixtures, HostConfinement) {
+  const auto findings = AnalyzeFixture("broken_host_confinement.cc");
+  EXPECT_EQ(CountRule(findings, kRuleHostConfinement), 4u);
+  EXPECT_EQ(findings.size(), 4u) << FormatAll(findings);
+  ExpectMatchesGolden("broken_host_confinement.cc", findings);
+}
+
+TEST(SimlintFixtures, StaleSuppressionStrict) {
+  const auto findings = AnalyzeFixture("stale_suppression.cc");
+  EXPECT_EQ(CountRule(findings, kRuleStaleSuppression), 1u);
+  EXPECT_EQ(findings.size(), 1u) << FormatAll(findings);
+  ExpectMatchesGolden("stale_suppression.cc", findings);
+}
+
+TEST(SimlintFixtures, StaleSuppressionLax) {
+  AnalyzerOptions lax;
+  lax.strict_suppressions = false;
+  const auto findings = AnalyzeFixture("stale_suppression.cc", lax);
+  EXPECT_TRUE(findings.empty()) << FormatAll(findings);
+}
+
+// The clean fixture uses the same constructs the broken ones misuse (plus a
+// justified, *used* suppression) and must come back empty.
+TEST(SimlintFixtures, CleanKernelHasNoFindings) {
+  const auto findings = AnalyzeFixture("clean_kernel.cc");
+  EXPECT_TRUE(findings.empty()) << FormatAll(findings);
+}
+
+// Rule filtering: with only one rule enabled, other fixtures are silent.
+TEST(SimlintFixtures, RuleFilterRestrictsOutput) {
+  AnalyzerOptions only_races;
+  only_races.rules = {kRuleCrossBlockRace};
+  only_races.strict_suppressions = false;
+  const auto findings =
+      AnalyzeFixture("broken_unchecked_status.cc", only_races);
+  EXPECT_TRUE(findings.empty()) << FormatAll(findings);
+  const auto races = AnalyzeFixture("broken_cross_block_race.cc", only_races);
+  EXPECT_EQ(races.size(), 4u) << FormatAll(races);
+}
+
+// Inline suppression unit: a trailing allow silences exactly its line, and
+// a comment-line allow covers the next code line.
+TEST(SimlintSuppressions, TrailingAndPrecedingComment) {
+  const std::string src = R"(#include "cusim/annotations.h"
+template <typename A>
+KCORE_KERNEL void F(A& d_deg, uint32_t v) {
+  uint32_t* deg = d_deg.data();
+  deg[v] = 0;  // simlint:allow(cross-block-race): init
+  // simlint:allow(cross-block-race): second init
+  deg[v + 1] = 0;
+  deg[v + 2] = 0;
+}
+)";
+  const auto findings = AnalyzeSource("inline.cc", src, {});
+  ASSERT_EQ(findings.size(), 1u) << FormatAll(findings);
+  EXPECT_EQ(findings[0].rule, kRuleCrossBlockRace);
+  EXPECT_EQ(findings[0].line, 8);
+}
+
+// The annotated real tree must be clean: a representative sample spanning
+// kernels (gpu_peel), collectives (warp_scan), observers (simprof/trace),
+// and the device surface. The tree-wide sweep runs in ci_check.sh; this
+// keeps a fast regression net inside tier-1.
+TEST(SimlintRealTree, RepresentativeFilesAreClean) {
+  const std::vector<std::string> files = {
+      "src/core/gpu_peel.cc",    "src/cusim/warp_scan.h",
+      "src/cusim/warp_scan.cc",  "src/cusim/device.h",
+      "src/cusim/simprof.cc",    "src/cusim/simcheck.cc",
+      "src/perf/trace.cc",       "src/systems/gunrock.cc",
+  };
+  for (const std::string& rel : files) {
+    const std::string path = RepoRoot() + "/" + rel;
+    const std::string content = ReadFileOrEmpty(path);
+    ASSERT_FALSE(content.empty()) << "missing " << path;
+    const auto findings = AnalyzeSource(rel, content, {});
+    EXPECT_TRUE(findings.empty()) << rel << ":\n" << FormatAll(findings);
+  }
+}
+
+}  // namespace
+}  // namespace kcore::simlint

@@ -50,6 +50,39 @@ done
 echo "=== release: configure + build ==="
 cmake --preset release
 cmake --build --preset release -j "$(nproc)"
+
+echo "=== release: static analysis (simlint) ==="
+# The kernel-DSL analyzer runs off the exported compile_commands.json and is
+# gated by the committed baseline. The baseline is required to stay *empty*
+# (only comments): new findings must be fixed or suppressed in-source with a
+# reviewed `simlint:allow`, never parked in the baseline.
+if grep -Ev '^[[:space:]]*(#|$)' tools/simlint_baseline.txt; then
+  echo "tools/simlint_baseline.txt drifted: the baseline must stay empty;" \
+    "fix the finding or add an in-source simlint:allow instead" >&2
+  exit 1
+fi
+build/tools/simlint/simlint -p build --root . \
+  --baseline tools/simlint_baseline.txt
+
+echo "=== release: static analysis (clang-tidy) ==="
+# Diagnostics differ across clang-tidy majors, so the CI leg only trusts the
+# pinned major; anything else (or no install at all) is a loud skip, never a
+# silent pass — the zero-dependency simlint leg above always gates.
+tidy_pin_major=16
+if command -v clang-tidy > /dev/null; then
+  tidy_major="$(clang-tidy --version | sed -n 's/.*version \([0-9]*\).*/\1/p' |
+    head -n1)"
+  if [[ "$tidy_major" == "$tidy_pin_major" ]]; then
+    cmake --build --preset release --target lint
+  else
+    echo "SKIP: clang-tidy major $tidy_major != pinned $tidy_pin_major;" \
+      "install clang-tidy-$tidy_pin_major to run the tidy leg" >&2
+  fi
+else
+  echo "SKIP: clang-tidy not installed; tidy leg not run" \
+    "(simlint leg above still gates)" >&2
+fi
+
 echo "=== release: tier-1 ==="
 ctest --preset tier1
 echo "=== release: tier-1 (KCORE_SIMCHECK=1) ==="

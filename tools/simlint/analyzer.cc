@@ -1,0 +1,1115 @@
+#include "analyzer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "lexer.h"
+
+namespace kcore::simlint {
+namespace {
+
+/// PerfCounters fields that feed CostModel::UnitTimeNs / launch cost — the
+/// "charged" meters whose mutation from observer code would shift modeled
+/// time. Uncharged meters (edges_traversed, buffer_appends, ...) are fair
+/// game for observers.
+const std::set<std::string>& ChargedState() {
+  static const std::set<std::string> s = {
+      "lane_ops",      "global_reads",  "global_writes", "global_atomics",
+      "shared_ops",    "shared_atomics", "barriers",      "scan_steps",
+      "kernel_launches",
+      // The modeled clocks themselves (device members and the read-only
+      // pointers handed to SimProfiler).
+      "modeled_ns_", "transfer_ns_", "modeled_ns", "transfer_ns"};
+  return s;
+}
+
+/// Calls that advance counters or the modeled clock: the cusim DSL accessors
+/// plus CostModel charging entry points. Observer code may never reach these.
+const std::set<std::string>& ChargingCalls() {
+  static const std::set<std::string> s = {
+      "AtomicAdd",     "AtomicSub",   "AtomicMax",      "AtomicMin",
+      "AtomicCas",     "AtomicExch",  "GlobalLoad",     "GlobalStore",
+      "SharedLoad",    "SharedStore", "SharedAlloc",    "Sync",
+      "SyncWarp",      "ChargeTransfer", "AddSerial",   "AddOverheadNs",
+      "AddParallelPhase"};
+  return s;
+}
+
+/// Status/StatusOr-returning APIs whose bare discard rule unchecked-status
+/// flags. Matches the [[nodiscard]] sweep in device.h / src/graph / src/core.
+const std::set<std::string>& StatusApis() {
+  static const std::set<std::string> s = {
+      "Launch",        "Alloc",          "AllocUninit",   "CopyFromHost",
+      "CopyToHost",    "HealthCheck",    "CheckStatus",   "WriteTrace",
+      "WriteChromeTrace", "Validate",    "BuildGraph",    "LoadEdgeListText",
+      "SaveEdgeListText", "SaveCsrBinary", "LoadCsrBinary"};
+  return s;
+}
+
+/// Host-only Device surface (the device.h thread-compatibility contract):
+/// never callable from kernel code. Extended per-file by KCORE_HOST_ONLY
+/// annotations found in the analyzed source.
+const std::set<std::string>& HostOnlyCalls() {
+  static const std::set<std::string> s = {
+      "Alloc",        "AllocUninit",  "Launch",       "HealthCheck",
+      "CheckStatus",  "ResetClock",   "MarkCorruptible", "WriteTrace",
+      "CopyFromHost", "CopyToHost",   "modeled_ms",   "transfer_ms",
+      "current_bytes", "peak_bytes"};
+  return s;
+}
+
+/// Block-wide collectives defined in warp_scan.h — __syncthreads-equivalent
+/// convergence requirements, seeded into the per-file sync call graph.
+const std::set<std::string>& LibraryCollectives() {
+  static const std::set<std::string> s = {"BlockExclusiveScan",
+                                          "BlockBallotExclusiveScan"};
+  return s;
+}
+
+/// Identity accessors whose value diverges between threads *within* one
+/// block — the scope a block barrier synchronizes. block_id is deliberately
+/// absent: blockIdx-derived flow is uniform inside each block, so a barrier
+/// under it is convergent (every thread of a given block takes the same
+/// path), exactly as in real CUDA.
+const std::set<std::string>& IntraBlockIdentity() {
+  static const std::set<std::string> s = {"warp_id", "lane", "lane_id"};
+  return s;
+}
+
+/// Identity that diverges within one warp (the scope SyncWarp synchronizes).
+const std::set<std::string>& IntraWarpIdentity() {
+  static const std::set<std::string> s = {"lane", "lane_id"};
+  return s;
+}
+
+struct Range {
+  int begin = -1;  ///< First token index (inclusive).
+  int end = -1;    ///< One past last token index.
+  bool Valid() const { return begin >= 0 && end >= begin; }
+  bool Contains(int i) const { return i >= begin && i < end; }
+  bool Contains(const Range& o) const {
+    return begin <= o.begin && o.end <= end;
+  }
+  int Size() const { return end - begin; }
+};
+
+enum class LambdaKind { kWarp, kThread, kLane };
+
+struct ForeachRegion {
+  Range body;
+  LambdaKind kind;
+};
+
+struct KernelRegion {
+  Range body;
+  std::string name;     ///< Function name; "<launch>" for Launch lambdas.
+  int name_tok = -1;    ///< Token index of the defining name (not a call).
+  bool block_sync = false;  ///< Body reaches a block-wide barrier.
+};
+
+struct ControlRegion {
+  Range cond;  ///< Tokens of the controlling condition / loop header.
+  Range body;  ///< Tokens of the guarded body (else bodies get own entry).
+};
+
+struct Suppression {
+  int target_line = 0;  ///< Line of code the allow() applies to.
+  std::string rule;
+  int line = 0;  ///< Location of the comment itself, for stale reports.
+  int col = 0;
+  bool used = false;
+};
+
+class FileAnalysis {
+ public:
+  FileAnalysis(std::string path, const std::string& content,
+               const AnalyzerOptions& options)
+      : path_(std::move(path)), options_(options) {
+    for (Token& t : Lex(content)) {
+      if (t.kind == TokKind::kComment) {
+        comments_.push_back(std::move(t));
+      } else if (t.kind != TokKind::kDirective) {
+        code_.push_back(std::move(t));
+      }
+    }
+    BuildMatches();
+    CollectSuppressions();
+  }
+
+  std::vector<Finding> Run() {
+    CollectAnnotations();
+    CollectLaunchLambdas();
+    CollectForeachRegions();
+    CollectObserverGuards();
+    CollectControlRegions();
+    CollectTaint();
+    ResolveSyncCallGraph();
+
+    if (RuleOn(kRuleSyncDivergence)) RunSyncDivergence();
+    if (RuleOn(kRuleCrossBlockRace)) RunCrossBlockRace();
+    if (RuleOn(kRuleClockPurity)) RunClockPurity();
+    if (RuleOn(kRuleUncheckedStatus)) RunUncheckedStatus();
+    if (RuleOn(kRuleHostConfinement)) RunHostConfinement();
+
+    ApplySuppressions();
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                return std::tie(a.line, a.col, a.rule) <
+                       std::tie(b.line, b.col, b.rule);
+              });
+    return std::move(findings_);
+  }
+
+ private:
+  // --- Token utilities -----------------------------------------------------
+
+  bool RuleOn(const char* rule) const {
+    return options_.rules.empty() || options_.rules.count(rule) > 0;
+  }
+
+  const Token& Tok(int i) const { return code_[i]; }
+  int Count() const { return static_cast<int>(code_.size()); }
+  bool IsTok(int i, const char* s) const {
+    return i >= 0 && i < Count() && code_[i].Is(s);
+  }
+  bool IsIdentTok(int i, const char* s) const {
+    return i >= 0 && i < Count() && code_[i].IsIdent(s);
+  }
+  bool IsAnyIdent(int i) const {
+    return i >= 0 && i < Count() && code_[i].kind == TokKind::kIdent;
+  }
+  /// Matching bracket partner of the ( / [ / { or ) / ] / } at i, else -1.
+  int Match(int i) const {
+    return (i >= 0 && i < Count()) ? match_[i] : -1;
+  }
+
+  void BuildMatches() {
+    match_.assign(code_.size(), -1);
+    std::vector<int> stack;
+    for (int i = 0; i < Count(); ++i) {
+      const std::string& t = code_[i].text;
+      if (t == "(" || t == "[" || t == "{") {
+        stack.push_back(i);
+      } else if (t == ")" || t == "]" || t == "}") {
+        if (!stack.empty()) {
+          match_[stack.back()] = i;
+          match_[i] = stack.back();
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  void Report(const char* rule, int tok, std::string message) {
+    if (tok < 0 || tok >= Count()) return;
+    const auto key = std::make_tuple(code_[tok].line, code_[tok].col,
+                                     std::string(rule));
+    if (!reported_.insert(key).second) return;
+    findings_.push_back(
+        {path_, code_[tok].line, code_[tok].col, rule, std::move(message)});
+  }
+
+  // --- Suppressions --------------------------------------------------------
+
+  void CollectSuppressions() {
+    std::set<int> code_lines;
+    for (const Token& t : code_) code_lines.insert(t.line);
+    for (const Token& c : comments_) {
+      size_t at = 0;
+      while ((at = c.text.find("simlint:allow(", at)) != std::string::npos) {
+        const size_t open = at + std::string("simlint:allow(").size();
+        const size_t close = c.text.find(')', open);
+        if (close == std::string::npos) break;
+        // A trailing comment suppresses its own line; a comment-only line
+        // suppresses the next line that has code on it.
+        int target = c.line;
+        if (code_lines.count(target) == 0) {
+          auto it = code_lines.upper_bound(target);
+          if (it != code_lines.end()) target = *it;
+        }
+        std::stringstream rules(c.text.substr(open, close - open));
+        std::string rule;
+        while (std::getline(rules, rule, ',')) {
+          const size_t b = rule.find_first_not_of(" \t");
+          const size_t e = rule.find_last_not_of(" \t");
+          if (b == std::string::npos) continue;
+          rule = rule.substr(b, e - b + 1);
+          // Malformed rule names (doc examples like `<rule>`) are not
+          // suppressions at all.
+          const bool well_formed =
+              !rule.empty() &&
+              rule.find_first_not_of(
+                  "abcdefghijklmnopqrstuvwxyz0123456789-") ==
+                  std::string::npos;
+          if (!well_formed) continue;
+          suppressions_.push_back({target, rule, c.line, c.col, false});
+        }
+        at = close;
+      }
+    }
+  }
+
+  void ApplySuppressions() {
+    std::vector<Finding> kept;
+    for (Finding& f : findings_) {
+      bool suppressed = false;
+      for (Suppression& s : suppressions_) {
+        if (s.target_line == f.line && (s.rule == f.rule || s.rule == "all")) {
+          s.used = true;
+          suppressed = true;
+        }
+      }
+      if (!suppressed) kept.push_back(std::move(f));
+    }
+    findings_ = std::move(kept);
+    if (!options_.strict_suppressions) return;
+    for (const Suppression& s : suppressions_) {
+      if (s.used) continue;
+      findings_.push_back({path_, s.line, s.col, kRuleStaleSuppression,
+                           "simlint:allow(" + s.rule +
+                               ") matched no finding; remove the stale "
+                               "suppression"});
+    }
+  }
+
+  // --- Region discovery ----------------------------------------------------
+
+  /// Finds the body of the entity an annotation macro precedes. Handles both
+  /// functions (`KCORE_KERNEL void F(...) { ... }`, including out-of-line
+  /// `Class::F`) and classes (`class KCORE_KERNEL Name ... { ... }` or the
+  /// macro directly before the class-key). Returns the body range and the
+  /// entity name via out-params; false when the annotation sits on a
+  /// bodiless declaration.
+  bool AnnotatedBody(int anno, Range* body, std::string* name,
+                     int* name_tok) const {
+    bool is_class = IsIdentTok(anno - 1, "class") ||
+                    IsIdentTok(anno - 1, "struct");
+    int last_ident = -1;
+    int depth = 0;  // Parens/angle depth: a '(' at depth 0 starts params.
+    for (int i = anno + 1; i < Count() && i < anno + 96; ++i) {
+      const Token& t = code_[i];
+      if (t.IsIdent("class") || t.IsIdent("struct")) is_class = true;
+      if (t.Is("(") && !is_class) {
+        if (last_ident < 0) return false;
+        *name = code_[last_ident].text;
+        *name_tok = last_ident;
+        // Skip to the opening brace of the function body, stepping over the
+        // parameter list and any trailing specifiers; a ';' first means
+        // declaration only.
+        int j = Match(i);
+        if (j < 0) return false;
+        for (++j; j < Count(); ++j) {
+          if (code_[j].Is("{")) {
+            const int close = Match(j);
+            if (close < 0) return false;
+            *body = {j + 1, close};
+            return true;
+          }
+          if (code_[j].Is(";")) return false;
+          if (code_[j].Is("(")) j = std::max(j, Match(j));  // noexcept(...)
+        }
+        return false;
+      }
+      if (t.Is("{")) {
+        // Class body (or a function with no params reached a brace).
+        const int close = Match(i);
+        if (close < 0) return false;
+        if (last_ident >= 0) {
+          *name = code_[last_ident].text;
+          *name_tok = last_ident;
+        }
+        *body = {i + 1, close};
+        return true;
+      }
+      if (t.Is(";") && depth == 0) return false;
+      if (t.kind == TokKind::kIdent && depth == 0) last_ident = i;
+      if (t.Is("<")) ++depth;
+      if (t.Is(">")) depth = std::max(0, depth - 1);
+      if (t.Is(">>")) depth = std::max(0, depth - 2);
+    }
+    return false;
+  }
+
+  void CollectAnnotations() {
+    for (int i = 0; i < Count(); ++i) {
+      if (code_[i].kind != TokKind::kIdent) continue;
+      const std::string& t = code_[i].text;
+      if (t == "KCORE_HOST_ONLY") {
+        // Record the annotated callee name so rule 5 also covers
+        // file-local host-only helpers (fixtures, future drivers).
+        for (int j = i + 1; j < Count() && j < i + 64; ++j) {
+          if (code_[j].Is("(") && IsAnyIdent(j - 1)) {
+            host_only_extra_.insert(code_[j - 1].text);
+            break;
+          }
+          if (code_[j].Is(";") || code_[j].Is("{")) break;
+        }
+        continue;
+      }
+      if (t != "KCORE_KERNEL" && t != "KCORE_OBSERVER") continue;
+      Range body;
+      std::string name = t == "KCORE_KERNEL" ? "<kernel>" : "<observer>";
+      int name_tok = -1;
+      if (!AnnotatedBody(i, &body, &name, &name_tok)) continue;
+      if (t == "KCORE_KERNEL") {
+        kernels_.push_back({body, name, name_tok, false});
+      } else {
+        observers_.push_back({body.begin, body.end});
+        observer_names_.insert(name);
+      }
+    }
+  }
+
+  /// Kernel lambdas passed to Device::Launch — the DSL's __global__ entry
+  /// points. Each lambda body becomes an (anonymous) kernel region.
+  void CollectLaunchLambdas() {
+    for (int i = 0; i + 1 < Count(); ++i) {
+      if (!code_[i].IsIdent("Launch") || !IsTok(i + 1, "(")) continue;
+      if (i > 0 && !(IsTok(i - 1, ".") || IsTok(i - 1, "->"))) continue;
+      const int close = Match(i + 1);
+      if (close < 0) continue;
+      for (int j = i + 2; j < close; ++j) {
+        if (!code_[j].Is("[")) continue;
+        if (!(IsTok(j - 1, "(") || IsTok(j - 1, ","))) continue;
+        Range body = LambdaBody(j);
+        if (!body.Valid()) continue;
+        kernels_.push_back({body, "<launch>", -1, false});
+        j = body.end;
+      }
+    }
+  }
+
+  /// Given the '[' of a lambda introducer, returns its body token range.
+  Range LambdaBody(int intro) const {
+    int j = Match(intro);  // closing ']'
+    if (j < 0) return {};
+    ++j;
+    if (IsTok(j, "(")) {
+      j = Match(j);
+      if (j < 0) return {};
+      ++j;
+    }
+    // Step over mutable / noexcept / -> ReturnType up to the body brace.
+    for (int steps = 0; j < Count() && steps < 16; ++j, ++steps) {
+      if (code_[j].Is("{")) {
+        const int close = Match(j);
+        if (close < 0) return {};
+        return {j + 1, close};
+      }
+      if (code_[j].Is(";") || code_[j].Is(")")) return {};
+      if (code_[j].Is("(")) {  // noexcept(...)
+        j = Match(j);
+        if (j < 0) return {};
+      }
+    }
+    return {};
+  }
+
+  /// Parameter names of the lambda whose '[' is at `intro` (last identifier
+  /// of each comma-separated declarator).
+  std::vector<std::string> LambdaParams(int intro) const {
+    std::vector<std::string> names;
+    int j = Match(intro);
+    if (j < 0 || !IsTok(j + 1, "(")) return names;
+    const int open = j + 1, close = Match(open);
+    if (close < 0) return names;
+    int depth = 0;
+    int last_ident = -1;
+    for (int k = open + 1; k <= close; ++k) {
+      const Token& t = code_[k];
+      if (t.Is("(") || t.Is("[") || t.Is("<")) ++depth;
+      if (t.Is(")") || t.Is("]") || t.Is(">")) --depth;
+      if ((k == close || (depth == 0 && t.Is(","))) && last_ident >= 0) {
+        names.push_back(code_[last_ident].text);
+        last_ident = -1;
+        continue;
+      }
+      if (depth == 0 && t.kind == TokKind::kIdent) last_ident = k;
+    }
+    return names;
+  }
+
+  void CollectForeachRegions() {
+    struct Site {
+      const char* name;
+      LambdaKind kind;
+    };
+    static constexpr Site kSites[] = {{"ForEachWarp", LambdaKind::kWarp},
+                                      {"ForEachThread", LambdaKind::kThread},
+                                      {"ForEachLane", LambdaKind::kLane},
+                                      {"BallotSync", LambdaKind::kLane}};
+    for (int i = 0; i + 1 < Count(); ++i) {
+      if (code_[i].kind != TokKind::kIdent || !IsTok(i + 1, "(")) continue;
+      for (const Site& site : kSites) {
+        if (code_[i].text != site.name) continue;
+        const int close = Match(i + 1);
+        if (close < 0) break;
+        for (int j = i + 2; j < close; ++j) {
+          if (!code_[j].Is("[")) continue;
+          if (!(IsTok(j - 1, "(") || IsTok(j - 1, ","))) continue;
+          Range body = LambdaBody(j);
+          if (!body.Valid()) continue;
+          foreach_.push_back({body, site.kind});
+          for (const std::string& p : LambdaParams(j)) {
+            lambda_params_[site.kind].insert(p);
+          }
+          break;
+        }
+        break;
+      }
+    }
+  }
+
+  /// Zero-cost-off observer guards: an else-less `if` whose condition tests a
+  /// profiler / checker / trace handle for presence. The else-ful form (e.g.
+  /// the checked/unchecked LaunchGrid dispatch in device.h) selects between
+  /// two *mainline* paths and is deliberately excluded.
+  void CollectObserverGuards() {
+    for (int i = 0; i + 1 < Count(); ++i) {
+      if (!code_[i].IsIdent("if") || !IsTok(i + 1, "(")) continue;
+      const int cond_close = Match(i + 1);
+      if (cond_close < 0) continue;
+      bool observer = false, negated = false;
+      for (int k = i + 2; k < cond_close; ++k) {
+        if (code_[k].kind == TokKind::kIdent && IsObserverHandle(code_[k].text)) {
+          observer = true;
+          if (IsTok(k - 1, "!")) negated = true;
+        }
+        if (code_[k].Is("==")) negated = true;  // `== nullptr`: the off path.
+      }
+      if (!observer || negated) continue;
+      int follower = -1;
+      Range body = StatementOrBlockAfter(cond_close + 1, &follower);
+      if (!body.Valid()) continue;
+      if (IsIdentTok(follower, "else")) continue;
+      observers_.push_back(body);
+    }
+  }
+
+  static bool ContainsAny(const std::string& hay, const char* needle) {
+    return hay.find(needle) != std::string::npos;
+  }
+
+  static bool IsObserverHandle(const std::string& name) {
+    std::string low;
+    low.reserve(name.size());
+    for (char c : name) low += static_cast<char>(std::tolower(c));
+    return ContainsAny(low, "profiler") || ContainsAny(low, "checker") ||
+           low == "prof" || ContainsAny(low, "trace");
+  }
+
+  /// The body following a control header: `{ ... }` or a single statement
+  /// (up to the ';' at nesting level zero). `follower` receives the index of
+  /// the first token after the body, for else-lookahead.
+  Range StatementOrBlockAfter(int i, int* follower = nullptr) const {
+    if (follower != nullptr) *follower = -1;
+    if (i < 0 || i >= Count()) return {};
+    if (code_[i].Is("{")) {
+      const int close = Match(i);
+      if (close < 0) return {};
+      if (follower != nullptr) *follower = close + 1;
+      return {i + 1, close};
+    }
+    for (int j = i; j < Count(); ++j) {
+      if (code_[j].Is("(") || code_[j].Is("[") || code_[j].Is("{")) {
+        const int m = Match(j);
+        if (m < 0) return {};
+        j = m;
+        continue;
+      }
+      if (code_[j].Is(";")) {
+        if (follower != nullptr) *follower = j + 1;
+        return {i, j + 1};
+      }
+      if (code_[j].Is("}")) return {};
+    }
+    return {};
+  }
+
+  void CollectControlRegions() {
+    for (int i = 0; i + 1 < Count(); ++i) {
+      if (code_[i].kind != TokKind::kIdent) continue;
+      const std::string& kw = code_[i].text;
+      if (kw != "if" && kw != "while" && kw != "for" && kw != "switch") {
+        continue;
+      }
+      int open = i + 1;
+      if (IsIdentTok(open, "constexpr")) ++open;  // `if constexpr` — uniform.
+      if (!IsTok(open, "(")) continue;
+      const int close = Match(open);
+      if (close < 0) continue;
+      const Range cond = {open + 1, close};
+      int follower = -1;
+      Range body = StatementOrBlockAfter(close + 1, &follower);
+      if (!body.Valid()) continue;
+      if (kw == "if" && IsIdentTok(open - 1, "constexpr")) continue;
+      controls_.push_back({cond, body});
+      // An else branch diverges on the same condition.
+      if (kw == "if" && IsIdentTok(follower, "else") &&
+          !IsIdentTok(follower + 1, "if")) {
+        Range else_body = StatementOrBlockAfter(follower + 1);
+        if (else_body.Valid()) controls_.push_back({cond, else_body});
+      }
+    }
+  }
+
+  // --- Taint (device-global pointers) --------------------------------------
+
+  /// Objects known to be DeviceArrays (device-global storage): bound from
+  /// Device::Alloc/AllocUninit via KCORE_ASSIGN_OR_RETURN, declared with an
+  /// explicit DeviceArray<T> type, or following the repo's `d_` naming
+  /// convention for device buffers. Distinguishes device-global `.data()`
+  /// from per-block scratch (SharedAlloc-backed structs, std::array).
+  void CollectDeviceObjects() {
+    for (int i = 0; i + 2 < Count(); ++i) {
+      if (code_[i].IsIdent("KCORE_ASSIGN_OR_RETURN") && IsTok(i + 1, "(")) {
+        const int close = Match(i + 1);
+        if (close < 0) continue;
+        int comma = -1;
+        bool alloc = false;
+        for (int j = i + 2; j < close; ++j) {
+          if (comma < 0 && code_[j].Is(",")) comma = j;
+          if (code_[j].IsIdent("Alloc") || code_[j].IsIdent("AllocUninit")) {
+            alloc = true;
+          }
+          if (code_[j].Is("(")) j = std::max(j, Match(j));
+        }
+        if (alloc && comma > i + 2 && IsAnyIdent(comma - 1)) {
+          device_objects_.insert(code_[comma - 1].text);
+        }
+        continue;
+      }
+      if (code_[i].IsIdent("DeviceArray") && IsTok(i + 1, "<")) {
+        // DeviceArray<T> name — the declarator after the closing angle.
+        int depth = 0;
+        for (int j = i + 1; j < Count() && j < i + 24; ++j) {
+          if (code_[j].Is("<")) ++depth;
+          if (code_[j].Is(">")) --depth;
+          if (code_[j].Is(">>")) depth -= 2;
+          if (depth <= 0 && j > i + 1) {
+            int decl = j + 1;
+            while (IsTok(decl, "&") || IsTok(decl, "*")) ++decl;
+            if (IsAnyIdent(decl)) device_objects_.insert(code_[decl].text);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  bool IsDeviceObject(const std::string& name) const {
+    return device_objects_.count(name) > 0 || name.rfind("d_", 0) == 0;
+  }
+
+  /// Names bound to DeviceArray backing storage via `.data()`: the pointers
+  /// every block of a launch can reach. Field and variable names are tracked
+  /// textually, which is exactly the granularity the kernel param structs
+  /// (KernelCtx et al.) preserve across the host/device boundary.
+  void CollectTaint() {
+    CollectDeviceObjects();
+    for (int i = 2; i + 2 < Count(); ++i) {
+      if (!code_[i].IsIdent("data")) continue;
+      if (!(IsTok(i - 1, ".") || IsTok(i - 1, "->"))) continue;
+      if (!IsTok(i + 1, "(") || Match(i + 1) != i + 2) continue;
+      // Walk left over the object path to the '=' that binds the result,
+      // noting whether any path component is a known device array.
+      bool device = false;
+      int k = i - 2;
+      while (k >= 0) {
+        const Token& t = code_[k];
+        if (t.kind == TokKind::kIdent || t.Is(".") || t.Is("->")) {
+          if (t.kind == TokKind::kIdent && IsDeviceObject(t.text)) {
+            device = true;
+          }
+          --k;
+          continue;
+        }
+        if (t.Is("]") || t.Is(")")) {
+          const int m = Match(k);
+          if (m < 0) break;
+          k = m - 1;
+          continue;
+        }
+        break;
+      }
+      if (device && k >= 0 && IsTok(k, "=") && IsAnyIdent(k - 1)) {
+        tainted_.insert(code_[k - 1].text);
+      }
+    }
+    // One-hop propagation: `a = b;` / `ctx.a = b;` with a short tainted rhs
+    // (pointer copies into kernel param structs).
+    for (int pass = 0; pass < 3; ++pass) {
+      bool changed = false;
+      for (int i = 1; i + 1 < Count(); ++i) {
+        if (!code_[i].Is("=") || !IsAnyIdent(i - 1)) continue;
+        int len = 0;
+        bool taint_rhs = false;
+        for (int j = i + 1; j < Count() && !code_[j].Is(";"); ++j, ++len) {
+          if (len > 4) break;
+          if (code_[j].kind == TokKind::kIdent && tainted_.count(code_[j].text)) {
+            taint_rhs = true;
+          }
+        }
+        if (taint_rhs && len <= 4 &&
+            tainted_.insert(code_[i - 1].text).second) {
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+  }
+
+  // --- Sync call graph ------------------------------------------------------
+
+  bool IsCallOf(int i, const char* name) const {
+    return IsIdentTok(i, name) && IsTok(i + 1, "(");
+  }
+
+  /// True at token i for a block barrier call: `block.Sync()` (any receiver)
+  /// or a call to a function known to reach one.
+  bool IsBlockCollective(int i) const {
+    if (code_[i].kind != TokKind::kIdent || !IsTok(i + 1, "(")) return false;
+    if (code_[i].text == "Sync" && (IsTok(i - 1, ".") || IsTok(i - 1, "->"))) {
+      return true;
+    }
+    return sync_fns_.count(code_[i].text) > 0 &&
+           !defined_names_.count(i);  // Call sites, not definitions.
+  }
+
+  void ResolveSyncCallGraph() {
+    sync_fns_ = LibraryCollectives();
+    for (const KernelRegion& k : kernels_) {
+      if (k.name_tok >= 0) defined_names_.insert(k.name_tok);
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (KernelRegion& k : kernels_) {
+        if (k.block_sync) continue;
+        for (int i = k.body.begin; i < k.body.end; ++i) {
+          if (IsBlockCollective(i)) {
+            k.block_sync = true;
+            if (k.name != "<launch>" && sync_fns_.insert(k.name).second) {
+              changed = true;
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // --- Rule 1: sync-divergence ---------------------------------------------
+
+  const ForeachRegion* InnermostForeach(int i) const {
+    const ForeachRegion* best = nullptr;
+    for (const ForeachRegion& f : foreach_) {
+      if (!f.body.Contains(i)) continue;
+      if (best == nullptr || best->body.Contains(f.body)) best = &f;
+    }
+    return best;
+  }
+
+  /// Collects identity-derived local names for a kernel: seeds from the
+  /// given accessor set, then a fixpoint over `lhs = ...seed...` bindings.
+  std::set<std::string> DerivedIdentity(const KernelRegion& k,
+                                        const std::set<std::string>& seed) const {
+    std::set<std::string> ids = seed;
+    for (int pass = 0; pass < 8; ++pass) {
+      bool changed = false;
+      for (int i = k.body.begin; i + 1 < k.body.end; ++i) {
+        if (!code_[i].Is("=") || !IsAnyIdent(i - 1)) continue;
+        if (IsTok(i - 2, ".") || IsTok(i - 2, "->")) continue;  // member write
+        // Assignments inside ForEach lambdas are cross-lane/thread
+        // reductions into a captured variable: uniform once the lambda
+        // completes (divergence *inside* the lambda is caught by
+        // containment, not by condition taint).
+        if (InnermostForeach(i) != nullptr) continue;
+        for (int j = i + 1; j < k.body.end; ++j) {
+          if (code_[j].Is(";") || code_[j].Is("{")) break;
+          if (code_[j].kind == TokKind::kIdent && ids.count(code_[j].text)) {
+            if (ids.insert(code_[i - 1].text).second) changed = true;
+            break;
+          }
+        }
+      }
+      if (!changed) break;
+    }
+    return ids;
+  }
+
+  bool CondDiverges(const Range& cond, const std::set<std::string>& ids) const {
+    for (int i = cond.begin; i < cond.end; ++i) {
+      if (code_[i].kind == TokKind::kIdent && ids.count(code_[i].text)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void RunSyncDivergence() {
+    for (const KernelRegion& k : kernels_) {
+      const std::set<std::string> block_ids =
+          DerivedIdentity(k, IntraBlockIdentity());
+      const std::set<std::string> warp_ids =
+          DerivedIdentity(k, IntraWarpIdentity());
+      for (int i = k.body.begin; i < k.body.end; ++i) {
+        const bool collective = IsBlockCollective(i);
+        const bool warp_sync = IsCallOf(i, "SyncWarp");
+        if (!collective && !warp_sync) continue;
+        const std::string what = code_[i].text;
+        if (const ForeachRegion* f = InnermostForeach(i)) {
+          if (collective) {
+            const char* scope = f->kind == LambdaKind::kWarp    ? "per-warp"
+                                : f->kind == LambdaKind::kThread ? "per-thread"
+                                                                 : "per-lane";
+            Report(kRuleSyncDivergence, i,
+                   "block-wide barrier '" + what + "' inside " + scope +
+                       " code: not all threads of the block can reach it "
+                       "(synccheck UB; hoist to block scope)");
+            continue;
+          }
+          if (f->kind == LambdaKind::kLane) {
+            Report(kRuleSyncDivergence, i,
+                   "'SyncWarp' inside per-lane code: a warp barrier must be "
+                   "reached by every lane of the warp");
+            continue;
+          }
+        }
+        const std::set<std::string>& ids = collective ? block_ids : warp_ids;
+        for (const ControlRegion& c : controls_) {
+          if (!c.body.Contains(i) || !k.body.Contains(c.body.begin)) continue;
+          if (CondDiverges(c.cond, ids)) {
+            Report(kRuleSyncDivergence, i,
+                   "barrier '" + what +
+                       "' reached under identity-derived control flow "
+                       "(condition at line " +
+                       std::to_string(code_[c.cond.begin].line) +
+                       " diverges between threads that must all arrive)");
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // --- Rule 2: cross-block-race --------------------------------------------
+
+  /// Last identifier of the lvalue path ending just before token j, for
+  /// subscript stores (`p[i] op= v`) and member stores through pointers.
+  int SubscriptBase(int j) const {
+    if (!IsTok(j, "]")) return -1;
+    const int open = Match(j);
+    if (open <= 0) return -1;
+    return IsAnyIdent(open - 1) ? open - 1 : -1;
+  }
+
+  void ReportRace(int base_tok, int op_tok) {
+    Report(kRuleCrossBlockRace, op_tok,
+           "non-atomic store to device-global '" + code_[base_tok].text +
+               "' from kernel code: another block of the same launch may "
+               "write it concurrently; use sim::GlobalStore/AtomicAdd "
+               "(charged) instead of a plain write");
+  }
+
+  void RunCrossBlockRace() {
+    static const std::set<std::string> kStores = {
+        "=",  "+=", "-=", "*=", "/=",  "%=",
+        "&=", "|=", "^=", "<<=", ">>="};
+    for (const KernelRegion& k : kernels_) {
+      for (int i = k.body.begin; i < k.body.end; ++i) {
+        const std::string& t = code_[i].text;
+        if (code_[i].kind == TokKind::kPunct && kStores.count(t)) {
+          // `p[i] = v` — subscript store through a tainted base.
+          int base = SubscriptBase(i - 1);
+          if (base >= 0 && tainted_.count(code_[base].text)) {
+            ReportRace(base, i);
+            continue;
+          }
+          // `*p = v` — deref store (the '*' must be prefix, not a product).
+          if (IsAnyIdent(i - 1) && IsTok(i - 2, "*") &&
+              tainted_.count(code_[i - 1].text)) {
+            const Token* before = i - 3 >= 0 ? &code_[i - 3] : nullptr;
+            const bool prefix =
+                before == nullptr ||
+                (before->kind == TokKind::kPunct && !before->Is(")") &&
+                 !before->Is("]"));
+            if (prefix) ReportRace(i - 1, i);
+          }
+          continue;
+        }
+        if (t == "++" || t == "--") {
+          // `++p[i]` / `p[i]++` increments.
+          int base = SubscriptBase(i - 1);
+          if (base < 0 && IsTok(i + 1, "]") == false) {
+            // Prefix form: ++ path [ ... ]
+            int j = i + 1;
+            while (IsAnyIdent(j) &&
+                   (IsTok(j + 1, ".") || IsTok(j + 1, "->"))) {
+              j += 2;
+            }
+            if (IsAnyIdent(j) && IsTok(j + 1, "[")) base = j;
+          }
+          if (base >= 0 && tainted_.count(code_[base].text)) {
+            ReportRace(base, i);
+          }
+        }
+      }
+    }
+  }
+
+  // --- Rule 3: modeled-clock-purity ----------------------------------------
+
+  void RunClockPurity() {
+    static const std::set<std::string> kWrites = {
+        "=",  "+=", "-=", "*=", "/=",  "%=",
+        "&=", "|=", "^=", "<<=", ">>="};
+    for (const Range& obs : observers_) {
+      for (int i = obs.begin; i < obs.end; ++i) {
+        const Token& t = code_[i];
+        if (t.kind == TokKind::kPunct &&
+            (kWrites.count(t.text) || t.Is("++") || t.Is("--"))) {
+          int target = -1;
+          if (IsAnyIdent(i - 1)) {
+            target = i - 1;  // counters_.barriers +=, *modeled_ns_ =
+          } else {
+            const int base = SubscriptBase(i - 1);
+            if (base >= 0) target = base;
+          }
+          if (target < 0 && (t.Is("++") || t.Is("--")) && IsAnyIdent(i + 1)) {
+            // Prefix ++counters.barriers: the charged field is the last
+            // ident of the path that follows.
+            int j = i + 1;
+            while (IsAnyIdent(j) && (IsTok(j + 1, ".") || IsTok(j + 1, "->"))) {
+              j += 2;
+            }
+            if (IsAnyIdent(j)) target = j;
+          }
+          if (target >= 0 && ChargedState().count(code_[target].text)) {
+            Report(kRuleClockPurity, i,
+                   "observer code mutates charged state '" +
+                       code_[target].text +
+                       "': profiler/checker/trace hooks must leave modeled "
+                       "time bit-identical (read, never charge)");
+          }
+          continue;
+        }
+        if (t.kind == TokKind::kIdent && IsTok(i + 1, "(") &&
+            ChargingCalls().count(t.text) && !defined_names_.count(i)) {
+          Report(kRuleClockPurity, i,
+                 "observer code calls charging path '" + t.text +
+                     "': cost-model charges from a zero-cost-off hook would "
+                     "shift modeled_ms when profiling toggles");
+        }
+      }
+    }
+  }
+
+  // --- Rule 4: unchecked-status --------------------------------------------
+
+  /// Recursively scans statements in [begin, end), diving into every brace
+  /// block (including lambda bodies nested inside call arguments).
+  void ScanStatements(int begin, int end) {
+    int s = begin;
+    int j = begin;
+    while (j < end) {
+      const Token& t = code_[j];
+      if (t.Is("(") || t.Is("[")) {
+        const int m = Match(j);
+        if (m < 0 || m >= end) {
+          ++j;
+          continue;
+        }
+        // Brace blocks inside the group (lambda bodies) still hold
+        // statements of their own.
+        for (int k = j + 1; k < m; ++k) {
+          if (code_[k].Is("{")) {
+            const int bm = Match(k);
+            if (bm < 0 || bm > m) break;
+            ScanStatements(k + 1, bm);
+            k = bm;
+          }
+        }
+        j = m + 1;
+        continue;
+      }
+      if (t.Is("{")) {
+        const int m = Match(j);
+        if (m < 0 || m >= end) {
+          ++j;
+          continue;
+        }
+        ScanStatements(j + 1, m);
+        j = m + 1;
+        s = j;
+        continue;
+      }
+      if (t.Is(";")) {
+        CheckDiscard(s, j);
+        ++j;
+        s = j;
+        continue;
+      }
+      if (t.Is("}")) {
+        ++j;
+        s = j;
+        continue;
+      }
+      ++j;
+    }
+  }
+
+  /// Flags `expr.Name(...);` statements that drop a Status/StatusOr. The
+  /// macro forms (KCORE_RETURN_IF_ERROR(...)) and capture forms (`auto s =`,
+  /// `return`, `(void)`) all fail the shape test and pass.
+  void CheckDiscard(int s, int semi) {
+    if (s >= semi) return;
+    // Explicit discard: (void)expr.
+    if (IsTok(s, "(") && Match(s) == s + 2 && IsIdentTok(s + 1, "void")) return;
+    // Collect top-level tokens (nested groups collapsed).
+    std::vector<int> top;
+    for (int j = s; j < semi; ++j) {
+      top.push_back(j);
+      if (code_[j].Is("(") || code_[j].Is("[") || code_[j].Is("{")) {
+        const int m = Match(j);
+        if (m < 0 || m >= semi) return;
+        top.push_back(m);
+        j = m;
+      }
+    }
+    if (top.size() < 2) return;
+    // Statement must end with a call group: ... Name ( ... )
+    const int close = top.back();
+    if (!code_[close].Is(")")) return;
+    const int open = Match(close);
+    if (open < 0) return;
+    int name = open - 1;
+    // Step back over explicit template arguments: Alloc<uint32_t>(...).
+    if (IsTok(name, ">") || IsTok(name, ">>")) {
+      int depth = 0;
+      for (int j = name; j >= s; --j) {
+        if (code_[j].Is(">")) ++depth;
+        if (code_[j].Is(">>")) depth += 2;
+        if (code_[j].Is("<")) {
+          if (--depth == 0) {
+            name = j - 1;
+            break;
+          }
+        }
+        if (j == s) return;
+      }
+    }
+    if (!IsAnyIdent(name) || !StatusApis().count(code_[name].text)) return;
+    // Everything before the callee must be a pure object path; any operator,
+    // assignment, return or macro wrapper disqualifies the shape. Two
+    // adjacent identifiers mean a *declaration* (`Status CopyFromHost(...);`
+    // — same token shape as a call), not a discarded result.
+    bool prev_ident = false;
+    for (int idx : top) {
+      if (idx > name) break;
+      const Token& t = code_[idx];
+      if (t.kind == TokKind::kIdent) {
+        if (t.text == "return" || t.text == "co_return" || t.text == "throw" ||
+            t.text == "delete" || t.text == "new") {
+          return;
+        }
+        if (prev_ident) return;
+        prev_ident = true;
+        continue;
+      }
+      prev_ident = false;
+      if (t.Is(".") || t.Is("->") || t.Is("::") || t.Is("*")) continue;
+      if (idx < name) return;
+    }
+    Report(kRuleUncheckedStatus, name,
+           "result of '" + code_[name].text +
+               "' is discarded: Status/StatusOr must be checked "
+               "(KCORE_RETURN_IF_ERROR / KCORE_ASSERT_OK) or explicitly "
+               "voided with a simlint:allow");
+  }
+
+  void RunUncheckedStatus() { ScanStatements(0, Count()); }
+
+  // --- Rule 5: host-confinement --------------------------------------------
+
+  void RunHostConfinement() {
+    for (const KernelRegion& k : kernels_) {
+      for (int i = k.body.begin; i < k.body.end; ++i) {
+        if (code_[i].kind != TokKind::kIdent || !IsTok(i + 1, "(")) continue;
+        const bool member = IsTok(i - 1, ".") || IsTok(i - 1, "->");
+        const std::string& name = code_[i].text;
+        const bool listed = (member && HostOnlyCalls().count(name) > 0) ||
+                            host_only_extra_.count(name) > 0;
+        if (!listed || defined_names_.count(i)) continue;
+        Report(kRuleHostConfinement, i,
+               "host-only call '" + name +
+                   "' inside kernel code: Device alloc/launch/clock/IO "
+                   "methods may only run on the host driving thread "
+                   "(device.h thread-compatibility contract)");
+      }
+    }
+  }
+
+  // --- State ---------------------------------------------------------------
+
+  std::string path_;
+  AnalyzerOptions options_;
+  std::vector<Token> code_;
+  std::vector<Token> comments_;
+  std::vector<int> match_;
+
+  std::vector<KernelRegion> kernels_;
+  std::vector<Range> observers_;
+  std::set<std::string> observer_names_;
+  std::vector<ForeachRegion> foreach_;
+  std::map<LambdaKind, std::set<std::string>> lambda_params_;
+  std::vector<ControlRegion> controls_;
+  std::set<std::string> device_objects_;
+  std::set<std::string> tainted_;
+  std::set<std::string> sync_fns_;
+  std::set<std::string> host_only_extra_;
+  std::set<int> defined_names_;
+
+  std::vector<Suppression> suppressions_;
+  std::vector<Finding> findings_;
+  std::set<std::tuple<int, int, std::string>> reported_;
+};
+
+}  // namespace
+
+const std::vector<std::string>& AllRules() {
+  static const std::vector<std::string> r = {
+      kRuleSyncDivergence, kRuleCrossBlockRace, kRuleClockPurity,
+      kRuleUncheckedStatus, kRuleHostConfinement};
+  return r;
+}
+
+std::string Finding::Format() const {
+  std::ostringstream os;
+  os << file << ":" << line << ":" << col << ": warning: " << message << " ["
+     << rule << "]";
+  return os.str();
+}
+
+std::vector<Finding> AnalyzeSource(const std::string& path,
+                                   const std::string& content,
+                                   const AnalyzerOptions& options) {
+  return FileAnalysis(path, content, options).Run();
+}
+
+std::vector<Finding> AnalyzeFile(const std::string& path,
+                                 const AnalyzerOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {{path, 0, 0, "io-error", "cannot read file"}};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return AnalyzeSource(path, buf.str(), options);
+}
+
+}  // namespace kcore::simlint

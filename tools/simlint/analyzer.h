@@ -1,0 +1,60 @@
+#ifndef KCORE_TOOLS_SIMLINT_ANALYZER_H_
+#define KCORE_TOOLS_SIMLINT_ANALYZER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace kcore::simlint {
+
+/// Rule identifiers, as spelled in diagnostics, suppression comments
+/// (`// simlint:allow(rule)`), --rules filters, and the baseline file.
+inline constexpr const char* kRuleSyncDivergence = "sync-divergence";
+inline constexpr const char* kRuleCrossBlockRace = "cross-block-race";
+inline constexpr const char* kRuleClockPurity = "modeled-clock-purity";
+inline constexpr const char* kRuleUncheckedStatus = "unchecked-status";
+inline constexpr const char* kRuleHostConfinement = "host-confinement";
+/// Meta-rule: a simlint:allow comment that silenced nothing.
+inline constexpr const char* kRuleStaleSuppression = "stale-suppression";
+
+/// Every real rule name, in reporting order (excludes the meta-rule).
+const std::vector<std::string>& AllRules();
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  int col = 0;
+  std::string rule;
+  std::string message;
+
+  /// "file:line:col: warning: message [rule]" — the gcc/clang diagnostic
+  /// shape, so editors and CI log scrapers parse simlint output for free.
+  std::string Format() const;
+};
+
+struct AnalyzerOptions {
+  /// Report simlint:allow comments that matched no finding (meta-rule
+  /// stale-suppression). On for CI and tests; off for exploratory runs on
+  /// single files where the allow may target a rule that needs whole-file
+  /// context to fire.
+  bool strict_suppressions = true;
+  /// When non-empty, only these rules run (stale-suppression always runs
+  /// under strict_suppressions).
+  std::set<std::string> rules;
+};
+
+/// Analyzes one translation unit (or header) given its contents. Pure: no
+/// filesystem access, so tests feed synthetic sources directly. Findings are
+/// sorted by line then column; suppressed findings are dropped.
+std::vector<Finding> AnalyzeSource(const std::string& path,
+                                   const std::string& content,
+                                   const AnalyzerOptions& options = {});
+
+/// Reads `path` and analyzes it. Returns a single io-error pseudo-finding
+/// (rule "io-error") when the file cannot be read.
+std::vector<Finding> AnalyzeFile(const std::string& path,
+                                 const AnalyzerOptions& options = {});
+
+}  // namespace kcore::simlint
+
+#endif  // KCORE_TOOLS_SIMLINT_ANALYZER_H_

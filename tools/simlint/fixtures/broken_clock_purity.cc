@@ -1,0 +1,44 @@
+// simlint fixture: observer code (profiler/checker/trace hooks) that charges
+// the modeled clock. Each violation would make a profiled run's modeled_ms
+// differ from an unprofiled one, breaking the zero-cost-off contract that
+// trace_test asserts dynamically. Analyzed by simlint_test against the
+// golden diagnostics in broken_clock_purity.golden.
+#include <cstdint>
+
+#include "cusim/annotations.h"
+
+namespace kcore::fixture {
+
+class KCORE_OBSERVER LeakyProfiler {
+ public:
+  void OnLaunch(uint32_t num_blocks) {
+    ++counters_.kernel_launches;
+    counters_.barriers += 1;
+    launches_seen_ += 1;  // observer-private state: fine.
+  }
+
+  void ResetClock(double* modeled_ns) {
+    *modeled_ns = 0.0;
+  }
+
+  template <typename BlockCtx>
+  void Flush(BlockCtx& block) {
+    block.Sync();
+  }
+
+ private:
+  PerfCounters counters_;
+  uint64_t launches_seen_ = 0;
+};
+
+// Zero-cost-off guard: the body only runs when profiling is enabled, so any
+// charge inside it shifts modeled time between profiled and plain runs.
+template <typename BlockCtx, typename Profiler>
+KCORE_KERNEL void GuardedKernel(BlockCtx& block, Profiler* profiler) {
+  if (profiler != nullptr) {
+    block.Sync();
+  }
+  block.Sync();  // unconditional: every thread arrives, correctly charged.
+}
+
+}  // namespace kcore::fixture

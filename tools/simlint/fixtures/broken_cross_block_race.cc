@@ -1,0 +1,34 @@
+// simlint fixture: plain stores through DeviceArray-backed pointers from
+// kernel code. Every block of the launch can reach these addresses, so each
+// non-atomic, uncharged store is a modeled cross-block race (and invisible
+// to the cost model). Analyzed by simlint_test against the golden
+// diagnostics in broken_cross_block_race.golden.
+#include <cstdint>
+
+#include "cusim/annotations.h"
+
+namespace kcore::fixture {
+
+template <typename DeviceArrayU32, typename Counters>
+KCORE_KERNEL void RemoveVertexRaw(DeviceArrayU32& d_deg, DeviceArrayU32& d_alive,
+                                  DeviceArrayU32& d_removed, uint32_t v,
+                                  uint32_t k, Counters& c) {
+  uint32_t* deg = d_deg.data();
+  uint32_t* alive = d_alive.data();
+  uint32_t* removed = d_removed.data();
+
+  alive[v] = 0;
+
+  deg[v] -= 1;
+
+  ++removed[0];
+
+  uint32_t* tail = d_removed.data();
+  *tail = k;
+
+  // The charged accessors are the correct spelling and must NOT be flagged.
+  sim::GlobalStore(&alive[v], uint32_t{0}, c);
+  sim::AtomicSub(&deg[v], uint32_t{1}, c);
+}
+
+}  // namespace kcore::fixture

@@ -1,0 +1,34 @@
+// simlint fixture: host-only Device surface invoked from kernel code. The
+// device.h thread-compatibility contract confines alloc/launch/clock/IO
+// methods to the host driving thread; calling them from inside a Launch
+// body is the cusim analogue of calling cudaMalloc from a __global__
+// function. Analyzed by simlint_test against the golden diagnostics in
+// broken_host_confinement.golden.
+#include <cstdint>
+
+#include "cusim/annotations.h"
+
+namespace kcore::fixture {
+
+template <typename Device, typename BlockCtx>
+KCORE_KERNEL void DeviceSideMisuse(Device* device, BlockCtx& block) {
+  (void)device->HealthCheck();
+
+  (void)device->WriteTrace("trace.json");
+
+  const double now_ms = device->modeled_ms();
+  (void)now_ms;
+
+  block.Sync();  // device-side barrier: fine.
+}
+
+// Launch-from-kernel: dynamic parallelism does not exist in the simulated
+// device; nested launches must be driven from the host loop.
+template <typename Device>
+Status NestedLaunch(Device& device) {
+  return device.Launch(1, 32, "outer", [&](auto& block) {
+    (void)device.Launch(1, 32, "inner", [&](auto& inner) { inner.Sync(); });
+  });
+}
+
+}  // namespace kcore::fixture

@@ -1,0 +1,41 @@
+// simlint fixture: every barrier below is reachable by only a subset of the
+// threads that must arrive, the modeled analogue of __syncthreads() under
+// divergent control flow (UB on real hardware, a synccheck hang here).
+// Never compiled into a target; analyzed by simlint_test against the golden
+// diagnostics in broken_sync_divergence.golden.
+#include <cstdint>
+
+#include "cusim/annotations.h"
+
+namespace kcore::fixture {
+
+// Block barrier hoisted INTO per-warp code: only the threads of one warp can
+// reach each dynamic instance, so the block-wide rendezvous never completes.
+template <typename BlockCtx>
+KCORE_KERNEL void WarpScopedBarrier(BlockCtx& block, uint32_t* histogram) {
+  block.ForEachWarp([&](auto& warp) {
+    histogram[warp.warp_id()] += 1;
+    block.Sync();
+  });
+}
+
+// Barrier under identity-derived control flow: the helper receives the warp
+// id as a parameter, so `warp_id == 0` diverges between warps of the block.
+template <typename BlockCtx>
+KCORE_KERNEL void LeaderOnlyBarrier(BlockCtx& block, uint32_t warp_id) {
+  if (warp_id == 0) {
+    block.Sync();
+  }
+}
+
+// Warp barrier inside per-lane code: SyncWarp is a full-warp rendezvous and
+// must sit at warp scope, not inside a ForEachLane body.
+template <typename WarpCtx>
+KCORE_KERNEL void LaneScopedWarpBarrier(WarpCtx& warp, uint32_t* out) {
+  warp.ForEachLane([&](uint32_t lane) {
+    out[lane] = lane;
+    warp.SyncWarp();
+  });
+}
+
+}  // namespace kcore::fixture

@@ -1,0 +1,31 @@
+// simlint fixture: Status / StatusOr results dropped on the floor. A failed
+// launch, allocation, or graph-IO call must never be silently ignored; the
+// checked spellings (KCORE_RETURN_IF_ERROR, capture, explicit (void)) all
+// pass the analyzer's shape test. Analyzed by simlint_test against the
+// golden diagnostics in broken_unchecked_status.golden.
+#include <cstdint>
+#include <string>
+
+#include "cusim/annotations.h"
+
+namespace kcore::fixture {
+
+template <typename Device, typename Graph, typename TraceT>
+Status RunAll(Device& device, const Graph& graph, const TraceT& trace,
+              uint64_t n) {
+  device.Launch(4, 32, "noop", [&](auto& block) { block.Sync(); });
+
+  device.Alloc<uint32_t>(n, "scratch");
+
+  trace.WriteChromeTrace("/tmp/out.json");
+
+  graph.Validate();
+
+  (void)device.HealthCheck();  // explicit discard: allowed.
+
+  KCORE_RETURN_IF_ERROR(device.CheckStatus());  // checked: allowed.
+
+  return device.CopyToHost();  // propagated: allowed.
+}
+
+}  // namespace kcore::fixture

@@ -1,0 +1,40 @@
+// simlint fixture: a well-behaved kernel + host driver pair exercising the
+// same constructs the broken_* fixtures misuse — charged accessors, block-
+// uniform barriers, checked Status, and one justified (used) suppression.
+// simlint_test asserts the analyzer reports nothing here.
+#include <cstdint>
+
+#include "cusim/annotations.h"
+
+namespace kcore::fixture {
+
+// Single-block init kernel: the suppression below is *used*, so it is not
+// reported as stale, and the store it excuses is not reported as a race.
+template <typename DeviceArrayU32>
+KCORE_KERNEL void InitDegrees(DeviceArrayU32& d_deg, uint32_t n) {
+  uint32_t* deg = d_deg.data();
+  for (uint32_t v = 0; v < n; ++v) {
+    deg[v] = 0;  // simlint:allow(cross-block-race): single-block init kernel
+  }
+}
+
+template <typename BlockCtx, typename DeviceArrayU32, typename Counters>
+KCORE_KERNEL void ReduceKernel(BlockCtx& block, DeviceArrayU32& d_out,
+                               Counters& c) {
+  uint32_t* out = d_out.data();
+  block.ForEachWarp([&](auto& warp) {
+    warp.ForEachLane([&](uint32_t lane) {
+      sim::AtomicAdd(&out[0], lane, c);
+    });
+  });
+  block.Sync();  // block-uniform: every thread arrives.
+  sim::GlobalStore(&out[1], uint32_t{1}, c);
+}
+
+template <typename Device>
+Status Drive(Device& device) {
+  KCORE_RETURN_IF_ERROR(device.HealthCheck());
+  return device.Launch(4, 64, "reduce", [&](auto& block) { block.Sync(); });
+}
+
+}  // namespace kcore::fixture

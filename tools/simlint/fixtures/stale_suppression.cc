@@ -1,0 +1,15 @@
+// simlint fixture: a suppression comment with no finding under it. Strict
+// mode (the default, used by the tree-wide gate) reports it as
+// stale-suppression so silenced exceptions cannot outlive the code they
+// excused; --lax-suppressions turns the check off. Analyzed by simlint_test
+// against the golden diagnostics in stale_suppression.golden.
+#include <cstdint>
+
+namespace kcore::fixture {
+
+inline uint32_t DoubleIt(uint32_t x) {
+  // simlint:allow(cross-block-race): leftover from a deleted raw store
+  return 2 * x;
+}
+
+}  // namespace kcore::fixture

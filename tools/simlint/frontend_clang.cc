@@ -1,0 +1,104 @@
+// simlint-clang — optional Clang-LibTooling frontend for simlint.
+//
+// Built only when CMake is configured with -DKCORE_SIMLINT_CLANG=ON *and*
+// find_package(Clang CONFIG) resolves (i.e. the clang C++ dev headers are
+// installed — libclang-cpp runtime alone is not enough). The default build
+// always ships the token-structural engine (analyzer.cc), which needs no
+// LLVM at all; this frontend is the upgrade path to true AST/CFG precision:
+//
+//   * sync-divergence over the real CFG (dominator-based barrier-divergence
+//     in the GPUVerify style) instead of lexical control regions,
+//   * alias-aware DeviceArray taint instead of name-based taint,
+//   * annotation-attribute driven region discovery (the KCORE_* macros
+//     expand to __attribute__((annotate("kcore_*"))) under clang, so the
+//     anchors survive into the AST — see src/cusim/annotations.h).
+//
+// The frontend reuses the shared rule vocabulary from analyzer.h so both
+// engines emit identical rule names, suppressions, and baseline syntax.
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analyzer.h"
+
+#if !defined(KCORE_SIMLINT_HAVE_CLANG)
+// Configured without clang dev libraries: compile to a loud stub so the
+// target still links and explains itself instead of silently vanishing.
+int main(int, char**) {
+  std::cerr
+      << "simlint-clang: built without clang dev libraries.\n"
+         "Reconfigure with -DKCORE_SIMLINT_CLANG=ON on a machine with the\n"
+         "clang CMake package installed (libclang-cpp *headers*, not just\n"
+         "the runtime), or use the dependency-free `simlint` binary, which\n"
+         "implements the same rules.\n";
+  return 2;
+}
+#else
+
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Frontend/FrontendActions.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+
+namespace {
+
+using namespace clang;               // NOLINT
+using namespace clang::ast_matchers; // NOLINT
+
+llvm::cl::OptionCategory kSimlintCategory("simlint-clang options");
+
+/// Reports calls to functions annotated kcore_host_only from within
+/// functions/lambdas annotated kcore_kernel — the AST-accurate version of
+/// the host-confinement rule. The other rules follow the same recipe
+/// (annotation anchors + matchers) and are ported incrementally; until then
+/// the token engine remains authoritative for CI.
+class HostConfinementCallback : public MatchFinder::MatchCallback {
+ public:
+  void run(const MatchFinder::MatchResult& result) override {
+    const auto* call = result.Nodes.getNodeAs<CallExpr>("call");
+    if (call == nullptr) return;
+    const auto& sm = *result.SourceManager;
+    const auto loc = sm.getPresumedLoc(call->getBeginLoc());
+    if (loc.isInvalid()) return;
+    std::cout << loc.getFilename() << ":" << loc.getLine() << ":"
+              << loc.getColumn()
+              << ": warning: host-only call inside kernel code ["
+              << kcore::simlint::kRuleHostConfinement << "]\n";
+    ++findings_;
+  }
+  int findings() const { return findings_; }
+
+ private:
+  int findings_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  auto options_parser =
+      tooling::CommonOptionsParser::create(argc, argv, kSimlintCategory);
+  if (!options_parser) {
+    llvm::errs() << llvm::toString(options_parser.takeError());
+    return 2;
+  }
+  tooling::ClangTool tool(options_parser->getCompilations(),
+                          options_parser->getSourcePathList());
+
+  HostConfinementCallback host_confinement;
+  MatchFinder finder;
+  finder.addMatcher(
+      callExpr(callee(functionDecl(hasAttr(attr::Annotate))),
+               hasAncestor(functionDecl(hasAttr(attr::Annotate))))
+          .bind("call"),
+      &host_confinement);
+
+  const int run_rc = tool.run(tooling::newFrontendActionFactory(&finder).get());
+  if (run_rc != 0) return 2;
+  return host_confinement.findings() > 0 ? 1 : 0;
+}
+
+#endif  // KCORE_SIMLINT_HAVE_CLANG

@@ -1,0 +1,188 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace kcore::simlint {
+namespace {
+
+/// Multi-character punctuators, longest first so maximal munch falls out of
+/// linear probing. Three-character operators before two-character ones.
+constexpr const char* kPuncts[] = {
+    "<<=", ">>=", "<=>", "...", "->*", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "++",  "--", "+=", "-=", "*=", "/=", "%=",
+    "&=",  "|=",  "^=",  ".*",
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Cursor {
+ public:
+  explicit Cursor(const std::string& src) : src_(src) {}
+
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  bool StartsWith(const char* s) const {
+    return src_.compare(pos_, std::strlen(s), s) == 0;
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  void AdvanceBy(size_t n) {
+    for (size_t i = 0; i < n && !AtEnd(); ++i) Advance();
+  }
+
+  size_t pos() const { return pos_; }
+  int line() const { return line_; }
+  int col() const { return col_; }
+  std::string Slice(size_t from) const { return src_.substr(from, pos_ - from); }
+
+ private:
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& source) {
+  std::vector<Token> tokens;
+  Cursor cur(source);
+  bool line_start = true;  // Only whitespace seen since the last newline.
+
+  auto emit = [&](TokKind kind, size_t from, int line, int col) {
+    tokens.push_back({kind, cur.Slice(from), line, col});
+  };
+
+  while (!cur.AtEnd()) {
+    const char c = cur.Peek();
+    const int line = cur.line();
+    const int col = cur.col();
+    const size_t from = cur.pos();
+
+    if (c == '\n') {
+      cur.Advance();
+      line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.Advance();
+      continue;
+    }
+
+    // Preprocessor directive: '#' first on its line; swallow continuations.
+    if (c == '#' && line_start) {
+      while (!cur.AtEnd() && cur.Peek() != '\n') {
+        if (cur.Peek() == '\\' && cur.Peek(1) == '\n') cur.Advance();
+        cur.Advance();
+      }
+      emit(TokKind::kDirective, from, line, col);
+      line_start = true;
+      continue;
+    }
+    line_start = false;
+
+    // Comments.
+    if (c == '/' && cur.Peek(1) == '/') {
+      while (!cur.AtEnd() && cur.Peek() != '\n') cur.Advance();
+      emit(TokKind::kComment, from, line, col);
+      continue;
+    }
+    if (c == '/' && cur.Peek(1) == '*') {
+      cur.AdvanceBy(2);
+      while (!cur.AtEnd() && !(cur.Peek() == '*' && cur.Peek(1) == '/')) {
+        cur.Advance();
+      }
+      cur.AdvanceBy(2);
+      emit(TokKind::kComment, from, line, col);
+      continue;
+    }
+
+    // Raw string literals: R"delim( ... )delim".
+    if (c == 'R' && cur.Peek(1) == '"') {
+      cur.AdvanceBy(2);
+      std::string delim;
+      while (!cur.AtEnd() && cur.Peek() != '(') delim += cur.Advance();
+      const std::string close = ")" + delim + "\"";
+      while (!cur.AtEnd() && !cur.StartsWith(close.c_str())) cur.Advance();
+      cur.AdvanceBy(close.size());
+      emit(TokKind::kString, from, line, col);
+      continue;
+    }
+
+    // String / char literals with escape handling.
+    if (c == '"' || c == '\'') {
+      const char quote = cur.Advance();
+      while (!cur.AtEnd() && cur.Peek() != quote && cur.Peek() != '\n') {
+        if (cur.Peek() == '\\') cur.Advance();
+        if (!cur.AtEnd()) cur.Advance();
+      }
+      if (!cur.AtEnd() && cur.Peek() == quote) cur.Advance();
+      emit(quote == '"' ? TokKind::kString : TokKind::kChar, from, line, col);
+      continue;
+    }
+
+    // Numbers (handles hex, floats, exponents, ' separators; a leading '.'
+    // followed by a digit is a float).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(cur.Peek(1))))) {
+      cur.Advance();
+      while (!cur.AtEnd()) {
+        const char n = cur.Peek();
+        if (IsIdentChar(n) || n == '.' || n == '\'') {
+          // Exponent signs: 1e-5, 0x1p+3.
+          if ((n == 'e' || n == 'E' || n == 'p' || n == 'P') &&
+              (cur.Peek(1) == '+' || cur.Peek(1) == '-')) {
+            cur.AdvanceBy(2);
+            continue;
+          }
+          cur.Advance();
+          continue;
+        }
+        break;
+      }
+      emit(TokKind::kNumber, from, line, col);
+      continue;
+    }
+
+    // Identifiers / keywords.
+    if (IsIdentStart(c)) {
+      while (!cur.AtEnd() && IsIdentChar(cur.Peek())) cur.Advance();
+      emit(TokKind::kIdent, from, line, col);
+      continue;
+    }
+
+    // Punctuation, maximal munch.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      if (cur.StartsWith(p)) {
+        cur.AdvanceBy(std::strlen(p));
+        emit(TokKind::kPunct, from, line, col);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      cur.Advance();
+      emit(TokKind::kPunct, from, line, col);
+    }
+  }
+  return tokens;
+}
+
+}  // namespace kcore::simlint

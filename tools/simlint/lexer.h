@@ -1,0 +1,46 @@
+#ifndef KCORE_TOOLS_SIMLINT_LEXER_H_
+#define KCORE_TOOLS_SIMLINT_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kcore::simlint {
+
+/// Token kinds for the simlint C++ lexer. The lexer is deliberately not a
+/// parser: simlint's rules are defined over token patterns anchored by the
+/// KCORE_* annotation macros and the cusim DSL's fixed vocabulary
+/// (Launch / ForEachWarp / Sync / GlobalStore / ...), which a faithful
+/// tokenizer resolves unambiguously without a full C++ grammar. Comments and
+/// preprocessor directives are retained as tokens so suppression comments
+/// (`// simlint:allow(rule)`) keep their source positions.
+enum class TokKind : uint8_t {
+  kIdent,      ///< Identifiers and keywords (no keyword table needed).
+  kNumber,     ///< Integer / float literals, including ' separators.
+  kString,     ///< "..." and R"delim(...)delim" literals.
+  kChar,       ///< '...' literals.
+  kPunct,      ///< Operators and punctuation, maximal munch ("<<=", "->").
+  kComment,    ///< // and /* */ comments, text includes delimiters.
+  kDirective,  ///< Whole preprocessor line(s), including continuations.
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  ///< 1-based line of the token's first character.
+  int col = 0;   ///< 1-based column of the token's first character.
+
+  bool Is(const char* s) const { return text == s; }
+  bool IsIdent(const char* s) const {
+    return kind == TokKind::kIdent && text == s;
+  }
+};
+
+/// Tokenizes C++ source. Never fails: unterminated constructs are closed at
+/// end of input (the analyzer runs on in-progress trees, not just compiling
+/// ones). Comments and directives are interleaved in source order.
+std::vector<Token> Lex(const std::string& source);
+
+}  // namespace kcore::simlint
+
+#endif  // KCORE_TOOLS_SIMLINT_LEXER_H_

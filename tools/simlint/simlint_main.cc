@@ -1,0 +1,249 @@
+// simlint — static analyzer for the cusim kernel DSL.
+//
+// A GPUVerify-style checker specialized to this repo's simulated-GPU
+// programming model: it proves (token-structurally, over all paths) the
+// invariants that simcheck and the differential fuzzer can only observe on
+// executed schedules. See DESIGN.md "Static analysis" for the rule-by-rule
+// mapping to real-CUDA tooling.
+//
+// Usage:
+//   simlint [options] <file>...
+//   simlint [options] -p <build-dir> --root <repo-root>
+//
+// With -p, the file list is derived from the exported compile_commands.json
+// (plus headers under <root>/src), restricted to src/ and tools/ sources.
+//
+// Options:
+//   --baseline <file>   Known-findings file: matching findings are reported
+//                       as baselined (non-fatal); entries that match nothing
+//                       are stale and fatal. The committed baseline
+//                       (tools/simlint_baseline.txt) must stay empty.
+//   --rules a,b,c       Run only the named rules.
+//   --lax-suppressions  Do not report stale simlint:allow comments.
+//   --list-files        Print the resolved file list and exit.
+//   -q                  Suppress the per-finding lines (summary only).
+//
+// Exit codes: 0 clean, 1 findings or stale baseline/suppressions, 2 usage or
+// IO error.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.h"
+
+namespace fs = std::filesystem;
+using kcore::simlint::AnalyzerOptions;
+using kcore::simlint::Finding;
+
+namespace {
+
+struct BaselineEntry {
+  std::string rule;
+  std::string path_suffix;
+  int line = 0;  // Line in the baseline file, for stale reports.
+  bool used = false;
+};
+
+std::vector<BaselineEntry> LoadBaseline(const std::string& path, bool* ok) {
+  std::vector<BaselineEntry> entries;
+  std::ifstream in(path);
+  *ok = static_cast<bool>(in);
+  if (!*ok) return entries;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t b = line.find_first_not_of(" \t");
+    if (b == std::string::npos || line[b] == '#') continue;
+    std::istringstream fields(line);
+    BaselineEntry e;
+    e.line = lineno;
+    if (fields >> e.rule >> e.path_suffix) entries.push_back(e);
+  }
+  return entries;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Extracts the "file" values from compile_commands.json. The format is
+/// machine-written (CMake), so a targeted scan beats a JSON dependency.
+std::vector<std::string> CompileCommandFiles(const std::string& json) {
+  std::vector<std::string> files;
+  const std::string key = "\"file\"";
+  size_t at = 0;
+  while ((at = json.find(key, at)) != std::string::npos) {
+    const size_t colon = json.find(':', at + key.size());
+    if (colon == std::string::npos) break;
+    const size_t q1 = json.find('"', colon);
+    if (q1 == std::string::npos) break;
+    const size_t q2 = json.find('"', q1 + 1);
+    if (q2 == std::string::npos) break;
+    files.push_back(json.substr(q1 + 1, q2 - q1 - 1));
+    at = q2 + 1;
+  }
+  return files;
+}
+
+/// The analysis scope under -p: sources under <root>/src and <root>/tools,
+/// excluding simlint's own fixture corpus (those are *meant* to be broken).
+bool InScope(const std::string& path, const std::string& root) {
+  if (path.find("/simlint/fixtures/") != std::string::npos) return false;
+  return path.rfind(root + "/src/", 0) == 0 ||
+         path.rfind(root + "/tools/", 0) == 0;
+}
+
+int Usage() {
+  std::cerr << "usage: simlint [--baseline f] [--rules a,b] "
+               "[--lax-suppressions] [--list-files] [-q] "
+               "(<file>... | -p <build-dir> --root <repo-root>)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::string build_dir;
+  std::string root;
+  std::string baseline_path;
+  AnalyzerOptions options;
+  bool list_files = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "-p") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      build_dir = v;
+    } else if (arg == "--root") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      root = fs::absolute(v).lexically_normal().string();
+      if (!root.empty() && root.back() == '/') root.pop_back();
+    } else if (arg == "--baseline") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      baseline_path = v;
+    } else if (arg == "--rules") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      std::stringstream ss(v);
+      std::string rule;
+      while (std::getline(ss, rule, ',')) options.rules.insert(rule);
+    } else if (arg == "--lax-suppressions") {
+      options.strict_suppressions = false;
+    } else if (arg == "--list-files") {
+      list_files = true;
+    } else if (arg == "-q") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (!build_dir.empty()) {
+    if (root.empty()) return Usage();
+    const std::string cc_path = build_dir + "/compile_commands.json";
+    std::ifstream in(cc_path);
+    if (!in) {
+      std::cerr << "simlint: cannot read " << cc_path
+                << " (configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::set<std::string> scoped;
+    for (const std::string& f : CompileCommandFiles(buf.str())) {
+      const std::string abs = fs::absolute(f).lexically_normal().string();
+      if (InScope(abs, root)) scoped.insert(abs);
+    }
+    // compile_commands.json only lists .cc TUs; headers hold kernel-callable
+    // collectives and the Device inline surface, so sweep them in too.
+    std::error_code ec;
+    for (fs::recursive_directory_iterator it(root + "/src", ec), end;
+         !ec && it != end; it.increment(ec)) {
+      if (!it->is_regular_file()) continue;
+      const std::string p = it->path().lexically_normal().string();
+      if (EndsWith(p, ".h") && InScope(p, root)) scoped.insert(p);
+    }
+    files.assign(scoped.begin(), scoped.end());
+  }
+
+  if (files.empty()) return Usage();
+  if (list_files) {
+    for (const std::string& f : files) std::cout << f << "\n";
+    return 0;
+  }
+
+  bool baseline_ok = true;
+  std::vector<BaselineEntry> baseline;
+  if (!baseline_path.empty()) {
+    baseline = LoadBaseline(baseline_path, &baseline_ok);
+    if (!baseline_ok) {
+      std::cerr << "simlint: cannot read baseline " << baseline_path << "\n";
+      return 2;
+    }
+  }
+
+  int fatal = 0, baselined = 0;
+  for (const std::string& f : files) {
+    for (const Finding& finding : kcore::simlint::AnalyzeFile(f, options)) {
+      if (finding.rule == "io-error") {
+        std::cerr << "simlint: " << finding.file << ": " << finding.message
+                  << "\n";
+        return 2;
+      }
+      bool known = false;
+      for (BaselineEntry& e : baseline) {
+        if (e.rule == finding.rule && EndsWith(finding.file, e.path_suffix)) {
+          e.used = true;
+          known = true;
+        }
+      }
+      if (known) {
+        ++baselined;
+        if (!quiet) {
+          std::cout << finding.Format() << " (baselined)" << "\n";
+        }
+        continue;
+      }
+      ++fatal;
+      if (!quiet) std::cout << finding.Format() << "\n";
+    }
+  }
+
+  int stale = 0;
+  for (const BaselineEntry& e : baseline) {
+    if (e.used) continue;
+    ++stale;
+    std::cout << baseline_path << ":" << e.line
+              << ": warning: stale baseline entry '" << e.rule << " "
+              << e.path_suffix
+              << "' matches no finding; delete it [stale-baseline]\n";
+  }
+
+  std::cout << "simlint: " << files.size() << " file(s), " << fatal
+            << " finding(s)";
+  if (baselined > 0) std::cout << ", " << baselined << " baselined";
+  if (stale > 0) std::cout << ", " << stale << " stale baseline entr(ies)";
+  std::cout << "\n";
+  return (fatal > 0 || stale > 0) ? 1 : 0;
+}
