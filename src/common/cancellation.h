@@ -1,0 +1,104 @@
+#ifndef KCORE_COMMON_CANCELLATION_H_
+#define KCORE_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+
+#include "common/status.h"
+
+namespace kcore {
+
+/// Cooperative cancellation flag, shared between a request owner (who calls
+/// Cancel) and the engine executing the request (which polls cancelled() at
+/// round boundaries — see CancelContext below). Thread-safe: Cancel may be
+/// called from any thread while an engine is mid-round; the engine observes
+/// the flag no later than its next round boundary.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// A wall-clock deadline. Default-constructed deadlines never expire; a
+/// finite one is anchored at construction time (AfterMillis). Wall clock —
+/// not the modeled device clock — because a serving deadline bounds how long
+/// the *caller* waits, which includes host-side recovery and queueing, not
+/// just modeled kernel time (that budget is Status::Timeout's job).
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() = default;
+
+  /// Expires `ms` wall-clock milliseconds from now. ms <= 0 is already
+  /// expired (useful for tests and for "fail fast" admission probes).
+  static Deadline AfterMillis(double ms) {
+    Deadline d;
+    d.has_deadline_ = true;
+    d.when_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double, std::milli>(ms));
+    return d;
+  }
+
+  bool infinite() const { return !has_deadline_; }
+
+  bool expired() const { return has_deadline_ && Clock::now() >= when_; }
+
+  /// Milliseconds until expiry; +inf when infinite, clamped at 0 once past.
+  double remaining_millis() const {
+    if (!has_deadline_) return std::numeric_limits<double>::infinity();
+    const double ms =
+        std::chrono::duration<double, std::milli>(when_ - Clock::now())
+            .count();
+    return ms < 0.0 ? 0.0 : ms;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool has_deadline_ = false;
+  Clock::time_point when_{};
+};
+
+/// The request-lifecycle context an engine polls at every round boundary:
+/// an optional cooperative CancelToken and an optional Deadline. Engines
+/// carry a `const CancelContext*` in their options (GpuPeelOptions,
+/// MultiGpuOptions, VetgaConfig); nullptr means "no lifecycle" and costs
+/// nothing on the hot path.
+///
+/// The contract (DESIGN.md "deadline at round boundaries"): a check between
+/// rounds means an expired or cancelled request stops and releases its
+/// device buffers within ONE peel round — never mid-kernel, so the device
+/// is left in a consistent state, and never later than the next boundary.
+struct CancelContext {
+  /// Not owned; may be null (deadline-only context). Must outlive the run.
+  const CancelToken* token = nullptr;
+  Deadline deadline;
+
+  /// OK while the request is live; Status::Cancelled once the token fires,
+  /// Status::DeadlineExceeded once the deadline passes (token wins when both
+  /// hold — the caller explicitly asked first). `where` names the checking
+  /// round boundary in the error message.
+  Status Check(const char* where) const {
+    if (token != nullptr && token->cancelled()) {
+      return Status::Cancelled(std::string("request cancelled at ") + where);
+    }
+    if (deadline.expired()) {
+      return Status::DeadlineExceeded(std::string("deadline expired at ") +
+                                      where);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace kcore
+
+#endif  // KCORE_COMMON_CANCELLATION_H_

@@ -26,6 +26,16 @@ enum class StatusCode : uint8_t {
   /// The device is gone for good (cudaErrorDeviceUnavailable analogue):
   /// every further operation on it fails with this code.
   kDeviceLost = 11,
+  /// The caller cancelled the request (cooperative cancellation, see
+  /// common/cancellation.h). Checked at round boundaries by the engines.
+  kCancelled = 12,
+  /// The request's deadline expired before the work completed. Distinct from
+  /// kTimeout, which is a *modeled*-time budget (">1hr" benchmark rows);
+  /// this is wall-clock request-lifecycle budget.
+  kDeadlineExceeded = 13,
+  /// Admission control rejected the request (bounded queue full). Carries a
+  /// retry-after hint at the serving layer; retrying later may succeed.
+  kResourceExhausted = 14,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -83,6 +93,15 @@ class [[nodiscard]] Status {
   static Status DeviceLost(std::string msg) {
     return Status(StatusCode::kDeviceLost, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -105,6 +124,13 @@ class [[nodiscard]] Status {
   bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsDeviceLost() const { return code_ == StatusCode::kDeviceLost; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

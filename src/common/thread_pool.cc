@@ -45,8 +45,30 @@ void ThreadPool::HelpRun(Batch& batch) {
   while (true) {
     const uint64_t index = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (index >= batch.count) break;
-    (*batch.fn)(index);
-    if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+    uint64_t accounted = 1;  // this index, plus any bulk-skipped below
+    try {
+      (*batch.fn)(index);
+    } catch (...) {
+      // Record the first exception (for the ParallelFor caller to rethrow)
+      // and abort the batch: claim every unclaimed index in one step so no
+      // further task body runs. Indices claimed by other threads are
+      // accounted by those threads as they finish, so `done` still reaches
+      // `count` and nobody hangs — a thrown task must never wedge the pool
+      // (the batch would stay current_ and the next ParallelFor would
+      // CHECK-fail) or escape into a worker thread (std::terminate).
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (batch.error == nullptr) batch.error = std::current_exception();
+      }
+      uint64_t unclaimed = batch.next.load(std::memory_order_relaxed);
+      while (unclaimed < batch.count &&
+             !batch.next.compare_exchange_weak(unclaimed, batch.count,
+                                               std::memory_order_relaxed)) {
+      }
+      if (unclaimed < batch.count) accounted += batch.count - unclaimed;
+    }
+    if (batch.done.fetch_add(accounted, std::memory_order_acq_rel) +
+            accounted ==
         batch.count) {
       // Notify while holding the lock so a waiter that has checked the
       // predicate but not yet blocked cannot miss the wakeup.
@@ -70,13 +92,18 @@ void ThreadPool::ParallelFor(uint64_t count,
   }
   work_cv_.notify_all();
   HelpRun(*batch);
+  std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [&] {
       return batch->done.load(std::memory_order_acquire) == batch->count;
     });
     current_.reset();
+    error = batch->error;
   }
+  // Rethrow the first task exception only after the batch fully drained and
+  // current_ is cleared: the pool is reusable from the catch block.
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 void ThreadPool::RunLanes(uint32_t lanes,

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -34,6 +35,12 @@ class ThreadPool {
   /// Runs fn(i) for i in [0, count), distributing indices dynamically over
   /// the workers plus the calling thread. Blocks until all complete.
   /// `fn` must be safe to invoke concurrently from multiple threads.
+  ///
+  /// Exception safety: if fn throws, the remaining unclaimed indices are
+  /// skipped, already-running invocations finish, and the FIRST exception is
+  /// rethrown here on the calling thread once the batch has fully drained.
+  /// The pool stays usable afterwards (no wedged batch, no terminated
+  /// worker) — the serving loop leans on this to survive a throwing task.
   void ParallelFor(uint64_t count, const std::function<void(uint64_t)>& fn);
 
   /// Runs fn(lane) once for each lane in [0, lanes). Lanes may exceed the
@@ -50,6 +57,9 @@ class ThreadPool {
     const std::function<void(uint64_t)>* fn = nullptr;
     std::atomic<uint64_t> next{0};
     std::atomic<uint64_t> done{0};
+    /// First exception thrown by fn, rethrown on the ParallelFor caller.
+    /// Guarded by the pool's mu_.
+    std::exception_ptr error;
   };
 
   void WorkerLoop();

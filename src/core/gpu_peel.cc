@@ -1441,6 +1441,22 @@ StatusOr<DecomposeResult> GpuPeelDecomposer::Decompose(const CsrGraph& graph) {
   sim::SimProfiler* const prof = device_->profiler();
   uint32_t level_retries = 0;
   while (count < n) {  // Line 5.
+    // Round-boundary lifecycle check (common/cancellation.h): an expired or
+    // cancelled request stops here — before the next scan launch — so the
+    // device arrays free on return and the device is released within one
+    // peel round of the trigger.
+    if (opt.cancel != nullptr) {
+      if (Status live = opt.cancel->Check("gpu_peel round boundary");
+          !live.ok()) {
+        if (prof != nullptr) {
+          prof->Mark(StrFormat("%s k=%u",
+                               live.IsCancelled() ? "cancelled"
+                                                  : "deadline_exceeded",
+                               k));
+        }
+        return live;
+      }
+    }
     Status level = run_level();
     if (level.ok()) {
       if (resilient) {
@@ -1585,6 +1601,14 @@ StatusOr<SingleKCoreResult> GpuSingleKCore(const CsrGraph& graph, uint32_t k,
   // the CPU algorithm below.
   std::vector<uint32_t> final_deg;
   const auto run = [&]() -> Status {
+    // Single-k mining is one scan+loop pair — its only "round boundary" is
+    // the entry point, so the lifecycle check runs before the device is
+    // touched at all. Cancelled/DeadlineExceeded surface to the caller
+    // directly (they are request outcomes, not engine faults, so the CPU
+    // fallback below must not absorb them).
+    if (opt.cancel != nullptr) {
+      KCORE_RETURN_IF_ERROR(opt.cancel->Check("single-k entry"));
+    }
     sim::DeviceArray<EdgeIndex> d_offsets;
     sim::DeviceArray<VertexId> d_neighbors;
     sim::DeviceArray<uint32_t> d_deg;

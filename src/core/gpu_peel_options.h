@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
+
 namespace kcore {
 
 /// How newly found k-shell vertices are appended to a block's buffer
@@ -150,6 +152,13 @@ struct GpuPeelOptions {
 
   /// Recovery policy under fault injection (inert without a fault plan).
   ResilienceOptions resilience;
+
+  /// Request lifecycle (common/cancellation.h): non-null makes the driver
+  /// poll the token/deadline at every round boundary and return
+  /// Cancelled / DeadlineExceeded — releasing the device within one peel
+  /// round — instead of running to completion. Not owned; must outlive the
+  /// run. nullptr (the default) costs nothing.
+  const CancelContext* cancel = nullptr;
 
   /// Named ablation presets matching the columns of Table II.
   static GpuPeelOptions Ours() { return {}; }

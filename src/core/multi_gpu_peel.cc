@@ -699,6 +699,25 @@ StatusOr<DecomposeResult> RunMultiGpuPeel(const CsrGraph& graph,
 
   uint32_t level_retries = 0;
   while (removed.load(std::memory_order_relaxed) < n) {
+    // Round-boundary lifecycle check (common/cancellation.h): between
+    // k-levels every worker is quiescent (the fleet's natural barrier), so
+    // stopping here releases all partitions within one round. The merged
+    // trace is still handed to the caller so the cancellation marker is
+    // visible on the timeline.
+    if (options.cancel != nullptr) {
+      if (Status live = options.cancel->Check("multi_gpu round boundary");
+          !live.ok()) {
+        if (tracing) {
+          trace.AddInstant(
+              StrFormat("%s k=%u",
+                        live.IsCancelled() ? "cancelled" : "deadline_exceeded",
+                        k),
+              kTraceCatRecovery, 0, kTraceTidRanges, now_ns());
+          flush_trace();
+        }
+        return live;
+      }
+    }
     const double round_start_ns = now_ns();
     Status round = run_round();
     if (tracing) {

@@ -64,6 +64,12 @@ struct MultiGpuOptions {
   /// remaining rounds run on CPU PKC (Metrics.degraded).
   ResilienceOptions resilience;
 
+  /// Request lifecycle (common/cancellation.h): non-null makes the master
+  /// poll the token/deadline at every round boundary (between k-levels, the
+  /// fleet's natural barrier) and return Cancelled / DeadlineExceeded,
+  /// releasing every worker's partition within one round. Not owned.
+  const CancelContext* cancel = nullptr;
+
   /// simprof output (see cusim/simprof.h): non-null enables profiling and
   /// receives the fleet's merged timeline on return — the master as pid 0
   /// (round ranges, border exchanges, checkpoint/reshard markers) and worker

@@ -1,0 +1,225 @@
+#include "serve/engine.h"
+
+#include <utility>
+
+#include "core/gpu_peel.h"
+#include "core/single_k.h"
+#include "cpu/bz.h"
+#include "cpu/mpm.h"
+#include "cpu/park.h"
+#include "cpu/pkc.h"
+#include "cpu/xiang.h"
+
+namespace kcore {
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kGpu:
+      return "gpu";
+    case EngineKind::kMultiGpu:
+      return "multigpu";
+    case EngineKind::kVetga:
+      return "vetga";
+    case EngineKind::kBz:
+      return "bz";
+    case EngineKind::kPkc:
+      return "pkc";
+    case EngineKind::kPark:
+      return "park";
+    case EngineKind::kMpm:
+      return "mpm";
+  }
+  return "unknown";
+}
+
+bool ParseEngineKind(const std::string& token, EngineKind* out) {
+  for (EngineKind kind :
+       {EngineKind::kGpu, EngineKind::kMultiGpu, EngineKind::kVetga,
+        EngineKind::kBz, EngineKind::kPkc, EngineKind::kPark,
+        EngineKind::kMpm}) {
+    if (token == EngineKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+StatusOr<SingleKCoreResult> Engine::SingleK(const CsrGraph& graph, uint32_t k,
+                                            const EngineRunContext& ctx) {
+  if (k < 1) {
+    return Status::InvalidArgument("single-k mining requires k >= 1");
+  }
+  if (ctx.cancel != nullptr) {
+    KCORE_RETURN_IF_ERROR(ctx.cancel->Check("single-k CPU entry"));
+  }
+  return XiangSingleKCore(graph, k);
+}
+
+Status Engine::HealthCheck(const EngineRunContext&) { return Status::OK(); }
+
+namespace {
+
+/// Resolves the device options for one run: the configured template with the
+/// context's fault-plan override applied.
+sim::DeviceOptions RunDeviceOptions(const sim::DeviceOptions& base,
+                                    const EngineRunContext& ctx) {
+  sim::DeviceOptions options = base;
+  if (ctx.fault_spec_override != nullptr) {
+    options.fault_spec = *ctx.fault_spec_override;
+  }
+  if (ctx.trace != nullptr) options.profile = true;
+  return options;
+}
+
+/// Single-GPU peeling engine. Each run gets a fresh device so fault plans
+/// attach per request and a latched DeviceLost cannot poison later runs.
+class GpuEngine : public Engine {
+ public:
+  explicit GpuEngine(EngineConfig config) : config_(std::move(config)) {}
+
+  EngineKind kind() const override { return EngineKind::kGpu; }
+  bool uses_device() const override { return true; }
+
+  StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
+                                      const EngineRunContext& ctx) override {
+    sim::Device device(RunDeviceOptions(config_.device, ctx));
+    GpuPeelOptions options = config_.gpu;
+    options.cancel = ctx.cancel;
+    GpuPeelDecomposer decomposer(&device, options);
+    auto result = decomposer.Decompose(graph);
+    // Export the timeline ok-or-not: the cancellation tests inspect the
+    // spans of runs that did NOT finish.
+    if (ctx.trace != nullptr && device.profiler() != nullptr) {
+      ctx.trace->Append(device.profiler()->trace());
+    }
+    return result;
+  }
+
+  StatusOr<SingleKCoreResult> SingleK(const CsrGraph& graph, uint32_t k,
+                                      const EngineRunContext& ctx) override {
+    sim::Device device(RunDeviceOptions(config_.device, ctx));
+    GpuPeelOptions options = config_.gpu;
+    options.cancel = ctx.cancel;
+    auto result = GpuSingleKCore(graph, k, options, &device);
+    if (ctx.trace != nullptr && device.profiler() != nullptr) {
+      ctx.trace->Append(device.profiler()->trace());
+    }
+    return result;
+  }
+
+  Status HealthCheck(const EngineRunContext& ctx) override {
+    sim::Device device(RunDeviceOptions(config_.device, ctx));
+    return device.HealthCheck("serve_probe");
+  }
+
+ private:
+  EngineConfig config_;
+};
+
+/// Sharded multi-GPU peeling engine.
+class MultiGpuEngine : public Engine {
+ public:
+  explicit MultiGpuEngine(EngineConfig config) : config_(std::move(config)) {}
+
+  EngineKind kind() const override { return EngineKind::kMultiGpu; }
+  bool uses_device() const override { return true; }
+
+  StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
+                                      const EngineRunContext& ctx) override {
+    MultiGpuOptions options = config_.multi_gpu;
+    options.worker_device = RunDeviceOptions(options.worker_device, ctx);
+    options.cancel = ctx.cancel;
+    options.trace = ctx.trace;
+    return RunMultiGpuPeel(graph, options);
+  }
+
+  Status HealthCheck(const EngineRunContext& ctx) override {
+    sim::Device device(
+        RunDeviceOptions(config_.multi_gpu.worker_device, ctx));
+    return device.HealthCheck("serve_probe");
+  }
+
+ private:
+  EngineConfig config_;
+};
+
+/// Vector-primitive baseline engine.
+class VetgaEngine : public Engine {
+ public:
+  explicit VetgaEngine(EngineConfig config) : config_(std::move(config)) {}
+
+  EngineKind kind() const override { return EngineKind::kVetga; }
+  bool uses_device() const override { return true; }
+
+  StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
+                                      const EngineRunContext& ctx) override {
+    VetgaConfig config = config_.vetga;
+    config.device = RunDeviceOptions(config.device, ctx);
+    config.cancel = ctx.cancel;
+    config.trace = ctx.trace;
+    return RunVetga(graph, config);
+  }
+
+  Status HealthCheck(const EngineRunContext& ctx) override {
+    sim::Device device(RunDeviceOptions(config_.vetga.device, ctx));
+    return device.HealthCheck("serve_probe");
+  }
+
+ private:
+  EngineConfig config_;
+};
+
+/// Host-algorithm engines share one wrapper: an entry cancellation check
+/// (the host algorithms run to completion once started — they are fast
+/// enough that round-boundary polling buys nothing) and no device.
+class CpuEngine : public Engine {
+ public:
+  explicit CpuEngine(EngineKind kind) : kind_(kind) {}
+
+  EngineKind kind() const override { return kind_; }
+  bool uses_device() const override { return false; }
+
+  StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
+                                      const EngineRunContext& ctx) override {
+    if (ctx.cancel != nullptr) {
+      KCORE_RETURN_IF_ERROR(ctx.cancel->Check("cpu engine entry"));
+    }
+    switch (kind_) {
+      case EngineKind::kBz:
+        return RunBz(graph);
+      case EngineKind::kPkc:
+        return RunPkc(graph);
+      case EngineKind::kPark:
+        return RunParK(graph);
+      case EngineKind::kMpm:
+        return RunMpm(graph);
+      default:
+        return Status::Internal("CpuEngine built with a device engine kind");
+    }
+  }
+
+ private:
+  EngineKind kind_;
+};
+
+}  // namespace
+
+std::unique_ptr<Engine> MakeEngine(EngineKind kind, EngineConfig config) {
+  switch (kind) {
+    case EngineKind::kGpu:
+      return std::make_unique<GpuEngine>(std::move(config));
+    case EngineKind::kMultiGpu:
+      return std::make_unique<MultiGpuEngine>(std::move(config));
+    case EngineKind::kVetga:
+      return std::make_unique<VetgaEngine>(std::move(config));
+    case EngineKind::kBz:
+    case EngineKind::kPkc:
+    case EngineKind::kPark:
+    case EngineKind::kMpm:
+      return std::make_unique<CpuEngine>(kind);
+  }
+  return std::make_unique<CpuEngine>(EngineKind::kBz);
+}
+
+}  // namespace kcore

@@ -1,0 +1,119 @@
+#ifndef KCORE_SERVE_ENGINE_H_
+#define KCORE_SERVE_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/cancellation.h"
+#include "common/statusor.h"
+#include "core/gpu_peel_options.h"
+#include "core/multi_gpu_peel.h"
+#include "cusim/annotations.h"
+#include "cusim/device.h"
+#include "graph/csr_graph.h"
+#include "perf/decompose_result.h"
+#include "perf/trace.h"
+#include "vetga/vetga.h"
+
+namespace kcore {
+
+/// The decomposition engines the serving layer can route to (ROADMAP:
+/// a unified engine interface instead of per-driver free functions).
+enum class EngineKind {
+  kGpu,       ///< Single-GPU peeling (core/gpu_peel.h), the paper's engine.
+  kMultiGpu,  ///< Sharded fleet peeling (core/multi_gpu_peel.h).
+  kVetga,     ///< Vector-primitive baseline (vetga/vetga.h).
+  kBz,        ///< Batagelj–Zaveršnik bucket peeling (cpu/bz.h).
+  kPkc,       ///< PKC parallel h-index peeling (cpu/pkc.h).
+  kPark,      ///< ParK level-synchronous peeling (cpu/park.h).
+  kMpm,       ///< Montresor h-index iteration (cpu/mpm.h).
+};
+
+/// Short name used by CLI flags, stats output and bench labels
+/// ("gpu", "multigpu", "vetga", "bz", "pkc", "park", "mpm").
+KCORE_HOST_ONLY const char* EngineKindName(EngineKind kind);
+
+/// Parses a CLI token; returns false on an unknown token, leaving *out
+/// untouched.
+KCORE_HOST_ONLY bool ParseEngineKind(const std::string& token,
+                                     EngineKind* out);
+
+/// Per-run context threaded through an Engine call by the serving loop.
+struct EngineRunContext {
+  /// Request lifecycle: polled at engine round boundaries (see
+  /// common/cancellation.h). Not owned; nullptr = run to completion.
+  const CancelContext* cancel = nullptr;
+  /// Non-null receives the run's simprof timeline — INCLUDING failed,
+  /// cancelled and expired runs, which is how the serving tests assert
+  /// that no kernel span follows the cancellation mark (the
+  /// release-the-device-within-one-round contract).
+  Trace* trace = nullptr;
+  /// Non-null overrides the configured device fault plan for this run
+  /// (cusim/fault_injection.h grammar; empty string = no injected faults
+  /// and no KCORE_FAULTS fallback is suppressed — the override is the
+  /// spec handed to the device verbatim). Device-less engines ignore it.
+  const std::string* fault_spec_override = nullptr;
+};
+
+/// Configuration shared by every engine a server owns. Only the fields
+/// relevant to the chosen kind apply; the rest are inert.
+struct EngineConfig {
+  /// GPU peeling options (geometry, variants, resilience). `cancel` is
+  /// overwritten per run from EngineRunContext.
+  GpuPeelOptions gpu;
+  /// Device template for the kGpu path. A FRESH device is created per run
+  /// so injected fault plans (fault_spec or KCORE_FAULTS) attach to each
+  /// request deterministically and a lost device never leaks into the next
+  /// request.
+  sim::DeviceOptions device;
+  /// Fleet options for kMultiGpu (`cancel`/`trace` overwritten per run).
+  MultiGpuOptions multi_gpu;
+  /// Config for kVetga (`cancel`/`trace` overwritten per run).
+  VetgaConfig vetga;
+};
+
+/// A k-core decomposition engine behind a uniform, serving-friendly
+/// interface: full decomposition, direct single-k mining, and a cheap
+/// health probe, all honoring the run context's cancellation and trace
+/// plumbing. Implementations are stateless between runs (safe to reuse
+/// across requests from one thread); they are NOT required to be
+/// thread-safe — the server serializes runs on its runner thread.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual EngineKind kind() const = 0;
+  const char* name() const { return EngineKindName(kind()); }
+
+  /// True when runs execute on a simulated device and are therefore
+  /// subject to fault plans (KCORE_FAULTS / DeviceOptions::fault_spec).
+  virtual bool uses_device() const = 0;
+
+  /// Full decomposition of `graph`.
+  [[nodiscard]] KCORE_HOST_ONLY virtual StatusOr<DecomposeResult> Decompose(
+      const CsrGraph& graph, const EngineRunContext& ctx) = 0;
+
+  /// Direct single-k mining ("give me the k-core"). The base implementation
+  /// answers on the CPU (Xiang's linear algorithm) after honoring the
+  /// cancellation context; device engines override with their kernel path.
+  [[nodiscard]] KCORE_HOST_ONLY virtual StatusOr<SingleKCoreResult> SingleK(
+      const CsrGraph& graph, uint32_t k, const EngineRunContext& ctx);
+
+  /// Cheap liveness probe: for device engines, creates a device under the
+  /// current fault plan and issues one health-check launch; Unavailable is
+  /// transient noise, DeviceLost means the plan kills devices outright.
+  /// Host engines always report OK. Used by the server's half-open breaker
+  /// probe before risking a real request on the primary engine.
+  [[nodiscard]] KCORE_HOST_ONLY virtual Status HealthCheck(
+      const EngineRunContext& ctx);
+};
+
+/// Builds an engine of `kind` over `config`. Never fails: unknown kinds
+/// are impossible by construction (enum) and configuration errors surface
+/// from the first run instead.
+KCORE_HOST_ONLY std::unique_ptr<Engine> MakeEngine(EngineKind kind,
+                                                   EngineConfig config = {});
+
+}  // namespace kcore
+
+#endif  // KCORE_SERVE_ENGINE_H_

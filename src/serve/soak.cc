@@ -1,0 +1,286 @@
+#include "serve/soak.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "cpu/bz.h"
+
+namespace kcore {
+
+namespace {
+
+/// Everything the driver needs to verify one in-flight request later.
+struct InFlight {
+  std::future<ServeResponse> future;
+  RequestType type = RequestType::kCoreOf;
+  uint32_t k = 1;
+  VertexId v = 0;
+  uint32_t limit = 0;
+  /// Owned token for driver-side cancellation (must outlive the response).
+  std::unique_ptr<CancelToken> token;
+};
+
+LatencyStats Percentiles(std::vector<double> samples) {
+  LatencyStats stats;
+  if (samples.empty()) return stats;
+  std::sort(samples.begin(), samples.end());
+  const auto at = [&](double q) {
+    const size_t index = static_cast<size_t>(
+        q * static_cast<double>(samples.size() - 1) + 0.5);
+    return samples[std::min(index, samples.size() - 1)];
+  };
+  stats.p50 = at(0.50);
+  stats.p90 = at(0.90);
+  stats.p99 = at(0.99);
+  stats.max = samples.back();
+  return stats;
+}
+
+}  // namespace
+
+StatusOr<SoakReport> RunSoak(const CsrGraph& graph,
+                             const SoakOptions& options) {
+  const VertexId n = graph.NumVertices();
+  if (n == 0) return Status::InvalidArgument("soak: empty graph");
+  if (options.point_fraction + options.single_k_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "soak: point_fraction + single_k_fraction must be <= 1");
+  }
+
+  WallTimer total_timer;
+  // The oracle is pure host code: immune to KCORE_FAULTS by construction,
+  // which is what makes it a trustworthy referee under chaos.
+  const DecomposeResult oracle = RunBz(graph);
+  const uint32_t k_max = oracle.MaxCore();
+
+  // Deterministic expected top-k list (core descending, id ascending);
+  // verified answers compare against its prefix.
+  std::vector<std::pair<VertexId, uint32_t>> expected_top;
+  expected_top.reserve(n);
+  for (VertexId v = 0; v < n; ++v) expected_top.emplace_back(v, oracle.core[v]);
+  std::sort(expected_top.begin(), expected_top.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+
+  KcoreServer server(graph, options.server);
+  Rng rng(options.seed);
+  SoakReport report;
+  report.requests = options.num_requests;
+  std::vector<double> queue_samples;
+  std::vector<double> run_samples;
+  queue_samples.reserve(options.num_requests);
+  run_samples.reserve(options.num_requests);
+
+  const auto verify = [&](const InFlight& meta, const ServeResponse& resp) {
+    if (resp.metrics.shed) {
+      ++report.shed;
+      return;
+    }
+    const Status& status = resp.status;
+    if (status.IsCancelled()) {
+      ++report.cancelled;
+      return;
+    }
+    if (status.IsDeadlineExceeded()) {
+      ++report.deadline_exceeded;
+      return;
+    }
+    if (!status.ok()) {
+      ++report.failed;
+      return;
+    }
+    ++report.completed;
+    if (resp.metrics.degraded) ++report.degraded;
+    if (resp.metrics.cache_hit) ++report.cache_hits;
+    queue_samples.push_back(resp.metrics.queue_ms);
+    run_samples.push_back(resp.metrics.run_ms);
+    switch (meta.type) {
+      case RequestType::kFullDecompose:
+        if (resp.core != oracle.core) ++report.mismatches;
+        break;
+      case RequestType::kSingleK: {
+        if (resp.single_k.in_core.size() != oracle.core.size()) {
+          ++report.mismatches;
+          break;
+        }
+        for (VertexId v = 0; v < n; ++v) {
+          const bool expected = oracle.core[v] >= meta.k;
+          if ((resp.single_k.in_core[v] != 0) != expected) {
+            ++report.mismatches;
+            break;
+          }
+        }
+        break;
+      }
+      case RequestType::kCoreOf:
+        if (resp.core_of != oracle.core[meta.v]) ++report.mismatches;
+        break;
+      case RequestType::kTopK: {
+        const size_t want = std::min<size_t>(meta.limit, expected_top.size());
+        if (resp.top.size() != want ||
+            !std::equal(resp.top.begin(), resp.top.end(),
+                        expected_top.begin())) {
+          ++report.mismatches;
+        }
+        break;
+      }
+    }
+  };
+
+  std::deque<InFlight> inflight;
+  const auto settle_front = [&]() {
+    InFlight meta = std::move(inflight.front());
+    inflight.pop_front();
+    // A live server always resolves (that is the Submit contract); the
+    // generous bound only turns a harness deadlock into a counted failure
+    // instead of a hung soak.
+    if (meta.future.wait_for(std::chrono::seconds(120)) !=
+        std::future_status::ready) {
+      ++report.unresolved;
+      return;
+    }
+    verify(meta, meta.future.get());
+  };
+
+  for (uint64_t i = 0; i < options.num_requests; ++i) {
+    InFlight meta;
+    ServeRequest request;
+    const double dice = rng.UniformReal();
+    if (dice < options.point_fraction) {
+      if (rng.Bernoulli(0.5)) {
+        request.type = RequestType::kCoreOf;
+        request.v = static_cast<VertexId>(rng.UniformInt(n));
+        meta.v = request.v;
+      } else {
+        request.type = RequestType::kTopK;
+        request.limit = 1 + static_cast<uint32_t>(rng.UniformInt(24));
+        meta.limit = request.limit;
+      }
+    } else if (dice < options.point_fraction + options.single_k_fraction) {
+      request.type = RequestType::kSingleK;
+      request.k = 1 + static_cast<uint32_t>(rng.UniformInt(k_max + 2));
+      meta.k = request.k;
+    } else {
+      request.type = RequestType::kFullDecompose;
+    }
+    meta.type = request.type;
+    const bool cancel_this = rng.Bernoulli(options.cancel_fraction);
+    if (cancel_this) {
+      meta.token = std::make_unique<CancelToken>();
+      request.cancel = meta.token.get();
+    }
+    if (rng.Bernoulli(options.deadline_fraction)) {
+      request.deadline = Deadline::AfterMillis(0.01);
+    }
+    meta.future = server.Submit(std::move(request));
+    if (cancel_this) meta.token->Cancel();
+    inflight.push_back(std::move(meta));
+    while (inflight.size() >= options.max_inflight) settle_front();
+  }
+  while (!inflight.empty()) settle_front();
+
+  // Clean shutdown: admission stops, anything still queued drains. Every
+  // future was already settled above, so this mainly asserts the runner
+  // exits; a second Shutdown (the destructor) is a no-op.
+  (void)server.Shutdown();
+  report.server = server.stats();
+  report.queue_ms = Percentiles(std::move(queue_samples));
+  report.run_ms = Percentiles(std::move(run_samples));
+  report.wall_ms = total_timer.ElapsedMillis();
+  return report;
+}
+
+std::string SoakReportJson(const std::string& label, const CsrGraph& graph,
+                           const SoakOptions& options,
+                           const SoakReport& report) {
+  std::string fault_spec = options.server.engine_config.device.fault_spec;
+  if (fault_spec.empty()) {
+    if (const char* env = std::getenv("KCORE_FAULTS")) fault_spec = env;
+  }
+  const auto latency = [](const LatencyStats& stats) {
+    return StrFormat(
+        "{\"p50\": %.4f, \"p90\": %.4f, \"p99\": %.4f, \"max\": %.4f}",
+        stats.p50, stats.p90, stats.p99, stats.max);
+  };
+  std::string json = "{\n";
+  json += StrFormat("  \"bench\": \"serving\",\n  \"label\": \"%s\",\n",
+                    label.c_str());
+  json += StrFormat(
+      "  \"graph\": {\"vertices\": %u, \"edges\": %llu},\n",
+      graph.NumVertices(),
+      static_cast<unsigned long long>(graph.NumUndirectedEdges()));
+  json += StrFormat(
+      "  \"workload\": {\"requests\": %llu, \"seed\": %llu, "
+      "\"engine\": \"%s\", \"point_fraction\": %.2f, "
+      "\"single_k_fraction\": %.2f, \"cancel_fraction\": %.2f, "
+      "\"deadline_fraction\": %.2f, \"max_inflight\": %u, "
+      "\"fault_spec\": \"%s\"},\n",
+      static_cast<unsigned long long>(options.num_requests),
+      static_cast<unsigned long long>(options.seed),
+      EngineKindName(options.server.engine), options.point_fraction,
+      options.single_k_fraction, options.cancel_fraction,
+      options.deadline_fraction, options.max_inflight, fault_spec.c_str());
+  json += StrFormat(
+      "  \"report\": {\n"
+      "    \"completed\": %llu, \"shed\": %llu, \"cancelled\": %llu,\n"
+      "    \"deadline_exceeded\": %llu, \"failed\": %llu, "
+      "\"degraded\": %llu,\n"
+      "    \"cache_hits\": %llu, \"mismatches\": %llu, "
+      "\"unresolved\": %llu,\n",
+      static_cast<unsigned long long>(report.completed),
+      static_cast<unsigned long long>(report.shed),
+      static_cast<unsigned long long>(report.cancelled),
+      static_cast<unsigned long long>(report.deadline_exceeded),
+      static_cast<unsigned long long>(report.failed),
+      static_cast<unsigned long long>(report.degraded),
+      static_cast<unsigned long long>(report.cache_hits),
+      static_cast<unsigned long long>(report.mismatches),
+      static_cast<unsigned long long>(report.unresolved));
+  json += StrFormat("    \"queue_ms\": %s,\n    \"run_ms\": %s,\n",
+                    latency(report.queue_ms).c_str(),
+                    latency(report.run_ms).c_str());
+  json += StrFormat(
+      "    \"server\": {\"gpu_attempts\": %llu, \"gpu_failures\": %llu, "
+      "\"breaker_trips\": %llu, \"breaker_probes\": %llu, "
+      "\"breaker_recoveries\": %llu, \"final_breaker\": \"%s\"},\n",
+      static_cast<unsigned long long>(report.server.gpu_attempts),
+      static_cast<unsigned long long>(report.server.gpu_failures),
+      static_cast<unsigned long long>(report.server.breaker_trips),
+      static_cast<unsigned long long>(report.server.breaker_probes),
+      static_cast<unsigned long long>(report.server.breaker_recoveries),
+      BreakerStateName(report.server.breaker));
+  json += StrFormat("    \"wall_ms\": %.3f\n  }\n}\n", report.wall_ms);
+  return json;
+}
+
+std::string SoakReportSummary(const SoakReport& report) {
+  return StrFormat(
+      "soak: %llu req | %llu ok (%llu degraded, %llu cache-hit) | "
+      "%llu shed | %llu cancelled | %llu deadline | %llu failed | "
+      "%llu mismatches | %llu unresolved | breaker trips %llu | "
+      "p99 queue %.2f ms, p99 run %.2f ms | %.0f ms total",
+      static_cast<unsigned long long>(report.requests),
+      static_cast<unsigned long long>(report.completed),
+      static_cast<unsigned long long>(report.degraded),
+      static_cast<unsigned long long>(report.cache_hits),
+      static_cast<unsigned long long>(report.shed),
+      static_cast<unsigned long long>(report.cancelled),
+      static_cast<unsigned long long>(report.deadline_exceeded),
+      static_cast<unsigned long long>(report.failed),
+      static_cast<unsigned long long>(report.mismatches),
+      static_cast<unsigned long long>(report.unresolved),
+      static_cast<unsigned long long>(report.server.breaker_trips),
+      report.queue_ms.p99, report.run_ms.p99, report.wall_ms);
+}
+
+}  // namespace kcore

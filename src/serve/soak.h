@@ -1,0 +1,101 @@
+#ifndef KCORE_SERVE_SOAK_H_
+#define KCORE_SERVE_SOAK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/statusor.h"
+#include "cusim/annotations.h"
+#include "graph/csr_graph.h"
+#include "serve/server.h"
+
+namespace kcore {
+
+/// Chaos-soak configuration: a seeded mixed workload fired at a KcoreServer,
+/// typically with a fault plan attached (ServerOptions::engine_config.device
+/// .fault_spec or KCORE_FAULTS) so the admission, breaker and cancellation
+/// machinery all engage while every completed answer is checked bit-for-bit
+/// against the BZ oracle.
+struct SoakOptions {
+  /// Total requests submitted (ISSUE 8's acceptance bar: >= 5000 for the
+  /// committed BENCH_serving.json run; CI runs a short seeded soak).
+  uint64_t num_requests = 5000;
+  uint64_t seed = 1;
+
+  /// Workload mix. point + single_k must be <= 1; the rest are full
+  /// decompositions. Point queries split evenly core_of / top-k.
+  double point_fraction = 0.60;
+  double single_k_fraction = 0.25;
+
+  /// Fraction of requests whose token the driver cancels right after
+  /// submission (they resolve Cancelled at dispatch or at the engine's next
+  /// round boundary — both paths must stay leak-free under soak).
+  double cancel_fraction = 0.02;
+  /// Fraction of requests submitted with an (almost) already-expired
+  /// deadline, exercising the expiry paths the same way.
+  double deadline_fraction = 0.02;
+
+  /// Submission window: at most this many requests in flight before the
+  /// driver blocks on the oldest future. Large enough to fill queues and
+  /// trigger shedding when the runner falls behind.
+  uint32_t max_inflight = 128;
+
+  ServerOptions server;
+};
+
+/// Latency distribution over the completed requests.
+struct LatencyStats {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Soak outcome. The invariants the harness enforces:
+///  - mismatches == 0: every OK answer bit-matched the BZ oracle;
+///  - unresolved == 0: every submitted request's future resolved (nothing
+///    silently dropped, clean shutdown drain included);
+///  - requests == completed + shed + cancelled + deadline_exceeded + failed.
+struct SoakReport {
+  uint64_t requests = 0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  uint64_t cancelled = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t failed = 0;
+  uint64_t degraded = 0;     ///< Completed via the CPU fallback path.
+  uint64_t cache_hits = 0;   ///< Point queries served from warm cache.
+  uint64_t mismatches = 0;   ///< Oracle disagreements (must be 0).
+  uint64_t unresolved = 0;   ///< Futures never resolved (must be 0).
+  LatencyStats queue_ms;
+  LatencyStats run_ms;
+  ServerStats server;        ///< Final server counters (breaker trips etc.).
+  double wall_ms = 0.0;      ///< Whole-soak wall time.
+
+  /// True when the soak's hard invariants all held.
+  bool Clean() const {
+    return mismatches == 0 && unresolved == 0 && failed == 0 &&
+           completed > 0;
+  }
+};
+
+/// Runs the chaos soak: computes the BZ oracle, drives the seeded workload
+/// through a fresh KcoreServer, verifies every completed answer, shuts the
+/// server down cleanly, and reports. Fails only on harness-level errors
+/// (e.g. an empty graph); workload-level problems land in the report.
+[[nodiscard]] KCORE_HOST_ONLY StatusOr<SoakReport> RunSoak(
+    const CsrGraph& graph, const SoakOptions& options);
+
+/// Renders the report as the BENCH_serving.json document (bench JSON idiom:
+/// one top-level object, hand-built).
+KCORE_HOST_ONLY std::string SoakReportJson(const std::string& label,
+                                           const CsrGraph& graph,
+                                           const SoakOptions& options,
+                                           const SoakReport& report);
+
+/// One-line human summary ("soak: 5000 req, 4897 ok, ...").
+KCORE_HOST_ONLY std::string SoakReportSummary(const SoakReport& report);
+
+}  // namespace kcore
+
+#endif  // KCORE_SERVE_SOAK_H_

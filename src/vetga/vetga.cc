@@ -158,6 +158,12 @@ StatusOr<DecomposeResult> RunVetga(const CsrGraph& graph,
   uint64_t removed = 0;
   uint32_t k = 0;
   while (removed < n) {
+    // Round-boundary lifecycle check (common/cancellation.h): the tensors
+    // free on return, so an expired or cancelled request releases the
+    // device within one peeling round.
+    if (config.cancel != nullptr) {
+      KCORE_RETURN_IF_ERROR(config.cancel->Check("vetga round boundary"));
+    }
     const double round_start_ns = clock.ms() * 1e6;
     compute_mask(k);
     uint64_t fsize = nonzero();

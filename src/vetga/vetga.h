@@ -3,6 +3,7 @@
 
 #include <limits>
 
+#include "common/cancellation.h"
 #include "common/statusor.h"
 #include "cusim/device.h"
 #include "graph/csr_graph.h"
@@ -22,6 +23,11 @@ struct VetgaConfig {
   /// loader the paper describes revising; drives the "LD > 1hr" rows.
   double load_ns_per_edge = 6000.0;
   sim::DeviceOptions device;
+  /// Request lifecycle (common/cancellation.h): non-null makes the driver
+  /// poll the token/deadline at every peeling-round boundary and return
+  /// Cancelled / DeadlineExceeded, releasing the tensors within one round.
+  /// Not owned; must outlive the run.
+  const CancelContext* cancel = nullptr;
   /// simprof output (see cusim/simprof.h): non-null enables profiling and
   /// receives the run's timeline on return — one span per dispatched vector
   /// primitive (compare/nonzero/scatter/gather/bincount/deg-update) on

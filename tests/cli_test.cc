@@ -5,6 +5,7 @@
 // and sorts the kernel-summary rows (their order depends on relative
 // modeled totals).
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -82,9 +83,14 @@ std::string Normalize(const std::string& raw) {
 }
 
 /// Writes the paper-figure edge list to a fixed path and returns it.
+/// gtest_discover_tests runs every TEST as its own process, and ctest -j
+/// runs them concurrently — all sharing this path. Write-to-temp + rename
+/// keeps the file atomically either absent or complete, never truncated
+/// mid-rewrite under a sibling test's reader.
 std::string EdgeListPath() {
   static const std::string path = "/tmp/kcore_cli_test_graph.txt";
-  std::FILE* f = std::fopen(path.c_str(), "w");
+  const std::string tmp = path + "." + std::to_string(getpid());
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
   EXPECT_NE(f, nullptr);
   std::fputs(
       "0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n"  // K4: 3-core
@@ -92,6 +98,7 @@ std::string EdgeListPath() {
       "5 7\n7 8\n",                     // pendant path
       f);
   std::fclose(f);
+  EXPECT_EQ(std::rename(tmp.c_str(), path.c_str()), 0);
   return path;
 }
 
@@ -198,6 +205,101 @@ TEST(CliGolden, UsageMentionsProfilingFlags) {
   EXPECT_EQ(r.exit_code, 2);
   EXPECT_NE(r.output.find("--trace=<out.json>"), std::string::npos);
   EXPECT_NE(r.output.find("--prof-summary"), std::string::npos);
+  EXPECT_NE(r.output.find("--timeout-ms=<N>"), std::string::npos);
+}
+
+// ------------------------------------------- exit codes and deadlines ----
+// Exit contract: 0 success, 1 error, 2 usage, 4 degraded success. Every
+// nonzero path emits a one-line structured `error code=... msg="..."` on
+// stderr so scripts can key on the code.
+
+TEST(CliExitCodes, DegradedDecomposeExitsFourWithStructuredError) {
+  CommandResult r = RunCli("decompose " + EdgeListPath() +
+                           " gpu '--faults=device_lost@launch=2'");
+  EXPECT_EQ(r.exit_code, 4) << r.output;
+  // The answer is still printed (exact, from the CPU warm-start)...
+  EXPECT_NE(r.output.find("k_max        3"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("degraded            yes"), std::string::npos);
+  // ...and the degradation is machine-visible.
+  EXPECT_NE(r.output.find("error code=DegradedSuccess"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliExitCodes, DegradedSingleKExitsFour) {
+  CommandResult r = RunCli("decompose " + EdgeListPath() +
+                           " gpu --k=3 '--faults=device_lost@launch=1'");
+  EXPECT_EQ(r.exit_code, 4) << r.output;
+  EXPECT_NE(r.output.find("core_size    4"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("error code=DegradedSuccess"), std::string::npos);
+}
+
+TEST(CliExitCodes, TransientFaultsRecoverCleanExitZero) {
+  // A single retryable launch failure is absorbed by the engine's op retry:
+  // not degraded, exit 0.
+  CommandResult r = RunCli("decompose " + EdgeListPath() +
+                           " gpu '--faults=launch_fail@1'");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("degraded            no"), std::string::npos);
+}
+
+TEST(CliExitCodes, ExpiredTimeoutExitsOneWithDeadlineExceeded) {
+  CommandResult r =
+      RunCli("decompose " + EdgeListPath() + " gpu --timeout-ms=0");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("error code=DeadlineExceeded"), std::string::npos)
+      << r.output;
+  // The structured line names the enforcement point: a round boundary.
+  EXPECT_NE(r.output.find("round boundary"), std::string::npos) << r.output;
+}
+
+TEST(CliExitCodes, GenerousTimeoutCompletesNormally) {
+  CommandResult r =
+      RunCli("decompose " + EdgeListPath() + " gpu --timeout-ms=60000");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("k_max        3"), std::string::npos);
+}
+
+TEST(CliExitCodes, TimeoutOnSingleKPath) {
+  CommandResult ok =
+      RunCli("decompose " + EdgeListPath() + " gpu --k=2 --timeout-ms=60000");
+  EXPECT_EQ(ok.exit_code, 0) << ok.output;
+  CommandResult expired =
+      RunCli("decompose " + EdgeListPath() + " gpu --k=2 --timeout-ms=0");
+  EXPECT_EQ(expired.exit_code, 1) << expired.output;
+  EXPECT_NE(expired.output.find("error code=DeadlineExceeded"),
+            std::string::npos);
+}
+
+TEST(CliExitCodes, TimeoutRejectedOffTheGpuEngines) {
+  CommandResult r =
+      RunCli("decompose " + EdgeListPath() + " bz --timeout-ms=5");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error code=InvalidArgument"), std::string::npos);
+  CommandResult s = RunCli("stats " + EdgeListPath() + " --timeout-ms=5");
+  EXPECT_EQ(s.exit_code, 1);
+}
+
+TEST(CliExitCodes, MalformedTimeoutIsStructuredError) {
+  CommandResult r =
+      RunCli("decompose " + EdgeListPath() + " gpu --timeout-ms=soon");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error code=InvalidArgument"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliExitCodes, ExtractRejectsNonNumericK) {
+  // Used to silently become k=0 via atoi; now a structured error.
+  CommandResult r =
+      RunCli("extract " + EdgeListPath() + " foo /tmp/kcore_cli_test_out.txt");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error code=InvalidArgument"), std::string::npos)
+      << r.output;
+}
+
+TEST(CliExitCodes, MissingGraphFileIsStructuredError) {
+  CommandResult r = RunCli("decompose /tmp/kcore_cli_test_nonexistent.txt gpu");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error code="), std::string::npos) << r.output;
 }
 
 }  // namespace

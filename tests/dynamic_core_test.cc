@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "cpu/bz.h"
 #include "cpu/dynamic_core.h"
 #include "cpu/naive_ref.h"
 #include "test_graphs.h"
@@ -138,6 +139,113 @@ TEST(DynamicKCoreTest, EmptyGraphIsFine) {
   DynamicKCore dynamic((CsrGraph()));
   EXPECT_EQ(dynamic.NumVertices(), 0u);
   EXPECT_TRUE(dynamic.core().empty());
+}
+
+// ------------------------------------------------- adversarial sequences --
+// Interleaved insert/delete patterns chosen to stress the incremental
+// maintenance logic where it is weakest — repeated flips of the same
+// boundary edge, structures torn down and rebuilt in place — each step
+// validated against a fresh BZ recomputation of the current graph.
+
+std::vector<uint32_t> RecomputeBz(const DynamicKCore& dynamic) {
+  return RunBz(dynamic.ToCsrGraph()).core;
+}
+
+TEST(DynamicKCoreTest, AdversarialBoundaryEdgeOscillation) {
+  // K4: every vertex has core 3 with zero slack, so removing any one edge
+  // drops the whole clique to core 2 and reinserting restores 3.
+  // Oscillating the same edge forces the same vertices across the max-core
+  // boundary in both directions, 40 times — the classic spot for
+  // stale-state bugs in incremental maintenance.
+  DynamicKCore dynamic(testing::CliqueGraph(4).graph);
+  for (int round = 0; round < 40; ++round) {
+    ASSERT_TRUE(dynamic.RemoveEdge(2, 3).ok()) << "round " << round;
+    ASSERT_EQ(dynamic.core(), RecomputeBz(dynamic)) << "round " << round;
+    ASSERT_EQ(dynamic.core()[2], 2u);
+    ASSERT_TRUE(dynamic.InsertEdge(2, 3).ok()) << "round " << round;
+    ASSERT_EQ(dynamic.core(), RecomputeBz(dynamic)) << "round " << round;
+    ASSERT_EQ(dynamic.core()[2], 3u);
+  }
+}
+
+TEST(DynamicKCoreTest, AdversarialCliqueTeardownAndRebuild) {
+  // Tear a K6 down edge by edge (core collapses 5 -> ... -> 0), then
+  // rebuild it in a different edge order, checking every intermediate
+  // graph. Deletion and insertion traverse different code paths; the
+  // sequence must commute with recomputation at every step.
+  const uint32_t n = 6;
+  DynamicKCore dynamic(testing::CliqueGraph(n).graph);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = i + 1; j < n; ++j) edges.push_back({i, j});
+  }
+  for (const auto& [u, v] : edges) {
+    ASSERT_TRUE(dynamic.RemoveEdge(u, v).ok()) << u << "-" << v;
+    ASSERT_EQ(dynamic.core(), RecomputeBz(dynamic)) << "del " << u << "-" << v;
+  }
+  EXPECT_EQ(dynamic.NumEdges(), 0u);
+  std::reverse(edges.begin(), edges.end());
+  for (const auto& [u, v] : edges) {
+    ASSERT_TRUE(dynamic.InsertEdge(u, v).ok()) << u << "-" << v;
+    ASSERT_EQ(dynamic.core(), RecomputeBz(dynamic)) << "ins " << u << "-" << v;
+  }
+  EXPECT_EQ(dynamic.core(), std::vector<uint32_t>(n, n - 1));
+}
+
+TEST(DynamicKCoreTest, AdversarialBiasedWalkAroundPlantedCore) {
+  // Random walk over a planted-core graph biased toward touching the dense
+  // community: 70% of operations pick at least one endpoint inside the
+  // planted core, so most updates land on the high-core region where
+  // subcore recomputation is the most involved.
+  const auto g = testing::RandomSuite()[4].graph;  // planted, 400 v
+  DynamicKCore dynamic(g);
+  std::set<std::pair<VertexId, VertexId>> present;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId u : g.Neighbors(v)) {
+      if (v < u) present.insert({v, u});
+    }
+  }
+  Rng rng(99);
+  const VertexId n = g.NumVertices();
+  uint32_t flips = 0;
+  for (int step = 0; step < 250; ++step) {
+    VertexId a, b;
+    if (rng.Bernoulli(0.7)) {
+      a = static_cast<VertexId>(rng.UniformInt(24));  // planted core vertices
+      b = static_cast<VertexId>(rng.UniformInt(n));
+    } else {
+      a = static_cast<VertexId>(rng.UniformInt(n));
+      b = static_cast<VertexId>(rng.UniformInt(n));
+    }
+    if (a == b) continue;
+    const auto key = std::minmax(a, b);
+    if (present.count({key.first, key.second}) != 0) {
+      ASSERT_TRUE(dynamic.RemoveEdge(a, b).ok()) << "step " << step;
+      present.erase({key.first, key.second});
+    } else {
+      ASSERT_TRUE(dynamic.InsertEdge(a, b).ok()) << "step " << step;
+      present.insert({key.first, key.second});
+    }
+    ++flips;
+    if (step % 10 == 0) {
+      ASSERT_EQ(dynamic.core(), RecomputeBz(dynamic)) << "step " << step;
+    }
+  }
+  EXPECT_GT(flips, 100u);
+  EXPECT_EQ(dynamic.core(), RecomputeBz(dynamic));
+}
+
+TEST(DynamicKCoreTest, DuplicateAndMissingEdgesAreRejectedMidSequence) {
+  // Error paths interleaved with real updates must not corrupt state.
+  DynamicKCore dynamic(testing::CycleGraph(6).graph);
+  ASSERT_TRUE(dynamic.InsertEdge(0, 1).IsFailedPrecondition());  // present
+  ASSERT_TRUE(dynamic.RemoveEdge(0, 3).IsNotFound());            // absent
+  ASSERT_TRUE(dynamic.InsertEdge(0, 3).ok());
+  ASSERT_TRUE(dynamic.InsertEdge(0, 3).IsFailedPrecondition());
+  ASSERT_TRUE(dynamic.RemoveEdge(0, 3).ok());
+  ASSERT_TRUE(dynamic.RemoveEdge(0, 3).IsNotFound());
+  EXPECT_EQ(dynamic.core(), RecomputeBz(dynamic));
+  EXPECT_EQ(dynamic.core(), std::vector<uint32_t>(6, 2));  // intact cycle
 }
 
 }  // namespace

@@ -101,8 +101,17 @@ expand_graph="$(mktemp)"
 trace_json="$(mktemp)"
 trap 'rm -f "$smoke_graph" "$expand_graph" "$trace_json"' EXIT
 printf '0 1\n1 2\n2 3\n3 0\n0 2\n1 3\n' > "$smoke_graph"
+# A lost device degrades to the CPU warm-start: the answer stays exact but
+# the CLI reports it with exit 4 and a structured one-line error, which is
+# exactly what this gate wants to see (a silent 0 here means degradation
+# became invisible to scripts).
+rc=0
 build/tools/kcore_cli decompose "$smoke_graph" gpu \
-  '--faults=device_lost@launch=4' --simcheck
+  '--faults=device_lost@launch=4' --simcheck || rc=$?
+if [[ "$rc" != 4 ]]; then
+  echo "device-loss smoke: expected degraded-success exit 4, got $rc" >&2
+  exit 1
+fi
 
 echo "=== release: kcore_cli --trace smoke (stacked with simcheck + faults) ==="
 build/tools/kcore_cli decompose "$smoke_graph" gpu \
@@ -195,8 +204,13 @@ grep -q '^core_size    12$' <<< "$retried" || {
   echo "--k=5 under a transient launch failure lost the K12 core" >&2; exit 1; }
 grep -q '^degraded            no' <<< "$retried" || {
   echo "--k=5 degraded on a retryable fault" >&2; exit 1; }
+rc=0
 lost="$(build/tools/kcore_cli decompose "$expand_graph" gpu --k=5 \
-  '--faults=device_lost@launch=1' --simcheck)"
+  '--faults=device_lost@launch=1' --simcheck)" || rc=$?
+if [[ "$rc" != 4 ]]; then
+  echo "--k=5 after device loss: expected degraded-success exit 4, got $rc" >&2
+  exit 1
+fi
 grep -q '^core_size    12$' <<< "$lost" || {
   echo "--k=5 after device loss lost the K12 core" >&2; exit 1; }
 grep -q 'answered by CPU xiang' <<< "$lost" || {
@@ -258,6 +272,40 @@ awk -v a="$base_ms" -v b="$fused_ms" 'BEGIN {
     exit 1
   }
 }'
+
+echo "=== release: deadline smoke (--timeout-ms) ==="
+# An already-expired deadline must stop the run at the first round boundary
+# with exit 1 and a structured DeadlineExceeded; a generous one must not
+# perturb the answer.
+rc=0
+build/tools/kcore_cli decompose "$expand_graph" gpu --timeout-ms=0 \
+  2> /dev/null || rc=$?
+if [[ "$rc" != 1 ]]; then
+  echo "--timeout-ms=0: expected DeadlineExceeded exit 1, got $rc" >&2
+  exit 1
+fi
+timed_out="$(build/tools/kcore_cli decompose "$expand_graph" gpu \
+  --timeout-ms=60000)"
+if [[ "$(grep -E '^(k_max|rounds)' <<< "$timed_out")" != "$want_sig" ]]; then
+  echo "--timeout-ms=60000 perturbed the flagless answer" >&2
+  exit 1
+fi
+
+echo "=== release: chaos soak (kcore_soak, KCORE_FAULTS + KCORE_SIMCHECK=1) ==="
+# A seeded mixed workload (point queries, single-k mining, full decomposes;
+# slices cancelled and deadline-expired) through the long-lived serving
+# loop, with an ambient fault plan — transient launch rejections plus
+# outright device loss — attached to every per-request device and the
+# simulated-device sanitizer watching. Every completed answer is verified
+# bit-for-bit against the BZ oracle inside the harness; a mismatch, silent
+# drop or unresolved future exits 3. Request count is env-overridable so
+# nightly runs can soak long (the committed BENCH_serving.json run is 6000
+# requests; this gate defaults to a quick 400).
+soak_requests="${KCORE_SOAK_REQUESTS:-400}"
+KCORE_FAULTS='launch_fail:p=0.01,seed=5;device_lost@launch=25' \
+  KCORE_SIMCHECK=1 \
+  build/tools/kcore_soak --requests="$soak_requests" --seed=3 \
+  --cancel=0.02 --deadline=0.02
 
 echo "=== asan: configure + build ==="
 cmake --preset asan

@@ -43,6 +43,16 @@
 // paper's Alg. 3 path and the default; auto bins each frontier window by
 // degree. The run prints the bin counters and the loop imbalance ratio.
 //
+// --timeout-ms=<N> (decompose, GPU engines): gives the run a wall-clock
+// deadline (common/cancellation.h). The engine checks it at every peel
+// round boundary; an expired run stops within one round, releases the
+// device, and the command exits nonzero with a structured one-line error.
+//
+// Exit codes: 0 success, 1 error (structured one-line `error code=...` on
+// stderr), 2 usage, 4 degraded success — the answer is exact and printed,
+// but the engine finished on the CPU fallback after device faults, which
+// scripts watching for silent GPU degradation need to see.
+//
 // --trace=<path> (decompose, GPU engines): records the run with simprof
 // (the Nsight-Systems analogue, see src/cusim/simprof.h) and writes a
 // chrome://tracing JSON timeline to <path> — open it in Perfetto
@@ -55,6 +65,7 @@
 
 #include "analysis/core_analysis.h"
 #include "analysis/hierarchy.h"
+#include "common/cancellation.h"
 #include "common/strings.h"
 #include "core/gpu_peel.h"
 #include "core/multi_gpu_peel.h"
@@ -80,9 +91,24 @@ int Usage() {
                "multigpu|xiang] [--simcheck] [--faults=<spec>]\n"
                "            [--expand=<thread|warp|block|auto>] [--k=<K>] "
                "[--renumber] [--fuse]\n"
-               "            [--trace=<out.json>] [--prof-summary]\n"
+               "            [--trace=<out.json>] [--prof-summary] "
+               "[--timeout-ms=<N>]\n"
                "  extract   <edge_list> <k> <output_edge_list>\n");
   return 2;
+}
+
+/// One-line machine-greppable error report: `error code=<Code> msg="..."`.
+/// Every nonzero CLI exit goes through here (or Usage), so scripts can key
+/// on the code instead of parsing prose.
+void PrintError(const Status& status) {
+  std::fprintf(stderr, "error code=%s msg=\"%s\"\n",
+               StatusCodeToString(status.code()), status.message().c_str());
+}
+
+/// Degraded-success report (exit 4): the printed answer is exact, but the
+/// engine finished on its CPU fallback after device faults.
+void PrintDegraded(const char* what) {
+  std::fprintf(stderr, "error code=DegradedSuccess msg=\"%s\"\n", what);
 }
 
 /// Strict parse of the --k flag value: digits only, value >= 1. Errors carry
@@ -112,6 +138,28 @@ StatusOr<uint32_t> ParseK(const std::string& raw) {
   return static_cast<uint32_t>(value);
 }
 
+/// Strict parse of the --timeout-ms flag value: digits only. 0 is legal (an
+/// already-expired deadline — deterministic fail-fast, used by tests).
+StatusOr<uint64_t> ParseTimeoutMillis(const std::string& raw) {
+  if (raw.empty()) {
+    return Status::InvalidArgument(
+        "--timeout-ms=: empty token (want --timeout-ms=<N>)");
+  }
+  uint64_t value = 0;
+  for (char ch : raw) {
+    if (ch < '0' || ch > '9') {
+      return Status::InvalidArgument(StrFormat(
+          "--timeout-ms=%s: non-numeric timeout token", raw.c_str()));
+    }
+    value = value * 10 + static_cast<uint64_t>(ch - '0');
+    if (value > 0xFFFFFFFFull) {
+      return Status::InvalidArgument(StrFormat(
+          "--timeout-ms=%s: timeout overflows uint32", raw.c_str()));
+    }
+  }
+  return value;
+}
+
 StatusOr<BuiltGraph> Load(const char* path) {
   KCORE_ASSIGN_OR_RETURN(EdgeList edges, LoadEdgeListText(path));
   return BuildGraph(edges);
@@ -122,7 +170,9 @@ StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
                                     const std::string& faults,
                                     const std::string& expand, bool renumber,
                                     bool fuse, const std::string& trace_path,
-                                    bool prof_summary, std::string* summary) {
+                                    bool prof_summary,
+                                    const CancelContext* cancel,
+                                    std::string* summary) {
   if (engine == "xiang") {
     return Status::InvalidArgument(
         "engine xiang answers single-k queries only; pass --k=<K>");
@@ -150,6 +200,12 @@ StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
   if (!faults.empty() && engine != "gpu" && engine != "multigpu") {
     return Status::InvalidArgument(
         "--faults only applies to the resilient GPU engines (gpu, multigpu)");
+  }
+  if (cancel != nullptr && engine != "gpu" && engine != "vetga" &&
+      engine != "multigpu") {
+    return Status::InvalidArgument(
+        "--timeout-ms only applies to the GPU engines (gpu, vetga, multigpu),"
+        " which check the deadline at round boundaries");
   }
   ExpandStrategy expand_strategy = ExpandStrategy::kWarp;
   if (!expand.empty()) {
@@ -179,6 +235,7 @@ StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
     options.expand_strategy = expand_strategy;
     options.renumber = renumber;
     options.fuse_scan_compact = fuse;
+    options.cancel = cancel;
     sim::Device device(device_options);
     GpuPeelDecomposer decomposer(&device, options);
     auto result = decomposer.Decompose(graph);
@@ -199,6 +256,7 @@ StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
   if (engine == "vetga") {
     VetgaConfig config;
     config.device.check_mode = simcheck;
+    config.cancel = cancel;
     Trace trace;
     if (profiling) config.trace = &trace;
     auto result = RunVetga(graph, config);
@@ -213,6 +271,7 @@ StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
     options.worker_device.fault_spec = faults;
     options.expand_strategy = expand_strategy;
     options.renumber = renumber;
+    options.cancel = cancel;
     Trace trace;
     if (profiling) options.trace = &trace;
     auto result = RunMultiGpuPeel(graph, options);
@@ -232,7 +291,9 @@ StatusOr<SingleKCoreResult> SingleK(const CsrGraph& graph,
                                     bool simcheck, const std::string& faults,
                                     const std::string& expand, bool renumber,
                                     const std::string& trace_path,
-                                    bool prof_summary, std::string* summary) {
+                                    bool prof_summary,
+                                    const CancelContext* cancel,
+                                    std::string* summary) {
   if (engine != "gpu" && engine != "xiang") {
     return Status::InvalidArgument(
         "--k single-k mining supports the gpu and xiang engines only (got " +
@@ -240,10 +301,10 @@ StatusOr<SingleKCoreResult> SingleK(const CsrGraph& graph,
   }
   if (engine == "xiang") {
     if (simcheck || !faults.empty() || !expand.empty() || renumber ||
-        !trace_path.empty() || prof_summary) {
+        !trace_path.empty() || prof_summary || cancel != nullptr) {
       return Status::InvalidArgument(
           "device flags (--simcheck/--faults/--expand/--renumber/--trace/"
-          "--prof-summary) do not apply to the xiang CPU engine");
+          "--prof-summary/--timeout-ms) do not apply to the xiang CPU engine");
     }
     SingleKOptions options;
     options.engine = SingleKEngine::kCpu;
@@ -252,6 +313,7 @@ StatusOr<SingleKCoreResult> SingleK(const CsrGraph& graph,
   SingleKOptions options;
   options.engine = SingleKEngine::kGpu;
   options.gpu.renumber = renumber;
+  options.gpu.cancel = cancel;
   if (!expand.empty() &&
       !ParseExpandStrategy(expand, &options.gpu.expand_strategy)) {
     return Status::InvalidArgument("unknown --expand strategy: " + expand +
@@ -288,12 +350,13 @@ int CmdStats(const CsrGraph& graph) {
 int CmdDecompose(const CsrGraph& graph, const std::string& engine,
                  bool simcheck, const std::string& faults,
                  const std::string& expand, bool renumber, bool fuse,
-                 const std::string& trace_path, bool prof_summary) {
+                 const std::string& trace_path, bool prof_summary,
+                 const CancelContext* cancel) {
   std::string summary;
   auto result = Decompose(graph, engine, simcheck, faults, expand, renumber,
-                          fuse, trace_path, prof_summary, &summary);
+                          fuse, trace_path, prof_summary, cancel, &summary);
   if (!result.ok()) {
-    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    PrintError(result.status());
     return 1;
   }
   std::printf("engine       %s\nk_max        %u\nrounds       %u\n"
@@ -348,18 +411,26 @@ int CmdDecompose(const CsrGraph& graph, const std::string& engine,
   if (prof_summary) {
     std::printf("--- kernel summary ---\n%s", summary.c_str());
   }
+  if (result->metrics.degraded) {
+    // The printed answer is exact, but the GPU run did not survive on its
+    // own — scripts must be able to see that without parsing the table.
+    PrintDegraded("decomposition finished on the CPU fallback after device "
+                  "faults; answer exact");
+    return 4;
+  }
   return 0;
 }
 
 int CmdSingleK(const CsrGraph& graph, const std::string& engine, uint32_t k,
                bool simcheck, const std::string& faults,
                const std::string& expand, bool renumber,
-               const std::string& trace_path, bool prof_summary) {
+               const std::string& trace_path, bool prof_summary,
+               const CancelContext* cancel) {
   std::string summary;
   auto result = SingleK(graph, engine, k, simcheck, faults, expand, renumber,
-                        trace_path, prof_summary, &summary);
+                        trace_path, prof_summary, cancel, &summary);
   if (!result.ok()) {
-    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    PrintError(result.status());
     return 1;
   }
   std::printf("engine       %s\nk            %u\ncore_size    %s\n"
@@ -384,6 +455,11 @@ int CmdSingleK(const CsrGraph& graph, const std::string& engine, uint32_t k,
   if (!trace_path.empty()) std::printf("trace        %s\n", trace_path.c_str());
   if (prof_summary) {
     std::printf("--- kernel summary ---\n%s", summary.c_str());
+  }
+  if (result->metrics.degraded) {
+    PrintDegraded("k-core answered by the CPU (xiang) after device faults; "
+                  "answer exact");
+    return 4;
   }
   return 0;
 }
@@ -437,7 +513,7 @@ int CmdExtract(const BuiltGraph& built, uint32_t k, const char* out_path) {
   }
   const Status status = SaveEdgeListText(edges, out_path);
   if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    PrintError(status);
     return 1;
   }
   std::printf("wrote %zu edges of the %u-core (%u vertices) to %s\n",
@@ -455,7 +531,9 @@ int main(int argc, char** argv) {
   bool renumber = false;
   bool fuse = false;
   bool have_k = false;
+  bool have_timeout = false;
   std::string k_token;
+  std::string timeout_token;
   std::string faults;
   std::string expand;
   std::string trace_path;
@@ -472,6 +550,9 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--k=", 4) == 0) {
       have_k = true;
       k_token = argv[i] + 4;
+    } else if (std::strncmp(argv[i], "--timeout-ms=", 13) == 0) {
+      have_timeout = true;
+      timeout_token = argv[i] + 13;
     } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
       faults = argv[i] + 9;
     } else if (std::strncmp(argv[i], "--expand=", 9) == 0) {
@@ -489,38 +570,61 @@ int main(int argc, char** argv) {
 
   auto built = Load(argv[2]);
   if (!built.ok()) {
-    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    PrintError(built.status());
     return 1;
   }
 
+  // One deadline for the whole command: admission-to-answer, enforced by
+  // the engine at round boundaries.
+  CancelContext lifecycle;
+  const CancelContext* cancel = nullptr;
+  if (have_timeout) {
+    auto timeout_ms = ParseTimeoutMillis(timeout_token);
+    if (!timeout_ms.ok()) {
+      PrintError(timeout_ms.status());
+      return 1;
+    }
+    lifecycle.deadline =
+        Deadline::AfterMillis(static_cast<double>(*timeout_ms));
+    cancel = &lifecycle;
+  }
+
+  if (cancel != nullptr && command != "decompose") {
+    PrintError(Status::InvalidArgument(
+        "--timeout-ms applies to the decompose command only"));
+    return 1;
+  }
   if (command == "stats") return CmdStats(built->graph);
   if (command == "decompose") {
     const std::string engine = argc > 3 ? argv[3] : "gpu";
     if (have_k) {
       auto k = ParseK(k_token);
       if (!k.ok()) {
-        std::fprintf(stderr, "%s\n", k.status().ToString().c_str());
+        PrintError(k.status());
         return 1;
       }
       if (fuse) {
-        std::fprintf(stderr,
-                     "InvalidArgument: --fuse applies to the full "
-                     "decomposition only (single-k mining has no per-round "
-                     "scan/compact pair to fuse)\n");
+        PrintError(Status::InvalidArgument(
+            "--fuse applies to the full decomposition only (single-k mining "
+            "has no per-round scan/compact pair to fuse)"));
         return 1;
       }
       return CmdSingleK(built->graph, engine, *k, simcheck, faults, expand,
-                        renumber, trace_path, prof_summary);
+                        renumber, trace_path, prof_summary, cancel);
     }
     return CmdDecompose(built->graph, engine, simcheck, faults, expand,
-                        renumber, fuse, trace_path, prof_summary);
+                        renumber, fuse, trace_path, prof_summary, cancel);
   }
   if (command == "shells") return CmdShells(built->graph);
   if (command == "hierarchy") return CmdHierarchy(built->graph);
   if (command == "extract") {
     if (argc < 5) return Usage();
-    return CmdExtract(*built, static_cast<uint32_t>(std::atoi(argv[3])),
-                      argv[4]);
+    auto k = ParseK(argv[3]);  // strict: `extract g.txt foo out` used to
+    if (!k.ok()) {             // silently become k=0 via atoi
+      PrintError(k.status());
+      return 1;
+    }
+    return CmdExtract(*built, *k, argv[4]);
   }
   return Usage();
 }

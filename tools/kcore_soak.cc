@@ -1,0 +1,174 @@
+// kcore_soak — chaos-soak harness for the kcore_server serving loop.
+//
+// Drives a seeded mixed workload (point queries, single-k mining, full
+// decompositions; a slice cancelled, a slice with expired deadlines)
+// through a long-lived KcoreServer, usually under an injected fault plan,
+// and verifies every completed answer bit-for-bit against the BZ oracle.
+// Exit codes: 0 clean soak, 1 setup error, 2 usage, 3 soak invariant
+// violated (oracle mismatch, unresolved future, or unexpected failure).
+//
+//   kcore_soak [--graph=<edge_list>]        soak a real edge list, or
+//              [--vertices=N] [--edges=M]   a generated ER + planted core
+//              [--requests=N] [--seed=S]
+//              [--engine=gpu|multigpu|vetga|bz|pkc|park|mpm]
+//              [--faults=<spec>]            per-request device fault plan
+//              [--cancel=F] [--deadline=F]  chaos fractions
+//              [--json=<path>]              write the BENCH_serving report
+//
+// Composes with KCORE_FAULTS and KCORE_SIMCHECK=1 in the environment (each
+// request's fresh device picks both up), which is how the ci_check.sh
+// chaos-soak leg runs it.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "generators/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "serve/soak.h"
+
+namespace {
+
+using namespace kcore;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: kcore_soak [--graph=<edge_list>] [--vertices=N] "
+               "[--edges=M]\n"
+               "                  [--requests=N] [--seed=S] "
+               "[--engine=<kind>] [--faults=<spec>]\n"
+               "                  [--cancel=<frac>] [--deadline=<frac>] "
+               "[--json=<path>]\n");
+  return 2;
+}
+
+/// Strict non-negative integer parse; returns false on junk.
+bool ParseU64(const char* raw, uint64_t* out) {
+  if (*raw == '\0') return false;
+  uint64_t value = 0;
+  for (const char* p = raw; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(*p - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseFraction(const char* raw, double* out) {
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw || *end != '\0' || value < 0.0 || value > 1.0) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string graph_path;
+  std::string json_path;
+  std::string engine_token = "gpu";
+  std::string faults;
+  uint64_t vertices = 1500;
+  uint64_t edges = 6000;
+  SoakOptions options;
+  options.num_requests = 5000;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--graph=", 8) == 0) {
+      graph_path = arg + 8;
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_path = arg + 7;
+    } else if (std::strncmp(arg, "--engine=", 9) == 0) {
+      engine_token = arg + 9;
+    } else if (std::strncmp(arg, "--faults=", 9) == 0) {
+      faults = arg + 9;
+    } else if (std::strncmp(arg, "--vertices=", 11) == 0) {
+      if (!ParseU64(arg + 11, &vertices) || vertices == 0) return Usage();
+    } else if (std::strncmp(arg, "--edges=", 8) == 0) {
+      if (!ParseU64(arg + 8, &edges)) return Usage();
+    } else if (std::strncmp(arg, "--requests=", 11) == 0) {
+      if (!ParseU64(arg + 11, &options.num_requests)) return Usage();
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      if (!ParseU64(arg + 7, &options.seed)) return Usage();
+    } else if (std::strncmp(arg, "--cancel=", 9) == 0) {
+      if (!ParseFraction(arg + 9, &options.cancel_fraction)) return Usage();
+    } else if (std::strncmp(arg, "--deadline=", 11) == 0) {
+      if (!ParseFraction(arg + 11, &options.deadline_fraction)) {
+        return Usage();
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return Usage();
+    }
+  }
+  if (!ParseEngineKind(engine_token, &options.server.engine)) {
+    std::fprintf(stderr, "unknown --engine: %s\n", engine_token.c_str());
+    return Usage();
+  }
+  options.server.engine_config.device.fault_spec = faults;
+  options.server.engine_config.multi_gpu.worker_device.fault_spec = faults;
+  options.server.engine_config.vetga.device.fault_spec = faults;
+
+  CsrGraph graph;
+  std::string label;
+  if (!graph_path.empty()) {
+    auto edges_or = LoadEdgeListText(graph_path);
+    if (!edges_or.ok()) {
+      std::fprintf(stderr, "%s\n", edges_or.status().ToString().c_str());
+      return 1;
+    }
+    auto built = BuildGraph(*edges_or);
+    if (!built.ok()) {
+      std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+      return 1;
+    }
+    graph = std::move(built->graph);
+    label = graph_path;
+  } else {
+    // ER background + planted dense community: a realistic core-number
+    // spread (many shells plus one deep core) at soak-friendly size.
+    EdgeList list = GenerateErdosRenyi(static_cast<uint32_t>(vertices), edges,
+                                      options.seed + 101);
+    PlantedCoreOptions planted;
+    planted.core_size = 48;
+    planted.core_density = 0.5;
+    list = OverlayPlantedCore(std::move(list),
+                              static_cast<uint32_t>(vertices), planted,
+                              options.seed + 202);
+    graph = BuildUndirectedGraph(list);
+    label = "er+planted";
+  }
+
+  auto report = RunSoak(graph, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", SoakReportSummary(*report).c_str());
+  if (!json_path.empty()) {
+    const std::string json = SoakReportJson(label, graph, options, *report);
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (!report->Clean()) {
+    std::fprintf(stderr,
+                 "error code=SoakInvariantViolated mismatches=%llu "
+                 "unresolved=%llu failed=%llu completed=%llu\n",
+                 static_cast<unsigned long long>(report->mismatches),
+                 static_cast<unsigned long long>(report->unresolved),
+                 static_cast<unsigned long long>(report->failed),
+                 static_cast<unsigned long long>(report->completed));
+    return 3;
+  }
+  return 0;
+}
