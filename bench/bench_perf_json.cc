@@ -28,12 +28,20 @@
 // scan->compact sweep off and on and reports the kernel-launch reduction;
 // again the cores must match.
 //
+// A seventh "incremental" section is a drift guard, not a tracker: it
+// re-measures the incremental-maintenance sweep cells and fails the run if
+// any committed BENCH_incremental.json cell ($KCORE_BENCH_INCREMENTAL_JSON,
+// else ./BENCH_incremental.json) drifts by more than 15%; absent committed
+// file = loud skip. BENCH_incremental.json itself is written by
+// bench_incremental, never by this harness.
+//
 // Output path: argv[1] if given, else $KCORE_BENCH_JSON_PATH, else
 // ./BENCH_gpu_peel.json. Respects KCORE_BENCH_MAX_EDGES.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -387,7 +395,136 @@ int main(int argc, char** argv) {
     json += "     \"fused_on\": " + MetricsJson(on->metrics);
     json += "}";
   }
-  json += "\n  ]\n}\n";
+  json += "\n  ],\n  \"incremental\": ";
+
+  // ---- Seventh section: incremental-maintenance drift guard -------------
+  // Re-measures the per-cell mean modeled ms of the incremental sweeps and
+  // compares them against the committed BENCH_incremental.json
+  // ($KCORE_BENCH_INCREMENTAL_JSON, else ./BENCH_incremental.json). The
+  // committed file is produced by bench_incremental; this guard fails the
+  // run when any committed cell drifts by more than 15% — regenerate
+  // BENCH_incremental.json alongside the change that moved it. Skipped
+  // loudly (and recorded in the JSON) when the committed file is absent,
+  // e.g. when writing to a scratch directory. The sweeps are deterministic
+  // (fixed seeds, modeled time), so an in-tolerance rerun is the normal
+  // outcome. This section only checks; the tracked peel numbers above are
+  // untouched by it.
+  {
+    std::string inc_path = "BENCH_incremental.json";
+    if (const char* env = std::getenv("KCORE_BENCH_INCREMENTAL_JSON")) {
+      inc_path = env;
+    }
+    std::string committed;
+    if (std::FILE* in = std::fopen(inc_path.c_str(), "rb")) {
+      char buf[4096];
+      size_t got;
+      while ((got = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+        committed.append(buf, got);
+      }
+      std::fclose(in);
+    }
+    if (committed.empty()) {
+      std::fprintf(stderr,
+                   "incremental drift guard: %s not found, skipping\n",
+                   inc_path.c_str());
+      json += "{\"guard\": \"skipped\", \"reason\": \"no committed file\"}";
+    } else {
+      // Scan the machine-written committed file for
+      //   {"name": "<dataset>", ... "sweeps": [{"batch": N,
+      //    "mean_batch_ms": M, ...}, ...]}
+      // and re-measure every cell whose dataset is in the (possibly
+      // capped) roster.
+      const auto find_number = [](const std::string& text, size_t from,
+                                  const char* key, size_t until,
+                                  double* out) {
+        const size_t at = text.find(key, from);
+        if (at == std::string::npos || at >= until) return false;
+        *out = std::strtod(text.c_str() + at + std::strlen(key), nullptr);
+        return true;
+      };
+      uint64_t cells_checked = 0;
+      double max_drift = 0.0;
+      bool drifted = false;
+      json += "{\"guard\": \"checked\", \"tolerance\": 0.15, \"cells\": [\n";
+      bool first_cell = true;
+      for (const DatasetSpec& spec : PaperRoster()) {
+        const std::string tag = "{\"name\": \"" + spec.name + "\"";
+        const size_t entry = committed.find(tag);
+        if (entry == std::string::npos) continue;
+        const size_t entry_end = committed.find("]}", entry);
+        if (entry_end == std::string::npos) continue;
+        double committed_edges = 0.0;
+        if (find_number(committed, entry, "\"edges\": ", entry_end,
+                        &committed_edges) &&
+            max_edges != 0 && committed_edges > static_cast<double>(max_edges)) {
+          continue;
+        }
+        auto graph = LoadOrGenerateDataset(spec, DefaultCacheDir());
+        if (!graph.ok()) {
+          std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
+                       graph.status().ToString().c_str());
+          return 1;
+        }
+        size_t cursor = committed.find("\"sweeps\"", entry);
+        while (cursor != std::string::npos && cursor < entry_end) {
+          const size_t cell = committed.find("{\"batch\": ", cursor);
+          if (cell == std::string::npos || cell >= entry_end) break;
+          double batch = 0.0;
+          double committed_ms = 0.0;
+          if (!find_number(committed, cell, "\"batch\": ", entry_end,
+                           &batch) ||
+              !find_number(committed, cell, "\"mean_batch_ms\": ", entry_end,
+                           &committed_ms)) {
+            break;
+          }
+          IncrementalSweepResult sweep;
+          const auto batch_size = static_cast<size_t>(batch);
+          if (!RunIncrementalSweep(*graph, batch_size, /*full_peel_ms=*/0.0,
+                                   500 + batch_size, &sweep)) {
+            std::fprintf(stderr, "%s: drift-guard sweep batch=%zu failed\n",
+                         spec.name.c_str(), batch_size);
+            return 1;
+          }
+          const double scale = std::max(committed_ms, 1e-6);
+          const double drift =
+              std::abs(sweep.mean_batch_ms - committed_ms) / scale;
+          max_drift = std::max(max_drift, drift);
+          ++cells_checked;
+          if (drift > 0.15) {
+            drifted = true;
+            std::fprintf(stderr,
+                         "incremental drift: %s batch=%zu committed %.4f ms "
+                         "vs measured %.4f ms (%.1f%%)\n",
+                         spec.name.c_str(), batch_size, committed_ms,
+                         sweep.mean_batch_ms, 100.0 * drift);
+          }
+          if (!first_cell) json += ",\n";
+          first_cell = false;
+          json += StrFormat(
+              "    {\"name\": \"%s\", \"batch\": %zu, "
+              "\"committed_ms\": %.4f, \"measured_ms\": %.4f, "
+              "\"drift_pct\": %.1f}",
+              spec.name.c_str(), batch_size, committed_ms,
+              sweep.mean_batch_ms,
+              100.0 * std::abs(sweep.mean_batch_ms - committed_ms) / scale);
+          cursor = cell + 1;
+        }
+      }
+      json += StrFormat(
+          "\n  ], \"cells_checked\": %llu, \"max_drift_pct\": %.1f}",
+          static_cast<unsigned long long>(cells_checked),
+          100.0 * max_drift);
+      if (drifted) {
+        std::fprintf(stderr,
+                     "incremental drift guard failed: regenerate "
+                     "BENCH_incremental.json (tolerance 15%%)\n");
+        return 1;
+      }
+      std::printf("incremental drift guard: %llu cells within 15%%\n",
+                  static_cast<unsigned long long>(cells_checked));
+    }
+  }
+  json += "\n}\n";
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {

@@ -77,6 +77,34 @@ uint64_t ScaledBufferCapacity(const CsrGraph& graph);
 /// like the datasets (3600 s / 400).
 inline constexpr double kScaledHourMs = 9000.0;
 
+/// One (dataset, batch-size) incremental-maintenance sweep's aggregates,
+/// shared by bench_incremental (which writes BENCH_incremental.json) and
+/// bench_perf_json's drift guard (which re-measures and compares).
+struct IncrementalSweepResult {
+  double mean_batch_ms = 0.0;
+  double updates_per_sec = 0.0;
+  double mean_affected = 0.0;
+  /// Mean fraction of the directed edge mass incident to the affected
+  /// region — the measured "batch touched x% of edges".
+  double touched_edge_share = 0.0;
+  double speedup = 0.0;
+  uint64_t full_repeels = 0;
+  uint64_t compactions = 0;
+};
+
+/// Batches per incremental sweep (fixed so re-measured cells are
+/// bit-comparable with the committed BENCH_incremental.json).
+inline constexpr int kIncrementalBatchesPerSweep = 5;
+
+/// One incremental sweep: fresh IncrementalCoreEngine over `graph`, a
+/// seeded stream of kIncrementalBatchesPerSweep mixed insert/delete batches
+/// of `batch_size`, then a bit-exact verify of the final coreness against a
+/// fresh BZ of the engine's current graph. Deterministic per (graph, seed,
+/// batch_size). Returns false (with a stderr diagnostic) on any failure.
+bool RunIncrementalSweep(const CsrGraph& graph, size_t batch_size,
+                         double full_peel_ms, uint64_t seed,
+                         IncrementalSweepResult* out);
+
 /// Table III/IV cell formatting: a time in ms, or the paper's special
 /// markers.
 std::string FormatCellMs(double ms);

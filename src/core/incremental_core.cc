@@ -1,0 +1,1461 @@
+#include "core/incremental_core.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "common/timer.h"
+#include "core/gpu_peel.h"
+#include "cpu/bz.h"
+#include "cpu/dynamic_core.h"
+#include "cusim/annotations.h"
+#include "cusim/atomics.h"
+#include "cusim/block.h"
+#include "cusim/simprof.h"
+#include "cusim/warp.h"
+#include "cusim/warp_scan.h"
+
+namespace kcore {
+namespace {
+
+using sim::AtomicAdd;
+using sim::AtomicCas;
+using sim::AtomicMax;
+using sim::AtomicSub;
+using sim::BallotExclusiveScan;
+using sim::GlobalLoad;
+using sim::GlobalStore;
+using sim::kWarpSize;
+using sim::WarpCtx;
+
+/// Dead base-CSR slot (a deleted neighbor) / empty overlay-chain link. Valid
+/// vertex ids are < V < 2^32-1, so the sentinel can never collide.
+constexpr VertexId kTombstone = 0xFFFFFFFFu;
+constexpr uint32_t kNilLink = 0xFFFFFFFFu;
+
+/// Raw device pointers + geometry handed to every incremental kernel.
+///
+/// Graph representation (the delta-CSR overlay): the base CSR keeps its
+/// original layout with deleted slots tombstoned in place; inserted edges
+/// live in a pool of per-vertex linked slabs (ov_dst/ov_next nodes chained
+/// from ov_head[v]). A vertex's live adjacency = non-tombstoned base slots +
+/// non-tombstoned chain nodes. Unsorted — every consumer does linear sweeps.
+struct IncCtx {
+  const EdgeIndex* offsets = nullptr;
+  VertexId* base_nbrs = nullptr;
+  uint32_t* core = nullptr;
+
+  VertexId* ov_dst = nullptr;
+  uint32_t* ov_next = nullptr;
+  uint32_t* ov_head = nullptr;
+  uint64_t ov_capacity = 0;
+
+  const VertexId* stage_u = nullptr;
+  const VertexId* stage_v = nullptr;
+
+  /// Batch-stamped union of every vertex the batch looked at (the affected
+  /// region); claimed once per batch via batch_stamp.
+  VertexId* touched = nullptr;
+  uint64_t* touched_count = nullptr;
+  uint64_t* batch_stamp = nullptr;
+
+  /// Wave-claimed worklist: BFS frontier windows and re-peel activation
+  /// windows are consecutive slices of this append-only array.
+  VertexId* act = nullptr;
+  uint64_t* act_count = nullptr;
+  uint64_t* wave_stamp = nullptr;
+  uint64_t act_capacity = 0;
+
+  uint32_t* overflow = nullptr;  // sticky: act/overlay capacity exhausted
+  uint32_t* invalid = nullptr;   // sticky: structural or fixpoint violation
+  uint32_t* gather = nullptr;    // gather[i] = core[touched[i]]
+
+  VertexId num_vertices = 0;
+};
+
+/// Claims v into the batch-stamped affected set (at most once per batch).
+template <typename Counters>
+KCORE_KERNEL void ClaimTouched(const IncCtx& ctx, VertexId v,
+                               uint64_t batch_tag, Counters& c) {
+  if (AtomicMax(ctx.batch_stamp + v, batch_tag, c) >= batch_tag) return;
+  const uint64_t pos = AtomicAdd(ctx.touched_count, uint64_t{1}, c);
+  // touched has exactly V slots and claims dedup, so pos < V always; the
+  // guard contains the fallout of a corrupted stamp word.
+  if (pos >= ctx.num_vertices) {
+    AtomicMax(ctx.invalid, 1u, c);
+    return;
+  }
+  GlobalStore(ctx.touched + pos, v, c);
+}
+
+/// Appends v to the worklist tail if it has not been claimed for `wave_tag`
+/// yet. Serial (single-lane) variant used for overlay-chain discoveries.
+template <typename Counters>
+KCORE_KERNEL void PushActSerial(const IncCtx& ctx, VertexId v,
+                                uint64_t wave_tag, uint64_t batch_tag,
+                                Counters& c) {
+  if (AtomicMax(ctx.wave_stamp + v, wave_tag, c) >= wave_tag) return;
+  ClaimTouched(ctx, v, batch_tag, c);
+  const uint64_t pos = AtomicAdd(ctx.act_count, uint64_t{1}, c);
+  if (pos >= ctx.act_capacity) {
+    AtomicMax(ctx.overflow, 1u, c);
+    return;
+  }
+  GlobalStore(ctx.act + pos, v, c);
+  ++c.buffer_appends;
+}
+
+/// Warp-ballot append (the PR-1 compaction idiom): lanes stage claimed
+/// candidates in registers, one ballot scan assigns dense slots, one
+/// atomicAdd per warp reserves them.
+template <typename Counters>
+KCORE_KERNEL void PushActBallot(const IncCtx& ctx, WarpCtx& warp,
+                                const uint32_t flags[kWarpSize],
+                                const VertexId cand[kWarpSize],
+                                Counters& c) {
+  uint32_t exclusive[kWarpSize];
+  const uint32_t total = BallotExclusiveScan(warp, flags, exclusive);
+  if (total == 0) return;
+  const uint64_t base = AtomicAdd(ctx.act_count, uint64_t{total}, c);
+  ++c.shared_ops;  // lane 0 broadcasts the reserved base
+  warp.ForEachLane([&](uint32_t lane) {
+    if (flags[lane] == 0) return;
+    const uint64_t pos = base + exclusive[lane];
+    if (pos >= ctx.act_capacity) {
+      AtomicMax(ctx.overflow, 1u, c);
+      return;
+    }
+    GlobalStore(ctx.act + pos, cand[lane], c);
+    ++c.buffer_appends;
+  });
+}
+
+/// Counts v's live neighbors with core >= t: lanes stride the base slab in
+/// kWarpSize chunks (skipping tombstones), lane 0 walks the short overlay
+/// chain. One call = one adjacency sweep of the h-index descent.
+template <typename Counters>
+KCORE_KERNEL uint32_t WarpCountNeighborsGE(const IncCtx& ctx, VertexId v,
+                                           uint32_t t, WarpCtx& warp,
+                                           Counters& c) {
+  uint32_t lane_cnt[kWarpSize] = {0};
+  const EdgeIndex lo = GlobalLoad(ctx.offsets + v, c);
+  const EdgeIndex hi = GlobalLoad(ctx.offsets + v + 1, c);
+  for (EdgeIndex base = lo; base < hi; base += kWarpSize) {
+    warp.ForEachLane([&](uint32_t lane) {
+      const EdgeIndex e = base + lane;
+      if (e >= hi) return;
+      const VertexId u = GlobalLoad(ctx.base_nbrs + e, c);
+      ++c.edges_traversed;
+      if (u == kTombstone) return;
+      if (GlobalLoad(ctx.core + u, c) >= t) ++lane_cnt[lane];
+    });
+  }
+  uint32_t cnt = 0;
+  for (uint32_t lane = 0; lane < kWarpSize; ++lane) cnt += lane_cnt[lane];
+  c.lane_ops += 5;  // log2(32) shuffle reduction
+  uint32_t node = GlobalLoad(ctx.ov_head + v, c);
+  while (node != kNilLink) {
+    const VertexId u = GlobalLoad(ctx.ov_dst + node, c);
+    ++c.edges_traversed;
+    if (u != kTombstone && GlobalLoad(ctx.core + u, c) >= t) ++cnt;
+    node = GlobalLoad(ctx.ov_next + node, c);
+  }
+  return cnt;
+}
+
+/// Links `n` staged directed inserts (stage_u[i] -> stage_v[i]) into the
+/// overlay pool at slots [slot_base, slot_base + n). Slot assignment is
+/// host-side (slot_base + i); only the per-vertex head push needs a CAS
+/// loop — two concurrent inserts on one vertex chain through it safely.
+template <typename BlockT>
+KCORE_KERNEL void OverlayAppendKernel(const IncCtx& ctx, uint64_t n,
+                                      uint64_t slot_base, BlockT& block) {
+  auto& c = block.counters();
+  const uint64_t grid = block.grid_threads();
+  const uint64_t first =
+      static_cast<uint64_t>(block.block_id()) * block.block_dim();
+  for (uint64_t s = 0; s < n; s += grid) {
+    if (s + first >= n) continue;
+    block.ForEachThread([&](uint32_t t) {
+      const uint64_t i = s + first + t;
+      if (i >= n) return;
+      const VertexId src = GlobalLoad(ctx.stage_u + i, c);
+      const VertexId dst = GlobalLoad(ctx.stage_v + i, c);
+      const uint64_t slot = slot_base + i;
+      if (slot >= ctx.ov_capacity) {  // host pre-checks; contain anyway
+        AtomicMax(ctx.overflow, 1u, c);
+        return;
+      }
+      GlobalStore(ctx.ov_dst + slot, dst, c);
+      for (;;) {
+        const uint32_t old = GlobalLoad(ctx.ov_head + src, c);
+        GlobalStore(ctx.ov_next + slot, old, c);
+        if (AtomicCas(ctx.ov_head + src, old,
+                      static_cast<uint32_t>(slot), c) == old) {
+          break;
+        }
+      }
+    });
+  }
+}
+
+/// Tombstones `n` staged directed deletes: each thread linear-scans the
+/// source's base slab for the target (CAS so concurrent scanners of the
+/// same slab never race a plain write), falling back to the overlay chain
+/// for edges inserted since the last merge.
+template <typename BlockT>
+KCORE_KERNEL void TombstoneKernel(const IncCtx& ctx, uint64_t n,
+                                  BlockT& block) {
+  auto& c = block.counters();
+  const uint64_t grid = block.grid_threads();
+  const uint64_t first =
+      static_cast<uint64_t>(block.block_id()) * block.block_dim();
+  for (uint64_t s = 0; s < n; s += grid) {
+    if (s + first >= n) continue;
+    block.ForEachThread([&](uint32_t t) {
+      const uint64_t i = s + first + t;
+      if (i >= n) return;
+      const VertexId src = GlobalLoad(ctx.stage_u + i, c);
+      const VertexId dst = GlobalLoad(ctx.stage_v + i, c);
+      const EdgeIndex lo = GlobalLoad(ctx.offsets + src, c);
+      const EdgeIndex hi = GlobalLoad(ctx.offsets + src + 1, c);
+      for (EdgeIndex e = lo; e < hi; ++e) {
+        ++c.edges_traversed;
+        if (GlobalLoad(ctx.base_nbrs + e, c) != dst) continue;
+        if (AtomicCas(ctx.base_nbrs + e, dst, kTombstone, c) == dst) return;
+      }
+      uint32_t node = GlobalLoad(ctx.ov_head + src, c);
+      while (node != kNilLink) {
+        ++c.edges_traversed;
+        if (GlobalLoad(ctx.ov_dst + node, c) == dst) {
+          if (AtomicCas(ctx.ov_dst + node, dst, kTombstone, c) == dst) return;
+        }
+        node = GlobalLoad(ctx.ov_next + node, c);
+      }
+      AtomicMax(ctx.invalid, 1u, c);  // validated host-side; must exist
+    });
+  }
+}
+
+/// Claims `n` staged seed vertices into the affected set and the worklist.
+template <typename BlockT>
+KCORE_KERNEL void SeedKernel(const IncCtx& ctx, uint64_t n,
+                             uint64_t batch_tag, uint64_t wave_tag,
+                             BlockT& block) {
+  auto& c = block.counters();
+  const uint64_t grid = block.grid_threads();
+  const uint64_t first =
+      static_cast<uint64_t>(block.block_id()) * block.block_dim();
+  for (uint64_t s = 0; s < n; s += grid) {
+    if (s + first >= n) continue;
+    block.ForEachThread([&](uint32_t t) {
+      const uint64_t i = s + first + t;
+      if (i >= n) return;
+      PushActSerial(ctx, GlobalLoad(ctx.stage_u + i, c), wave_tag, batch_tag,
+                    c);
+    });
+  }
+}
+
+/// One BFS wave of insert-candidate collection: for each frontier vertex in
+/// act[window), append its live neighbors whose core equals the frontier
+/// vertex's own core (the equal-coreness subcore walk of cpu/dynamic_core.h
+/// CollectCandidates) to the worklist tail. Comparing against the frontier
+/// vertex's core — not a scalar K — lets one joint wave grow every insert's
+/// component at once: a component is equal-coreness by construction, so
+/// components seeded at different K levels expand side by side without
+/// merging. Warp per frontier vertex; appends warp-ballot-compacted.
+template <typename BlockT>
+KCORE_KERNEL void ExpandFrontierKernel(const IncCtx& ctx, uint64_t win_start,
+                                       uint64_t win_end, uint64_t batch_tag,
+                                       uint64_t wave_tag, BlockT& block) {
+  auto& c = block.counters();
+  const uint32_t warps_per_block = block.num_warps();
+  const uint64_t grid_warps =
+      static_cast<uint64_t>(block.num_blocks()) * warps_per_block;
+  const uint64_t len = win_end - win_start;
+  for (uint64_t s = 0; s < len; s += grid_warps) {
+    block.ForEachWarp([&](WarpCtx& warp) {
+      const uint64_t idx =
+          s + static_cast<uint64_t>(block.block_id()) * warps_per_block +
+          warp.warp_id();
+      if (idx >= len) return;
+      const VertexId v = GlobalLoad(ctx.act + win_start + idx, c);
+      ++c.vertices_scanned;
+      const uint32_t k = GlobalLoad(ctx.core + v, c);
+      const EdgeIndex lo = GlobalLoad(ctx.offsets + v, c);
+      const EdgeIndex hi = GlobalLoad(ctx.offsets + v + 1, c);
+      for (EdgeIndex base = lo; base < hi; base += kWarpSize) {
+        uint32_t flags[kWarpSize] = {0};
+        VertexId cand[kWarpSize];
+        warp.ForEachLane([&](uint32_t lane) {
+          const EdgeIndex e = base + lane;
+          if (e >= hi) return;
+          const VertexId u = GlobalLoad(ctx.base_nbrs + e, c);
+          ++c.edges_traversed;
+          if (u == kTombstone) return;
+          if (GlobalLoad(ctx.core + u, c) != k) return;
+          if (AtomicMax(ctx.wave_stamp + u, wave_tag, c) >= wave_tag) return;
+          ClaimTouched(ctx, u, batch_tag, c);
+          flags[lane] = 1;
+          cand[lane] = u;
+        });
+        PushActBallot(ctx, warp, flags, cand, c);
+      }
+      uint32_t node = GlobalLoad(ctx.ov_head + v, c);
+      while (node != kNilLink) {
+        const VertexId u = GlobalLoad(ctx.ov_dst + node, c);
+        ++c.edges_traversed;
+        if (u != kTombstone && GlobalLoad(ctx.core + u, c) == k) {
+          PushActSerial(ctx, u, wave_tag, batch_tag, c);
+        }
+        node = GlobalLoad(ctx.ov_next + node, c);
+      }
+    });
+  }
+}
+
+/// Lifts every candidate in act[window) by one (K -> K+1): the valid upper
+/// bound an edge insert can raise the subcore to. AtomicAdd so concurrent
+/// sweeps reading core[] race an atomic, not a plain write.
+template <typename BlockT>
+KCORE_KERNEL void LiftKernel(const IncCtx& ctx, uint64_t win_start,
+                             uint64_t win_end, BlockT& block) {
+  auto& c = block.counters();
+  const uint64_t grid = block.grid_threads();
+  const uint64_t first =
+      static_cast<uint64_t>(block.block_id()) * block.block_dim();
+  const uint64_t len = win_end - win_start;
+  for (uint64_t s = 0; s < len; s += grid) {
+    if (s + first >= len) continue;
+    block.ForEachThread([&](uint32_t t) {
+      const uint64_t i = s + first + t;
+      if (i >= len) return;
+      const VertexId v = GlobalLoad(ctx.act + win_start + i, c);
+      AtomicAdd(ctx.core + v, 1u, c);
+    });
+  }
+}
+
+/// One localized re-peel wave: every vertex in act[window) re-evaluates its
+/// h-index against live neighbor cores (descent from the current value —
+/// each step one warp sweep), and on a drop pushes the neighbors whose core
+/// exceeds the new value into the next wave's window. Chaotic relaxation:
+/// estimates only decrease and stay upper bounds, so concurrent evaluation
+/// order cannot change the fixpoint — the greatest fixpoint below the
+/// upper bounds, i.e. the exact coreness (Montresor locality).
+template <typename BlockT>
+KCORE_KERNEL void RefineWaveKernel(const IncCtx& ctx, uint64_t win_start,
+                                   uint64_t win_end, uint64_t batch_tag,
+                                   uint64_t push_tag, BlockT& block) {
+  auto& c = block.counters();
+  const uint32_t warps_per_block = block.num_warps();
+  const uint64_t grid_warps =
+      static_cast<uint64_t>(block.num_blocks()) * warps_per_block;
+  const uint64_t len = win_end - win_start;
+  for (uint64_t s = 0; s < len; s += grid_warps) {
+    block.ForEachWarp([&](WarpCtx& warp) {
+      const uint64_t idx =
+          s + static_cast<uint64_t>(block.block_id()) * warps_per_block +
+          warp.warp_id();
+      if (idx >= len) return;
+      const VertexId v = GlobalLoad(ctx.act + win_start + idx, c);
+      ++c.vertices_scanned;
+      ++c.hindex_evals;
+      const uint32_t cap = GlobalLoad(ctx.core + v, c);
+      if (cap == 0) return;
+      uint32_t t = cap;
+      while (t > 0) {
+        const uint32_t cnt = WarpCountNeighborsGE(ctx, v, t, warp, c);
+        if (cnt >= t) break;
+        --t;
+      }
+      if (t == cap) return;
+      // Single writer per vertex per wave (the wave-stamp claim), so the
+      // subtraction is exact; atomic so concurrent readers race an atomic.
+      AtomicSub(ctx.core + v, cap - t, c);
+      ClaimTouched(ctx, v, batch_tag, c);
+      // Push affected neighbors: only estimates above the new value can
+      // lose support (v still supports any neighbor at level <= t).
+      const EdgeIndex lo = GlobalLoad(ctx.offsets + v, c);
+      const EdgeIndex hi = GlobalLoad(ctx.offsets + v + 1, c);
+      for (EdgeIndex base = lo; base < hi; base += kWarpSize) {
+        uint32_t flags[kWarpSize] = {0};
+        VertexId cand[kWarpSize];
+        warp.ForEachLane([&](uint32_t lane) {
+          const EdgeIndex e = base + lane;
+          if (e >= hi) return;
+          const VertexId u = GlobalLoad(ctx.base_nbrs + e, c);
+          ++c.edges_traversed;
+          if (u == kTombstone) return;
+          if (GlobalLoad(ctx.core + u, c) <= t) return;
+          if (AtomicMax(ctx.wave_stamp + u, push_tag, c) >= push_tag) return;
+          ClaimTouched(ctx, u, batch_tag, c);
+          flags[lane] = 1;
+          cand[lane] = u;
+        });
+        PushActBallot(ctx, warp, flags, cand, c);
+      }
+      uint32_t node = GlobalLoad(ctx.ov_head + v, c);
+      while (node != kNilLink) {
+        const VertexId u = GlobalLoad(ctx.ov_dst + node, c);
+        ++c.edges_traversed;
+        if (u != kTombstone && GlobalLoad(ctx.core + u, c) > t) {
+          PushActSerial(ctx, u, push_tag, batch_tag, c);
+        }
+        node = GlobalLoad(ctx.ov_next + node, c);
+      }
+    });
+  }
+}
+
+/// gather[i] = core[touched[i]] for the whole affected prefix — the
+/// index-gather that a prefix-only host copy cannot express.
+template <typename BlockT>
+KCORE_KERNEL void GatherKernel(const IncCtx& ctx, uint64_t n, BlockT& block) {
+  auto& c = block.counters();
+  const uint64_t grid = block.grid_threads();
+  const uint64_t first =
+      static_cast<uint64_t>(block.block_id()) * block.block_dim();
+  for (uint64_t s = 0; s < n; s += grid) {
+    if (s + first >= n) continue;
+    block.ForEachThread([&](uint32_t t) {
+      const uint64_t i = s + first + t;
+      if (i >= n) return;
+      const VertexId v = GlobalLoad(ctx.touched + i, c);
+      GlobalStore(ctx.gather + i, GlobalLoad(ctx.core + v, c), c);
+    });
+  }
+}
+
+/// Post-batch corruption check (fault plans only): exact coreness satisfies
+/// the locality fixpoint core(v) == H(live neighbor cores), verified as
+/// count(>= c) >= c && count(>= c+1) <= c in one sweep. Any single flipped
+/// word of core[] breaks the test at the flipped vertex itself (its
+/// neighborhood is unchanged, so H still equals the pre-flip value).
+template <typename BlockT>
+KCORE_KERNEL void ValidateCoreKernel(const IncCtx& ctx, BlockT& block) {
+  auto& c = block.counters();
+  const uint32_t warps_per_block = block.num_warps();
+  const uint64_t grid_warps =
+      static_cast<uint64_t>(block.num_blocks()) * warps_per_block;
+  const uint64_t n = ctx.num_vertices;
+  for (uint64_t s = 0; s < n; s += grid_warps) {
+    block.ForEachWarp([&](WarpCtx& warp) {
+      const uint64_t idx =
+          s + static_cast<uint64_t>(block.block_id()) * warps_per_block +
+          warp.warp_id();
+      if (idx >= n) return;
+      const VertexId v = static_cast<VertexId>(idx);
+      ++c.vertices_scanned;
+      const uint32_t cv = GlobalLoad(ctx.core + v, c);
+      uint32_t lane_ge[kWarpSize] = {0};
+      uint32_t lane_gt[kWarpSize] = {0};
+      const EdgeIndex lo = GlobalLoad(ctx.offsets + v, c);
+      const EdgeIndex hi = GlobalLoad(ctx.offsets + v + 1, c);
+      for (EdgeIndex base = lo; base < hi; base += kWarpSize) {
+        warp.ForEachLane([&](uint32_t lane) {
+          const EdgeIndex e = base + lane;
+          if (e >= hi) return;
+          const VertexId u = GlobalLoad(ctx.base_nbrs + e, c);
+          ++c.edges_traversed;
+          if (u == kTombstone) return;
+          const uint32_t cu = GlobalLoad(ctx.core + u, c);
+          if (cu >= cv) ++lane_ge[lane];
+          if (cu >= cv + 1) ++lane_gt[lane];
+        });
+      }
+      uint32_t ge = 0;
+      uint32_t gt = 0;
+      for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+        ge += lane_ge[lane];
+        gt += lane_gt[lane];
+      }
+      c.lane_ops += 10;
+      uint32_t node = GlobalLoad(ctx.ov_head + v, c);
+      while (node != kNilLink) {
+        const VertexId u = GlobalLoad(ctx.ov_dst + node, c);
+        ++c.edges_traversed;
+        if (u != kTombstone) {
+          const uint32_t cu = GlobalLoad(ctx.core + u, c);
+          if (cu >= cv) ++ge;
+          if (cu >= cv + 1) ++gt;
+        }
+        node = GlobalLoad(ctx.ov_next + node, c);
+      }
+      if (ge < cv || gt > cv) AtomicMax(ctx.invalid, 1u, c);
+    });
+  }
+}
+
+/// Streams the live adjacency (non-tombstoned base slots, then overlay
+/// chain) of every vertex into a freshly laid-out CSR at new_offsets — the
+/// compaction that folds the delta overlay back into the base. Warp per
+/// vertex; base-slab survivors placed by ballot scan, chain nodes appended
+/// serially by lane 0. The host computed new_offsets from its mirror, so a
+/// final cursor mismatch marks the device structure corrupt.
+template <typename BlockT>
+KCORE_KERNEL void MergeCompactKernel(const IncCtx& ctx,
+                                     const EdgeIndex* new_offsets,
+                                     VertexId* new_nbrs, BlockT& block) {
+  auto& c = block.counters();
+  const uint32_t warps_per_block = block.num_warps();
+  const uint64_t grid_warps =
+      static_cast<uint64_t>(block.num_blocks()) * warps_per_block;
+  const uint64_t n = ctx.num_vertices;
+  for (uint64_t s = 0; s < n; s += grid_warps) {
+    block.ForEachWarp([&](WarpCtx& warp) {
+      const uint64_t idx =
+          s + static_cast<uint64_t>(block.block_id()) * warps_per_block +
+          warp.warp_id();
+      if (idx >= n) return;
+      const VertexId v = static_cast<VertexId>(idx);
+      ++c.vertices_scanned;
+      EdgeIndex cursor = GlobalLoad(new_offsets + v, c);
+      const EdgeIndex out_end = GlobalLoad(new_offsets + v + 1, c);
+      const EdgeIndex lo = GlobalLoad(ctx.offsets + v, c);
+      const EdgeIndex hi = GlobalLoad(ctx.offsets + v + 1, c);
+      for (EdgeIndex base = lo; base < hi; base += kWarpSize) {
+        uint32_t flags[kWarpSize] = {0};
+        VertexId live[kWarpSize];
+        warp.ForEachLane([&](uint32_t lane) {
+          const EdgeIndex e = base + lane;
+          if (e >= hi) return;
+          const VertexId u = GlobalLoad(ctx.base_nbrs + e, c);
+          ++c.edges_traversed;
+          if (u == kTombstone) return;
+          flags[lane] = 1;
+          live[lane] = u;
+        });
+        uint32_t exclusive[kWarpSize];
+        const uint32_t total = BallotExclusiveScan(warp, flags, exclusive);
+        warp.ForEachLane([&](uint32_t lane) {
+          if (flags[lane] == 0) return;
+          const EdgeIndex pos = cursor + exclusive[lane];
+          if (pos < out_end) {
+            GlobalStore(new_nbrs + pos, live[lane], c);
+          } else {
+            AtomicMax(ctx.invalid, 1u, c);
+          }
+        });
+        cursor += total;
+      }
+      uint32_t node = GlobalLoad(ctx.ov_head + v, c);
+      while (node != kNilLink) {
+        const VertexId u = GlobalLoad(ctx.ov_dst + node, c);
+        ++c.edges_traversed;
+        if (u != kTombstone) {
+          if (cursor < out_end) {
+            GlobalStore(new_nbrs + cursor, u, c);
+          } else {
+            AtomicMax(ctx.invalid, 1u, c);
+          }
+          ++cursor;
+        }
+        node = GlobalLoad(ctx.ov_next + node, c);
+      }
+      if (cursor != out_end) AtomicMax(ctx.invalid, 1u, c);
+    });
+  }
+}
+
+}  // namespace
+
+Status ValidateIncrementalOptions(const IncrementalOptions& options,
+                                  const sim::Device& device) {
+  (void)device;
+  if (options.num_blocks == 0) {
+    return Status::InvalidArgument("num_blocks must be positive");
+  }
+  if (options.block_dim == 0 || options.block_dim % kWarpSize != 0) {
+    return Status::InvalidArgument(
+        "block_dim must be a positive multiple of 32");
+  }
+  if (options.compact_threshold < 0.0 || options.compact_threshold > 1.0) {
+    return Status::InvalidArgument(
+        "compact_threshold must be a fraction in [0, 1]");
+  }
+  if (options.full_repeel_fraction <= 0.0 ||
+      options.full_repeel_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "full_repeel_fraction must be a fraction in (0, 1]");
+  }
+  return Status::OK();
+}
+
+/// Everything resident on the attached device, plus the host-side
+/// bookkeeping that describes it.
+struct IncrementalCoreEngine::DeviceState {
+  sim::DeviceArray<EdgeIndex> offsets;
+  sim::DeviceArray<VertexId> base_nbrs;
+  sim::DeviceArray<uint32_t> core;
+  sim::DeviceArray<VertexId> ov_dst;
+  sim::DeviceArray<uint32_t> ov_next;
+  sim::DeviceArray<uint32_t> ov_head;
+  sim::DeviceArray<VertexId> touched;
+  sim::DeviceArray<uint64_t> touched_count;
+  sim::DeviceArray<uint64_t> batch_stamp;
+  sim::DeviceArray<VertexId> act;
+  sim::DeviceArray<uint64_t> act_count;
+  sim::DeviceArray<uint64_t> wave_stamp;
+  sim::DeviceArray<uint32_t> overflow;
+  sim::DeviceArray<uint32_t> invalid;
+  sim::DeviceArray<uint32_t> gather;
+  sim::DeviceArray<VertexId> stage_u;
+  sim::DeviceArray<VertexId> stage_v;
+
+  uint64_t base_dir_edges = 0;  ///< Base CSR directed slots (incl. dead).
+  uint64_t ov_used = 0;         ///< Pool slots consumed since last merge.
+  uint64_t tombstones = 0;      ///< Dead base+overlay slots since last merge.
+  uint64_t stamp_counter = 0;   ///< Monotone source of batch/wave tags.
+  uint64_t stage_capacity = 0;
+
+  IncCtx ctx;
+};
+
+IncrementalCoreEngine::IncrementalCoreEngine(
+    const CsrGraph& initial, IncrementalOptions options,
+    sim::DeviceOptions device_options)
+    : options_(options), device_options_(device_options) {
+  const VertexId n = initial.NumVertices();
+  adjacency_.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nbrs = initial.Neighbors(v);
+    adjacency_[v].assign(nbrs.begin(), nbrs.end());
+  }
+  num_edges_ = initial.NumUndirectedEdges();
+}
+
+IncrementalCoreEngine::~IncrementalCoreEngine() = default;
+
+StatusOr<std::unique_ptr<IncrementalCoreEngine>> IncrementalCoreEngine::Create(
+    const CsrGraph& initial, const IncrementalOptions& options,
+    const sim::DeviceOptions& device_options,
+    const std::vector<uint32_t>* known_core) {
+  KCORE_RETURN_IF_ERROR(initial.Validate());
+  std::unique_ptr<IncrementalCoreEngine> engine(
+      new IncrementalCoreEngine(initial, options, device_options));
+  if (known_core != nullptr) {
+    if (known_core->size() != initial.NumVertices()) {
+      return Status::InvalidArgument("known_core size mismatch");
+    }
+    engine->core_ = *known_core;
+  } else {
+    engine->core_ = RunBz(initial).core;
+  }
+  KCORE_RETURN_IF_ERROR(engine->Attach());
+  KCORE_RETURN_IF_ERROR(
+      ValidateIncrementalOptions(options, *engine->device_));
+  return engine;
+}
+
+CsrGraph IncrementalCoreEngine::CurrentGraph() const {
+  const VertexId n = NumVertices();
+  std::vector<EdgeIndex> offsets(static_cast<size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    offsets[v + 1] = offsets[v] + adjacency_[v].size();
+  }
+  std::vector<VertexId> neighbors;
+  neighbors.reserve(offsets[n]);
+  for (VertexId v = 0; v < n; ++v) {
+    neighbors.insert(neighbors.end(), adjacency_[v].begin(),
+                     adjacency_[v].end());
+  }
+  return CsrGraph(std::move(offsets), std::move(neighbors));
+}
+
+Status IncrementalCoreEngine::HealthCheck() {
+  if (device_ == nullptr || needs_reattach_) {
+    // A detached engine re-attaches on the next batch; probe by attaching.
+    KCORE_RETURN_IF_ERROR(Attach());
+  }
+  return device_->HealthCheck("incremental_probe");
+}
+
+Status IncrementalCoreEngine::ValidateAndSplit(
+    std::span<const EdgeUpdate> batch, std::vector<EdgeUpdate>* net_inserts,
+    std::vector<EdgeUpdate>* net_deletes) const {
+  const VertexId n = NumVertices();
+  std::set<std::pair<VertexId, VertexId>> toggled;
+  const auto has_edge = [&](VertexId u, VertexId v) {
+    const auto& list = adjacency_[u];
+    return std::binary_search(list.begin(), list.end(), v);
+  };
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const EdgeUpdate& e = batch[i];
+    if (e.u >= n || e.v >= n) {
+      return Status::InvalidArgument(
+          StrFormat("update %zu: endpoint out of range", i));
+    }
+    if (e.u == e.v) {
+      return Status::InvalidArgument(StrFormat("update %zu: self-loop", i));
+    }
+    const auto key = std::minmax(e.u, e.v);
+    const std::pair<VertexId, VertexId> kp{key.first, key.second};
+    const bool present = has_edge(e.u, e.v) != (toggled.count(kp) != 0);
+    if (e.kind == EdgeUpdate::Kind::kInsert) {
+      if (present) {
+        return Status::FailedPrecondition(StrFormat(
+            "update %zu: edge (%u,%u) already present", i, e.u, e.v));
+      }
+    } else if (!present) {
+      return Status::NotFound(
+          StrFormat("update %zu: edge (%u,%u) not present", i, e.u, e.v));
+    }
+    if (toggled.count(kp) != 0) {
+      toggled.erase(kp);
+    } else {
+      toggled.insert(kp);
+    }
+  }
+  // The surviving toggles are the batch's net structural effect; order
+  // between distinct edges is immaterial.
+  for (const auto& [u, v] : toggled) {
+    if (has_edge(u, v)) {
+      net_deletes->push_back(EdgeUpdate::Remove(u, v));
+    } else {
+      net_inserts->push_back(EdgeUpdate::Insert(u, v));
+    }
+  }
+  return Status::OK();
+}
+
+Status IncrementalCoreEngine::Attach() {
+  const VertexId n = NumVertices();
+  device_ = std::make_unique<sim::Device>(device_options_);
+  state_ = std::make_unique<DeviceState>();
+  DeviceState& st = *state_;
+
+  std::vector<EdgeIndex> offsets(static_cast<size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    offsets[v + 1] = offsets[v] + adjacency_[v].size();
+  }
+  std::vector<VertexId> neighbors;
+  neighbors.reserve(offsets[n]);
+  for (VertexId v = 0; v < n; ++v) {
+    neighbors.insert(neighbors.end(), adjacency_[v].begin(),
+                     adjacency_[v].end());
+  }
+  st.base_dir_edges = neighbors.size();
+  const uint64_t ov_capacity = std::max<uint64_t>(
+      1024, static_cast<uint64_t>(options_.compact_threshold *
+                                  static_cast<double>(st.base_dir_edges)) +
+                64);
+  const uint64_t act_capacity = 4 * static_cast<uint64_t>(n) + 256;
+
+  sim::Device& dev = *device_;
+  KCORE_ASSIGN_OR_RETURN(
+      st.offsets, dev.AllocUninit<EdgeIndex>(offsets.size(), "inc_offsets"));
+  KCORE_ASSIGN_OR_RETURN(
+      st.base_nbrs, dev.AllocUninit<VertexId>(
+                        std::max<size_t>(1, neighbors.size()), "inc_nbrs"));
+  KCORE_ASSIGN_OR_RETURN(
+      st.core, dev.AllocUninit<uint32_t>(std::max<VertexId>(1, n), "inc_core"));
+  KCORE_ASSIGN_OR_RETURN(st.ov_dst,
+                         dev.AllocUninit<VertexId>(ov_capacity, "inc_ov_dst"));
+  KCORE_ASSIGN_OR_RETURN(st.ov_next,
+                         dev.AllocUninit<uint32_t>(ov_capacity, "inc_ov_next"));
+  KCORE_ASSIGN_OR_RETURN(
+      st.ov_head,
+      dev.AllocUninit<uint32_t>(std::max<VertexId>(1, n), "inc_ov_head"));
+  KCORE_ASSIGN_OR_RETURN(
+      st.touched,
+      dev.AllocUninit<VertexId>(std::max<VertexId>(1, n), "inc_touched"));
+  KCORE_ASSIGN_OR_RETURN(st.touched_count,
+                         dev.Alloc<uint64_t>(1, "inc_touched_count"));
+  KCORE_ASSIGN_OR_RETURN(
+      st.batch_stamp,
+      dev.Alloc<uint64_t>(std::max<VertexId>(1, n), "inc_batch_stamp"));
+  KCORE_ASSIGN_OR_RETURN(st.act,
+                         dev.AllocUninit<VertexId>(act_capacity, "inc_act"));
+  KCORE_ASSIGN_OR_RETURN(st.act_count, dev.Alloc<uint64_t>(1, "inc_act_count"));
+  KCORE_ASSIGN_OR_RETURN(
+      st.wave_stamp,
+      dev.Alloc<uint64_t>(std::max<VertexId>(1, n), "inc_wave_stamp"));
+  KCORE_ASSIGN_OR_RETURN(st.overflow, dev.Alloc<uint32_t>(1, "inc_overflow"));
+  KCORE_ASSIGN_OR_RETURN(st.invalid, dev.Alloc<uint32_t>(1, "inc_invalid"));
+  KCORE_ASSIGN_OR_RETURN(
+      st.gather,
+      dev.AllocUninit<uint32_t>(std::max<VertexId>(1, n), "inc_gather"));
+
+  KCORE_RETURN_IF_ERROR(
+      st.offsets.CopyFromHost(std::span<const EdgeIndex>(offsets)));
+  if (!neighbors.empty()) {
+    KCORE_RETURN_IF_ERROR(
+        st.base_nbrs.CopyFromHost(std::span<const VertexId>(neighbors)));
+  }
+  if (n > 0) {
+    KCORE_RETURN_IF_ERROR(
+        st.core.CopyFromHost(std::span<const uint32_t>(core_)));
+    const std::vector<uint32_t> nil_heads(n, kNilLink);
+    KCORE_RETURN_IF_ERROR(
+        st.ov_head.CopyFromHost(std::span<const uint32_t>(nil_heads)));
+  }
+  // core[] is the one array the epoch checkpoint can validate and roll
+  // back; topology and bookkeeping stay modeled as ECC-protected.
+  dev.MarkCorruptible(st.core, "inc_core");
+
+  st.ctx.offsets = st.offsets.data();
+  st.ctx.base_nbrs = st.base_nbrs.data();
+  st.ctx.core = st.core.data();
+  st.ctx.ov_dst = st.ov_dst.data();
+  st.ctx.ov_next = st.ov_next.data();
+  st.ctx.ov_head = st.ov_head.data();
+  st.ctx.ov_capacity = ov_capacity;
+  st.ctx.touched = st.touched.data();
+  st.ctx.touched_count = st.touched_count.data();
+  st.ctx.batch_stamp = st.batch_stamp.data();
+  st.ctx.act = st.act.data();
+  st.ctx.act_count = st.act_count.data();
+  st.ctx.wave_stamp = st.wave_stamp.data();
+  st.ctx.act_capacity = act_capacity;
+  st.ctx.overflow = st.overflow.data();
+  st.ctx.invalid = st.invalid.data();
+  st.ctx.gather = st.gather.data();
+  st.ctx.num_vertices = n;
+
+  needs_reattach_ = false;
+  return Status::OK();
+}
+
+namespace {
+
+/// Host-side escape signal: not a failure — the affected region outgrew the
+/// localized pass and the batch must finish as a full re-peel.
+bool IsEscapeSignal(const Status& st) {
+  return st.IsCapacityExceeded() &&
+         st.message().rfind("affected region", 0) == 0;
+}
+
+}  // namespace
+
+Status IncrementalCoreEngine::RunGpuBatch(
+    std::span<const EdgeUpdate> net_inserts,
+    std::span<const EdgeUpdate> net_deletes, UpdateResult* result) {
+  DeviceState& st = *state_;
+  sim::Device& dev = *device_;
+  IncCtx& ctx = st.ctx;
+  const VertexId n = NumVertices();
+  sim::SimProfiler* const prof = dev.profiler();
+  Metrics& m = result->metrics;
+
+  const bool resilient = dev.fault_injection_enabled();
+  const auto with_retry = [&](auto&& op) -> Status {
+    Status s = op();
+    if (!resilient) return s;
+    for (uint32_t attempt = 0;
+         s.IsUnavailable() && attempt < options_.max_op_retries; ++attempt) {
+      ++m.retries;
+      s = op();
+    }
+    return s;
+  };
+
+  double phase_mark = dev.modeled_ms();
+  const auto charge = [&](double& phase_ms) {
+    const double now = dev.modeled_ms();
+    phase_ms += now - phase_mark;
+    phase_mark = now;
+  };
+
+  // Reset the batch's device accumulators.
+  const uint64_t zero64 = 0;
+  const uint32_t zero32 = 0;
+  KCORE_RETURN_IF_ERROR(
+      with_retry([&] { return st.act_count.CopyFromHost({&zero64, 1}); }));
+  KCORE_RETURN_IF_ERROR(
+      with_retry([&] { return st.touched_count.CopyFromHost({&zero64, 1}); }));
+  KCORE_RETURN_IF_ERROR(
+      with_retry([&] { return st.overflow.CopyFromHost({&zero32, 1}); }));
+  KCORE_RETURN_IF_ERROR(
+      with_retry([&] { return st.invalid.CopyFromHost({&zero32, 1}); }));
+
+  const uint64_t batch_tag = ++st.stamp_counter;
+  const uint64_t escape_limit = std::max<uint64_t>(
+      1, static_cast<uint64_t>(options_.full_repeel_fraction *
+                               static_cast<double>(n)));
+
+  // Running coreness mirror for this attempt: K of each insert must see the
+  // batch's earlier phases. Synced from the device after every phase via
+  // the gather kernel over the affected prefix.
+  std::vector<uint32_t> cur = core_;
+
+  const auto ensure_stage = [&](uint64_t needed) -> Status {
+    if (needed <= st.stage_capacity) return Status::OK();
+    const uint64_t cap = std::max<uint64_t>(256, needed * 2);
+    KCORE_ASSIGN_OR_RETURN(st.stage_u,
+                           dev.AllocUninit<VertexId>(cap, "inc_stage_u"));
+    KCORE_ASSIGN_OR_RETURN(st.stage_v,
+                           dev.AllocUninit<VertexId>(cap, "inc_stage_v"));
+    st.stage_capacity = cap;
+    ctx.stage_u = st.stage_u.data();
+    ctx.stage_v = st.stage_v.data();
+    return Status::OK();
+  };
+
+  const auto launch = [&](const char* label, auto&& kernel) -> Status {
+    return with_retry([&] {
+      return dev.Launch(options_.num_blocks, options_.block_dim, label,
+                        kernel);
+    });
+  };
+
+  const auto read_act_count = [&](uint64_t* out) -> Status {
+    return with_retry([&] { return st.act_count.CopyToHost({out, 1}); });
+  };
+  const auto read_touched_count = [&](uint64_t* out) -> Status {
+    return with_retry([&] { return st.touched_count.CopyToHost({out, 1}); });
+  };
+
+  // Sticky-flag checks after a wave: overflow escalates to the full-repeel
+  // escape; invalid means the device structure diverged (corruption).
+  const auto check_flags = [&]() -> Status {
+    uint32_t overflow = 0;
+    KCORE_RETURN_IF_ERROR(
+        with_retry([&] { return st.overflow.CopyToHost({&overflow, 1}); }));
+    if (overflow != 0) {
+      return Status::CapacityExceeded("affected region overflowed worklist");
+    }
+    uint32_t invalid = 0;
+    KCORE_RETURN_IF_ERROR(
+        with_retry([&] { return st.invalid.CopyToHost({&invalid, 1}); }));
+    if (invalid != 0) {
+      return Status::Corruption("device graph structure diverged from host");
+    }
+    uint64_t touched = 0;
+    KCORE_RETURN_IF_ERROR(read_touched_count(&touched));
+    result->affected = touched;
+    if (touched > escape_limit) {
+      return Status::CapacityExceeded(StrFormat(
+          "affected region %llu exceeds %.2f * V",
+          static_cast<unsigned long long>(touched),
+          options_.full_repeel_fraction));
+    }
+    return Status::OK();
+  };
+
+  const auto boundary_check = [&](const char* where) -> Status {
+    if (options_.cancel != nullptr) {
+      if (Status live = options_.cancel->Check(where); !live.ok()) {
+        if (prof != nullptr) {
+          prof->Mark(StrFormat("%s epoch=%llu",
+                               live.IsCancelled() ? "cancelled"
+                                                  : "deadline_exceeded",
+                               static_cast<unsigned long long>(epoch_ + 1)));
+        }
+        return live;
+      }
+    }
+    return check_flags();
+  };
+
+  // Syncs `cur` (and the host copy of the affected list) with the device
+  // after a phase: gather over the whole affected prefix, prefix-copy both.
+  // Values of ALREADY-touched vertices can change in any later phase (a
+  // later insert's subcore may sit entirely inside the touched set), so the
+  // whole affected prefix is re-gathered every time — never skipped.
+  std::vector<VertexId> touched_host;
+  const auto sync_cur = [&]() -> Status {
+    uint64_t tc = 0;
+    KCORE_RETURN_IF_ERROR(read_touched_count(&tc));
+    if (tc == 0) return Status::OK();
+    KCORE_RETURN_IF_ERROR(launch("inc_gather", [&](auto& block) {
+      GatherKernel(ctx, tc, block);
+    }));
+    touched_host.resize(tc);
+    KCORE_RETURN_IF_ERROR(with_retry([&] {
+      return st.touched.CopyToHost(std::span<VertexId>(touched_host));
+    }));
+    std::vector<uint32_t> values(tc);
+    KCORE_RETURN_IF_ERROR(with_retry(
+        [&] { return st.gather.CopyToHost(std::span<uint32_t>(values)); }));
+    for (uint64_t i = 0; i < tc; ++i) cur[touched_host[i]] = values[i];
+    return Status::OK();
+  };
+
+  // Runs localized re-peel waves until the worklist stops growing; the
+  // initial window [win_start, win_end) must already be claimed+appended.
+  const auto refine_to_fixpoint = [&](uint64_t win_start,
+                                      uint64_t win_end) -> Status {
+    while (win_end > win_start) {
+      KCORE_RETURN_IF_ERROR(boundary_check("incremental re-peel wave"));
+      const uint64_t push_tag = ++st.stamp_counter;
+      KCORE_RETURN_IF_ERROR(launch("inc_refine", [&](auto& block) {
+        RefineWaveKernel(ctx, win_start, win_end, batch_tag, push_tag, block);
+      }));
+      ++result->refine_waves;
+      ++m.rounds;
+      win_start = win_end;
+      KCORE_RETURN_IF_ERROR(read_act_count(&win_end));
+      // A worklist overflow drops appends; treat the wave as unreliable and
+      // let check_flags escalate before the next wave reads the window.
+      win_end = std::min(win_end, ctx.act_capacity);
+    }
+    charge(m.loop_ms);
+    return Status::OK();
+  };
+
+  uint64_t act_end = 0;  // host mirror of the worklist tail
+
+  // ---- Phase D: net deletes, one batched localized refine ---------------
+  // Structure first (tombstones), then refine seeded with every endpoint:
+  // deletion only lowers coreness, so the committed values stay valid upper
+  // bounds for the whole delete set at once (cpu/dynamic_core.h RemoveEdge,
+  // batched).
+  if (!net_deletes.empty()) {
+    KCORE_RETURN_IF_ERROR(boundary_check("incremental delete phase"));
+    const uint64_t n_dir = 2 * net_deletes.size();
+    KCORE_RETURN_IF_ERROR(ensure_stage(n_dir));
+    std::vector<VertexId> su;
+    std::vector<VertexId> sv;
+    su.reserve(n_dir);
+    sv.reserve(n_dir);
+    for (const EdgeUpdate& e : net_deletes) {
+      su.push_back(e.u);
+      sv.push_back(e.v);
+      su.push_back(e.v);
+      sv.push_back(e.u);
+    }
+    KCORE_RETURN_IF_ERROR(with_retry(
+        [&] { return st.stage_u.CopyFromHost(std::span<const VertexId>(su)); }));
+    KCORE_RETURN_IF_ERROR(with_retry(
+        [&] { return st.stage_v.CopyFromHost(std::span<const VertexId>(sv)); }));
+    KCORE_RETURN_IF_ERROR(launch("inc_tombstone", [&](auto& block) {
+      TombstoneKernel(ctx, n_dir, block);
+    }));
+    st.tombstones += n_dir;
+
+    // Seed the refine with the (unique) delete endpoints.
+    std::vector<VertexId> seeds = su;
+    std::sort(seeds.begin(), seeds.end());
+    seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+    KCORE_RETURN_IF_ERROR(with_retry([&] {
+      return st.stage_u.CopyFromHost(std::span<const VertexId>(seeds));
+    }));
+    const uint64_t wave_tag = ++st.stamp_counter;
+    KCORE_RETURN_IF_ERROR(launch("inc_seed", [&](auto& block) {
+      SeedKernel(ctx, seeds.size(), batch_tag, wave_tag, block);
+    }));
+    const uint64_t win_start = act_end;
+    KCORE_RETURN_IF_ERROR(read_act_count(&act_end));
+    charge(m.scan_ms);
+    KCORE_RETURN_IF_ERROR(refine_to_fixpoint(win_start, act_end));
+    KCORE_RETURN_IF_ERROR(read_act_count(&act_end));
+    KCORE_RETURN_IF_ERROR(boundary_check("incremental delete fixpoint"));
+    KCORE_RETURN_IF_ERROR(sync_cur());
+    charge(m.compact_ms);
+  }
+
+  // ---- Phase I: net inserts, batched multi-source lift+refine rounds ----
+  // Structure first: every directed overlay pair lands in ONE append launch,
+  // mirroring the delete phase's joint tombstone pass. Value repair then
+  // runs in rounds. A round seeds every insert endpoint sitting at its
+  // edge's K = min level under the current values, grows all the
+  // equal-coreness components in one joint BFS (the expansion compares
+  // against the frontier vertex's own core, so components at different K
+  // levels grow side by side without merging), lifts the claimed set by
+  // one, and refines to the h-index fixpoint — the device analogue of
+  // cpu/dynamic_core.h InsertEdge applied to every insert at once.
+  //
+  // One round is exact when the inserts' subcores interact at most
+  // additively; chained effects (a lift that merges two components, or a
+  // vertex that must rise more than once) are caught by re-running the
+  // round on the updated values until nothing changes. Soundness: a
+  // sustained value is a feasible h-index witness, so estimates never
+  // exceed the true coreness of the updated graph at a fixpoint; each
+  // round starts from a feasible assignment, so values are nondecreasing
+  // across rounds and bounded by degree — the loop terminates with every
+  // deficiency repaired (any remaining rise is reachable from some
+  // insert's K-level subcore under the current values, which is exactly
+  // what the next round seeds).
+  if (!net_inserts.empty()) {
+    KCORE_RETURN_IF_ERROR(boundary_check("incremental insert phase"));
+    const uint64_t n_dir = 2 * net_inserts.size();
+    if (st.ov_used + n_dir > ctx.ov_capacity) {
+      return Status::CapacityExceeded("affected region overflowed worklist");
+    }
+    KCORE_RETURN_IF_ERROR(ensure_stage(n_dir));
+    std::vector<VertexId> su;
+    std::vector<VertexId> sv;
+    su.reserve(n_dir);
+    sv.reserve(n_dir);
+    for (const EdgeUpdate& e : net_inserts) {
+      su.push_back(e.u);
+      sv.push_back(e.v);
+      su.push_back(e.v);
+      sv.push_back(e.u);
+    }
+    KCORE_RETURN_IF_ERROR(with_retry(
+        [&] { return st.stage_u.CopyFromHost(std::span<const VertexId>(su)); }));
+    KCORE_RETURN_IF_ERROR(with_retry(
+        [&] { return st.stage_v.CopyFromHost(std::span<const VertexId>(sv)); }));
+    KCORE_RETURN_IF_ERROR(launch("inc_ov_append", [&](auto& block) {
+      OverlayAppendKernel(ctx, n_dir, st.ov_used, block);
+    }));
+    st.ov_used += n_dir;
+
+    // Each insert raises any one vertex by at most one, so a fault-free
+    // batch converges within |inserts|+1 rounds; exceeding that means the
+    // monotone-rise invariant broke (a bitflip in core[]).
+    const uint64_t max_rounds = net_inserts.size() + 1;
+    std::vector<uint32_t> prev_round;
+    for (uint64_t round = 0;; ++round) {
+      if (round >= max_rounds) {
+        return Status::Corruption(
+            "insert rounds failed to converge (bitflip?)");
+      }
+      KCORE_RETURN_IF_ERROR(boundary_check("incremental insert round"));
+      // Recycle the worklist: entries from the delete phase and earlier
+      // rounds are dead (every lift/refine window has been consumed), and
+      // without the reset a large batch's rounds overflow the act buffer
+      // and needlessly escalate to the full re-peel escape.
+      KCORE_RETURN_IF_ERROR(
+          with_retry([&] { return st.act_count.CopyFromHost({&zero64, 1}); }));
+      act_end = 0;
+      // Candidate seeds: endpoints at their edge's K level under the
+      // CURRENT values. Later rounds see the previous round's rises, which
+      // is what re-fires an insert whose component merged with a risen one.
+      std::vector<VertexId> seeds;
+      for (const EdgeUpdate& e : net_inserts) {
+        const uint32_t k = std::min(cur[e.u], cur[e.v]);
+        if (cur[e.u] == k) seeds.push_back(e.u);
+        if (cur[e.v] == k && e.v != e.u) seeds.push_back(e.v);
+      }
+      std::sort(seeds.begin(), seeds.end());
+      seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+      KCORE_RETURN_IF_ERROR(ensure_stage(seeds.size()));
+      KCORE_RETURN_IF_ERROR(with_retry([&] {
+        return st.stage_u.CopyFromHost(std::span<const VertexId>(seeds));
+      }));
+      // One tag for the seed and every expansion wave: the walk needs
+      // visited-set semantics (a vertex joins the candidate set once per
+      // round), unlike the re-peel worklist where re-claiming across waves
+      // is the point.
+      const uint64_t wave_tag = ++st.stamp_counter;
+      KCORE_RETURN_IF_ERROR(launch("inc_seed", [&](auto& block) {
+        SeedKernel(ctx, seeds.size(), batch_tag, wave_tag, block);
+      }));
+      const uint64_t cand_start = act_end;
+      uint64_t win_start = act_end;
+      KCORE_RETURN_IF_ERROR(read_act_count(&act_end));
+      while (act_end > win_start) {
+        KCORE_RETURN_IF_ERROR(boundary_check("incremental frontier wave"));
+        const uint64_t ws = win_start;
+        const uint64_t we = act_end;
+        KCORE_RETURN_IF_ERROR(launch("inc_expand", [&](auto& block) {
+          ExpandFrontierKernel(ctx, ws, we, batch_tag, wave_tag, block);
+        }));
+        win_start = act_end;
+        KCORE_RETURN_IF_ERROR(read_act_count(&act_end));
+        act_end = std::min(act_end, ctx.act_capacity);
+      }
+      // Lift every candidate component to its K+1 upper bound, refine down.
+      KCORE_RETURN_IF_ERROR(boundary_check("incremental lift"));
+      KCORE_RETURN_IF_ERROR(launch("inc_lift", [&](auto& block) {
+        LiftKernel(ctx, cand_start, act_end, block);
+      }));
+      charge(m.scan_ms);
+      KCORE_RETURN_IF_ERROR(refine_to_fixpoint(cand_start, act_end));
+      KCORE_RETURN_IF_ERROR(read_act_count(&act_end));
+      KCORE_RETURN_IF_ERROR(boundary_check("incremental insert fixpoint"));
+      prev_round = cur;
+      KCORE_RETURN_IF_ERROR(sync_cur());
+      charge(m.compact_ms);
+      if (cur == prev_round) break;
+    }
+  }
+
+  // ---- Post-batch validation (fault plans only) -------------------------
+  if (resilient) {
+    KCORE_RETURN_IF_ERROR(launch("inc_validate", [&](auto& block) {
+      ValidateCoreKernel(ctx, block);
+    }));
+    uint32_t invalid = 0;
+    KCORE_RETURN_IF_ERROR(
+        with_retry([&] { return st.invalid.CopyToHost({&invalid, 1}); }));
+    if (invalid != 0) {
+      return Status::Corruption(
+          "coreness failed the locality fixpoint check (bitflip?)");
+    }
+    ++m.checkpoints_taken;
+    if (prof != nullptr) {
+      prof->Mark(StrFormat("checkpoint epoch=%llu",
+                           static_cast<unsigned long long>(epoch_ + 1)));
+    }
+    charge(m.compact_ms);
+  }
+
+  // Incident-edge mass of the affected region, from the last gather's
+  // touched prefix and the committed-epoch host degrees (within one batch
+  // of exact — good enough for the "touched x% of edges" locality report).
+  result->affected_edges = 0;
+  for (const VertexId v : touched_host) {
+    result->affected_edges += adjacency_[v].size();
+  }
+  result->core = std::move(cur);
+  result->overlay_edges = st.ov_used;
+  return Status::OK();
+}
+
+void IncrementalCoreEngine::Commit(std::span<const EdgeUpdate> net_inserts,
+                                   std::span<const EdgeUpdate> net_deletes,
+                                   std::vector<uint32_t> new_core,
+                                   UpdateResult* result) {
+  const auto insert_sorted = [](std::vector<VertexId>& list, VertexId x) {
+    list.insert(std::upper_bound(list.begin(), list.end(), x), x);
+  };
+  const auto erase_sorted = [](std::vector<VertexId>& list, VertexId x) {
+    list.erase(std::lower_bound(list.begin(), list.end(), x));
+  };
+  for (const EdgeUpdate& e : net_deletes) {
+    erase_sorted(adjacency_[e.u], e.v);
+    erase_sorted(adjacency_[e.v], e.u);
+    --num_edges_;
+  }
+  for (const EdgeUpdate& e : net_inserts) {
+    insert_sorted(adjacency_[e.u], e.v);
+    insert_sorted(adjacency_[e.v], e.u);
+    ++num_edges_;
+  }
+  result->changed.clear();
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    if (new_core[v] != core_[v]) result->changed.push_back(v);
+  }
+  core_ = std::move(new_core);
+  ++epoch_;
+  result->epoch = epoch_;
+  result->core = core_;
+}
+
+StatusOr<UpdateResult> IncrementalCoreEngine::ApplyUpdates(
+    std::span<const EdgeUpdate> batch) {
+  WallTimer timer;
+  std::vector<EdgeUpdate> net_inserts;
+  std::vector<EdgeUpdate> net_deletes;
+  KCORE_RETURN_IF_ERROR(ValidateAndSplit(batch, &net_inserts, &net_deletes));
+  if (options_.cancel != nullptr) {
+    KCORE_RETURN_IF_ERROR(options_.cancel->Check("incremental batch entry"));
+  }
+
+  UpdateResult result;
+  Status st = Status::OK();
+  for (uint32_t attempt = 0; attempt <= options_.max_batch_retries;
+       ++attempt) {
+    if (needs_reattach_ || device_ == nullptr) {
+      st = Attach();
+      if (!st.ok()) break;
+    }
+    KCORE_RETURN_IF_ERROR(
+        ValidateIncrementalOptions(options_, *device_));
+    device_->ResetClock();
+    sim::SimProfiler* const prof = device_->profiler();
+    if (prof != nullptr) {
+      prof->PushRange(StrFormat(
+          "update_epoch_%llu", static_cast<unsigned long long>(epoch_ + 1)));
+    }
+    UpdateResult attempt_result;
+    attempt_result.metrics.retries = result.metrics.retries;
+    attempt_result.metrics.levels_reexecuted = result.metrics.levels_reexecuted;
+    st = RunGpuBatch(net_inserts, net_deletes, &attempt_result);
+
+    if (IsEscapeSignal(st)) {
+      // Correctness escape hatch: the affected region outgrew the localized
+      // pass — finish with a full from-scratch peel of the updated graph on
+      // the same device. The incremental device image is stale afterwards.
+      if (prof != nullptr) {
+        prof->Mark(StrFormat("full_repeel epoch=%llu",
+                             static_cast<unsigned long long>(epoch_ + 1)));
+      }
+      const double banked_ms = device_->modeled_ms();
+      const PerfCounters banked = device_->totals();
+      CsrGraph updated = [&] {
+        std::vector<std::vector<VertexId>> adj = adjacency_;
+        for (const EdgeUpdate& e : net_deletes) {
+          adj[e.u].erase(std::lower_bound(adj[e.u].begin(), adj[e.u].end(),
+                                          e.v));
+          adj[e.v].erase(std::lower_bound(adj[e.v].begin(), adj[e.v].end(),
+                                          e.u));
+        }
+        for (const EdgeUpdate& e : net_inserts) {
+          adj[e.u].insert(
+              std::upper_bound(adj[e.u].begin(), adj[e.u].end(), e.v), e.v);
+          adj[e.v].insert(
+              std::upper_bound(adj[e.v].begin(), adj[e.v].end(), e.u), e.u);
+        }
+        std::vector<EdgeIndex> offsets(adj.size() + 1, 0);
+        for (size_t v = 0; v < adj.size(); ++v) {
+          offsets[v + 1] = offsets[v] + adj[v].size();
+        }
+        std::vector<VertexId> nbrs;
+        nbrs.reserve(offsets.back());
+        for (const auto& list : adj) {
+          nbrs.insert(nbrs.end(), list.begin(), list.end());
+        }
+        return CsrGraph(std::move(offsets), std::move(nbrs));
+      }();
+      GpuPeelOptions repeel = options_.repeel;
+      repeel.cancel = options_.cancel;
+      GpuPeelDecomposer decomposer(device_.get(), repeel);
+      auto repeeled = decomposer.Decompose(updated);  // resets the clock
+      needs_reattach_ = true;  // device image no longer matches committed
+      if (prof != nullptr) prof->PopRange();
+      if (!repeeled.ok()) {
+        st = repeeled.status();
+      } else {
+        attempt_result.full_repeel = true;
+        attempt_result.affected = NumVertices();
+        attempt_result.affected_edges = updated.NumDirectedEdges();
+        attempt_result.degraded = repeeled->metrics.degraded;
+        attempt_result.metrics = repeeled->metrics;
+        attempt_result.metrics.modeled_ms += banked_ms;
+        attempt_result.metrics.counters += banked;
+        result = std::move(attempt_result);
+        Commit(net_inserts, net_deletes, std::move(repeeled->core), &result);
+        result.metrics.wall_ms = timer.ElapsedMillis();
+        return result;
+      }
+    } else if (st.ok()) {
+      if (prof != nullptr) prof->PopRange();
+      // Simcheck verdict gates the commit: a contained violation means the
+      // batch's device results are untrustworthy, so nothing is applied.
+      st = device_->CheckStatus();
+      if (st.ok()) {
+        attempt_result.metrics.modeled_ms = device_->modeled_ms();
+        attempt_result.metrics.peak_device_bytes = device_->peak_bytes();
+        attempt_result.metrics.counters = device_->totals();
+        result = std::move(attempt_result);
+        std::vector<uint32_t> new_core = std::move(result.core);
+        Commit(net_inserts, net_deletes, std::move(new_core), &result);
+        // A failed merge only stales the device image (the commit already
+        // happened); the next batch re-attaches from the host mirror.
+        if (Status merge = MaybeMergeOverlay(&result); !merge.ok()) {
+          needs_reattach_ = true;
+        }
+        result.metrics.wall_ms = timer.ElapsedMillis();
+        return result;
+      }
+    } else {
+      if (device_ != nullptr && device_->profiler() != nullptr) {
+        device_->profiler()->PopRange();
+      }
+    }
+
+    result.metrics.retries = attempt_result.metrics.retries;
+    result.metrics.levels_reexecuted = attempt_result.metrics.levels_reexecuted;
+    if (st.IsCorruption() && attempt < options_.max_batch_retries) {
+      // Injected bitflip caught by the post-batch fixpoint check (or a
+      // structural divergence): roll back to the committed epoch — the
+      // checkpoint is the last epoch's coreness array — by re-attaching,
+      // and re-run the whole batch.
+      ++result.metrics.levels_reexecuted;
+      needs_reattach_ = true;
+      continue;
+    }
+    break;
+  }
+
+  // Failure: the committed epoch is untouched. Cancellation surfaces as-is;
+  // device-level failures degrade to the exact CPU path when allowed.
+  needs_reattach_ = true;
+  if (st.IsCancelled() || st.IsDeadlineExceeded() || st.IsInvalidArgument()) {
+    return st;
+  }
+  if (!options_.cpu_fallback) return st;
+  const bool device_lost = st.IsDeviceLost();
+  KCORE_ASSIGN_OR_RETURN(UpdateResult degraded, ApplyUpdatesCpu(batch));
+  degraded.metrics.retries += result.metrics.retries;
+  degraded.metrics.levels_reexecuted += result.metrics.levels_reexecuted;
+  if (device_lost) ++degraded.metrics.devices_lost;
+  degraded.metrics.wall_ms = timer.ElapsedMillis();
+  return degraded;
+}
+
+Status IncrementalCoreEngine::MaybeMergeOverlay(UpdateResult* result) {
+  DeviceState& st = *state_;
+  if (st.ov_used + st.tombstones <=
+      static_cast<uint64_t>(options_.compact_threshold *
+                            static_cast<double>(st.base_dir_edges))) {
+    return Status::OK();
+  }
+  sim::Device& dev = *device_;
+  sim::SimProfiler* const prof = dev.profiler();
+  sim::ProfRange merge_range(prof, "overlay_merge");
+  const double pre_ms = dev.modeled_ms();
+
+  const VertexId n = NumVertices();
+  std::vector<EdgeIndex> offsets(static_cast<size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    offsets[v + 1] = offsets[v] + adjacency_[v].size();
+  }
+  const uint64_t new_dir = offsets[n];
+  sim::DeviceArray<EdgeIndex> new_offsets;
+  sim::DeviceArray<VertexId> new_nbrs;
+  KCORE_ASSIGN_OR_RETURN(
+      new_offsets, dev.AllocUninit<EdgeIndex>(offsets.size(), "inc_offsets"));
+  KCORE_ASSIGN_OR_RETURN(
+      new_nbrs,
+      dev.AllocUninit<VertexId>(std::max<uint64_t>(1, new_dir), "inc_nbrs"));
+  KCORE_RETURN_IF_ERROR(
+      new_offsets.CopyFromHost(std::span<const EdgeIndex>(offsets)));
+  KCORE_RETURN_IF_ERROR(
+      dev.Launch(options_.num_blocks, options_.block_dim, "inc_merge",
+                 [&, no = new_offsets.data(), nn = new_nbrs.data()](
+                     auto& block) {
+                   MergeCompactKernel(st.ctx, no, nn, block);
+                 }));
+  uint32_t invalid = 0;
+  KCORE_RETURN_IF_ERROR(st.invalid.CopyToHost({&invalid, 1}));
+  if (invalid != 0) {
+    // The merged image is unreliable; rebuild from the committed mirror on
+    // the next batch. The batch itself is already committed host-side.
+    needs_reattach_ = true;
+    return Status::OK();
+  }
+  st.offsets = std::move(new_offsets);
+  st.base_nbrs = std::move(new_nbrs);
+  st.ctx.offsets = st.offsets.data();
+  st.ctx.base_nbrs = st.base_nbrs.data();
+  st.base_dir_edges = new_dir;
+  st.ov_used = 0;
+  st.tombstones = 0;
+  if (n > 0) {
+    const std::vector<uint32_t> nil_heads(n, kNilLink);
+    KCORE_RETURN_IF_ERROR(
+        st.ov_head.CopyFromHost(std::span<const uint32_t>(nil_heads)));
+  }
+  result->compacted = true;
+  result->overlay_edges = 0;
+  ++result->metrics.counters.compactions;
+  result->metrics.compact_ms += dev.modeled_ms() - pre_ms;
+  result->metrics.modeled_ms = dev.modeled_ms();
+  return Status::OK();
+}
+
+StatusOr<UpdateResult> IncrementalCoreEngine::ApplyUpdatesCpu(
+    std::span<const EdgeUpdate> batch) {
+  WallTimer timer;
+  std::vector<EdgeUpdate> net_inserts;
+  std::vector<EdgeUpdate> net_deletes;
+  KCORE_RETURN_IF_ERROR(ValidateAndSplit(batch, &net_inserts, &net_deletes));
+  if (options_.cancel != nullptr) {
+    KCORE_RETURN_IF_ERROR(options_.cancel->Check("incremental cpu batch"));
+  }
+  // The committed epoch seeds the exact host-side maintenance; the device
+  // image (if any) goes stale and re-attaches on the next GPU batch.
+  DynamicKCore dynamic(CurrentGraph(), core_);
+  KCORE_ASSIGN_OR_RETURN(std::vector<VertexId> changed,
+                         dynamic.ApplyBatch(batch));
+  UpdateResult result;
+  result.degraded = true;
+  result.affected = dynamic.last_update_evaluations();
+  Commit(net_inserts, net_deletes, dynamic.core(), &result);
+  result.changed = std::move(changed);
+  needs_reattach_ = true;
+  result.metrics.degraded = true;
+  result.metrics.wall_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace kcore

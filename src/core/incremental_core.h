@@ -1,0 +1,214 @@
+#ifndef KCORE_CORE_INCREMENTAL_CORE_H_
+#define KCORE_CORE_INCREMENTAL_CORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/statusor.h"
+#include "core/gpu_peel_options.h"
+#include "cusim/device.h"
+#include "graph/csr_graph.h"
+#include "graph/edge_update.h"
+#include "perf/metrics.h"
+
+namespace kcore {
+
+/// Configuration of the GPU-resident incremental maintenance engine.
+struct IncrementalOptions {
+  /// Kernel grid geometry. The affected regions are small relative to a full
+  /// peel, so the default grid is narrower than GpuPeelOptions'.
+  uint32_t num_blocks = 64;
+  uint32_t block_dim = 256;
+
+  /// Fraction of the base directed-edge count that the delta overlay
+  /// (insert slabs + delete tombstones) may reach before it is merged back
+  /// into a freshly laid-out base CSR by the device-side compaction kernel.
+  double compact_threshold = 0.25;
+
+  /// Correctness escape hatch: once the affected region (batch-stamped
+  /// vertices) exceeds this fraction of V, the localized re-peel is
+  /// abandoned for a full from-scratch GPU peel of the current graph —
+  /// at that size the localized pass has no asymptotic advantage left.
+  double full_repeel_fraction = 0.5;
+
+  /// Retries per device operation for transient (Unavailable) failures.
+  uint32_t max_op_retries = 3;
+  /// Whole-batch re-executions after post-batch validation catches a
+  /// corrupted coreness array (injected bitflip): the device is re-attached
+  /// from the last committed epoch — the checkpoint — and the batch re-runs.
+  uint32_t max_batch_retries = 2;
+  /// Degrade to the exact CPU batch path (cpu/dynamic_core.h) once the
+  /// device is lost or retry budgets are exhausted; false = surface the
+  /// Status and leave the committed epoch untouched.
+  bool cpu_fallback = true;
+
+  /// Options for the full re-peel escape hatch (gpu_peel.cc driver).
+  GpuPeelOptions repeel;
+
+  /// Polled at frontier-expansion and fixpoint-iteration (wave) boundaries;
+  /// a cancelled batch leaves the committed epoch untouched. Not owned.
+  const CancelContext* cancel = nullptr;
+};
+
+/// Validates geometry and thresholds against a device's limits.
+Status ValidateIncrementalOptions(const IncrementalOptions& options,
+                                  const sim::Device& device);
+
+/// Outcome of one committed (or degraded-committed) update batch.
+struct UpdateResult {
+  /// Epoch after the batch; each committed batch advances it by one.
+  uint64_t epoch = 0;
+  /// Vertices whose core number changed, ascending.
+  std::vector<VertexId> changed;
+  /// The full coreness snapshot at `epoch`.
+  std::vector<uint32_t> core;
+
+  /// Batch-stamped vertices: seeds + equal-coreness frontier + every vertex
+  /// re-evaluated by the localized fixpoint — the |affected| in the
+  /// O(|affected|) bound, and what the escape hatch measures against V.
+  uint64_t affected = 0;
+  /// Directed adjacency entries incident to the affected region (sum of
+  /// committed-epoch degrees over the batch-stamped vertices) — the measured
+  /// meaning of "a batch touching x% of edges". A full re-peel reports the
+  /// whole directed edge set; the host fallback path does not track it (0).
+  uint64_t affected_edges = 0;
+  /// Localized h-index fixpoint iterations (re-peel waves) across the batch.
+  uint64_t refine_waves = 0;
+  /// Live directed overlay entries after the batch (pre-merge).
+  uint64_t overlay_edges = 0;
+  /// The overlay was merged into a fresh base CSR after this batch.
+  bool compacted = false;
+  /// The affected region exceeded full_repeel_fraction * V and the batch
+  /// was finished by a full from-scratch GPU peel.
+  bool full_repeel = false;
+  /// Served by the exact CPU fallback (device lost / budget exhausted).
+  bool degraded = false;
+
+  Metrics metrics;
+};
+
+/// GPU-resident batched incremental k-core maintenance (the serving-side
+/// answer to the paper's static peel): the CSR and the current coreness stay
+/// resident on the simulated device across batches; each batch applies its
+/// edge inserts/deletes through a delta-CSR overlay (tombstoned base slots +
+/// per-vertex linked insert slabs), seeds the candidate frontier from the
+/// update endpoints, expands it through equal-coreness neighbors (the
+/// traversal-locality insight of cpu/dynamic_core.h, on the device), and
+/// runs a localized iterate-to-fixpoint h-index re-peel over only that
+/// region. Reads are snapshot-consistent: core()/epoch() serve the last
+/// committed epoch even while a batch is in flight, and a failed or
+/// cancelled batch leaves the committed epoch untouched (the coreness array
+/// checkpoint is the last epoch's snapshot).
+///
+/// Thread compatibility: like sim::Device, one driving thread at a time.
+class IncrementalCoreEngine {
+ public:
+  /// Builds the engine over `initial`: decomposes it host-side (BZ) and
+  /// attaches the device-resident graph. `known_core`, when non-null, must
+  /// be the exact decomposition of `initial` and skips the eager BZ.
+  static StatusOr<std::unique_ptr<IncrementalCoreEngine>> Create(
+      const CsrGraph& initial, const IncrementalOptions& options,
+      const sim::DeviceOptions& device_options,
+      const std::vector<uint32_t>* known_core = nullptr);
+
+  ~IncrementalCoreEngine();
+  IncrementalCoreEngine(const IncrementalCoreEngine&) = delete;
+  IncrementalCoreEngine& operator=(const IncrementalCoreEngine&) = delete;
+
+  /// Applies one insert/delete window as a batch on the device and commits
+  /// a new epoch. The batch is atomic: on any failure (invalid update,
+  /// cancellation, unrecoverable device fault with cpu_fallback off)
+  /// nothing is applied and the committed epoch is unchanged — the same
+  /// batch may be retried, including on the CPU path. Sequential batch
+  /// semantics match DynamicKCore::ApplyBatch.
+  StatusOr<UpdateResult> ApplyUpdates(std::span<const EdgeUpdate> batch);
+
+  /// The degraded-exact path: applies the batch host-side with the
+  /// cpu/dynamic_core.h algorithm against the committed epoch and commits.
+  /// Used directly by the serving layer when the breaker is open, and
+  /// internally once the device is lost (cpu_fallback). The device graph is
+  /// lazily re-attached on the next GPU batch.
+  StatusOr<UpdateResult> ApplyUpdatesCpu(std::span<const EdgeUpdate> batch);
+
+  /// Committed-epoch snapshot reads (valid while a batch is in flight).
+  const std::vector<uint32_t>& core() const { return core_; }
+  uint64_t epoch() const { return epoch_; }
+
+  /// Materializes the committed graph as CSR (sorted adjacency).
+  CsrGraph CurrentGraph() const;
+
+  VertexId NumVertices() const {
+    return static_cast<VertexId>(adjacency_.size());
+  }
+  uint64_t NumEdges() const { return num_edges_; }
+
+  /// Probes the device (sim::Device::HealthCheck); used by the serving
+  /// breaker's half-open probe. A lost device reports DeviceLost without
+  /// touching committed state.
+  Status HealthCheck();
+
+  /// Swaps the device options used at the next (re)attach — the serving
+  /// layer updates the fault-plan override per request. No effect on the
+  /// currently attached device.
+  void set_device_options(const sim::DeviceOptions& device_options) {
+    device_options_ = device_options;
+  }
+  /// Request-lifecycle context for subsequent batches (not owned).
+  void set_cancel(const CancelContext* cancel) { options_.cancel = cancel; }
+
+  /// The device's profiler trace, when profiling is on (null otherwise);
+  /// per-batch `update_epoch_<N>` ranges land here. Re-attach replaces the
+  /// device, so callers must not cache the pointer across batches.
+  const sim::Device* device() const { return device_.get(); }
+
+  /// True when the device graph must be rebuilt before the next GPU batch
+  /// (after device loss, a cancelled/aborted batch, or a CPU-path commit).
+  bool needs_reattach() const { return needs_reattach_; }
+
+ private:
+  struct DeviceState;
+
+  IncrementalCoreEngine(const CsrGraph& initial, IncrementalOptions options,
+                        sim::DeviceOptions device_options);
+
+  /// Validates `batch` against committed adjacency + sequential semantics
+  /// and splits it into net inserts / net deletes (order-free sets).
+  Status ValidateAndSplit(std::span<const EdgeUpdate> batch,
+                          std::vector<EdgeUpdate>* net_inserts,
+                          std::vector<EdgeUpdate>* net_deletes) const;
+
+  /// (Re)creates the device and uploads the committed graph + coreness.
+  Status Attach();
+  /// Runs the GPU batch against the attached device. On Corruption the
+  /// caller re-attaches and retries; any other failure propagates.
+  Status RunGpuBatch(std::span<const EdgeUpdate> net_inserts,
+                     std::span<const EdgeUpdate> net_deletes,
+                     UpdateResult* result);
+  /// Commits host-side state for a successful batch.
+  void Commit(std::span<const EdgeUpdate> net_inserts,
+              std::span<const EdgeUpdate> net_deletes,
+              std::vector<uint32_t> new_core, UpdateResult* result);
+  /// Merges the delta overlay back into a fresh base CSR once it crosses
+  /// compact_threshold of the base directed-edge count (post-commit).
+  Status MaybeMergeOverlay(UpdateResult* result);
+
+  IncrementalOptions options_;
+  sim::DeviceOptions device_options_;
+
+  // Committed host state: sorted adjacency mirror, coreness snapshot, epoch.
+  std::vector<std::vector<VertexId>> adjacency_;
+  std::vector<uint32_t> core_;
+  uint64_t num_edges_ = 0;
+  uint64_t epoch_ = 0;
+
+  std::unique_ptr<sim::Device> device_;
+  std::unique_ptr<DeviceState> state_;
+  bool needs_reattach_ = true;
+};
+
+}  // namespace kcore
+
+#endif  // KCORE_CORE_INCREMENTAL_CORE_H_

@@ -1,6 +1,8 @@
 #include "cpu/dynamic_core.h"
 
 #include <algorithm>
+#include <set>
+#include <utility>
 
 #include "common/check.h"
 #include "common/strings.h"
@@ -26,6 +28,20 @@ DynamicKCore::DynamicKCore(const CsrGraph& initial) {
     all[v] = v;
   }
   Refine(std::move(all));
+}
+
+DynamicKCore::DynamicKCore(const CsrGraph& initial,
+                           std::vector<uint32_t> known_core)
+    : core_(std::move(known_core)) {
+  const VertexId n = initial.NumVertices();
+  KCORE_CHECK(core_.size() == n);
+  adjacency_.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nbrs = initial.Neighbors(v);
+    adjacency_[v].assign(nbrs.begin(), nbrs.end());
+    KCORE_CHECK(std::is_sorted(adjacency_[v].begin(), adjacency_[v].end()));
+  }
+  num_edges_ = initial.NumUndirectedEdges();
 }
 
 bool DynamicKCore::HasEdge(VertexId u, VertexId v) const {
@@ -77,6 +93,59 @@ Status DynamicKCore::RemoveEdge(VertexId u, VertexId v) {
   // Deletion only lowers coreness, so current values stay upper bounds.
   Refine({u, v});
   return Status::OK();
+}
+
+StatusOr<std::vector<VertexId>> DynamicKCore::ApplyBatch(
+    std::span<const EdgeUpdate> batch) {
+  // Validation pass: judge each update against the committed edge set plus
+  // the *net effect* of the preceding updates in the batch (a toggle set —
+  // each undirected pair flips presence each time it appears). Rejecting
+  // here keeps the batch atomic: nothing below can fail.
+  std::set<std::pair<VertexId, VertexId>> toggled;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const EdgeUpdate& e = batch[i];
+    if (e.u >= NumVertices() || e.v >= NumVertices()) {
+      return Status::InvalidArgument(
+          StrFormat("update %zu: endpoint out of range", i));
+    }
+    if (e.u == e.v) {
+      return Status::InvalidArgument(StrFormat("update %zu: self-loop", i));
+    }
+    const auto key = std::minmax(e.u, e.v);
+    const std::pair<VertexId, VertexId> kp{key.first, key.second};
+    const bool present = HasEdge(e.u, e.v) != (toggled.count(kp) != 0);
+    if (e.kind == EdgeUpdate::Kind::kInsert) {
+      if (present) {
+        return Status::FailedPrecondition(StrFormat(
+            "update %zu: edge (%u,%u) already present", i, e.u, e.v));
+      }
+    } else if (!present) {
+      return Status::NotFound(
+          StrFormat("update %zu: edge (%u,%u) not present", i, e.u, e.v));
+    }
+    if (toggled.count(kp) != 0) {
+      toggled.erase(kp);
+    } else {
+      toggled.insert(kp);
+    }
+  }
+
+  const std::vector<uint32_t> before = core_;
+  uint64_t evaluations = 0;
+  for (const EdgeUpdate& e : batch) {
+    const Status status = e.kind == EdgeUpdate::Kind::kInsert
+                              ? InsertEdge(e.u, e.v)
+                              : RemoveEdge(e.u, e.v);
+    KCORE_CHECK(status.ok());  // validated above
+    evaluations += last_update_evaluations_;
+  }
+  last_update_evaluations_ = evaluations;
+
+  std::vector<VertexId> changed;
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    if (core_[v] != before[v]) changed.push_back(v);
+  }
+  return changed;
 }
 
 std::vector<VertexId> DynamicKCore::CollectCandidates(

@@ -2,10 +2,12 @@
 #define KCORE_CPU_DYNAMIC_CORE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
-#include "common/status.h"
+#include "common/statusor.h"
 #include "graph/csr_graph.h"
+#include "graph/edge_update.h"
 
 namespace kcore {
 
@@ -30,6 +32,12 @@ class DynamicKCore {
   /// Takes the initial graph; computes its decomposition eagerly.
   explicit DynamicKCore(const CsrGraph& initial);
 
+  /// Takes the initial graph together with its already-known decomposition,
+  /// skipping the eager from-scratch refinement. `known_core` is trusted:
+  /// callers (the GPU incremental engine's CPU fallback, which holds the
+  /// last committed epoch's coreness) must pass exact values for `initial`.
+  DynamicKCore(const CsrGraph& initial, std::vector<uint32_t> known_core);
+
   /// Inserts undirected edge {u,v}. Fails with InvalidArgument for
   /// self-loops or out-of-range vertices, AlreadyExists-style
   /// FailedPrecondition if the edge is present.
@@ -37,6 +45,16 @@ class DynamicKCore {
 
   /// Removes undirected edge {u,v}; NotFound if absent.
   Status RemoveEdge(VertexId u, VertexId v);
+
+  /// Applies a whole insert/delete window as one batch and returns the
+  /// vertices whose core number changed, sorted ascending. The batch is
+  /// validated up front against sequential semantics (an edge inserted
+  /// earlier in the batch may be removed later); on any invalid update the
+  /// whole batch is rejected with the single-edge API's status code and
+  /// *nothing* is applied. last_update_evaluations() aggregates across the
+  /// batch. This is the differential oracle for the GPU incremental path.
+  StatusOr<std::vector<VertexId>> ApplyBatch(
+      std::span<const EdgeUpdate> batch);
 
   /// Current core numbers (exact at all times).
   const std::vector<uint32_t>& core() const { return core_; }

@@ -1,0 +1,102 @@
+#include "graph/edge_update.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include "common/strings.h"
+
+namespace kcore {
+namespace {
+
+bool IsSep(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+// Parses a base-10 vertex id at `*pos`, advancing past it. Mirrors the
+// edge-list loader's strictness: the field must be all digits and fit a
+// VertexId.
+Status ParseVertex(const std::string& path, size_t line_no,
+                   const std::string& line, size_t* pos, VertexId* out) {
+  while (*pos < line.size() && IsSep(line[*pos])) ++*pos;
+  const size_t start = *pos;
+  uint64_t value = 0;
+  while (*pos < line.size() && std::isdigit(static_cast<unsigned char>(line[*pos]))) {
+    value = value * 10 + static_cast<uint64_t>(line[*pos] - '0');
+    if (value > std::numeric_limits<VertexId>::max()) {
+      return Status::InvalidArgument(StrFormat(
+          "%s:%zu: vertex id overflows 32 bits: '%s'", path.c_str(), line_no,
+          line.c_str()));
+    }
+    ++*pos;
+  }
+  if (*pos == start || (*pos < line.size() && !IsSep(line[*pos]))) {
+    return Status::InvalidArgument(StrFormat(
+        "%s:%zu: expected a vertex id: '%s'", path.c_str(), line_no,
+        line.c_str()));
+  }
+  *out = static_cast<VertexId>(value);
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<UpdateBatch> LoadUpdateStreamText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open " + path);
+  }
+  UpdateBatch updates;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t pos = 0;
+    while (pos < line.size() && IsSep(line[pos])) ++pos;
+    if (pos >= line.size() || line[pos] == '#' || line[pos] == '%') continue;
+    EdgeUpdate update;
+    if (line[pos] == '+') {
+      update.kind = EdgeUpdate::Kind::kInsert;
+    } else if (line[pos] == '-') {
+      update.kind = EdgeUpdate::Kind::kRemove;
+    } else {
+      return Status::InvalidArgument(StrFormat(
+          "%s:%zu: update lines start with '+' or '-': '%s'", path.c_str(),
+          line_no, line.c_str()));
+    }
+    ++pos;
+    KCORE_RETURN_IF_ERROR(ParseVertex(path, line_no, line, &pos, &update.u));
+    KCORE_RETURN_IF_ERROR(ParseVertex(path, line_no, line, &pos, &update.v));
+    while (pos < line.size() && IsSep(line[pos])) ++pos;
+    if (pos < line.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "%s:%zu: trailing garbage after endpoints: '%s'", path.c_str(),
+          line_no, line.c_str()));
+    }
+    updates.push_back(update);
+  }
+  if (in.bad()) {
+    return Status::IOError("read error on " + path);
+  }
+  return updates;
+}
+
+Status SaveUpdateStreamText(const UpdateBatch& updates,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  out << "# kcoregpu update stream: " << updates.size() << " updates\n";
+  for (const EdgeUpdate& e : updates) {
+    out << (e.kind == EdgeUpdate::Kind::kInsert ? '+' : '-') << ' ' << e.u
+        << ' ' << e.v << '\n';
+  }
+  out.flush();
+  if (!out.good()) {
+    return Status::IOError("write error on " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace kcore

@@ -1,0 +1,55 @@
+#ifndef KCORE_GRAPH_EDGE_UPDATE_H_
+#define KCORE_GRAPH_EDGE_UPDATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/csr_graph.h"
+
+namespace kcore {
+
+/// One structural mutation of an undirected simple graph. Updates are
+/// interpreted *sequentially*: a batch may insert an edge and remove it
+/// again, and validity (edge present / absent) is judged against the graph
+/// state produced by all preceding updates in the same batch.
+struct EdgeUpdate {
+  enum class Kind : uint8_t {
+    kInsert = 0,
+    kRemove = 1,
+  };
+
+  Kind kind = Kind::kInsert;
+  VertexId u = 0;
+  VertexId v = 0;
+
+  static EdgeUpdate Insert(VertexId u, VertexId v) {
+    return {Kind::kInsert, u, v};
+  }
+  static EdgeUpdate Remove(VertexId u, VertexId v) {
+    return {Kind::kRemove, u, v};
+  }
+
+  bool operator==(const EdgeUpdate&) const = default;
+};
+
+/// A window of updates applied as one maintenance batch.
+using UpdateBatch = std::vector<EdgeUpdate>;
+
+/// Loads an update stream from a text file. Format, one update per line:
+///
+///   + u v    insert undirected edge {u, v}
+///   - u v    remove undirected edge {u, v}
+///
+/// Blank lines and lines starting with '#' or '%' are comments. Endpoints
+/// are base-10 vertex ids; anything after the two endpoints is rejected.
+StatusOr<UpdateBatch> LoadUpdateStreamText(const std::string& path);
+
+/// Serializes `updates` in the LoadUpdateStreamText format.
+Status SaveUpdateStreamText(const UpdateBatch& updates,
+                            const std::string& path);
+
+}  // namespace kcore
+
+#endif  // KCORE_GRAPH_EDGE_UPDATE_H_

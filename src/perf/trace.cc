@@ -157,7 +157,13 @@ KCORE_OBSERVER void Trace::AddFlowEnd(std::string name, uint32_t pid, uint32_t t
 }
 
 KCORE_OBSERVER void Trace::Append(const Trace& other) {
-  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+  AppendFrom(other, 0);
+}
+
+KCORE_OBSERVER void Trace::AppendFrom(const Trace& other, size_t first_event) {
+  if (first_event > other.events_.size()) first_event = other.events_.size();
+  events_.insert(events_.end(), other.events_.begin() + first_event,
+                 other.events_.end());
   for (const auto& [pid, name] : other.process_names_) {
     SetProcessName(pid, name);
   }

@@ -86,6 +86,10 @@ class KCORE_OBSERVER Trace {
   /// Merges another trace's events and naming metadata (multi-GPU: the
   /// driver's own trace absorbs each worker device's profiler trace).
   void Append(const Trace& other);
+  /// Append restricted to `other`'s events from index `first_event` on.
+  /// The incremental serving path exports per-batch slices of a persistent
+  /// device's accumulating profiler trace without re-exporting old batches.
+  void AppendFrom(const Trace& other, size_t first_event);
 
   bool empty() const { return events_.empty(); }
   size_t num_events() const { return events_.size(); }

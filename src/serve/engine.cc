@@ -2,9 +2,11 @@
 
 #include <utility>
 
+#include "common/strings.h"
 #include "core/gpu_peel.h"
 #include "core/single_k.h"
 #include "cpu/bz.h"
+#include "cpu/dynamic_core.h"
 #include "cpu/mpm.h"
 #include "cpu/park.h"
 #include "cpu/pkc.h"
@@ -58,6 +60,19 @@ StatusOr<SingleKCoreResult> Engine::SingleK(const CsrGraph& graph, uint32_t k,
 
 Status Engine::HealthCheck(const EngineRunContext&) { return Status::OK(); }
 
+StatusOr<UpdateResult> Engine::ApplyUpdates(const CsrGraph&,
+                                            std::span<const EdgeUpdate>,
+                                            const EngineRunContext&) {
+  return Status::FailedPrecondition(StrFormat(
+      "%s engine does not maintain an updatable decomposition", name()));
+}
+
+StatusOr<CsrGraph> Engine::UpdatedGraph() const {
+  return Status::FailedPrecondition(StrFormat(
+      "%s engine holds no update state (no ApplyUpdates batch applied)",
+      name()));
+}
+
 namespace {
 
 /// Resolves the device options for one run: the configured template with the
@@ -109,12 +124,75 @@ class GpuEngine : public Engine {
   }
 
   Status HealthCheck(const EngineRunContext& ctx) override {
+    // Once update state exists, probe ITS device: the breaker's half-open
+    // probe must see the health of the state-holding device, not of a
+    // throwaway one (a re-attach under the current fault plan happens here
+    // if the previous batch lost the device).
+    if (incremental_ != nullptr) {
+      incremental_->set_device_options(RunDeviceOptions(config_.device, ctx));
+      return incremental_->HealthCheck();
+    }
     sim::Device device(RunDeviceOptions(config_.device, ctx));
     return device.HealthCheck("serve_probe");
   }
 
+  bool supports_updates() const override { return true; }
+
+  StatusOr<UpdateResult> ApplyUpdates(const CsrGraph& initial,
+                                      std::span<const EdgeUpdate> batch,
+                                      const EngineRunContext& ctx) override {
+    // The documented departure from fresh-device-per-run: incremental
+    // maintenance only beats a fresh peel when CSR + coreness stay resident
+    // across batches, so the engine lives for the server's lifetime. Fault
+    // plans still attach per request — the run's device options take effect
+    // at the next (re)attach, and a latched DeviceLost forces exactly such
+    // a re-attach before the next GPU batch.
+    const sim::DeviceOptions run_device = RunDeviceOptions(config_.device, ctx);
+    if (incremental_ == nullptr) {
+      auto created =
+          IncrementalCoreEngine::Create(initial, config_.incremental,
+                                        run_device);
+      if (!created.ok()) return created.status();
+      incremental_ = std::move(*created);
+      trace_exported_ = 0;
+    }
+    incremental_->set_device_options(run_device);
+    incremental_->set_cancel(ctx.cancel);
+    // A re-attach replaces the device and resets its profiler trace, so the
+    // per-batch export cursor restarts from the top of the new trace.
+    if (incremental_->needs_reattach()) trace_exported_ = 0;
+    StatusOr<UpdateResult> result =
+        ctx.prefer_host ? incremental_->ApplyUpdatesCpu(batch)
+                        : incremental_->ApplyUpdates(batch);
+    incremental_->set_cancel(nullptr);
+    if (ctx.trace != nullptr && incremental_->device() != nullptr &&
+        incremental_->device()->profiler() != nullptr) {
+      const Trace& full = incremental_->device()->profiler()->trace();
+      // Mid-batch recovery can also have replaced the device; a cursor past
+      // the end means "new trace" and the slice restarts at zero.
+      if (trace_exported_ > full.num_events()) trace_exported_ = 0;
+      ctx.trace->AppendFrom(full, trace_exported_);
+      trace_exported_ = full.num_events();
+    }
+    return result;
+  }
+
+  StatusOr<CsrGraph> UpdatedGraph() const override {
+    if (incremental_ == nullptr) {
+      return Status::FailedPrecondition(
+          "gpu engine holds no update state (no ApplyUpdates batch applied)");
+    }
+    return incremental_->CurrentGraph();
+  }
+
  private:
   EngineConfig config_;
+  /// Persistent incremental-maintenance state (lazily seeded by the first
+  /// ApplyUpdates); the single holder of the evolving serving graph.
+  std::unique_ptr<IncrementalCoreEngine> incremental_;
+  /// Events of the persistent device's profiler trace already exported to a
+  /// request's Trace (per-batch slice cursor).
+  size_t trace_exported_ = 0;
 };
 
 /// Sharded multi-GPU peeling engine.
@@ -199,8 +277,43 @@ class CpuEngine : public Engine {
     }
   }
 
+  bool supports_updates() const override { return true; }
+
+  StatusOr<UpdateResult> ApplyUpdates(const CsrGraph& initial,
+                                      std::span<const EdgeUpdate> batch,
+                                      const EngineRunContext& ctx) override {
+    if (ctx.cancel != nullptr) {
+      KCORE_RETURN_IF_ERROR(ctx.cancel->Check("cpu engine update entry"));
+    }
+    // Host engines share the exact traversal-locality maintenance path;
+    // prefer_host is a no-op (this IS the host path).
+    if (dynamic_ == nullptr) {
+      dynamic_ = std::make_unique<DynamicKCore>(initial);
+    }
+    auto changed = dynamic_->ApplyBatch(batch);
+    if (!changed.ok()) return changed.status();
+    UpdateResult result;
+    result.epoch = ++update_epoch_;
+    result.changed = std::move(*changed);
+    result.core = dynamic_->core();
+    result.affected = dynamic_->last_update_evaluations();
+    return result;
+  }
+
+  StatusOr<CsrGraph> UpdatedGraph() const override {
+    if (dynamic_ == nullptr) {
+      return Status::FailedPrecondition(StrFormat(
+          "%s engine holds no update state (no ApplyUpdates batch applied)",
+          name()));
+    }
+    return dynamic_->ToCsrGraph();
+  }
+
  private:
   EngineKind kind_;
+  /// Persistent host maintenance state (lazily seeded by ApplyUpdates).
+  std::unique_ptr<DynamicKCore> dynamic_;
+  uint64_t update_epoch_ = 0;
 };
 
 }  // namespace

@@ -2,15 +2,18 @@
 #define KCORE_SERVE_ENGINE_H_
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "common/cancellation.h"
 #include "common/statusor.h"
 #include "core/gpu_peel_options.h"
+#include "core/incremental_core.h"
 #include "core/multi_gpu_peel.h"
 #include "cusim/annotations.h"
 #include "cusim/device.h"
 #include "graph/csr_graph.h"
+#include "graph/edge_update.h"
 #include "perf/decompose_result.h"
 #include "perf/trace.h"
 #include "vetga/vetga.h"
@@ -53,6 +56,12 @@ struct EngineRunContext {
   /// and no KCORE_FAULTS fallback is suppressed — the override is the
   /// spec handed to the device verbatim). Device-less engines ignore it.
   const std::string* fault_spec_override = nullptr;
+  /// ApplyUpdates only: route the batch through the engine's exact host
+  /// (CPU) maintenance path against the SAME committed state, skipping the
+  /// device entirely. The serving breaker's degraded path — the answer is
+  /// still exact and the epoch history stays linear (a second state-holder
+  /// would fork it). Ignored by host engines and by non-update calls.
+  bool prefer_host = false;
 };
 
 /// Configuration shared by every engine a server owns. Only the fields
@@ -70,14 +79,20 @@ struct EngineConfig {
   MultiGpuOptions multi_gpu;
   /// Config for kVetga (`cancel`/`trace` overwritten per run).
   VetgaConfig vetga;
+  /// Options for the kGpu engine's persistent incremental-maintenance state
+  /// (ApplyUpdates). `cancel` is overwritten per run from EngineRunContext;
+  /// `repeel` covers the escape-hatch full re-peel.
+  IncrementalOptions incremental;
 };
 
 /// A k-core decomposition engine behind a uniform, serving-friendly
 /// interface: full decomposition, direct single-k mining, and a cheap
 /// health probe, all honoring the run context's cancellation and trace
 /// plumbing. Implementations are stateless between runs (safe to reuse
-/// across requests from one thread); they are NOT required to be
-/// thread-safe — the server serializes runs on its runner thread.
+/// across requests from one thread) — except the update path, where
+/// supports_updates() engines deliberately keep the evolving graph and
+/// coreness across requests (see ApplyUpdates). They are NOT required to
+/// be thread-safe — the server serializes runs on its runner thread.
 class Engine {
  public:
   virtual ~Engine() = default;
@@ -106,6 +121,30 @@ class Engine {
   /// probe before risking a real request on the primary engine.
   [[nodiscard]] KCORE_HOST_ONLY virtual Status HealthCheck(
       const EngineRunContext& ctx);
+
+  /// True when the engine maintains a persistent updatable decomposition:
+  /// ApplyUpdates commits epochs and UpdatedGraph serves the committed
+  /// graph. A deliberate departure from "stateless between runs" — edge
+  /// updates only beat a fresh decomposition when the state survives the
+  /// request; the serving loop treats such engines as the single holder of
+  /// the evolving graph.
+  virtual bool supports_updates() const { return false; }
+
+  /// Applies one edge-update batch against the engine's persistent serving
+  /// state and commits a new epoch. The state is lazily seeded from
+  /// `initial` on the first call; later calls ignore `initial` (the
+  /// committed graph evolves engine-side). Batch semantics (sequential
+  /// validation, all-or-nothing commit) match IncrementalCoreEngine /
+  /// DynamicKCore::ApplyBatch. The base implementation answers
+  /// FailedPrecondition for engines with no maintenance path.
+  [[nodiscard]] KCORE_HOST_ONLY virtual StatusOr<UpdateResult> ApplyUpdates(
+      const CsrGraph& initial, std::span<const EdgeUpdate> batch,
+      const EngineRunContext& ctx);
+
+  /// Materializes the committed (post-update) serving graph as sorted CSR.
+  /// FailedPrecondition until the first ApplyUpdates call seeds the state.
+  [[nodiscard]] KCORE_HOST_ONLY virtual StatusOr<CsrGraph> UpdatedGraph()
+      const;
 };
 
 /// Builds an engine of `kind` over `config`. Never fails: unknown kinds

@@ -22,9 +22,15 @@ const char* BreakerStateName(BreakerState state) {
 namespace {
 
 RequestClass ClassOf(RequestType type) {
-  return (type == RequestType::kCoreOf || type == RequestType::kTopK)
-             ? RequestClass::kPoint
-             : RequestClass::kHeavy;
+  switch (type) {
+    case RequestType::kCoreOf:
+    case RequestType::kTopK:
+      return RequestClass::kPoint;
+    case RequestType::kApplyUpdates:
+      return RequestClass::kUpdate;
+    default:
+      return RequestClass::kHeavy;
+  }
 }
 
 /// An engine failure (trips the breaker, triggers the in-request CPU retry)
@@ -35,6 +41,15 @@ bool IsEngineFault(const Status& status) {
          !status.IsDeadlineExceeded() && !status.IsInvalidArgument();
 }
 
+/// Same split for update batches, whose own invalid-batch outcomes use two
+/// more codes: FailedPrecondition (inserting a present edge) and NotFound
+/// (removing an absent one). Those reject the batch on ANY engine — retrying
+/// on the host path would just reject again — so they surface unchanged.
+bool IsUpdateFault(const Status& status) {
+  return IsEngineFault(status) && !status.IsFailedPrecondition() &&
+         !status.IsNotFound();
+}
+
 }  // namespace
 
 KcoreServer::KcoreServer(CsrGraph graph, ServerOptions options)
@@ -43,6 +58,8 @@ KcoreServer::KcoreServer(CsrGraph graph, ServerOptions options)
   // starve the breaker of its failure signal; the server owns degradation.
   options_.engine_config.gpu.resilience.cpu_fallback = false;
   options_.engine_config.multi_gpu.resilience.cpu_fallback = false;
+  options_.engine_config.incremental.cpu_fallback = false;
+  options_.engine_config.incremental.repeel.resilience.cpu_fallback = false;
   primary_ = MakeEngine(options_.engine, options_.engine_config);
   fallback_ = MakeEngine(EngineKind::kBz);
   paused_ = options_.start_paused;
@@ -65,12 +82,22 @@ std::future<ServeResponse> KcoreServer::Submit(ServeRequest request) {
       promise.set_value(std::move(response));
       return future;
     }
-    std::deque<Pending>& queue =
-        cls == RequestClass::kPoint ? point_queue_ : heavy_queue_;
-    const uint64_t capacity = cls == RequestClass::kPoint
-                                  ? options_.point_queue_capacity
-                                  : options_.heavy_queue_capacity;
-    if (queue.size() >= capacity) {
+    std::deque<Pending>* queue = &heavy_queue_;
+    uint64_t capacity = options_.heavy_queue_capacity;
+    const char* label = "heavy";
+    double per_request_ms = last_heavy_run_ms_;
+    if (cls == RequestClass::kPoint) {
+      queue = &point_queue_;
+      capacity = options_.point_queue_capacity;
+      label = "point";
+      per_request_ms = 1.0;
+    } else if (cls == RequestClass::kUpdate) {
+      queue = &update_queue_;
+      capacity = options_.update_queue_capacity;
+      label = "update";
+      per_request_ms = last_update_run_ms_;
+    }
+    if (queue->size() >= capacity) {
       // Backpressure: shed NOW with a backoff hint instead of letting the
       // queue grow without bound. A shed is still a response — nothing is
       // silently dropped.
@@ -80,11 +107,10 @@ std::future<ServeResponse> KcoreServer::Submit(ServeRequest request) {
       response.metrics.retry_after_ms =
           cls == RequestClass::kPoint
               ? 1.0
-              : last_heavy_run_ms_ * static_cast<double>(queue.size());
+              : per_request_ms * static_cast<double>(queue->size());
       response.status = Status::ResourceExhausted(
-          StrFormat("%s queue full (%llu queued); retry in ~%.1f ms",
-                    cls == RequestClass::kPoint ? "point" : "heavy",
-                    static_cast<unsigned long long>(queue.size()),
+          StrFormat("%s queue full (%llu queued); retry in ~%.1f ms", label,
+                    static_cast<unsigned long long>(queue->size()),
                     response.metrics.retry_after_ms));
       promise.set_value(std::move(response));
       return future;
@@ -94,7 +120,7 @@ std::future<ServeResponse> KcoreServer::Submit(ServeRequest request) {
     pending.promise = std::move(promise);
     pending.sequence = ++next_sequence_;
     ++stats_.admitted;
-    queue.push_back(std::move(pending));
+    queue->push_back(std::move(pending));
   }
   work_cv_.notify_one();
   return future;
@@ -127,27 +153,40 @@ ServerStats KcoreServer::stats() const {
   ServerStats snapshot = stats_;
   snapshot.breaker = breaker_;
   snapshot.point_queue_depth = point_queue_.size();
+  snapshot.update_queue_depth = update_queue_.size();
   snapshot.heavy_queue_depth = heavy_queue_.size();
   return snapshot;
 }
 
 bool KcoreServer::PopNext(Pending* out) {
-  // Caller holds mu_. Point first (they answer from cache in microseconds),
-  // except every point_burst_limit-th dispatch with heavy work waiting, so
-  // a point flood cannot starve decompositions forever.
-  const bool heavy_due = !heavy_queue_.empty() &&
-                         (point_queue_.empty() ||
-                          point_burst_ >= options_.point_burst_limit);
-  std::deque<Pending>& queue = heavy_due ? heavy_queue_ : point_queue_;
-  if (queue.empty()) return false;
-  if (heavy_due) {
-    point_burst_ = 0;
-  } else {
+  // Caller holds mu_. Three-tier priority: point (microseconds against the
+  // cache) -> update (localized re-peel) -> heavy (full engine pass), each
+  // tier with a burst limit so a flood of one class cannot starve the
+  // classes below it forever.
+  const bool below_point = !update_queue_.empty() || !heavy_queue_.empty();
+  if (!point_queue_.empty() &&
+      (!below_point || point_burst_ < options_.point_burst_limit)) {
     ++point_burst_;
+    *out = std::move(point_queue_.front());
+    point_queue_.pop_front();
+    return true;
   }
-  *out = std::move(queue.front());
-  queue.pop_front();
-  return true;
+  point_burst_ = 0;
+  if (!update_queue_.empty() &&
+      (heavy_queue_.empty() ||
+       update_burst_ < options_.update_burst_limit)) {
+    ++update_burst_;
+    *out = std::move(update_queue_.front());
+    update_queue_.pop_front();
+    return true;
+  }
+  update_burst_ = 0;
+  if (!heavy_queue_.empty()) {
+    *out = std::move(heavy_queue_.front());
+    heavy_queue_.pop_front();
+    return true;
+  }
+  return false;
 }
 
 void KcoreServer::RunnerLoop() {
@@ -158,8 +197,9 @@ void KcoreServer::RunnerLoop() {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] {
         return shutting_down_ ||
-               (!paused_ &&
-                (!point_queue_.empty() || !heavy_queue_.empty()));
+               (!paused_ && (!point_queue_.empty() ||
+                             !update_queue_.empty() ||
+                             !heavy_queue_.empty()));
       });
       have = PopNext(&pending);
       if (!have && shutting_down_) {
@@ -257,20 +297,96 @@ StatusOr<Result> KcoreServer::RunWithBreaker(
   return fn(fallback_.get(), fallback_ctx);
 }
 
+StatusOr<UpdateResult> KcoreServer::RunUpdate(
+    const CancelContext& cancel, Trace* trace, ServeMetrics* metrics,
+    std::span<const EdgeUpdate> batch) {
+  if (!primary_->supports_updates()) {
+    return Status::FailedPrecondition(
+        StrFormat("%s engine does not maintain an updatable decomposition",
+                  primary_->name()));
+  }
+  EngineRunContext ctx;
+  ctx.cancel = &cancel;
+  ctx.trace = trace;
+
+  bool try_primary = false;
+  bool probing = false;
+  uint64_t attempt = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    try_primary = AllowPrimaryLocked();
+    probing = breaker_ == BreakerState::kHalfOpen;
+    if (try_primary) {
+      attempt = stats_.gpu_attempts++;
+      if (probing) ++stats_.breaker_probes;
+    }
+  }
+  if (try_primary) {
+    std::string fault_override;
+    if (options_.fault_plan_fn) {
+      fault_override = options_.fault_plan_fn(attempt);
+      ctx.fault_spec_override = &fault_override;
+    }
+    bool primary_ok = true;
+    if (probing) {
+      if (Status health = primary_->HealthCheck(ctx); !health.ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        OnPrimaryFailureLocked();
+        primary_ok = false;
+      }
+    }
+    if (primary_ok) {
+      auto result = primary_->ApplyUpdates(graph_, batch, ctx);
+      if (result.ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        OnPrimarySuccessLocked();
+        return result;
+      }
+      if (!IsUpdateFault(result.status())) return result;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        OnPrimaryFailureLocked();
+      }
+      // Retried below on the same engine's exact host path — an engine
+      // death costs latency, never a dropped batch or a forked epoch.
+      ++metrics->retries;
+    }
+  }
+  // Degraded path: the SAME engine's host maintenance algorithm against the
+  // SAME committed state. Routing updates to the fallback_ engine (as
+  // RunWithBreaker does for reads) would create a second state-holder whose
+  // epoch history diverges from the primary's the moment it commits.
+  metrics->degraded = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    OnFallbackServedLocked();
+  }
+  KCORE_RETURN_IF_ERROR(cancel.Check("serve update fallback entry"));
+  EngineRunContext host_ctx;
+  host_ctx.cancel = &cancel;
+  host_ctx.trace = trace;
+  host_ctx.prefer_host = true;
+  return primary_->ApplyUpdates(graph_, batch, host_ctx);
+}
+
 Status KcoreServer::EnsureCache(const CancelContext& cancel, Trace* trace,
                                 ServeMetrics* metrics) {
-  if (cache_warm_) {
+  // A committed update advances graph_epoch_: a cache from an older epoch
+  // answers point queries with pre-update core numbers, so it recomputes
+  // here (the staleness regression the epoch tag exists to prevent).
+  if (cache_warm_ && cache_epoch_ == graph_epoch_) {
     metrics->cache_hit = true;
     return Status::OK();
   }
   auto result = RunWithBreaker<DecomposeResult>(
       cancel, trace, metrics,
       [this](Engine* engine, const EngineRunContext& ctx) {
-        return engine->Decompose(graph_, ctx);
+        return engine->Decompose(ServingGraph(), ctx);
       });
   if (!result.ok()) return result.status();
   cache_core_ = std::move(result->core);
   cache_warm_ = true;
+  cache_epoch_ = graph_epoch_;
   return Status::OK();
 }
 
@@ -300,12 +416,13 @@ void KcoreServer::Dispatch(Pending pending) {
         auto result = RunWithBreaker<DecomposeResult>(
             cancel, trace, &metrics,
             [this](Engine* engine, const EngineRunContext& ctx) {
-              return engine->Decompose(graph_, ctx);
+              return engine->Decompose(ServingGraph(), ctx);
             });
         if (result.ok()) {
           response.core = std::move(result->core);
           cache_core_ = response.core;  // refresh the point-query cache
           cache_warm_ = true;
+          cache_epoch_ = graph_epoch_;
         } else {
           response.status = result.status();
         }
@@ -316,7 +433,7 @@ void KcoreServer::Dispatch(Pending pending) {
         auto result = RunWithBreaker<SingleKCoreResult>(
             cancel, trace, &metrics,
             [this, k](Engine* engine, const EngineRunContext& ctx) {
-              return engine->SingleK(graph_, k, ctx);
+              return engine->SingleK(ServingGraph(), k, ctx);
             });
         if (result.ok()) {
           response.single_k = std::move(*result);
@@ -355,13 +472,48 @@ void KcoreServer::Dispatch(Pending pending) {
         response.top.resize(limit);
         break;
       }
+      case RequestType::kApplyUpdates: {
+        auto result = RunUpdate(cancel, trace, &metrics, request.updates);
+        if (!result.ok()) {
+          response.status = result.status();
+          break;
+        }
+        response.update_epoch = result->epoch;
+        response.update_changed = std::move(result->changed);
+        response.core = std::move(result->core);
+        // Commit serving-side: materialize the engine's committed graph for
+        // subsequent heavy requests and refresh the point cache straight
+        // from the batch's snapshot (no recompute needed).
+        auto graph = primary_->UpdatedGraph();
+        if (!graph.ok()) {
+          response.status = graph.status();
+          break;
+        }
+        updated_graph_ = std::move(*graph);
+        graph_epoch_ = result->epoch;
+        cache_core_ = response.core;
+        cache_warm_ = true;
+        cache_epoch_ = graph_epoch_;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.updates_applied;
+          stats_.update_edges += request.updates.size();
+          stats_.graph_epoch = graph_epoch_;
+        }
+        break;
+      }
     }
   }
   metrics.run_ms = run_timer.ElapsedMillis();
-  if (ClassOf(request.type) == RequestClass::kHeavy &&
-      response.status.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    last_heavy_run_ms_ = std::max(0.1, metrics.run_ms);
+  if (response.status.ok()) {
+    const RequestClass cls = ClassOf(request.type);
+    if (cls == RequestClass::kHeavy) {
+      std::lock_guard<std::mutex> lock(mu_);
+      last_heavy_run_ms_ = std::max(0.1, metrics.run_ms);
+    } else if (cls == RequestClass::kUpdate) {
+      std::lock_guard<std::mutex> lock(mu_);
+      last_update_run_ms_ = std::max(0.1, metrics.run_ms);
+    }
   }
   Answer(std::move(pending), std::move(response));
 }

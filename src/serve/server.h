@@ -8,6 +8,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <utility>
@@ -18,6 +19,7 @@
 #include "common/timer.h"
 #include "cusim/annotations.h"
 #include "graph/csr_graph.h"
+#include "graph/edge_update.h"
 #include "perf/decompose_result.h"
 #include "perf/trace.h"
 #include "serve/engine.h"
@@ -36,12 +38,18 @@ enum class RequestType {
   /// Point query: the `limit` vertices of highest core number (cached
   /// decomposition; ties broken by ascending vertex id).
   kTopK,
+  /// Edge-update batch: commits a new graph epoch on the primary engine's
+  /// persistent incremental state and responds with the new epoch, the
+  /// changed vertices, and the full coreness snapshot (in `core`).
+  kApplyUpdates,
 };
 
 /// Admission classes. Point queries answer from the cached decomposition in
-/// microseconds; heavy requests run an engine. Separate bounded queues keep
-/// a burst of decompositions from starving point lookups and vice versa.
-enum class RequestClass { kPoint, kHeavy };
+/// microseconds; update batches mutate the serving graph on the resident
+/// incremental state (milliseconds); heavy requests run a full engine pass.
+/// Separate bounded queues keep a burst of one class from starving the
+/// others.
+enum class RequestClass { kPoint, kUpdate, kHeavy };
 
 /// Circuit-breaker state over the primary engine (DESIGN.md §12).
 enum class BreakerState {
@@ -61,6 +69,9 @@ struct ServeRequest {
   VertexId v = 0;
   /// kTopK: how many vertices to return.
   uint32_t limit = 10;
+  /// kApplyUpdates: the batch to commit (sequential semantics; the whole
+  /// batch is rejected if any update is invalid and nothing is applied).
+  std::vector<EdgeUpdate> updates;
   /// Expired requests are answered DeadlineExceeded — at admission, at
   /// dispatch, or at the engine's next round boundary, whichever comes
   /// first. Default = no deadline.
@@ -115,6 +126,11 @@ struct ServeResponse {
   uint32_t core_of = 0;
   /// kTopK payload: (vertex, core) pairs, core descending, id ascending.
   std::vector<std::pair<VertexId, uint32_t>> top;
+  /// kApplyUpdates payload: the committed graph epoch after the batch and
+  /// the vertices whose core number changed (ascending). The full post-batch
+  /// coreness snapshot rides in `core`.
+  uint64_t update_epoch = 0;
+  std::vector<VertexId> update_changed;
   ServeMetrics metrics;
 };
 
@@ -134,8 +150,12 @@ struct ServerStats {
   uint64_t breaker_trips = 0;    ///< Closed/HalfOpen -> Open transitions.
   uint64_t breaker_probes = 0;   ///< HalfOpen probe attempts.
   uint64_t breaker_recoveries = 0;  ///< HalfOpen -> Closed transitions.
+  uint64_t updates_applied = 0;  ///< Committed kApplyUpdates batches.
+  uint64_t update_edges = 0;     ///< Edge updates across committed batches.
+  uint64_t graph_epoch = 0;      ///< Committed serving-graph epoch.
   BreakerState breaker = BreakerState::kClosed;
   uint64_t point_queue_depth = 0;  ///< Snapshot at stats() time.
+  uint64_t update_queue_depth = 0;  ///< Snapshot at stats() time.
   uint64_t heavy_queue_depth = 0;  ///< Snapshot at stats() time.
 };
 
@@ -154,11 +174,17 @@ struct ServerOptions {
   /// Bounded queue capacities; a Submit beyond capacity is shed
   /// immediately with ResourceExhausted and a retry-after hint.
   uint64_t point_queue_capacity = 1024;
+  uint64_t update_queue_capacity = 256;
   uint64_t heavy_queue_capacity = 128;
   /// Anti-starvation: after this many consecutive point dispatches with
-  /// heavy work waiting, one heavy request is dispatched. Point queries
-  /// otherwise always go first (they are microseconds against the cache).
+  /// lower-priority work waiting, one update/heavy request is dispatched.
+  /// Point queries otherwise always go first (they are microseconds
+  /// against the cache).
   uint32_t point_burst_limit = 16;
+  /// Likewise one tier down: after this many consecutive update dispatches
+  /// with heavy work waiting, one heavy request runs. Updates otherwise go
+  /// before heavy requests (localized re-peel vs full decomposition).
+  uint32_t update_burst_limit = 4;
 
   /// Consecutive primary-engine failures that trip the breaker open.
   uint32_t breaker_trip_threshold = 3;
@@ -241,7 +267,23 @@ class KcoreServer {
       const std::function<StatusOr<Result>(Engine*, const EngineRunContext&)>&
           fn);
 
-  /// Ensures cache_core_ holds a decomposition (running one if cold).
+  /// Runs an update batch under the breaker policy. Unlike RunWithBreaker,
+  /// the degraded path is the SAME primary engine's exact host maintenance
+  /// path (EngineRunContext::prefer_host) — routing updates to a second
+  /// engine would fork the committed epoch history. See .cc.
+  KCORE_HOST_ONLY StatusOr<UpdateResult> RunUpdate(
+      const CancelContext& cancel, Trace* trace, ServeMetrics* metrics,
+      std::span<const EdgeUpdate> batch);
+
+  /// The graph heavy requests and the fallback run against: the original
+  /// construction graph until the first committed update batch, the
+  /// materialized committed graph afterwards. Runner-thread only.
+  KCORE_HOST_ONLY const CsrGraph& ServingGraph() const {
+    return graph_epoch_ == 0 ? graph_ : updated_graph_;
+  }
+
+  /// Ensures cache_core_ holds a decomposition of the CURRENT graph epoch
+  /// (running one if cold or stale — a committed update invalidates it).
   KCORE_HOST_ONLY Status EnsureCache(const CancelContext& cancel,
                                      Trace* trace, ServeMetrics* metrics);
 
@@ -259,14 +301,17 @@ class KcoreServer {
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::deque<Pending> point_queue_;
+  std::deque<Pending> update_queue_;
   std::deque<Pending> heavy_queue_;
   bool paused_ = false;
   bool shutting_down_ = false;
   bool runner_exited_ = false;
   uint32_t point_burst_ = 0;
+  uint32_t update_burst_ = 0;
   uint64_t next_sequence_ = 0;
   uint64_t next_run_order_ = 0;
-  double last_heavy_run_ms_ = 1.0;  // retry-after estimator seed
+  double last_heavy_run_ms_ = 1.0;   // retry-after estimator seeds
+  double last_update_run_ms_ = 1.0;
 
   // Breaker state (guarded by mu_).
   BreakerState breaker_ = BreakerState::kClosed;
@@ -278,6 +323,14 @@ class KcoreServer {
   // Runner-thread-only state (no lock needed).
   std::vector<uint32_t> cache_core_;
   bool cache_warm_ = false;
+  /// Graph epoch the cached decomposition was computed at; a committed
+  /// update advances graph_epoch_, making an older cache stale (the fix for
+  /// point queries answering from a pre-update decomposition).
+  uint64_t cache_epoch_ = 0;
+  uint64_t graph_epoch_ = 0;
+  /// Materialized committed graph after the first update batch (see
+  /// ServingGraph()); empty and unused before that.
+  CsrGraph updated_graph_;
 
   std::thread runner_;
 };

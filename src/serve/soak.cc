@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <deque>
 #include <memory>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "common/strings.h"
 #include "common/timer.h"
 #include "cpu/bz.h"
+#include "graph/graph_builder.h"
 
 namespace kcore {
 
@@ -26,6 +28,68 @@ struct InFlight {
   uint32_t limit = 0;
   /// Owned token for driver-side cancellation (must outlive the response).
   std::unique_ptr<CancelToken> token;
+};
+
+/// Driver-side mirror of the evolving serving graph: generates
+/// sequentially-valid update batches and rebuilds the oracle graph after
+/// each committed batch (the referee never trusts the server's state).
+class SoakGraphMirror {
+ public:
+  explicit SoakGraphMirror(const CsrGraph& g) : n_(g.NumVertices()) {
+    for (VertexId v = 0; v < n_; ++v) {
+      for (VertexId u : g.Neighbors(v)) {
+        if (v < u) edges_.insert({v, u});
+      }
+    }
+  }
+
+  /// Each update is judged against the net state so far, so the batch
+  /// passes the engines' sequential-semantics validation by construction.
+  UpdateBatch RandomBatch(Rng& rng, size_t size, double insert_bias) {
+    UpdateBatch batch;
+    std::set<std::pair<VertexId, VertexId>> state = edges_;
+    while (batch.size() < size) {
+      const bool insert =
+          rng.UniformInt(1000) < static_cast<uint64_t>(insert_bias * 1000);
+      if (insert) {
+        const VertexId u = static_cast<VertexId>(rng.UniformInt(n_));
+        const VertexId v = static_cast<VertexId>(rng.UniformInt(n_));
+        if (u == v) continue;
+        const auto key = std::minmax(u, v);
+        if (state.count({key.first, key.second}) != 0) continue;
+        state.insert({key.first, key.second});
+        batch.push_back(EdgeUpdate::Insert(u, v));
+      } else {
+        if (state.empty()) continue;
+        auto it = state.begin();
+        std::advance(it, rng.UniformInt(state.size()));
+        batch.push_back(EdgeUpdate::Remove(it->first, it->second));
+        state.erase(it);
+      }
+    }
+    return batch;
+  }
+
+  void Apply(const UpdateBatch& batch) {
+    for (const EdgeUpdate& e : batch) {
+      const auto key = std::minmax(e.u, e.v);
+      if (e.kind == EdgeUpdate::Kind::kInsert) {
+        edges_.insert({key.first, key.second});
+      } else {
+        edges_.erase({key.first, key.second});
+      }
+    }
+  }
+
+  CsrGraph ToGraph() const {
+    EdgeList list;
+    for (const auto& [u, v] : edges_) list.push_back({u, v});
+    return BuildUndirectedGraphWithVertexCount(list, n_);
+  }
+
+ private:
+  VertexId n_;
+  std::set<std::pair<VertexId, VertexId>> edges_;
 };
 
 LatencyStats Percentiles(std::vector<double> samples) {
@@ -55,22 +119,41 @@ StatusOr<SoakReport> RunSoak(const CsrGraph& graph,
         "soak: point_fraction + single_k_fraction must be <= 1");
   }
 
+  const bool mutating =
+      options.update_fraction > 0.0 && options.update_batch > 0;
+  if (mutating &&
+      !MakeEngine(options.server.engine)->supports_updates()) {
+    return Status::InvalidArgument(StrFormat(
+        "soak: update_fraction > 0 but the %s engine does not maintain an "
+        "updatable decomposition",
+        EngineKindName(options.server.engine)));
+  }
+
   WallTimer total_timer;
   // The oracle is pure host code: immune to KCORE_FAULTS by construction,
-  // which is what makes it a trustworthy referee under chaos.
-  const DecomposeResult oracle = RunBz(graph);
-  const uint32_t k_max = oracle.MaxCore();
+  // which is what makes it a trustworthy referee under chaos. Under a
+  // mutating workload it is rebuilt from the driver's own mirror after each
+  // committed batch.
+  DecomposeResult oracle = RunBz(graph);
+  uint32_t k_max = oracle.MaxCore();
 
   // Deterministic expected top-k list (core descending, id ascending);
   // verified answers compare against its prefix.
   std::vector<std::pair<VertexId, uint32_t>> expected_top;
-  expected_top.reserve(n);
-  for (VertexId v = 0; v < n; ++v) expected_top.emplace_back(v, oracle.core[v]);
-  std::sort(expected_top.begin(), expected_top.end(),
-            [](const auto& a, const auto& b) {
-              if (a.second != b.second) return a.second > b.second;
-              return a.first < b.first;
-            });
+  const auto rebuild_expected_top = [&] {
+    expected_top.clear();
+    expected_top.reserve(n);
+    for (VertexId v = 0; v < n; ++v) {
+      expected_top.emplace_back(v, oracle.core[v]);
+    }
+    std::sort(expected_top.begin(), expected_top.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+  };
+  rebuild_expected_top();
+  SoakGraphMirror mirror(graph);
 
   KcoreServer server(graph, options.server);
   Rng rng(options.seed);
@@ -134,6 +217,10 @@ StatusOr<SoakReport> RunSoak(const CsrGraph& graph,
         }
         break;
       }
+      case RequestType::kApplyUpdates:
+        // Updates settle synchronously at their sync point (below), never
+        // through the in-flight window.
+        break;
     }
   };
 
@@ -152,7 +239,58 @@ StatusOr<SoakReport> RunSoak(const CsrGraph& graph,
     verify(meta, meta.future.get());
   };
 
+  uint64_t expected_epoch = 0;
   for (uint64_t i = 0; i < options.num_requests; ++i) {
+    // Mutation slice. The extra RNG draw is only consumed under a mutating
+    // workload, so read-only soaks replay their legacy request streams.
+    if (mutating && rng.Bernoulli(options.update_fraction)) {
+      while (!inflight.empty()) settle_front();
+      const UpdateBatch batch =
+          mirror.RandomBatch(rng, options.update_batch, 0.55);
+      ServeRequest request;
+      request.type = RequestType::kApplyUpdates;
+      request.updates = batch;
+      ++report.updates;
+      std::future<ServeResponse> future = server.Submit(std::move(request));
+      if (future.wait_for(std::chrono::seconds(120)) !=
+          std::future_status::ready) {
+        ++report.unresolved;
+        continue;
+      }
+      const ServeResponse resp = future.get();
+      if (resp.metrics.shed) {
+        ++report.shed;
+        continue;
+      }
+      if (!resp.status.ok()) {
+        ++report.failed;
+        continue;
+      }
+      ++report.completed;
+      if (resp.metrics.degraded) ++report.degraded;
+      queue_samples.push_back(resp.metrics.queue_ms);
+      run_samples.push_back(resp.metrics.run_ms);
+      // Commit the mirror and re-referee: post-batch coreness must match a
+      // fresh BZ bit-for-bit, and the changed set must be the exact diff.
+      const std::vector<uint32_t> before = oracle.core;
+      mirror.Apply(batch);
+      oracle = RunBz(mirror.ToGraph());
+      k_max = oracle.MaxCore();
+      rebuild_expected_top();
+      std::vector<VertexId> expected_changed;
+      for (VertexId v = 0; v < n; ++v) {
+        if (before[v] != oracle.core[v]) expected_changed.push_back(v);
+      }
+      ++expected_epoch;
+      if (resp.core != oracle.core ||
+          resp.update_changed != expected_changed ||
+          resp.update_epoch != expected_epoch) {
+        ++report.mismatches;
+      }
+      ++report.updates_committed;
+      report.update_edges += batch.size();
+      continue;
+    }
     InFlight meta;
     ServeRequest request;
     const double dice = rng.UniformReal();
@@ -230,6 +368,21 @@ std::string SoakReportJson(const std::string& label, const CsrGraph& graph,
       EngineKindName(options.server.engine), options.point_fraction,
       options.single_k_fraction, options.cancel_fraction,
       options.deadline_fraction, options.max_inflight, fault_spec.c_str());
+  if (options.update_fraction > 0.0) {
+    // Mutation-slice block only under a mutating workload, keeping the
+    // committed read-only BENCH_serving.json byte-stable.
+    json.insert(json.size() - 3,
+                StrFormat(", \"update_fraction\": %.2f, "
+                          "\"update_batch\": %u",
+                          options.update_fraction, options.update_batch));
+    json += StrFormat(
+        "  \"updates\": {\"submitted\": %llu, \"committed\": %llu, "
+        "\"edges\": %llu, \"graph_epoch\": %llu},\n",
+        static_cast<unsigned long long>(report.updates),
+        static_cast<unsigned long long>(report.updates_committed),
+        static_cast<unsigned long long>(report.update_edges),
+        static_cast<unsigned long long>(report.server.graph_epoch));
+  }
   json += StrFormat(
       "  \"report\": {\n"
       "    \"completed\": %llu, \"shed\": %llu, \"cancelled\": %llu,\n"
@@ -264,10 +417,18 @@ std::string SoakReportJson(const std::string& label, const CsrGraph& graph,
 }
 
 std::string SoakReportSummary(const SoakReport& report) {
+  std::string updates;
+  if (report.updates > 0) {
+    updates = StrFormat(
+        " | %llu updates (%llu committed, %llu edges)",
+        static_cast<unsigned long long>(report.updates),
+        static_cast<unsigned long long>(report.updates_committed),
+        static_cast<unsigned long long>(report.update_edges));
+  }
   return StrFormat(
       "soak: %llu req | %llu ok (%llu degraded, %llu cache-hit) | "
       "%llu shed | %llu cancelled | %llu deadline | %llu failed | "
-      "%llu mismatches | %llu unresolved | breaker trips %llu | "
+      "%llu mismatches | %llu unresolved%s | breaker trips %llu | "
       "p99 queue %.2f ms, p99 run %.2f ms | %.0f ms total",
       static_cast<unsigned long long>(report.requests),
       static_cast<unsigned long long>(report.completed),
@@ -278,7 +439,7 @@ std::string SoakReportSummary(const SoakReport& report) {
       static_cast<unsigned long long>(report.deadline_exceeded),
       static_cast<unsigned long long>(report.failed),
       static_cast<unsigned long long>(report.mismatches),
-      static_cast<unsigned long long>(report.unresolved),
+      static_cast<unsigned long long>(report.unresolved), updates.c_str(),
       static_cast<unsigned long long>(report.server.breaker_trips),
       report.queue_ms.p99, report.run_ms.p99, report.wall_ms);
 }

@@ -27,6 +27,19 @@ struct SoakOptions {
   double point_fraction = 0.60;
   double single_k_fraction = 0.25;
 
+  /// Mutation slice: fraction of workload slots that submit an edge-update
+  /// batch instead of a read. Updates are SYNC POINTS — the driver drains
+  /// every in-flight read first, settles the update immediately, rebuilds
+  /// the oracle with a fresh BZ over its own graph mirror, and checks the
+  /// response snapshot and changed-set bit-for-bit. They are excluded from
+  /// the cancel/deadline chaos (a cancelled update has no answer to
+  /// verify). 0 keeps the legacy read-only workload AND the legacy RNG
+  /// stream (no extra draw is consumed), so committed read-only bench
+  /// runs replay unchanged.
+  double update_fraction = 0.0;
+  /// Edge updates per mutation batch.
+  uint32_t update_batch = 8;
+
   /// Fraction of requests whose token the driver cancels right after
   /// submission (they resolve Cancelled at dispatch or at the engine's next
   /// round boundary — both paths must stay leak-free under soak).
@@ -67,6 +80,9 @@ struct SoakReport {
   uint64_t cache_hits = 0;   ///< Point queries served from warm cache.
   uint64_t mismatches = 0;   ///< Oracle disagreements (must be 0).
   uint64_t unresolved = 0;   ///< Futures never resolved (must be 0).
+  uint64_t updates = 0;            ///< Update batches submitted.
+  uint64_t updates_committed = 0;  ///< Update batches committed OK.
+  uint64_t update_edges = 0;       ///< Edge updates across committed batches.
   LatencyStats queue_ms;
   LatencyStats run_ms;
   ServerStats server;        ///< Final server counters (breaker trips etc.).

@@ -11,6 +11,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <set>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -21,12 +23,14 @@
 #include "common/strings.h"
 #include "common/statusor.h"
 #include "core/gpu_peel.h"
+#include "core/incremental_core.h"
 #include "core/multi_gpu_peel.h"
 #include "cpu/bz.h"
 #include "cpu/mpm.h"
 #include "cpu/park.h"
 #include "cpu/pkc.h"
 #include "generators/generators.h"
+#include "graph/edge_update.h"
 #include "graph/graph_builder.h"
 #include "vetga/vetga.h"
 
@@ -287,6 +291,249 @@ TEST(DifferentialFuzz, AllEnginesMatchOracle) {
   }
   // Belt and braces: the loop actually exercised the promised volume.
   EXPECT_GE(combos, 200u);
+}
+
+// ------------------------------------------------- update-stream fuzzing --
+// Same differential discipline for the incremental maintenance engine:
+// seeded random update streams replayed batch-by-batch through a fresh
+// IncrementalCoreEngine, every committed snapshot checked against a fresh
+// BZ of a host-side edge mirror. A mismatch is ddmin-shrunk over the
+// OPERATIONS of the stream (replaying from the initial graph each probe;
+// candidates whose remainder turns invalid after a drop are skipped).
+
+/// Small geometry so the many simulated launches stay in the tier-1 budget.
+IncrementalOptions StreamOptions() {
+  IncrementalOptions options;
+  options.num_blocks = 4;
+  options.block_dim = 64;
+  options.repeel.num_blocks = 4;
+  options.repeel.block_dim = 64;
+  return options;
+}
+
+std::set<std::pair<VertexId, VertexId>> EdgeSetOf(const CsrGraph& g) {
+  std::set<std::pair<VertexId, VertexId>> edges;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId u : g.Neighbors(v)) {
+      if (v < u) edges.insert({v, u});
+    }
+  }
+  return edges;
+}
+
+/// Generates a stream of `ops` updates valid under sequential semantics:
+/// each op is judged against the net edge state so far.
+UpdateBatch GenerateStream(const CsrGraph& initial, size_t ops,
+                           uint64_t seed) {
+  Rng rng(seed);
+  auto present = EdgeSetOf(initial);
+  const VertexId n = initial.NumVertices();
+  UpdateBatch stream;
+  while (stream.size() < ops) {
+    const auto a = static_cast<VertexId>(rng.UniformInt(n));
+    const auto b = static_cast<VertexId>(rng.UniformInt(n));
+    if (a == b) continue;
+    const auto key = std::minmax(a, b);
+    if (present.count({key.first, key.second}) != 0) {
+      stream.push_back(EdgeUpdate::Remove(a, b));
+      present.erase({key.first, key.second});
+    } else {
+      stream.push_back(EdgeUpdate::Insert(a, b));
+      present.insert({key.first, key.second});
+    }
+  }
+  return stream;
+}
+
+enum class StreamVerdict {
+  kAgrees,     ///< Every committed snapshot matched the oracle.
+  kDisagrees,  ///< Snapshot mismatch or engine fault: a counterexample.
+  kInvalid,    ///< Batch-validation rejection: not a counterexample.
+};
+
+/// Replays `stream` in `batch_size` windows through a fresh engine built
+/// over `initial`, checking each committed snapshot against a fresh BZ of
+/// the mirror. Batch-validation rejections (which the shrinker creates by
+/// dropping an insert whose remove survives) report kInvalid.
+StreamVerdict ReplayStream(const CsrGraph& initial, const UpdateBatch& stream,
+                           size_t batch_size, std::string* why = nullptr,
+                           const std::string& fault_spec = {}) {
+  sim::DeviceOptions device;
+  device.fault_spec = fault_spec;
+  auto engine = IncrementalCoreEngine::Create(initial, StreamOptions(),
+                                              device);
+  if (!engine.ok()) {
+    if (why != nullptr) *why = "Create: " + engine.status().ToString();
+    return StreamVerdict::kDisagrees;
+  }
+  auto present = EdgeSetOf(initial);
+  for (size_t off = 0; off < stream.size(); off += batch_size) {
+    const size_t len = std::min(batch_size, stream.size() - off);
+    auto result = (*engine)->ApplyUpdates(
+        std::span<const EdgeUpdate>(stream.data() + off, len));
+    if (!result.ok()) {
+      const Status& s = result.status();
+      if (s.IsInvalidArgument() || s.IsFailedPrecondition() ||
+          s.IsNotFound()) {
+        return StreamVerdict::kInvalid;
+      }
+      if (why != nullptr) {
+        *why = StrFormat("batch at op %zu: %s", off, s.ToString().c_str());
+      }
+      return StreamVerdict::kDisagrees;
+    }
+    for (size_t i = off; i < off + len; ++i) {
+      const auto key = std::minmax(stream[i].u, stream[i].v);
+      if (stream[i].kind == EdgeUpdate::Kind::kInsert) {
+        present.insert({key.first, key.second});
+      } else {
+        present.erase({key.first, key.second});
+      }
+    }
+    EdgeList mirror;
+    mirror.reserve(present.size());
+    for (const auto& [u, v] : present) mirror.push_back({u, v});
+    const CsrGraph now =
+        BuildUndirectedGraphWithVertexCount(mirror, initial.NumVertices());
+    if (result->core != RunBz(now).core) {
+      if (why != nullptr) {
+        *why = StrFormat("snapshot after op %zu diverged from BZ", off + len);
+      }
+      return StreamVerdict::kDisagrees;
+    }
+  }
+  return StreamVerdict::kAgrees;
+}
+
+/// ddmin over stream operations, generic over the verdict so the shrinker
+/// itself is testable against an injected failure.
+using StreamOracle = std::function<StreamVerdict(const UpdateBatch&)>;
+
+UpdateBatch ShrinkUpdateStream(UpdateBatch stream,
+                               const StreamOracle& verdict) {
+  size_t chunk = stream.size() / 2;
+  while (chunk > 0) {
+    bool removed_any = false;
+    for (size_t start = 0; start < stream.size();) {
+      UpdateBatch candidate;
+      candidate.reserve(stream.size());
+      const size_t end = std::min(stream.size(), start + chunk);
+      candidate.insert(candidate.end(), stream.begin(),
+                       stream.begin() + static_cast<ptrdiff_t>(start));
+      candidate.insert(candidate.end(),
+                       stream.begin() + static_cast<ptrdiff_t>(end),
+                       stream.end());
+      if (!candidate.empty() &&
+          verdict(candidate) == StreamVerdict::kDisagrees) {
+        stream = std::move(candidate);
+        removed_any = true;
+      } else {
+        start += chunk;
+      }
+    }
+    if (!removed_any) chunk /= 2;
+  }
+  return stream;
+}
+
+std::string FormatStream(const UpdateBatch& stream) {
+  std::string out;
+  for (const EdgeUpdate& u : stream) {
+    out += StrFormat("%c %u %u\n",
+                     u.kind == EdgeUpdate::Kind::kInsert ? '+' : '-',
+                     static_cast<unsigned>(u.u), static_cast<unsigned>(u.v));
+  }
+  return out;
+}
+
+TEST(UpdateStreamFuzz, IncrementalEngineMatchesOracleAcrossStreams) {
+  struct StreamCase {
+    std::string label;
+    CsrGraph graph;
+  };
+  std::vector<StreamCase> cases;
+  for (uint64_t seed : {11u, 12u}) {
+    cases.push_back({StrFormat("er_n80_m200_seed%llu",
+                               static_cast<unsigned long long>(seed)),
+                     BuildUndirectedGraphWithVertexCount(
+                         GenerateErdosRenyi(80, 200, seed), 80)});
+    cases.push_back({StrFormat("chunglu_n90_m250_seed%llu",
+                               static_cast<unsigned long long>(seed)),
+                     BuildUndirectedGraphWithVertexCount(
+                         GenerateChungLuPowerLaw(90, 250, 2.3, seed), 90)});
+  }
+  // Planted dense community: updates land on a deep core, not just shells.
+  {
+    PlantedCoreOptions planted;
+    planted.core_size = 16;
+    planted.core_density = 0.8;
+    EdgeList list = GenerateErdosRenyi(70, 140, 77);
+    list = OverlayPlantedCore(std::move(list), 70, planted, 78);
+    cases.push_back(
+        {"planted_n70", BuildUndirectedGraphWithVertexCount(list, 70)});
+  }
+
+  for (const StreamCase& sc : cases) {
+    const UpdateBatch stream = GenerateStream(sc.graph, 72, 5);
+    // Batch-size sweep: singleton batches, a prime mid-size, and a window
+    // larger than most subcores; partitioning must not change semantics.
+    for (size_t batch_size : {size_t{1}, size_t{7}, size_t{32}}) {
+      std::string why;
+      const StreamVerdict verdict =
+          ReplayStream(sc.graph, stream, batch_size, &why);
+      ASSERT_NE(verdict, StreamVerdict::kInvalid)
+          << sc.label << ": generated stream rejected as invalid";
+      if (verdict == StreamVerdict::kAgrees) continue;
+      const UpdateBatch reduced = ShrinkUpdateStream(
+          stream, [&](const UpdateBatch& candidate) {
+            return ReplayStream(sc.graph, candidate, batch_size);
+          });
+      FAIL() << "incremental engine diverged on " << sc.label
+             << " (batch_size=" << batch_size << "): " << why
+             << "\nreduced to " << reduced.size()
+             << " ops:\n" << FormatStream(reduced);
+    }
+  }
+}
+
+TEST(UpdateStreamFuzz, StreamShrinkerReducesInjectedMismatch) {
+  // Injected failure: "any op touching vertex 3 is a counterexample" — the
+  // shrinker must reduce a 60-op stream to exactly one such op while only
+  // ever seeing verdicts, never engine internals.
+  const CsrGraph initial = BuildUndirectedGraphWithVertexCount(
+      GenerateErdosRenyi(30, 60, 5), 30);
+  const UpdateBatch stream = GenerateStream(initial, 60, 6);
+  const auto touches3 = [](const UpdateBatch& candidate) {
+    for (const EdgeUpdate& u : candidate) {
+      if (u.u == 3 || u.v == 3) return StreamVerdict::kDisagrees;
+    }
+    return StreamVerdict::kAgrees;
+  };
+  ASSERT_EQ(touches3(stream), StreamVerdict::kDisagrees)
+      << "seed produced no op touching vertex 3; pick another seed";
+  const UpdateBatch reduced = ShrinkUpdateStream(stream, touches3);
+  ASSERT_EQ(reduced.size(), 1u);
+  EXPECT_TRUE(reduced[0].u == 3 || reduced[0].v == 3);
+}
+
+TEST(UpdateStreamFuzz, StreamReplayIsExactUnderFaultMatrix) {
+  // The exactness contract must survive the fault matrix: a bitflip in the
+  // coreness array (caught by post-batch validation, batch retried from the
+  // checkpoint) and device loss (degraded to the exact CPU path). Every
+  // committed snapshot still has to bit-match the BZ oracle.
+  const CsrGraph initial = BuildUndirectedGraphWithVertexCount(
+      GenerateErdosRenyi(60, 150, 21), 60);
+  const UpdateBatch stream = GenerateStream(initial, 40, 22);
+  const char* fault_matrix[] = {
+      "bitflip:launch=3,alloc=inc_core,word=7,bit=4",
+      "device_lost@launch=4",
+  };
+  for (const char* spec : fault_matrix) {
+    std::string why;
+    const StreamVerdict verdict = ReplayStream(initial, stream, 8, &why, spec);
+    EXPECT_EQ(verdict, StreamVerdict::kAgrees)
+        << "faults=" << spec << ": " << why;
+  }
 }
 
 /// The shrinker itself must terminate and preserve the mismatch property;

@@ -235,6 +235,142 @@ TEST(DynamicKCoreTest, AdversarialBiasedWalkAroundPlantedCore) {
   EXPECT_EQ(dynamic.core(), RecomputeBz(dynamic));
 }
 
+// --------------------------------------------------------- batch updates --
+// ApplyBatch is the differential oracle for the GPU incremental path: it
+// must be exactly "the single-edge API applied sequentially", including the
+// atomic all-or-nothing rejection contract.
+
+TEST(DynamicKCoreTest, ApplyBatchMatchesSequentialAndRecompute) {
+  const CsrGraph initial =
+      BuildUndirectedGraph(GenerateErdosRenyi(150, 450, 31));
+  DynamicKCore batched(initial);
+  DynamicKCore sequential(initial);
+  Rng rng(7);
+  std::set<std::pair<VertexId, VertexId>> present;
+  for (VertexId v = 0; v < initial.NumVertices(); ++v) {
+    for (VertexId u : initial.Neighbors(v)) {
+      if (v < u) present.insert({v, u});
+    }
+  }
+  for (int round = 0; round < 12; ++round) {
+    UpdateBatch batch;
+    while (batch.size() < 16) {
+      const auto a = static_cast<VertexId>(rng.UniformInt(150));
+      const auto b = static_cast<VertexId>(rng.UniformInt(150));
+      if (a == b) continue;
+      const auto key = std::minmax(a, b);
+      if (present.count({key.first, key.second}) == 0) {
+        batch.push_back(EdgeUpdate::Insert(a, b));
+        present.insert({key.first, key.second});
+      } else {
+        batch.push_back(EdgeUpdate::Remove(a, b));
+        present.erase({key.first, key.second});
+      }
+    }
+    auto changed = batched.ApplyBatch(batch);
+    ASSERT_TRUE(changed.ok()) << "round " << round << ": "
+                              << changed.status().ToString();
+    for (const EdgeUpdate& u : batch) {
+      if (u.kind == EdgeUpdate::Kind::kInsert) {
+        ASSERT_TRUE(sequential.InsertEdge(u.u, u.v).ok());
+      } else {
+        ASSERT_TRUE(sequential.RemoveEdge(u.u, u.v).ok());
+      }
+    }
+    ASSERT_EQ(batched.core(), sequential.core()) << "round " << round;
+    ASSERT_EQ(batched.core(), RecomputeBz(batched)) << "round " << round;
+    ASSERT_EQ(batched.NumEdges(), present.size()) << "round " << round;
+  }
+}
+
+TEST(DynamicKCoreTest, ApplyBatchChangedSetIsExact) {
+  // The returned changed-set must be exactly the vertices whose core number
+  // differs before/after, sorted ascending — no over- or under-reporting.
+  DynamicKCore dynamic(testing::CycleGraph(4).graph);
+  const std::vector<uint32_t> before = dynamic.core();  // all 2
+  // Complete K4: every vertex rises 2 -> 3.
+  UpdateBatch batch = {EdgeUpdate::Insert(0, 2), EdgeUpdate::Insert(1, 3)};
+  auto changed = dynamic.ApplyBatch(batch);
+  ASSERT_TRUE(changed.ok()) << changed.status().ToString();
+  EXPECT_EQ(*changed, (std::vector<VertexId>{0, 1, 2, 3}));
+  ASSERT_TRUE(std::is_sorted(changed->begin(), changed->end()));
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_NE(dynamic.core()[v], before[v]) << v;
+  }
+  // A batch whose net effect leaves coreness untouched reports nothing.
+  UpdateBatch noop = {EdgeUpdate::Remove(0, 2), EdgeUpdate::Insert(0, 2)};
+  auto unchanged = dynamic.ApplyBatch(noop);
+  ASSERT_TRUE(unchanged.ok()) << unchanged.status().ToString();
+  EXPECT_TRUE(unchanged->empty());
+  EXPECT_EQ(dynamic.core(), std::vector<uint32_t>(4, 3));
+}
+
+TEST(DynamicKCoreTest, ApplyBatchRejectsInvalidBatchAtomically) {
+  // Any invalid update anywhere in the batch rejects the WHOLE batch with
+  // the single-edge API's status code, and nothing is applied — even the
+  // valid prefix before the offender.
+  const auto g = testing::CycleGraph(6).graph;
+  struct Case {
+    UpdateBatch batch;
+    bool (Status::*predicate)() const;
+    const char* label;
+  };
+  const Case cases[] = {
+      {{EdgeUpdate::Insert(0, 3), EdgeUpdate::Insert(2, 2)},
+       &Status::IsInvalidArgument, "self-loop"},
+      {{EdgeUpdate::Insert(0, 3), EdgeUpdate::Insert(0, 99)},
+       &Status::IsInvalidArgument, "out of range"},
+      {{EdgeUpdate::Insert(0, 3), EdgeUpdate::Insert(0, 1)},
+       &Status::IsFailedPrecondition, "insert present"},
+      {{EdgeUpdate::Insert(0, 3), EdgeUpdate::Remove(1, 4)},
+       &Status::IsNotFound, "remove absent"},
+      {{EdgeUpdate::Insert(0, 3), EdgeUpdate::Insert(0, 3)},
+       &Status::IsFailedPrecondition, "duplicate insert in batch"},
+      {{EdgeUpdate::Remove(0, 1), EdgeUpdate::Remove(0, 1)},
+       &Status::IsNotFound, "duplicate remove in batch"},
+  };
+  for (const Case& c : cases) {
+    DynamicKCore dynamic(g);
+    const std::vector<uint32_t> before = dynamic.core();
+    const uint64_t edges_before = dynamic.NumEdges();
+    auto result = dynamic.ApplyBatch(c.batch);
+    ASSERT_FALSE(result.ok()) << c.label;
+    EXPECT_TRUE((result.status().*c.predicate)())
+        << c.label << ": " << result.status().ToString();
+    // Nothing applied: the valid leading insert must have been rolled off.
+    EXPECT_EQ(dynamic.core(), before) << c.label;
+    EXPECT_EQ(dynamic.NumEdges(), edges_before) << c.label;
+    EXPECT_TRUE(dynamic.RemoveEdge(0, 3).IsNotFound()) << c.label;
+  }
+}
+
+TEST(DynamicKCoreTest, ApplyBatchValidatesSequentially) {
+  // Sequential semantics inside one batch: inserting a new edge and then
+  // removing it is valid (net no-op), and removing an existing edge frees
+  // the slot for a later re-insert.
+  DynamicKCore dynamic(testing::CliqueGraph(4).graph);
+  // K4 has all edges: each remove frees the slot for the re-insert that
+  // follows it, which would be FailedPrecondition without the remove.
+  UpdateBatch batch = {
+      EdgeUpdate::Remove(0, 1), EdgeUpdate::Insert(0, 1),
+      EdgeUpdate::Remove(2, 3), EdgeUpdate::Insert(2, 3)};
+  auto changed = dynamic.ApplyBatch(batch);
+  ASSERT_TRUE(changed.ok()) << changed.status().ToString();
+  EXPECT_TRUE(changed->empty());
+  EXPECT_EQ(dynamic.core(), std::vector<uint32_t>(4, 3));
+  EXPECT_EQ(dynamic.core(), RecomputeBz(dynamic));
+}
+
+TEST(DynamicKCoreTest, ApplyBatchEmptyIsANoOp) {
+  DynamicKCore dynamic(testing::CliqueGraph(5).graph);
+  const std::vector<uint32_t> before = dynamic.core();
+  auto changed = dynamic.ApplyBatch({});
+  ASSERT_TRUE(changed.ok()) << changed.status().ToString();
+  EXPECT_TRUE(changed->empty());
+  EXPECT_EQ(dynamic.core(), before);
+  EXPECT_EQ(dynamic.last_update_evaluations(), 0u);
+}
+
 TEST(DynamicKCoreTest, DuplicateAndMissingEdgesAreRejectedMidSequence) {
   // Error paths interleaved with real updates must not corrupt state.
   DynamicKCore dynamic(testing::CycleGraph(6).graph);

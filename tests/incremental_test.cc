@@ -1,0 +1,545 @@
+// Tests for the GPU-resident batched incremental maintenance engine
+// (core/incremental_core.h): exactness against fresh BZ after every batch,
+// locality of the affected region, overlay compaction, the full-re-peel
+// escape hatch, cancellation/epoch atomicity, and the fault matrix
+// (bitflip -> epoch rollback, device loss -> exact CPU fallback).
+#include "core/incremental_core.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cancellation.h"
+#include "common/random.h"
+#include "core/gpu_peel.h"
+#include "cpu/bz.h"
+#include "cpu/dynamic_core.h"
+#include "generators/generators.h"
+#include "graph/graph_builder.h"
+
+namespace kcore {
+namespace {
+
+/// Small geometry so hundreds of simulated launches stay in the tier-1
+/// budget; geometry never changes core numbers, only modeled time.
+IncrementalOptions SmallOptions() {
+  IncrementalOptions options;
+  options.num_blocks = 4;
+  options.block_dim = 64;
+  options.repeel.num_blocks = 4;
+  options.repeel.block_dim = 64;
+  return options;
+}
+
+CsrGraph SeedGraph(uint64_t seed, uint32_t n = 60, uint64_t m = 150) {
+  return BuildUndirectedGraph(GenerateErdosRenyi(n, m, seed));
+}
+
+/// Mirror of the engine's committed edge set, used to generate batches that
+/// are valid under sequential semantics and to recompute the BZ oracle.
+class GraphMirror {
+ public:
+  explicit GraphMirror(const CsrGraph& g) : n_(g.NumVertices()) {
+    for (VertexId v = 0; v < n_; ++v) {
+      for (VertexId u : g.Neighbors(v)) {
+        if (v < u) edges_.insert({v, u});
+      }
+    }
+  }
+
+  /// Generates a valid batch: each update judged against the net state so
+  /// far (inserts of absent pairs, deletes of present ones).
+  UpdateBatch RandomBatch(Rng& rng, size_t size, double insert_bias = 0.5) {
+    UpdateBatch batch;
+    std::set<std::pair<VertexId, VertexId>> state = edges_;
+    while (batch.size() < size) {
+      const bool insert =
+          rng.UniformInt(1000) < static_cast<uint64_t>(insert_bias * 1000);
+      if (insert) {
+        const VertexId u = static_cast<VertexId>(rng.UniformInt(n_));
+        const VertexId v = static_cast<VertexId>(rng.UniformInt(n_));
+        if (u == v) continue;
+        const auto key = std::minmax(u, v);
+        if (state.count({key.first, key.second}) != 0) continue;
+        state.insert({key.first, key.second});
+        batch.push_back(EdgeUpdate::Insert(u, v));
+      } else {
+        if (state.empty()) continue;
+        auto it = state.begin();
+        std::advance(it, rng.UniformInt(state.size()));
+        batch.push_back(EdgeUpdate::Remove(it->first, it->second));
+        state.erase(it);
+      }
+    }
+    return batch;
+  }
+
+  /// Applies a committed batch to the mirror.
+  void Apply(const UpdateBatch& batch) {
+    for (const EdgeUpdate& e : batch) {
+      const auto key = std::minmax(e.u, e.v);
+      if (e.kind == EdgeUpdate::Kind::kInsert) {
+        edges_.insert({key.first, key.second});
+      } else {
+        edges_.erase({key.first, key.second});
+      }
+    }
+  }
+
+  CsrGraph ToGraph() const {
+    EdgeList list;
+    for (const auto& [u, v] : edges_) list.push_back({u, v});
+    return BuildUndirectedGraphWithVertexCount(list, n_);
+  }
+
+  size_t num_edges() const { return edges_.size(); }
+
+ private:
+  VertexId n_;
+  std::set<std::pair<VertexId, VertexId>> edges_;
+};
+
+/// Disjoint union of `num_cliques` cliques of `clique_size` vertices:
+/// coreness is uniform (clique_size - 1) but the graph is shattered into
+/// components, so a single cross- or intra-clique update provably affects
+/// at most two cliques — the shape that pins down locality bounds.
+CsrGraph CliqueUnionGraph(uint32_t num_cliques, uint32_t clique_size) {
+  EdgeList list;
+  for (uint32_t c = 0; c < num_cliques; ++c) {
+    const VertexId base = c * clique_size;
+    for (uint32_t i = 0; i < clique_size; ++i) {
+      for (uint32_t j = i + 1; j < clique_size; ++j) {
+        list.push_back({base + i, base + j});
+      }
+    }
+  }
+  return BuildUndirectedGraphWithVertexCount(list,
+                                             num_cliques * clique_size);
+}
+
+std::vector<VertexId> DiffVertices(const std::vector<uint32_t>& a,
+                                   const std::vector<uint32_t>& b) {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < a.size(); ++v) {
+    if (a[v] != b[v]) out.push_back(v);
+  }
+  return out;
+}
+
+TEST(IncrementalCoreTest, RandomBatchesMatchFreshBzAfterEveryCommit) {
+  const CsrGraph initial = SeedGraph(11);
+  GraphMirror mirror(initial);
+  auto engine = IncrementalCoreEngine::Create(initial, SmallOptions(),
+                                              sim::DeviceOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  Rng rng(77);
+  for (int round = 0; round < 8; ++round) {
+    const UpdateBatch batch = mirror.RandomBatch(rng, 6);
+    const std::vector<uint32_t> before = (*engine)->core();
+    auto result = (*engine)->ApplyUpdates(batch);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    mirror.Apply(batch);
+    const std::vector<uint32_t> oracle = RunBz(mirror.ToGraph()).core;
+    ASSERT_EQ(result->core, oracle) << "round " << round;
+    ASSERT_EQ((*engine)->core(), oracle);
+    ASSERT_EQ(result->changed, DiffVertices(before, oracle))
+        << "round " << round;
+    ASSERT_EQ(result->epoch, static_cast<uint64_t>(round + 1));
+    ASSERT_FALSE(result->degraded);
+  }
+}
+
+TEST(IncrementalCoreTest, InsertOnlyAndDeleteOnlyBatches) {
+  const CsrGraph initial = SeedGraph(23, 50, 120);
+  GraphMirror mirror(initial);
+  auto engine = IncrementalCoreEngine::Create(initial, SmallOptions(),
+                                              sim::DeviceOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  Rng rng(5);
+  for (const double bias : {1.0, 0.0, 1.0, 0.0}) {
+    const UpdateBatch batch = mirror.RandomBatch(rng, 5, bias);
+    auto result = (*engine)->ApplyUpdates(batch);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    mirror.Apply(batch);
+    ASSERT_EQ(result->core, RunBz(mirror.ToGraph()).core);
+  }
+}
+
+TEST(IncrementalCoreTest, InsertThenRemoveSameEdgeWithinBatchIsValid) {
+  const CsrGraph initial = SeedGraph(31);
+  auto engine = IncrementalCoreEngine::Create(initial, SmallOptions(),
+                                              sim::DeviceOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  // Pick a pair that is absent initially.
+  VertexId u = 0, v = 1;
+  [&] {
+    for (u = 0; u < initial.NumVertices(); ++u) {
+      for (v = u + 1; v < initial.NumVertices(); ++v) {
+        const auto nbrs = initial.Neighbors(u);
+        if (!std::binary_search(nbrs.begin(), nbrs.end(), v)) return;
+      }
+    }
+  }();
+  const UpdateBatch batch = {EdgeUpdate::Insert(u, v),
+                             EdgeUpdate::Remove(u, v)};
+  const std::vector<uint32_t> before = (*engine)->core();
+  auto result = (*engine)->ApplyUpdates(batch);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->core, before);  // net no-op
+  EXPECT_TRUE(result->changed.empty());
+  EXPECT_EQ(result->epoch, 1u);
+}
+
+TEST(IncrementalCoreTest, InvalidBatchIsRejectedAtomically) {
+  const CsrGraph initial = SeedGraph(7);
+  auto engine = IncrementalCoreEngine::Create(initial, SmallOptions(),
+                                              sim::DeviceOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const std::vector<uint32_t> before = (*engine)->core();
+
+  // Self-loop.
+  auto r1 = (*engine)->ApplyUpdates(
+      UpdateBatch{EdgeUpdate::Insert(3, 3)});
+  EXPECT_TRUE(r1.status().IsInvalidArgument());
+  // Out of range.
+  auto r2 = (*engine)->ApplyUpdates(
+      UpdateBatch{EdgeUpdate::Insert(0, initial.NumVertices())});
+  EXPECT_TRUE(r2.status().IsInvalidArgument());
+  // Double insert of the same absent pair within one batch: the second one
+  // sees it present under sequential semantics.
+  VertexId u = 0, v = 0;
+  for (u = 0; v == 0 && u < initial.NumVertices(); ++u) {
+    for (VertexId w = u + 1; w < initial.NumVertices(); ++w) {
+      const auto nbrs = initial.Neighbors(u);
+      if (!std::binary_search(nbrs.begin(), nbrs.end(), w)) {
+        v = w;
+        break;
+      }
+    }
+  }
+  --u;
+  auto r3 = (*engine)->ApplyUpdates(
+      UpdateBatch{EdgeUpdate::Insert(u, v), EdgeUpdate::Insert(v, u)});
+  EXPECT_TRUE(r3.status().IsFailedPrecondition()) << r3.status().ToString();
+  // Remove of an edge made absent earlier in the batch.
+  auto r4 = (*engine)->ApplyUpdates(
+      UpdateBatch{EdgeUpdate::Insert(u, v), EdgeUpdate::Remove(u, v),
+                  EdgeUpdate::Remove(u, v)});
+  EXPECT_TRUE(r4.status().IsNotFound()) << r4.status().ToString();
+
+  // Nothing was applied.
+  EXPECT_EQ((*engine)->core(), before);
+  EXPECT_EQ((*engine)->epoch(), 0u);
+  // The engine still works after rejections.
+  auto ok = (*engine)->ApplyUpdates(UpdateBatch{EdgeUpdate::Insert(u, v)});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->epoch, 1u);
+}
+
+TEST(IncrementalCoreTest, EmptyBatchCommitsAnEpoch) {
+  const CsrGraph initial = SeedGraph(3);
+  auto engine = IncrementalCoreEngine::Create(initial, SmallOptions(),
+                                              sim::DeviceOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  auto result = (*engine)->ApplyUpdates(UpdateBatch{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->epoch, 1u);
+  EXPECT_TRUE(result->changed.empty());
+  EXPECT_EQ(result->core, (*engine)->core());
+}
+
+TEST(IncrementalCoreTest, AffectedRegionIsLocalOnSmallBatches) {
+  // 30 disjoint 10-cliques: an update reaches at most the two cliques its
+  // endpoints live in (the subcore walk cannot cross components), so each
+  // batch below must stay under ~20 affected vertices out of 300.
+  const CsrGraph initial = CliqueUnionGraph(30, 10);
+  GraphMirror mirror(initial);
+  auto engine = IncrementalCoreEngine::Create(initial, SmallOptions(),
+                                              sim::DeviceOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const UpdateBatch batches[] = {
+      {EdgeUpdate::Insert(0, 10)},   // bridge cliques 0 and 1
+      {EdgeUpdate::Remove(0, 10)},   // and remove the bridge again
+      {EdgeUpdate::Remove(21, 22)},  // drop an edge inside clique 2
+      {EdgeUpdate::Insert(35, 47)},  // bridge cliques 3 and 4
+  };
+  uint64_t max_affected = 0;
+  for (const UpdateBatch& batch : batches) {
+    auto result = (*engine)->ApplyUpdates(batch);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    mirror.Apply(batch);
+    ASSERT_EQ(result->core, RunBz(mirror.ToGraph()).core);
+    EXPECT_FALSE(result->full_repeel);
+    max_affected = std::max(max_affected, result->affected);
+  }
+  EXPECT_LE(max_affected, 21u);  // two cliques + the bridge endpoints
+  EXPECT_GT(max_affected, 0u);
+}
+
+TEST(IncrementalCoreTest, OverlayCompactionPreservesExactness) {
+  const CsrGraph initial = SeedGraph(13, 40, 80);
+  GraphMirror mirror(initial);
+  IncrementalOptions options = SmallOptions();
+  options.compact_threshold = 0.02;  // merge after nearly every batch
+  // Uniform ER coreness makes the subcore walk span most of the graph;
+  // disable the escape hatch so batches stay on the incremental path and
+  // actually grow the overlay.
+  options.full_repeel_fraction = 1.0;
+  auto engine =
+      IncrementalCoreEngine::Create(initial, options, sim::DeviceOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  Rng rng(99);
+  bool compacted_at_least_once = false;
+  for (int round = 0; round < 6; ++round) {
+    const UpdateBatch batch = mirror.RandomBatch(rng, 4, 0.7);
+    auto result = (*engine)->ApplyUpdates(batch);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    mirror.Apply(batch);
+    ASSERT_EQ(result->core, RunBz(mirror.ToGraph()).core)
+        << "round " << round;
+    if (result->compacted) {
+      compacted_at_least_once = true;
+      EXPECT_EQ(result->overlay_edges, 0u);
+    }
+  }
+  EXPECT_TRUE(compacted_at_least_once);
+}
+
+TEST(IncrementalCoreTest, EscapeHatchFullRepeelStaysExact) {
+  const CsrGraph initial = SeedGraph(29, 50, 130);
+  GraphMirror mirror(initial);
+  IncrementalOptions options = SmallOptions();
+  // Any nontrivial affected region trips the escape immediately.
+  options.full_repeel_fraction = 0.02;
+  auto engine =
+      IncrementalCoreEngine::Create(initial, options, sim::DeviceOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  Rng rng(55);
+  const UpdateBatch batch = mirror.RandomBatch(rng, 8, 0.8);
+  auto result = (*engine)->ApplyUpdates(batch);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  mirror.Apply(batch);
+  EXPECT_TRUE(result->full_repeel);
+  ASSERT_EQ(result->core, RunBz(mirror.ToGraph()).core);
+  // The engine recovers (re-attaches) and serves the next batch normally.
+  const UpdateBatch next = mirror.RandomBatch(rng, 2);
+  auto after = (*engine)->ApplyUpdates(next);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  mirror.Apply(next);
+  ASSERT_EQ(after->core, RunBz(mirror.ToGraph()).core);
+  EXPECT_EQ(after->epoch, 2u);
+}
+
+TEST(IncrementalCoreTest, CancelledBatchLeavesEpochUntouched) {
+  const CsrGraph initial = SeedGraph(17);
+  GraphMirror mirror(initial);
+  IncrementalOptions options = SmallOptions();
+  CancelToken token;
+  CancelContext cancel;
+  cancel.token = &token;
+  options.cancel = &cancel;
+  auto engine =
+      IncrementalCoreEngine::Create(initial, options, sim::DeviceOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const std::vector<uint32_t> before = (*engine)->core();
+
+  token.Cancel();
+  Rng rng(1);
+  const UpdateBatch batch = mirror.RandomBatch(rng, 4);
+  auto result = (*engine)->ApplyUpdates(batch);
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+  EXPECT_EQ((*engine)->core(), before);
+  EXPECT_EQ((*engine)->epoch(), 0u);
+
+  // The same batch succeeds after the token clears (re-attach path).
+  (*engine)->set_cancel(nullptr);
+  auto retry = (*engine)->ApplyUpdates(batch);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  mirror.Apply(batch);
+  ASSERT_EQ(retry->core, RunBz(mirror.ToGraph()).core);
+  EXPECT_EQ(retry->epoch, 1u);
+}
+
+TEST(IncrementalCoreTest, DeadlineExpiryLeavesEpochUntouched) {
+  const CsrGraph initial = SeedGraph(43);
+  GraphMirror mirror(initial);
+  IncrementalOptions options = SmallOptions();
+  CancelContext cancel;
+  cancel.deadline = Deadline::AfterMillis(0);
+  options.cancel = &cancel;
+  auto engine =
+      IncrementalCoreEngine::Create(initial, options, sim::DeviceOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  Rng rng(2);
+  const UpdateBatch batch = mirror.RandomBatch(rng, 3);
+  auto result = (*engine)->ApplyUpdates(batch);
+  EXPECT_TRUE(result.status().IsDeadlineExceeded()) << result.status().ToString();
+  EXPECT_EQ((*engine)->epoch(), 0u);
+}
+
+TEST(IncrementalCoreTest, BitflipOnCorenessRollsBackAndRecommits) {
+  // 6 disjoint 6-cliques; the batch bridges cliques 0 and 1 only. The flip
+  // hits vertex 30 (clique 5), which the batch never claims, so no refine
+  // wave can repair it — the post-batch fixpoint validation must catch it
+  // and roll back to the committed-epoch checkpoint. The re-attached device
+  // re-injects the same flip every attempt, so after the retry budget the
+  // engine degrades to the exact CPU path.
+  const CsrGraph initial = CliqueUnionGraph(6, 6);
+  GraphMirror mirror(initial);
+  sim::DeviceOptions device;
+  device.fault_spec = "bitflip:launch=1,alloc=inc_core,word=30,bit=7";
+  auto engine =
+      IncrementalCoreEngine::Create(initial, SmallOptions(), device);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const UpdateBatch batch = {EdgeUpdate::Insert(0, 6)};
+  auto result = (*engine)->ApplyUpdates(batch);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  mirror.Apply(batch);
+  ASSERT_EQ(result->core, RunBz(mirror.ToGraph()).core);
+  EXPECT_GE(result->metrics.levels_reexecuted, 1u)
+      << "the injected flip should have forced an epoch rollback";
+  EXPECT_TRUE(result->degraded)
+      << "the per-attempt flip should exhaust the retry budget";
+}
+
+TEST(IncrementalCoreTest, DeviceLossFallsBackToExactCpuPath) {
+  const CsrGraph initial = SeedGraph(47);
+  GraphMirror mirror(initial);
+  sim::DeviceOptions device;
+  device.fault_spec = "device_lost@launch=1";
+  auto engine =
+      IncrementalCoreEngine::Create(initial, SmallOptions(), device);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  Rng rng(21);
+  const UpdateBatch batch = mirror.RandomBatch(rng, 4);
+  auto result = (*engine)->ApplyUpdates(batch);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  mirror.Apply(batch);
+  EXPECT_TRUE(result->degraded);
+  EXPECT_GE(result->metrics.devices_lost, 1u);
+  ASSERT_EQ(result->core, RunBz(mirror.ToGraph()).core);
+  EXPECT_EQ(result->epoch, 1u);
+}
+
+TEST(IncrementalCoreTest, DeviceLossSurfacesWhenFallbackDisabled) {
+  const CsrGraph initial = SeedGraph(53);
+  GraphMirror mirror(initial);
+  sim::DeviceOptions device;
+  device.fault_spec = "device_lost@launch=1";
+  IncrementalOptions options = SmallOptions();
+  options.cpu_fallback = false;
+  auto engine = IncrementalCoreEngine::Create(initial, options, device);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  Rng rng(22);
+  const UpdateBatch batch = mirror.RandomBatch(rng, 4);
+  auto result = (*engine)->ApplyUpdates(batch);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ((*engine)->epoch(), 0u);
+  // Explicit CPU application still works and commits.
+  auto cpu = (*engine)->ApplyUpdatesCpu(batch);
+  ASSERT_TRUE(cpu.ok()) << cpu.status().ToString();
+  mirror.Apply(batch);
+  EXPECT_TRUE(cpu->degraded);
+  ASSERT_EQ(cpu->core, RunBz(mirror.ToGraph()).core);
+}
+
+TEST(IncrementalCoreTest, MatchesCpuDynamicOracleChangedSets) {
+  const CsrGraph initial = SeedGraph(61, 50, 110);
+  GraphMirror mirror(initial);
+  auto engine = IncrementalCoreEngine::Create(initial, SmallOptions(),
+                                              sim::DeviceOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  DynamicKCore oracle(initial);
+  Rng rng(8);
+  for (int round = 0; round < 5; ++round) {
+    const UpdateBatch batch = mirror.RandomBatch(rng, 4);
+    auto gpu = (*engine)->ApplyUpdates(batch);
+    ASSERT_TRUE(gpu.ok()) << gpu.status().ToString();
+    auto cpu = oracle.ApplyBatch(batch);
+    ASSERT_TRUE(cpu.ok()) << cpu.status().ToString();
+    mirror.Apply(batch);
+    ASSERT_EQ(gpu->core, oracle.core()) << "round " << round;
+    ASSERT_EQ(gpu->changed, *cpu) << "round " << round;
+  }
+}
+
+TEST(IncrementalCoreTest, SmallBatchIsModeledFasterThanFullRepeel) {
+  // The headline claim at test scale: maintaining coreness through a small
+  // batch costs far less modeled time than re-peeling from scratch (the
+  // bench validates the >=10x figure on roster graphs).
+  const CsrGraph initial =
+      BuildUndirectedGraph(GenerateErdosRenyi(400, 1200, 67));
+  GraphMirror mirror(initial);
+  auto engine = IncrementalCoreEngine::Create(initial, SmallOptions(),
+                                              sim::DeviceOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  Rng rng(14);
+  const UpdateBatch batch = mirror.RandomBatch(rng, 2);
+  auto result = (*engine)->ApplyUpdates(batch);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  mirror.Apply(batch);
+  ASSERT_FALSE(result->full_repeel);
+
+  GpuPeelOptions full = SmallOptions().repeel;
+  auto fresh = RunGpuPeel(mirror.ToGraph(), full);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  ASSERT_EQ(result->core, fresh->core);
+  EXPECT_LT(result->metrics.modeled_ms, fresh->metrics.modeled_ms)
+      << "incremental " << result->metrics.modeled_ms << "ms vs full "
+      << fresh->metrics.modeled_ms << "ms";
+}
+
+TEST(IncrementalCoreTest, KnownCoreSkipsEagerDecomposition) {
+  const CsrGraph initial = SeedGraph(71);
+  const std::vector<uint32_t> core = RunBz(initial).core;
+  auto engine = IncrementalCoreEngine::Create(
+      initial, SmallOptions(), sim::DeviceOptions(), &core);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ((*engine)->core(), core);
+  std::vector<uint32_t> wrong_size(initial.NumVertices() + 1, 0);
+  auto bad = IncrementalCoreEngine::Create(
+      initial, SmallOptions(), sim::DeviceOptions(), &wrong_size);
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST(IncrementalCoreTest, CurrentGraphTracksCommittedEdits) {
+  const CsrGraph initial = SeedGraph(83);
+  GraphMirror mirror(initial);
+  auto engine = IncrementalCoreEngine::Create(initial, SmallOptions(),
+                                              sim::DeviceOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  Rng rng(30);
+  const UpdateBatch batch = mirror.RandomBatch(rng, 5);
+  ASSERT_TRUE((*engine)->ApplyUpdates(batch).ok());
+  mirror.Apply(batch);
+  const CsrGraph got = (*engine)->CurrentGraph();
+  const CsrGraph want = mirror.ToGraph();
+  ASSERT_EQ(got.NumVertices(), want.NumVertices());
+  ASSERT_EQ(got.NumUndirectedEdges(), want.NumUndirectedEdges());
+  for (VertexId v = 0; v < got.NumVertices(); ++v) {
+    const auto a = got.Neighbors(v);
+    const auto b = want.Neighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end())) << v;
+  }
+  EXPECT_EQ((*engine)->NumEdges(), mirror.num_edges());
+}
+
+TEST(IncrementalCoreTest, ValidatesOptions) {
+  const CsrGraph initial = SeedGraph(5);
+  IncrementalOptions options = SmallOptions();
+  options.block_dim = 48;  // not a multiple of 32
+  auto bad = IncrementalCoreEngine::Create(initial, options,
+                                           sim::DeviceOptions());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  options = SmallOptions();
+  options.full_repeel_fraction = 0.0;
+  auto bad2 = IncrementalCoreEngine::Create(initial, options,
+                                            sim::DeviceOptions());
+  EXPECT_TRUE(bad2.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace kcore

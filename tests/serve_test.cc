@@ -3,12 +3,17 @@
 // cancellation, drain) and the chaos-soak harness.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <future>
+#include <set>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "common/random.h"
 #include "cpu/bz.h"
+#include "graph/edge_update.h"
 #include "cpu/xiang.h"
 #include "perf/trace.h"
 #include "serve/engine.h"
@@ -450,6 +455,231 @@ TEST(ServerTest, SubmitAfterShutdownIsRejectedNotDropped) {
   EXPECT_EQ(server.stats().rejected, 1u);
 }
 
+// ---------------------------------------------------------------- updates
+
+std::set<std::pair<VertexId, VertexId>> EdgeSet(const CsrGraph& g) {
+  std::set<std::pair<VertexId, VertexId>> edges;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId u : g.Neighbors(v)) {
+      if (v < u) edges.insert({v, u});
+    }
+  }
+  return edges;
+}
+
+CsrGraph GraphOf(const std::set<std::pair<VertexId, VertexId>>& edges,
+                 VertexId n) {
+  EdgeList list;
+  list.reserve(edges.size());
+  for (const auto& [u, v] : edges) list.push_back({u, v});
+  return BuildUndirectedGraphWithVertexCount(list, n);
+}
+
+std::pair<VertexId, VertexId> FindAbsentPair(
+    const std::set<std::pair<VertexId, VertexId>>& edges, VertexId n,
+    uint64_t seed) {
+  Rng rng(seed);
+  for (;;) {
+    const auto a = static_cast<VertexId>(rng.UniformInt(n));
+    const auto b = static_cast<VertexId>(rng.UniformInt(n));
+    if (a == b) continue;
+    const auto key = std::minmax(a, b);
+    if (edges.count({key.first, key.second}) == 0) return key;
+  }
+}
+
+TEST(ServerTest, UpdatesRefreshCacheAndAllReadPathsServeTheNewGraph) {
+  // The staleness regression this PR guards against: a warm cached
+  // decomposition must never answer a point query for a graph that an
+  // update batch has since replaced.
+  const CsrGraph graph = SoakGraph();
+  KcoreServer server(graph);
+
+  ServeRequest full;
+  full.type = RequestType::kFullDecompose;
+  ASSERT_TRUE(server.Submit(full).get().status.ok());  // warm the cache
+
+  auto edges = EdgeSet(graph);
+  const std::vector<uint32_t> before = RunBz(graph).core;
+  const auto [a, b] = FindAbsentPair(edges, graph.NumVertices(), 3);
+  const VertexId ru = 0;
+  const VertexId rv = graph.Neighbors(0)[0];
+
+  ServeRequest update;
+  update.type = RequestType::kApplyUpdates;
+  update.updates = {EdgeUpdate::Insert(a, b), EdgeUpdate::Remove(ru, rv)};
+  auto uresp = server.Submit(update).get();
+  ASSERT_TRUE(uresp.status.ok()) << uresp.status.ToString();
+
+  edges.insert(std::minmax(a, b));
+  edges.erase(std::minmax(ru, rv));
+  const std::vector<uint32_t> oracle =
+      RunBz(GraphOf(edges, graph.NumVertices())).core;
+  EXPECT_EQ(uresp.core, oracle);
+  EXPECT_EQ(uresp.update_epoch, 1u);
+  std::vector<VertexId> expect_changed;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (before[v] != oracle[v]) expect_changed.push_back(v);
+  }
+  EXPECT_EQ(uresp.update_changed, expect_changed);
+
+  // Point query: must answer from the NEW graph, and from cache — the
+  // committed batch refreshed the snapshot without a re-decomposition.
+  ServeRequest point;
+  point.type = RequestType::kCoreOf;
+  point.v = expect_changed.empty() ? 0 : expect_changed[0];
+  auto presp = server.Submit(point).get();
+  ASSERT_TRUE(presp.status.ok());
+  EXPECT_EQ(presp.core_of, oracle[point.v]);
+  EXPECT_TRUE(presp.metrics.cache_hit);
+
+  // Heavy reads decompose the updated serving graph, not the original.
+  auto fresp = server.Submit(full).get();
+  ASSERT_TRUE(fresp.status.ok());
+  EXPECT_EQ(fresp.core, oracle);
+
+  ServeRequest single;
+  single.type = RequestType::kSingleK;
+  single.k = 2;
+  auto sresp = server.Submit(single).get();
+  ASSERT_TRUE(sresp.status.ok());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    EXPECT_EQ(sresp.single_k.in_core[v] != 0, oracle[v] >= 2) << v;
+  }
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.updates_applied, 1u);
+  EXPECT_EQ(stats.update_edges, 2u);
+  EXPECT_EQ(stats.graph_epoch, 1u);
+}
+
+TEST(ServerTest, UpdateQueueShedsWhenFullAndDrainsOnShutdown) {
+  const CsrGraph graph = SoakGraph();
+  ServerOptions options;
+  options.start_paused = true;
+  options.update_queue_capacity = 1;
+  KcoreServer server(graph, options);
+
+  const auto edges = EdgeSet(graph);
+  const auto [a, b] = FindAbsentPair(edges, graph.NumVertices(), 5);
+  ServeRequest update;
+  update.type = RequestType::kApplyUpdates;
+  update.updates = {EdgeUpdate::Insert(a, b)};
+
+  auto admitted = server.Submit(update);
+  std::vector<std::future<ServeResponse>> shed;
+  shed.push_back(server.Submit(update));
+  shed.push_back(server.Submit(update));
+  for (auto& f : shed) {
+    auto response = f.get();
+    EXPECT_TRUE(response.status.IsResourceExhausted());
+    EXPECT_TRUE(response.metrics.shed);
+    EXPECT_GT(response.metrics.retry_after_ms, 0.0);
+  }
+  EXPECT_EQ(server.stats().shed, 2u);
+
+  // Shutdown drains the admitted update; it commits, nothing is dropped.
+  ASSERT_TRUE(server.Shutdown().ok());
+  auto response = admitted.get();
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.update_epoch, 1u);
+  auto with_edge = edges;
+  with_edge.insert({a, b});
+  EXPECT_EQ(response.core, RunBz(GraphOf(with_edge,
+                                         graph.NumVertices())).core);
+}
+
+TEST(ServerTest, UpdatesDegradeExactViaHostPathWhenDeviceLost) {
+  // Device loss on every GPU batch: the first update trips the breaker and
+  // retries on the SAME engine's host path; later updates route straight to
+  // it. Every committed answer must still bit-match the oracle, and the
+  // epoch history must stay linear across the degradation.
+  const CsrGraph graph = SoakGraph();
+  ServerOptions options;
+  options.breaker_trip_threshold = 1;
+  options.breaker_cooldown_requests = 100;  // stay open for this test
+  options.engine_config.device.fault_spec = "device_lost@launch=1";
+  KcoreServer server(graph, options);
+
+  auto edges = EdgeSet(graph);
+  for (uint64_t i = 0; i < 3; ++i) {
+    const auto [a, b] = FindAbsentPair(edges, graph.NumVertices(), 40 + i);
+    ServeRequest update;
+    update.type = RequestType::kApplyUpdates;
+    update.updates = {EdgeUpdate::Insert(a, b)};
+    auto response = server.Submit(update).get();
+    ASSERT_TRUE(response.status.ok()) << "update " << i << ": "
+                                      << response.status.ToString();
+    EXPECT_TRUE(response.metrics.degraded) << "update " << i;
+    EXPECT_EQ(response.update_epoch, i + 1) << "update " << i;
+    if (i == 0) {
+      EXPECT_EQ(response.metrics.retries, 1u);  // primary attempted, died
+    } else {
+      EXPECT_EQ(response.metrics.retries, 0u);  // breaker open: host direct
+      EXPECT_EQ(response.metrics.breaker, BreakerState::kOpen);
+    }
+    edges.insert({a, b});
+    EXPECT_EQ(response.core,
+              RunBz(GraphOf(edges, graph.NumVertices())).core)
+        << "update " << i;
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.breaker, BreakerState::kOpen);
+  EXPECT_EQ(stats.updates_applied, 3u);
+  EXPECT_EQ(stats.graph_epoch, 3u);
+}
+
+TEST(ServerTest, InvalidUpdateBatchFailsWithoutTrippingBreakerOrEpoch) {
+  // Validation rejections are the CALLER's fault on any engine: they must
+  // surface unchanged, leave the committed epoch alone, and not count as
+  // primary-engine failures toward the breaker.
+  const CsrGraph graph = SoakGraph();
+  KcoreServer server(graph);
+
+  ServeRequest bad;
+  bad.type = RequestType::kApplyUpdates;
+  bad.updates = {EdgeUpdate::Insert(0, graph.Neighbors(0)[0])};  // present
+  auto response = server.Submit(bad).get();
+  EXPECT_TRUE(response.status.IsFailedPrecondition())
+      << response.status.ToString();
+
+  ServeRequest absent;
+  absent.type = RequestType::kApplyUpdates;
+  absent.updates = {EdgeUpdate::Remove(
+      FindAbsentPair(EdgeSet(graph), graph.NumVertices(), 9).first,
+      FindAbsentPair(EdgeSet(graph), graph.NumVertices(), 9).second)};
+  EXPECT_TRUE(server.Submit(absent).get().status.IsNotFound());
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.breaker, BreakerState::kClosed);
+  EXPECT_EQ(stats.breaker_trips, 0u);
+  EXPECT_EQ(stats.updates_applied, 0u);
+  EXPECT_EQ(stats.graph_epoch, 0u);
+  EXPECT_EQ(stats.failed, 2u);
+
+  // The graph is untouched: a fresh read still matches the original oracle.
+  ServeRequest full;
+  full.type = RequestType::kFullDecompose;
+  auto fresp = server.Submit(full).get();
+  ASSERT_TRUE(fresp.status.ok());
+  EXPECT_EQ(fresp.core, RunBz(graph).core);
+}
+
+TEST(ServerTest, UpdatesRejectedOnEngineWithoutUpdateSupport) {
+  // The CPU engines maintain update state host-side (they are the degraded
+  // path), so the unsupported kinds are the multi-device drivers.
+  ServerOptions options;
+  options.engine = EngineKind::kVetga;
+  KcoreServer server(SoakGraph(), options);
+  ServeRequest update;
+  update.type = RequestType::kApplyUpdates;
+  update.updates = {EdgeUpdate::Insert(0, 2)};
+  auto response = server.Submit(update).get();
+  EXPECT_TRUE(response.status.IsFailedPrecondition())
+      << response.status.ToString();
+  EXPECT_EQ(server.stats().updates_applied, 0u);
+}
+
 // ------------------------------------------------------------------- soak
 
 TEST(SoakTest, ShortSeededSoakUnderDeviceLossIsClean) {
@@ -472,6 +702,25 @@ TEST(SoakTest, ShortSeededSoakUnderDeviceLossIsClean) {
   const std::string json = SoakReportJson("test", SoakGraph(), options, *report);
   EXPECT_NE(json.find("\"bench\": \"serving\""), std::string::npos);
   EXPECT_NE(json.find("device_lost@launch=4"), std::string::npos);
+}
+
+TEST(SoakTest, MutatingSoakCommitsUpdatesAndStaysClean) {
+  SoakOptions options;
+  options.num_requests = 150;
+  options.seed = 31;
+  options.update_fraction = 0.15;
+  options.update_batch = 4;
+  auto report = RunSoak(SoakGraph(), options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->Clean());
+  EXPECT_GT(report->updates, 0u);
+  EXPECT_EQ(report->updates_committed, report->updates);
+  EXPECT_GT(report->update_edges, 0u);
+  EXPECT_EQ(report->server.graph_epoch, report->updates_committed);
+  const std::string json = SoakReportJson("test", SoakGraph(), options,
+                                          *report);
+  EXPECT_NE(json.find("\"update_fraction\": 0.15"), std::string::npos);
+  EXPECT_NE(json.find("\"updates\""), std::string::npos);
 }
 
 TEST(SoakTest, FaultFreeSoakNeverDegrades) {

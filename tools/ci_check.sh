@@ -307,6 +307,29 @@ KCORE_FAULTS='launch_fail:p=0.01,seed=5;device_lost@launch=25' \
   build/tools/kcore_soak --requests="$soak_requests" --seed=3 \
   --cancel=0.02 --deadline=0.02
 
+echo "=== release: kcore_cli --updates smoke (stacked with simcheck + faults) ==="
+# Streams a mixed insert/delete batch sequence through the GPU-resident
+# incremental engine; the CLI itself verifies the maintained coreness
+# bit-for-bit against a fresh BZ of the final graph ("verify ok (bz)"),
+# so this gate just needs the run to survive transient faults cleanly.
+updates_stream="$(mktemp)"
+trap 'rm -f "$smoke_graph" "$expand_graph" "$trace_json" "$updates_stream"' EXIT
+printf -- '- 0 2\n- 1 3\n+ 0 2\n+ 1 3\n- 2 3\n' > "$updates_stream"
+build/tools/kcore_cli decompose "$smoke_graph" gpu \
+  "--updates=$updates_stream" --update-batch=2 --simcheck \
+  '--faults=launch_fail@3' | grep -q '^verify       ok (bz)' || {
+    echo "--updates smoke: incremental verify line missing" >&2; exit 1; }
+
+echo "=== release: mutating chaos soak (update slice + KCORE_FAULTS + KCORE_SIMCHECK=1) ==="
+# Same chaos harness with the mutation slice engaged: a fraction of the
+# workload is edge-update batches through the incremental engine, and the
+# harness checks every committed epoch's coreness against the BZ oracle of
+# the mutated graph (plus the usual zero-mismatch/zero-drop gates).
+KCORE_FAULTS='launch_fail:p=0.01,seed=5;device_lost@launch=25' \
+  KCORE_SIMCHECK=1 \
+  build/tools/kcore_soak --requests="$soak_requests" --seed=31 \
+  --update-fraction=0.15 --update-batch=4 --cancel=0.02 --deadline=0.02
+
 echo "=== asan: configure + build ==="
 cmake --preset asan
 cmake --build --preset asan -j "$(nproc)"

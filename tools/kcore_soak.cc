@@ -13,6 +13,11 @@
 //              [--engine=gpu|multigpu|vetga|bz|pkc|park|mpm]
 //              [--faults=<spec>]            per-request device fault plan
 //              [--cancel=F] [--deadline=F]  chaos fractions
+//              [--update-fraction=F]        mutation slice: fraction of
+//                                           slots that commit edge-update
+//                                           batches (verified against a
+//                                           fresh BZ after every batch)
+//              [--update-batch=N]           edge updates per batch
 //              [--json=<path>]              write the BENCH_serving report
 //
 // Composes with KCORE_FAULTS and KCORE_SIMCHECK=1 in the environment (each
@@ -40,7 +45,9 @@ int Usage() {
                "                  [--requests=N] [--seed=S] "
                "[--engine=<kind>] [--faults=<spec>]\n"
                "                  [--cancel=<frac>] [--deadline=<frac>] "
-               "[--json=<path>]\n");
+               "[--json=<path>]\n"
+               "                  [--update-fraction=<frac>] "
+               "[--update-batch=N]\n");
   return 2;
 }
 
@@ -100,6 +107,14 @@ int main(int argc, char** argv) {
       if (!ParseFraction(arg + 11, &options.deadline_fraction)) {
         return Usage();
       }
+    } else if (std::strncmp(arg, "--update-fraction=", 18) == 0) {
+      if (!ParseFraction(arg + 18, &options.update_fraction)) {
+        return Usage();
+      }
+    } else if (std::strncmp(arg, "--update-batch=", 15) == 0) {
+      uint64_t batch = 0;
+      if (!ParseU64(arg + 15, &batch) || batch == 0) return Usage();
+      options.update_batch = static_cast<uint32_t>(batch);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       return Usage();
