@@ -1,0 +1,197 @@
+// Machine-readable simulated-cluster harness: sweeps the ClusterRoster over
+// node counts x partition strategies and writes BENCH_cluster.json so the
+// distributed engine's modeled-time trajectory can be tracked across PRs by
+// diffing the committed file.
+//
+// Each cell runs RunClusterPeel under the default interconnect model (5 us
+// link latency, 10 GB/s links) and reports modeled ms, the comm slice
+// (comm_ms, bytes on wire, aggregated messages), the comm/compute ratio,
+// and the partition's static shape (cut edges, edge-mass balance ratio).
+// nodes=1 runs once (no border, no network) as the per-graph baseline;
+// multi-node rows sweep all three strategies. Every cell's coreness is
+// verified bit-for-bit against one BZ run of the same graph — a bench run
+// that drifts from the oracle exits nonzero rather than writing numbers.
+//
+// The acceptance gate: on the skewed roster graph (cluster-skew, mega-hubs
+// over a power-law tail) at the widest node count, at least one of the
+// degree-balanced / edge-cut strategies must beat contiguous on modeled ms
+// — the separation the partitioners exist for.
+//
+// Output path: argv[1] if given, else $KCORE_BENCH_JSON_PATH, else
+// ./BENCH_cluster.json. Respects KCORE_BENCH_MAX_EDGES.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_support.h"
+#include "cluster/cluster_peel.h"
+#include "cluster/partition.h"
+#include "common/strings.h"
+#include "cpu/bz.h"
+
+namespace {
+
+using namespace kcore;
+using namespace kcore::bench;
+
+constexpr uint32_t kNodeCounts[] = {1, 2, 4};
+
+std::string U64(uint64_t v) {
+  return StrFormat("%llu", static_cast<unsigned long long>(v));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path = "BENCH_cluster.json";
+  if (argc > 1) {
+    path = argv[1];
+  } else if (const char* env = std::getenv("KCORE_BENCH_JSON_PATH")) {
+    path = env;
+  }
+  const uint64_t max_edges = MaxEdgesFromEnv();
+  const NetworkOptions network;  // The default interconnect model.
+
+  std::string json = "{\n  \"bench\": \"cluster\",\n";
+  json += StrFormat("  \"network\": {\"link_latency_us\": %.1f, "
+                    "\"link_bandwidth_gbps\": %.1f},\n",
+                    network.link_latency_us, network.link_bandwidth_gbps);
+  json += "  \"datasets\": [\n";
+
+  TablePrinter table({"dataset", "nodes", "partition", "modeled_ms",
+                      "comm_ms", "comm/compute", "bytes", "msgs", "cut",
+                      "balance"});
+
+  bool first = true;
+  bool separation_checked = false;
+  for (const DatasetSpec& spec : ClusterRoster()) {
+    auto graph = LoadOrGenerateDataset(spec, DefaultCacheDir());
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+    if (max_edges != 0 && graph->NumUndirectedEdges() > max_edges) continue;
+
+    const DecomposeResult oracle = RunBz(*graph);
+
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\"name\": \"" + spec.name + "\", ";
+    json += "\"vertices\": " + U64(graph->NumVertices()) + ", ";
+    json += "\"edges\": " + U64(graph->NumUndirectedEdges()) + ", ";
+    json += StrFormat("\"k_max\": %u,\n", oracle.MaxCore());
+    json += "     \"cells\": [";
+
+    // The skewed separation gate compares strategies at the widest sweep
+    // point.
+    double skew_contiguous_ms = 0.0;
+    double skew_best_other_ms = 0.0;
+
+    bool first_cell = true;
+    for (uint32_t nodes : kNodeCounts) {
+      for (PartitionStrategy strategy : AllPartitionStrategies()) {
+        // One node admits no border traffic, so the strategies only move
+        // which vertices sit on which device slice; keep the contiguous
+        // cell as the baseline row.
+        if (nodes == 1 && strategy != PartitionStrategy::kContiguous) {
+          continue;
+        }
+        auto partition = BuildPartition(*graph, strategy, nodes);
+        if (!partition.ok()) {
+          std::fprintf(stderr, "%s: partition: %s\n", spec.name.c_str(),
+                       partition.status().ToString().c_str());
+          return 1;
+        }
+
+        ClusterOptions options;
+        options.num_nodes = nodes;
+        options.partition = strategy;
+        options.network = network;
+        auto result = RunClusterPeel(*graph, options);
+        if (!result.ok()) {
+          std::fprintf(stderr, "%s: nodes=%u %s: %s\n", spec.name.c_str(),
+                       nodes, PartitionStrategyName(strategy),
+                       result.status().ToString().c_str());
+          return 1;
+        }
+        if (result->core != oracle.core) {
+          std::fprintf(stderr,
+                       "%s: nodes=%u %s: coreness drifted from the BZ "
+                       "oracle\n",
+                       spec.name.c_str(), nodes,
+                       PartitionStrategyName(strategy));
+          return 1;
+        }
+
+        const Metrics& m = result->metrics;
+        const double compute_ms = m.modeled_ms - m.comm_ms;
+        const double ratio = compute_ms > 0.0 ? m.comm_ms / compute_ms : 0.0;
+        if (spec.name == "cluster-skew" && nodes == kNodeCounts[2]) {
+          if (strategy == PartitionStrategy::kContiguous) {
+            skew_contiguous_ms = m.modeled_ms;
+          } else if (skew_best_other_ms == 0.0 ||
+                     m.modeled_ms < skew_best_other_ms) {
+            skew_best_other_ms = m.modeled_ms;
+          }
+        }
+
+        if (!first_cell) json += ",\n               ";
+        first_cell = false;
+        json += StrFormat(
+            "{\"nodes\": %u, \"partition\": \"%s\", "
+            "\"modeled_ms\": %.4f, \"comm_ms\": %.4f, "
+            "\"comm_compute_ratio\": %.3f, \"comm_bytes\": %llu, "
+            "\"comm_messages\": %llu, \"sub_rounds\": %u, "
+            "\"cut_edges\": %llu, \"balance_ratio\": %.3f}",
+            nodes, PartitionStrategyName(strategy), m.modeled_ms, m.comm_ms,
+            ratio, static_cast<unsigned long long>(m.comm_bytes),
+            static_cast<unsigned long long>(m.comm_messages), m.iterations,
+            static_cast<unsigned long long>(partition->total_cut_edges),
+            partition->BalanceRatio());
+        table.AddRow({spec.name, U64(nodes), PartitionStrategyName(strategy),
+                      StrFormat("%.4f", m.modeled_ms),
+                      StrFormat("%.4f", m.comm_ms), StrFormat("%.3f", ratio),
+                      U64(m.comm_bytes), U64(m.comm_messages),
+                      U64(partition->total_cut_edges),
+                      StrFormat("%.3f", partition->BalanceRatio())});
+      }
+    }
+    json += "]}";
+
+    if (skew_contiguous_ms > 0.0 && skew_best_other_ms > 0.0) {
+      separation_checked = true;
+      if (skew_best_other_ms >= skew_contiguous_ms) {
+        std::fprintf(stderr,
+                     "acceptance gate failed: no strategy beat contiguous "
+                     "on cluster-skew at %u nodes (contiguous %.4f ms, best "
+                     "other %.4f ms)\n",
+                     kNodeCounts[2], skew_contiguous_ms, skew_best_other_ms);
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "separation gate ok: cluster-skew@%u contiguous %.4f ms "
+                   "vs best other %.4f ms\n",
+                   kNodeCounts[2], skew_contiguous_ms, skew_best_other_ms);
+    }
+    std::fprintf(stderr, "%s done\n", spec.name.c_str());
+  }
+  json += "\n  ]\n}\n";
+
+  table.Print();
+  if (!separation_checked && max_edges == 0) {
+    std::fprintf(stderr, "acceptance gate failed: cluster-skew never ran\n");
+    return 1;
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}

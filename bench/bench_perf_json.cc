@@ -35,6 +35,13 @@
 // file = loud skip. BENCH_incremental.json itself is written by
 // bench_incremental, never by this harness.
 //
+// An eighth "cluster" section is the same kind of check-only drift guard
+// over the committed BENCH_cluster.json ($KCORE_BENCH_CLUSTER_JSON, else
+// ./BENCH_cluster.json): every committed (dataset, nodes, partition) cell's
+// modeled_ms is re-measured with RunClusterPeel and must stay within 15%.
+// BENCH_cluster.json itself is written by bench_cluster, never by this
+// harness.
+//
 // Output path: argv[1] if given, else $KCORE_BENCH_JSON_PATH, else
 // ./BENCH_gpu_peel.json. Respects KCORE_BENCH_MAX_EDGES.
 #include <algorithm>
@@ -46,6 +53,8 @@
 #include <vector>
 
 #include "bench_support.h"
+#include "cluster/cluster_peel.h"
+#include "cluster/partition.h"
 #include "common/strings.h"
 #include "core/gpu_peel.h"
 #include "cpu/xiang.h"
@@ -521,6 +530,139 @@ int main(int argc, char** argv) {
         return 1;
       }
       std::printf("incremental drift guard: %llu cells within 15%%\n",
+                  static_cast<unsigned long long>(cells_checked));
+    }
+  }
+  json += ",\n  \"cluster\": ";
+
+  // ---- Eighth section: simulated-cluster drift guard --------------------
+  // Re-measures every committed (dataset, nodes, partition) cell of
+  // BENCH_cluster.json and fails on > 15% modeled-ms drift. The cluster
+  // clock is deterministic, so an in-tolerance rerun is the normal outcome;
+  // regenerate BENCH_cluster.json (bench_cluster) alongside any change that
+  // moves it. Check-only, like the incremental guard above.
+  {
+    std::string cluster_path = "BENCH_cluster.json";
+    if (const char* env = std::getenv("KCORE_BENCH_CLUSTER_JSON")) {
+      cluster_path = env;
+    }
+    std::string committed;
+    if (std::FILE* in = std::fopen(cluster_path.c_str(), "rb")) {
+      char buf[4096];
+      size_t got;
+      while ((got = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+        committed.append(buf, got);
+      }
+      std::fclose(in);
+    }
+    if (committed.empty()) {
+      std::fprintf(stderr, "cluster drift guard: %s not found, skipping\n",
+                   cluster_path.c_str());
+      json += "{\"guard\": \"skipped\", \"reason\": \"no committed file\"}";
+    } else {
+      const auto find_number = [](const std::string& text, size_t from,
+                                  const char* key, size_t until,
+                                  double* out) {
+        const size_t at = text.find(key, from);
+        if (at == std::string::npos || at >= until) return false;
+        *out = std::strtod(text.c_str() + at + std::strlen(key), nullptr);
+        return true;
+      };
+      uint64_t cells_checked = 0;
+      double max_drift = 0.0;
+      bool drifted = false;
+      json += "{\"guard\": \"checked\", \"tolerance\": 0.15, \"cells\": [\n";
+      bool first_cell = true;
+      for (const DatasetSpec& spec : ClusterRoster()) {
+        const std::string tag = "{\"name\": \"" + spec.name + "\"";
+        const size_t entry = committed.find(tag);
+        if (entry == std::string::npos) continue;
+        const size_t entry_end = committed.find("]}", entry);
+        if (entry_end == std::string::npos) continue;
+        double committed_edges = 0.0;
+        if (find_number(committed, entry, "\"edges\": ", entry_end,
+                        &committed_edges) &&
+            max_edges != 0 &&
+            committed_edges > static_cast<double>(max_edges)) {
+          continue;
+        }
+        auto graph = LoadOrGenerateDataset(spec, DefaultCacheDir());
+        if (!graph.ok()) {
+          std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
+                       graph.status().ToString().c_str());
+          return 1;
+        }
+        size_t cursor = committed.find("\"cells\"", entry);
+        while (cursor != std::string::npos && cursor < entry_end) {
+          const size_t cell = committed.find("{\"nodes\": ", cursor);
+          if (cell == std::string::npos || cell >= entry_end) break;
+          double nodes = 0.0;
+          double committed_ms = 0.0;
+          const size_t name_at = committed.find("\"partition\": \"", cell);
+          if (!find_number(committed, cell, "\"nodes\": ", entry_end,
+                           &nodes) ||
+              !find_number(committed, cell, "\"modeled_ms\": ", entry_end,
+                           &committed_ms) ||
+              name_at == std::string::npos || name_at >= entry_end) {
+            break;
+          }
+          const size_t name_from = name_at + std::strlen("\"partition\": \"");
+          const size_t name_to = committed.find('"', name_from);
+          const std::string partition_token =
+              committed.substr(name_from, name_to - name_from);
+          ClusterOptions options;
+          options.num_nodes = static_cast<uint32_t>(nodes);
+          if (!ParsePartitionStrategy(partition_token, &options.partition)) {
+            std::fprintf(stderr,
+                         "cluster drift guard: bad partition token \"%s\" "
+                         "in %s\n",
+                         partition_token.c_str(), cluster_path.c_str());
+            return 1;
+          }
+          auto result = RunClusterPeel(*graph, options);
+          if (!result.ok()) {
+            std::fprintf(stderr, "%s: drift-guard nodes=%u %s: %s\n",
+                         spec.name.c_str(), options.num_nodes,
+                         partition_token.c_str(),
+                         result.status().ToString().c_str());
+            return 1;
+          }
+          const double measured_ms = result->metrics.modeled_ms;
+          const double scale = std::max(committed_ms, 1e-6);
+          const double drift = std::abs(measured_ms - committed_ms) / scale;
+          max_drift = std::max(max_drift, drift);
+          ++cells_checked;
+          if (drift > 0.15) {
+            drifted = true;
+            std::fprintf(stderr,
+                         "cluster drift: %s nodes=%u %s committed %.4f ms "
+                         "vs measured %.4f ms (%.1f%%)\n",
+                         spec.name.c_str(), options.num_nodes,
+                         partition_token.c_str(), committed_ms, measured_ms,
+                         100.0 * drift);
+          }
+          if (!first_cell) json += ",\n";
+          first_cell = false;
+          json += StrFormat(
+              "    {\"name\": \"%s\", \"nodes\": %u, \"partition\": \"%s\", "
+              "\"committed_ms\": %.4f, \"measured_ms\": %.4f, "
+              "\"drift_pct\": %.1f}",
+              spec.name.c_str(), options.num_nodes, partition_token.c_str(),
+              committed_ms, measured_ms, 100.0 * drift);
+          cursor = cell + 1;
+        }
+      }
+      json += StrFormat(
+          "\n  ], \"cells_checked\": %llu, \"max_drift_pct\": %.1f}",
+          static_cast<unsigned long long>(cells_checked),
+          100.0 * max_drift);
+      if (drifted) {
+        std::fprintf(stderr,
+                     "cluster drift guard failed: regenerate "
+                     "BENCH_cluster.json (tolerance 15%%)\n");
+        return 1;
+      }
+      std::printf("cluster drift guard: %llu cells within 15%%\n",
                   static_cast<unsigned long long>(cells_checked));
     }
   }

@@ -139,6 +139,23 @@ const std::vector<DatasetSpec>& ExpandRoster() {
   return *roster;
 }
 
+const std::vector<DatasetSpec>& ClusterRoster() {
+  // The cluster engine's own roster (bench_cluster). web-BerkStan reuses
+  // the Table I spec (and its cache) as the quick warm-up row;
+  // cluster-skew's mega-hubs are where contiguous ranges lose to the
+  // degree-balanced and edge-cut partitioners; twitter-2010 is the
+  // billion-edge-class row — 1.5B directed edges scaled by the repo's
+  // ~1/400 to ~3.75M.
+  static const std::vector<DatasetSpec>* roster = new std::vector<DatasetSpec>{
+      {"web-BerkStan", "Web Graph", 201, Cl(1713, 17000, 2.2, 80, 0.6, 104)},
+      {"cluster-skew", "Synthetic (skew)", 0,
+       Skew(80000, 60000, 2.6, 6, 9000, 301)},
+      {"twitter-2010", "Social Network (1B-class)", 2488,
+       Cl(130000, 3750000, 2.3, 420, 0.65, 302)},
+  };
+  return *roster;
+}
+
 StatusOr<CsrGraph> LoadOrGenerateDataset(const DatasetSpec& spec,
                                          const std::string& cache_dir) {
   const std::string path = cache_dir + "/" + spec.name + ".csr";

@@ -50,6 +50,13 @@ const std::vector<DatasetSpec>& PaperRoster();
 /// byte-stable. Skewed power-law graphs: degree-1-4 tails plus mega-hubs.
 const std::vector<DatasetSpec>& ExpandRoster();
 
+/// Datasets for the simulated-cluster benchmarks (DESIGN.md §14) — also
+/// kept out of PaperRoster so Table II-V stay byte-stable. A quick
+/// power-law warm-up, a mega-hub skew graph where partition strategies
+/// separate, and a billion-edge-class stand-in (twitter-2010's ~1.5B
+/// directed edges at the repo's ~1/400 scale).
+const std::vector<DatasetSpec>& ClusterRoster();
+
 /// Generates `spec` (or loads it from the binary cache in `cache_dir`,
 /// writing the cache on first generation). Deterministic per spec.
 StatusOr<CsrGraph> LoadOrGenerateDataset(const DatasetSpec& spec,

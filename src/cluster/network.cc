@@ -1,0 +1,63 @@
+#include "cluster/network.h"
+
+#include <algorithm>
+
+namespace kcore {
+
+ClusterNetwork::ClusterNetwork(uint32_t num_nodes,
+                               const NetworkOptions& options)
+    : num_nodes_(num_nodes),
+      options_(options),
+      links_(static_cast<size_t>(num_nodes) * num_nodes),
+      link_flushes_(static_cast<size_t>(num_nodes) * num_nodes, 0) {}
+
+void ClusterNetwork::Buffer(uint32_t src, uint32_t dst, VertexId v,
+                            uint32_t count) {
+  links_[LinkIndex(src, dst)][v] += count;
+}
+
+double ClusterNetwork::Flush(
+    std::vector<std::unordered_map<VertexId, uint32_t>>* inboxes) {
+  // bytes/ns at 1 GB/s == 1 byte/ns.
+  const double bytes_per_ns = options_.link_bandwidth_gbps;
+  double max_send_ns = 0.0;
+  bool any = false;
+  for (uint32_t src = 0; src < num_nodes_; ++src) {
+    double send_ns = 0.0;
+    for (uint32_t dst = 0; dst < num_nodes_; ++dst) {
+      auto& link = links_[LinkIndex(src, dst)];
+      if (link.empty()) continue;
+      any = true;
+      const uint64_t entries = link.size();
+      const uint64_t bytes = MessageBytes(entries);
+      send_ns += bytes_per_ns > 0.0
+                     ? static_cast<double>(bytes) / bytes_per_ns
+                     : 0.0;
+      ++link_flushes_[LinkIndex(src, dst)];
+      ++stats_.messages;
+      stats_.entries += entries;
+      stats_.bytes_on_wire += bytes;
+      auto& inbox = (*inboxes)[dst];
+      for (const auto& [v, count] : link) inbox[v] += count;
+      link.clear();
+    }
+    max_send_ns = std::max(max_send_ns, send_ns);
+  }
+  if (!any) return 0.0;
+  ++stats_.flushes;
+  const double exchange_ns = max_send_ns + options_.link_latency_us * 1000.0;
+  stats_.comm_ns += exchange_ns;
+  return exchange_ns;
+}
+
+uint64_t ClusterNetwork::PendingEntries() const {
+  uint64_t pending = 0;
+  for (const auto& link : links_) pending += link.size();
+  return pending;
+}
+
+uint64_t ClusterNetwork::LinkFlushCount(uint32_t src, uint32_t dst) const {
+  return link_flushes_[LinkIndex(src, dst)];
+}
+
+}  // namespace kcore

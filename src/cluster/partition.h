@@ -1,0 +1,108 @@
+#ifndef KCORE_CLUSTER_PARTITION_H_
+#define KCORE_CLUSTER_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/csr_graph.h"
+
+namespace kcore {
+
+/// How the vertex set is divided among cluster nodes (DESIGN.md §14). Every
+/// strategy produces a disjoint cover of V; they differ in what they
+/// balance and how many edges they cut.
+enum class PartitionStrategy {
+  /// Even vertex-count split into contiguous ID ranges — the multi-GPU
+  /// sharding applied across nodes. Cheapest to build, balances vertex
+  /// count only; on skewed graphs one node can own most of the edge mass.
+  kContiguous,
+  /// Contiguous ID ranges with boundaries placed on the degree prefix sum,
+  /// so every node's directed edge mass is within one max-degree of the
+  /// even share. Balances compute; ignores the cut.
+  kDegreeBalanced,
+  /// Greedy streaming edge-cut (linear deterministic greedy): vertices are
+  /// placed, hubs first, on the node holding most of their already-placed
+  /// neighbors, discounted by a load penalty and hard-capped at
+  /// kEdgeCutCapacityFactor of the even edge-mass share. Minimizes border
+  /// traffic at a small balance cost.
+  kEdgeCut,
+};
+
+/// Short name used by CLI flags, stats output and bench labels
+/// ("contiguous", "degree", "edgecut").
+const char* PartitionStrategyName(PartitionStrategy strategy);
+
+/// Parses a CLI token; returns false on an unknown token, leaving *out
+/// untouched.
+bool ParsePartitionStrategy(const std::string& token, PartitionStrategy* out);
+
+/// All strategies in declaration order (test/bench sweeps).
+const std::vector<PartitionStrategy>& AllPartitionStrategies();
+
+/// Edge-mass load cap of kEdgeCut, as a multiple of the even share
+/// (ceil(total_mass / num_nodes)). The greedy placement never exceeds
+/// cap = factor * share + max_degree (the last term because one vertex's
+/// whole adjacency lands on one node).
+inline constexpr double kEdgeCutCapacityFactor = 1.15;
+
+/// One node's share of the partition.
+struct NodePartition {
+  /// Vertices mastered by this node, ascending. Disjoint across nodes;
+  /// the union over nodes is exactly V.
+  std::vector<VertexId> owned;
+  /// Foreign vertices adjacent to an owned vertex, ascending — the proxies
+  /// this node holds read-only copies of. Every mirror's master is another
+  /// node (DESIGN.md §14 "mirror/master protocol").
+  std::vector<VertexId> mirrors;
+  /// Sum of Degree(v) over owned vertices (directed edge mass — the node's
+  /// peeling work).
+  uint64_t edge_mass = 0;
+  /// Directed edges from an owned vertex to a foreign-owned endpoint (the
+  /// node's outgoing border traffic ceiling).
+  uint64_t cut_edges = 0;
+};
+
+/// A full cluster partition: owner map plus per-node shares.
+struct ClusterPartition {
+  PartitionStrategy strategy = PartitionStrategy::kContiguous;
+  uint32_t num_nodes = 0;
+  /// owner[v] = index of the node mastering v. Size V.
+  std::vector<uint32_t> owner;
+  std::vector<NodePartition> nodes;
+  /// Sum of nodes[i].cut_edges — total directed border edges.
+  uint64_t total_cut_edges = 0;
+
+  /// max node edge mass / even share (1.0 = perfectly balanced). 0 when the
+  /// graph has no edges.
+  double BalanceRatio() const;
+};
+
+/// Partitions `graph` among `num_nodes` nodes. Deterministic per
+/// (graph, strategy, num_nodes); nodes may come out empty when
+/// num_nodes > V. InvalidArgument when num_nodes == 0.
+StatusOr<ClusterPartition> BuildPartition(const CsrGraph& graph,
+                                          PartitionStrategy strategy,
+                                          uint32_t num_nodes);
+
+/// Reassigns every vertex owned by a node marked dead to the surviving node
+/// with the least edge mass (greedy, whole share at a time — the cluster
+/// analogue of the multi-GPU adjacent-range merge), then rebuilds owned /
+/// mirror / mass bookkeeping. FailedPrecondition when no node survives or
+/// `dead` is mis-sized.
+Status RepartitionOntoSurvivors(const CsrGraph& graph,
+                                const std::vector<uint8_t>& dead,
+                                ClusterPartition* partition);
+
+/// Structural invariants every strategy must uphold (the partition-invariant
+/// test suite calls this, and ClusterPeel asserts it once per build):
+/// owner/owned agree and cover V disjointly, mirrors are exactly the foreign
+/// adjacent vertices, per-node mass/cut bookkeeping adds up. Returns false
+/// with a diagnostic in *why.
+bool ValidatePartition(const CsrGraph& graph,
+                       const ClusterPartition& partition, std::string* why);
+
+}  // namespace kcore
+
+#endif  // KCORE_CLUSTER_PARTITION_H_

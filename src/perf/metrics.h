@@ -60,6 +60,16 @@ struct Metrics {
   /// Wall-clock time spent inside recovery machinery: checkpointing,
   /// validation, rollback re-execution, and the CPU fallback.
   double recovery_ms = 0.0;
+
+  // Cluster telemetry (the distributed engine only; all zero elsewhere —
+  // see cluster/network.h).
+  /// Modeled time spent in border-delta exchanges. With comm/compute
+  /// overlap enabled only the un-hidden portion also appears in modeled_ms.
+  double comm_ms = 0.0;
+  /// Serialized bytes the modeled interconnect carried.
+  uint64_t comm_bytes = 0;
+  /// Aggregated link messages flushed (one per busy link per exchange).
+  uint64_t comm_messages = 0;
 };
 
 }  // namespace kcore

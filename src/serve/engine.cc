@@ -20,6 +20,8 @@ const char* EngineKindName(EngineKind kind) {
       return "gpu";
     case EngineKind::kMultiGpu:
       return "multigpu";
+    case EngineKind::kCluster:
+      return "cluster";
     case EngineKind::kVetga:
       return "vetga";
     case EngineKind::kBz:
@@ -36,9 +38,9 @@ const char* EngineKindName(EngineKind kind) {
 
 bool ParseEngineKind(const std::string& token, EngineKind* out) {
   for (EngineKind kind :
-       {EngineKind::kGpu, EngineKind::kMultiGpu, EngineKind::kVetga,
-        EngineKind::kBz, EngineKind::kPkc, EngineKind::kPark,
-        EngineKind::kMpm}) {
+       {EngineKind::kGpu, EngineKind::kMultiGpu, EngineKind::kCluster,
+        EngineKind::kVetga, EngineKind::kBz, EngineKind::kPkc,
+        EngineKind::kPark, EngineKind::kMpm}) {
     if (token == EngineKindName(kind)) {
       *out = kind;
       return true;
@@ -222,6 +224,32 @@ class MultiGpuEngine : public Engine {
   EngineConfig config_;
 };
 
+/// Simulated multi-node cluster engine.
+class ClusterEngine : public Engine {
+ public:
+  explicit ClusterEngine(EngineConfig config) : config_(std::move(config)) {}
+
+  EngineKind kind() const override { return EngineKind::kCluster; }
+  bool uses_device() const override { return true; }
+
+  StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
+                                      const EngineRunContext& ctx) override {
+    ClusterOptions options = config_.cluster;
+    options.node_device = RunDeviceOptions(options.node_device, ctx);
+    options.cancel = ctx.cancel;
+    options.trace = ctx.trace;
+    return RunClusterPeel(graph, options);
+  }
+
+  Status HealthCheck(const EngineRunContext& ctx) override {
+    sim::Device device(RunDeviceOptions(config_.cluster.node_device, ctx));
+    return device.HealthCheck("serve_probe");
+  }
+
+ private:
+  EngineConfig config_;
+};
+
 /// Vector-primitive baseline engine.
 class VetgaEngine : public Engine {
  public:
@@ -324,6 +352,8 @@ std::unique_ptr<Engine> MakeEngine(EngineKind kind, EngineConfig config) {
       return std::make_unique<GpuEngine>(std::move(config));
     case EngineKind::kMultiGpu:
       return std::make_unique<MultiGpuEngine>(std::move(config));
+    case EngineKind::kCluster:
+      return std::make_unique<ClusterEngine>(std::move(config));
     case EngineKind::kVetga:
       return std::make_unique<VetgaEngine>(std::move(config));
     case EngineKind::kBz:

@@ -5,6 +5,7 @@
 #include <span>
 #include <string>
 
+#include "cluster/cluster_peel.h"
 #include "common/cancellation.h"
 #include "common/statusor.h"
 #include "core/gpu_peel_options.h"
@@ -25,6 +26,7 @@ namespace kcore {
 enum class EngineKind {
   kGpu,       ///< Single-GPU peeling (core/gpu_peel.h), the paper's engine.
   kMultiGpu,  ///< Sharded fleet peeling (core/multi_gpu_peel.h).
+  kCluster,   ///< Simulated multi-node peeling (cluster/cluster_peel.h).
   kVetga,     ///< Vector-primitive baseline (vetga/vetga.h).
   kBz,        ///< Batagelj–Zaveršnik bucket peeling (cpu/bz.h).
   kPkc,       ///< PKC parallel h-index peeling (cpu/pkc.h).
@@ -33,7 +35,7 @@ enum class EngineKind {
 };
 
 /// Short name used by CLI flags, stats output and bench labels
-/// ("gpu", "multigpu", "vetga", "bz", "pkc", "park", "mpm").
+/// ("gpu", "multigpu", "cluster", "vetga", "bz", "pkc", "park", "mpm").
 KCORE_HOST_ONLY const char* EngineKindName(EngineKind kind);
 
 /// Parses a CLI token; returns false on an unknown token, leaving *out
@@ -77,6 +79,10 @@ struct EngineConfig {
   sim::DeviceOptions device;
   /// Fleet options for kMultiGpu (`cancel`/`trace` overwritten per run).
   MultiGpuOptions multi_gpu;
+  /// Cluster shape + network model for kCluster (`cancel`/`trace`
+  /// overwritten per run; the context's fault override lands on
+  /// cluster.node_device).
+  ClusterOptions cluster;
   /// Config for kVetga (`cancel`/`trace` overwritten per run).
   VetgaConfig vetga;
   /// Options for the kGpu engine's persistent incremental-maintenance state

@@ -18,6 +18,9 @@
 #ifndef KCORE_CLI_PATH
 #error "cli_test requires -DKCORE_CLI_PATH=\"...\" (see tests/CMakeLists.txt)"
 #endif
+#ifndef KCORE_SOAK_PATH
+#error "cli_test requires -DKCORE_SOAK_PATH=\"...\" (see tests/CMakeLists.txt)"
+#endif
 
 namespace {
 
@@ -190,6 +193,63 @@ TEST(CliGolden, VetgaSummary) {
   }
 }
 
+TEST(CliGolden, ClusterSummaryAndSimcheck) {
+  CommandResult r = RunCli("decompose " + EdgeListPath() +
+                           " cluster --nodes=3 --partition=edgecut --simcheck");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  const std::string expected =
+      "engine       cluster\n"
+      "k_max        #\n"
+      "rounds       #\n"
+      "modeled_ms   #.#\n"
+      "wall_ms      #.#\n"
+      "peak_device  #.# KB\n"
+      "simcheck     clean\n"
+      "--- cluster ---\n"
+      "nodes           #\n"
+      "partition       edgecut\n"
+      "comm_ms         #.#\n"
+      "comm_bytes      # B\n"
+      "comm_messages   #\n"
+      "comm/compute    #.#\n";
+  EXPECT_EQ(Normalize(r.output), Normalize(expected)) << r.output;
+}
+
+TEST(CliGolden, ClusterTraceCarriesNodeLanesAndNetwork) {
+  const std::string trace_path = "/tmp/kcore_cli_test_cluster_trace.json";
+  std::remove(trace_path.c_str());
+  CommandResult r = RunCli("decompose " + EdgeListPath() +
+                           " cluster --nodes=3 --trace=" + trace_path);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  const std::string trace = ReadFileOrEmpty(trace_path);
+  ASSERT_FALSE(trace.empty());
+  // One lane per node device, plus the master's network/rounds threads.
+  EXPECT_NE(trace.find("node0.dev0"), std::string::npos);
+  EXPECT_NE(trace.find("node2.dev0"), std::string::npos);
+  EXPECT_NE(trace.find("\"network\""), std::string::npos);
+  EXPECT_NE(trace.find("border_exchange"), std::string::npos);
+}
+
+TEST(CliGolden, ClusterFlagsRejectedOffTheClusterEngine) {
+  CommandResult r = RunCli("decompose " + EdgeListPath() + " gpu --nodes=2");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("--nodes/--partition only apply"),
+            std::string::npos)
+      << r.output;
+  CommandResult s =
+      RunCli("decompose " + EdgeListPath() + " bz --partition=degree");
+  EXPECT_EQ(s.exit_code, 1);
+  CommandResult t =
+      RunCli("decompose " + EdgeListPath() + " cluster --partition=metis");
+  EXPECT_EQ(t.exit_code, 1);
+  EXPECT_NE(t.output.find("unknown --partition strategy"), std::string::npos)
+      << t.output;
+  CommandResult u =
+      RunCli("decompose " + EdgeListPath() + " cluster --nodes=0");
+  EXPECT_EQ(u.exit_code, 1);
+  EXPECT_NE(u.output.find("node count must be >= 1"), std::string::npos);
+}
+
 TEST(CliGolden, TraceRejectsCpuEngines) {
   CommandResult r = RunCli("decompose " + EdgeListPath() + " bz --trace=/tmp/x");
   EXPECT_EQ(r.exit_code, 1);
@@ -300,6 +360,53 @@ TEST(CliExitCodes, MissingGraphFileIsStructuredError) {
   CommandResult r = RunCli("decompose /tmp/kcore_cli_test_nonexistent.txt gpu");
   EXPECT_EQ(r.exit_code, 1);
   EXPECT_NE(r.output.find("error code="), std::string::npos) << r.output;
+}
+
+TEST(CliExitCodes, ClusterNodeLossDegradesToExitFour) {
+  // --faults applies the plan to every device of every node, so a device
+  // loss kills the whole cluster: the run must still print the exact answer
+  // from the CPU fallback and report degradation via exit 4.
+  CommandResult r = RunCli("decompose " + EdgeListPath() +
+                           " cluster --nodes=2 '--faults=device_lost@launch=2'");
+  EXPECT_EQ(r.exit_code, 4) << r.output;
+  EXPECT_NE(r.output.find("k_max        3"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("error code=DegradedSuccess"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("degraded            yes"), std::string::npos);
+}
+
+// ------------------------------------------------------- soak harness ----
+// The soak binary shares the CLI's exit contract; its flag validation is
+// part of the same surface (a fraction outside [0,1] must be a usage
+// error, not a silently clamped value).
+
+CommandResult RunSoak(const std::string& args) {
+  const std::string command =
+      std::string(KCORE_SOAK_PATH) + " " + args + " 2>&1";
+  std::FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << command;
+  CommandResult result;
+  if (pipe == nullptr) return result;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, pipe)) > 0) {
+    result.output.append(buf, got);
+  }
+  const int rc = pclose(pipe);
+  result.exit_code = WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+  return result;
+}
+
+TEST(SoakExitCodes, UpdateFractionOutsideUnitIntervalIsUsageError) {
+  for (const char* bad : {"--update-fraction=1.5", "--update-fraction=-0.2",
+                          "--update-fraction=nan"}) {
+    CommandResult r = RunSoak(bad);
+    EXPECT_EQ(r.exit_code, 2) << bad << "\n" << r.output;
+    EXPECT_NE(r.output.find("usage:"), std::string::npos) << bad;
+    // The usage text documents the mutation-slice flags it just rejected.
+    EXPECT_NE(r.output.find("--update-fraction=<frac>"), std::string::npos);
+    EXPECT_NE(r.output.find("--update-batch=N"), std::string::npos);
+  }
 }
 
 }  // namespace

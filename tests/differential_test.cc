@@ -19,6 +19,8 @@
 
 #include <gtest/gtest.h>
 
+#include "cluster/cluster_peel.h"
+#include "cluster/partition.h"
 #include "common/random.h"
 #include "common/strings.h"
 #include "common/statusor.h"
@@ -96,6 +98,25 @@ std::vector<Engine> AllEngines() {
          KCORE_ASSIGN_OR_RETURN(DecomposeResult result, RunVetga(g));
          return result.core;
        }});
+  // The simulated cluster at every node count x partition strategy: the
+  // partition, the border-delta exchange, and the cluster fixpoint must all
+  // be invisible in the coreness output.
+  for (uint32_t nodes : {1u, 2u, 4u}) {
+    for (PartitionStrategy strategy : AllPartitionStrategies()) {
+      engines.push_back(
+          {StrFormat("cluster-%s-%un", PartitionStrategyName(strategy),
+                     static_cast<unsigned>(nodes)),
+           [nodes, strategy](const CsrGraph& g)
+               -> StatusOr<std::vector<uint32_t>> {
+             ClusterOptions options;
+             options.num_nodes = nodes;
+             options.partition = strategy;
+             KCORE_ASSIGN_OR_RETURN(DecomposeResult result,
+                                    RunClusterPeel(g, options));
+             return result.core;
+           }});
+    }
+  }
   return engines;
 }
 
@@ -291,6 +312,56 @@ TEST(DifferentialFuzz, AllEnginesMatchOracle) {
   }
   // Belt and braces: the loop actually exercised the promised volume.
   EXPECT_GE(combos, 200u);
+}
+
+TEST(DifferentialFuzz, ClusterFaultMatrixNeverDisagrees) {
+  // The recovery ladder (retry -> node-loss repartition -> CPU fallback)
+  // must never change a core number, only the modeled clock. Each fault
+  // plan lands on the last node so the exchange and repartition paths are
+  // both live when it fires. The adversarial fixed shapes plus one seeded
+  // case per family keep this leg inside the tier-1 budget; a mismatch is
+  // shrunk with the same ddmin reducer as the fault-free sweep.
+  const char* fault_matrix[] = {
+      "launch_fail@3",
+      "launch_fail@7",
+      "device_lost@launch=2",
+      "device_lost@launch=9",
+  };
+  std::vector<FuzzCase> corpus;
+  for (const FuzzCase& fc : FuzzCorpus()) {
+    const bool fixed_shape = fc.label.find("seed") == std::string::npos;
+    if (fixed_shape || fc.label.find("seed1") != std::string::npos) {
+      corpus.push_back(fc);
+    }
+  }
+  ASSERT_GE(corpus.size(), 12u);
+  for (const char* spec : fault_matrix) {
+    for (uint32_t nodes : {2u, 3u}) {
+      Engine engine{
+          StrFormat("cluster-faulty-%un[%s]", static_cast<unsigned>(nodes),
+                    spec),
+          [nodes, spec](const CsrGraph& g)
+              -> StatusOr<std::vector<uint32_t>> {
+            ClusterOptions options;
+            options.num_nodes = nodes;
+            options.node_fault_specs.assign(nodes, "");
+            options.node_fault_specs.back() = spec;
+            KCORE_ASSIGN_OR_RETURN(DecomposeResult result,
+                                   RunClusterPeel(g, options));
+            return result.core;
+          }};
+      for (const FuzzCase& fc : corpus) {
+        const CsrGraph graph = BuildCase(fc.edges, fc.num_vertices);
+        if (!Disagrees(engine, graph)) continue;
+        const EdgeList reduced =
+            ShrinkMismatch(engine, fc.edges, fc.num_vertices);
+        FAIL() << engine.name << " disagrees with BZ on " << fc.label
+               << "\nreduced to " << reduced.size()
+               << " edges (num_vertices=" << fc.num_vertices
+               << "):\n" << FormatEdges(reduced);
+      }
+    }
+  }
 }
 
 // ------------------------------------------------- update-stream fuzzing --

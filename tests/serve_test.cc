@@ -30,9 +30,9 @@ CsrGraph SoakGraph() { return testing::RandomSuite()[0].graph; }  // er_small
 
 TEST(EngineTest, KindNamesRoundTrip) {
   for (EngineKind kind :
-       {EngineKind::kGpu, EngineKind::kMultiGpu, EngineKind::kVetga,
-        EngineKind::kBz, EngineKind::kPkc, EngineKind::kPark,
-        EngineKind::kMpm}) {
+       {EngineKind::kGpu, EngineKind::kMultiGpu, EngineKind::kCluster,
+        EngineKind::kVetga, EngineKind::kBz, EngineKind::kPkc,
+        EngineKind::kPark, EngineKind::kMpm}) {
     EngineKind parsed;
     ASSERT_TRUE(ParseEngineKind(EngineKindName(kind), &parsed));
     EXPECT_EQ(parsed, kind);
@@ -45,9 +45,9 @@ TEST(EngineTest, EveryKindMatchesBzOracle) {
   const auto named = testing::PaperFigureGraph();
   const DecomposeResult oracle = RunBz(named.graph);
   for (EngineKind kind :
-       {EngineKind::kGpu, EngineKind::kMultiGpu, EngineKind::kVetga,
-        EngineKind::kBz, EngineKind::kPkc, EngineKind::kPark,
-        EngineKind::kMpm}) {
+       {EngineKind::kGpu, EngineKind::kMultiGpu, EngineKind::kCluster,
+        EngineKind::kVetga, EngineKind::kBz, EngineKind::kPkc,
+        EngineKind::kPark, EngineKind::kMpm}) {
     auto engine = MakeEngine(kind);
     auto result = engine->Decompose(named.graph, {});
     ASSERT_TRUE(result.ok()) << engine->name() << ": "

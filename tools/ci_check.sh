@@ -330,6 +330,46 @@ KCORE_FAULTS='launch_fail:p=0.01,seed=5;device_lost@launch=25' \
   build/tools/kcore_soak --requests="$soak_requests" --seed=31 \
   --update-fraction=0.15 --update-batch=4 --cancel=0.02 --deadline=0.02
 
+echo "=== release: cluster legs (kcore_cli, 2 strategies, KCORE_SIMCHECK=1) ==="
+# The simulated multi-node engine must land on the flagless single-GPU
+# answer under both a mass-balancing and a cut-minimizing partition, with
+# the simulated-device sanitizer watching every node's devices.
+want_kmax="$(grep -E '^k_max' <<< "$base_out")"
+for strategy in degree edgecut; do
+  cluster_out="$(KCORE_SIMCHECK=1 build/tools/kcore_cli decompose \
+    "$expand_graph" cluster --nodes=3 "--partition=$strategy" --simcheck)"
+  if [[ "$(grep -E '^k_max' <<< "$cluster_out")" != "$want_kmax" ]]; then
+    echo "cluster/--partition=$strategy diverges from the flagless run" >&2
+    exit 1
+  fi
+  grep -q "^partition       $strategy" <<< "$cluster_out" || {
+    echo "cluster/--partition=$strategy did not report its strategy" >&2
+    exit 1; }
+  grep -q '^simcheck     clean' <<< "$cluster_out" || {
+    echo "cluster/--partition=$strategy simcheck not clean" >&2; exit 1; }
+done
+
+echo "=== release: cluster node-loss leg (degraded exit 4) ==="
+# --faults attaches the device-loss plan to every node, so the whole
+# cluster dies and the run must finish on the CPU fallback: exact answer,
+# structured DegradedSuccess, exit 4. A silent 0 here means node loss
+# became invisible to scripts; a nonzero other than 4 means the fallback
+# lost the answer.
+rc=0
+cluster_lost="$(build/tools/kcore_cli decompose "$expand_graph" cluster \
+  --nodes=2 '--faults=device_lost@launch=3' --simcheck)" || rc=$?
+if [[ "$rc" != 4 ]]; then
+  echo "cluster node-loss: expected degraded-success exit 4, got $rc" >&2
+  exit 1
+fi
+if [[ "$(grep -E '^k_max' <<< "$cluster_lost")" != "$want_kmax" ]]; then
+  echo "cluster node-loss: degraded answer diverges from the flagless run" >&2
+  exit 1
+fi
+grep -q '^degraded            yes' <<< "$cluster_lost" || {
+  echo "cluster node-loss: recovery summary missing degraded marker" >&2
+  exit 1; }
+
 echo "=== asan: configure + build ==="
 cmake --preset asan
 cmake --build --preset asan -j "$(nproc)"

@@ -6,8 +6,8 @@
 //   kcore_cli hierarchy  <edge_list>            HCD forest summary
 //   kcore_cli extract    <edge_list> <k> <out>  write the k-core's edge list
 //
-// Engines: gpu (default), bz, pkc, pkc-o, park, mpm, vetga, multigpu; plus
-// xiang (single-k queries only, see --k below).
+// Engines: gpu (default), bz, pkc, pkc-o, park, mpm, vetga, multigpu,
+// cluster; plus xiang (single-k queries only, see --k below).
 // Edge lists are SNAP-style text; IDs are recoded densely.
 //
 // --k=<K> (decompose, gpu/xiang engines): direct single-k core mining — the
@@ -43,6 +43,14 @@
 // paper's Alg. 3 path and the default; auto bins each frontier window by
 // degree. The run prints the bin counters and the loop imbalance ratio.
 //
+// --nodes=<N> / --partition=<contiguous|degree|edgecut> (decompose, cluster
+// engine): cluster shape and partition strategy for the simulated
+// multi-node engine (src/cluster/cluster_peel.h, DESIGN.md §14). The run
+// prints the network totals — comm ms / bytes on wire / aggregated link
+// messages — and the comm/compute ratio, so partition quality is visible
+// from the command line. Composes with --simcheck, --faults (node loss →
+// repartition onto survivors), --trace/--prof-summary and --timeout-ms.
+//
 // --timeout-ms=<N> (decompose, GPU engines): gives the run a wall-clock
 // deadline (common/cancellation.h). The engine checks it at every peel
 // round boundary; an expired run stops within one round, releases the
@@ -77,6 +85,7 @@
 
 #include "analysis/core_analysis.h"
 #include "analysis/hierarchy.h"
+#include "cluster/cluster_peel.h"
 #include "common/cancellation.h"
 #include "common/strings.h"
 #include "core/gpu_peel.h"
@@ -102,9 +111,11 @@ int Usage() {
                "usage: kcore_cli <stats|decompose|shells|hierarchy|extract> "
                "<edge_list> [args]\n"
                "  decompose <edge_list> [gpu|bz|pkc|pkc-o|park|mpm|vetga|"
-               "multigpu|xiang] [--simcheck] [--faults=<spec>]\n"
+               "multigpu|cluster|xiang] [--simcheck] [--faults=<spec>]\n"
                "            [--expand=<thread|warp|block|auto>] [--k=<K>] "
                "[--renumber] [--fuse]\n"
+               "            [--nodes=<N>] "
+               "[--partition=<contiguous|degree|edgecut>]\n"
                "            [--trace=<out.json>] [--prof-summary] "
                "[--timeout-ms=<N>]\n"
                "            [--updates=<stream>] [--update-batch=<N>]\n"
@@ -175,6 +186,31 @@ StatusOr<uint64_t> ParseTimeoutMillis(const std::string& raw) {
   return value;
 }
 
+/// Strict parse of the --nodes flag value: digits only, value >= 1.
+StatusOr<uint32_t> ParseNodes(const std::string& raw) {
+  if (raw.empty()) {
+    return Status::InvalidArgument(
+        "--nodes=: empty token (want --nodes=<N>, N >= 1)");
+  }
+  uint64_t value = 0;
+  for (char ch : raw) {
+    if (ch < '0' || ch > '9') {
+      return Status::InvalidArgument(
+          StrFormat("--nodes=%s: non-numeric node count", raw.c_str()));
+    }
+    value = value * 10 + static_cast<uint64_t>(ch - '0');
+    if (value > 0xFFFFFFFFull) {
+      return Status::InvalidArgument(
+          StrFormat("--nodes=%s: node count overflows uint32", raw.c_str()));
+    }
+  }
+  if (value < 1) {
+    return Status::InvalidArgument(
+        StrFormat("--nodes=%s: node count must be >= 1", raw.c_str()));
+  }
+  return static_cast<uint32_t>(value);
+}
+
 StatusOr<BuiltGraph> Load(const char* path) {
   KCORE_ASSIGN_OR_RETURN(EdgeList edges, LoadEdgeListText(path));
   return BuildGraph(edges);
@@ -186,6 +222,8 @@ StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
                                     const std::string& expand, bool renumber,
                                     bool fuse, const std::string& trace_path,
                                     bool prof_summary,
+                                    const std::string& nodes_token,
+                                    const std::string& partition_token,
                                     const CancelContext* cancel,
                                     std::string* summary) {
   if (engine == "xiang") {
@@ -201,26 +239,34 @@ StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
         "--fuse only applies to the gpu engine (scan->compact kernel fusion)");
   }
   if (simcheck && engine != "gpu" && engine != "vetga" &&
-      engine != "multigpu") {
+      engine != "multigpu" && engine != "cluster") {
     return Status::InvalidArgument(
-        "--simcheck only applies to the GPU engines (gpu, vetga, multigpu)");
+        "--simcheck only applies to the GPU engines (gpu, vetga, multigpu, "
+        "cluster)");
   }
   const bool profiling = !trace_path.empty() || prof_summary;
   if (profiling && engine != "gpu" && engine != "vetga" &&
-      engine != "multigpu") {
+      engine != "multigpu" && engine != "cluster") {
     return Status::InvalidArgument(
         "--trace/--prof-summary only apply to the GPU engines "
-        "(gpu, vetga, multigpu)");
+        "(gpu, vetga, multigpu, cluster)");
   }
-  if (!faults.empty() && engine != "gpu" && engine != "multigpu") {
+  if (!faults.empty() && engine != "gpu" && engine != "multigpu" &&
+      engine != "cluster") {
     return Status::InvalidArgument(
-        "--faults only applies to the resilient GPU engines (gpu, multigpu)");
+        "--faults only applies to the resilient GPU engines (gpu, multigpu, "
+        "cluster)");
   }
   if (cancel != nullptr && engine != "gpu" && engine != "vetga" &&
-      engine != "multigpu") {
+      engine != "multigpu" && engine != "cluster") {
     return Status::InvalidArgument(
-        "--timeout-ms only applies to the GPU engines (gpu, vetga, multigpu),"
-        " which check the deadline at round boundaries");
+        "--timeout-ms only applies to the GPU engines (gpu, vetga, multigpu, "
+        "cluster), which check the deadline at round boundaries");
+  }
+  if ((!nodes_token.empty() || !partition_token.empty()) &&
+      engine != "cluster") {
+    return Status::InvalidArgument(
+        "--nodes/--partition only apply to the cluster engine");
   }
   ExpandStrategy expand_strategy = ExpandStrategy::kWarp;
   if (!expand.empty()) {
@@ -290,6 +336,28 @@ StatusOr<DecomposeResult> Decompose(const CsrGraph& graph,
     Trace trace;
     if (profiling) options.trace = &trace;
     auto result = RunMultiGpuPeel(graph, options);
+    if (result.ok() && profiling) {
+      KCORE_RETURN_IF_ERROR(finish_trace(trace));
+    }
+    return result;
+  }
+  if (engine == "cluster") {
+    ClusterOptions options;
+    options.node_device.check_mode = simcheck;
+    options.node_device.fault_spec = faults;
+    options.cancel = cancel;
+    if (!nodes_token.empty()) {
+      KCORE_ASSIGN_OR_RETURN(options.num_nodes, ParseNodes(nodes_token));
+    }
+    if (!partition_token.empty() &&
+        !ParsePartitionStrategy(partition_token, &options.partition)) {
+      return Status::InvalidArgument(
+          "unknown --partition strategy: " + partition_token +
+          " (want contiguous|degree|edgecut)");
+    }
+    Trace trace;
+    if (profiling) options.trace = &trace;
+    auto result = RunClusterPeel(graph, options);
     if (result.ok() && profiling) {
       KCORE_RETURN_IF_ERROR(finish_trace(trace));
     }
@@ -366,10 +434,13 @@ int CmdDecompose(const CsrGraph& graph, const std::string& engine,
                  bool simcheck, const std::string& faults,
                  const std::string& expand, bool renumber, bool fuse,
                  const std::string& trace_path, bool prof_summary,
+                 const std::string& nodes_token,
+                 const std::string& partition_token,
                  const CancelContext* cancel) {
   std::string summary;
   auto result = Decompose(graph, engine, simcheck, faults, expand, renumber,
-                          fuse, trace_path, prof_summary, cancel, &summary);
+                          fuse, trace_path, prof_summary, nodes_token,
+                          partition_token, cancel, &summary);
   if (!result.ok()) {
     PrintError(result.status());
     return 1;
@@ -421,6 +492,22 @@ int CmdDecompose(const CsrGraph& graph, const std::string& engine,
                 m.retries, m.checkpoints_taken, m.levels_reexecuted,
                 m.devices_lost, m.cpu_fallback_levels, m.recovery_ms,
                 m.degraded ? "yes (finished on CPU warm-start)" : "no");
+  }
+  if (engine == "cluster") {
+    const Metrics& m = result->metrics;
+    const double compute_ms = m.modeled_ms - m.comm_ms;
+    std::printf("--- cluster ---\n"
+                "nodes           %s\n"
+                "partition       %s\n"
+                "comm_ms         %.3f\n"
+                "comm_bytes      %s\n"
+                "comm_messages   %llu\n"
+                "comm/compute    %.3f\n",
+                nodes_token.empty() ? "2" : nodes_token.c_str(),
+                partition_token.empty() ? "degree" : partition_token.c_str(),
+                m.comm_ms, HumanBytes(m.comm_bytes).c_str(),
+                static_cast<unsigned long long>(m.comm_messages),
+                compute_ms > 0.0 ? m.comm_ms / compute_ms : 0.0);
   }
   if (!trace_path.empty()) std::printf("trace        %s\n", trace_path.c_str());
   if (prof_summary) {
@@ -663,6 +750,8 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string updates_path;
   std::string update_batch_token;
+  std::string nodes_token;
+  std::string partition_token;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--simcheck") == 0) {
@@ -689,6 +778,10 @@ int main(int argc, char** argv) {
       updates_path = argv[i] + 10;
     } else if (std::strncmp(argv[i], "--update-batch=", 15) == 0) {
       update_batch_token = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--nodes=", 8) == 0) {
+      nodes_token = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--partition=", 12) == 0) {
+      partition_token = argv[i] + 12;
     } else {
       argv[out++] = argv[i];
     }
@@ -729,7 +822,8 @@ int main(int argc, char** argv) {
     const std::string engine = argc > 3 ? argv[3] : "gpu";
     if (!updates_path.empty()) {
       if (have_k || fuse || renumber || !expand.empty() ||
-          !trace_path.empty() || prof_summary) {
+          !trace_path.empty() || prof_summary || !nodes_token.empty() ||
+          !partition_token.empty()) {
         PrintError(Status::InvalidArgument(
             "--updates streaming mode composes with --simcheck, --faults "
             "and --timeout-ms only"));
@@ -766,11 +860,18 @@ int main(int argc, char** argv) {
             "has no per-round scan/compact pair to fuse)"));
         return 1;
       }
+      if (!nodes_token.empty() || !partition_token.empty()) {
+        PrintError(Status::InvalidArgument(
+            "--nodes/--partition apply to the full cluster decomposition "
+            "only (single-k mining runs on one device)"));
+        return 1;
+      }
       return CmdSingleK(built->graph, engine, *k, simcheck, faults, expand,
                         renumber, trace_path, prof_summary, cancel);
     }
     return CmdDecompose(built->graph, engine, simcheck, faults, expand,
-                        renumber, fuse, trace_path, prof_summary, cancel);
+                        renumber, fuse, trace_path, prof_summary, nodes_token,
+                        partition_token, cancel);
   }
   if (command == "shells") return CmdShells(built->graph);
   if (command == "hierarchy") return CmdHierarchy(built->graph);

@@ -10,7 +10,7 @@
 //   kcore_soak [--graph=<edge_list>]        soak a real edge list, or
 //              [--vertices=N] [--edges=M]   a generated ER + planted core
 //              [--requests=N] [--seed=S]
-//              [--engine=gpu|multigpu|vetga|bz|pkc|park|mpm]
+//              [--engine=gpu|multigpu|cluster|vetga|bz|pkc|park|mpm]
 //              [--faults=<spec>]            per-request device fault plan
 //              [--cancel=F] [--deadline=F]  chaos fractions
 //              [--update-fraction=F]        mutation slice: fraction of
@@ -66,7 +66,11 @@ bool ParseU64(const char* raw, uint64_t* out) {
 bool ParseFraction(const char* raw, double* out) {
   char* end = nullptr;
   const double value = std::strtod(raw, &end);
-  if (end == raw || *end != '\0' || value < 0.0 || value > 1.0) return false;
+  // The inverted range test also rejects NaN (every comparison with NaN is
+  // false, so `value < 0.0 || value > 1.0` would wave it through).
+  if (end == raw || *end != '\0' || !(value >= 0.0 && value <= 1.0)) {
+    return false;
+  }
   *out = value;
   return true;
 }
@@ -126,6 +130,7 @@ int main(int argc, char** argv) {
   }
   options.server.engine_config.device.fault_spec = faults;
   options.server.engine_config.multi_gpu.worker_device.fault_spec = faults;
+  options.server.engine_config.cluster.node_device.fault_spec = faults;
   options.server.engine_config.vetga.device.fault_spec = faults;
 
   CsrGraph graph;
